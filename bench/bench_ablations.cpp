@@ -1,0 +1,120 @@
+// Ablation studies for the design choices called out in DESIGN.md §4:
+//
+//   A1. Two-level DEAR filter / coherent-ratio trigger: disable COBRA's
+//       selection filters and watch it optimize loops it should leave alone.
+//   A2. Selective (runtime) vs blind (static) noprefetch: a binary compiled
+//       without any prefetches loses where prefetching pays.
+//   A3. Measured epochs: without the before/after CPI measurement,
+//       mis-deployments stay and drag the program down.
+//   A4. Monitoring overhead: sampling cost charged per delivered batch.
+//
+// Each row reports speedup over the aggressive-prefetch baseline (>1 is
+// faster) on the 4-way SMP machine at 4 threads.
+#include <cstdio>
+
+#include "machine/machine.h"
+#include "npb_experiment.h"
+#include "support/table.h"
+
+using namespace cobra;
+using bench::NpbMode;
+using bench::NpbOptions;
+using bench::RunNpbExperiment;
+
+namespace {
+
+double Speedup(const bench::NpbRunResult& base,
+               const bench::NpbRunResult& opt) {
+  return static_cast<double>(base.cycles) / static_cast<double>(opt.cycles);
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = machine::SmpServerConfig(4);
+  const int threads = 4;
+  // FT is the adversarial case (its prefetches hide coherent misses, so
+  // removing them blindly hurts); MG is the friendly case (prefetch-induced
+  // coherent misses dominate); CG sits between.
+  const char* benchmarks[] = {"ft", "mg", "cg"};
+
+  support::TextTable table(
+      {"benchmark", "configuration", "speedup", "deployments", "rollbacks"});
+
+  for (const char* name : benchmarks) {
+    const auto base =
+        RunNpbExperiment(name, machine, threads, NpbMode::kBaseline);
+
+    // Full COBRA (reference row).
+    {
+      const auto r =
+          RunNpbExperiment(name, machine, threads, NpbMode::kCobraNoprefetch);
+      table.AddRow({name, "COBRA noprefetch (full)",
+                    support::TextTable::Num(Speedup(base, r)),
+                    support::TextTable::Int(static_cast<long long>(
+                        r.cobra.deployments)),
+                    support::TextTable::Int(static_cast<long long>(
+                        r.cobra.rollbacks))});
+    }
+    // A1: selection filters off.
+    {
+      NpbOptions options;
+      options.tweak_config = [](core::CobraConfig& cfg) {
+        cfg.require_coherent_load_in_loop = false;
+        cfg.require_coherent_ratio = false;
+      };
+      const auto r = RunNpbExperiment(name, machine, threads,
+                                      NpbMode::kCobraNoprefetch, options);
+      table.AddRow({name, "A1: DEAR/ratio filters off",
+                    support::TextTable::Num(Speedup(base, r)),
+                    support::TextTable::Int(static_cast<long long>(
+                        r.cobra.deployments)),
+                    support::TextTable::Int(static_cast<long long>(
+                        r.cobra.rollbacks))});
+    }
+    // A3: no rollback, no brake.
+    {
+      NpbOptions options;
+      options.tweak_config = [](core::CobraConfig& cfg) {
+        cfg.measured_epochs = false;
+      };
+      const auto r = RunNpbExperiment(name, machine, threads,
+                                      NpbMode::kCobraNoprefetch, options);
+      table.AddRow({name, "A3: measured epochs off",
+                    support::TextTable::Num(Speedup(base, r)),
+                    support::TextTable::Int(static_cast<long long>(
+                        r.cobra.deployments)),
+                    support::TextTable::Int(static_cast<long long>(
+                        r.cobra.rollbacks))});
+    }
+    // A2: blind static noprefetch binary.
+    {
+      NpbOptions options;
+      options.static_noprefetch_binary = true;
+      const auto r = RunNpbExperiment(name, machine, threads,
+                                      NpbMode::kBaseline, options);
+      table.AddRow({name, "A2: blind static noprefetch",
+                    support::TextTable::Num(Speedup(base, r)), "-", "-"});
+    }
+    // A4: monitoring overhead sweep.
+    for (const Cycle overhead : {Cycle{500}, Cycle{4000}}) {
+      NpbOptions options;
+      options.tweak_config = [overhead](core::CobraConfig& cfg) {
+        cfg.monitor_overhead_cycles = overhead;
+      };
+      const auto r = RunNpbExperiment(name, machine, threads,
+                                      NpbMode::kCobraNoprefetch, options);
+      table.AddRow({name,
+                    "A4: overhead " + std::to_string(overhead) + " cyc/batch",
+                    support::TextTable::Num(Speedup(base, r)),
+                    support::TextTable::Int(static_cast<long long>(
+                        r.cobra.deployments)),
+                    support::TextTable::Int(static_cast<long long>(
+                        r.cobra.rollbacks))});
+    }
+  }
+
+  std::printf("Ablations of COBRA's design choices (DESIGN.md §4)\n\n");
+  table.Print();
+  return 0;
+}

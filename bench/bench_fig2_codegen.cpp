@@ -1,0 +1,44 @@
+// Figure 2: the icc-generated Itanium assembly for the OpenMP DAXPY kernel
+// (Figure 1). Prints our generator's disassembly — the prologue burst of
+// six lfetches for y[0]'s first cache lines, and the software-pipelined
+// body with its rotating-register load/store chains and the single
+// alternating-stream lfetch targeting ~1200 bytes ahead — and checks the
+// structural properties the paper's discussion relies on.
+#include <cstdio>
+#include <string>
+
+#include "isa/disasm.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "support/check.h"
+
+int main() {
+  using namespace cobra;
+
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy = EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+
+  std::printf(
+      "Figure 2: generated MIA-64 assembly for the DAXPY kernel\n"
+      "(compare with the paper's icc 9.1 output: 6 prologue lfetches on "
+      "y[], then a software-pipelined\n"
+      "body with one lfetch per iteration alternating the x/y chains ~1200 "
+      "bytes ahead)\n\n-- prologue --\n%s\n-- software-pipelined body "
+      "(.b1_22) --\n%s",
+      isa::DisassembleRange(prog.image(), daxpy.entry, daxpy.head).c_str(),
+      isa::DisassembleRange(prog.image(), daxpy.head,
+                            isa::BundleAddr(daxpy.back_branch_pc) +
+                                isa::kBundleBytes)
+          .c_str());
+
+  // Structural checks (the bench fails loudly if the shape regresses).
+  COBRA_CHECK(daxpy.lfetch_pcs.size() == 1);
+  COBRA_CHECK(prog.image().Fetch(daxpy.back_branch_pc).op ==
+              isa::Opcode::kBrCtop);
+  const kgen::StaticStats stats = prog.CountStatic();
+  COBRA_CHECK(stats.lfetch == 7);  // 6 prologue + 1 steady-state
+  COBRA_CHECK(stats.br_ctop == 1);
+  std::printf("\nshape checks passed: 6 prologue lfetches, 1 rotating "
+              "steady-state lfetch, br.ctop loop\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 7(b): normalized system-bus memory transactions under COBRA's
+// optimizations, 8 threads on the SGI Altix cc-NUMA system.
+#include "machine/machine.h"
+#include "npb_experiment.h"
+
+int main() {
+  using namespace cobra;
+  bench::PrintNpbFigure(
+      "Figure 7(b): normalized bus memory transactions, 8 threads, cc-NUMA",
+      "Paper: noprefetch -13.9% on average; prefetch.excl -1.9% on "
+      "average. Baseline = 1.0; lower is better (correlates with Fig. 6b).",
+      machine::AltixConfig(8), /*threads=*/8, /*metric=*/2);
+  return 0;
+}

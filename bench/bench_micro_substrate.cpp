@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// instruction encode/decode, cache-stack access paths, coherence fabric
+// transactions, and interpreter throughput. These quantify the simulator's
+// own performance (host-side), not simulated results.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <span>
+
+#include "perfmon/sampling.h"
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "machine/machine.h"
+#include "mem/cache_stack.h"
+#include "mem/snoop_bus.h"
+#include "rt/team.h"
+
+namespace {
+
+using namespace cobra;
+
+void BM_EncodeDecode(benchmark::State& state) {
+  const isa::Instruction inst = isa::Pred(16, isa::LdfPostInc(32, 2, 8));
+  for (auto _ : state) {
+    const isa::EncodedSlot slot = isa::Encode(inst);
+    benchmark::DoNotOptimize(isa::Decode(slot));
+  }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void BM_CacheStackL2Hit(benchmark::State& state) {
+  mem::MemConfig cfg = mem::ItaniumSmpConfig();
+  cfg.memory_bytes = 1 << 22;
+  mem::SnoopBus bus(cfg);
+  mem::CacheStack stack(0, cfg);
+  stack.AttachFabric(&bus);
+  bus.AttachStacks({&stack});
+  stack.Load(0x1000, 8, true, false, 0);
+  Cycle now = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.Load(0x1000, 8, true, false, now));
+    now += 10;
+  }
+}
+BENCHMARK(BM_CacheStackL2Hit);
+
+void BM_BusCoherentMiss(benchmark::State& state) {
+  mem::MemConfig cfg = mem::ItaniumSmpConfig();
+  cfg.memory_bytes = 1 << 22;
+  mem::SnoopBus bus(cfg);
+  mem::CacheStack a(0, cfg), b(1, cfg);
+  a.AttachFabric(&bus);
+  b.AttachFabric(&bus);
+  bus.AttachStacks({&a, &b});
+  Cycle now = 0;
+  for (auto _ : state) {
+    a.Store(0x1000, 8, now);       // M in a
+    benchmark::DoNotOptimize(b.Load(0x1000, 8, false, false, now + 500));
+    b.Store(0x1000, 8, now + 1000);  // bounce back
+    now += 2000;
+  }
+}
+BENCHMARK(BM_BusCoherentMiss);
+
+void BM_InterpreterDaxpy(benchmark::State& state) {
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  const std::int64_t n = 4096;
+  const mem::Addr x = prog.Alloc(static_cast<std::uint64_t>(n) * 8);
+  const mem::Addr y = prog.Alloc(static_cast<std::uint64_t>(n) * 8);
+  machine::MachineConfig cfg = machine::SmpServerConfig(1);
+  cfg.mem.memory_bytes = 1 << 22;
+  machine::Machine machine(cfg, &prog.image());
+  for (std::int64_t i = 0; i < n; ++i) {
+    machine.memory().WriteDouble(x + 8 * static_cast<mem::Addr>(i), 1.0);
+    machine.memory().WriteDouble(y + 8 * static_cast<mem::Addr>(i), 2.0);
+  }
+  rt::Team team(&machine, 1);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = machine.core(0).instructions_retired();
+    team.Run(daxpy.entry, [&](int, cpu::RegisterFile& regs) {
+      regs.WriteGr(14, x);
+      regs.WriteGr(15, y);
+      regs.WriteGr(16, static_cast<std::uint64_t>(n));
+      regs.WriteFr(6, 0.5);
+    });
+    instructions += machine.core(0).instructions_retired() - before;
+  }
+  state.counters["sim_instr_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterDaxpy)->Unit(benchmark::kMillisecond);
+
+void BM_SamplingOverhead(benchmark::State& state) {
+  // Interpreter throughput with perfmon sampling attached (period 2000).
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  const std::int64_t n = 4096;
+  const mem::Addr x = prog.Alloc(static_cast<std::uint64_t>(n) * 8);
+  const mem::Addr y = prog.Alloc(static_cast<std::uint64_t>(n) * 8);
+  machine::MachineConfig cfg = machine::SmpServerConfig(1);
+  cfg.mem.memory_bytes = 1 << 22;
+  machine::Machine machine(cfg, &prog.image());
+  perfmon::SamplingDriver driver(&machine, perfmon::SamplingConfig{});
+  std::uint64_t sink = 0;
+  driver.StartMonitoring(0, 0,
+                         [&sink](int, std::span<const perfmon::Sample> b) {
+                           sink += b.size();
+                         });
+  rt::Team team(&machine, 1);
+  for (auto _ : state) {
+    team.Run(daxpy.entry, [&](int, cpu::RegisterFile& regs) {
+      regs.WriteGr(14, x);
+      regs.WriteGr(15, y);
+      regs.WriteGr(16, static_cast<std::uint64_t>(n));
+      regs.WriteFr(6, 0.5);
+    });
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SamplingOverhead)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Table 1: static loop and prefetch statistics of the compiler-generated
+// OpenMP NPB binaries — lfetch, br.ctop, br.cloop and br.wtop counts per
+// benchmark (the mini-suite is smaller than real NPB, so absolute counts
+// are scaled down; the structure — which benchmarks carry many prefetches,
+// who uses wtop loops, EP's near-empty memory profile — is preserved).
+#include <cstdio>
+
+#include "kgen/program.h"
+#include "npb/common.h"
+#include "support/table.h"
+
+int main() {
+  using namespace cobra;
+
+  std::printf(
+      "Table 1: loops and prefetches in compiler-generated OpenMP NPB "
+      "binaries\n"
+      "Paper (real NPB + icc 9.1 -O3): BT 140/34/32/0, SP 276/67/22/0, "
+      "LU 184/61/19/0, FT 258/45/9/8,\n"
+      "                                MG 419/66/34/4, CG 433/69/29/2, "
+      "EP 17/1/4/1, IS 76/19/13/2 (lfetch/ctop/cloop/wtop).\n\n");
+
+  support::TextTable table(
+      {"benchmark", "lfetch", "br.ctop", "br.cloop", "br.wtop"});
+  for (const std::string& name : npb::SuiteNames()) {
+    auto benchmark = npb::MakeBenchmark(name);
+    kgen::Program prog;
+    benchmark->Build(prog, kgen::PrefetchPolicy{});
+    const kgen::StaticStats stats = prog.CountStatic();
+    table.AddRow({name,
+                  support::TextTable::Int(static_cast<long long>(stats.lfetch)),
+                  support::TextTable::Int(static_cast<long long>(stats.br_ctop)),
+                  support::TextTable::Int(static_cast<long long>(stats.br_cloop)),
+                  support::TextTable::Int(static_cast<long long>(stats.br_wtop))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "daxpy_experiment.h"
+
+#include <vector>
+
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "rt/team.h"
+#include "support/check.h"
+
+namespace cobra::bench {
+
+const char* DaxpyVariantName(DaxpyVariant variant) {
+  switch (variant) {
+    case DaxpyVariant::kPrefetch: return "prefetch";
+    case DaxpyVariant::kNoprefetch: return "noprefetch";
+    case DaxpyVariant::kExcl: return "prefetch.excl";
+  }
+  return "?";
+}
+
+DaxpyResult RunDaxpyExperiment(const DaxpyParams& params) {
+  using mem::Addr;
+
+  kgen::PrefetchPolicy policy;
+  switch (params.variant) {
+    case DaxpyVariant::kPrefetch: break;
+    case DaxpyVariant::kNoprefetch: policy = kgen::PrefetchPolicy::None(); break;
+    case DaxpyVariant::kExcl: policy = kgen::PrefetchPolicy::Excl(); break;
+  }
+
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy = EmitDaxpy(prog, "daxpy", policy);
+
+  const std::int64_t n =
+      static_cast<std::int64_t>(params.working_set_bytes / 16);
+  COBRA_CHECK(n >= 16);
+  const Addr x = prog.Alloc(static_cast<std::uint64_t>(n) * 8, 128);
+  const Addr y = prog.Alloc(static_cast<std::uint64_t>(n) * 8, 128);
+
+  machine::Machine machine(params.machine, &prog.image());
+  const double a = 0.5;
+  for (std::int64_t i = 0; i < n; ++i) {
+    machine.memory().WriteDouble(x + 8 * static_cast<Addr>(i), 1.0 + 0.001 * i);
+    machine.memory().WriteDouble(y + 8 * static_cast<Addr>(i), 2.0 - 0.001 * i);
+  }
+  // First-touch placement: each thread initializes its own partition
+  // (Section 3.2's assumption), so pages land on the thread's node.
+  for (int tid = 0; tid < params.threads; ++tid) {
+    const auto chunk = rt::StaticChunk(tid, params.threads, n);
+    const int node = machine.NodeOf(tid);
+    machine.memory().PlaceRange(x + 8 * static_cast<Addr>(chunk.begin),
+                                x + 8 * static_cast<Addr>(chunk.end), node);
+    machine.memory().PlaceRange(y + 8 * static_cast<Addr>(chunk.begin),
+                                y + 8 * static_cast<Addr>(chunk.end), node);
+  }
+
+  rt::Team team(&machine, params.threads);
+  auto RunRep = [&] {
+    team.Run(daxpy.entry, [&](int tid, cpu::RegisterFile& regs) {
+      const auto chunk = rt::StaticChunk(tid, params.threads, n);
+      regs.WriteGr(14, x + 8 * static_cast<Addr>(chunk.begin));
+      regs.WriteGr(15, y + 8 * static_cast<Addr>(chunk.begin));
+      regs.WriteGr(16, static_cast<std::uint64_t>(chunk.size()));
+      regs.WriteFr(6, a);
+    });
+  };
+
+  for (int rep = 0; rep < params.warmup_reps; ++rep) RunRep();
+
+  const Cycle start = machine.GlobalTime();
+  std::uint64_t l3_start = 0;
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    l3_start += machine.stack(cpu).L3Misses();
+  }
+  const auto bus_start = machine.fabric().TotalCounts();
+
+  for (int rep = 0; rep < params.reps; ++rep) RunRep();
+
+  DaxpyResult result;
+  result.cycles = machine.GlobalTime() - start;
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    result.l3_misses += machine.stack(cpu).L3Misses();
+  }
+  result.l3_misses -= l3_start;
+  const auto bus_end = machine.fabric().TotalCounts();
+  result.bus_memory = bus_end.bus_memory - bus_start.bus_memory;
+  result.coherent_events =
+      bus_end.CoherentEvents() - bus_start.CoherentEvents();
+
+  // Functional verification over all reps (identical fma ordering on host).
+  result.verified = true;
+  const int total_reps = params.warmup_reps + params.reps;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double expected = 2.0 - 0.001 * i;
+    const double xi = 1.0 + 0.001 * i;
+    for (int rep = 0; rep < total_reps; ++rep) {
+      expected = __builtin_fma(a, xi, expected);
+    }
+    if (machine.memory().ReadDouble(y + 8 * static_cast<Addr>(i)) !=
+        expected) {
+      result.verified = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cobra::bench

@@ -1,0 +1,125 @@
+#include "npb_experiment.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "npb/common.h"
+#include "support/check.h"
+#include "support/table.h"
+
+namespace cobra::bench {
+
+const char* NpbModeName(NpbMode mode) {
+  switch (mode) {
+    case NpbMode::kBaseline: return "prefetch";
+    case NpbMode::kCobraNoprefetch: return "noprefetch";
+    case NpbMode::kCobraExcl: return "prefetch.excl";
+  }
+  return "?";
+}
+
+NpbRunResult RunNpbExperiment(const std::string& benchmark,
+                              const machine::MachineConfig& machine_config,
+                              int threads, NpbMode mode,
+                              const NpbOptions& options) {
+  auto bench = npb::MakeBenchmark(benchmark);
+  kgen::Program prog;
+  // All modes run the same aggressively-prefetching binary; COBRA adapts it
+  // at runtime (that is the point of the paper). The blind-noprefetch
+  // ablation compiles the prefetches away instead.
+  bench->Build(prog, options.static_noprefetch_binary
+                         ? kgen::PrefetchPolicy::None()
+                         : kgen::PrefetchPolicy{});
+
+  machine::MachineConfig cfg = machine_config;
+  cfg.mem.memory_bytes = 1 << 25;
+  machine::Machine machine(cfg, &prog.image());
+  bench->Init(machine, threads);
+
+  std::unique_ptr<core::CobraRuntime> cobra;
+  if (mode != NpbMode::kBaseline) {
+    core::CobraConfig config;
+    // Finer sampling than the defaults: class-S loop bodies are tiny, and
+    // at 8 threads a parallel region can retire fewer instructions per
+    // thread than the default period, starving the loop-cost attribution.
+    config.sampling_period_insts = 1000;
+    config.strategy = mode == NpbMode::kCobraNoprefetch
+                          ? core::OptKind::kNoprefetch
+                          : core::OptKind::kPrefetchExcl;
+    if (options.tweak_config) options.tweak_config(config);
+    cobra = std::make_unique<core::CobraRuntime>(&machine, config);
+    cobra->AttachAll(threads);
+  }
+
+  rt::Team team(&machine, threads);
+  NpbRunResult result;
+  result.cycles = bench->Run(team);
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    result.l3_misses += machine.stack(cpu).L3Misses();
+  }
+  const auto& bus = machine.fabric().TotalCounts();
+  result.bus_memory = bus.bus_memory;
+  result.coherent_events = bus.CoherentEvents();
+  result.verified = bench->Verify(machine);
+  if (cobra) result.cobra = cobra->stats();
+  return result;
+}
+
+void PrintNpbFigure(const char* title, const char* paper_reference,
+                    const machine::MachineConfig& machine_config, int threads,
+                    int metric) {
+  std::printf("%s\n%s\n\n", title, paper_reference);
+
+  const char* metric_name = metric == 0   ? "speedup"
+                            : metric == 1 ? "normalized L3 misses"
+                                          : "normalized bus transactions";
+  support::TextTable table({"benchmark", "mode", metric_name, "raw",
+                            "deployments", "verified"});
+
+  double sum_noprefetch = 0.0, sum_excl = 0.0;
+  int count = 0;
+  for (const std::string& name : npb::ResultBenchmarkNames()) {
+    const NpbRunResult base =
+        RunNpbExperiment(name, machine_config, threads, NpbMode::kBaseline);
+    COBRA_CHECK_MSG(base.verified, "baseline verification failed");
+
+    for (const NpbMode mode :
+         {NpbMode::kCobraNoprefetch, NpbMode::kCobraExcl}) {
+      const NpbRunResult opt =
+          RunNpbExperiment(name, machine_config, threads, mode);
+      auto Pick = [&](const NpbRunResult& r) -> double {
+        switch (metric) {
+          case 0: return static_cast<double>(r.cycles);
+          case 1: return static_cast<double>(r.l3_misses);
+          default: return static_cast<double>(r.bus_memory);
+        }
+      };
+      // Speedup = base/opt; miss/transaction counts normalize opt/base.
+      const double value = metric == 0 ? Pick(base) / Pick(opt)
+                                       : Pick(opt) / Pick(base);
+      if (mode == NpbMode::kCobraNoprefetch) {
+        sum_noprefetch += value;
+      } else {
+        sum_excl += value;
+      }
+      table.AddRow({name + ".S", NpbModeName(mode),
+                    support::TextTable::Num(value, 3),
+                    support::TextTable::Int(static_cast<long long>(
+                        metric == 0   ? opt.cycles
+                        : metric == 1 ? opt.l3_misses
+                                      : opt.bus_memory)),
+                    support::TextTable::Int(
+                        static_cast<long long>(opt.cobra.deployments)),
+                    opt.verified ? "yes" : "NO"});
+    }
+    ++count;
+  }
+  table.AddRow({"avg", "noprefetch",
+                support::TextTable::Num(sum_noprefetch / count, 3), "", "",
+                ""});
+  table.AddRow({"avg", "prefetch.excl",
+                support::TextTable::Num(sum_excl / count, 3), "", "", ""});
+  table.Print();
+}
+
+}  // namespace cobra::bench

@@ -1,0 +1,54 @@
+// Shared harness for the paper's main evaluation (Figures 5, 6, 7): each
+// OpenMP NPB mini-benchmark runs three ways on a given machine —
+//   * baseline: the icc-style aggressively-prefetching binary, untouched;
+//   * COBRA/noprefetch: same binary, optimized at runtime;
+//   * COBRA/prefetch.excl: same binary, exclusive-hint optimization —
+// and reports wall cycles, total L3 misses, and system bus memory
+// transactions, from which the per-figure binaries print their series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cobra/cobra.h"
+#include "machine/machine.h"
+#include "support/simtypes.h"
+
+namespace cobra::bench {
+
+enum class NpbMode { kBaseline, kCobraNoprefetch, kCobraExcl };
+
+const char* NpbModeName(NpbMode mode);
+
+struct NpbRunResult {
+  Cycle cycles = 0;
+  std::uint64_t l3_misses = 0;
+  std::uint64_t bus_memory = 0;
+  std::uint64_t coherent_events = 0;
+  bool verified = false;
+  core::CobraRuntime::Stats cobra;
+};
+
+// Extra knobs for ablation studies (all defaults reproduce the paper runs).
+struct NpbOptions {
+  // Compile the binary without prefetches instead of attaching COBRA
+  // ("blind" static noprefetch, the strawman COBRA's selectivity beats).
+  bool static_noprefetch_binary = false;
+  // Ablation hook applied to the COBRA configuration before attach.
+  std::function<void(core::CobraConfig&)> tweak_config;
+};
+
+NpbRunResult RunNpbExperiment(const std::string& benchmark,
+                              const machine::MachineConfig& machine_config,
+                              int threads, NpbMode mode,
+                              const NpbOptions& options = {});
+
+// Prints one figure: per-benchmark series of `metric` for the two COBRA
+// modes normalized to the baseline, plus the average row, in the paper's
+// layout. `metric`: 0 = speedup, 1 = L3 misses, 2 = bus transactions.
+void PrintNpbFigure(const char* title, const char* paper_reference,
+                    const machine::MachineConfig& machine_config, int threads,
+                    int metric);
+
+}  // namespace cobra::bench

@@ -1,0 +1,68 @@
+// The paper's Section 2 motivation study, end to end:
+//   * prints the generated "icc -O2 -openmp" DAXPY assembly (Figure 2);
+//   * sweeps working-set size x thread count for the three static binary
+//     variants (prefetch / noprefetch / prefetch.excl), showing that no
+//     single statically-compiled binary wins everywhere (Figure 3);
+//   * prints the per-variant coherence-event counts that explain why.
+//
+// Build & run:  ./build/examples/daxpy_motivation
+#include <cstdio>
+
+#include "daxpy_experiment.h"
+#include "isa/disasm.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "support/table.h"
+
+using namespace cobra;
+
+int main() {
+  // --- Figure 2: the generated kernel -------------------------------------
+  {
+    kgen::Program prog;
+    const kgen::LoopInfo daxpy =
+        EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+    std::printf("Generated DAXPY kernel (cf. paper Figure 2):\n\n%s\n",
+                isa::DisassembleRange(prog.image(), daxpy.head,
+                                      isa::BundleAddr(daxpy.back_branch_pc) +
+                                          isa::kBundleBytes)
+                    .c_str());
+  }
+
+  // --- Figure 3: no static binary wins everywhere --------------------------
+  std::printf(
+      "Static-variant sweep (normalized to 1-thread prefetch per working "
+      "set;\ncoherent events show why the winner changes):\n\n");
+  support::TextTable table({"working set", "threads", "variant", "normalized",
+                            "coherent events"});
+  for (const std::size_t ws : {128 * 1024, 2 * 1024 * 1024}) {
+    double baseline = 0.0;
+    for (const int threads : {1, 4}) {
+      for (const auto variant :
+           {bench::DaxpyVariant::kPrefetch, bench::DaxpyVariant::kNoprefetch,
+            bench::DaxpyVariant::kExcl}) {
+        bench::DaxpyParams params;
+        params.threads = threads;
+        params.working_set_bytes = ws;
+        params.variant = variant;
+        params.reps = 24;
+        const auto result = RunDaxpyExperiment(params);
+        if (baseline == 0.0) baseline = static_cast<double>(result.cycles);
+        table.AddRow(
+            {std::to_string(ws / 1024) + "K", std::to_string(threads),
+             bench::DaxpyVariantName(variant),
+             support::TextTable::Num(
+                 static_cast<double>(result.cycles) / baseline),
+             support::TextTable::Int(
+                 static_cast<long long>(result.coherent_events))});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nTakeaway (Section 2): at small working sets with several threads, "
+      "aggressive prefetching\ninduces coherent misses and loses; at large "
+      "working sets it wins. Only a runtime optimizer\ncan pick per "
+      "situation — which is what COBRA does.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// NPB explorer: run any benchmark of the mini-suite on either machine,
+// with or without COBRA, and inspect what the runtime observed and did —
+// the coherent-access ratio, discovered hot loops, delinquent loads, trace
+// deployments and rollbacks.
+//
+// Usage:  ./build/examples/npb_explorer [benchmark] [threads] [smp|numa]
+//                                       [baseline|noprefetch|excl]
+// e.g.:   ./build/examples/npb_explorer cg 4 smp noprefetch
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cobra/cobra.h"
+#include "isa/disasm.h"
+#include "npb/common.h"
+
+using namespace cobra;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "cg";
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  const bool numa = argc > 3 && std::strcmp(argv[3], "numa") == 0;
+  const std::string mode = argc > 4 ? argv[4] : "noprefetch";
+
+  auto benchmark = npb::MakeBenchmark(name);
+  kgen::Program prog;
+  benchmark->Build(prog, kgen::PrefetchPolicy{});
+  const kgen::StaticStats stats = prog.CountStatic();
+  std::printf("%s: %llu lfetch, %llu br.ctop, %llu br.cloop, %llu br.wtop\n",
+              name.c_str(), static_cast<unsigned long long>(stats.lfetch),
+              static_cast<unsigned long long>(stats.br_ctop),
+              static_cast<unsigned long long>(stats.br_cloop),
+              static_cast<unsigned long long>(stats.br_wtop));
+
+  machine::MachineConfig cfg =
+      numa ? machine::AltixConfig(threads) : machine::SmpServerConfig(threads);
+  cfg.mem.memory_bytes = 1 << 25;
+  machine::Machine machine(cfg, &prog.image());
+  benchmark->Init(machine, threads);
+
+  std::unique_ptr<core::CobraRuntime> cobra;
+  if (mode != "baseline") {
+    core::CobraConfig config;
+    config.sampling_period_insts = 1000;
+    config.strategy = mode == "excl" ? core::OptKind::kPrefetchExcl
+                                     : core::OptKind::kNoprefetch;
+    cobra = std::make_unique<core::CobraRuntime>(&machine, config);
+    cobra->AttachAll(threads);
+  }
+
+  rt::Team team(&machine, threads);
+  const Cycle cycles = benchmark->Run(team);
+  const bool verified = benchmark->Verify(machine);
+
+  std::uint64_t l3 = 0;
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    l3 += machine.stack(cpu).L3Misses();
+  }
+  const auto& bus = machine.fabric().TotalCounts();
+  std::printf(
+      "\n%s.S x%d on %s (%s): %llu cycles, %llu L3 misses, %llu bus "
+      "transactions,\ncoherent events %llu (%.1f%% of bus traffic), "
+      "verification %s\n",
+      name.c_str(), threads, numa ? "Altix cc-NUMA" : "Itanium 2 SMP",
+      mode.c_str(), static_cast<unsigned long long>(cycles),
+      static_cast<unsigned long long>(l3),
+      static_cast<unsigned long long>(bus.bus_memory),
+      static_cast<unsigned long long>(bus.CoherentEvents()),
+      bus.bus_memory ? 100.0 * static_cast<double>(bus.CoherentEvents()) /
+                           static_cast<double>(bus.bus_memory)
+                     : 0.0,
+      verified ? "PASSED" : "FAILED");
+
+  if (cobra) {
+    const auto& st = cobra->stats();
+    std::printf(
+        "\nCOBRA: %llu evaluations, coherent ratio %.2f, %llu deployments, "
+        "%llu rollbacks, %llu lfetches rewritten\n",
+        static_cast<unsigned long long>(st.evaluations),
+        st.last_coherent_ratio, static_cast<unsigned long long>(st.deployments),
+        static_cast<unsigned long long>(st.rollbacks),
+        static_cast<unsigned long long>(st.lfetches_rewritten));
+
+    std::printf("\nhot loops discovered from BTB samples:\n");
+    int shown = 0;
+    for (const auto& loop : cobra->last_profile().hot_loops) {
+      if (prog.image().InCodeCache(loop.head)) continue;
+      if (++shown > 8) break;
+      const auto* deployment = cobra->trace_cache().FindByHead(loop.head);
+      std::printf("  loop @0x%llx..0x%llx  hits=%-6llu cost/sample=%-7.0f %s\n",
+                  static_cast<unsigned long long>(loop.head),
+                  static_cast<unsigned long long>(loop.back_branch_pc),
+                  static_cast<unsigned long long>(loop.hits),
+                  loop.CyclesPerSample(),
+                  deployment == nullptr        ? ""
+                  : deployment->active          ? "[optimized]"
+                                                : "[rolled back]");
+    }
+    std::printf("\ncoherent delinquent loads (two-level DEAR filter):\n");
+    shown = 0;
+    for (const auto& load : cobra->last_profile().coherent_loads) {
+      if (++shown > 6) break;
+      std::printf("  pc=0x%llx  %-28s avg latency %.0f cycles (%llu coherent)\n",
+                  static_cast<unsigned long long>(load.pc),
+                  isa::Disassemble(prog.image().Fetch(load.pc)).c_str(),
+                  load.AvgLatency(),
+                  static_cast<unsigned long long>(load.coherent_samples));
+    }
+  }
+  return verified ? 0 : 1;
+}

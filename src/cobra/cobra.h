@@ -1,0 +1,20 @@
+// Umbrella header for the COBRA runtime binary optimization framework.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   kgen::Program prog;                        // or any MIA-64 binary
+//   ... emit kernels ...
+//   machine::Machine machine(machine::SmpServerConfig(4), &prog.image());
+//   core::CobraConfig config;
+//   config.strategy = core::OptKind::kNoprefetch;
+//   core::CobraRuntime cobra(&machine, config);
+//   cobra.AttachAll(4);                        // monitoring threads
+//   ... run parallel regions with rt::Team ...
+//   cobra.stats();                             // what COBRA did
+#pragma once
+
+#include "cobra/controller.h"   // IWYU pragma: export
+#include "cobra/monitor.h"      // IWYU pragma: export
+#include "cobra/optimizer.h"    // IWYU pragma: export
+#include "cobra/profile.h"      // IWYU pragma: export
+#include "cobra/trace_cache.h"  // IWYU pragma: export

@@ -1,0 +1,411 @@
+#include "cobra/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace cobra::core {
+
+namespace {
+
+perfmon::SamplingConfig MakeSamplingConfig(const CobraConfig& cfg) {
+  perfmon::SamplingConfig sampling = CobraSamplingConfig();
+  sampling.period_insts = cfg.sampling_period_insts;
+  sampling.batch_size = cfg.batch_size;
+  sampling.dear_latency_threshold = cfg.dear_first_level_threshold;
+  return sampling;
+}
+
+}  // namespace
+
+CobraRuntime::CobraRuntime(machine::Machine* machine, CobraConfig config)
+    : machine_(machine),
+      config_(config),
+      driver_(machine, MakeSamplingConfig(config)),
+      trace_cache_(&machine->image()) {
+  COBRA_CHECK(machine != nullptr);
+  monitors_.resize(static_cast<std::size_t>(machine->num_cpus()));
+}
+
+CobraRuntime::~CobraRuntime() { DetachAll(); }
+
+void CobraRuntime::AttachThread(CpuId cpu, int tid) {
+  auto& slot = monitors_.at(static_cast<std::size_t>(cpu));
+  COBRA_CHECK_MSG(slot == nullptr, "CPU already monitored");
+  slot = std::make_unique<MonitoringThread>(
+      tid, cpu, config_.coherent_latency_threshold,
+      config_.attribution_warmup_samples);
+  driver_.StartMonitoring(
+      cpu, tid, [this](int on_cpu, std::span<const perfmon::Sample> batch) {
+        OnBatch(on_cpu, batch);
+      });
+}
+
+void CobraRuntime::AttachAll(int num_threads) {
+  for (int tid = 0; tid < num_threads; ++tid) AttachThread(tid, tid);
+}
+
+void CobraRuntime::DetachAll() { driver_.StopAll(); }
+
+void CobraRuntime::OnBatch(int cpu, std::span<const perfmon::Sample> batch) {
+  MonitoringThread* monitor = monitors_.at(static_cast<std::size_t>(cpu)).get();
+  COBRA_CHECK(monitor != nullptr);
+  monitor->Consume(batch);
+
+  if (config_.monitor_overhead_cycles != 0) {
+    cpu::Core& core = machine_->core(cpu);
+    core.set_now(core.now() + config_.monitor_overhead_cycles);
+  }
+
+  // The optimization thread wakes after a system-wide quota of batches.
+  int attached = 0;
+  for (const auto& m : monitors_) {
+    if (m != nullptr) ++attached;
+  }
+  if (++batches_since_wake_ >=
+      config_.batches_per_evaluation * static_cast<std::uint64_t>(attached)) {
+    batches_since_wake_ = 0;
+    OptimizationThreadWake();
+  }
+}
+
+void CobraRuntime::OptimizationThreadWake() {
+  ++stats_.evaluations;
+
+  std::vector<const ThreadProfile*> profiles;
+  for (const auto& monitor : monitors_) {
+    if (monitor != nullptr) profiles.push_back(&monitor->profile());
+  }
+  SystemProfile profile = SystemProfile::Aggregate(profiles);
+  stats_.last_coherent_ratio = profile.totals.CoherentRatio();
+
+  // CPI of the wake window that just ended (in sampling-period units:
+  // relative comparisons only).
+  const CounterTotals window = profile.totals - window_start_;
+  const double window_cpi =
+      window.instructions != 0
+          ? static_cast<double>(window.cycles) /
+                static_cast<double>(window.instructions)
+          : 0.0;
+
+  if (config_.adaptive) PhaseDetect(window);
+  EpochStep(profile, window_cpi);
+
+  window_start_ = profile.totals;
+  last_profile_ = std::move(profile);
+}
+
+bool CobraRuntime::LoopQualifies(const SystemProfile& profile,
+                                 const LoopCandidate& loop,
+                                 std::vector<isa::Addr>* lfetches) const {
+  const isa::Addr head = isa::BundleAddr(loop.head);
+  const isa::Addr back = isa::BundleAddr(loop.back_branch_pc);
+  const isa::BinaryImage& image = machine_->image();
+  if (!image.Contains(head) || !image.Contains(back) || head > back) {
+    return false;
+  }
+  if (image.InCodeCache(head)) return false;  // a trace of ours
+
+  *lfetches = FindLfetches(image, head, back);
+  if (lfetches->empty()) return false;
+
+  if (config_.require_coherent_load_in_loop) {
+    // Two-level DEAR filter: the loop must contain a load whose sampled
+    // latencies identify coherent misses.
+    const bool has_coherent_load = std::any_of(
+        profile.coherent_loads.begin(), profile.coherent_loads.end(),
+        [&](const DelinquentLoad& load) {
+          return load.pc >= head && load.pc <= isa::MakePc(back, 2);
+        });
+    if (!has_coherent_load) return false;
+  }
+  return true;
+}
+
+bool CobraRuntime::LoopQualifiesForInsertion(
+    const SystemProfile& profile, const LoopCandidate& loop,
+    std::vector<InsertionCandidate>* out) const {
+  const isa::Addr head = isa::BundleAddr(loop.head);
+  const isa::Addr back = isa::BundleAddr(loop.back_branch_pc);
+  const isa::BinaryImage& image = machine_->image();
+  if (!image.Contains(head) || !image.Contains(back) || head > back) {
+    return false;
+  }
+  if (image.InCodeCache(head)) return false;
+
+  // Only loops the compiler left unprefetched.
+  if (!FindLfetches(image, head, back).empty()) return false;
+
+  out->clear();
+  for (const DelinquentLoad& load : profile.delinquent_loads) {
+    if (load.pc < head || load.pc > isa::MakePc(back, 2)) continue;
+    if (load.samples < 3) continue;
+    // Coherent-dominated loads are the *other* optimizations' business;
+    // prefetching them would manufacture the Figure 3 pathology.
+    if (load.coherent_samples * 2 > load.samples) continue;
+    if (load.stride == 0 || load.stride_confirmations < 3) continue;
+    if (std::llabs(load.stride) > 4096) continue;  // not a steady stream
+    out->push_back(InsertionCandidate{load.pc, load.stride});
+  }
+  return !out->empty();
+}
+
+int CobraRuntime::DeployQualifying(const SystemProfile& profile) {
+  const bool inserting =
+      config_.strategy == OptKind::kInsertPrefetch && !config_.adaptive;
+  // The coherent-ratio trigger gates the coherence optimizations; the
+  // insertion strategy targets plain memory misses instead.
+  if (!inserting && config_.require_coherent_ratio &&
+      profile.totals.CoherentRatio() < config_.coherent_ratio_threshold) {
+    return 0;
+  }
+
+  std::uint64_t active = 0;
+  for (const auto& deployment : trace_cache_.deployments()) {
+    if (deployment.active) ++active;
+  }
+
+  int deployed = 0;
+  for (const LoopCandidate& loop : profile.hot_loops) {
+    if (loop.hits < config_.min_loop_hits) break;  // sorted by hits
+    if (active >= config_.max_deployments) break;
+    const isa::Addr head = isa::BundleAddr(loop.head);
+
+    LoopHistory& history = history_[head];
+    if (history.blacklisted) continue;
+    if (const auto* existing = trace_cache_.FindByHead(head);
+        existing != nullptr && existing->active) {
+      continue;
+    }
+
+    std::vector<isa::Addr> lfetches;
+    std::vector<InsertionCandidate> candidates;
+    if (inserting) {
+      if (!LoopQualifiesForInsertion(profile, loop, &candidates)) continue;
+    } else {
+      if (!LoopQualifies(profile, loop, &lfetches)) continue;
+    }
+
+    // Quiesce check: patching the head bundle is only safe if no thread is
+    // currently mid-bundle there (it would re-execute the head's leading
+    // slots in the trace — double post-increments). A thread elsewhere in
+    // the loop is fine: its next back-edge lands on the patched head and
+    // migrates into the trace cleanly. Retry on the next wake-up.
+    bool quiesced = true;
+    for (int c = 0; c < machine_->num_cpus(); ++c) {
+      const cpu::Core& core = machine_->core(c);
+      if (!core.halted() && isa::BundleAddr(core.pc()) == head &&
+          isa::SlotOf(core.pc()) != 0) {
+        quiesced = false;
+      }
+    }
+    if (!quiesced) continue;
+
+    // Pick the strategy: fixed, or (adaptive) the first untried one,
+    // starting from the configured preference.
+    OptKind kind = config_.strategy;
+    if (config_.adaptive) {
+      const OptKind preferred = config_.strategy;
+      const OptKind fallback = preferred == OptKind::kNoprefetch
+                                   ? OptKind::kPrefetchExcl
+                                   : OptKind::kNoprefetch;
+      auto tried = [&](OptKind k) {
+        return k == OptKind::kNoprefetch ? history.tried_noprefetch
+                                         : history.tried_excl;
+      };
+      if (!tried(preferred)) {
+        kind = preferred;
+      } else if (!tried(fallback)) {
+        kind = fallback;
+        ++stats_.strategy_switches;
+      } else {
+        history.blacklisted = true;
+        continue;
+      }
+    }
+
+    const int id = trace_cache_.Deploy(
+        LoopRegion{head, loop.back_branch_pc}, kind);
+    if (id < 0) continue;
+
+    if (kind == OptKind::kInsertPrefetch) {
+      // Plant the prefetches into the trace copy (pcs remap 1:1 because
+      // bundle distances are preserved).
+      const auto* deployment = trace_cache_.Get(id);
+      std::vector<InsertionCandidate> remapped = candidates;
+      for (InsertionCandidate& candidate : remapped) {
+        candidate.load_pc =
+            deployment->trace_head + (candidate.load_pc - head);
+      }
+      const isa::Addr trace_end =
+          deployment->trace_head +
+          (isa::BundleAddr(loop.back_branch_pc) - head);
+      const int inserted =
+          InsertPrefetches(machine_->image(), deployment->trace_head,
+                           trace_end, remapped);
+      if (inserted == 0) {
+        trace_cache_.Revert(id);  // nothing plantable: useless redirect
+        history.blacklisted = true;
+        continue;
+      }
+      stats_.prefetches_inserted += static_cast<std::uint64_t>(inserted);
+    }
+
+    ++stats_.deployments;
+    ++active;
+    ++deployed;
+    stats_.lfetches_rewritten += static_cast<std::uint64_t>(
+        trace_cache_.Get(id)->lfetches_rewritten);
+    if (kind == OptKind::kNoprefetch) {
+      history.tried_noprefetch = true;
+    } else if (kind == OptKind::kPrefetchExcl) {
+      history.tried_excl = true;
+    }
+    epoch_deployments_.push_back(id);
+    epoch_heads_.push_back(head);
+  }
+  return deployed;
+}
+
+void CobraRuntime::RevertEpoch() {
+  for (const int id : epoch_deployments_) {
+    if (const auto* deployment = trace_cache_.Get(id);
+        deployment != nullptr && deployment->active) {
+      trace_cache_.Revert(id);
+      ++stats_.rollbacks;
+    }
+  }
+  for (const isa::Addr head : epoch_heads_) {
+    LoopHistory& history = history_[head];
+    if (!config_.adaptive ||
+        (history.tried_noprefetch && history.tried_excl)) {
+      history.blacklisted = true;
+    }
+  }
+  epoch_deployments_.clear();
+  epoch_heads_.clear();
+}
+
+void CobraRuntime::EpochStep(const SystemProfile& profile,
+                             double window_cpi) {
+  if (!config_.measured_epochs) {
+    // Unmeasured mode (ablation): deploy eagerly, never revert.
+    DeployQualifying(profile);
+    return;
+  }
+  if (window_cpi <= 0.0) return;  // no samples yet
+
+  switch (epoch_state_) {
+    case EpochState::kMeasureOff: {
+      cpi_accum_ += window_cpi;
+      if (++cpi_windows_ < config_.epoch_windows) return;
+      cpi_off_ = cpi_accum_ / cpi_windows_;
+      cpi_accum_ = 0.0;
+      cpi_windows_ = 0;
+      settle_windows_ = 0;
+      epoch_state_ = EpochState::kDeploying;
+      [[fallthrough]];
+    }
+    case EpochState::kDeploying: {
+      const int deployed = DeployQualifying(profile);
+      ++settle_windows_;
+      if (epoch_deployments_.empty()) {
+        // Nothing qualified yet: keep probing from a fresh baseline so the
+        // eventual comparison stays current.
+        if (settle_windows_ >= config_.max_settle_windows) {
+          epoch_state_ = EpochState::kMeasureOff;
+          cpi_accum_ = 0.0;
+          cpi_windows_ = 0;
+        }
+        return;
+      }
+      // Wait until the deployment set stabilizes (or the cap is reached),
+      // then start the post-deployment measurement.
+      if (deployed == 0 || settle_windows_ >= config_.max_settle_windows) {
+        epoch_state_ = EpochState::kMeasureOn;
+        cpi_accum_ = 0.0;
+        cpi_windows_ = 0;
+      }
+      return;
+    }
+    case EpochState::kMeasureOn: {
+      cpi_accum_ += window_cpi;
+      if (++cpi_windows_ < config_.epoch_windows) return;
+      const double cpi_on = cpi_accum_ / cpi_windows_;
+      cpi_accum_ = 0.0;
+      cpi_windows_ = 0;
+      if (cpi_on > cpi_off_ * config_.epoch_slowdown_threshold) {
+        RevertEpoch();
+        ++stats_.epochs_reverted;
+        epoch_state_ = EpochState::kMeasureOff;  // measure fresh, try again
+      } else {
+        ++stats_.epochs_kept;
+        epoch_deployments_.clear();
+        epoch_heads_.clear();
+        cpi_off_ = cpi_on;  // the kept level is the new baseline
+        epoch_state_ = EpochState::kHold;
+      }
+      return;
+    }
+    case EpochState::kHold: {
+      // Watch for newly qualifying loops (phase drift, late discovery);
+      // open a new epoch against the current level when any appear.
+      const int deployed = DeployQualifying(profile);
+      if (deployed > 0) {
+        settle_windows_ = 0;
+        epoch_state_ = EpochState::kDeploying;
+      }
+      return;
+    }
+  }
+}
+
+void CobraRuntime::PhaseDetect(const CounterTotals& window) {
+  if (window.instructions == 0) return;
+  // Let the cold-start transient pass before pinning the phase reference,
+  // or the warm-up itself reads as a "phase change".
+  if (stats_.evaluations <= static_cast<std::uint64_t>(config_.epoch_windows)) {
+    return;
+  }
+  const double l3_per_inst = static_cast<double>(window.l3_misses) /
+                             static_cast<double>(window.instructions);
+  if (!reference_l3_per_inst_.has_value()) {
+    reference_l3_per_inst_ = l3_per_inst;
+    return;
+  }
+  const double ref = *reference_l3_per_inst_;
+  const double denom = std::max(ref, 1e-9);
+  const bool shifted =
+      std::fabs(l3_per_inst - ref) / denom > config_.phase_change_threshold;
+  // Hysteresis: a single outlier window (e.g. one cold array sweep) must
+  // not trigger re-adaptation; require two consecutive shifted windows.
+  if (!shifted) {
+    phase_shift_pending_ = false;
+    return;
+  }
+  if (!phase_shift_pending_) {
+    phase_shift_pending_ = true;
+    return;
+  }
+  phase_shift_pending_ = false;
+
+  // Continuous re-adaptation: revert everything, forget loop verdicts,
+  // restart the epoch machinery against the new phase.
+  ++stats_.phase_changes;
+  for (const auto& deployment : trace_cache_.deployments()) {
+    if (deployment.active) {
+      trace_cache_.Revert(deployment.id);
+      ++stats_.rollbacks;
+    }
+  }
+  history_.clear();
+  epoch_deployments_.clear();
+  epoch_heads_.clear();
+  cpi_accum_ = 0.0;
+  cpi_windows_ = 0;
+  epoch_state_ = EpochState::kMeasureOff;
+  reference_l3_per_inst_ = l3_per_inst;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,172 @@
+// CobraRuntime: the public entry point of the COBRA framework, and the
+// optimization thread that drives it (Section 3.2).
+//
+// Attach it to a running Machine the way the real system is LD_PRELOADed
+// into a process: it spins up one monitoring thread per working thread
+// (fed by the perfmon sampling driver) and a single optimization thread
+// that periodically:
+//   1. aggregates the per-thread profiles into a system-wide view;
+//   2. computes the coherent-access ratio (coherent snoop responses over
+//      bus transactions) and, if it crosses the trigger threshold,
+//   3. walks the hot loops discovered from BTB back-edges, keeps those
+//      that contain prefetches and at least one delinquent load whose
+//      DEAR latencies mark it as a *coherent* miss (the two-level filter
+//      of Section 4),
+//   4. builds an optimized trace per selected loop (noprefetch or
+//      prefetch.excl) in the code cache and redirects the binary, and
+//   5. judges every deployment epoch by *measurement*: global CPI averaged
+//      over several sampling windows before vs after, reverting epochs
+//      that made the program slower — and, in adaptive mode, retrying with
+//      the alternative strategy and re-adapting from scratch when a phase
+//      change is detected (Continuous Binary Re-Adaptation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cobra/insertion.h"
+#include "cobra/monitor.h"
+#include "cobra/optimizer.h"
+#include "cobra/profile.h"
+#include "cobra/trace_cache.h"
+#include "machine/machine.h"
+#include "perfmon/sampling.h"
+
+namespace cobra::core {
+
+struct CobraConfig {
+  // Monitoring.
+  std::uint64_t sampling_period_insts = 2000;
+  std::size_t batch_size = 16;
+  Cycle dear_first_level_threshold = 12;    // > L3 hit latency
+  Cycle coherent_latency_threshold = 180;   // second-level DEAR filter
+  // Cycles charged to a CPU for each delivered batch (signal handling +
+  // buffer copy on that CPU). 0 = free monitoring.
+  Cycle monitor_overhead_cycles = 0;
+
+  // Optimization-thread policy.
+  OptKind strategy = OptKind::kNoprefetch;
+  std::uint64_t batches_per_evaluation = 2;  // wake period
+  double coherent_ratio_threshold = 0.05;    // system-wide trigger
+  std::uint64_t min_loop_hits = 8;           // hotness gate
+  std::uint64_t max_deployments = 64;
+  // Ablation switches for the two selection filters.
+  bool require_coherent_ratio = true;
+  bool require_coherent_load_in_loop = true;
+
+  // Measured-epoch discipline (on by default: COBRA adapts by observation,
+  // not faith). Each epoch measures the global CPI over `epoch_windows`
+  // wake windows, deploys every qualifying loop, lets the system settle,
+  // measures again, and keeps the epoch only if the program did not get
+  // slower. Averaging several windows makes the comparison robust to the
+  // program's rotating phase mix. Samples seen before
+  // `attribution_warmup_samples` per thread are ignored (cold caches).
+  bool measured_epochs = true;
+  int epoch_windows = 6;
+  double epoch_slowdown_threshold = 1.01;   // revert epoch if >1% slower
+  int max_settle_windows = 6;               // deployment phase cap
+  std::uint64_t attribution_warmup_samples = 24;
+
+  // Adaptive strategy mode: a reverted epoch's loops may be retried with
+  // the other optimization; plus phase-change re-adaptation.
+  bool adaptive = false;
+  double phase_change_threshold = 0.60;     // relative L3-per-inst shift
+};
+
+class CobraRuntime {
+ public:
+  CobraRuntime(machine::Machine* machine, CobraConfig config);
+  ~CobraRuntime();
+
+  CobraRuntime(const CobraRuntime&) = delete;
+  CobraRuntime& operator=(const CobraRuntime&) = delete;
+
+  // Starts monitoring a working thread (paper: a monitoring thread is
+  // created when a working thread is forked).
+  void AttachThread(CpuId cpu, int tid);
+  // Convenience: threads 0..n-1 bound to CPUs 0..n-1.
+  void AttachAll(int num_threads);
+  void DetachAll();
+
+  struct Stats {
+    std::uint64_t evaluations = 0;
+    std::uint64_t deployments = 0;
+    std::uint64_t rollbacks = 0;      // deployments reverted by a verdict
+    std::uint64_t epochs_kept = 0;
+    std::uint64_t epochs_reverted = 0;
+    std::uint64_t strategy_switches = 0;
+    std::uint64_t phase_changes = 0;
+    std::uint64_t lfetches_rewritten = 0;
+    std::uint64_t prefetches_inserted = 0;
+    double last_coherent_ratio = 0.0;
+  };
+
+  const Stats& stats() const { return stats_; }
+  const TraceCache& trace_cache() const { return trace_cache_; }
+  const SystemProfile& last_profile() const { return last_profile_; }
+  const std::vector<std::unique_ptr<MonitoringThread>>& monitors() const {
+    return monitors_;
+  }
+  const CobraConfig& config() const { return config_; }
+
+  // Forces an optimization-thread wake-up now (tests; normally it runs on
+  // the batch cadence).
+  void ForceEvaluation() { OptimizationThreadWake(); }
+
+ private:
+  // Measured-epoch state machine.
+  enum class EpochState {
+    kMeasureOff,  // accumulating the pre-deployment CPI baseline
+    kDeploying,   // deploying qualifying loops (until none new, or cap)
+    kMeasureOn,   // accumulating the post-deployment CPI
+    kHold,        // epoch kept; watching for new qualifying loops
+  };
+
+  void OnBatch(int cpu, std::span<const perfmon::Sample> batch);
+  void OptimizationThreadWake();
+  // Deploys every currently qualifying hot loop; returns how many.
+  int DeployQualifying(const SystemProfile& profile);
+  void EpochStep(const SystemProfile& profile, double window_cpi);
+  void PhaseDetect(const CounterTotals& window);
+  void RevertEpoch();
+
+  bool LoopQualifies(const SystemProfile& profile, const LoopCandidate& loop,
+                     std::vector<isa::Addr>* lfetches) const;
+  // Qualification for the ADORE-style insertion strategy: a hot loop with
+  // *no* prefetches whose delinquent loads miss to memory (not coherence)
+  // with a confidently inferred stride.
+  bool LoopQualifiesForInsertion(const SystemProfile& profile,
+                                 const LoopCandidate& loop,
+                                 std::vector<InsertionCandidate>* out) const;
+
+  machine::Machine* machine_;
+  CobraConfig config_;
+  perfmon::SamplingDriver driver_;
+  TraceCache trace_cache_;
+  std::vector<std::unique_ptr<MonitoringThread>> monitors_;
+  Stats stats_;
+  SystemProfile last_profile_;
+  std::uint64_t batches_since_wake_ = 0;
+
+  EpochState epoch_state_ = EpochState::kMeasureOff;
+  double cpi_accum_ = 0.0;
+  int cpi_windows_ = 0;
+  double cpi_off_ = 0.0;            // baseline of the current epoch
+  int settle_windows_ = 0;
+  std::vector<int> epoch_deployments_;
+  std::vector<isa::Addr> epoch_heads_;
+
+  struct LoopHistory {
+    bool tried_noprefetch = false;
+    bool tried_excl = false;
+    bool blacklisted = false;
+  };
+  std::map<isa::Addr, LoopHistory> history_;
+  CounterTotals window_start_{};
+  std::optional<double> reference_l3_per_inst_;
+  bool phase_shift_pending_ = false;  // hysteresis for phase detection
+};
+
+}  // namespace cobra::core

@@ -1,0 +1,100 @@
+#include "cobra/insertion.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/check.h"
+
+namespace cobra::core {
+
+namespace {
+
+// Registers an instruction references, conservatively: every register
+// field is reported whether it names a GR, FR or PR — a scavenged scratch
+// register must avoid all of them.
+void CollectRegisterFields(const isa::Instruction& inst, bool* used) {
+  used[inst.r1] = true;
+  used[inst.r2] = true;
+  used[inst.r3] = true;
+  used[inst.extra] = true;
+}
+
+}  // namespace
+
+std::optional<int> FindFreeScratchGr(const isa::BinaryImage& image,
+                                     isa::Addr begin_bundle,
+                                     isa::Addr end_bundle) {
+  bool used[128] = {};
+  for (isa::Addr bundle = isa::BundleAddr(begin_bundle);
+       bundle <= isa::BundleAddr(end_bundle); bundle += isa::kBundleBytes) {
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      CollectRegisterFields(image.Fetch(isa::MakePc(bundle, slot)), used);
+    }
+  }
+  for (int reg = 8; reg <= 31; ++reg) {
+    if (!used[reg]) return reg;
+  }
+  return std::nullopt;
+}
+
+std::vector<isa::Addr> FindNopSlots(const isa::BinaryImage& image,
+                                    isa::Addr begin_bundle,
+                                    isa::Addr end_bundle) {
+  std::vector<isa::Addr> slots;
+  for (isa::Addr bundle = isa::BundleAddr(begin_bundle);
+       bundle <= isa::BundleAddr(end_bundle); bundle += isa::kBundleBytes) {
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      const isa::Addr pc = isa::MakePc(bundle, slot);
+      if (image.Fetch(pc).op == isa::Opcode::kNop) slots.push_back(pc);
+    }
+  }
+  return slots;
+}
+
+int InsertPrefetches(isa::BinaryImage& image, isa::Addr begin_bundle,
+                     isa::Addr end_bundle,
+                     const std::vector<InsertionCandidate>& candidates,
+                     int target_distance_bytes) {
+  std::vector<isa::Addr> nops =
+      FindNopSlots(image, begin_bundle, end_bundle);
+  int inserted = 0;
+
+  for (const InsertionCandidate& candidate : candidates) {
+    if (candidate.stride == 0) continue;
+    if (nops.size() < 2) break;
+
+    const isa::Instruction load = image.Fetch(candidate.load_pc);
+    if (load.op != isa::Opcode::kLd && load.op != isa::Opcode::kLdf) continue;
+
+    // One scavenged register per insertion (re-scan so earlier insertions'
+    // scratch registers are seen as used).
+    const std::optional<int> scratch =
+        FindFreeScratchGr(image, begin_bundle, end_bundle);
+    if (!scratch.has_value()) break;
+
+    // Address-computation slot must precede the lfetch slot in program
+    // order so the lfetch sees this iteration's address.
+    const isa::Addr add_pc = nops[0];
+    const isa::Addr lfetch_pc = nops[1];
+    nops.erase(nops.begin(), nops.begin() + 2);
+
+    // Prefetch `iterations_ahead` iterations forward, covering roughly the
+    // requested distance (at least one stride ahead).
+    const std::int64_t stride = candidate.stride;
+    const std::int64_t ahead = std::max<std::int64_t>(
+        1, target_distance_bytes / std::max<std::int64_t>(1, std::abs(stride)));
+    const std::int64_t distance = stride * ahead;
+
+    isa::Instruction add = isa::AddImm(*scratch, load.r2, distance);
+    add.qp = load.qp;  // fire exactly when the load's pipeline stage does
+    isa::Instruction lfetch = isa::Lfetch(*scratch);
+    lfetch.qp = load.qp;
+    lfetch.unit = isa::Unit::kM;
+    image.Patch(add_pc, add);
+    image.Patch(lfetch_pc, lfetch);
+    ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,58 @@
+// ADORE-style runtime prefetch *insertion* — the single-threaded ancestor
+// of COBRA (Lu et al. [17], "runtime data cache prefetching in a dynamic
+// optimization system"), which the paper builds on and cites as the source
+// of its delinquent-load methodology.
+//
+// Where COBRA's two headline optimizations remove or re-hint prefetches in
+// aggressively compiled binaries, this optimizer serves the opposite case:
+// a conservatively compiled loop (no lfetches) whose DEAR profile shows
+// delinquent loads with a *steady stride*. It then
+//   1. infers the stride from consecutive DEAR (pc, data address) records,
+//   2. scavenges a dead static general register in the loop body,
+//   3. plants `add rS = dist, r_base ; lfetch.nt1 [rS]` into free nop
+//      slots of the trace copy, predicated like the load itself.
+//
+// Everything operates on the binary level: no recompilation, just slot
+// patches inside the code-cache trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/image.h"
+
+namespace cobra::core {
+
+// A prefetch-insertion candidate: a delinquent load and its inferred
+// access stride (bytes per loop iteration).
+struct InsertionCandidate {
+  isa::Addr load_pc = 0;      // pc within the region to be optimized
+  std::int64_t stride = 0;    // inferred, nonzero
+};
+
+// Scans bundles [begin, end] for a static general register r8..r31 that no
+// instruction reads or writes (conservatively treating every register
+// field as a potential GR reference). Returns std::nullopt if none.
+std::optional<int> FindFreeScratchGr(const isa::BinaryImage& image,
+                                     isa::Addr begin_bundle,
+                                     isa::Addr end_bundle);
+
+// Returns the pcs of rewritable nop slots in [begin, end] (plain nops with
+// qp == 0 or any qp — the insertion copies the load's predicate over).
+std::vector<isa::Addr> FindNopSlots(const isa::BinaryImage& image,
+                                    isa::Addr begin_bundle,
+                                    isa::Addr end_bundle);
+
+// Plants prefetches for the candidates into the region (normally a trace
+// copy). Each candidate consumes one scavenged register and two nop slots:
+// the address computation must precede the lfetch in program order.
+// `target_distance_bytes` is how far ahead to prefetch (rounded to a
+// multiple of the stride, at least one stride). Returns the number of
+// prefetches inserted (candidates are skipped when resources run out).
+int InsertPrefetches(isa::BinaryImage& image, isa::Addr begin_bundle,
+                     isa::Addr end_bundle,
+                     const std::vector<InsertionCandidate>& candidates,
+                     int target_distance_bytes = 1024);
+
+}  // namespace cobra::core

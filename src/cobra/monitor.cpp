@@ -1,0 +1,3 @@
+// MonitoringThread is header-only; this translation unit anchors the
+// component in the build (and hosts future out-of-line additions).
+#include "cobra/monitor.h"

@@ -1,0 +1,61 @@
+#include "cobra/optimizer.h"
+
+#include "support/check.h"
+
+namespace cobra::core {
+
+const char* OptKindName(OptKind kind) {
+  switch (kind) {
+    case OptKind::kNone: return "none";
+    case OptKind::kNoprefetch: return "noprefetch";
+    case OptKind::kPrefetchExcl: return "prefetch.excl";
+    case OptKind::kInsertPrefetch: return "insert-prefetch";
+  }
+  return "?";
+}
+
+std::vector<isa::Addr> FindLfetches(const isa::BinaryImage& image,
+                                    isa::Addr begin_bundle,
+                                    isa::Addr end_bundle) {
+  std::vector<isa::Addr> pcs;
+  for (isa::Addr bundle = isa::BundleAddr(begin_bundle);
+       bundle <= isa::BundleAddr(end_bundle); bundle += isa::kBundleBytes) {
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      const isa::Addr pc = isa::MakePc(bundle, slot);
+      if (image.Fetch(pc).op == isa::Opcode::kLfetch) pcs.push_back(pc);
+    }
+  }
+  return pcs;
+}
+
+int ApplyOptimizationAt(isa::BinaryImage& image,
+                        const std::vector<isa::Addr>& lfetch_pcs,
+                        OptKind kind) {
+  int rewritten = 0;
+  for (const isa::Addr pc : lfetch_pcs) {
+    switch (kind) {
+      case OptKind::kNone:
+      case OptKind::kInsertPrefetch:  // handled by the controller
+        break;
+      case OptKind::kNoprefetch:
+        image.NopOutLfetch(pc);
+        ++rewritten;
+        break;
+      case OptKind::kPrefetchExcl:
+        if (!image.Fetch(pc).lf_hint.excl) {
+          image.SetLfetchExcl(pc, true);
+          ++rewritten;
+        }
+        break;
+    }
+  }
+  return rewritten;
+}
+
+int ApplyOptimization(isa::BinaryImage& image, isa::Addr begin_bundle,
+                      isa::Addr end_bundle, OptKind kind) {
+  return ApplyOptimizationAt(image, FindLfetches(image, begin_bundle, end_bundle),
+                             kind);
+}
+
+}  // namespace cobra::core

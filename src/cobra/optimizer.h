@@ -1,0 +1,45 @@
+// The two binary optimizations of Section 4, applied as bit-level patches
+// over a bundle range (normally a trace-cache copy of a hot loop):
+//
+//   * noprefetch — selectively reduces prefetch aggressiveness: every
+//     lfetch in the range is rewritten to a nop (or to the equivalent
+//     address-increment when the lfetch carried a post-increment);
+//   * prefetch.excl — sets the .excl hint bit on every lfetch in the
+//     range, so prefetched lines are requested in Exclusive state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+
+namespace cobra::core {
+
+enum class OptKind : std::uint8_t {
+  kNone,            // deploy the trace unmodified (measurement baseline)
+  kNoprefetch,
+  kPrefetchExcl,
+  kInsertPrefetch,  // ADORE-style insertion (see insertion.h); the slot
+                    // rewriting itself is driven by the controller, which
+                    // owns the DEAR stride profiles
+};
+
+const char* OptKindName(OptKind kind);
+
+// Returns the pcs of all lfetch slots in [begin_bundle, end_bundle].
+std::vector<isa::Addr> FindLfetches(const isa::BinaryImage& image,
+                                    isa::Addr begin_bundle,
+                                    isa::Addr end_bundle);
+
+// Applies the optimization to every lfetch in the bundle range; returns the
+// number of rewritten slots.
+int ApplyOptimization(isa::BinaryImage& image, isa::Addr begin_bundle,
+                      isa::Addr end_bundle, OptKind kind);
+
+// Selective form: patches exactly the given lfetch slots.
+int ApplyOptimizationAt(isa::BinaryImage& image,
+                        const std::vector<isa::Addr>& lfetch_pcs,
+                        OptKind kind);
+
+}  // namespace cobra::core

@@ -1,0 +1,443 @@
+#include "cpu/core.h"
+
+#include <bit>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace cobra::cpu {
+
+using isa::Addr;
+using isa::Instruction;
+using isa::Opcode;
+
+Core::Core(CpuId id, isa::BinaryImage* image, mem::MainMemory* memory,
+           mem::CacheStack* stack, const mem::CoherenceFabric* fabric)
+    : id_(id),
+      image_(image),
+      memory_(memory),
+      stack_(stack),
+      fabric_(fabric),
+      hpm_(this) {
+  COBRA_CHECK(image != nullptr && memory != nullptr && stack != nullptr &&
+              fabric != nullptr);
+}
+
+void Core::Start(Addr entry) {
+  COBRA_CHECK_MSG(isa::SlotOf(entry) == 0, "entry must be bundle-aligned");
+  pc_ = entry;
+  halted_ = false;
+}
+
+void Core::SetRetireHook(std::uint64_t period_insts,
+                         std::function<void(Core&)> hook) {
+  sample_period_ = period_insts;
+  until_sample_ = period_insts;
+  sample_hook_ = std::move(hook);
+}
+
+std::uint64_t Core::RawEventValue(HpmEvent event) const {
+  const mem::CacheStack::Stats& ss = stack_->stats();
+  const mem::BusEventCounts& bus = fabric_->CpuCounts(id_);
+  switch (event) {
+    case HpmEvent::kCpuCycles: return now_;
+    case HpmEvent::kInstRetired: return retired_;
+    case HpmEvent::kL2Misses: return stack_->L2Misses();
+    case HpmEvent::kL3Misses: return stack_->L3Misses();
+    case HpmEvent::kBusMemory: return bus.bus_memory;
+    case HpmEvent::kBusRdHit: return bus.bus_rd_hit;
+    case HpmEvent::kBusRdHitm: return bus.bus_rd_hitm;
+    case HpmEvent::kBusRdInvalAllHitm: return bus.bus_rd_inval_all_hitm;
+    case HpmEvent::kBusUpgrades: return bus.bus_upgrades;
+    case HpmEvent::kL2Writebacks: return ss.l2_writebacks;
+    case HpmEvent::kLoadsRetired: return ss.loads;
+    case HpmEvent::kStoresRetired: return ss.stores;
+    case HpmEvent::kPrefetchesRetired: return ss.prefetches;
+    case HpmEvent::kEventCount: break;
+  }
+  COBRA_UNREACHABLE("bad HPM event selector");
+}
+
+void Core::Step() {
+  COBRA_CHECK_MSG(!halted_, "stepping a halted core");
+  const Instruction& inst = image_->Fetch(pc_);
+
+  // Issue cost: Itanium 2 issues `issue_width_bundles` bundles per cycle;
+  // charged at slot 0 (branch targets are bundle-aligned, so every executed
+  // bundle passes through slot 0).
+  if (isa::SlotOf(pc_) == 0) {
+    const int width = stack_->config().issue_width_bundles;
+    if (++bundle_credit_ >= width) {
+      bundle_credit_ = 0;
+      ++now_;
+    }
+  }
+
+  Execute(inst);
+  ++retired_;
+
+  if (sample_period_ != 0 && --until_sample_ == 0) {
+    until_sample_ = sample_period_;
+    sample_hook_(*this);
+  }
+}
+
+void Core::TakeBranch(Addr target, bool loop_branch) {
+  btb_.RecordTaken(pc_, target);
+  // Itanium's counted-loop branches (br.ctop/br.cloop/br.wtop) are
+  // perfectly predicted and take no bubble; other taken branches pay one.
+  if (!loop_branch) ++now_;
+  pc_ = isa::BundleAddr(target);
+  bundle_credit_ = 0;  // issue group ends at a taken branch
+}
+
+void Core::DoMemoryOp(const Instruction& inst) {
+  const Addr addr = regs_.ReadGr(inst.r2);
+
+  // Software pipelining / compiler scheduling hides a window of load
+  // latency; only the remainder stalls the core. DEAR observes the full
+  // latency (the hardware captures it at the memory system, not the
+  // pipeline).
+  const Cycle hide = stack_->config().load_hide_cycles;
+  auto Stall = [hide](Cycle latency) {
+    return latency > hide ? latency - hide : 0;
+  };
+
+  switch (inst.op) {
+    case Opcode::kLd: {
+      const std::uint64_t value = memory_->Read(addr, inst.size);
+      regs_.WriteGr(inst.r1, value);
+      const auto result =
+          stack_->Load(addr, inst.size, /*fp=*/false,
+                       inst.ld_hint == isa::LoadHint::kBias, now_);
+      now_ += Stall(result.latency);
+      dear_.Observe(pc_, addr, result.latency);
+      break;
+    }
+    case Opcode::kLdf: {
+      regs_.WriteFr(inst.r1, memory_->ReadDouble(addr));
+      const auto result =
+          stack_->Load(addr, 8, /*fp=*/true, /*bias=*/false, now_);
+      now_ += Stall(result.latency);
+      dear_.Observe(pc_, addr, result.latency);
+      break;
+    }
+    case Opcode::kSt: {
+      std::uint64_t value = regs_.ReadGr(inst.r3);
+      if (inst.size < 8) value &= (1ULL << (inst.size * 8)) - 1;
+      memory_->Write(addr, inst.size, value);
+      now_ += stack_->Store(addr, inst.size, now_).latency;
+      break;
+    }
+    case Opcode::kStf: {
+      memory_->WriteDouble(addr, regs_.ReadFr(inst.r3));
+      now_ += stack_->Store(addr, 8, now_).latency;
+      break;
+    }
+    case Opcode::kLfetch: {
+      // Non-binding and non-faulting: a prefetch past the end of the data
+      // segment (the Figure 2 pathology would fault otherwise) is dropped.
+      if (addr < memory_->size()) {
+        stack_->Prefetch(addr, inst.lf_hint.excl, now_);
+      } else {
+        ++lfetches_dropped_;
+      }
+      break;
+    }
+    default:
+      COBRA_UNREACHABLE("not a memory op");
+  }
+
+  if (inst.post_inc) {
+    regs_.WriteGr(inst.r2, addr + static_cast<std::uint64_t>(inst.imm));
+  }
+}
+
+void Core::DoBranch(const Instruction& inst) {
+  auto Target = [&]() -> Addr {
+    return isa::BundleAddr(pc_) +
+           static_cast<Addr>(inst.imm *
+                             static_cast<std::int64_t>(isa::kBundleBytes));
+  };
+
+  switch (inst.op) {
+    case Opcode::kBrCond:
+      if (regs_.ReadPr(inst.qp)) {
+        TakeBranch(Target(), /*loop_branch=*/false);
+      } else {
+        AdvancePc();
+      }
+      return;
+
+    case Opcode::kBrCloop:
+      if (regs_.lc() != 0) {
+        regs_.set_lc(regs_.lc() - 1);
+        TakeBranch(Target(), /*loop_branch=*/true);
+      } else {
+        AdvancePc();
+      }
+      return;
+
+    case Opcode::kBrCtop:
+      // IA-64 modulo-scheduled counted-loop branch.
+      if (regs_.lc() != 0) {
+        regs_.set_lc(regs_.lc() - 1);
+        regs_.WritePr(63, true);   // becomes p16 after rotation
+        regs_.RotateDown();
+        TakeBranch(Target(), /*loop_branch=*/true);
+      } else if (regs_.ec() > 1) {
+        regs_.set_ec(regs_.ec() - 1);
+        regs_.WritePr(63, false);
+        regs_.RotateDown();
+        TakeBranch(Target(), /*loop_branch=*/true);  // epilogue stages drain
+      } else {
+        if (regs_.ec() != 0) regs_.set_ec(regs_.ec() - 1);
+        regs_.WritePr(63, false);
+        AdvancePc();               // final exit: no rotation
+      }
+      return;
+
+    case Opcode::kBrWtop:
+      // IA-64 modulo-scheduled while-loop branch.
+      if (regs_.ReadPr(inst.qp)) {
+        regs_.WritePr(63, false);
+        regs_.RotateDown();
+        TakeBranch(Target(), /*loop_branch=*/true);
+      } else if (regs_.ec() > 1) {
+        regs_.set_ec(regs_.ec() - 1);
+        regs_.WritePr(63, false);
+        regs_.RotateDown();
+        TakeBranch(Target(), /*loop_branch=*/true);
+      } else {
+        if (regs_.ec() != 0) regs_.set_ec(regs_.ec() - 1);
+        regs_.WritePr(63, false);
+        AdvancePc();
+      }
+      return;
+
+    case Opcode::kBrl:
+      TakeBranch(static_cast<Addr>(inst.imm), /*loop_branch=*/false);
+      return;
+
+    default:
+      COBRA_UNREACHABLE("not a branch");
+  }
+}
+
+void Core::Execute(const Instruction& inst) {
+  // Branch opcodes interpret predicates themselves (br.cond's qp *is* its
+  // condition; br.ctop/br.wtop execute regardless).
+  if (isa::IsBranch(inst.op)) {
+    DoBranch(inst);
+    return;
+  }
+
+  // Qualifying predicate: a squashed instruction still retires but has no
+  // architectural effect (no post-increment either).
+  if (!regs_.ReadPr(inst.qp)) {
+    AdvancePc();
+    return;
+  }
+
+  if (isa::IsMemoryOp(inst.op)) {
+    DoMemoryOp(inst);
+    AdvancePc();
+    return;
+  }
+
+  auto CmpEval = [&](isa::CmpRel rel, std::uint64_t a,
+                     std::uint64_t b) -> bool {
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    switch (rel) {
+      case isa::CmpRel::kEq: return a == b;
+      case isa::CmpRel::kNe: return a != b;
+      case isa::CmpRel::kLt: return sa < sb;
+      case isa::CmpRel::kLe: return sa <= sb;
+      case isa::CmpRel::kGt: return sa > sb;
+      case isa::CmpRel::kGe: return sa >= sb;
+      case isa::CmpRel::kLtu: return a < b;
+      case isa::CmpRel::kGeu: return a >= b;
+    }
+    COBRA_UNREACHABLE("bad cmp relation");
+  };
+
+  auto FCmpEval = [&](isa::FCmpRel rel, double a, double b) -> bool {
+    switch (rel) {
+      case isa::FCmpRel::kEq: return a == b;
+      case isa::FCmpRel::kNe: return a != b;
+      case isa::FCmpRel::kLt: return a < b;
+      case isa::FCmpRel::kLe: return a <= b;
+      case isa::FCmpRel::kGt: return a > b;
+      case isa::FCmpRel::kGe: return a >= b;
+    }
+    COBRA_UNREACHABLE("bad fcmp relation");
+  };
+
+  switch (inst.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kBreak:
+      halted_ = true;
+      return;  // pc stays at the break
+
+    case Opcode::kAddReg:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) + regs_.ReadGr(inst.r3));
+      break;
+    case Opcode::kSubReg:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) - regs_.ReadGr(inst.r3));
+      break;
+    case Opcode::kAddImm:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) +
+                                 static_cast<std::uint64_t>(inst.imm));
+      break;
+    case Opcode::kShlAdd:
+      regs_.WriteGr(inst.r1,
+                    (regs_.ReadGr(inst.r2) << inst.imm) + regs_.ReadGr(inst.r3));
+      break;
+    case Opcode::kAnd:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) & regs_.ReadGr(inst.r3));
+      break;
+    case Opcode::kOr:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) | regs_.ReadGr(inst.r3));
+      break;
+    case Opcode::kXor:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) ^ regs_.ReadGr(inst.r3));
+      break;
+    case Opcode::kAndImm:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) &
+                                 static_cast<std::uint64_t>(inst.imm));
+      break;
+    case Opcode::kOrImm:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) |
+                                 static_cast<std::uint64_t>(inst.imm));
+      break;
+    case Opcode::kShlImm:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) << inst.imm);
+      break;
+    case Opcode::kShrImm:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) >> inst.imm);
+      break;
+    case Opcode::kSarImm:
+      regs_.WriteGr(inst.r1,
+                    static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(regs_.ReadGr(inst.r2)) >>
+                        inst.imm));
+      break;
+    case Opcode::kMovImm:
+      regs_.WriteGr(inst.r1, static_cast<std::uint64_t>(inst.imm));
+      break;
+    case Opcode::kMovReg:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2));
+      break;
+    case Opcode::kSxt4:
+      regs_.WriteGr(inst.r1,
+                    static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                        static_cast<std::int32_t>(regs_.ReadGr(inst.r2)))));
+      break;
+    case Opcode::kZxt4:
+      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) & 0xffffffffULL);
+      break;
+    case Opcode::kCmp: {
+      const bool t =
+          CmpEval(inst.rel, regs_.ReadGr(inst.r2), regs_.ReadGr(inst.r3));
+      regs_.WritePr(inst.p1, t);
+      if (inst.p2 != 0) regs_.WritePr(inst.p2, !t);
+      break;
+    }
+    case Opcode::kCmpImm: {
+      const bool t = CmpEval(inst.rel, regs_.ReadGr(inst.r2),
+                             static_cast<std::uint64_t>(inst.imm));
+      regs_.WritePr(inst.p1, t);
+      if (inst.p2 != 0) regs_.WritePr(inst.p2, !t);
+      break;
+    }
+
+    case Opcode::kMovToAr:
+      if (static_cast<isa::AppReg>(inst.imm) == isa::AppReg::kLC) {
+        regs_.set_lc(regs_.ReadGr(inst.r2));
+      } else {
+        regs_.set_ec(regs_.ReadGr(inst.r2));
+      }
+      break;
+    case Opcode::kMovFromAr:
+      regs_.WriteGr(inst.r1, static_cast<isa::AppReg>(inst.imm) ==
+                                     isa::AppReg::kLC
+                                 ? regs_.lc()
+                                 : regs_.ec());
+      break;
+    case Opcode::kMovToPrRot:
+      regs_.SetRotatingPredicates(static_cast<std::uint64_t>(inst.imm));
+      break;
+    case Opcode::kClrRrb:
+      regs_.ClearRrb();
+      break;
+
+    // IA-64 fma.d and friends are *fused*: a single rounding.
+    case Opcode::kFma:
+      regs_.WriteFr(inst.r1, std::fma(regs_.ReadFr(inst.r2),
+                                      regs_.ReadFr(inst.r3),
+                                      regs_.ReadFr(inst.extra)));
+      break;
+    case Opcode::kFms:
+      regs_.WriteFr(inst.r1, std::fma(regs_.ReadFr(inst.r2),
+                                      regs_.ReadFr(inst.r3),
+                                      -regs_.ReadFr(inst.extra)));
+      break;
+    case Opcode::kFnma:
+      regs_.WriteFr(inst.r1, std::fma(-regs_.ReadFr(inst.r2),
+                                      regs_.ReadFr(inst.r3),
+                                      regs_.ReadFr(inst.extra)));
+      break;
+    case Opcode::kFmov:
+      regs_.WriteFr(inst.r1, regs_.ReadFr(inst.r2));
+      break;
+    case Opcode::kFneg:
+      regs_.WriteFr(inst.r1, -regs_.ReadFr(inst.r2));
+      break;
+    case Opcode::kFabs:
+      regs_.WriteFr(inst.r1, std::fabs(regs_.ReadFr(inst.r2)));
+      break;
+    case Opcode::kFrcpa:
+      regs_.WriteFr(inst.r1, 1.0 / regs_.ReadFr(inst.r2));
+      break;
+    case Opcode::kFsqrt:
+      regs_.WriteFr(inst.r1, std::sqrt(regs_.ReadFr(inst.r2)));
+      break;
+    case Opcode::kFmin:
+      regs_.WriteFr(inst.r1,
+                    std::fmin(regs_.ReadFr(inst.r2), regs_.ReadFr(inst.r3)));
+      break;
+    case Opcode::kFmax:
+      regs_.WriteFr(inst.r1,
+                    std::fmax(regs_.ReadFr(inst.r2), regs_.ReadFr(inst.r3)));
+      break;
+    case Opcode::kFcmp: {
+      const bool t =
+          FCmpEval(inst.frel, regs_.ReadFr(inst.r2), regs_.ReadFr(inst.r3));
+      regs_.WritePr(inst.p1, t);
+      if (inst.p2 != 0) regs_.WritePr(inst.p2, !t);
+      break;
+    }
+    case Opcode::kSetf:
+      regs_.WriteFr(inst.r1, std::bit_cast<double>(regs_.ReadGr(inst.r2)));
+      break;
+    case Opcode::kGetf:
+      regs_.WriteGr(inst.r1, std::bit_cast<std::uint64_t>(regs_.ReadFr(inst.r2)));
+      break;
+    case Opcode::kFcvtFx:
+      // Truncate toward zero (value kept in the FR as a double; see DESIGN).
+      regs_.WriteFr(inst.r1, std::trunc(regs_.ReadFr(inst.r2)));
+      break;
+    case Opcode::kFcvtXf:
+      regs_.WriteFr(inst.r1, regs_.ReadFr(inst.r2));
+      break;
+
+    default:
+      COBRA_UNREACHABLE("unhandled opcode");
+  }
+
+  AdvancePc();
+}
+
+}  // namespace cobra::cpu

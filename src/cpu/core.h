@@ -1,0 +1,105 @@
+// In-order MIA-64 core: functional interpreter + cycle-approximate timing.
+//
+// Timing model (uniform across all code versions, which is what the
+// paper's comparisons require):
+//   * one cycle per bundle issued (the interpreter charges it when it
+//     executes slot 0);
+//   * loads and stores additionally stall the core for the latency the
+//     cache stack reports (misses expose full memory/coherence latency;
+//     an in-flight prefetched line stalls only for the remainder);
+//   * lfetch never stalls (non-binding), but its bus traffic delays
+//     everyone through fabric occupancy;
+//   * taken branches cost one extra cycle.
+//
+// The core implements HpmSource by combining its own retire/cycle counts
+// with its cache stack's statistics and its per-CPU fabric event counts, so
+// the Hpm/Btb/Dear models observe exactly what the hardware would.
+#pragma once
+
+#include <functional>
+
+#include "cpu/hpm.h"
+#include "cpu/regfile.h"
+#include "isa/image.h"
+#include "mem/cache_stack.h"
+#include "mem/coherence.h"
+#include "mem/main_memory.h"
+#include "support/simtypes.h"
+
+namespace cobra::cpu {
+
+class Core final : public HpmSource {
+ public:
+  Core(CpuId id, isa::BinaryImage* image, mem::MainMemory* memory,
+       mem::CacheStack* stack, const mem::CoherenceFabric* fabric);
+
+  CpuId id() const { return id_; }
+
+  // --- Control --------------------------------------------------------------
+  // Unhalts the core and begins execution at `entry` (bundle-aligned).
+  void Start(isa::Addr entry);
+  bool halted() const { return halted_; }
+  isa::Addr pc() const { return pc_; }
+
+  Cycle now() const { return now_; }
+  void set_now(Cycle t) { now_ = t; }
+
+  // Executes exactly one instruction (abort if halted).
+  void Step();
+
+  // --- State ------------------------------------------------------------------
+  RegisterFile& regs() { return regs_; }
+  const RegisterFile& regs() const { return regs_; }
+  Hpm& hpm() { return hpm_; }
+  Btb& btb() { return btb_; }
+  const Btb& btb() const { return btb_; }
+  Dear& dear() { return dear_; }
+  const Dear& dear() const { return dear_; }
+  mem::CacheStack& stack() { return *stack_; }
+
+  std::uint64_t instructions_retired() const { return retired_; }
+  std::uint64_t lfetches_dropped() const { return lfetches_dropped_; }
+
+  // --- Sampling hook (perfmon driver) ----------------------------------------
+  // Invokes `hook` every `period_insts` retired instructions. A period of 0
+  // disables sampling.
+  void SetRetireHook(std::uint64_t period_insts,
+                     std::function<void(Core&)> hook);
+
+  // --- HpmSource ---------------------------------------------------------------
+  std::uint64_t RawEventValue(HpmEvent event) const override;
+
+ private:
+  void Execute(const isa::Instruction& inst);
+  void AdvancePc() {
+    const unsigned slot = isa::SlotOf(pc_);
+    pc_ = slot < 2 ? pc_ + 1 : isa::BundleAddr(pc_) + isa::kBundleBytes;
+  }
+  void TakeBranch(isa::Addr target, bool loop_branch);
+  void DoMemoryOp(const isa::Instruction& inst);
+  void DoBranch(const isa::Instruction& inst);
+
+  CpuId id_;
+  isa::BinaryImage* image_;
+  mem::MainMemory* memory_;
+  mem::CacheStack* stack_;
+  const mem::CoherenceFabric* fabric_;
+
+  RegisterFile regs_;
+  Hpm hpm_;
+  Btb btb_;
+  Dear dear_;
+
+  isa::Addr pc_ = 0;
+  bool halted_ = true;
+  int bundle_credit_ = 0;
+  Cycle now_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t lfetches_dropped_ = 0;
+
+  std::uint64_t sample_period_ = 0;
+  std::uint64_t until_sample_ = 0;
+  std::function<void(Core&)> sample_hook_;
+};
+
+}  // namespace cobra::cpu

@@ -1,0 +1,38 @@
+#include "cpu/hpm.h"
+
+namespace cobra::cpu {
+
+void Hpm::Select(int idx, HpmEvent event) {
+  COBRA_CHECK(idx >= 0 && idx < kNumHpmCounters);
+  counters_[static_cast<std::size_t>(idx)].event = event;
+  counters_[static_cast<std::size_t>(idx)].baseline =
+      source_->RawEventValue(event);
+}
+
+HpmEvent Hpm::SelectedEvent(int idx) const {
+  COBRA_CHECK(idx >= 0 && idx < kNumHpmCounters);
+  return counters_[static_cast<std::size_t>(idx)].event;
+}
+
+std::uint64_t Hpm::Read(int idx) const {
+  COBRA_CHECK(idx >= 0 && idx < kNumHpmCounters);
+  const Counter& c = counters_[static_cast<std::size_t>(idx)];
+  return source_->RawEventValue(c.event) - c.baseline;
+}
+
+void Hpm::ResetCounters() {
+  for (Counter& c : counters_) c.baseline = source_->RawEventValue(c.event);
+}
+
+std::array<Btb::Entry, Btb::kEntries> Btb::Snapshot() const {
+  std::array<Entry, kEntries> out{};
+  for (int i = 0; i < count_; ++i) {
+    // Oldest entry first.
+    out[static_cast<std::size_t>(i)] =
+        ring_[static_cast<std::size_t>((head_ + kEntries - count_ + i) %
+                                       kEntries)];
+  }
+  return out;
+}
+
+}  // namespace cobra::cpu

@@ -1,0 +1,85 @@
+// MIA-64 architectural register file, including the rotating register
+// machinery that IA-64 software pipelining is built on.
+//
+// General registers r32..r127, floating registers f32..f127 and predicate
+// registers p16..p63 rotate: a logical register name maps to a physical
+// slot offset by the rotating register base (RRB), and the modulo-scheduled
+// loop branches decrement the RRBs so that a value written to r32 in one
+// iteration is read as r33 in the next.  This is exactly the mechanism the
+// icc-generated DAXPY kernel in the paper's Figure 2 uses to alternate
+// prefetch target addresses between the x[] and y[] streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/types.h"
+#include "support/check.h"
+
+namespace cobra::cpu {
+
+class RegisterFile {
+ public:
+  RegisterFile();
+
+  // --- General registers ---------------------------------------------------
+  std::uint64_t ReadGr(int r) const;
+  void WriteGr(int r, std::uint64_t value);
+
+  // --- Floating registers (hold doubles; f0 = +0.0, f1 = 1.0) --------------
+  double ReadFr(int r) const;
+  void WriteFr(int r, double value);
+
+  // --- Predicate registers (p0 hardwired to 1) -----------------------------
+  bool ReadPr(int p) const;
+  void WritePr(int p, bool value);
+
+  // Sets the 48 rotating predicates from a bit mask: bit i -> p(16+i)
+  // (mov pr.rot = imm).
+  void SetRotatingPredicates(std::uint64_t mask);
+
+  // --- Application registers ------------------------------------------------
+  std::uint64_t lc() const { return lc_; }
+  void set_lc(std::uint64_t v) { lc_ = v; }
+  std::uint64_t ec() const { return ec_; }
+  void set_ec(std::uint64_t v) { ec_ = v; }
+
+  // --- Rotation --------------------------------------------------------------
+  // Decrements all three RRBs (the effect of a taken br.ctop/br.wtop).
+  void RotateDown();
+  // Resets all RRBs to zero (clrrrb).
+  void ClearRrb();
+  int rrb_gr() const { return rrb_gr_; }
+  int rrb_pr() const { return rrb_pr_; }
+
+  // Resets every register, predicate, AR and RRB to the power-on state.
+  void Reset();
+
+ private:
+  int PhysGr(int r) const {
+    if (r < isa::kFirstRotGr) return r;
+    return isa::kFirstRotGr +
+           (r - isa::kFirstRotGr + rrb_gr_) % isa::kNumRotGr;
+  }
+  int PhysFr(int r) const {
+    if (r < isa::kFirstRotFr) return r;
+    return isa::kFirstRotFr +
+           (r - isa::kFirstRotFr + rrb_fr_) % isa::kNumRotFr;
+  }
+  int PhysPr(int p) const {
+    if (p < isa::kFirstRotPr) return p;
+    return isa::kFirstRotPr +
+           (p - isa::kFirstRotPr + rrb_pr_) % isa::kNumRotPr;
+  }
+
+  std::array<std::uint64_t, isa::kNumGr> gr_{};
+  std::array<double, isa::kNumFr> fr_{};
+  std::array<bool, isa::kNumPr> pr_{};
+  std::uint64_t lc_ = 0;
+  std::uint64_t ec_ = 0;
+  int rrb_gr_ = 0;
+  int rrb_fr_ = 0;
+  int rrb_pr_ = 0;
+};
+
+}  // namespace cobra::cpu

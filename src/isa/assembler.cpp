@@ -1,0 +1,84 @@
+#include "isa/assembler.h"
+
+#include "support/check.h"
+
+namespace cobra::isa {
+
+Assembler::Assembler(BinaryImage* image) : image_(image) {
+  COBRA_CHECK(image != nullptr);
+}
+
+Assembler::Label Assembler::NewLabel() {
+  labels_.push_back(kUnset);
+  return static_cast<Label>(labels_.size() - 1);
+}
+
+void Assembler::Bind(Label label) {
+  COBRA_CHECK(label >= 0 && static_cast<std::size_t>(label) < labels_.size());
+  COBRA_CHECK_MSG(labels_[label] == kUnset, "label bound twice");
+  FlushBundle();
+  labels_[label] = image_->code_end();
+  if (first_bundle_ == kUnset) first_bundle_ = labels_[label];
+}
+
+Addr Assembler::NextBundleAddr() const {
+  return image_->code_end() +
+         (pending_.empty() ? 0 : kBundleBytes);  // open bundle flushes first
+}
+
+void Assembler::Emit(const Instruction& inst) {
+  COBRA_CHECK(!finished_);
+  if (first_bundle_ == kUnset && pending_.empty()) {
+    first_bundle_ = image_->code_end();
+  }
+  pending_.push_back(inst);
+  if (pending_.size() == 3) FlushBundle();
+}
+
+Addr Assembler::EmitBranch(Instruction br, Label label) {
+  COBRA_CHECK(!finished_);
+  COBRA_CHECK(IsBranch(br.op));
+  COBRA_CHECK(label >= 0 && static_cast<std::size_t>(label) < labels_.size());
+  if (first_bundle_ == kUnset && pending_.empty()) {
+    first_bundle_ = image_->code_end();
+  }
+  // Pad so the branch occupies slot 2.
+  while (pending_.size() < 2) pending_.push_back(Nop(Unit::kI));
+  pending_.push_back(br);
+  const Addr bundle = image_->code_end();
+  FlushBundle();
+  fixups_.push_back(Fixup{MakePc(bundle, 2), label});
+  return MakePc(bundle, 2);
+}
+
+void Assembler::FlushBundle() {
+  if (pending_.empty()) return;
+  while (pending_.size() < 3) pending_.push_back(Nop(Unit::kI));
+  image_->AppendBundle(pending_[0], pending_[1], pending_[2]);
+  pending_.clear();
+}
+
+Addr Assembler::Finish() {
+  COBRA_CHECK(!finished_);
+  FlushBundle();
+  finished_ = true;
+  for (const Fixup& fixup : fixups_) {
+    COBRA_CHECK_MSG(labels_[fixup.label] != kUnset,
+                    "branch to an unbound label");
+    Instruction br = image_->Fetch(fixup.branch_pc);
+    if (br.op == Opcode::kBrl) {
+      br.imm = static_cast<std::int64_t>(labels_[fixup.label]);
+    } else {
+      const std::int64_t disp =
+          (static_cast<std::int64_t>(labels_[fixup.label]) -
+           static_cast<std::int64_t>(BundleAddr(fixup.branch_pc))) /
+          static_cast<std::int64_t>(kBundleBytes);
+      br.imm = disp;
+    }
+    image_->Patch(fixup.branch_pc, br);
+  }
+  COBRA_CHECK_MSG(first_bundle_ != kUnset, "assembler emitted nothing");
+  return first_bundle_;
+}
+
+}  // namespace cobra::isa

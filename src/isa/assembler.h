@@ -1,0 +1,72 @@
+// A small structured assembler over BinaryImage.
+//
+// Handles bundle formation (3 slots, nop padding), labels, and branch
+// displacement fixups.  Branch targets are bundle-aligned; branches are
+// forced into slot 2 of their bundle (matching the MIB/MFB/MMB templates
+// compilers actually emit for loop back-edges).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/image.h"
+#include "isa/instruction.h"
+
+namespace cobra::isa {
+
+class Assembler {
+ public:
+  explicit Assembler(BinaryImage* image);
+
+  using Label = int;
+
+  // Creates a fresh unbound label.
+  Label NewLabel();
+
+  // Binds `label` to the next bundle boundary (flushing any open bundle).
+  void Bind(Label label);
+
+  // Appends one instruction to the open bundle, flushing it when full.
+  void Emit(const Instruction& inst);
+
+  // Emits a branch targeting `label`; pads the open bundle so the branch
+  // lands in slot 2, and records a displacement fixup. The branch `imm`
+  // field is overwritten when the label is resolved. Returns the pc of the
+  // branch slot.
+  Addr EmitBranch(Instruction br, Label label);
+
+  // Address of the next slot Emit() would fill (the open bundle's next
+  // slot, or slot 0 of the next bundle).
+  Addr CurrentPc() const {
+    return MakePc(image_->code_end(), static_cast<unsigned>(pending_.size()));
+  }
+
+  // Pads the open bundle with unit-appropriate nops and flushes it.
+  void FlushBundle();
+
+  // Flushes and resolves all fixups; aborts if any label is unbound.
+  // Returns the address of the first bundle emitted by this assembler.
+  Addr Finish();
+
+  // Address the next emitted bundle will occupy (flushes nothing).
+  Addr NextBundleAddr() const;
+
+  BinaryImage* image() { return image_; }
+
+ private:
+  struct Fixup {
+    Addr branch_pc = 0;  // slot holding the branch
+    Label label = -1;
+  };
+
+  static constexpr Addr kUnset = ~Addr{0};
+
+  BinaryImage* image_;
+  Addr first_bundle_ = kUnset;
+  std::vector<Instruction> pending_;
+  std::vector<Addr> labels_;  // label -> bundle address (kUnset if unbound)
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+}  // namespace cobra::isa

@@ -1,0 +1,240 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+#include "support/check.h"
+
+namespace cobra::isa {
+
+namespace {
+
+std::string Gr(int r) { return "r" + std::to_string(r); }
+std::string Fr(int r) { return "f" + std::to_string(r); }
+std::string Prn(int r) { return "p" + std::to_string(r); }
+
+std::string Imm(std::int64_t v) { return std::to_string(v); }
+
+const char* RelName(CmpRel rel) {
+  switch (rel) {
+    case CmpRel::kEq: return "eq";
+    case CmpRel::kNe: return "ne";
+    case CmpRel::kLt: return "lt";
+    case CmpRel::kLe: return "le";
+    case CmpRel::kGt: return "gt";
+    case CmpRel::kGe: return "ge";
+    case CmpRel::kLtu: return "ltu";
+    case CmpRel::kGeu: return "geu";
+  }
+  return "?";
+}
+
+const char* FRelName(FCmpRel rel) {
+  switch (rel) {
+    case FCmpRel::kEq: return "eq";
+    case FCmpRel::kNe: return "neq";
+    case FCmpRel::kLt: return "lt";
+    case FCmpRel::kLe: return "le";
+    case FCmpRel::kGt: return "gt";
+    case FCmpRel::kGe: return "ge";
+  }
+  return "?";
+}
+
+const char* UnitName(Unit unit) {
+  switch (unit) {
+    case Unit::kM: return "m";
+    case Unit::kI: return "i";
+    case Unit::kF: return "f";
+    case Unit::kB: return "b";
+  }
+  return "?";
+}
+
+std::string LfetchMnemonic(const LfetchHint& hint) {
+  std::string out = "lfetch";
+  if (hint.fault) out += ".fault";
+  if (hint.excl) out += ".excl";
+  switch (hint.temporal) {
+    case Temporal::kNone: break;
+    case Temporal::kNt1: out += ".nt1"; break;
+    case Temporal::kNt2: out += ".nt2"; break;
+    case Temporal::kNta: out += ".nta"; break;
+  }
+  return out;
+}
+
+std::string MemRef(const Instruction& inst) {
+  std::string out = "[" + Gr(inst.r2) + "]";
+  if (inst.post_inc) out += "," + Imm(inst.imm);
+  return out;
+}
+
+std::string BranchTarget(const Instruction& inst, Addr pc) {
+  if (inst.op == Opcode::kBrl) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(inst.imm));
+    return buf;
+  }
+  if (pc != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(
+                      BundleAddr(pc) +
+                      static_cast<Addr>(inst.imm * static_cast<std::int64_t>(
+                                                       kBundleBytes))));
+    return buf;
+  }
+  return ".b+(" + Imm(inst.imm) + ")";
+}
+
+std::string Body(const Instruction& inst, Addr pc) {
+  switch (inst.op) {
+    case Opcode::kNop:
+      return std::string("nop.") + UnitName(inst.unit) + " 0";
+    case Opcode::kAddReg:
+      return "add " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," + Gr(inst.r3);
+    case Opcode::kSubReg:
+      return "sub " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," + Gr(inst.r3);
+    case Opcode::kAddImm:
+      return "add " + Gr(inst.r1) + "=" + Imm(inst.imm) + "," + Gr(inst.r2);
+    case Opcode::kShlAdd:
+      return "shladd " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," +
+             Imm(inst.imm) + "," + Gr(inst.r3);
+    case Opcode::kAnd:
+      return "and " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," + Gr(inst.r3);
+    case Opcode::kOr:
+      return "or " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," + Gr(inst.r3);
+    case Opcode::kXor:
+      return "xor " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," + Gr(inst.r3);
+    case Opcode::kAndImm:
+      return "and " + Gr(inst.r1) + "=" + Imm(inst.imm) + "," + Gr(inst.r2);
+    case Opcode::kOrImm:
+      return "or " + Gr(inst.r1) + "=" + Imm(inst.imm) + "," + Gr(inst.r2);
+    case Opcode::kShlImm:
+      return "shl " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," + Imm(inst.imm);
+    case Opcode::kShrImm:
+      return "shr.u " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," + Imm(inst.imm);
+    case Opcode::kSarImm:
+      return "shr " + Gr(inst.r1) + "=" + Gr(inst.r2) + "," + Imm(inst.imm);
+    case Opcode::kMovImm:
+      return "movl " + Gr(inst.r1) + "=" + Imm(inst.imm);
+    case Opcode::kMovReg:
+      return "mov " + Gr(inst.r1) + "=" + Gr(inst.r2);
+    case Opcode::kSxt4:
+      return "sxt4 " + Gr(inst.r1) + "=" + Gr(inst.r2);
+    case Opcode::kZxt4:
+      return "zxt4 " + Gr(inst.r1) + "=" + Gr(inst.r2);
+    case Opcode::kCmp:
+      return std::string("cmp.") + RelName(inst.rel) + " " + Prn(inst.p1) +
+             "," + Prn(inst.p2) + "=" + Gr(inst.r2) + "," + Gr(inst.r3);
+    case Opcode::kCmpImm:
+      return std::string("cmp.") + RelName(inst.rel) + " " + Prn(inst.p1) +
+             "," + Prn(inst.p2) + "=" + Imm(inst.imm) + "," + Gr(inst.r2);
+    case Opcode::kMovToAr:
+      return std::string("mov ar.") +
+             (static_cast<AppReg>(inst.imm) == AppReg::kLC ? "lc" : "ec") +
+             "=" + Gr(inst.r2);
+    case Opcode::kMovFromAr:
+      return "mov " + Gr(inst.r1) + "=ar." +
+             (static_cast<AppReg>(inst.imm) == AppReg::kLC ? "lc" : "ec");
+    case Opcode::kMovToPrRot:
+      return "mov pr.rot=" + Imm(inst.imm);
+    case Opcode::kClrRrb:
+      return "clrrrb";
+    case Opcode::kLd: {
+      std::string mnem = "ld" + std::to_string(inst.size);
+      if (inst.ld_hint == LoadHint::kBias) mnem += ".bias";
+      if (inst.ld_hint == LoadHint::kAcq) mnem += ".acq";
+      return mnem + " " + Gr(inst.r1) + "=" + MemRef(inst);
+    }
+    case Opcode::kSt:
+      return "st" + std::to_string(inst.size) + " " + MemRef(inst) + "=" +
+             Gr(inst.r3);
+    case Opcode::kLdf:
+      return "ldfd " + Fr(inst.r1) + "=" + MemRef(inst);
+    case Opcode::kStf:
+      return "stfd " + MemRef(inst) + "=" + Fr(inst.r3);
+    case Opcode::kLfetch:
+      return LfetchMnemonic(inst.lf_hint) + " " + MemRef(inst);
+    case Opcode::kFma:
+      return "fma.d " + Fr(inst.r1) + "=" + Fr(inst.r2) + "," + Fr(inst.r3) +
+             "," + Fr(inst.extra);
+    case Opcode::kFms:
+      return "fms.d " + Fr(inst.r1) + "=" + Fr(inst.r2) + "," + Fr(inst.r3) +
+             "," + Fr(inst.extra);
+    case Opcode::kFnma:
+      return "fnma.d " + Fr(inst.r1) + "=" + Fr(inst.r2) + "," + Fr(inst.r3) +
+             "," + Fr(inst.extra);
+    case Opcode::kFmov:
+      return "mov " + Fr(inst.r1) + "=" + Fr(inst.r2);
+    case Opcode::kFneg:
+      return "fneg " + Fr(inst.r1) + "=" + Fr(inst.r2);
+    case Opcode::kFabs:
+      return "fabs " + Fr(inst.r1) + "=" + Fr(inst.r2);
+    case Opcode::kFrcpa:
+      return "frcpa.d " + Fr(inst.r1) + "=" + Fr(inst.r2);
+    case Opcode::kFsqrt:
+      return "fsqrt.d " + Fr(inst.r1) + "=" + Fr(inst.r2);
+    case Opcode::kFmin:
+      return "fmin.d " + Fr(inst.r1) + "=" + Fr(inst.r2) + "," + Fr(inst.r3);
+    case Opcode::kFmax:
+      return "fmax.d " + Fr(inst.r1) + "=" + Fr(inst.r2) + "," + Fr(inst.r3);
+    case Opcode::kFcmp:
+      return std::string("fcmp.") + FRelName(inst.frel) + " " + Prn(inst.p1) +
+             "," + Prn(inst.p2) + "=" + Fr(inst.r2) + "," + Fr(inst.r3);
+    case Opcode::kSetf:
+      return "setf.d " + Fr(inst.r1) + "=" + Gr(inst.r2);
+    case Opcode::kGetf:
+      return "getf.d " + Gr(inst.r1) + "=" + Fr(inst.r2);
+    case Opcode::kFcvtFx:
+      return "fcvt.fx " + Fr(inst.r1) + "=" + Fr(inst.r2);
+    case Opcode::kFcvtXf:
+      return "fcvt.xf " + Fr(inst.r1) + "=" + Fr(inst.r2);
+    case Opcode::kBrCond:
+      return "br.cond.sptk " + BranchTarget(inst, pc);
+    case Opcode::kBrCloop:
+      return "br.cloop.sptk " + BranchTarget(inst, pc);
+    case Opcode::kBrCtop:
+      return "br.ctop.sptk " + BranchTarget(inst, pc);
+    case Opcode::kBrWtop:
+      return "br.wtop.sptk " + BranchTarget(inst, pc);
+    case Opcode::kBrl:
+      return "brl.sptk " + BranchTarget(inst, pc);
+    case Opcode::kBreak:
+      return "break.b 0";
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  COBRA_UNREACHABLE("bad opcode in disassembler");
+}
+
+}  // namespace
+
+std::string Disassemble(const Instruction& inst, Addr pc) {
+  std::string out;
+  if (inst.qp != 0) {
+    out = "(" + Prn(inst.qp) + ") ";
+  }
+  out += Body(inst, pc);
+  return out;
+}
+
+std::string DisassembleRange(const BinaryImage& image, Addr begin, Addr end) {
+  std::string out;
+  char buf[64];
+  for (Addr bundle = BundleAddr(begin); bundle < end; bundle += kBundleBytes) {
+    std::snprintf(buf, sizeof buf, "0x%08llx:\n",
+                  static_cast<unsigned long long>(bundle));
+    out += buf;
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      const Addr pc = MakePc(bundle, slot);
+      out += "    ";
+      out += Disassemble(image.Fetch(pc), pc);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cobra::isa

@@ -1,0 +1,22 @@
+// Disassembler: renders MIA-64 instructions in Itanium assembly syntax,
+// e.g. `(p16) ldfd f32=[r33],8` / `lfetch.excl.nt1 [r43]` /
+// `br.ctop.sptk .b+(-3)`.  Used by the Figure 2 harness, by COBRA's
+// optimizer logging, and by tests that pin the generated code shape.
+#pragma once
+
+#include <string>
+
+#include "isa/image.h"
+#include "isa/instruction.h"
+
+namespace cobra::isa {
+
+// Renders one instruction. `pc` (if nonzero) lets relative branch targets
+// be printed as absolute addresses.
+std::string Disassemble(const Instruction& inst, Addr pc = 0);
+
+// Renders a [begin, end) bundle-address range of an image, one bundle per
+// line group with IA-64-style braces.
+std::string DisassembleRange(const BinaryImage& image, Addr begin, Addr end);
+
+}  // namespace cobra::isa

@@ -1,0 +1,148 @@
+#include "isa/encoding.h"
+
+#include "support/check.h"
+
+namespace cobra::isa {
+
+namespace {
+
+using namespace enc;
+
+constexpr std::uint64_t Mask(int bits) { return (1ULL << bits) - 1; }
+
+std::uint64_t Field(std::uint64_t value, int shift, int bits) {
+  COBRA_CHECK_MSG(value <= Mask(bits), "encoding field overflow");
+  return value << shift;
+}
+
+std::uint64_t Extract(std::uint64_t word, int shift, int bits) {
+  return (word >> shift) & Mask(bits);
+}
+
+int SizeLog2(int size) {
+  switch (size) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    case 8: return 3;
+    default: COBRA_UNREACHABLE("bad memory size");
+  }
+}
+
+}  // namespace
+
+EncodedSlot Encode(const Instruction& inst) {
+  COBRA_CHECK(inst.op < Opcode::kOpcodeCount);
+
+  // The extra field is shared: fma-family addend register, or comparison
+  // relation for cmp/fcmp.  The temporal field doubles as the load hint.
+  std::uint64_t extra = inst.extra;
+  std::uint64_t temporal = static_cast<std::uint64_t>(inst.lf_hint.temporal);
+  switch (inst.op) {
+    case Opcode::kCmp:
+    case Opcode::kCmpImm:
+      extra = static_cast<std::uint64_t>(inst.rel);
+      break;
+    case Opcode::kFcmp:
+      extra = static_cast<std::uint64_t>(inst.frel);
+      break;
+    case Opcode::kLd:
+      temporal = static_cast<std::uint64_t>(inst.ld_hint);
+      break;
+    default:
+      break;
+  }
+
+  EncodedSlot slot;
+  slot.head = Field(static_cast<std::uint64_t>(inst.op), kOpcodeShift, kOpcodeBits) |
+              Field(inst.qp, kQpShift, kQpBits) |
+              Field(static_cast<std::uint64_t>(inst.unit), kUnitShift, kUnitBits) |
+              Field(inst.r1, kR1Shift, kR1Bits) |
+              Field(inst.r2, kR2Shift, kR2Bits) |
+              Field(inst.r3, kR3Shift, kR3Bits) |
+              Field(extra, kExtraShift, kExtraBits) |
+              Field(inst.p1, kP1Shift, kP1Bits) |
+              Field(inst.p2, kP2Shift, kP2Bits) |
+              Field(static_cast<std::uint64_t>(SizeLog2(inst.size)), kSizeShift,
+                    kSizeBits) |
+              (inst.post_inc ? (1ULL << kPostIncShift) : 0) |
+              (inst.lf_hint.excl ? (1ULL << kExclShift) : 0) |
+              (inst.lf_hint.fault ? (1ULL << kFaultShift) : 0) |
+              Field(temporal, kTemporalShift, kTemporalBits);
+  slot.imm = inst.imm;
+  return slot;
+}
+
+Instruction Decode(const EncodedSlot& slot) {
+  using namespace enc;
+  COBRA_CHECK_MSG((slot.head >> 62) == 0, "reserved encoding bits set");
+
+  Instruction inst;
+  const auto op_raw = Extract(slot.head, kOpcodeShift, kOpcodeBits);
+  COBRA_CHECK_MSG(op_raw < static_cast<std::uint64_t>(Opcode::kOpcodeCount),
+                  "invalid opcode field");
+  inst.op = static_cast<Opcode>(op_raw);
+  inst.qp = static_cast<std::uint8_t>(Extract(slot.head, kQpShift, kQpBits));
+  inst.unit = static_cast<Unit>(Extract(slot.head, kUnitShift, kUnitBits));
+  inst.r1 = static_cast<std::uint8_t>(Extract(slot.head, kR1Shift, kR1Bits));
+  inst.r2 = static_cast<std::uint8_t>(Extract(slot.head, kR2Shift, kR2Bits));
+  inst.r3 = static_cast<std::uint8_t>(Extract(slot.head, kR3Shift, kR3Bits));
+  inst.p1 = static_cast<std::uint8_t>(Extract(slot.head, kP1Shift, kP1Bits));
+  inst.p2 = static_cast<std::uint8_t>(Extract(slot.head, kP2Shift, kP2Bits));
+  inst.size = static_cast<std::uint8_t>(
+      1u << Extract(slot.head, kSizeShift, kSizeBits));
+  inst.post_inc = (slot.head >> kPostIncShift) & 1;
+  inst.lf_hint.excl = (slot.head >> kExclShift) & 1;
+  inst.lf_hint.fault = (slot.head >> kFaultShift) & 1;
+  inst.imm = slot.imm;
+
+  const auto extra = Extract(slot.head, kExtraShift, kExtraBits);
+  const auto temporal = Extract(slot.head, kTemporalShift, kTemporalBits);
+  switch (inst.op) {
+    case Opcode::kCmp:
+    case Opcode::kCmpImm:
+      inst.rel = static_cast<CmpRel>(extra);
+      break;
+    case Opcode::kFcmp:
+      inst.frel = static_cast<FCmpRel>(extra);
+      break;
+    case Opcode::kLd:
+      inst.ld_hint = static_cast<LoadHint>(temporal);
+      break;
+    default:
+      inst.extra = static_cast<std::uint8_t>(extra);
+      inst.lf_hint.temporal = static_cast<Temporal>(temporal);
+      break;
+  }
+  // Normalize fields that are meaningless for this opcode so that
+  // Encode(Decode(x)) == x and Decode(Encode(i)) == i hold for helper-built
+  // instructions (which leave such fields defaulted).
+  if (inst.op != Opcode::kLfetch) {
+    inst.lf_hint = LfetchHint{};
+    if (inst.op != Opcode::kNop && inst.op != Opcode::kBreak &&
+        inst.op != Opcode::kClrRrb) {
+      // keep decoded hint bits only where they matter
+    }
+  }
+  if (inst.op == Opcode::kLfetch) {
+    inst.lf_hint.temporal = static_cast<Temporal>(temporal);
+    inst.lf_hint.excl = (slot.head >> kExclShift) & 1;
+    inst.lf_hint.fault = (slot.head >> kFaultShift) & 1;
+  }
+  return inst;
+}
+
+Opcode OpcodeOf(std::uint64_t head) {
+  using namespace enc;
+  return static_cast<Opcode>(Extract(head, kOpcodeShift, kOpcodeBits));
+}
+
+bool IsLfetchHead(std::uint64_t head) {
+  return OpcodeOf(head) == Opcode::kLfetch;
+}
+
+bool LfetchExclOf(std::uint64_t head) {
+  return (head & enc::kExclBit) != 0;
+}
+
+}  // namespace cobra::isa

@@ -1,0 +1,75 @@
+// Binary encoding of MIA-64 instructions.
+//
+// Each instruction slot is encoded as a 128-bit pair: a `head` word holding
+// the opcode and register/hint fields, and an `imm` word holding the full
+// 64-bit immediate (movl-style).  COBRA's runtime optimizers operate on
+// these words in place: `noprefetch` rewrites an lfetch head into a nop (or
+// an add, when the lfetch carried a post-increment), and `prefetch.excl`
+// flips the EXCL hint bit — exactly the bit-level patching a real binary
+// optimizer performs on IA-64 bundles.
+//
+// Head-word layout (LSB first):
+//   [0:6]    opcode          (7 bits)
+//   [7:12]   qp              (6 bits)
+//   [13:14]  unit            (2 bits)
+//   [15:21]  r1              (7 bits)
+//   [22:28]  r2              (7 bits)
+//   [29:35]  r3              (7 bits)
+//   [36:42]  extra / rel     (7 bits; fma addend, or cmp/fcmp relation)
+//   [43:48]  p1              (6 bits)
+//   [49:54]  p2              (6 bits)
+//   [55:56]  size log2       (2 bits)
+//   [57]     post_inc
+//   [58]     lfetch EXCL hint     <-- the bit COBRA's optimizer toggles
+//   [59]     lfetch fault hint
+//   [60:61]  temporal / ld_hint   (2 bits; meaning depends on opcode)
+//   [62:63]  reserved (must be zero)
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace cobra::isa {
+
+struct EncodedSlot {
+  std::uint64_t head = 0;
+  std::int64_t imm = 0;
+
+  friend bool operator==(const EncodedSlot&, const EncodedSlot&) = default;
+};
+
+// Bit positions, exported so the runtime patcher and its tests can reason
+// about the encoding without duplicating magic numbers.
+namespace enc {
+inline constexpr int kOpcodeShift = 0, kOpcodeBits = 7;
+inline constexpr int kQpShift = 7, kQpBits = 6;
+inline constexpr int kUnitShift = 13, kUnitBits = 2;
+inline constexpr int kR1Shift = 15, kR1Bits = 7;
+inline constexpr int kR2Shift = 22, kR2Bits = 7;
+inline constexpr int kR3Shift = 29, kR3Bits = 7;
+inline constexpr int kExtraShift = 36, kExtraBits = 7;
+inline constexpr int kP1Shift = 43, kP1Bits = 6;
+inline constexpr int kP2Shift = 49, kP2Bits = 6;
+inline constexpr int kSizeShift = 55, kSizeBits = 2;
+inline constexpr int kPostIncShift = 57;
+inline constexpr int kExclShift = 58;
+inline constexpr int kFaultShift = 59;
+inline constexpr int kTemporalShift = 60, kTemporalBits = 2;
+
+inline constexpr std::uint64_t kExclBit = 1ULL << kExclShift;
+}  // namespace enc
+
+// Encodes a decoded instruction. Aborts on malformed fields.
+EncodedSlot Encode(const Instruction& inst);
+
+// Decodes an encoded slot. Aborts if the opcode field is invalid or a
+// reserved bit is set (catches corrupted patches early).
+Instruction Decode(const EncodedSlot& slot);
+
+// Convenience predicates on raw head words, used by the binary patcher.
+Opcode OpcodeOf(std::uint64_t head);
+bool IsLfetchHead(std::uint64_t head);
+bool LfetchExclOf(std::uint64_t head);
+
+}  // namespace cobra::isa

@@ -1,0 +1,75 @@
+#include "isa/image.h"
+
+#include "support/check.h"
+
+namespace cobra::isa {
+
+BinaryImage::BinaryImage(Addr code_base) : code_base_(code_base) {
+  COBRA_CHECK_MSG(BundleAddr(code_base) == code_base,
+                  "code base must be bundle-aligned");
+}
+
+Addr BinaryImage::AppendBundle(const Instruction& s0, const Instruction& s1,
+                               const Instruction& s2) {
+  const Addr addr = code_end();
+  for (const Instruction* inst : {&s0, &s1, &s2}) {
+    slots_.push_back(Encode(*inst));
+    decoded_.push_back(*inst);
+  }
+  return addr;
+}
+
+Addr BinaryImage::BeginCodeCache() {
+  COBRA_CHECK_MSG(code_cache_start_ == 0, "code cache already started");
+  code_cache_start_ = code_end();
+  return code_cache_start_;
+}
+
+std::size_t BinaryImage::SlotIndex(Addr pc) const {
+  COBRA_CHECK_MSG(Contains(pc), "instruction address outside image");
+  const unsigned slot = SlotOf(pc);
+  COBRA_CHECK_MSG(slot < 3, "invalid slot number");
+  const auto bundle =
+      static_cast<std::size_t>((BundleAddr(pc) - code_base_) / kBundleBytes);
+  return bundle * 3 + slot;
+}
+
+void BinaryImage::PatchRaw(Addr pc, const EncodedSlot& slot) {
+  const std::size_t idx = SlotIndex(pc);
+  slots_[idx] = slot;
+  decoded_[idx] = Decode(slot);  // aborts on malformed patches
+  ++patch_count_;
+}
+
+void BinaryImage::Patch(Addr pc, const Instruction& inst) {
+  PatchRaw(pc, Encode(inst));
+}
+
+void BinaryImage::SetLfetchExcl(Addr pc, bool excl) {
+  EncodedSlot slot = Raw(pc);
+  COBRA_CHECK_MSG(IsLfetchHead(slot.head), "slot does not hold an lfetch");
+  if (excl) {
+    slot.head |= enc::kExclBit;
+  } else {
+    slot.head &= ~enc::kExclBit;
+  }
+  PatchRaw(pc, slot);
+}
+
+void BinaryImage::NopOutLfetch(Addr pc) {
+  const Instruction inst = Fetch(pc);
+  COBRA_CHECK_MSG(inst.op == Opcode::kLfetch, "slot does not hold an lfetch");
+  if (inst.post_inc) {
+    // Preserve the address-stream side effect: base += inc.
+    Instruction add = AddImm(inst.r2, inst.r2, inst.imm);
+    add.unit = Unit::kM;  // occupies the same M slot it replaces
+    add.qp = inst.qp;
+    Patch(pc, add);
+  } else {
+    Instruction nop = Nop(Unit::kM);
+    nop.qp = inst.qp;
+    Patch(pc, nop);
+  }
+}
+
+}  // namespace cobra::isa

@@ -1,0 +1,94 @@
+// BinaryImage: the executable text segment of a simulated program.
+//
+// Code is stored as encoded 128-bit slots grouped into 3-slot bundles.
+// Architecturally a bundle occupies 16 bytes, so instruction addresses
+// advance by kBundleBytes per bundle with the slot number in the low bits
+// (as on IA-64).  The image also manages a *code cache* region appended
+// after the static text — the "trace cache in the same address space"
+// where COBRA materializes optimized traces — and supports in-place
+// patching of any slot, which is how the original binary is redirected to
+// those traces and how prefetch hints are rewritten.
+//
+// A decoded twin of every slot is kept alongside the encoded words purely
+// as a decode cache; all mutation goes through the encoded representation
+// so that patches are honest bit-level binary edits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "isa/types.h"
+
+namespace cobra::isa {
+
+class BinaryImage {
+ public:
+  // `code_base` must be bundle-aligned. The default places text well away
+  // from the data segment of MainMemory.
+  explicit BinaryImage(Addr code_base = kDefaultCodeBase);
+
+  static constexpr Addr kDefaultCodeBase = 0x4000'0000ULL;
+
+  // --- Building -----------------------------------------------------------
+  // Appends a bundle; returns its (bundle-aligned) address.
+  Addr AppendBundle(const Instruction& s0, const Instruction& s1,
+                    const Instruction& s2);
+
+  // --- Geometry -----------------------------------------------------------
+  Addr code_base() const { return code_base_; }
+  Addr code_end() const {
+    return code_base_ + static_cast<Addr>(NumBundles()) * kBundleBytes;
+  }
+  std::size_t NumBundles() const { return slots_.size() / 3; }
+  bool Contains(Addr pc) const {
+    return BundleAddr(pc) >= code_base_ && BundleAddr(pc) < code_end();
+  }
+
+  // Marks the current end of text as the start of the code cache; bundles
+  // appended afterwards belong to the cache. Returns the boundary address.
+  Addr BeginCodeCache();
+  Addr code_cache_start() const { return code_cache_start_; }
+  bool InCodeCache(Addr pc) const {
+    return code_cache_start_ != 0 && BundleAddr(pc) >= code_cache_start_;
+  }
+
+  // --- Access -------------------------------------------------------------
+  // Decoded instruction at `pc` (slot must be 0..2, address in range).
+  const Instruction& Fetch(Addr pc) const { return decoded_[SlotIndex(pc)]; }
+
+  const EncodedSlot& Raw(Addr pc) const { return slots_[SlotIndex(pc)]; }
+
+  // --- Patching (bit-level binary edits) -----------------------------------
+  // Replaces the raw encoded slot; the decoded twin is refreshed by
+  // re-decoding, so a malformed patch aborts immediately.
+  void PatchRaw(Addr pc, const EncodedSlot& slot);
+
+  // Encodes and writes `inst` at `pc`.
+  void Patch(Addr pc, const Instruction& inst);
+
+  // Sets or clears the lfetch `.excl` hint bit in place. Aborts if the slot
+  // does not hold an lfetch.
+  void SetLfetchExcl(Addr pc, bool excl);
+
+  // Rewrites the lfetch at `pc` into a semantic no-op: a plain `nop.m`, or —
+  // when the lfetch carried a post-increment — an `add base = inc, base`
+  // that preserves the address stream for later instructions.
+  void NopOutLfetch(Addr pc);
+
+  // Number of raw patches applied over the image's lifetime.
+  std::uint64_t patch_count() const { return patch_count_; }
+
+ private:
+  std::size_t SlotIndex(Addr pc) const;
+
+  Addr code_base_;
+  Addr code_cache_start_ = 0;
+  std::vector<EncodedSlot> slots_;
+  std::vector<Instruction> decoded_;
+  std::uint64_t patch_count_ = 0;
+};
+
+}  // namespace cobra::isa

@@ -1,0 +1,376 @@
+#include "isa/instruction.h"
+
+#include "support/check.h"
+
+namespace cobra::isa {
+
+namespace {
+
+std::uint8_t Reg(int r, int limit) {
+  COBRA_CHECK_MSG(r >= 0 && r < limit, "register index out of range");
+  return static_cast<std::uint8_t>(r);
+}
+std::uint8_t Gr(int r) { return Reg(r, kNumGr); }
+std::uint8_t Fr(int r) { return Reg(r, kNumFr); }
+std::uint8_t Pr(int r) { return Reg(r, kNumPr); }
+
+std::uint8_t MemSize(int size) {
+  COBRA_CHECK_MSG(size == 1 || size == 2 || size == 4 || size == 8,
+                  "memory access size must be 1/2/4/8");
+  return static_cast<std::uint8_t>(size);
+}
+
+Instruction Alu(Opcode op, int rd, int rs1, int rs2) {
+  Instruction i;
+  i.op = op;
+  i.unit = Unit::kI;
+  i.r1 = Gr(rd);
+  i.r2 = Gr(rs1);
+  i.r3 = Gr(rs2);
+  return i;
+}
+
+Instruction AluImm(Opcode op, int rd, int rs, std::int64_t imm) {
+  Instruction i;
+  i.op = op;
+  i.unit = Unit::kI;
+  i.r1 = Gr(rd);
+  i.r2 = Gr(rs);
+  i.imm = imm;
+  return i;
+}
+
+Instruction Fp3(Opcode op, int fd, int fa, int fb, int fc) {
+  Instruction i;
+  i.op = op;
+  i.unit = Unit::kF;
+  i.r1 = Fr(fd);
+  i.r2 = Fr(fa);
+  i.r3 = Fr(fb);
+  i.extra = Fr(fc);
+  return i;
+}
+
+Instruction Fp1(Opcode op, int fd, int fs) {
+  Instruction i;
+  i.op = op;
+  i.unit = Unit::kF;
+  i.r1 = Fr(fd);
+  i.r2 = Fr(fs);
+  return i;
+}
+
+}  // namespace
+
+Instruction Nop(Unit unit) {
+  Instruction i;
+  i.op = Opcode::kNop;
+  i.unit = unit;
+  return i;
+}
+
+Instruction Break() {
+  Instruction i;
+  i.op = Opcode::kBreak;
+  i.unit = Unit::kB;
+  return i;
+}
+
+Instruction AddReg(int rd, int rs1, int rs2) {
+  return Alu(Opcode::kAddReg, rd, rs1, rs2);
+}
+Instruction SubReg(int rd, int rs1, int rs2) {
+  return Alu(Opcode::kSubReg, rd, rs1, rs2);
+}
+Instruction AddImm(int rd, int rs, std::int64_t imm) {
+  return AluImm(Opcode::kAddImm, rd, rs, imm);
+}
+Instruction ShlAdd(int rd, int rs1, int count, int rs2) {
+  COBRA_CHECK_MSG(count >= 1 && count <= 4, "shladd count must be 1..4");
+  Instruction i = Alu(Opcode::kShlAdd, rd, rs1, rs2);
+  i.imm = count;
+  return i;
+}
+Instruction AndReg(int rd, int rs1, int rs2) {
+  return Alu(Opcode::kAnd, rd, rs1, rs2);
+}
+Instruction OrReg(int rd, int rs1, int rs2) {
+  return Alu(Opcode::kOr, rd, rs1, rs2);
+}
+Instruction XorReg(int rd, int rs1, int rs2) {
+  return Alu(Opcode::kXor, rd, rs1, rs2);
+}
+Instruction AndImm(int rd, int rs, std::int64_t imm) {
+  return AluImm(Opcode::kAndImm, rd, rs, imm);
+}
+Instruction OrImm(int rd, int rs, std::int64_t imm) {
+  return AluImm(Opcode::kOrImm, rd, rs, imm);
+}
+Instruction ShlImm(int rd, int rs, int count) {
+  COBRA_CHECK(count >= 0 && count < 64);
+  return AluImm(Opcode::kShlImm, rd, rs, count);
+}
+Instruction ShrImm(int rd, int rs, int count) {
+  COBRA_CHECK(count >= 0 && count < 64);
+  return AluImm(Opcode::kShrImm, rd, rs, count);
+}
+Instruction SarImm(int rd, int rs, int count) {
+  COBRA_CHECK(count >= 0 && count < 64);
+  return AluImm(Opcode::kSarImm, rd, rs, count);
+}
+Instruction MovImm(int rd, std::int64_t imm) {
+  Instruction i;
+  i.op = Opcode::kMovImm;
+  i.unit = Unit::kI;
+  i.r1 = Gr(rd);
+  i.imm = imm;
+  return i;
+}
+Instruction MovReg(int rd, int rs) {
+  Instruction i;
+  i.op = Opcode::kMovReg;
+  i.unit = Unit::kI;
+  i.r1 = Gr(rd);
+  i.r2 = Gr(rs);
+  return i;
+}
+Instruction Sxt4(int rd, int rs) {
+  Instruction i;
+  i.op = Opcode::kSxt4;
+  i.unit = Unit::kI;
+  i.r1 = Gr(rd);
+  i.r2 = Gr(rs);
+  return i;
+}
+Instruction Zxt4(int rd, int rs) {
+  Instruction i;
+  i.op = Opcode::kZxt4;
+  i.unit = Unit::kI;
+  i.r1 = Gr(rd);
+  i.r2 = Gr(rs);
+  return i;
+}
+Instruction Cmp(CmpRel rel, int p1, int p2, int rs1, int rs2) {
+  Instruction i;
+  i.op = Opcode::kCmp;
+  i.unit = Unit::kI;
+  i.rel = rel;
+  i.p1 = Pr(p1);
+  i.p2 = Pr(p2);
+  i.r2 = Gr(rs1);
+  i.r3 = Gr(rs2);
+  return i;
+}
+Instruction CmpImm(CmpRel rel, int p1, int p2, int rs, std::int64_t imm) {
+  Instruction i;
+  i.op = Opcode::kCmpImm;
+  i.unit = Unit::kI;
+  i.rel = rel;
+  i.p1 = Pr(p1);
+  i.p2 = Pr(p2);
+  i.r2 = Gr(rs);
+  i.imm = imm;
+  return i;
+}
+
+Instruction MovToAr(AppReg ar, int rs) {
+  Instruction i;
+  i.op = Opcode::kMovToAr;
+  i.unit = Unit::kI;
+  i.r2 = Gr(rs);
+  i.imm = static_cast<std::int64_t>(ar);
+  return i;
+}
+Instruction MovFromAr(int rd, AppReg ar) {
+  Instruction i;
+  i.op = Opcode::kMovFromAr;
+  i.unit = Unit::kI;
+  i.r1 = Gr(rd);
+  i.imm = static_cast<std::int64_t>(ar);
+  return i;
+}
+Instruction MovToPrRot(std::uint64_t mask) {
+  Instruction i;
+  i.op = Opcode::kMovToPrRot;
+  i.unit = Unit::kI;
+  i.imm = static_cast<std::int64_t>(mask);
+  return i;
+}
+Instruction ClrRrb() {
+  Instruction i;
+  i.op = Opcode::kClrRrb;
+  i.unit = Unit::kB;
+  return i;
+}
+
+Instruction Ld(int size, int rd, int rbase, LoadHint hint) {
+  Instruction i;
+  i.op = Opcode::kLd;
+  i.unit = Unit::kM;
+  i.size = MemSize(size);
+  i.r1 = Gr(rd);
+  i.r2 = Gr(rbase);
+  i.ld_hint = hint;
+  return i;
+}
+Instruction LdPostInc(int size, int rd, int rbase, std::int64_t inc,
+                      LoadHint hint) {
+  Instruction i = Ld(size, rd, rbase, hint);
+  i.post_inc = true;
+  i.imm = inc;
+  return i;
+}
+Instruction St(int size, int rbase, int rval) {
+  Instruction i;
+  i.op = Opcode::kSt;
+  i.unit = Unit::kM;
+  i.size = MemSize(size);
+  i.r2 = Gr(rbase);
+  i.r3 = Gr(rval);
+  return i;
+}
+Instruction StPostInc(int size, int rbase, int rval, std::int64_t inc) {
+  Instruction i = St(size, rbase, rval);
+  i.post_inc = true;
+  i.imm = inc;
+  return i;
+}
+Instruction Ldf(int fd, int rbase) {
+  Instruction i;
+  i.op = Opcode::kLdf;
+  i.unit = Unit::kM;
+  i.size = 8;
+  i.r1 = Fr(fd);
+  i.r2 = Gr(rbase);
+  return i;
+}
+Instruction LdfPostInc(int fd, int rbase, std::int64_t inc) {
+  Instruction i = Ldf(fd, rbase);
+  i.post_inc = true;
+  i.imm = inc;
+  return i;
+}
+Instruction Stf(int rbase, int fval) {
+  Instruction i;
+  i.op = Opcode::kStf;
+  i.unit = Unit::kM;
+  i.size = 8;
+  i.r2 = Gr(rbase);
+  i.r3 = Fr(fval);
+  return i;
+}
+Instruction StfPostInc(int rbase, int fval, std::int64_t inc) {
+  Instruction i = Stf(rbase, fval);
+  i.post_inc = true;
+  i.imm = inc;
+  return i;
+}
+Instruction Lfetch(int rbase, LfetchHint hint) {
+  Instruction i;
+  i.op = Opcode::kLfetch;
+  i.unit = Unit::kM;
+  i.r2 = Gr(rbase);
+  i.lf_hint = hint;
+  return i;
+}
+Instruction LfetchPostInc(int rbase, std::int64_t inc, LfetchHint hint) {
+  Instruction i = Lfetch(rbase, hint);
+  i.post_inc = true;
+  i.imm = inc;
+  return i;
+}
+
+Instruction Fma(int fd, int fa, int fb, int fc) {
+  return Fp3(Opcode::kFma, fd, fa, fb, fc);
+}
+Instruction Fms(int fd, int fa, int fb, int fc) {
+  return Fp3(Opcode::kFms, fd, fa, fb, fc);
+}
+Instruction Fnma(int fd, int fa, int fb, int fc) {
+  return Fp3(Opcode::kFnma, fd, fa, fb, fc);
+}
+Instruction Fmov(int fd, int fs) { return Fp1(Opcode::kFmov, fd, fs); }
+Instruction Fneg(int fd, int fs) { return Fp1(Opcode::kFneg, fd, fs); }
+Instruction Fabs(int fd, int fs) { return Fp1(Opcode::kFabs, fd, fs); }
+Instruction Frcpa(int fd, int fs) { return Fp1(Opcode::kFrcpa, fd, fs); }
+Instruction Fsqrt(int fd, int fs) { return Fp1(Opcode::kFsqrt, fd, fs); }
+Instruction Fmin(int fd, int fa, int fb) {
+  return Fp3(Opcode::kFmin, fd, fa, fb, 0);
+}
+Instruction Fmax(int fd, int fa, int fb) {
+  return Fp3(Opcode::kFmax, fd, fa, fb, 0);
+}
+Instruction Fcmp(FCmpRel rel, int p1, int p2, int fa, int fb) {
+  Instruction i;
+  i.op = Opcode::kFcmp;
+  i.unit = Unit::kF;
+  i.frel = rel;
+  i.p1 = Pr(p1);
+  i.p2 = Pr(p2);
+  i.r2 = Fr(fa);
+  i.r3 = Fr(fb);
+  return i;
+}
+Instruction Setf(int fd, int rs) {
+  Instruction i;
+  i.op = Opcode::kSetf;
+  i.unit = Unit::kM;
+  i.r1 = Fr(fd);
+  i.r2 = Gr(rs);
+  return i;
+}
+Instruction Getf(int rd, int fs) {
+  Instruction i;
+  i.op = Opcode::kGetf;
+  i.unit = Unit::kM;
+  i.r1 = Gr(rd);
+  i.r2 = Fr(fs);
+  return i;
+}
+Instruction FcvtFx(int fd, int fs) { return Fp1(Opcode::kFcvtFx, fd, fs); }
+Instruction FcvtXf(int fd, int fs) { return Fp1(Opcode::kFcvtXf, fd, fs); }
+
+Instruction BrCond(int qp, std::int64_t bundle_disp) {
+  Instruction i;
+  i.op = Opcode::kBrCond;
+  i.unit = Unit::kB;
+  i.qp = Pr(qp);
+  i.imm = bundle_disp;
+  return i;
+}
+Instruction BrCloop(std::int64_t bundle_disp) {
+  Instruction i;
+  i.op = Opcode::kBrCloop;
+  i.unit = Unit::kB;
+  i.imm = bundle_disp;
+  return i;
+}
+Instruction BrCtop(std::int64_t bundle_disp) {
+  Instruction i;
+  i.op = Opcode::kBrCtop;
+  i.unit = Unit::kB;
+  i.imm = bundle_disp;
+  return i;
+}
+Instruction BrWtop(int qp, std::int64_t bundle_disp) {
+  Instruction i;
+  i.op = Opcode::kBrWtop;
+  i.unit = Unit::kB;
+  i.qp = Pr(qp);
+  i.imm = bundle_disp;
+  return i;
+}
+Instruction Brl(Addr absolute_bundle_addr) {
+  Instruction i;
+  i.op = Opcode::kBrl;
+  i.unit = Unit::kB;
+  i.imm = static_cast<std::int64_t>(BundleAddr(absolute_bundle_addr));
+  return i;
+}
+
+Instruction Pred(int qp, Instruction inst) {
+  inst.qp = Pr(qp);
+  return inst;
+}
+
+}  // namespace cobra::isa

@@ -1,0 +1,111 @@
+// Decoded-instruction representation and constructor helpers.
+//
+// The helpers below form a tiny in-code assembler: the kernel generator
+// (src/kgen) builds loops out of these, and tests construct instruction
+// sequences directly.  Field conventions:
+//   r1      destination register (GR or FR depending on opcode)
+//   r2      first source / memory base register
+//   r3      second source / store value register / fma addend... see notes
+//   p1, p2  predicate destinations for cmp/fcmp
+//   qp      qualifying predicate (0 => always execute, since p0 == 1)
+//   imm     immediate, shift count, post-increment, or branch displacement
+//           (branch displacements are in bundles, relative to the branch's
+//           own bundle; kBrl holds an absolute bundle address)
+// For kFma/kFms/kFnma the addend lives in `extra` (f1 = f2*f3 ± f_extra).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/types.h"
+
+namespace cobra::isa {
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Unit unit = Unit::kI;
+  std::uint8_t qp = 0;
+  std::uint8_t r1 = 0;
+  std::uint8_t r2 = 0;
+  std::uint8_t r3 = 0;
+  std::uint8_t extra = 0;   // fma addend register
+  std::uint8_t p1 = 0;
+  std::uint8_t p2 = 0;
+  std::uint8_t size = 8;    // memory access size in bytes (1/2/4/8)
+  bool post_inc = false;    // memory ops: base register += imm afterwards
+  CmpRel rel = CmpRel::kEq;
+  FCmpRel frel = FCmpRel::kEq;
+  LoadHint ld_hint = LoadHint::kNone;
+  LfetchHint lf_hint{};
+  std::int64_t imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+// ---- Constructor helpers (a tiny structured assembler) ----------------
+
+Instruction Nop(Unit unit = Unit::kI);
+Instruction Break();
+
+Instruction AddReg(int rd, int rs1, int rs2);
+Instruction SubReg(int rd, int rs1, int rs2);
+Instruction AddImm(int rd, int rs, std::int64_t imm);
+Instruction ShlAdd(int rd, int rs1, int count, int rs2);
+Instruction AndReg(int rd, int rs1, int rs2);
+Instruction OrReg(int rd, int rs1, int rs2);
+Instruction XorReg(int rd, int rs1, int rs2);
+Instruction AndImm(int rd, int rs, std::int64_t imm);
+Instruction OrImm(int rd, int rs, std::int64_t imm);
+Instruction ShlImm(int rd, int rs, int count);
+Instruction ShrImm(int rd, int rs, int count);
+Instruction SarImm(int rd, int rs, int count);
+Instruction MovImm(int rd, std::int64_t imm);
+Instruction MovReg(int rd, int rs);
+Instruction Sxt4(int rd, int rs);
+Instruction Zxt4(int rd, int rs);
+Instruction Cmp(CmpRel rel, int p1, int p2, int rs1, int rs2);
+Instruction CmpImm(CmpRel rel, int p1, int p2, int rs, std::int64_t imm);
+
+Instruction MovToAr(AppReg ar, int rs);
+Instruction MovFromAr(int rd, AppReg ar);
+Instruction MovToPrRot(std::uint64_t mask);
+Instruction ClrRrb();
+
+Instruction Ld(int size, int rd, int rbase, LoadHint hint = LoadHint::kNone);
+Instruction LdPostInc(int size, int rd, int rbase, std::int64_t inc,
+                      LoadHint hint = LoadHint::kNone);
+Instruction St(int size, int rbase, int rval);
+Instruction StPostInc(int size, int rbase, int rval, std::int64_t inc);
+Instruction Ldf(int fd, int rbase);
+Instruction LdfPostInc(int fd, int rbase, std::int64_t inc);
+Instruction Stf(int rbase, int fval);
+Instruction StfPostInc(int rbase, int fval, std::int64_t inc);
+Instruction Lfetch(int rbase, LfetchHint hint = {});
+Instruction LfetchPostInc(int rbase, std::int64_t inc, LfetchHint hint = {});
+
+Instruction Fma(int fd, int fa, int fb, int fc);
+Instruction Fms(int fd, int fa, int fb, int fc);
+Instruction Fnma(int fd, int fa, int fb, int fc);
+Instruction Fmov(int fd, int fs);
+Instruction Fneg(int fd, int fs);
+Instruction Fabs(int fd, int fs);
+Instruction Frcpa(int fd, int fs);
+Instruction Fsqrt(int fd, int fs);
+Instruction Fmin(int fd, int fa, int fb);
+Instruction Fmax(int fd, int fa, int fb);
+Instruction Fcmp(FCmpRel rel, int p1, int p2, int fa, int fb);
+Instruction Setf(int fd, int rs);
+Instruction Getf(int rd, int fs);
+Instruction FcvtFx(int fd, int fs);
+Instruction FcvtXf(int fd, int fs);
+
+Instruction BrCond(int qp, std::int64_t bundle_disp);
+Instruction BrCloop(std::int64_t bundle_disp);
+Instruction BrCtop(std::int64_t bundle_disp);
+Instruction BrWtop(int qp, std::int64_t bundle_disp);
+Instruction Brl(Addr absolute_bundle_addr);
+
+// Applies a qualifying predicate to any instruction: `Pred(16, Ldf(...))`
+// renders as `(p16) ldfd ...`.
+Instruction Pred(int qp, Instruction inst);
+
+}  // namespace cobra::isa

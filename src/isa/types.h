@@ -1,0 +1,173 @@
+// Core architectural types for the MIA-64 mini ISA.
+//
+// MIA-64 is a deliberately faithful subset of the IA-64 (Itanium 2)
+// application ISA: 3-instruction bundles, full predication, rotating
+// general/floating/predicate register files driven by the modulo-scheduled
+// loop branches (br.ctop / br.cloop / br.wtop), post-increment memory
+// addressing, and — centrally for COBRA — the `lfetch` prefetch instruction
+// with its temporal and exclusive hints, plus the `.bias` load hint.
+//
+// Instruction addresses follow the IA-64 convention: a bundle occupies 16
+// architectural bytes and an instruction address is the bundle address plus
+// a slot number (0..2) in the low bits.
+#pragma once
+
+#include <cstdint>
+
+namespace cobra::isa {
+
+using Addr = std::uint64_t;
+
+inline constexpr Addr kBundleBytes = 16;
+
+// Splits an instruction address into its bundle-aligned part and slot.
+constexpr Addr BundleAddr(Addr pc) { return pc & ~static_cast<Addr>(0xf); }
+constexpr unsigned SlotOf(Addr pc) {
+  return static_cast<unsigned>(pc & 0x3);
+}
+constexpr Addr MakePc(Addr bundle, unsigned slot) {
+  return BundleAddr(bundle) | (slot & 0x3);
+}
+
+// Register file geometry (matches IA-64).
+inline constexpr int kNumGr = 128;  // r0 hardwired to 0; r32..r127 rotate
+inline constexpr int kNumFr = 128;  // f0 = +0.0, f1 = 1.0; f32..f127 rotate
+inline constexpr int kNumPr = 64;   // p0 hardwired to 1; p16..p63 rotate
+inline constexpr int kFirstRotGr = 32;
+inline constexpr int kFirstRotFr = 32;
+inline constexpr int kFirstRotPr = 16;
+inline constexpr int kNumRotGr = kNumGr - kFirstRotGr;  // 96
+inline constexpr int kNumRotFr = kNumFr - kFirstRotFr;  // 96
+inline constexpr int kNumRotPr = kNumPr - kFirstRotPr;  // 48
+
+// Execution-unit class a given instruction occupies within a bundle.
+enum class Unit : std::uint8_t { kM, kI, kF, kB };
+
+// Application registers we model.
+enum class AppReg : std::uint8_t { kLC, kEC };
+
+// Integer comparison relations (cmp.<rel>).
+enum class CmpRel : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe, kLtu, kGeu };
+
+// Floating comparison relations (fcmp.<rel>).
+enum class FCmpRel : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// Integer load completer hints. `.bias` requests the line in Exclusive
+// state (Itanium 2's hint for load-then-store sequences); `.acq` is the
+// acquire-semantics load (modelled as a plain load — the simulator's memory
+// system is sequentially consistent already).
+enum class LoadHint : std::uint8_t { kNone, kBias, kAcq };
+
+// Temporal-locality completers for lfetch (and loads, which we ignore).
+enum class Temporal : std::uint8_t { kNone, kNt1, kNt2, kNta };
+
+// lfetch hint bundle: the `.excl` bit is the one COBRA's second optimizer
+// toggles at runtime; `.fault` controls faulting behaviour (irrelevant in
+// our flat address space but kept for encoding fidelity).
+struct LfetchHint {
+  Temporal temporal = Temporal::kNt1;
+  bool excl = false;
+  bool fault = false;
+
+  friend bool operator==(const LfetchHint&, const LfetchHint&) = default;
+};
+
+// Every opcode the MIA-64 interpreter implements.
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+
+  // Integer ALU.
+  kAddReg,   // r1 = r2 + r3
+  kSubReg,   // r1 = r2 - r3
+  kAddImm,   // r1 = r2 + imm
+  kShlAdd,   // r1 = (r2 << imm) + r3   (shladd, imm in 1..4)
+  kAnd,      // r1 = r2 & r3
+  kOr,       // r1 = r2 | r3
+  kXor,      // r1 = r2 ^ r3
+  kAndImm,   // r1 = r2 & imm
+  kOrImm,    // r1 = r2 | imm
+  kShlImm,   // r1 = r2 << imm
+  kShrImm,   // r1 = (unsigned)r2 >> imm
+  kSarImm,   // r1 = (signed)r2 >> imm
+  kMovImm,   // r1 = imm (movl: full 64-bit immediate)
+  kMovReg,   // r1 = r2
+  kSxt4,     // r1 = sign-extend low 32 bits of r2
+  kZxt4,     // r1 = zero-extend low 32 bits of r2
+  kCmp,      // p1, p2 = (r2 <rel> r3), !(...)
+  kCmpImm,   // p1, p2 = (r2 <rel> imm), !(...)
+
+  // Register moves to/from application and predicate state.
+  kMovToAr,    // AR[imm selector] = r2
+  kMovFromAr,  // r1 = AR[imm selector]
+  kMovToPrRot, // rotating predicates p16+i = bit i of imm
+  kClrRrb,     // clears all rotating-register bases
+
+  // Memory. Loads/stores carry an access size (1/2/4/8); FP forms move
+  // doubles. `imm` is an optional post-increment applied to the base.
+  kLd,      // r1 = mem[r2]; if post_inc: r2 += imm
+  kSt,      // mem[r2] = r3; if post_inc: r2 += imm
+  kLdf,     // f1 = mem[r2] (double)
+  kStf,     // mem[r2] = f3 (double)
+  kLfetch,  // prefetch line at [r2]; if post_inc: r2 += imm
+
+  // Floating point (double precision).
+  kFma,     // f1 = f2 * f3 + f_extra
+  kFms,     // f1 = f2 * f3 - f_extra
+  kFnma,    // f1 = -(f2 * f3) + f_extra
+  kFmov,    // f1 = f2
+  kFneg,    // f1 = -f2
+  kFabs,    // f1 = |f2|
+  kFrcpa,   // f1 = 1.0 / f2 (full-precision stand-in for the frcpa sequence)
+  kFsqrt,   // f1 = sqrt(f2) (stand-in for the frsqrta sequence)
+  kFmin,    // f1 = min(f2, f3)
+  kFmax,    // f1 = max(f2, f3)
+  kFcmp,    // p1, p2 = (f2 <rel> f3), !(...)
+  kSetf,    // f1 = bit-image of r2 (setf.d)
+  kGetf,    // r1 = bit-image of f2 (getf.d)
+  kFcvtFx,  // f1 = (double->int64 bits) of f2 (fcvt.fx, round toward zero)
+  kFcvtXf,  // f1 = (int64 bits -> double) of f2 (fcvt.xf)
+
+  // Branches. Relative targets are in bundles (imm); brl is absolute.
+  kBrCond,   // if PR[qp]: branch
+  kBrCloop,  // counted loop: if LC != 0 { LC--; branch }
+  kBrCtop,   // modulo-scheduled counted loop (rotates registers)
+  kBrWtop,   // modulo-scheduled while loop (rotates registers)
+  kBrl,      // unconditional long branch to absolute bundle address (imm)
+  kBreak,    // terminates the executing simulated thread's kernel
+
+  kOpcodeCount,
+};
+
+// True if the opcode reads or writes data memory (including prefetch).
+constexpr bool IsMemoryOp(Opcode op) {
+  switch (op) {
+    case Opcode::kLd:
+    case Opcode::kSt:
+    case Opcode::kLdf:
+    case Opcode::kStf:
+    case Opcode::kLfetch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool IsBranch(Opcode op) {
+  switch (op) {
+    case Opcode::kBrCond:
+    case Opcode::kBrCloop:
+    case Opcode::kBrCtop:
+    case Opcode::kBrWtop:
+    case Opcode::kBrl:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// True for the software-pipelined loop branches that rotate registers.
+constexpr bool IsRotatingBranch(Opcode op) {
+  return op == Opcode::kBrCtop || op == Opcode::kBrWtop;
+}
+
+}  // namespace cobra::isa

@@ -1,0 +1,787 @@
+#include "kgen/emitters.h"
+
+#include <bit>
+
+#include "isa/assembler.h"
+#include "support/check.h"
+
+namespace cobra::kgen {
+
+using namespace cobra::isa;
+
+namespace {
+
+LfetchHint HintOf(const PrefetchPolicy& pf) {
+  LfetchHint hint;
+  hint.temporal = Temporal::kNt1;
+  hint.excl = pf.excl;
+  return hint;
+}
+
+// Initial prefetch burst on the stored stream (Figure 2's six lfetches of
+// y[0]+8 .. y[0]+648), using scratch registers r8..r13.
+void EmitPrologueBurst(Assembler& a, int base_arg_reg,
+                       const PrefetchPolicy& pf,
+                       std::vector<Addr>* lfetch_pcs = nullptr) {
+  if (!pf.enabled) return;
+  COBRA_CHECK_MSG(pf.prologue_prefetches <= 6,
+                  "prologue burst limited by scratch registers r8..r13");
+  for (int j = 0; j < pf.prologue_prefetches; ++j) {
+    const int reg = 8 + j;
+    a.Emit(AddImm(reg, base_arg_reg, 8 + 128 * j));
+  }
+  for (int j = 0; j < pf.prologue_prefetches; ++j) {
+    if (lfetch_pcs != nullptr) lfetch_pcs->push_back(a.CurrentPc());
+    a.Emit(Lfetch(8 + j, HintOf(pf)));
+  }
+}
+
+// Guard for n <= 0 held in `n_reg`: branches to `exit` when empty.
+void EmitEmptyGuard(Assembler& a, int n_reg, Assembler::Label exit) {
+  a.Emit(CmpImm(CmpRel::kLe, 8, 0, n_reg, 0));  // p8 = (n <= 0)... see note
+  a.EmitBranch(BrCond(8, 0), exit);
+}
+
+}  // namespace
+
+int StreamOpInputs(StreamOp op) {
+  switch (op) {
+    case StreamOp::kCopy:
+    case StreamOp::kScale:
+      return 1;
+    case StreamOp::kDaxpy:
+    case StreamOp::kAdd:
+    case StreamOp::kTriad:
+      return 2;
+    case StreamOp::kStencil3Sym:
+    case StreamOp::kBlend4:
+      return 3;
+  }
+  COBRA_UNREACHABLE("bad stream op");
+}
+
+// ---------------------------------------------------------------------------
+// DAXPY (Figure 2). args: r14 = &x, r15 = &y, r16 = n; f6 = a.
+//
+// Software pipeline: stage 0 loads (p16), stage 5 fma (p21), stage 7 store
+// (p23). The x pointer is the static r2 with post-increment; the y load
+// address rotates down the chain r32 -> r33 (written ahead each iteration);
+// after seven rotations the same chain value reappears as the store address
+// r40. The single lfetch per iteration alternates between the x and y
+// prefetch chains via the rotating pair written at r41 (+16 every other
+// iteration per chain = +8 per iteration per stream).
+LoopInfo EmitDaxpy(Program& prog, const std::string& name,
+                   const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+
+  const Addr entry = prog.image().code_end();
+  info.entry = entry;
+
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  a.Emit(ClrRrb());
+  EmitEmptyGuard(a, 16, exit);
+
+  a.Emit(MovReg(2, 14));    // x pointer (static, post-incremented)
+  a.Emit(MovReg(33, 15));   // y load-address chain seed (rotating)
+
+  EmitPrologueBurst(a, 15, pf);
+
+  if (pf.enabled && !pf.excl) {
+    // Steady-state prefetch chain seeds: the lfetch reads logical r43 every
+    // iteration, so the value iteration 0 sees is seeded at r43 and the one
+    // iteration 1 sees at r42 (one rotation earlier in the frame). The x and
+    // y chains then alternate, each advancing 16 bytes per revisit.
+    a.Emit(AddImm(43, 14, pf.distance_bytes));      // x chain (even iters)
+    a.Emit(AddImm(42, 15, pf.distance_bytes + 8));  // y chain (odd iters)
+  }
+  if (pf.enabled && pf.excl) {
+    // .excl study variant (Figure 3b): the exclusive hint only makes sense
+    // on the *stored* stream, so the compiler splits the alternating chain
+    // into two post-increment lfetches — x stays a plain prefetch, y gets
+    // `.excl`. (Prologue burst above is on y and carries .excl as well.)
+    a.Emit(AddImm(28, 14, pf.distance_bytes));
+    a.Emit(AddImm(29, 15, pf.distance_bytes));
+  }
+
+  a.Emit(AddImm(8, 16, -1));
+  a.Emit(MovToAr(AppReg::kLC, 8));
+  a.Emit(MovImm(9, 8));  // 8 pipeline stages
+  a.Emit(MovToAr(AppReg::kEC, 9));
+  a.Emit(MovToPrRot(1));  // p16 = 1
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+
+  // { .mii (p16) ldfd f32=[r2],8 }
+  a.Emit(Pred(16, LdfPostInc(32, 2, 8)));
+  a.Emit(Nop(Unit::kI));
+  a.Emit(Nop(Unit::kI));
+  // { .mmb (p16) ldfd f38=[r33] ; (p16) lfetch.nt1 [r43] }
+  a.Emit(Pred(16, Ldf(38, 33)));
+  if (pf.enabled && !pf.excl) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(Pred(16, Lfetch(43, HintOf(pf))));
+  } else if (pf.enabled && pf.excl) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    isa::LfetchHint plain;
+    a.Emit(Pred(16, LfetchPostInc(28, 8, plain)));  // x stream, plain
+  } else {
+    a.Emit(Nop(Unit::kM));
+  }
+  a.Emit(Nop(Unit::kB));
+  // { .mfi (p23) stfd [r40]=f46 ; (p21) fma.d f44=f6,f37,f43 ;
+  //         (p16) add r41=16,r43 }
+  a.Emit(Pred(23, Stf(40, 46)));
+  a.Emit(Pred(21, Fma(44, 6, 37, 43)));
+  if (pf.enabled && !pf.excl) {
+    a.Emit(Pred(16, AddImm(41, 43, 16)));
+  } else if (pf.enabled && pf.excl) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(Pred(16, LfetchPostInc(29, 8, HintOf(pf))));  // y stream, .excl
+  } else {
+    a.Emit(Nop(Unit::kI));
+  }
+  // { .mib (p16) add r32=8,r33 ; br.ctop .b1_22 }
+  a.Emit(Pred(16, AddImm(32, 33, 8)));
+  info.back_branch_pc = a.EmitBranch(BrCtop(0), loop);
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Generic stream loop. args: r14..r16 = inputs, r17 = output, r18 = n;
+// f6 = a, f7 = b. Two-stage pipeline: loads at p16, compute+store at p18.
+LoopInfo EmitStreamLoop(Program& prog, const std::string& name,
+                        const StreamLoopSpec& spec) {
+  const int k = StreamOpInputs(spec.op);
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+  const PrefetchPolicy& pf = spec.prefetch;
+
+  a.Emit(ClrRrb());
+  EmitEmptyGuard(a, 18, exit);
+
+  for (int s = 0; s < k; ++s) a.Emit(MovReg(26 + s, ArgReg(s)));
+  a.Emit(MovReg(29, 17));  // output pointer
+
+  EmitPrologueBurst(a, 17, pf);
+
+  // Steady-state prefetch. For equal stream strides, one rotating chain per
+  // prefetched stream walked round-robin by a single lfetch (the Figure 2
+  // trick); for mixed strides, one post-increment lfetch per stream.
+  std::vector<int> chain_args;     // argument register carrying each base
+  std::vector<int> chain_strides;  // per-iteration advance of that stream
+  bool alternating_chain = true;
+  if (pf.enabled) {
+    std::vector<int> streams = spec.prefetch_streams;
+    if (streams.empty()) {
+      for (int s = 0; s < k; ++s) streams.push_back(s);
+      if (spec.output_aliases_input < 0) streams.push_back(3);
+    }
+    for (int s : streams) {
+      COBRA_CHECK(s >= 0 && s <= 3);
+      chain_args.push_back(s == 3 ? 17 : ArgReg(s));
+      chain_strides.push_back(
+          s == 3 ? spec.output_stride
+                 : spec.input_strides[static_cast<std::size_t>(s)]);
+    }
+    COBRA_CHECK_MSG(chain_args.size() <= 4, "at most four prefetch chains");
+    for (int stride : chain_strides) {
+      if (stride != chain_strides.front()) alternating_chain = false;
+    }
+    if (alternating_chain) {
+      // The single lfetch reads logical r40 every iteration; iteration j
+      // (j < #chains) therefore sees the value seeded at logical r(40 - j).
+      for (std::size_t c = 0; c < chain_args.size(); ++c) {
+        a.Emit(AddImm(40 - static_cast<int>(c), chain_args[c],
+                      pf.distance_bytes + 8 * static_cast<int>(c)));
+      }
+    } else {
+      // Static post-increment cursors in r21..r24.
+      for (std::size_t c = 0; c < chain_args.size(); ++c) {
+        a.Emit(AddImm(21 + static_cast<int>(c), chain_args[c],
+                      pf.distance_bytes));
+      }
+    }
+  }
+
+  a.Emit(AddImm(8, 18, -1));
+  a.Emit(MovToAr(AppReg::kLC, 8));
+  a.Emit(MovImm(9, 3));  // EC: 2 stages + 1
+  a.Emit(MovToAr(AppReg::kEC, 9));
+  a.Emit(MovToPrRot(1));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+
+  for (int s = 0; s < k; ++s) {
+    a.Emit(Pred(16, LdfPostInc(32 + 4 * s, 26 + s,
+                               spec.input_strides[static_cast<std::size_t>(s)])));
+  }
+  if (pf.enabled) {
+    if (alternating_chain) {
+      const int c = static_cast<int>(chain_args.size());
+      info.lfetch_pcs.push_back(a.CurrentPc());
+      a.Emit(Pred(16, Lfetch(40, HintOf(pf))));
+      a.Emit(Pred(16, AddImm(40 - c, 40, chain_strides.front() * c)));
+    } else {
+      for (std::size_t c = 0; c < chain_args.size(); ++c) {
+        info.lfetch_pcs.push_back(a.CurrentPc());
+        a.Emit(Pred(16, LfetchPostInc(21 + static_cast<int>(c),
+                                      chain_strides[c], HintOf(pf))));
+      }
+    }
+  }
+
+  // Compute at stage 2: loaded values have rotated twice (f32 -> f34 ...).
+  switch (spec.op) {
+    case StreamOp::kCopy:
+      a.Emit(Pred(18, Fmov(44, 34)));
+      break;
+    case StreamOp::kScale:
+      a.Emit(Pred(18, Fma(44, 6, 34, 0)));
+      break;
+    case StreamOp::kDaxpy:
+      a.Emit(Pred(18, Fma(44, 6, 34, 38)));
+      break;
+    case StreamOp::kAdd:
+      a.Emit(Pred(18, Fma(44, 34, 1, 38)));
+      break;
+    case StreamOp::kTriad:
+      a.Emit(Pred(18, Fma(44, 6, 38, 34)));
+      break;
+    case StreamOp::kStencil3Sym:
+      // out = a*(l + r) + b*c
+      a.Emit(Pred(18, Fma(45, 34, 1, 42)));
+      a.Emit(Pred(18, Fma(46, 7, 38, 0)));
+      a.Emit(Pred(18, Fma(44, 6, 45, 46)));
+      break;
+    case StreamOp::kBlend4:
+      // out = a*x*y + b*w
+      a.Emit(Pred(18, Fma(45, 6, 34, 0)));
+      a.Emit(Pred(18, Fma(46, 7, 42, 0)));
+      a.Emit(Pred(18, Fma(44, 45, 38, 46)));
+      break;
+  }
+  a.Emit(Pred(18, StfPostInc(29, 44, spec.output_stride)));
+  info.back_branch_pc = a.EmitBranch(BrCtop(0), loop);
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions. args: r14 = &x, r15 = &y (dot), r16 = n, r17 = &result.
+LoopInfo EmitReduction(Program& prog, const std::string& name, ReduceOp op,
+                       const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto store_out = a.NewLabel();
+  const auto loop = a.NewLabel();
+  const bool two_streams = op == ReduceOp::kDot;
+
+  if (op == ReduceOp::kMax) {
+    // Seed the accumulator with -1e300 via an integer bit image.
+    a.Emit(MovImm(8, static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(
+                         -1e300))));
+    a.Emit(Setf(8, 8));
+  } else {
+    a.Emit(Fma(8, 0, 0, 0));  // acc = 0
+  }
+
+  EmitEmptyGuard(a, 16, store_out);
+
+  a.Emit(MovReg(26, 14));
+  if (two_streams) a.Emit(MovReg(27, 15));
+  if (pf.enabled) {
+    a.Emit(AddImm(28, 14, pf.distance_bytes));
+    if (two_streams) a.Emit(AddImm(29, 15, pf.distance_bytes));
+  }
+  a.Emit(AddImm(9, 16, -1));
+  a.Emit(MovToAr(AppReg::kLC, 9));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  a.Emit(LdfPostInc(10, 26, 8));
+  if (two_streams) a.Emit(LdfPostInc(11, 27, 8));
+  if (pf.enabled) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(28, 8, HintOf(pf)));
+    if (two_streams) {
+      info.lfetch_pcs.push_back(a.CurrentPc());
+      a.Emit(LfetchPostInc(29, 8, HintOf(pf)));
+    }
+  }
+  switch (op) {
+    case ReduceOp::kSum: a.Emit(Fma(8, 10, 1, 8)); break;
+    case ReduceOp::kDot: a.Emit(Fma(8, 10, 11, 8)); break;
+    case ReduceOp::kSumSq: a.Emit(Fma(8, 10, 10, 8)); break;
+    case ReduceOp::kMax: a.Emit(Fmax(8, 8, 10)); break;
+  }
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), loop);
+
+  a.Bind(store_out);
+  a.Emit(Stf(17, 8));
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// CSR sparse matvec. args: r14 = &rowptr, r15 = &col, r16 = &vals,
+// r17 = &p, r18 = &q, r19 = row_begin, r20 = row_end.
+LoopInfo EmitCsrMatvec(Program& prog, const std::string& name,
+                       const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto outer = a.NewLabel();
+  const auto inner = a.NewLabel();
+  const auto row_done = a.NewLabel();
+  const auto exit = a.NewLabel();
+
+  a.Emit(MovReg(26, 19));  // i = row_begin
+  a.FlushBundle();
+
+  a.Bind(outer);
+  a.Emit(Cmp(CmpRel::kGe, 8, 0, 26, 20));
+  a.EmitBranch(BrCond(8, 0), exit);
+
+  a.Emit(ShlAdd(27, 26, 3, 14));   // &rowptr[i]
+  a.Emit(Ld(8, 28, 27));           // k0
+  a.Emit(AddImm(30, 27, 8));
+  a.Emit(Ld(8, 29, 30));           // k1
+  a.Emit(SubReg(31, 29, 28));      // len
+  a.Emit(Fma(9, 0, 0, 0));         // acc = 0
+  a.Emit(CmpImm(CmpRel::kEq, 9, 0, 31, 0));
+  a.EmitBranch(BrCond(9, 0), row_done);
+
+  a.Emit(AddImm(10, 31, -1));
+  a.Emit(MovToAr(AppReg::kLC, 10));
+  a.Emit(ShlAdd(11, 28, 3, 15));   // col cursor
+  a.Emit(ShlAdd(12, 28, 3, 16));   // val cursor
+  if (pf.enabled) a.Emit(AddImm(24, 12, pf.distance_bytes));
+  a.FlushBundle();
+
+  a.Bind(inner);
+  if (info.head == 0) info.head = prog.image().code_end();
+  a.Emit(LdPostInc(8, 13, 11, 8));   // col[k]
+  a.Emit(LdfPostInc(10, 12, 8));     // vals[k]
+  if (pf.enabled) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(24, 8, HintOf(pf)));
+  }
+  a.Emit(ShlAdd(25, 13, 3, 17));     // &p[col[k]] (irregular: not prefetched)
+  a.Emit(Ldf(11, 25));
+  a.Emit(Fma(9, 10, 11, 9));
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), inner);
+
+  a.Bind(row_done);
+  a.Emit(ShlAdd(27, 26, 3, 18));
+  a.Emit(Stf(27, 9));
+  a.Emit(AddImm(26, 26, 1));
+  a.EmitBranch(BrCond(0, 0), outer);  // p0: unconditional
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram. args: r14 = &key (int32), r15 = &hist (int32), r16 = n.
+LoopInfo EmitHistogram(Program& prog, const std::string& name,
+                       const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  EmitEmptyGuard(a, 16, exit);
+  a.Emit(MovReg(26, 14));
+  if (pf.enabled) a.Emit(AddImm(28, 14, pf.distance_bytes));
+  a.Emit(AddImm(8, 16, -1));
+  a.Emit(MovToAr(AppReg::kLC, 8));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  a.Emit(LdPostInc(4, 8, 26, 4));
+  if (pf.enabled) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(28, 4, HintOf(pf)));
+  }
+  a.Emit(ShlAdd(9, 8, 2, 15));  // &hist[key]
+  a.Emit(Ld(4, 10, 9));
+  a.Emit(AddImm(10, 10, 1));
+  a.Emit(St(4, 9, 10));
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), loop);
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Int32 fill. args: r14 = &buf, r15 = n, r16 = value.
+LoopInfo EmitFill32(Program& prog, const std::string& name,
+                    const PrefetchPolicy& pf) {
+  (void)pf;  // pure store stream: compilers do not prefetch it
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  EmitEmptyGuard(a, 15, exit);
+  a.Emit(MovReg(26, 14));
+  a.Emit(AddImm(8, 15, -1));
+  a.Emit(MovToAr(AppReg::kLC, 8));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  a.Emit(StPostInc(4, 26, 16, 4));
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), loop);
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Int32 accumulate. args: r14 = &src, r15 = &dst, r16 = n.
+LoopInfo EmitIntAccumulate(Program& prog, const std::string& name,
+                           const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  EmitEmptyGuard(a, 16, exit);
+  a.Emit(MovReg(26, 14));
+  a.Emit(MovReg(27, 15));
+  if (pf.enabled) a.Emit(AddImm(28, 14, pf.distance_bytes));
+  a.Emit(AddImm(8, 16, -1));
+  a.Emit(MovToAr(AppReg::kLC, 8));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  a.Emit(LdPostInc(4, 8, 26, 4));
+  if (pf.enabled) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(28, 4, HintOf(pf)));
+  }
+  a.Emit(Ld(4, 9, 27));
+  a.Emit(AddReg(9, 9, 8));
+  a.Emit(StPostInc(4, 27, 9, 4));
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), loop);
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Counting-sort rank. args: r14 = &key, r15 = &cursor, r16 = &rank, r17 = n.
+LoopInfo EmitRank(Program& prog, const std::string& name,
+                  const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  EmitEmptyGuard(a, 17, exit);
+  a.Emit(MovReg(26, 14));
+  a.Emit(MovReg(27, 16));
+  if (pf.enabled) a.Emit(AddImm(28, 14, pf.distance_bytes));
+  a.Emit(AddImm(8, 17, -1));
+  a.Emit(MovToAr(AppReg::kLC, 8));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  a.Emit(LdPostInc(4, 8, 26, 4));    // key
+  if (pf.enabled) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(28, 4, HintOf(pf)));
+  }
+  a.Emit(ShlAdd(9, 8, 2, 15));       // &cursor[key]
+  a.Emit(Ld(4, 10, 9));
+  a.Emit(StPostInc(4, 27, 10, 4));   // rank[i] = cursor value
+  a.Emit(AddImm(10, 10, 1));
+  a.Emit(St(4, 9, 10));              // cursor[key]++
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), loop);
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Permutation scatter. args: r14 = &key, r15 = &rank, r16 = &out, r17 = n.
+LoopInfo EmitPermute(Program& prog, const std::string& name,
+                     const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  EmitEmptyGuard(a, 17, exit);
+  a.Emit(MovReg(26, 14));
+  a.Emit(MovReg(27, 15));
+  if (pf.enabled) {
+    a.Emit(AddImm(28, 14, pf.distance_bytes));
+    a.Emit(AddImm(29, 15, pf.distance_bytes));
+  }
+  a.Emit(AddImm(8, 17, -1));
+  a.Emit(MovToAr(AppReg::kLC, 8));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  a.Emit(LdPostInc(4, 8, 26, 4));   // key[i]
+  a.Emit(LdPostInc(4, 9, 27, 4));   // rank[i]
+  if (pf.enabled) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(28, 4, HintOf(pf)));
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(29, 4, HintOf(pf)));
+  }
+  a.Emit(ShlAdd(10, 9, 2, 16));     // &out[rank[i]] (scatter: not prefetched)
+  a.Emit(St(4, 10, 8));
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), loop);
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Exclusive prefix sum (sequential). args: r14 = &in, r15 = &out, r16 = n,
+// r17 = &total.
+LoopInfo EmitScan(Program& prog, const std::string& name,
+                  const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto store_total = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  a.Emit(MovImm(8, 0));  // acc
+  EmitEmptyGuard(a, 16, store_total);
+  a.Emit(MovReg(26, 14));
+  a.Emit(MovReg(27, 15));
+  if (pf.enabled) a.Emit(AddImm(28, 14, pf.distance_bytes));
+  a.Emit(AddImm(9, 16, -1));
+  a.Emit(MovToAr(AppReg::kLC, 9));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  a.Emit(StPostInc(4, 27, 8, 4));   // out[i] = acc
+  a.Emit(LdPostInc(4, 9, 26, 4));   // in[i]
+  if (pf.enabled) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(28, 4, HintOf(pf)));
+  }
+  a.Emit(AddReg(8, 8, 9));
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), loop);
+
+  a.Bind(store_total);
+  a.Emit(St(8, 17, 8));
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// While-style copy (br.wtop). args: r14 = &x, r15 = &out, r16 = n.
+LoopInfo EmitWhileCopy(Program& prog, const std::string& name,
+                       const PrefetchPolicy& pf) {
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  a.Emit(ClrRrb());
+  a.Emit(MovReg(26, 14));
+  a.Emit(MovReg(27, 15));
+  a.Emit(MovImm(28, 0));                      // i
+  if (pf.enabled) a.Emit(AddImm(30, 14, pf.distance_bytes));
+  a.Emit(Cmp(CmpRel::kLt, 15, 14, 28, 16));   // p15 = (i < n), p14 = !
+  a.EmitBranch(BrCond(14, 0), exit);
+  a.Emit(MovImm(8, 1));
+  a.Emit(MovToAr(AppReg::kEC, 8));
+  a.FlushBundle();
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  a.Emit(LdfPostInc(9, 26, 8));
+  if (pf.enabled) {
+    info.lfetch_pcs.push_back(a.CurrentPc());
+    a.Emit(LfetchPostInc(30, 8, HintOf(pf)));
+  }
+  a.Emit(StfPostInc(27, 9, 8));
+  a.Emit(AddImm(28, 28, 1));
+  a.Emit(Cmp(CmpRel::kLt, 15, 14, 28, 16));
+  info.back_branch_pc = a.EmitBranch(BrWtop(15, 0), loop);
+
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// EP kernel. args: r14 = seed, r15 = n, r16 = &accepted, r17 = &rejected,
+// r18 = &sum_slot; f6 = 2.0, f7 = 3.0.
+LoopInfo EmitEpKernel(Program& prog, const std::string& name,
+                      const PrefetchPolicy& pf) {
+  (void)pf;  // EP is compute-bound; icc emits (almost) no prefetches for it
+  Assembler a(&prog.image());
+  LoopInfo info;
+  info.name = name;
+  info.entry = prog.image().code_end();
+
+  const auto store_out = a.NewLabel();
+  const auto loop = a.NewLabel();
+
+  a.Emit(MovReg(26, 14));  // PRNG state
+  a.Emit(MovImm(27, 0));   // accepted
+  a.Emit(MovImm(28, 0));   // rejected
+  a.Emit(Fma(12, 0, 0, 0));  // sum of accepted radii
+
+  a.Emit(CmpImm(CmpRel::kLe, 8, 0, 15, 0));
+  a.EmitBranch(BrCond(8, 0), store_out);
+  a.Emit(AddImm(9, 15, -1));
+  a.Emit(MovToAr(AppReg::kLC, 9));
+  a.FlushBundle();
+
+  constexpr std::int64_t kMantissaMask = 0xfffffffffffffLL;   // 52 bits
+  constexpr std::int64_t kOneExponent = 0x3ff0000000000000LL; // 1.0 <= v < 2
+
+  auto EmitXorshift = [&] {
+    a.Emit(ShlImm(8, 26, 13));
+    a.Emit(XorReg(26, 26, 8));
+    a.Emit(ShrImm(8, 26, 7));
+    a.Emit(XorReg(26, 26, 8));
+    a.Emit(ShlImm(8, 26, 17));
+    a.Emit(XorReg(26, 26, 8));
+  };
+  auto EmitDeviate = [&](int fr) {
+    // fr = 2*v - 3 where v in [1,2): a uniform deviate in [-1, 1).
+    a.Emit(AndImm(9, 26, kMantissaMask));
+    a.Emit(OrImm(9, 9, kOneExponent));
+    a.Emit(Setf(fr, 9));
+    a.Emit(Fms(fr, fr, 6, 7));
+  };
+
+  a.Bind(loop);
+  info.head = prog.image().code_end();
+  EmitXorshift();
+  EmitDeviate(13);  // x
+  EmitXorshift();
+  EmitDeviate(14);  // y
+  a.Emit(Fma(15, 13, 13, 0));
+  a.Emit(Fma(15, 14, 14, 15));           // r2 = x^2 + y^2
+  a.Emit(Fcmp(FCmpRel::kLe, 8, 9, 15, 1));
+  a.Emit(Pred(8, AddImm(27, 27, 1)));
+  a.Emit(Pred(9, AddImm(28, 28, 1)));
+  a.Emit(Pred(8, Fsqrt(15, 15)));
+  a.Emit(Pred(8, Fma(12, 15, 1, 12)));
+  info.back_branch_pc = a.EmitBranch(BrCloop(0), loop);
+
+  a.Bind(store_out);
+  a.Emit(St(8, 16, 27));
+  a.Emit(St(8, 17, 28));
+  a.Emit(Stf(18, 12));
+  a.Emit(Break());
+  a.Finish();
+
+  prog.AddKernel(name, info.entry);
+  prog.AddLoop(info);
+  return info;
+}
+
+}  // namespace cobra::kgen

@@ -1,0 +1,152 @@
+// "icc-like" kernel emitters: parameterized generators that produce MIA-64
+// loops with the code shape the Intel compiler gives OpenMP-parallelized
+// numerical kernels at -O3 — software-pipelined bodies using rotating
+// registers, counted-loop branches (br.ctop / br.cloop / br.wtop), and
+// aggressive data prefetching: a burst of prologue lfetches on the stored
+// stream plus steady-state lfetches targeting ~9 cache lines (1200 bytes)
+// ahead of the current references (the paper's Figure 2).
+//
+// Register conventions (all emitters):
+//   r14..r25   kernel arguments (set by the launcher's setup callback)
+//   f6, f7     floating-point constant arguments
+//   r8..r13, r26..r31, f9..f15   emitter scratch (static)
+//   r32+/f32+/p16+               rotating (software pipelining)
+// Every kernel ends with `break`, which halts the simulated thread.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "kgen/program.h"
+
+namespace cobra::kgen {
+
+// First kernel-argument general register.
+inline constexpr int kArgBase = 14;
+constexpr int ArgReg(int i) { return kArgBase + i; }
+
+// Compiler prefetch policy. Defaults reproduce icc's aggressiveness.
+struct PrefetchPolicy {
+  bool enabled = true;
+  int distance_bytes = 1200;   // ~9 lines of 128 B ahead (Figure 2)
+  int prologue_prefetches = 6; // initial burst on the stored stream
+  bool excl = false;           // statically emit lfetch.excl (study variant)
+
+  static PrefetchPolicy None() { return PrefetchPolicy{false, 0, 0, false}; }
+  static PrefetchPolicy Excl() {
+    PrefetchPolicy p;
+    p.excl = true;
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DAXPY — the exact Figure 2 shape: 8-stage software pipeline, rotating
+// load/store register chains, one alternating-stream lfetch per iteration.
+//   args: r14 = &x, r15 = &y, r16 = n (elements); f6 = a.
+LoopInfo EmitDaxpy(Program& prog, const std::string& name,
+                   const PrefetchPolicy& pf);
+
+// ---------------------------------------------------------------------------
+// Generic unit-stride elementwise stream loop, 2-stage software pipeline
+// (br.ctop), one lfetch chain per stream.
+//   args: r14..r14+k-1 = input stream bases (k = inputs for the op),
+//         r17 = output base, r18 = n; f6 = a, f7 = b.
+enum class StreamOp {
+  kCopy,        // out[i] = x[i]                       (1 input)
+  kScale,       // out[i] = a * x[i]                   (1 input)
+  kDaxpy,       // out[i] = y[i] + a * x[i]            (2 inputs: x, y)
+  kAdd,         // out[i] = x[i] + y[i]                (2 inputs)
+  kTriad,       // out[i] = x[i] + a * y[i]            (2 inputs)
+  kStencil3Sym, // out[i] = a*(l[i] + r[i]) + b*c[i]   (3 inputs: l, c, r)
+  kBlend4,      // out[i] = a*x[i]*y[i] + b*w[i]       (3 inputs)
+};
+int StreamOpInputs(StreamOp op);
+
+struct StreamLoopSpec {
+  StreamOp op = StreamOp::kDaxpy;
+  PrefetchPolicy prefetch{};
+  // Streams to cover with steady-state lfetch chains, as indices into
+  // {input0, input1, input2, output}. Empty = all inputs + output, with the
+  // output dropped when it aliases input index `output_aliases_input`.
+  std::vector<int> prefetch_streams{};
+  int output_aliases_input = -1;  // e.g. DAXPY: output y is also input 1
+  // Per-iteration byte strides (post-increment amounts). Equal strides get
+  // the Figure 2 alternating-chain prefetch; mixed strides fall back to one
+  // post-increment lfetch per stream.
+  std::array<int, 3> input_strides{8, 8, 8};
+  int output_stride = 8;
+};
+
+LoopInfo EmitStreamLoop(Program& prog, const std::string& name,
+                        const StreamLoopSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Reductions over one or two streams (br.cloop, accumulator in f8).
+//   args: r14 = &x, r15 = &y (dot only), r16 = n, r17 = &result (the
+//   thread's partial slot); writes the partial sum to [r17].
+enum class ReduceOp { kSum, kDot, kSumSq, kMax };
+LoopInfo EmitReduction(Program& prog, const std::string& name, ReduceOp op,
+                       const PrefetchPolicy& pf);
+
+// ---------------------------------------------------------------------------
+// CSR sparse matrix-vector product rows [row_begin, row_end):
+//   q[i] = sum_k vals[k] * p[col[k]]   (inner br.cloop, value-stream lfetch)
+//   args: r14 = &rowptr (int64), r15 = &col (int64), r16 = &vals,
+//         r17 = &p, r18 = &q, r19 = row_begin, r20 = row_end.
+LoopInfo EmitCsrMatvec(Program& prog, const std::string& name,
+                       const PrefetchPolicy& pf);
+
+// ---------------------------------------------------------------------------
+// Integer histogram: hist[key[i]] += 1 over keys [0, n) (br.cloop).
+//   args: r14 = &key (int32), r15 = &hist (int32), r16 = n.
+LoopInfo EmitHistogram(Program& prog, const std::string& name,
+                       const PrefetchPolicy& pf);
+
+// Int32 fill: buf[i] = value (br.cloop).
+//   args: r14 = &buf (int32), r15 = n, r16 = value.
+LoopInfo EmitFill32(Program& prog, const std::string& name,
+                    const PrefetchPolicy& pf);
+
+// Int32 accumulate: dst[i] += src[i] (br.cloop).
+//   args: r14 = &src (int32), r15 = &dst (int32), r16 = n.
+LoopInfo EmitIntAccumulate(Program& prog, const std::string& name,
+                           const PrefetchPolicy& pf);
+
+// Stable counting-sort ranking (sequential): for each key, rank[i] =
+// cursor[key[i]]++ where cursor starts as the scanned offsets.
+//   args: r14 = &key (int32), r15 = &cursor (int32), r16 = &rank (int32),
+//         r17 = n.
+LoopInfo EmitRank(Program& prog, const std::string& name,
+                  const PrefetchPolicy& pf);
+
+// Permutation scatter: out[rank[i]] = key[i] (br.cloop).
+//   args: r14 = &key (int32), r15 = &rank (int32), r16 = &out (int32),
+//         r17 = n.
+LoopInfo EmitPermute(Program& prog, const std::string& name,
+                     const PrefetchPolicy& pf);
+
+// Exclusive prefix sum over int32: out[i] = sum_{j<i} in[j]; also writes the
+// grand total to [r17]. Sequential (run on one thread).
+//   args: r14 = &in, r15 = &out, r16 = n, r17 = &total.
+LoopInfo EmitScan(Program& prog, const std::string& name,
+                  const PrefetchPolicy& pf);
+
+// ---------------------------------------------------------------------------
+// While-style streaming copy (br.wtop shape; some icc loops compile this
+// way):  out[i] = x[i] while i < n.
+//   args: r14 = &x, r15 = &out, r16 = n.
+LoopInfo EmitWhileCopy(Program& prog, const std::string& name,
+                       const PrefetchPolicy& pf);
+
+// ---------------------------------------------------------------------------
+// EP-style embarrassingly parallel kernel: xorshift64 PRNG in registers,
+// uniform deviate synthesis, unit-disk acceptance test, square-root of the
+// accepted radii; tallies accepted/rejected counts to memory at the end.
+//   args: r14 = seed, r15 = n (trials), r16 = &accept_count (int64),
+//         r17 = &reject_count (int64), r18 = &sum_slot (double partial).
+LoopInfo EmitEpKernel(Program& prog, const std::string& name,
+                      const PrefetchPolicy& pf);
+
+}  // namespace cobra::kgen

@@ -1,0 +1,61 @@
+#include "kgen/program.h"
+
+namespace cobra::kgen {
+
+Program::Program(isa::Addr code_base) : image_(code_base) {}
+
+std::uint64_t Program::Alloc(std::uint64_t bytes, std::uint64_t align) {
+  COBRA_CHECK(align != 0 && (align & (align - 1)) == 0);
+  data_break_ = (data_break_ + align - 1) & ~(align - 1);
+  const std::uint64_t base = data_break_;
+  data_break_ += bytes;
+  return base;
+}
+
+void Program::AddKernel(const std::string& name, isa::Addr entry) {
+  COBRA_CHECK_MSG(!HasKernel(name), "duplicate kernel name");
+  kernels_.emplace_back(name, entry);
+}
+
+bool Program::HasKernel(const std::string& name) const {
+  for (const auto& [n, e] : kernels_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+isa::Addr Program::KernelEntry(const std::string& name) const {
+  for (const auto& [n, e] : kernels_) {
+    if (n == name) return e;
+  }
+  COBRA_UNREACHABLE("unknown kernel name");
+}
+
+const LoopInfo* Program::FindLoop(const std::string& name) const {
+  for (const LoopInfo& loop : loops_) {
+    if (loop.name == name) return &loop;
+  }
+  return nullptr;
+}
+
+StaticStats Program::CountStatic() const {
+  StaticStats stats;
+  const isa::Addr end = image_.code_cache_start() != 0
+                            ? image_.code_cache_start()
+                            : image_.code_end();
+  for (isa::Addr bundle = image_.code_base(); bundle < end;
+       bundle += isa::kBundleBytes) {
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      switch (image_.Fetch(isa::MakePc(bundle, slot)).op) {
+        case isa::Opcode::kLfetch: ++stats.lfetch; break;
+        case isa::Opcode::kBrCtop: ++stats.br_ctop; break;
+        case isa::Opcode::kBrCloop: ++stats.br_cloop; break;
+        case isa::Opcode::kBrWtop: ++stats.br_wtop; break;
+        default: break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace cobra::kgen

@@ -1,0 +1,71 @@
+// Program: a generated binary plus the metadata a build system would keep.
+//
+// Owns the BinaryImage, a bump allocator over the simulated data segment, a
+// registry of kernel entry points, and per-loop records (LoopInfo) kept for
+// tests and for ground-truth validation of COBRA's loop discovery — COBRA
+// itself never reads LoopInfo; it finds loops from BTB samples like the
+// real system.
+//
+// Also computes the static instruction statistics of Table 1 (lfetch,
+// br.ctop, br.cloop, br.wtop counts) by scanning the emitted text segment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "support/check.h"
+
+namespace cobra::kgen {
+
+// Record of one emitted loop (ground truth for tests / ablations).
+struct LoopInfo {
+  std::string name;
+  isa::Addr entry = 0;            // kernel entry (prologue start)
+  isa::Addr head = 0;             // first bundle of the loop body
+  isa::Addr back_branch_pc = 0;   // pc of the loop-closing branch
+  std::vector<isa::Addr> lfetch_pcs;  // in-loop lfetch slots
+};
+
+// Table 1 row: static counts over the text segment.
+struct StaticStats {
+  std::uint64_t lfetch = 0;
+  std::uint64_t br_ctop = 0;
+  std::uint64_t br_cloop = 0;
+  std::uint64_t br_wtop = 0;
+};
+
+class Program {
+ public:
+  explicit Program(isa::Addr code_base = isa::BinaryImage::kDefaultCodeBase);
+
+  isa::BinaryImage& image() { return image_; }
+  const isa::BinaryImage& image() const { return image_; }
+
+  // --- Data segment allocation ---------------------------------------------
+  // Bump-allocates `bytes` of simulated memory, aligned to `align`.
+  std::uint64_t Alloc(std::uint64_t bytes, std::uint64_t align = 128);
+  std::uint64_t data_break() const { return data_break_; }
+
+  // --- Kernel/loop registry ---------------------------------------------------
+  void AddKernel(const std::string& name, isa::Addr entry);
+  isa::Addr KernelEntry(const std::string& name) const;
+  bool HasKernel(const std::string& name) const;
+
+  void AddLoop(LoopInfo info) { loops_.push_back(std::move(info)); }
+  const std::vector<LoopInfo>& loops() const { return loops_; }
+  const LoopInfo* FindLoop(const std::string& name) const;
+
+  // --- Static analysis (Table 1) ---------------------------------------------
+  // Counts over the static text (the code cache, if started, is excluded).
+  StaticStats CountStatic() const;
+
+ private:
+  isa::BinaryImage image_;
+  std::uint64_t data_break_ = 4096;  // leave page 0 unused (null guard)
+  std::vector<std::pair<std::string, isa::Addr>> kernels_;
+  std::vector<LoopInfo> loops_;
+};
+
+}  // namespace cobra::kgen

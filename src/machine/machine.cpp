@@ -1,0 +1,98 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cobra::machine {
+
+MachineConfig SmpServerConfig(int num_cpus) {
+  MachineConfig cfg;
+  cfg.num_cpus = num_cpus;
+  cfg.fabric = FabricKind::kSnoopBus;
+  cfg.mem = mem::ItaniumSmpConfig();
+  return cfg;
+}
+
+MachineConfig AltixConfig(int num_cpus) {
+  MachineConfig cfg;
+  cfg.num_cpus = num_cpus;
+  cfg.fabric = FabricKind::kDirectory;
+  cfg.mem = mem::AltixNumaConfig();
+  return cfg;
+}
+
+Machine::Machine(const MachineConfig& cfg, isa::BinaryImage* image)
+    : cfg_(cfg), image_(image) {
+  COBRA_CHECK(image != nullptr);
+  COBRA_CHECK(cfg.num_cpus >= 1);
+
+  memory_ = std::make_unique<mem::MainMemory>(cfg.mem.memory_bytes,
+                                              cfg.mem.page_bytes);
+
+  if (cfg.fabric == FabricKind::kSnoopBus) {
+    fabric_ = std::make_unique<mem::SnoopBus>(cfg.mem);
+  } else {
+    fabric_ = std::make_unique<mem::DirectoryFabric>(cfg.mem, memory_.get(),
+                                                     cfg.num_cpus);
+  }
+
+  std::vector<mem::CacheStack*> raw_stacks;
+  for (CpuId cpu = 0; cpu < cfg.num_cpus; ++cpu) {
+    stacks_.push_back(std::make_unique<mem::CacheStack>(cpu, cfg.mem));
+    stacks_.back()->AttachFabric(fabric_.get());
+    raw_stacks.push_back(stacks_.back().get());
+  }
+  fabric_->AttachStacks(raw_stacks);
+
+  for (CpuId cpu = 0; cpu < cfg.num_cpus; ++cpu) {
+    cores_.push_back(std::make_unique<cpu::Core>(
+        cpu, image_, memory_.get(), stacks_[static_cast<std::size_t>(cpu)].get(),
+        fabric_.get()));
+  }
+}
+
+int Machine::NodeOf(CpuId cpu) const {
+  if (cfg_.fabric == FabricKind::kSnoopBus) return 0;
+  return cpu / cfg_.mem.cpus_per_node;
+}
+
+Cycle Machine::GlobalTime() const {
+  Cycle t = 0;
+  for (const auto& core : cores_) t = std::max(t, core->now());
+  return t;
+}
+
+void Machine::SyncCores() {
+  const Cycle t = GlobalTime();
+  for (auto& core : cores_) core->set_now(t);
+}
+
+void Machine::RunUntilAllHalted(const std::vector<CpuId>& active) {
+  // Lowest-cycle-first, CPU-id tie-break: a deterministic interleave that
+  // approximates concurrent execution at instruction granularity.
+  std::vector<cpu::Core*> running;
+  for (CpuId cpu : active) {
+    cpu::Core* core = cores_.at(static_cast<std::size_t>(cpu)).get();
+    COBRA_CHECK_MSG(!core->halted(), "active core was never started");
+    running.push_back(core);
+  }
+  while (!running.empty()) {
+    cpu::Core* next = running.front();
+    for (cpu::Core* core : running) {
+      if (core->now() < next->now()) next = core;
+    }
+    next->Step();
+    if (next->halted()) {
+      std::erase(running, next);
+    }
+  }
+}
+
+void Machine::ResetTiming() {
+  for (auto& stack : stacks_) stack->Reset();
+  fabric_->ResetCounts();
+  for (auto& core : cores_) core->set_now(0);
+}
+
+}  // namespace cobra::machine

@@ -1,0 +1,84 @@
+// Machine: a complete simulated multiprocessor.
+//
+// Owns the main memory, one cache stack + core per CPU, and the coherence
+// fabric (snooping bus for the 4-way Itanium 2 SMP server, directory over a
+// fat-tree for the SGI Altix cc-NUMA system).  Executes cores with a
+// deterministic lowest-cycle-first interleave (ties broken by CPU id), so
+// every experiment is bit-reproducible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.h"
+#include "isa/image.h"
+#include "mem/cache_stack.h"
+#include "mem/coherence.h"
+#include "mem/config.h"
+#include "mem/directory.h"
+#include "mem/main_memory.h"
+#include "mem/snoop_bus.h"
+#include "support/simtypes.h"
+
+namespace cobra::machine {
+
+enum class FabricKind { kSnoopBus, kDirectory };
+
+struct MachineConfig {
+  int num_cpus = 4;
+  FabricKind fabric = FabricKind::kSnoopBus;
+  mem::MemConfig mem = mem::ItaniumSmpConfig();
+};
+
+// The 4-way Itanium 2 SMP server of Section 5.1.
+MachineConfig SmpServerConfig(int num_cpus = 4);
+
+// The SGI Altix cc-NUMA system of Section 5.1 (2-CPU nodes).
+MachineConfig AltixConfig(int num_cpus = 8);
+
+class Machine {
+ public:
+  // The image is owned by the caller (it is the program, not the machine).
+  Machine(const MachineConfig& cfg, isa::BinaryImage* image);
+
+  int num_cpus() const { return static_cast<int>(cores_.size()); }
+  const MachineConfig& config() const { return cfg_; }
+
+  cpu::Core& core(CpuId cpu) { return *cores_.at(static_cast<std::size_t>(cpu)); }
+  mem::CacheStack& stack(CpuId cpu) {
+    return *stacks_.at(static_cast<std::size_t>(cpu));
+  }
+  const mem::CacheStack& stack(CpuId cpu) const {
+    return *stacks_.at(static_cast<std::size_t>(cpu));
+  }
+  mem::MainMemory& memory() { return *memory_; }
+  mem::CoherenceFabric& fabric() { return *fabric_; }
+  const mem::CoherenceFabric& fabric() const { return *fabric_; }
+  isa::BinaryImage& image() { return *image_; }
+
+  // NUMA node of a CPU (0 for all CPUs on the snooping bus).
+  int NodeOf(CpuId cpu) const;
+
+  // Simulated wall-clock: the maximum core time.
+  Cycle GlobalTime() const;
+
+  // Barrier: advances every core to GlobalTime().
+  void SyncCores();
+
+  // Steps the given cores lowest-cycle-first until all have halted.
+  void RunUntilAllHalted(const std::vector<CpuId>& active);
+
+  // Drops all cached lines and statistics; clears fabric counters and each
+  // core's clock. Memory *contents* and page placement are preserved.
+  void ResetTiming();
+
+ private:
+  MachineConfig cfg_;
+  isa::BinaryImage* image_;
+  std::unique_ptr<mem::MainMemory> memory_;
+  std::unique_ptr<mem::CoherenceFabric> fabric_;
+  std::vector<std::unique_ptr<mem::CacheStack>> stacks_;
+  std::vector<std::unique_ptr<cpu::Core>> cores_;
+};
+
+}  // namespace cobra::machine

@@ -1,0 +1,106 @@
+#include "mem/cache_array.h"
+
+namespace cobra::mem {
+
+namespace {
+bool IsPow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheArray::CacheArray(std::size_t size_bytes, std::size_t line_bytes,
+                       int associativity)
+    : line_bytes_(line_bytes), assoc_(associativity) {
+  COBRA_CHECK_MSG(IsPow2(line_bytes), "line size must be a power of two");
+  COBRA_CHECK(associativity >= 1);
+  COBRA_CHECK_MSG(size_bytes % (line_bytes * associativity) == 0,
+                  "cache size must be a multiple of line*assoc");
+  sets_ = size_bytes / (line_bytes * static_cast<std::size_t>(associativity));
+  COBRA_CHECK_MSG(IsPow2(sets_), "number of sets must be a power of two");
+  lines_.resize(sets_ * static_cast<std::size_t>(assoc_));
+}
+
+CacheArray::Line* CacheArray::Probe(Addr addr) {
+  const Addr line_addr = LineAddrOf(addr);
+  Line* base = &lines_[SetOf(addr) * static_cast<std::size_t>(assoc_)];
+  for (int way = 0; way < assoc_; ++way) {
+    Line& line = base[way];
+    if (line.state != Mesi::kI && line.line_addr == line_addr) return &line;
+  }
+  return nullptr;
+}
+
+const CacheArray::Line* CacheArray::Probe(Addr addr) const {
+  return const_cast<CacheArray*>(this)->Probe(addr);
+}
+
+CacheArray::Line* CacheArray::Touch(Addr addr) {
+  Line* line = Probe(addr);
+  if (line != nullptr) {
+    line->lru = ++lru_clock_;
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return line;
+}
+
+CacheArray::Line* CacheArray::Insert(Addr addr, Mesi state, Cycle ready_at,
+                                     Line* victim, bool* victim_valid) {
+  COBRA_CHECK(state != Mesi::kI);
+  *victim_valid = false;
+  const Addr line_addr = LineAddrOf(addr);
+  Line* base = &lines_[SetOf(addr) * static_cast<std::size_t>(assoc_)];
+
+  Line* slot = nullptr;
+  for (int way = 0; way < assoc_; ++way) {
+    Line& line = base[way];
+    if (line.state != Mesi::kI && line.line_addr == line_addr) {
+      // Re-insert over an existing copy (e.g. upgrade): keep bookkeeping.
+      slot = &line;
+      break;
+    }
+    if (line.state == Mesi::kI) {
+      slot = &line;  // prefer an invalid way, keep scanning for an exact hit
+    }
+  }
+  if (slot == nullptr) {
+    // Evict LRU.
+    slot = base;
+    for (int way = 1; way < assoc_; ++way) {
+      if (base[way].lru < slot->lru) slot = &base[way];
+    }
+    *victim = *slot;
+    *victim_valid = true;
+    ++stats_.evictions;
+    if (slot->state == Mesi::kM) ++stats_.dirty_evictions;
+    if (slot->prefetched && !slot->referenced) {
+      ++stats_.useless_prefetch_evictions;
+    }
+  }
+
+  const bool fresh = slot->state == Mesi::kI || slot->line_addr != line_addr ||
+                     *victim_valid;
+  slot->line_addr = line_addr;
+  slot->state = state;
+  slot->ready_at = ready_at;
+  slot->lru = ++lru_clock_;
+  if (fresh) {
+    slot->prefetched = false;
+    slot->referenced = false;
+    slot->was_dirty_here = false;
+  }
+  return slot;
+}
+
+void CacheArray::Invalidate(Addr addr) {
+  if (Line* line = Probe(addr)) {
+    line->state = Mesi::kI;
+    line->ready_at = 0;
+  }
+}
+
+void CacheArray::Clear() {
+  for (Line& line : lines_) line = Line{};
+  lru_clock_ = 0;
+}
+
+}  // namespace cobra::mem

@@ -1,0 +1,96 @@
+// Set-associative tag array with LRU replacement.
+//
+// Purely a timing/state model: no data is stored (functional state lives in
+// MainMemory). Each line carries a MESI state, a `ready_at` cycle (nonzero
+// while an in-flight fill — typically a prefetch — has reserved the line but
+// the data has not yet arrived), and prefetch-usefulness bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/coherence.h"
+#include "support/check.h"
+#include "support/simtypes.h"
+
+namespace cobra::mem {
+
+class CacheArray {
+ public:
+  struct Line {
+    Addr line_addr = 0;     // full line-aligned address (tag + set combined)
+    Mesi state = Mesi::kI;
+    Cycle ready_at = 0;     // fill completion time (0 = long since ready)
+    std::uint64_t lru = 0;
+    bool prefetched = false;  // brought in by lfetch...
+    bool referenced = false;  // ...and later touched by a demand access
+    // Set when a remote read downgrades this cache's Modified copy to
+    // Shared. An lfetch.excl that hits such a line may re-acquire
+    // exclusivity (the line is part of this thread's *written* working
+    // set); read-shared lines never carry the bit, so exclusive prefetch
+    // hints cannot steal data this thread only reads.
+    bool was_dirty_here = false;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirty_evictions = 0;   // "writebacks" out of this level
+    std::uint64_t useless_prefetch_evictions = 0;
+  };
+
+  CacheArray(std::size_t size_bytes, std::size_t line_bytes,
+             int associativity);
+
+  std::size_t line_bytes() const { return line_bytes_; }
+  std::size_t num_sets() const { return sets_; }
+  int associativity() const { return assoc_; }
+
+  Addr LineAddrOf(Addr addr) const { return addr & ~(line_bytes_ - 1); }
+
+  // Looks the line up without touching LRU (used by snoops). Returns
+  // nullptr on miss.
+  Line* Probe(Addr addr);
+  const Line* Probe(Addr addr) const;
+
+  // Looks the line up and refreshes LRU on hit.
+  Line* Touch(Addr addr);
+
+  // Inserts (or re-uses) the line, evicting the LRU victim if the set is
+  // full. The victim (if any, and valid) is copied to `*victim` and
+  // `victim_valid` set. Returns the inserted line.
+  Line* Insert(Addr addr, Mesi state, Cycle ready_at, Line* victim,
+               bool* victim_valid);
+
+  // Drops the line if present (no writeback here; the stack handles that).
+  void Invalidate(Addr addr);
+
+  // Invalidate every line (between experiments).
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  // Iterates over all valid lines (testing/debug).
+  template <typename Fn>
+  void ForEachValid(Fn&& fn) const {
+    for (const Line& line : lines_) {
+      if (line.state != Mesi::kI) fn(line);
+    }
+  }
+
+ private:
+  std::size_t SetOf(Addr addr) const {
+    return (addr / line_bytes_) & (sets_ - 1);
+  }
+
+  std::size_t line_bytes_;
+  std::size_t sets_;
+  int assoc_;
+  std::vector<Line> lines_;  // sets_ * assoc_, set-major
+  std::uint64_t lru_clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cobra::mem

@@ -1,0 +1,314 @@
+#include "mem/cache_stack.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cobra::mem {
+
+CacheStack::CacheStack(CpuId cpu, const MemConfig& cfg)
+    : cpu_(cpu),
+      cfg_(cfg),
+      l1_(cfg.l1.size_bytes, cfg.l1.line_bytes, cfg.l1.associativity),
+      l2_(cfg.l2.size_bytes, cfg.l2.line_bytes, cfg.l2.associativity),
+      l3_(cfg.l3.size_bytes, cfg.l3.line_bytes, cfg.l3.associativity) {
+  COBRA_CHECK_MSG(cfg.l2.line_bytes == cfg.l3.line_bytes,
+                  "coherence granularity is the (shared) L2/L3 line size");
+  COBRA_CHECK_MSG(cfg.l1.line_bytes <= cfg.l2.line_bytes,
+                  "L1 lines must not exceed the coherence line");
+}
+
+CacheStack::Source CacheStack::ClassifySource(const FabricResult& r) {
+  if (r.snoop == SnoopOutcome::kHitM) return Source::kCoherent;
+  if (r.remote) return Source::kRemote;
+  return Source::kMemory;
+}
+
+void CacheStack::SetStateAll(Addr addr, Mesi state) {
+  if (auto* line = l3_.Probe(addr)) line->state = state;
+  if (auto* line = l2_.Probe(addr)) line->state = state;
+  // L1 lines are state-free copies; presence alone is tracked there.
+}
+
+void CacheStack::InvalidateAll(Addr addr) {
+  const Addr line = CohLine(addr);
+  for (Addr sub = line; sub < line + cfg_.l2.line_bytes;
+       sub += cfg_.l1.line_bytes) {
+    l1_.Invalidate(sub);
+  }
+  l2_.Invalidate(line);
+  l3_.Invalidate(line);
+}
+
+void CacheStack::EvictVictim(const CacheArray::Line& victim, Cycle now) {
+  // Inclusion: a line leaving L3 must leave L2 and L1 as well.  If any
+  // inner copy is dirtier than the L3 copy that cannot happen here because
+  // states are kept in lockstep by SetStateAll.
+  for (Addr sub = victim.line_addr;
+       sub < victim.line_addr + cfg_.l2.line_bytes;
+       sub += cfg_.l1.line_bytes) {
+    l1_.Invalidate(sub);
+  }
+  l2_.Invalidate(victim.line_addr);
+  if (victim.state == Mesi::kM) {
+    ++stats_.fabric_writebacks;
+    fabric_->Request(cpu_, BusOp::kWriteback, victim.line_addr, now);
+  } else {
+    fabric_->EvictNotify(cpu_, victim.line_addr);
+  }
+}
+
+CacheArray::Line* CacheStack::Fill(Addr addr, Mesi state, Cycle ready_at,
+                                   bool prefetched, Cycle now) {
+  const Addr line = CohLine(addr);
+  CacheArray::Line victim;
+  bool victim_valid = false;
+
+  // L3 first (inclusive outer level).
+  auto* l3_line = l3_.Insert(line, state, ready_at, &victim, &victim_valid);
+  if (victim_valid) EvictVictim(victim, now);
+  l3_line->prefetched = prefetched;
+  l3_line->referenced = !prefetched;
+
+  // Then L2. An L2 victim still resides in L3, so a dirty victim is only an
+  // internal (L2->L3) writeback, which Itanium 2 counts as an L2 writeback.
+  auto* l2_line = l2_.Insert(line, state, ready_at, &victim, &victim_valid);
+  if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+  l2_line->prefetched = prefetched;
+  l2_line->referenced = !prefetched;
+  return l2_line;
+}
+
+void CacheStack::FillL1(Addr addr, Cycle ready_at) {
+  CacheArray::Line victim;
+  bool victim_valid = false;
+  // L1 is write-through: victims are always clean, nothing to do with them.
+  l1_.Insert(l1_.LineAddrOf(addr), Mesi::kS, ready_at, &victim, &victim_valid);
+}
+
+CacheStack::AccessResult CacheStack::Load(Addr addr, int size, bool fp,
+                                          bool bias, Cycle now) {
+  (void)size;
+  ++stats_.loads;
+  COBRA_CHECK(fabric_ != nullptr);
+
+  // L1 (integer loads only; FP bypasses).
+  if (!fp) {
+    if (auto* line = l1_.Touch(addr)) {
+      const Cycle wait = line->ready_at > now ? line->ready_at - now : 0;
+      return {cfg_.l1_hit_latency + wait, Source::kL1};
+    }
+  }
+
+  // L2.
+  if (auto* line = l2_.Touch(addr)) {
+    line->referenced = true;
+    if (auto* outer = l3_.Probe(addr)) outer->referenced = true;
+    const Cycle wait = line->ready_at > now ? line->ready_at - now : 0;
+    if (!fp) FillL1(addr, now + cfg_.l2_hit_latency);
+    if (bias && line->state == Mesi::kS) {
+      // ld.bias on a shared line: upgrade in the background.
+      const FabricResult r =
+          fabric_->Request(cpu_, BusOp::kUpgrade, CohLine(addr), now);
+      SetStateAll(addr, r.grant == Mesi::kI ? Mesi::kS : Mesi::kE);
+    }
+    return {cfg_.l2_hit_latency + wait, Source::kL2};
+  }
+
+  // L3.
+  if (auto* line = l3_.Touch(addr)) {
+    line->referenced = true;
+    const Cycle wait = line->ready_at > now ? line->ready_at - now : 0;
+    // Refill L2 from L3 (state follows the L3 copy).
+    CacheArray::Line victim;
+    bool victim_valid = false;
+    auto* l2_line = l2_.Insert(CohLine(addr), line->state, 0, &victim,
+                               &victim_valid);
+    if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+    l2_line->referenced = true;
+    if (!fp) FillL1(addr, now + cfg_.l3_hit_latency);
+    return {cfg_.l3_hit_latency + wait, Source::kL3};
+  }
+
+  // Miss: go to the fabric.
+  const BusOp op = bias ? BusOp::kReadExcl : BusOp::kRead;
+  const FabricResult r = fabric_->Request(cpu_, op, CohLine(addr), now);
+  Fill(addr, r.grant, now + r.latency, /*prefetched=*/false, now);
+  if (!fp) FillL1(addr, now + r.latency);
+  return {r.latency, ClassifySource(r)};
+}
+
+CacheStack::AccessResult CacheStack::Store(Addr addr, int size, Cycle now) {
+  (void)size;
+  ++stats_.stores;
+  COBRA_CHECK(fabric_ != nullptr);
+
+  auto Charge = [&](Cycle bus_latency) {
+    return cfg_.store_hit_latency +
+           static_cast<Cycle>(static_cast<double>(bus_latency) *
+                              cfg_.store_stall_fraction);
+  };
+
+  // L2 (stores allocate at L2; L1 is write-through no-write-allocate).
+  if (auto* line = l2_.Touch(addr)) {
+    line->referenced = true;
+    if (auto* outer = l3_.Probe(addr)) outer->referenced = true;
+    const Cycle wait = line->ready_at > now ? line->ready_at - now : 0;
+    switch (line->state) {
+      case Mesi::kM:
+        return {cfg_.store_hit_latency + wait, Source::kL2};
+      case Mesi::kE:
+        SetStateAll(addr, Mesi::kM);
+        return {cfg_.store_hit_latency + wait, Source::kL2};
+      case Mesi::kS:
+        break;  // coherent L2 write miss: full read-invalidate below
+      case Mesi::kI:
+        break;
+    }
+    if (line->state == Mesi::kS) {
+      // Itanium 2 treats a store to a Shared line as an L2 write miss: the
+      // line is re-fetched with a full read-invalidate transaction (this is
+      // the "coherent L2 write misses lead to L3 misses" behaviour the
+      // paper describes). Drop our copy and take the miss path.
+      ++stats_.store_upgrades;
+      ++coherent_write_misses_;
+      InvalidateAll(addr);
+      const FabricResult r =
+          fabric_->Request(cpu_, BusOp::kReadExcl, CohLine(addr), now);
+      Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false,
+           now);
+      return {Charge(r.latency) + wait,
+              r.remote ? Source::kRemote : Source::kCoherent};
+    }
+  }
+
+  // L3.
+  if (auto* line = l3_.Touch(addr)) {
+    line->referenced = true;
+    const Cycle wait = line->ready_at > now ? line->ready_at - now : 0;
+    if (line->state == Mesi::kS) {
+      ++stats_.store_upgrades;
+      ++coherent_write_misses_;
+      InvalidateAll(addr);
+      const FabricResult r =
+          fabric_->Request(cpu_, BusOp::kReadExcl, CohLine(addr), now);
+      Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false,
+           now);
+      return {Charge(r.latency) + wait,
+              r.remote ? Source::kRemote : Source::kCoherent};
+    }
+    SetStateAll(addr, Mesi::kM);
+    CacheArray::Line victim;
+    bool victim_valid = false;
+    auto* l2_line =
+        l2_.Insert(CohLine(addr), Mesi::kM, 0, &victim, &victim_valid);
+    if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+    l2_line->referenced = true;
+    return {cfg_.l3_hit_latency + wait, Source::kL3};
+  }
+
+  // Miss: read-for-ownership.
+  const FabricResult r =
+      fabric_->Request(cpu_, BusOp::kReadExcl, CohLine(addr), now);
+  Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false, now);
+  return {Charge(r.latency), ClassifySource(r)};
+}
+
+void CacheStack::Prefetch(Addr addr, bool excl, Cycle now) {
+  ++stats_.prefetches;
+  COBRA_CHECK(fabric_ != nullptr);
+  const Addr line = CohLine(addr);
+
+  // lfetch.excl installs the line dirty on Itanium 2 (see MemConfig).
+  const Mesi excl_state =
+      cfg_.excl_prefetch_installs_dirty ? Mesi::kM : Mesi::kE;
+
+  // Already in L2?
+  if (auto* l2_line = l2_.Touch(line)) {
+    // A fill still in flight: the prefetch merges into the outstanding
+    // request (MSHR behaviour) — in particular an .excl prefetch must not
+    // upgrade a line whose shared fallback data has not even arrived yet.
+    if (l2_line->ready_at > now) return;
+    if (excl && l2_line->state == Mesi::kS && l2_line->was_dirty_here) {
+      ++stats_.prefetch_upgrades;
+      fabric_->Request(cpu_, BusOp::kUpgrade, line, now);
+      SetStateAll(line, excl_state);
+    }
+    return;
+  }
+
+  // In L3 only: stage into L2.
+  if (auto* l3_line = l3_.Touch(line)) {
+    if (l3_line->ready_at > now) return;  // fill in flight: MSHR merge
+    Mesi state = l3_line->state;
+    if (excl && state == Mesi::kS && l3_line->was_dirty_here) {
+      ++stats_.prefetch_upgrades;
+      fabric_->Request(cpu_, BusOp::kUpgrade, line, now);
+      state = excl_state;
+      l3_line->state = state;
+    }
+    CacheArray::Line victim;
+    bool victim_valid = false;
+    auto* l2_line = l2_.Insert(line, state, now + cfg_.l3_hit_latency, &victim,
+                               &victim_valid);
+    if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+    l2_line->prefetched = true;
+    l2_line->referenced = false;
+    return;
+  }
+
+  // Full miss: issue the bus transaction but do not stall the core.
+  ++stats_.prefetch_bus_requests;
+  const BusOp op = excl ? BusOp::kReadExclHint : BusOp::kRead;
+  const FabricResult r = fabric_->Request(cpu_, op, line, now);
+  // A best-effort exclusive prefetch may come back shared (hint not
+  // honoured against a dirty remote line); install what was granted.
+  const Mesi grant =
+      excl && r.grant == Mesi::kE ? excl_state : r.grant;
+  Fill(line, grant, now + r.latency, /*prefetched=*/true, now);
+}
+
+SnoopReply CacheStack::Snoop(Addr line_addr, SnoopType type) {
+  auto* line = l3_.Probe(line_addr);
+  if (line == nullptr) return SnoopReply::kMiss;
+
+  const bool was_dirty = line->state == Mesi::kM;
+  if (type == SnoopType::kRead) {
+    // Remote read: downgrade to Shared; a dirty line is supplied
+    // cache-to-cache (the fabric accounts for the implicit writeback).
+    if (line->state == Mesi::kM || line->state == Mesi::kE) {
+      ++stats_.snoop_downgrades;
+    }
+    if (was_dirty) {
+      ++stats_.hitm_supplies;
+      line->was_dirty_here = true;  // our written line, now shared
+      if (auto* inner = l2_.Probe(line_addr)) inner->was_dirty_here = true;
+    }
+    SetStateAll(line_addr, Mesi::kS);
+    return was_dirty ? SnoopReply::kHitM : SnoopReply::kHit;
+  }
+
+  // Invalidate.
+  ++stats_.snoop_invalidations;
+  if (was_dirty) ++stats_.hitm_supplies;
+  InvalidateAll(line_addr);
+  return was_dirty ? SnoopReply::kHitM : SnoopReply::kHit;
+}
+
+Mesi CacheStack::LineState(Addr addr) const {
+  const auto* line = l3_.Probe(addr);
+  return line != nullptr ? line->state : Mesi::kI;
+}
+
+void CacheStack::Reset() {
+  l1_.Clear();
+  l2_.Clear();
+  l3_.Clear();
+  l1_.ResetStats();
+  l2_.ResetStats();
+  l3_.ResetStats();
+  stats_ = Stats{};
+  coherent_write_misses_ = 0;
+}
+
+}  // namespace cobra::mem

@@ -1,0 +1,121 @@
+// Per-CPU private cache hierarchy: L1D / L2 / L3, MESI-coherent at 128-byte
+// (L2/L3 line) granularity, inclusive (L1 ⊆ L2 ⊆ L3).
+//
+// Itanium 2 idiosyncrasies modelled because COBRA depends on them:
+//   * FP loads/stores bypass L1D and are served from L2 (so the DAXPY
+//     kernel's ldfd latency ladder is 6 / 12 / ~130 / ~190 cycles);
+//   * lfetch is non-binding: it never stalls the core, fills L2+L3 (nt1),
+//     and with `.excl` requests the line in Exclusive state (RFO);
+//   * ld.bias requests exclusivity on an integer load;
+//   * lines being filled carry a `ready_at` cycle — a demand access that
+//     arrives before an in-flight prefetch completes stalls only for the
+//     remainder (partial prefetch coverage).
+//
+// The stack is a timing model: functional data lives in MainMemory.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache_array.h"
+#include "mem/coherence.h"
+#include "mem/config.h"
+
+namespace cobra::mem {
+
+class CacheStack {
+ public:
+  CacheStack(CpuId cpu, const MemConfig& cfg);
+
+  void AttachFabric(CoherenceFabric* fabric) { fabric_ = fabric; }
+  CpuId cpu() const { return cpu_; }
+  const MemConfig& config() const { return cfg_; }
+
+  // Where a demand access was ultimately served from.
+  enum class Source : std::uint8_t {
+    kL1,
+    kL2,
+    kL3,
+    kMemory,    // plain memory transaction (no other cache involved)
+    kCoherent,  // another cache held the line Modified (HITM path)
+    kRemote,    // NUMA: crossed the interconnect
+  };
+
+  struct AccessResult {
+    Cycle latency = 0;
+    Source source = Source::kL1;
+  };
+
+  // Demand accesses. `fp` routes around L1; `bias` is the ld.bias hint.
+  AccessResult Load(Addr addr, int size, bool fp, bool bias, Cycle now);
+  AccessResult Store(Addr addr, int size, Cycle now);
+
+  // Non-binding prefetch (lfetch). Never stalls the core.
+  void Prefetch(Addr addr, bool excl, Cycle now);
+
+  // Fabric-initiated snoop of this stack.
+  SnoopReply Snoop(Addr line_addr, SnoopType type);
+
+  // --- Introspection (tests, COBRA detectors) ------------------------------
+  Mesi LineState(Addr addr) const;     // state in L3 (kI if absent)
+  // Non-destructive dirty probe (the fabric's first snoop phase for
+  // best-effort exclusive prefetches).
+  bool HoldsDirty(Addr addr) const { return LineState(addr) == Mesi::kM; }
+  bool PresentInL2(Addr addr) const { return l2_.Probe(addr) != nullptr; }
+  bool PresentInL1(Addr addr) const { return l1_.Probe(addr) != nullptr; }
+
+  struct Stats {
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t prefetches = 0;
+    std::uint64_t prefetch_bus_requests = 0;   // prefetches that missed
+    std::uint64_t prefetch_upgrades = 0;       // excl prefetch of an S line
+    std::uint64_t l2_writebacks = 0;           // dirty L2 victims (to L3)
+    std::uint64_t fabric_writebacks = 0;       // dirty L3 victims (to memory)
+    std::uint64_t store_upgrades = 0;          // stores that needed S->M
+    std::uint64_t snoop_downgrades = 0;        // M/E -> S from remote reads
+    std::uint64_t snoop_invalidations = 0;     // lines lost to remote writes
+    std::uint64_t hitm_supplies = 0;           // dirty lines we supplied
+  };
+  const Stats& stats() const { return stats_; }
+  const CacheArray& l1() const { return l1_; }
+  const CacheArray& l2() const { return l2_; }
+  const CacheArray& l3() const { return l3_; }
+
+  // Demand + prefetch miss totals as the Itanium 2 HPM events report them.
+  // Coherent write misses (stores to Shared lines that must be re-fetched
+  // with ownership) count as L2/L3 misses, as on the hardware.
+  std::uint64_t L2Misses() const {
+    return l2_.stats().misses + coherent_write_misses_;
+  }
+  std::uint64_t L3Misses() const {
+    return l3_.stats().misses + coherent_write_misses_;
+  }
+
+  // Drops all cached state and statistics (between experiments).
+  void Reset();
+
+ private:
+  Addr CohLine(Addr addr) const { return l2_.LineAddrOf(addr); }
+
+  // Installs a line into L3 (evicting/writing back as needed) and into L2.
+  // Returns the L2 line.
+  CacheArray::Line* Fill(Addr addr, Mesi state, Cycle ready_at,
+                         bool prefetched, Cycle now);
+  void FillL1(Addr addr, Cycle ready_at);
+  void SetStateAll(Addr addr, Mesi state);
+  void InvalidateAll(Addr addr);
+  void EvictVictim(const CacheArray::Line& victim, Cycle now);
+
+  static Source ClassifySource(const FabricResult& r);
+
+  CpuId cpu_;
+  const MemConfig cfg_;
+  CoherenceFabric* fabric_ = nullptr;
+  CacheArray l1_;
+  CacheArray l2_;
+  CacheArray l3_;
+  Stats stats_;
+  std::uint64_t coherent_write_misses_ = 0;
+};
+
+}  // namespace cobra::mem

@@ -1,0 +1,124 @@
+// Coherence-protocol types shared by the snooping bus (SMP) and the
+// directory fabric (cc-NUMA), plus the statistics structures the HPM model
+// exposes as Itanium 2 bus events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/main_memory.h"
+#include "support/simtypes.h"
+
+namespace cobra::mem {
+
+// MESI (Illinois) line states, as on the Itanium 2 front-side bus.
+enum class Mesi : std::uint8_t { kI, kS, kE, kM };
+
+inline const char* MesiName(Mesi s) {
+  switch (s) {
+    case Mesi::kI: return "I";
+    case Mesi::kS: return "S";
+    case Mesi::kE: return "E";
+    case Mesi::kM: return "M";
+  }
+  return "?";
+}
+
+// Transaction kinds a cache stack can place on the fabric.
+enum class BusOp : std::uint8_t {
+  kRead,          // BRL: read line (grant S if shared, E if nobody holds it)
+  kReadExcl,      // BRIL / RFO: read line with intent to modify (grant E)
+  kReadExclHint,  // lfetch.excl miss: *best-effort* RFO. Clean remote copies
+                  // are invalidated and E granted, but if the snoop finds a
+                  // dirty line the hint is not honoured: the transaction
+                  // degrades to a read (owner downgrades, S granted).
+  kUpgrade,       // BIL: invalidate other copies of a line already held S
+  kWriteback,     // BWL: write a dirty victim back to memory
+};
+
+// How the rest of the system responded — the Itanium 2 snoop-response
+// events the paper's detector divides by total bus transactions.
+enum class SnoopOutcome : std::uint8_t {
+  kMiss,  // no other cache held the line (memory supplied it)
+  kHit,   // another cache held it clean (BUS_RD_HIT)
+  kHitM,  // another cache held it modified (BUS_RD_HITM / ..._INVAL_ALL_HITM)
+};
+
+// Result of a fabric request, consumed by the requesting cache stack.
+struct FabricResult {
+  Cycle latency = 0;        // total cycles until data usable (incl. queuing)
+  Mesi grant = Mesi::kI;    // state the requester may install the line in
+  SnoopOutcome snoop = SnoopOutcome::kMiss;
+  bool remote = false;      // NUMA: crossed the interconnect
+};
+
+// Per-requester bus/coherence event counters. The cpu::Hpm maps these onto
+// Itanium 2 event selectors (BUS_MEMORY, BUS_RD_HIT, BUS_RD_HITM, ...).
+struct BusEventCounts {
+  std::uint64_t bus_memory = 0;          // all data transactions it initiated
+  std::uint64_t bus_rd_hit = 0;          // reads snooped clean in another cache
+  std::uint64_t bus_rd_hitm = 0;         // reads that hit Modified elsewhere
+  std::uint64_t bus_rd_inval_all_hitm = 0;  // RFOs that hit Modified elsewhere
+  std::uint64_t bus_upgrades = 0;        // S->M invalidation rounds
+  std::uint64_t bus_writebacks = 0;      // dirty-victim writebacks
+  std::uint64_t remote_transactions = 0; // NUMA: crossed the interconnect
+
+  std::uint64_t CoherentEvents() const {
+    return bus_rd_hit + bus_rd_hitm + bus_rd_inval_all_hitm + bus_upgrades;
+  }
+
+  BusEventCounts& operator-=(const BusEventCounts& o) {
+    bus_memory -= o.bus_memory;
+    bus_rd_hit -= o.bus_rd_hit;
+    bus_rd_hitm -= o.bus_rd_hitm;
+    bus_rd_inval_all_hitm -= o.bus_rd_inval_all_hitm;
+    bus_upgrades -= o.bus_upgrades;
+    bus_writebacks -= o.bus_writebacks;
+    remote_transactions -= o.remote_transactions;
+    return *this;
+  }
+};
+
+// Snoop requests delivered *to* a cache stack by the fabric.
+enum class SnoopType : std::uint8_t {
+  kRead,        // another CPU reads: downgrade M/E to S, supply if dirty
+  kInvalidate,  // another CPU wants exclusivity: drop the line
+};
+
+// What the snooped stack reports back.
+enum class SnoopReply : std::uint8_t { kMiss, kHit, kHitM };
+
+class CacheStack;  // defined in cache_stack.h
+
+// Interface between a CPU's private cache stack and the system fabric
+// (snooping bus or NUMA directory).
+class CoherenceFabric {
+ public:
+  virtual ~CoherenceFabric() = default;
+
+  // Issues a transaction on behalf of `cpu` for the 128-B line at
+  // `line_addr`, at simulated time `now`. Updates global and per-CPU event
+  // counts and performs any required snoops/invalidations of other stacks.
+  virtual FabricResult Request(CpuId cpu, BusOp op, Addr line_addr,
+                               Cycle now) = 0;
+
+  // Registers the stacks the fabric coordinates (index = CpuId).
+  virtual void AttachStacks(std::vector<CacheStack*> stacks) = 0;
+
+  // Replacement hint: `cpu` silently dropped a clean line (no data
+  // transfer). Lets a directory keep its sharer/owner bits exact; the
+  // snooping bus ignores it.
+  virtual void EvictNotify(CpuId cpu, Addr line_addr) {
+    (void)cpu;
+    (void)line_addr;
+  }
+
+  // Aggregate transaction counters (all CPUs).
+  virtual const BusEventCounts& TotalCounts() const = 0;
+  // Per-requesting-CPU counters (what that CPU's HPM sees).
+  virtual const BusEventCounts& CpuCounts(CpuId cpu) const = 0;
+
+  virtual void ResetCounts() = 0;
+};
+
+}  // namespace cobra::mem

@@ -1,0 +1,25 @@
+#include "mem/config.h"
+
+namespace cobra::mem {
+
+MemConfig ItaniumSmpConfig() {
+  MemConfig cfg;
+  // Defaults are the SMP server; stated explicitly where the two systems
+  // differ so the presets read as a specification.
+  cfg.memory_latency = 130;
+  cfg.hitm_latency = 190;
+  cfg.link_hop_latency = 0;  // single bus, no interconnect hops
+  return cfg;
+}
+
+MemConfig AltixNumaConfig() {
+  MemConfig cfg;
+  cfg.cpus_per_node = 2;
+  cfg.memory_latency = 145;   // local memory on Altix is slightly slower
+  cfg.hitm_latency = 210;     // dirty transfer within a node
+  cfg.upgrade_latency = 140;
+  cfg.link_hop_latency = 75;  // remote traffic pays 2-3 traversals on top
+  return cfg;
+}
+
+}  // namespace cobra::mem

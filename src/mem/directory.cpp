@@ -1,0 +1,219 @@
+#include "mem/directory.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cobra::mem {
+
+DirectoryFabric::DirectoryFabric(const MemConfig& cfg, MainMemory* memory,
+                                 int num_cpus)
+    : cfg_(cfg), memory_(memory), num_cpus_(num_cpus) {
+  COBRA_CHECK(memory != nullptr);
+  COBRA_CHECK(cfg.cpus_per_node >= 1);
+  COBRA_CHECK_MSG(num_cpus <= 32, "sharer bitmask is 32 bits wide");
+  num_nodes_ = (num_cpus + cfg.cpus_per_node - 1) / cfg.cpus_per_node;
+  node_bus_free_.assign(static_cast<std::size_t>(num_nodes_), 0);
+}
+
+void DirectoryFabric::AttachStacks(std::vector<CacheStack*> stacks) {
+  stacks_ = std::move(stacks);
+  COBRA_CHECK(static_cast<int>(stacks_.size()) == num_cpus_);
+  per_cpu_.assign(stacks_.size(), BusEventCounts{});
+}
+
+void DirectoryFabric::ResetCounts() {
+  total_ = BusEventCounts{};
+  std::fill(per_cpu_.begin(), per_cpu_.end(), BusEventCounts{});
+  std::fill(node_bus_free_.begin(), node_bus_free_.end(), Cycle{0});
+  queue_cycles_ = 0;
+  dir_.clear();
+}
+
+const DirectoryFabric::Entry* DirectoryFabric::Lookup(Addr line_addr) const {
+  auto it = dir_.find(line_addr);
+  return it == dir_.end() ? nullptr : &it->second;
+}
+
+void DirectoryFabric::EvictNotify(CpuId cpu, Addr line_addr) {
+  auto it = dir_.find(line_addr);
+  if (it == dir_.end()) return;
+  it->second.sharers &= ~(1u << cpu);
+  if (it->second.owner == cpu) it->second.owner = -1;
+  if (it->second.sharers == 0 && it->second.owner < 0) dir_.erase(it);
+}
+
+Cycle DirectoryFabric::AcquireNodeBus(int node, Cycle earliest,
+                                      Cycle occupancy) {
+  auto& free_at = node_bus_free_.at(static_cast<std::size_t>(node));
+  const Cycle start = std::max(earliest, free_at);
+  queue_cycles_ += start - earliest;
+  free_at = start + occupancy;
+  return start;
+}
+
+FabricResult DirectoryFabric::Request(CpuId cpu, BusOp op, Addr line_addr,
+                                      Cycle now) {
+  COBRA_CHECK_MSG(!stacks_.empty(), "directory has no attached stacks");
+  auto& mine = per_cpu_.at(static_cast<std::size_t>(cpu));
+  const int req_node = NodeOf(cpu);
+  const int home_node = memory_->TouchPage(line_addr, req_node);
+  const bool remote_home = home_node != req_node;
+  const std::uint32_t my_bit = 1u << cpu;
+
+  const Cycle occupancy = op == BusOp::kUpgrade ? cfg_.bus_addr_occupancy
+                                                : cfg_.bus_data_occupancy;
+
+  // Leg 1: requester's front-side bus, then the interconnect to home.
+  const Cycle local_start = AcquireNodeBus(req_node, now, occupancy);
+  const Cycle at_home = local_start + Leg(req_node, home_node);
+  // Home node's memory controller.
+  const Cycle home_start =
+      remote_home ? AcquireNodeBus(home_node, at_home, occupancy) : at_home;
+
+  Entry& entry = dir_[line_addr];
+
+  // Best-effort exclusive prefetch: honour it only when no other cache
+  // holds the line dirty, otherwise degrade to a plain read.
+  if (op == BusOp::kReadExclHint) {
+    const bool dirty_elsewhere =
+        entry.owner >= 0 && entry.owner != cpu &&
+        stacks_[static_cast<std::size_t>(entry.owner)]->HoldsDirty(line_addr);
+    op = dirty_elsewhere ? BusOp::kRead : BusOp::kReadExcl;
+  }
+
+  auto Finish = [&](Cycle service, Mesi grant, SnoopOutcome snoop,
+                    bool counts_data) -> FabricResult {
+    if (counts_data) {
+      ++total_.bus_memory;
+      ++mine.bus_memory;
+    }
+    const bool remote = remote_home;
+    if (remote) {
+      ++total_.remote_transactions;
+      ++mine.remote_transactions;
+    }
+    FabricResult result;
+    result.latency = (home_start - now) + service + Leg(home_node, req_node);
+    result.grant = grant;
+    result.snoop = snoop;
+    result.remote = remote;
+    return result;
+  };
+
+  switch (op) {
+    case BusOp::kWriteback: {
+      entry.sharers &= ~my_bit;
+      if (entry.owner == cpu) entry.owner = -1;
+      if (entry.sharers == 0 && entry.owner < 0) dir_.erase(line_addr);
+      ++total_.bus_writebacks;
+      ++mine.bus_writebacks;
+      FabricResult result = Finish(0, Mesi::kI, SnoopOutcome::kMiss,
+                                   /*counts_data=*/true);
+      // Buffered: the core does not wait for the writeback to land.
+      result.latency = local_start - now;
+      return result;
+    }
+
+    case BusOp::kRead: {
+      // Dirty/exclusive elsewhere: forward to the owner.
+      if (entry.owner >= 0 && entry.owner != cpu) {
+        const int owner = entry.owner;
+        const int owner_node = NodeOf(owner);
+        const SnoopReply reply =
+            stacks_[static_cast<std::size_t>(owner)]->Snoop(
+                line_addr, SnoopType::kRead);
+        if (reply != SnoopReply::kMiss) {
+          entry.sharers |= (1u << owner) | my_bit;
+          entry.owner = -1;
+          const bool dirty = reply == SnoopReply::kHitM;
+          if (dirty) {
+            ++total_.bus_rd_hitm;
+            ++mine.bus_rd_hitm;
+          } else {
+            ++total_.bus_rd_hit;
+            ++mine.bus_rd_hit;
+          }
+          // Three-hop transfer: home -> owner -> requester.
+          const Cycle service =
+              (dirty ? cfg_.hitm_latency : cfg_.memory_latency) +
+              Leg(home_node, owner_node) + Leg(owner_node, req_node) -
+              Leg(home_node, req_node);
+          FabricResult r = Finish(service, Mesi::kS,
+                                  dirty ? SnoopOutcome::kHitM
+                                        : SnoopOutcome::kHit,
+                                  /*counts_data=*/true);
+          r.remote = r.remote || owner_node != req_node;
+          if (owner_node != req_node && !remote_home) {
+            ++total_.remote_transactions;
+            ++mine.remote_transactions;
+          }
+          return r;
+        }
+        entry.owner = -1;  // stale owner (silent drop): fall back to memory
+      }
+
+      const bool shared_elsewhere = (entry.sharers & ~my_bit) != 0;
+      entry.sharers |= my_bit;
+      if (shared_elsewhere) {
+        ++total_.bus_rd_hit;
+        ++mine.bus_rd_hit;
+        return Finish(cfg_.memory_latency, Mesi::kS, SnoopOutcome::kHit,
+                      /*counts_data=*/true);
+      }
+      entry.owner = cpu;
+      return Finish(cfg_.memory_latency, Mesi::kE, SnoopOutcome::kMiss,
+                    /*counts_data=*/true);
+    }
+
+    case BusOp::kReadExclHint:  // rewritten above; kept for -Wswitch
+    case BusOp::kReadExcl:
+    case BusOp::kUpgrade: {
+      bool hitm = false;
+      bool invalidated_remote = false;
+      Cycle inval_leg = 0;
+      // Invalidate the owner and every sharer except the requester.
+      auto Zap = [&](CpuId target) {
+        if (target == cpu) return;
+        const SnoopReply reply =
+            stacks_[static_cast<std::size_t>(target)]->Snoop(
+                line_addr, SnoopType::kInvalidate);
+        if (reply == SnoopReply::kHitM) hitm = true;
+        const int target_node = NodeOf(target);
+        if (target_node != home_node) {
+          inval_leg = std::max(inval_leg, 2 * Leg(home_node, target_node));
+        }
+        if (target_node != req_node) invalidated_remote = true;
+      };
+      if (entry.owner >= 0) Zap(entry.owner);
+      for (CpuId target = 0; target < num_cpus_; ++target) {
+        if (entry.sharers & (1u << target)) Zap(target);
+      }
+      entry.owner = cpu;
+      entry.sharers = my_bit;
+
+      if (op == BusOp::kUpgrade) {
+        ++total_.bus_upgrades;
+        ++mine.bus_upgrades;
+        FabricResult r = Finish(cfg_.upgrade_latency + inval_leg, Mesi::kE,
+                                hitm ? SnoopOutcome::kHitM : SnoopOutcome::kHit,
+                                /*counts_data=*/false);
+        r.remote = r.remote || invalidated_remote;
+        return r;
+      }
+      if (hitm) {
+        ++total_.bus_rd_inval_all_hitm;
+        ++mine.bus_rd_inval_all_hitm;
+      }
+      FabricResult r = Finish(
+          (hitm ? cfg_.hitm_latency : cfg_.memory_latency) + inval_leg,
+          Mesi::kE, hitm ? SnoopOutcome::kHitM : SnoopOutcome::kMiss,
+          /*counts_data=*/true);
+      r.remote = r.remote || invalidated_remote;
+      return r;
+    }
+  }
+  COBRA_UNREACHABLE("bad bus op");
+}
+
+}  // namespace cobra::mem

@@ -1,0 +1,56 @@
+#include "mem/main_memory.h"
+
+#include <cstring>
+
+namespace cobra::mem {
+
+MainMemory::MainMemory(std::size_t bytes, std::size_t page_bytes)
+    : data_(bytes, 0), page_bytes_(page_bytes) {
+  COBRA_CHECK_MSG(page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0,
+                  "page size must be a power of two");
+  page_home_.assign((bytes + page_bytes - 1) / page_bytes, -1);
+}
+
+std::uint64_t MainMemory::Read(Addr addr, int size) const {
+  CheckRange(addr, static_cast<std::size_t>(size));
+  std::uint64_t out = 0;
+  std::memcpy(&out, data_.data() + addr, static_cast<std::size_t>(size));
+  return out;
+}
+
+void MainMemory::Write(Addr addr, int size, std::uint64_t value) {
+  CheckRange(addr, static_cast<std::size_t>(size));
+  std::memcpy(data_.data() + addr, &value, static_cast<std::size_t>(size));
+}
+
+double MainMemory::ReadDouble(Addr addr) const { return ReadAs<double>(addr); }
+
+void MainMemory::WriteDouble(Addr addr, double value) {
+  WriteAs<double>(addr, value);
+}
+
+int MainMemory::TouchPage(Addr addr, int node) {
+  CheckRange(addr, 1);
+  auto& home = page_home_[addr / page_bytes_];
+  if (home < 0) home = static_cast<std::int16_t>(node);
+  return home;
+}
+
+int MainMemory::HomeNode(Addr addr) const {
+  CheckRange(addr, 1);
+  return page_home_[addr / page_bytes_];
+}
+
+void MainMemory::ResetPageMap() {
+  std::fill(page_home_.begin(), page_home_.end(), -1);
+}
+
+void MainMemory::PlaceRange(Addr begin, Addr end, int node) {
+  COBRA_CHECK(begin <= end && end <= data_.size());
+  for (Addr page = begin / page_bytes_;
+       page <= (end == begin ? begin : end - 1) / page_bytes_; ++page) {
+    page_home_[page] = static_cast<std::int16_t>(node);
+  }
+}
+
+}  // namespace cobra::mem

@@ -1,0 +1,74 @@
+// Flat simulated physical memory with a first-touch page table.
+//
+// The memory holds the *functional* state of every simulated program: the
+// caches in this simulator are timing models (tag/state only), so loads and
+// stores always read/write here.  Because the machine interleaves cores one
+// instruction at a time, this split is observationally equivalent to a
+// data-carrying coherent hierarchy while being far simpler to validate.
+//
+// The page table implements the SGI Altix first-touch policy described in
+// Section 3.2: the first CPU (node) to touch a page becomes its home, which
+// the directory fabric uses to locate a line's home node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/config.h"
+#include "support/check.h"
+#include "support/simtypes.h"
+
+namespace cobra::mem {
+
+using Addr = std::uint64_t;
+
+class MainMemory {
+ public:
+  explicit MainMemory(std::size_t bytes, std::size_t page_bytes = 16 * 1024);
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t page_bytes() const { return page_bytes_; }
+
+  // --- Functional access ---------------------------------------------------
+  std::uint64_t Read(Addr addr, int size) const;
+  void Write(Addr addr, int size, std::uint64_t value);
+  double ReadDouble(Addr addr) const;
+  void WriteDouble(Addr addr, double value);
+
+  // Typed bulk helpers for workload setup/verification (host-side).
+  template <typename T>
+  T ReadAs(Addr addr) const {
+    CheckRange(addr, sizeof(T));
+    T out;
+    __builtin_memcpy(&out, data_.data() + addr, sizeof(T));
+    return out;
+  }
+  template <typename T>
+  void WriteAs(Addr addr, T value) {
+    CheckRange(addr, sizeof(T));
+    __builtin_memcpy(data_.data() + addr, &value, sizeof(T));
+  }
+
+  // --- First-touch page placement ------------------------------------------
+  // Returns the page's home node, assigning `node` if untouched.
+  int TouchPage(Addr addr, int node);
+  // Home node of the page, or -1 if never touched.
+  int HomeNode(Addr addr) const;
+  // Forgets all page placements (between experiments).
+  void ResetPageMap();
+  // Pre-places a range of pages on a node (models a thread initializing its
+  // partition during the init phase, as Section 3.2 assumes).
+  void PlaceRange(Addr begin, Addr end, int node);
+
+ private:
+  void CheckRange(Addr addr, std::size_t bytes) const {
+    COBRA_CHECK_MSG(addr + bytes <= data_.size() && addr + bytes >= bytes,
+                    "data access out of simulated memory range");
+  }
+
+  std::vector<std::uint8_t> data_;
+  std::size_t page_bytes_;
+  std::vector<std::int16_t> page_home_;  // -1 = untouched
+};
+
+}  // namespace cobra::mem

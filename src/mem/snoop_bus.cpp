@@ -1,0 +1,178 @@
+#include "mem/snoop_bus.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cobra::mem {
+
+SnoopBus::SnoopBus(const MemConfig& cfg) : cfg_(cfg) {}
+
+void SnoopBus::AttachStacks(std::vector<CacheStack*> stacks) {
+  stacks_ = std::move(stacks);
+  per_cpu_.assign(stacks_.size(), BusEventCounts{});
+}
+
+void SnoopBus::ResetCounts() {
+  total_ = BusEventCounts{};
+  std::fill(per_cpu_.begin(), per_cpu_.end(), BusEventCounts{});
+  free_at_ = 0;
+  queue_cycles_ = 0;
+}
+
+FabricResult SnoopBus::Request(CpuId cpu, BusOp op, Addr line_addr,
+                               Cycle now) {
+  COBRA_CHECK_MSG(!stacks_.empty(), "bus has no attached stacks");
+  auto& mine = per_cpu_.at(static_cast<std::size_t>(cpu));
+
+  const Cycle start = std::max(now, free_at_);
+  const Cycle queue = start - now;
+  queue_cycles_ += queue;
+
+  auto Occupy = [&](Cycle occupancy) { free_at_ = start + occupancy; };
+  auto CountData = [&] {
+    ++total_.bus_memory;
+    ++mine.bus_memory;
+  };
+
+  FabricResult result;
+  switch (op) {
+    case BusOp::kWriteback: {
+      // Buffered writeback of a dirty victim: occupies the bus but the core
+      // does not wait for it.
+      Occupy(cfg_.bus_data_occupancy);
+      CountData();
+      ++total_.bus_writebacks;
+      ++mine.bus_writebacks;
+      result.latency = queue;
+      result.grant = Mesi::kI;
+      return result;
+    }
+
+    case BusOp::kRead: {
+      Occupy(cfg_.bus_data_occupancy);
+      CountData();
+      SnoopReply worst = SnoopReply::kMiss;
+      for (CacheStack* other : stacks_) {
+        if (other->cpu() == cpu) continue;
+        const SnoopReply reply = other->Snoop(line_addr, SnoopType::kRead);
+        if (reply == SnoopReply::kHitM) {
+          worst = SnoopReply::kHitM;
+        } else if (reply == SnoopReply::kHit && worst == SnoopReply::kMiss) {
+          worst = SnoopReply::kHit;
+        }
+      }
+      switch (worst) {
+        case SnoopReply::kHitM:
+          // Illinois: owner supplies the line cache-to-cache and memory is
+          // updated in the same transaction (an implicit writeback), so the
+          // bus is held for a second data transfer.
+          Occupy(2 * cfg_.bus_data_occupancy);
+          ++total_.bus_rd_hitm;
+          ++mine.bus_rd_hitm;
+          result.latency = queue + cfg_.hitm_latency;
+          result.grant = Mesi::kS;
+          result.snoop = SnoopOutcome::kHitM;
+          return result;
+        case SnoopReply::kHit:
+          ++total_.bus_rd_hit;
+          ++mine.bus_rd_hit;
+          result.latency = queue + cfg_.memory_latency;
+          result.grant = Mesi::kS;
+          result.snoop = SnoopOutcome::kHit;
+          return result;
+        case SnoopReply::kMiss:
+          result.latency = queue + cfg_.memory_latency;
+          result.grant = Mesi::kE;
+          result.snoop = SnoopOutcome::kMiss;
+          return result;
+      }
+      COBRA_UNREACHABLE("bad snoop reply");
+    }
+
+    case BusOp::kReadExclHint: {
+      // Best-effort exclusive prefetch: honoured only if no other cache
+      // holds the line dirty; otherwise degrade to a read.
+      bool dirty_elsewhere = false;
+      for (CacheStack* other : stacks_) {
+        if (other->cpu() != cpu && other->HoldsDirty(line_addr)) {
+          dirty_elsewhere = true;
+        }
+      }
+      Occupy(cfg_.bus_data_occupancy);
+      CountData();
+      if (dirty_elsewhere) {
+        for (CacheStack* other : stacks_) {
+          if (other->cpu() == cpu) continue;
+          other->Snoop(line_addr, SnoopType::kRead);
+        }
+        ++total_.bus_rd_hitm;
+        ++mine.bus_rd_hitm;
+        Occupy(cfg_.bus_data_occupancy);  // implicit writeback transfer
+        result.latency = queue + cfg_.hitm_latency;
+        result.grant = Mesi::kS;
+        result.snoop = SnoopOutcome::kHitM;
+        return result;
+      }
+      bool clean_hit = false;
+      for (CacheStack* other : stacks_) {
+        if (other->cpu() == cpu) continue;
+        if (other->Snoop(line_addr, SnoopType::kInvalidate) ==
+            SnoopReply::kHit) {
+          clean_hit = true;
+        }
+      }
+      if (clean_hit) {
+        ++total_.bus_rd_hit;
+        ++mine.bus_rd_hit;
+      }
+      result.latency = queue + cfg_.memory_latency;
+      result.grant = Mesi::kE;
+      result.snoop = clean_hit ? SnoopOutcome::kHit : SnoopOutcome::kMiss;
+      return result;
+    }
+
+    case BusOp::kReadExcl: {
+      Occupy(cfg_.bus_data_occupancy);
+      CountData();
+      bool hitm = false;
+      for (CacheStack* other : stacks_) {
+        if (other->cpu() == cpu) continue;
+        if (other->Snoop(line_addr, SnoopType::kInvalidate) ==
+            SnoopReply::kHitM) {
+          hitm = true;
+        }
+      }
+      if (hitm) {
+        Occupy(2 * cfg_.bus_data_occupancy);  // implicit writeback transfer
+        ++total_.bus_rd_inval_all_hitm;
+        ++mine.bus_rd_inval_all_hitm;
+        result.latency = queue + cfg_.hitm_latency;
+        result.snoop = SnoopOutcome::kHitM;
+      } else {
+        result.latency = queue + cfg_.memory_latency;
+        result.snoop = SnoopOutcome::kMiss;
+      }
+      result.grant = Mesi::kE;
+      return result;
+    }
+
+    case BusOp::kUpgrade: {
+      // Address-only invalidation round.
+      Occupy(cfg_.bus_addr_occupancy);
+      ++total_.bus_upgrades;
+      ++mine.bus_upgrades;
+      for (CacheStack* other : stacks_) {
+        if (other->cpu() == cpu) continue;
+        other->Snoop(line_addr, SnoopType::kInvalidate);
+      }
+      result.latency = queue + cfg_.upgrade_latency;
+      result.grant = Mesi::kE;
+      result.snoop = SnoopOutcome::kHit;
+      return result;
+    }
+  }
+  COBRA_UNREACHABLE("bad bus op");
+}
+
+}  // namespace cobra::mem

@@ -1,0 +1,51 @@
+// BT mini-benchmark: the Block-Tridiagonal simulated CFD application,
+// modelled as its characteristic phase sequence — RHS computation (halo
+// stencils), alternating-direction implicit line solves (flux blends and
+// line updates), and the solution add. One generated loop per phase.
+#include "npb/grid.h"
+
+namespace cobra::npb {
+namespace {
+
+class BtBenchmark final : public GridBenchmark {
+ public:
+  BtBenchmark() : GridBenchmark("bt", /*timesteps=*/16) {}
+
+ protected:
+  void Declare() override {
+    constexpr std::int64_t kN = 4096;  // 64x64 grid, flattened
+    const int u = AddArray("u", kN + 2, 0.50, 0.30);
+    const int rhs = AddArray("rhs", kN + 2, 0.20, 0.10);
+    const int tmp = AddArray("tmp", kN + 2, 0.00, 0.05);
+    const int us = AddArray("us", kN + 2, 0.40, 0.20);
+    const int vs = AddArray("vs", kN + 2, 0.30, 0.25);
+
+    using Op = kgen::StreamOp;
+    AddPhase(Stencil("rhs_x", u, rhs, kN, 0.20, 0.55));
+    AddPhase(Stencil("rhs_y", rhs, tmp, kN, 0.15, 0.60));
+    AddPhase(Elementwise("xi_flux", Op::kBlend4, u, us, vs, us, kN, 0.30,
+                         0.50));
+    AddPhase(Elementwise("x_solve", Op::kTriad, tmp, u, -1, u, kN, 0.40,
+                         0.0));
+    AddPhase(Elementwise("x_backsub", Op::kDaxpy, us, rhs, -1, rhs, kN, 0.25,
+                         0.0));
+    AddPhase(Elementwise("eta_flux", Op::kBlend4, u, vs, us, vs, kN, 0.25,
+                         0.45));
+    AddPhase(Elementwise("y_solve", Op::kTriad, tmp, rhs, -1, rhs, kN, 0.35,
+                         0.0));
+    AddPhase(Elementwise("y_backsub", Op::kDaxpy, vs, u, -1, u, kN, 0.20,
+                         0.0));
+    AddPhase(Elementwise("add", Op::kDaxpy, rhs, u, -1, u, kN, 0.10, 0.0));
+    AddPhase(Elementwise("qs", Op::kScale, u, -1, -1, tmp, kN, 0.50, 0.0));
+    AddPhase(Elementwise("damp_u", Op::kScale, u, -1, -1, u, kN, 0.55, 0.0));
+    AddPhase(Elementwise("damp_rhs", Op::kScale, rhs, -1, -1, rhs, kN, 0.55, 0.0));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NpbBenchmark> MakeBt() {
+  return std::make_unique<BtBenchmark>();
+}
+
+}  // namespace cobra::npb

@@ -1,0 +1,233 @@
+// CG mini-benchmark: conjugate-gradient iterations with a banded sparse
+// matrix in CSR form, the computational core of NPB CG (class-S-like size).
+//
+// Sharing behaviour matches the original: the direction vector p is
+// written partitioned (p = r + beta*p) and then *gathered* across all
+// partitions by the matvec (q[i] = sum vals[k] * p[col[k]]), so every CG
+// iteration turns partition-boundary and cross-partition p lines into
+// coherent misses on loads — visible to the DEAR filter. The per-thread
+// reduction partials share a single cache line (true sharing), as naive
+// OpenMP reductions do.
+#include <cmath>
+
+#include "npb/common.h"
+#include "support/check.h"
+
+namespace cobra::npb {
+namespace {
+
+class CgBenchmark final : public NpbBenchmark {
+ public:
+  CgBenchmark() : NpbBenchmark("cg") {}
+
+  static constexpr std::int64_t kRows = 1408;
+  static constexpr std::int64_t kBand = 6;  // 13-diagonal band
+  static constexpr int kIterations = 16;
+
+  void Build(kgen::Program& prog, const kgen::PrefetchPolicy& pf) override {
+    matvec_ = EmitCsrMatvec(prog, "cg_matvec", pf);
+    dot_ = EmitReduction(prog, "cg_dot_pq", kgen::ReduceOp::kDot, pf);
+    sumsq_ = EmitReduction(prog, "cg_rho", kgen::ReduceOp::kSumSq, pf);
+
+    kgen::StreamLoopSpec daxpy;
+    daxpy.op = kgen::StreamOp::kDaxpy;
+    daxpy.prefetch = pf;
+    daxpy.output_aliases_input = 1;
+    x_update_ = EmitStreamLoop(prog, "cg_x_update", daxpy);
+    r_update_ = EmitStreamLoop(prog, "cg_r_update", daxpy);
+
+    kgen::StreamLoopSpec triad;
+    triad.op = kgen::StreamOp::kTriad;
+    triad.prefetch = pf;
+    triad.output_aliases_input = 1;
+    p_update_ = EmitStreamLoop(prog, "cg_p_update", triad);
+
+    // CSR structure: band of half-width kBand.
+    rowptr_host_.assign(1, 0);
+    col_host_.clear();
+    vals_host_.clear();
+    for (std::int64_t i = 0; i < kRows; ++i) {
+      for (std::int64_t j = i - kBand; j <= i + kBand; ++j) {
+        if (j < 0 || j >= kRows) continue;
+        col_host_.push_back(j);
+        vals_host_.push_back(i == j ? 4.0 : 1.0 / (2.0 + std::abs(i - j)));
+      }
+      rowptr_host_.push_back(static_cast<std::int64_t>(col_host_.size()));
+    }
+
+    rowptr_ = prog.Alloc(rowptr_host_.size() * 8);
+    col_ = prog.Alloc(col_host_.size() * 8);
+    vals_ = prog.Alloc(vals_host_.size() * 8);
+    x_ = prog.Alloc(kRows * 8);
+    p_ = prog.Alloc(kRows * 8);
+    q_ = prog.Alloc(kRows * 8);
+    r_ = prog.Alloc(kRows * 8);
+    partials_ = prog.Alloc(32 * 8);  // one line per 16 threads: true sharing
+  }
+
+  void Init(machine::Machine& machine, int threads) override {
+    threads_ = threads;
+    for (std::size_t i = 0; i < rowptr_host_.size(); ++i) {
+      machine.memory().WriteAs<std::int64_t>(rowptr_ + 8 * i, rowptr_host_[i]);
+    }
+    for (std::size_t i = 0; i < col_host_.size(); ++i) {
+      machine.memory().WriteAs<std::int64_t>(col_ + 8 * i, col_host_[i]);
+      machine.memory().WriteDouble(vals_ + 8 * i, vals_host_[i]);
+    }
+    for (std::int64_t i = 0; i < kRows; ++i) {
+      machine.memory().WriteDouble(x_ + 8 * static_cast<Addr>(i), 0.0);
+      machine.memory().WriteDouble(p_ + 8 * static_cast<Addr>(i), 1.0);
+      machine.memory().WriteDouble(r_ + 8 * static_cast<Addr>(i), 1.0);
+      machine.memory().WriteDouble(q_ + 8 * static_cast<Addr>(i), 0.0);
+    }
+    for (const Addr base : {x_, p_, q_, r_}) {
+      PlacePartitioned(machine, base, kRows, 8, threads);
+    }
+    PlacePartitioned(machine, vals_,
+                     static_cast<std::int64_t>(vals_host_.size()), 8, threads);
+    rho_ = static_cast<double>(kRows);  // r = ones
+    final_rho_ = 0.0;
+  }
+
+  Cycle Run(rt::Team& team) override {
+    machine::Machine& machine = team.machine();
+    const Cycle start = machine.GlobalTime();
+    const int threads = team.num_threads();
+
+    auto ReducePartials = [&](const kgen::LoopInfo& kernel, Addr vec_a,
+                              Addr vec_b) {
+      team.Run(kernel.entry, [&](int tid, cpu::RegisterFile& regs) {
+        const auto chunk = rt::StaticChunk(tid, threads, kRows);
+        regs.WriteGr(14, vec_a + 8 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(15, vec_b + 8 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(16, static_cast<std::uint64_t>(chunk.size()));
+        regs.WriteGr(17, partials_ + 8 * static_cast<Addr>(tid));
+      });
+      double total = 0.0;
+      for (int tid = 0; tid < threads; ++tid) {
+        total += machine.memory().ReadDouble(partials_ +
+                                             8 * static_cast<Addr>(tid));
+      }
+      return total;
+    };
+
+    auto VectorUpdate = [&](const kgen::LoopInfo& kernel, Addr in0, Addr out,
+                            double scalar) {
+      team.Run(kernel.entry, [&](int tid, cpu::RegisterFile& regs) {
+        const auto chunk = rt::StaticChunk(tid, threads, kRows);
+        regs.WriteGr(14, in0 + 8 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(15, out + 8 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(17, out + 8 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(18, static_cast<std::uint64_t>(chunk.size()));
+        regs.WriteFr(6, scalar);
+      });
+    };
+
+    for (int iter = 0; iter < kIterations; ++iter) {
+      // q = A p
+      team.Run(matvec_.entry, [&](int tid, cpu::RegisterFile& regs) {
+        const auto chunk = rt::StaticChunk(tid, threads, kRows);
+        regs.WriteGr(14, rowptr_);
+        regs.WriteGr(15, col_);
+        regs.WriteGr(16, vals_);
+        regs.WriteGr(17, p_);
+        regs.WriteGr(18, q_);
+        regs.WriteGr(19, static_cast<std::uint64_t>(chunk.begin));
+        regs.WriteGr(20, static_cast<std::uint64_t>(chunk.end));
+      });
+      const double d = ReducePartials(dot_, p_, q_);
+      const double alpha = rho_ / d;
+      VectorUpdate(x_update_, p_, x_, alpha);    // x += alpha p
+      VectorUpdate(r_update_, q_, r_, -alpha);   // r -= alpha q
+      const double rho_new = ReducePartials(sumsq_, r_, r_);
+      const double beta = rho_new / rho_;
+      rho_ = rho_new;
+      VectorUpdate(p_update_, r_, p_, beta);     // p = r + beta p
+    }
+    final_rho_ = rho_;
+    return machine.GlobalTime() - start;
+  }
+
+  bool Verify(machine::Machine& machine) override {
+    // Host replay with identical arithmetic (fused fma, same chunk order).
+    std::vector<double> x(kRows, 0.0), p(kRows, 1.0), r(kRows, 1.0),
+        q(kRows, 0.0);
+    double rho = static_cast<double>(kRows);
+    for (int iter = 0; iter < kIterations; ++iter) {
+      for (std::int64_t i = 0; i < kRows; ++i) {
+        double acc = 0.0;
+        for (std::int64_t k = rowptr_host_[static_cast<std::size_t>(i)];
+             k < rowptr_host_[static_cast<std::size_t>(i) + 1]; ++k) {
+          acc = std::fma(vals_host_[static_cast<std::size_t>(k)],
+                         p[static_cast<std::size_t>(
+                             col_host_[static_cast<std::size_t>(k)])],
+                         acc);
+        }
+        q[static_cast<std::size_t>(i)] = acc;
+      }
+      double d = 0.0;
+      for (int tid = 0; tid < threads_; ++tid) {
+        const auto chunk = rt::StaticChunk(tid, threads_, kRows);
+        double part = 0.0;
+        for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+          part = std::fma(p[static_cast<std::size_t>(i)],
+                          q[static_cast<std::size_t>(i)], part);
+        }
+        d += part;
+      }
+      const double alpha = rho / d;
+      for (std::int64_t i = 0; i < kRows; ++i) {
+        x[static_cast<std::size_t>(i)] = std::fma(
+            alpha, p[static_cast<std::size_t>(i)],
+            x[static_cast<std::size_t>(i)]);
+        r[static_cast<std::size_t>(i)] = std::fma(
+            -alpha, q[static_cast<std::size_t>(i)],
+            r[static_cast<std::size_t>(i)]);
+      }
+      double rho_new = 0.0;
+      for (int tid = 0; tid < threads_; ++tid) {
+        const auto chunk = rt::StaticChunk(tid, threads_, kRows);
+        double part = 0.0;
+        for (std::int64_t i = chunk.begin; i < chunk.end; ++i) {
+          const double v = r[static_cast<std::size_t>(i)];
+          part = std::fma(v, v, part);
+        }
+        rho_new += part;
+      }
+      const double beta = rho_new / rho;
+      rho = rho_new;
+      for (std::int64_t i = 0; i < kRows; ++i) {
+        p[static_cast<std::size_t>(i)] = std::fma(
+            beta, p[static_cast<std::size_t>(i)],
+            r[static_cast<std::size_t>(i)]);
+      }
+    }
+    if (!AlmostEqual(final_rho_, rho, 1e-9)) return false;
+    const auto sim_x = ReadDoubles(machine, x_, kRows);
+    for (std::int64_t i = 0; i < kRows; ++i) {
+      if (!AlmostEqual(sim_x[static_cast<std::size_t>(i)],
+                       x[static_cast<std::size_t>(i)], 1e-9)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  kgen::LoopInfo matvec_, dot_, sumsq_, x_update_, r_update_, p_update_;
+  std::vector<std::int64_t> rowptr_host_, col_host_;
+  std::vector<double> vals_host_;
+  Addr rowptr_ = 0, col_ = 0, vals_ = 0;
+  Addr x_ = 0, p_ = 0, q_ = 0, r_ = 0, partials_ = 0;
+  int threads_ = 1;
+  double rho_ = 0.0;
+  double final_rho_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<NpbBenchmark> MakeCg() {
+  return std::make_unique<CgBenchmark>();
+}
+
+}  // namespace cobra::npb

@@ -1,0 +1,72 @@
+#include "npb/common.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace cobra::npb {
+
+std::unique_ptr<NpbBenchmark> MakeBt();
+std::unique_ptr<NpbBenchmark> MakeSp();
+std::unique_ptr<NpbBenchmark> MakeLu();
+std::unique_ptr<NpbBenchmark> MakeFt();
+std::unique_ptr<NpbBenchmark> MakeMg();
+std::unique_ptr<NpbBenchmark> MakeCg();
+std::unique_ptr<NpbBenchmark> MakeEp();
+std::unique_ptr<NpbBenchmark> MakeIs();
+
+std::vector<std::string> SuiteNames() {
+  return {"bt", "sp", "lu", "ft", "mg", "cg", "ep", "is"};
+}
+
+std::vector<std::string> ResultBenchmarkNames() {
+  return {"bt", "sp", "lu", "ft", "mg", "cg"};
+}
+
+std::unique_ptr<NpbBenchmark> MakeBenchmark(const std::string& name) {
+  if (name == "bt") return MakeBt();
+  if (name == "sp") return MakeSp();
+  if (name == "lu") return MakeLu();
+  if (name == "ft") return MakeFt();
+  if (name == "mg") return MakeMg();
+  if (name == "cg") return MakeCg();
+  if (name == "ep") return MakeEp();
+  if (name == "is") return MakeIs();
+  COBRA_UNREACHABLE("unknown NPB benchmark name");
+}
+
+void WriteDoubles(machine::Machine& machine, Addr base,
+                  const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    machine.memory().WriteDouble(base + 8 * i, values[i]);
+  }
+}
+
+std::vector<double> ReadDoubles(machine::Machine& machine, Addr base,
+                                std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = machine.memory().ReadDouble(base + 8 * i);
+  }
+  return out;
+}
+
+void PlacePartitioned(machine::Machine& machine, Addr base, std::int64_t n,
+                      int elem_bytes, int threads) {
+  for (int tid = 0; tid < threads; ++tid) {
+    const auto chunk = rt::StaticChunk(tid, threads, n);
+    if (chunk.size() <= 0) continue;
+    machine.memory().PlaceRange(
+        base + static_cast<Addr>(chunk.begin * elem_bytes),
+        base + static_cast<Addr>(chunk.end * elem_bytes),
+        machine.NodeOf(tid));
+  }
+}
+
+bool AlmostEqual(double a, double b, double rel_tol) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * std::fmax(scale, 1.0);
+}
+
+}  // namespace cobra::npb

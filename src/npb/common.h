@@ -1,0 +1,83 @@
+// NPB mini-suite: OpenMP-style reimplementations of the NAS Parallel
+// Benchmarks' computational cores, scaled to class-S-like geometries that a
+// cycle-approximate interpreter can run in seconds.
+//
+// Each benchmark owns its generated program (so the compiler prefetch
+// policy can be varied per binary), initializes its data in simulated
+// memory (with first-touch page placement by partition, as the paper
+// assumes), runs its timed iterations via rt::Team (one Team::Run per
+// OpenMP parallel-for), and verifies functionally against a host replay.
+//
+// The mini-kernels preserve the property the paper exploits in Section 5:
+// at small working sets a large fraction of misses are coherence misses
+// from true sharing at partition boundaries (halo reads, shared vectors)
+// and from aggressive prefetch overshoot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "machine/machine.h"
+#include "rt/team.h"
+#include "support/simtypes.h"
+
+namespace cobra::npb {
+
+using mem::Addr;
+
+class NpbBenchmark {
+ public:
+  explicit NpbBenchmark(std::string name) : name_(std::move(name)) {}
+  virtual ~NpbBenchmark() = default;
+
+  const std::string& name() const { return name_; }
+
+  // Emits every kernel into `prog` with the given compiler prefetch policy
+  // and allocates the benchmark's data segment.
+  virtual void Build(kgen::Program& prog, const kgen::PrefetchPolicy& pf) = 0;
+
+  // Writes initial data into simulated memory and places pages per the
+  // first-touch-by-partition policy for `threads` threads.
+  virtual void Init(machine::Machine& machine, int threads) = 0;
+
+  // Runs all timed iterations on the team; returns elapsed cycles.
+  virtual Cycle Run(rt::Team& team) = 0;
+
+  // Functional verification against a host-side reference.
+  virtual bool Verify(machine::Machine& machine) = 0;
+
+ protected:
+  std::string name_;
+};
+
+// Benchmarks in the order of Table 1: bt sp lu ft mg cg ep is.
+std::vector<std::string> SuiteNames();
+// The six benchmarks of Figures 5-7 (IS and EP are excluded: they show no
+// long-latency coherent misses).
+std::vector<std::string> ResultBenchmarkNames();
+
+std::unique_ptr<NpbBenchmark> MakeBenchmark(const std::string& name);
+
+// --- Shared helpers ----------------------------------------------------------
+
+// Writes `values` as doubles starting at `base`.
+void WriteDoubles(machine::Machine& machine, Addr base,
+                  const std::vector<double>& values);
+std::vector<double> ReadDoubles(machine::Machine& machine, Addr base,
+                                std::size_t n);
+
+// First-touch placement of an n-element array of `elem_bytes` partitioned
+// with the static schedule over `threads` threads.
+void PlacePartitioned(machine::Machine& machine, Addr base, std::int64_t n,
+                      int elem_bytes, int threads);
+
+// Relative comparison with tolerance (FP reductions are order-sensitive
+// only across thread counts; within a fixed team the replay is exact, but
+// a small tolerance keeps verification robust).
+bool AlmostEqual(double a, double b, double rel_tol = 1e-9);
+
+}  // namespace cobra::npb

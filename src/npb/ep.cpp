@@ -1,0 +1,117 @@
+// EP mini-benchmark: the Embarrassingly Parallel kernel — per-thread
+// pseudo-random pair generation with a unit-disk acceptance test, almost no
+// memory traffic. Included for Table 1 and as a negative control: EP shows
+// no long-latency coherent misses, so COBRA must leave it alone (the paper
+// excludes EP from Figures 5-7 for exactly this reason).
+#include <cmath>
+
+#include "npb/common.h"
+
+namespace cobra::npb {
+namespace {
+
+class EpBenchmark final : public NpbBenchmark {
+ public:
+  EpBenchmark() : NpbBenchmark("ep") {}
+
+  static constexpr std::int64_t kTrials = 1 << 17;
+
+  void Build(kgen::Program& prog, const kgen::PrefetchPolicy& pf) override {
+    kernel_ = EmitEpKernel(prog, "ep_kernel", pf);
+    accepted_ = prog.Alloc(32 * 8);
+    rejected_ = prog.Alloc(32 * 8);
+    sums_ = prog.Alloc(32 * 8);
+  }
+
+  void Init(machine::Machine& machine, int threads) override {
+    threads_ = threads;
+    for (int tid = 0; tid < 32; ++tid) {
+      machine.memory().WriteAs<std::int64_t>(accepted_ + 8 * static_cast<Addr>(tid), 0);
+      machine.memory().WriteAs<std::int64_t>(rejected_ + 8 * static_cast<Addr>(tid), 0);
+      machine.memory().WriteDouble(sums_ + 8 * static_cast<Addr>(tid), 0.0);
+    }
+  }
+
+  Cycle Run(rt::Team& team) override {
+    machine::Machine& machine = team.machine();
+    const Cycle start = machine.GlobalTime();
+    const int threads = team.num_threads();
+    team.Run(kernel_.entry, [&](int tid, cpu::RegisterFile& regs) {
+      const auto chunk = rt::StaticChunk(tid, threads, kTrials);
+      regs.WriteGr(14, Seed(tid));
+      regs.WriteGr(15, static_cast<std::uint64_t>(chunk.size()));
+      regs.WriteGr(16, accepted_ + 8 * static_cast<Addr>(tid));
+      regs.WriteGr(17, rejected_ + 8 * static_cast<Addr>(tid));
+      regs.WriteGr(18, sums_ + 8 * static_cast<Addr>(tid));
+      regs.WriteFr(6, 2.0);
+      regs.WriteFr(7, 3.0);
+    });
+    return machine.GlobalTime() - start;
+  }
+
+  bool Verify(machine::Machine& machine) override {
+    std::int64_t total_accepted = 0;
+    for (int tid = 0; tid < threads_; ++tid) {
+      const auto chunk = rt::StaticChunk(tid, threads_, kTrials);
+      std::uint64_t state = Seed(tid);
+      auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+      };
+      auto deviate = [&next] {
+        const std::uint64_t bits =
+            (next() & 0xfffffffffffffULL) | 0x3ff0000000000000ULL;
+        double v;
+        __builtin_memcpy(&v, &bits, 8);
+        return std::fma(v, 2.0, -3.0);
+      };
+      std::int64_t accepted = 0, rejected = 0;
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < chunk.size(); ++i) {
+        const double x = deviate();
+        const double y = deviate();
+        double r2 = std::fma(x, x, 0.0);
+        r2 = std::fma(y, y, r2);
+        if (r2 <= 1.0) {
+          ++accepted;
+          sum = std::fma(std::sqrt(r2), 1.0, sum);
+        } else {
+          ++rejected;
+        }
+      }
+      total_accepted += accepted;
+      if (machine.memory().ReadAs<std::int64_t>(
+              accepted_ + 8 * static_cast<Addr>(tid)) != accepted ||
+          machine.memory().ReadAs<std::int64_t>(
+              rejected_ + 8 * static_cast<Addr>(tid)) != rejected ||
+          machine.memory().ReadDouble(sums_ + 8 * static_cast<Addr>(tid)) !=
+              sum) {
+        return false;
+      }
+    }
+    // Sanity: the acceptance rate approximates pi/4.
+    const double rate = static_cast<double>(total_accepted) /
+                        static_cast<double>(kTrials);
+    return rate > 0.75 && rate < 0.82;
+  }
+
+ private:
+  static std::uint64_t Seed(int tid) {
+    return 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL *
+                                       static_cast<std::uint64_t>(tid + 1);
+  }
+
+  kgen::LoopInfo kernel_;
+  Addr accepted_ = 0, rejected_ = 0, sums_ = 0;
+  int threads_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<NpbBenchmark> MakeEp() {
+  return std::make_unique<EpBenchmark>();
+}
+
+}  // namespace cobra::npb

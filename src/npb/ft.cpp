@@ -1,0 +1,76 @@
+// FT mini-benchmark: the 3-D FFT kernel's phase structure — evolve
+// (pointwise scaling of the frequency data), butterfly combination passes
+// over complex (re/im) planes at shifted offsets, strided pair-combine
+// passes, and bit-reversal-style shuffles (while-loops, giving FT its
+// br.wtop-heavy Table 1 signature).
+#include "npb/grid.h"
+
+namespace cobra::npb {
+namespace {
+
+class FtBenchmark final : public GridBenchmark {
+ public:
+  FtBenchmark() : GridBenchmark("ft", /*timesteps=*/16) {}
+
+ protected:
+  void Declare() override {
+    constexpr std::int64_t kN = 4096;
+    constexpr std::int64_t kHalf = kN / 2;
+    const int re = AddArray("re", kN + 2, 0.45, 0.30);
+    const int im = AddArray("im", kN + 2, 0.35, 0.25);
+    const int sre = AddArray("scratch_re", kN + 2, 0.0, 0.0);
+    const int sim = AddArray("scratch_im", kN + 2, 0.0, 0.0);
+
+    using Op = kgen::StreamOp;
+    // evolve: scale the frequency data (twiddle magnitude per step).
+    AddPhase(Elementwise("evolve_re", Op::kScale, re, -1, -1, re, kN, 0.80,
+                         0.0));
+    AddPhase(Elementwise("evolve_im", Op::kScale, im, -1, -1, im, kN, 0.80,
+                         0.0));
+    // Butterfly pass: s[i] = w*x[i+half] + x[i] over the lower half.
+    {
+      Phase fly = Elementwise("fftx_re", Op::kDaxpy, re, re, -1, sre, kHalf,
+                              0.25, 0.0);
+      fly.in_off = {kHalf, 0, 0};
+      AddPhase(fly);
+      Phase fly_im = Elementwise("fftx_im", Op::kDaxpy, im, im, -1, sim,
+                                 kHalf, 0.25, 0.0);
+      fly_im.in_off = {kHalf, 0, 0};
+      AddPhase(fly_im);
+    }
+    // Strided pair-combine (radix-2 step): out[i] = s[2i] + s[2i+1].
+    {
+      Phase pair = Elementwise("ffty_re", Op::kDaxpy, sre, sre, -1, re, kHalf,
+                               -0.50, 0.0);
+      pair.in_off = {0, 1, 0};
+      pair.in_stride = {16, 16, 8};
+      AddPhase(pair);
+      Phase pair_im = Elementwise("ffty_im", Op::kDaxpy, sim, sim, -1, im,
+                                  kHalf, -0.50, 0.0);
+      pair_im.in_off = {0, 1, 0};
+      pair_im.in_stride = {16, 16, 8};
+      AddPhase(pair_im);
+    }
+    // Cross-mix the planes (complex rotation flavour).
+    AddPhase(Elementwise("twiddle", Op::kBlend4, re, im, sre, im, kN, 0.25,
+                         0.30));
+    // Bit-reversal-style shuffles: while-loops (br.wtop).
+    AddPhase(WhileCopy("reverse_re_out", re, sre, kN));
+    AddPhase(WhileCopy("reverse_im_out", im, sim, kN));
+    AddPhase(WhileCopy("reverse_re_back", sre, re, kN));
+    AddPhase(WhileCopy("reverse_im_back", sim, im, kN));
+    // Checksum-feeding reduction stand-in.
+    AddPhase(Elementwise("checksum_mix", Op::kDaxpy, im, re, -1, re, kN,
+                         0.15, 0.0));
+    AddPhase(Elementwise("damp_re", Op::kScale, re, -1, -1, re, kN, 0.60, 0.0));
+    AddPhase(Elementwise("damp_im", Op::kScale, im, -1, -1, im, kN, 0.60, 0.0));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NpbBenchmark> MakeFt() {
+  return std::make_unique<FtBenchmark>();
+}
+
+}  // namespace cobra::npb

@@ -1,0 +1,94 @@
+// GridBenchmark: declarative engine for the stream/stencil-structured NPB
+// minis (BT, SP, LU, FT, MG).
+//
+// A benchmark subclass declares its arrays and a list of *phases*; each
+// phase is one OpenMP-style parallel-for lowered to its own generated
+// kernel (so every phase contributes a distinct loop and its prefetches to
+// the Table 1 statistics, and is independently discoverable/optimizable by
+// COBRA). The same phase table drives both the simulated run and the
+// host-replay verification, phase by phase with identical (fused-fma)
+// arithmetic — so verification is structural, not hand-duplicated.
+//
+// Halo offsets let phases read across partition boundaries (in_off of a
+// stencil input), producing the true-sharing coherent load misses COBRA's
+// DEAR filter keys on; strided phases model multigrid restriction and FFT
+// butterflies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "npb/common.h"
+
+namespace cobra::npb {
+
+class GridBenchmark : public NpbBenchmark {
+ public:
+  void Build(kgen::Program& prog, const kgen::PrefetchPolicy& pf) override;
+  void Init(machine::Machine& machine, int threads) override;
+  Cycle Run(rt::Team& team) override;
+  bool Verify(machine::Machine& machine) override;
+
+ protected:
+  explicit GridBenchmark(std::string name, int timesteps)
+      : NpbBenchmark(std::move(name)), timesteps_(timesteps) {}
+
+  struct ArrayDecl {
+    std::string name;
+    std::int64_t elems = 0;
+    // init[i] = base + step * sin(freq * i) — bounded, non-trivial data.
+    double init_base = 1.0;
+    double init_step = 0.0;
+  };
+
+  enum class PhaseKind { kStream, kWhileCopy };
+
+  struct Phase {
+    std::string name;
+    PhaseKind kind = PhaseKind::kStream;
+    kgen::StreamOp op = kgen::StreamOp::kCopy;
+    std::int64_t n = 0;                    // iteration count
+    std::array<int, 3> in{-1, -1, -1};     // array indices (see arrays_)
+    std::array<std::int64_t, 3> in_off{0, 0, 0};  // element offsets (halo)
+    std::array<int, 3> in_stride{8, 8, 8};        // bytes per iteration
+    int out = -1;
+    std::int64_t out_off = 0;
+    int out_stride = 8;
+    double a = 0.0;
+    double b = 0.0;
+    kgen::LoopInfo kernel;  // filled by Build
+  };
+
+  // Subclass hooks: declare arrays and phases (called once from Build).
+  virtual void Declare() = 0;
+
+  int AddArray(std::string name, std::int64_t elems, double init_base,
+               double init_step) {
+    arrays_.push_back(ArrayDecl{std::move(name), elems, init_base, init_step});
+    return static_cast<int>(arrays_.size() - 1);
+  }
+  void AddPhase(Phase phase) { phases_.push_back(std::move(phase)); }
+
+  // Convenience constructors for common phase shapes.
+  Phase Stencil(std::string name, int src, int dst, std::int64_t interior_n,
+                double a, double b);
+  Phase Elementwise(std::string name, kgen::StreamOp op, int in0, int in1,
+                    int in2, int out, std::int64_t n, double a, double b);
+  Phase WhileCopy(std::string name, int src, int dst, std::int64_t n);
+
+  const std::vector<Phase>& phases() const { return phases_; }
+  Addr array_base(int index) const {
+    return bases_.at(static_cast<std::size_t>(index));
+  }
+
+  int timesteps_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<Phase> phases_;
+  std::vector<Addr> bases_;
+  int threads_ = 1;
+  bool declared_ = false;
+};
+
+}  // namespace cobra::npb

@@ -1,0 +1,161 @@
+// IS mini-benchmark: integer bucket sort (counting sort) — per-thread
+// private histograms, a parallel merge, a sequential exclusive scan, a
+// sequential stable ranking pass, and a parallel permutation scatter.
+// Mostly integer loads/stores through L1; like EP it shows no long-latency
+// coherent misses and is excluded from the paper's result figures.
+#include <algorithm>
+#include <functional>
+
+#include "npb/common.h"
+#include "support/rng.h"
+
+namespace cobra::npb {
+namespace {
+
+class IsBenchmark final : public NpbBenchmark {
+ public:
+  IsBenchmark() : NpbBenchmark("is") {}
+
+  static constexpr std::int64_t kKeys = 32768;
+  static constexpr std::int64_t kBuckets = 512;
+  static constexpr int kMaxThreads = 16;
+  static constexpr int kIterations = 3;
+
+  void Build(kgen::Program& prog, const kgen::PrefetchPolicy& pf) override {
+    fill_ = EmitFill32(prog, "is_fill", pf);
+    hist_ = EmitHistogram(prog, "is_hist", pf);
+    merge_ = EmitIntAccumulate(prog, "is_merge", pf);
+    scan_ = EmitScan(prog, "is_scan", pf);
+    rank_ = EmitRank(prog, "is_rank", pf);
+    permute_ = EmitPermute(prog, "is_permute", pf);
+
+    keys_ = prog.Alloc(kKeys * 4);
+    hists_ = prog.Alloc(static_cast<std::uint64_t>(kMaxThreads) * kBuckets * 4);
+    total_hist_ = prog.Alloc(kBuckets * 4);
+    offsets_ = prog.Alloc(kBuckets * 4);
+    grand_total_ = prog.Alloc(8);
+    rank_out_ = prog.Alloc(kKeys * 4);
+    sorted_ = prog.Alloc(kKeys * 4);
+  }
+
+  void Init(machine::Machine& machine, int threads) override {
+    threads_ = threads;
+    support::Rng rng(0xC0B7A);
+    keys_host_.resize(kKeys);
+    for (std::int64_t i = 0; i < kKeys; ++i) {
+      keys_host_[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>(rng.NextBounded(kBuckets));
+      machine.memory().WriteAs<std::int32_t>(
+          keys_ + 4 * static_cast<Addr>(i),
+          keys_host_[static_cast<std::size_t>(i)]);
+    }
+    PlacePartitioned(machine, keys_, kKeys, 4, threads);
+  }
+
+  Cycle Run(rt::Team& team) override {
+    machine::Machine& machine = team.machine();
+    const Cycle start = machine.GlobalTime();
+    const int threads = team.num_threads();
+
+    auto OnThread0 = [&](const kgen::LoopInfo& kernel,
+                         const std::function<void(cpu::RegisterFile&)>& args) {
+      team.Run(kernel.entry, [&](int tid, cpu::RegisterFile& regs) {
+        if (tid == 0) {
+          args(regs);
+        } else {
+          // Empty chunk: the n<=0 guard exits immediately. The count
+          // argument register differs per kernel; zero them all.
+          regs.WriteGr(15, 0);
+          regs.WriteGr(16, 0);
+          regs.WriteGr(17, 0);
+        }
+      });
+    };
+
+    for (int iter = 0; iter < kIterations; ++iter) {
+      // Zero the private and total histograms (parallel over buckets).
+      team.Run(fill_.entry, [&](int tid, cpu::RegisterFile& regs) {
+        regs.WriteGr(14, hists_ + static_cast<Addr>(tid) * kBuckets * 4);
+        regs.WriteGr(15, tid < threads ? kBuckets : 0);
+        regs.WriteGr(16, 0);
+      });
+      team.Run(fill_.entry, [&](int tid, cpu::RegisterFile& regs) {
+        const auto chunk = rt::StaticChunk(tid, threads, kBuckets);
+        regs.WriteGr(14, total_hist_ + 4 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(15, static_cast<std::uint64_t>(chunk.size()));
+        regs.WriteGr(16, 0);
+      });
+      // Private histograms over each thread's key chunk.
+      team.Run(hist_.entry, [&](int tid, cpu::RegisterFile& regs) {
+        const auto chunk = rt::StaticChunk(tid, threads, kKeys);
+        regs.WriteGr(14, keys_ + 4 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(15, hists_ + static_cast<Addr>(tid) * kBuckets * 4);
+        regs.WriteGr(16, static_cast<std::uint64_t>(chunk.size()));
+      });
+      // Merge: total += hist_t, each pass parallel over bucket chunks.
+      for (int t = 0; t < threads; ++t) {
+        team.Run(merge_.entry, [&](int tid, cpu::RegisterFile& regs) {
+          const auto chunk = rt::StaticChunk(tid, threads, kBuckets);
+          regs.WriteGr(14, hists_ + static_cast<Addr>(t) * kBuckets * 4 +
+                               4 * static_cast<Addr>(chunk.begin));
+          regs.WriteGr(15, total_hist_ + 4 * static_cast<Addr>(chunk.begin));
+          regs.WriteGr(16, static_cast<std::uint64_t>(chunk.size()));
+        });
+      }
+      // Exclusive scan and ranking on thread 0 (sequential, stable).
+      OnThread0(scan_, [&](cpu::RegisterFile& regs) {
+        regs.WriteGr(14, total_hist_);
+        regs.WriteGr(15, offsets_);
+        regs.WriteGr(16, kBuckets);
+        regs.WriteGr(17, grand_total_);
+      });
+      OnThread0(rank_, [&](cpu::RegisterFile& regs) {
+        regs.WriteGr(14, keys_);
+        regs.WriteGr(15, offsets_);
+        regs.WriteGr(16, rank_out_);
+        regs.WriteGr(17, kKeys);
+      });
+      // Permutation scatter (parallel over key chunks).
+      team.Run(permute_.entry, [&](int tid, cpu::RegisterFile& regs) {
+        const auto chunk = rt::StaticChunk(tid, threads, kKeys);
+        regs.WriteGr(14, keys_ + 4 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(15, rank_out_ + 4 * static_cast<Addr>(chunk.begin));
+        regs.WriteGr(16, sorted_);
+        regs.WriteGr(17, static_cast<std::uint64_t>(chunk.size()));
+      });
+    }
+    return machine.GlobalTime() - start;
+  }
+
+  bool Verify(machine::Machine& machine) override {
+    if (machine.memory().ReadAs<std::int64_t>(grand_total_) != kKeys) {
+      return false;
+    }
+    // The output must be the sorted key multiset.
+    std::vector<std::int32_t> reference = keys_host_;
+    std::sort(reference.begin(), reference.end());
+    for (std::int64_t i = 0; i < kKeys; ++i) {
+      if (machine.memory().ReadAs<std::int32_t>(
+              sorted_ + 4 * static_cast<Addr>(i)) !=
+          reference[static_cast<std::size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  kgen::LoopInfo fill_, hist_, merge_, scan_, rank_, permute_;
+  Addr keys_ = 0, hists_ = 0, total_hist_ = 0, offsets_ = 0,
+       grand_total_ = 0, rank_out_ = 0, sorted_ = 0;
+  std::vector<std::int32_t> keys_host_;
+  int threads_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<NpbBenchmark> MakeIs() {
+  return std::make_unique<IsBenchmark>();
+}
+
+}  // namespace cobra::npb

@@ -1,0 +1,46 @@
+// LU mini-benchmark: the SSOR solver's phase structure — lower-triangular
+// sweep, Jacobian blend, upper-triangular sweep, RHS recomputation and
+// norm scaling. The wavefront dependence of real SSOR is relaxed to
+// independent row chunks (documented in DESIGN.md); the sharing pattern
+// (halo reads against neighbour-written lines each sweep) is preserved.
+#include "npb/grid.h"
+
+namespace cobra::npb {
+namespace {
+
+class LuBenchmark final : public GridBenchmark {
+ public:
+  LuBenchmark() : GridBenchmark("lu", /*timesteps=*/16) {}
+
+ protected:
+  void Declare() override {
+    constexpr std::int64_t kN = 4096;
+    const int u = AddArray("u", kN + 2, 0.55, 0.25);
+    const int rsd = AddArray("rsd", kN + 2, 0.25, 0.10);
+    const int frct = AddArray("frct", kN + 2, 0.15, 0.05);
+    const int flux = AddArray("flux", kN + 2, 0.35, 0.15);
+
+    using Op = kgen::StreamOp;
+    AddPhase(Stencil("blts", u, rsd, kN, 0.22, 0.52));        // lower sweep
+    AddPhase(Elementwise("jacld", Op::kBlend4, u, rsd, flux, flux, kN, 0.28,
+                         0.42));
+    AddPhase(Stencil("buts", rsd, frct, kN, 0.20, 0.56));     // upper sweep
+    AddPhase(Elementwise("jacu", Op::kTriad, frct, u, -1, u, kN, 0.30, 0.0));
+    AddPhase(Stencil("rhs", u, flux, kN, 0.17, 0.61));
+    AddPhase(Elementwise("ssor_update", Op::kDaxpy, flux, rsd, -1, rsd, kN,
+                         0.24, 0.0));
+    AddPhase(Elementwise("l2norm_scale", Op::kScale, rsd, -1, -1, frct, kN,
+                         0.50, 0.0));
+    AddPhase(Elementwise("add", Op::kDaxpy, rsd, u, -1, u, kN, 0.10, 0.0));
+    AddPhase(Elementwise("damp_u", Op::kScale, u, -1, -1, u, kN, 0.55, 0.0));
+    AddPhase(Elementwise("damp_rsd", Op::kScale, rsd, -1, -1, rsd, kN, 0.55, 0.0));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NpbBenchmark> MakeLu() {
+  return std::make_unique<LuBenchmark>();
+}
+
+}  // namespace cobra::npb

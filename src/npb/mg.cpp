@@ -1,0 +1,104 @@
+// MG mini-benchmark: multigrid V-cycles — per-level smoothing, residual
+// restriction to the coarser grid (stride-2 gather) and prolongation back
+// (stride-2 scatter with interpolation). Each level's loops are distinct
+// generated kernels, which is why MG has the largest loop and prefetch
+// inventory of the suite (as in Table 1).
+#include "npb/grid.h"
+
+namespace cobra::npb {
+namespace {
+
+class MgBenchmark final : public GridBenchmark {
+ public:
+  MgBenchmark() : GridBenchmark("mg", /*timesteps=*/16) {}
+
+ protected:
+  void Declare() override {
+    // Levels 0 (finest) .. 3 (coarsest): interior sizes 4096 .. 512.
+    constexpr int kLevels = 4;
+    std::array<std::int64_t, kLevels> n{};
+    std::array<int, kLevels> u{}, r{};
+    std::int64_t size = 4096;
+    for (int level = 0; level < kLevels; ++level) {
+      n[static_cast<std::size_t>(level)] = size;
+      u[static_cast<std::size_t>(level)] =
+          AddArray("u" + std::to_string(level), size + 2, 0.50, 0.25);
+      r[static_cast<std::size_t>(level)] =
+          AddArray("r" + std::to_string(level), size + 2, 0.10, 0.05);
+      size /= 2;
+    }
+
+    using Op = kgen::StreamOp;
+    auto L = [&](int level) { return static_cast<std::size_t>(level); };
+
+    // Downward leg: smooth + restrict at each level.
+    for (int level = 0; level < kLevels - 1; ++level) {
+      AddPhase(Stencil("psinv_" + std::to_string(level), u[L(level)],
+                       r[L(level)], n[L(level)], 0.24, 0.50));
+      // Restriction: coarse_u[i] = 0.25*(r[2i] + r[2i+2]) + 0.5*r[2i+1].
+      Phase restrict_phase;
+      restrict_phase.name = "rprj_" + std::to_string(level);
+      restrict_phase.op = Op::kStencil3Sym;
+      restrict_phase.n = n[L(level + 1)];
+      restrict_phase.in = {r[L(level)], r[L(level)], r[L(level)]};
+      restrict_phase.in_off = {0, 1, 2};
+      restrict_phase.in_stride = {16, 16, 16};
+      restrict_phase.out = u[L(level + 1)];
+      restrict_phase.out_off = 1;
+      restrict_phase.out_stride = 8;
+      restrict_phase.a = 0.25;
+      restrict_phase.b = 0.50;
+      AddPhase(restrict_phase);
+    }
+
+    // Coarsest level: smooth twice through the residual array.
+    AddPhase(Stencil("psinv_bottom", u[L(kLevels - 1)], r[L(kLevels - 1)],
+                     n[L(kLevels - 1)], 0.26, 0.48));
+    AddPhase(Elementwise("copy_bottom", Op::kCopy, r[L(kLevels - 1)], -1, -1,
+                         u[L(kLevels - 1)], n[L(kLevels - 1)] + 2, 0.0, 0.0));
+
+    // Upward leg: prolongate + post-smooth.
+    for (int level = kLevels - 2; level >= 0; --level) {
+      // Even points: u[2i+1] += coarse[i+1].
+      Phase even;
+      even.name = "interp_even_" + std::to_string(level);
+      even.op = Op::kAdd;
+      even.n = n[L(level + 1)];
+      even.in = {u[L(level + 1)], u[L(level)], -1};
+      even.in_off = {1, 1, 0};
+      even.in_stride = {8, 16, 8};
+      even.out = u[L(level)];
+      even.out_off = 1;
+      even.out_stride = 16;
+      AddPhase(even);
+      // Odd points: u[2i+2] = 0.5*(coarse[i+1] + coarse[i+2]) + u[2i+2].
+      Phase odd;
+      odd.name = "interp_odd_" + std::to_string(level);
+      odd.op = Op::kStencil3Sym;
+      odd.n = n[L(level + 1)] - 1;
+      odd.in = {u[L(level + 1)], u[L(level)], u[L(level + 1)]};
+      odd.in_off = {1, 2, 2};
+      odd.in_stride = {8, 16, 8};
+      odd.out = u[L(level)];
+      odd.out_off = 2;
+      odd.out_stride = 16;
+      odd.a = 0.50;
+      odd.b = 1.00;
+      AddPhase(odd);
+      AddPhase(Stencil("post_smooth_" + std::to_string(level), u[L(level)],
+                       r[L(level)], n[L(level)], 0.22, 0.54));
+    }
+
+    // Residual norm scaling stand-in.
+    AddPhase(Elementwise("norm_scale", Op::kScale, r[L(0)], -1, -1, r[L(0)],
+                         n[L(0)], 0.45, 0.0));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NpbBenchmark> MakeMg() {
+  return std::make_unique<MgBenchmark>();
+}
+
+}  // namespace cobra::npb

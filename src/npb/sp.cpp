@@ -1,0 +1,59 @@
+// SP mini-benchmark: the Scalar-Pentadiagonal simulated CFD application.
+// More (and finer-grained) sweep phases than BT, matching its larger
+// static loop/prefetch inventory in Table 1.
+#include "npb/grid.h"
+
+namespace cobra::npb {
+namespace {
+
+class SpBenchmark final : public GridBenchmark {
+ public:
+  SpBenchmark() : GridBenchmark("sp", /*timesteps=*/16) {}
+
+ protected:
+  void Declare() override {
+    constexpr std::int64_t kN = 4096;
+    const int u = AddArray("u", kN + 2, 0.50, 0.25);
+    const int rhs = AddArray("rhs", kN + 2, 0.20, 0.10);
+    const int lhs = AddArray("lhs", kN + 2, 0.10, 0.05);
+    const int rho = AddArray("rho", kN + 2, 0.60, 0.20);
+    const int speed = AddArray("speed", kN + 2, 0.40, 0.15);
+    const int ws = AddArray("ws", kN + 2, 0.30, 0.10);
+
+    using Op = kgen::StreamOp;
+    AddPhase(Elementwise("compute_rho", Op::kScale, u, -1, -1, rho, kN, 0.80,
+                         0.0));
+    AddPhase(Elementwise("compute_speed", Op::kBlend4, rho, u, ws, speed, kN,
+                         0.30, 0.40));
+    AddPhase(Stencil("rhs_x", u, rhs, kN, 0.18, 0.58));
+    AddPhase(Stencil("rhs_y", rhs, lhs, kN, 0.16, 0.62));
+    AddPhase(Stencil("rhs_z", lhs, ws, kN, 0.14, 0.66));
+    AddPhase(Elementwise("txinvr", Op::kBlend4, rho, rhs, speed, rhs, kN,
+                         0.25, 0.50));
+    AddPhase(Elementwise("x_solve_f", Op::kTriad, lhs, u, -1, u, kN, 0.35,
+                         0.0));
+    AddPhase(Elementwise("x_solve_b", Op::kDaxpy, ws, rhs, -1, rhs, kN, 0.20,
+                         0.0));
+    AddPhase(Elementwise("y_solve_f", Op::kTriad, lhs, rhs, -1, rhs, kN,
+                         0.30, 0.0));
+    AddPhase(Elementwise("y_solve_b", Op::kDaxpy, speed, u, -1, u, kN, 0.15,
+                         0.0));
+    AddPhase(Elementwise("z_solve_f", Op::kTriad, ws, u, -1, u, kN, 0.25,
+                         0.0));
+    AddPhase(Elementwise("z_solve_b", Op::kDaxpy, rho, rhs, -1, rhs, kN,
+                         0.18, 0.0));
+    AddPhase(Elementwise("tzetar", Op::kBlend4, u, speed, rhs, speed, kN,
+                         0.22, 0.44));
+    AddPhase(Elementwise("add", Op::kDaxpy, rhs, u, -1, u, kN, 0.12, 0.0));
+    AddPhase(Elementwise("damp_u", Op::kScale, u, -1, -1, u, kN, 0.55, 0.0));
+    AddPhase(Elementwise("damp_rhs", Op::kScale, rhs, -1, -1, rhs, kN, 0.55, 0.0));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<NpbBenchmark> MakeSp() {
+  return std::make_unique<SpBenchmark>();
+}
+
+}  // namespace cobra::npb

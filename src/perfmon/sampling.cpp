@@ -1,0 +1,84 @@
+#include "perfmon/sampling.h"
+
+#include "support/check.h"
+
+namespace cobra::perfmon {
+
+SamplingDriver::SamplingDriver(machine::Machine* machine,
+                               SamplingConfig config)
+    : machine_(machine), config_(config) {
+  COBRA_CHECK(machine != nullptr);
+  COBRA_CHECK(config.period_insts > 0);
+  COBRA_CHECK(config.batch_size > 0);
+  per_cpu_.resize(static_cast<std::size_t>(machine->num_cpus()));
+}
+
+SamplingDriver::~SamplingDriver() { StopAll(); }
+
+void SamplingDriver::StartMonitoring(CpuId cpu, int tid,
+                                     DeliveryHandler handler) {
+  auto& state = per_cpu_.at(static_cast<std::size_t>(cpu));
+  COBRA_CHECK_MSG(!state.active, "CPU is already being monitored");
+  state.active = true;
+  state.tid = tid;
+  state.handler = std::move(handler);
+  state.kernel_buffer.reserve(config_.batch_size);
+
+  cpu::Core& core = machine_->core(cpu);
+  for (int i = 0; i < cpu::kNumHpmCounters; ++i) {
+    core.hpm().Select(i, config_.events[static_cast<std::size_t>(i)]);
+  }
+  core.dear().SetLatencyThreshold(config_.dear_latency_threshold);
+  core.SetRetireHook(config_.period_insts,
+                     [this](cpu::Core& c) { CollectSample(c); });
+}
+
+void SamplingDriver::CollectSample(cpu::Core& core) {
+  auto& state = per_cpu_.at(static_cast<std::size_t>(core.id()));
+  COBRA_CHECK(state.active);
+
+  Sample sample;
+  sample.index = state.next_index++;
+  sample.pc = core.pc();
+  sample.pid = 1;  // single simulated process
+  sample.tid = state.tid;
+  sample.cpu = core.id();
+  sample.timestamp = core.now();
+  for (int i = 0; i < cpu::kNumHpmCounters; ++i) {
+    sample.counters[static_cast<std::size_t>(i)] = core.hpm().Read(i);
+  }
+  sample.btb = core.btb().Snapshot();
+  sample.dear = core.dear().last();
+  ++total_samples_;
+
+  state.kernel_buffer.push_back(sample);
+  if (state.kernel_buffer.size() >= config_.batch_size) {
+    Flush(core.id());
+  }
+}
+
+void SamplingDriver::Flush(CpuId cpu) {
+  auto& state = per_cpu_.at(static_cast<std::size_t>(cpu));
+  if (state.kernel_buffer.empty()) return;
+  if (state.handler) {
+    state.handler(cpu, std::span<const Sample>(state.kernel_buffer));
+  }
+  state.kernel_buffer.clear();
+}
+
+void SamplingDriver::StopMonitoring(CpuId cpu) {
+  auto& state = per_cpu_.at(static_cast<std::size_t>(cpu));
+  if (!state.active) return;
+  Flush(cpu);
+  state.active = false;
+  state.handler = nullptr;
+  machine_->core(cpu).SetRetireHook(0, nullptr);
+}
+
+void SamplingDriver::StopAll() {
+  for (CpuId cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    StopMonitoring(cpu);
+  }
+}
+
+}  // namespace cobra::perfmon

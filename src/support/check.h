@@ -1,0 +1,36 @@
+// Lightweight runtime-check macros used across the COBRA codebase.
+//
+// Simulator invariants are always enforced (even in release builds): a
+// silently-corrupt simulation is worse than an aborted one, and the cost of
+// the checks is negligible next to cache-model lookups.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cobra::support {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "COBRA_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace cobra::support
+
+// Always-on invariant check. `msg` is optional context for the abort message.
+#define COBRA_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::cobra::support::CheckFailed(__FILE__, __LINE__, #expr, nullptr);   \
+  } while (0)
+
+#define COBRA_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) ::cobra::support::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+  } while (0)
+
+// Marks unreachable control flow (e.g. an exhaustive switch).
+#define COBRA_UNREACHABLE(msg) \
+  ::cobra::support::CheckFailed(__FILE__, __LINE__, "unreachable", msg)

@@ -1,0 +1,16 @@
+// Shared simulation-wide scalar types.
+#pragma once
+
+#include <cstdint>
+
+namespace cobra {
+
+// Simulated time, in CPU clock cycles. All components of one Machine share
+// a single clock domain (Itanium 2 style: bus and interconnect latencies are
+// expressed in CPU cycles).
+using Cycle = std::uint64_t;
+
+// CPU index within a machine.
+using CpuId = int;
+
+}  // namespace cobra

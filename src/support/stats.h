@@ -1,0 +1,97 @@
+// Small statistics accumulators used by the memory system, the HPM model
+// and the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cobra::support {
+
+// Streaming mean/min/max/stddev accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t Count() const { return n_; }
+  double Sum() const { return sum_; }
+  double Mean() const { return n_ ? mean_ : 0.0; }
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+  double Variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  void Reset() { *this = RunningStat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
+// Used for miss-latency distributions (the DEAR filter thresholds were
+// chosen in the paper from exactly this kind of histogram).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets + 2, 0) {}
+
+  void Add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++counts_.front();
+    } else if (x >= hi_) {
+      ++counts_.back();
+    } else {
+      const auto n = counts_.size() - 2;
+      auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                          static_cast<double>(n));
+      if (idx >= n) idx = n - 1;
+      ++counts_[idx + 1];
+    }
+  }
+
+  std::uint64_t Total() const { return total_; }
+  std::uint64_t Underflow() const { return counts_.front(); }
+  std::uint64_t Overflow() const { return counts_.back(); }
+  std::uint64_t BucketCount(std::size_t i) const { return counts_.at(i + 1); }
+  std::size_t Buckets() const { return counts_.size() - 2; }
+  double BucketLo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(Buckets());
+  }
+
+  // Count of samples >= threshold (including overflow bucket), computed from
+  // bucket boundaries; threshold is clamped to a bucket edge.
+  std::uint64_t CountAtLeast(double threshold) const {
+    std::uint64_t c = Overflow();
+    for (std::size_t i = 0; i < Buckets(); ++i) {
+      if (BucketLo(i) >= threshold) c += BucketCount(i);
+    }
+    return c;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cobra::support

@@ -1,0 +1,43 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+namespace cobra::support {
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += "| ";
+      out += cell;
+      out.append(width[i] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t i = 0; i < width.size(); ++i) {
+    out += "|";
+    out.append(width[i] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void TextTable::Print(std::FILE* out) const {
+  const std::string text = Render();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+}  // namespace cobra::support

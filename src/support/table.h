@@ -1,0 +1,46 @@
+// Plain-text table printer used by the benchmark harnesses to emit
+// paper-style rows (Figure 3/5/6/7 series, Table 1).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cobra::support {
+
+// Collects rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Convenience: formats a double with the given precision.
+  static std::string Num(double v, int precision = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+  static std::string Int(long long v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", v);
+    return buf;
+  }
+  static std::string Pct(double v, int precision = 1) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%+.*f%%", precision, v * 100.0);
+    return buf;
+  }
+
+  std::string Render() const;
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cobra::support

@@ -1,0 +1,332 @@
+// Core interpreter tests: register rotation, predication, the modulo-
+// scheduled branches (br.ctop/br.cloop/br.wtop), memory semantics, HPM
+// counters, BTB, and DEAR latency filtering.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/core.h"
+#include "isa/assembler.h"
+#include "machine/machine.h"
+
+namespace cobra::cpu {
+namespace {
+
+using isa::Addr;
+using namespace isa;
+
+// --- RegisterFile -------------------------------------------------------------
+
+TEST(RegisterFile, HardwiredRegisters) {
+  RegisterFile regs;
+  EXPECT_EQ(regs.ReadGr(0), 0u);
+  EXPECT_EQ(regs.ReadFr(0), 0.0);
+  EXPECT_EQ(regs.ReadFr(1), 1.0);
+  EXPECT_TRUE(regs.ReadPr(0));
+  EXPECT_DEATH(regs.WriteGr(0, 1), "r0");
+  EXPECT_DEATH(regs.WriteFr(1, 2.0), "f0/f1");
+  EXPECT_DEATH(regs.WritePr(0, false), "p0");
+}
+
+TEST(RegisterFile, StaticRegistersDoNotRotate) {
+  RegisterFile regs;
+  regs.WriteGr(14, 42);
+  regs.WriteFr(6, 2.5);
+  regs.WritePr(15, true);
+  regs.RotateDown();
+  EXPECT_EQ(regs.ReadGr(14), 42u);
+  EXPECT_EQ(regs.ReadFr(6), 2.5);
+  EXPECT_TRUE(regs.ReadPr(15));
+}
+
+TEST(RegisterFile, RotationRenamesByOne) {
+  RegisterFile regs;
+  regs.WriteGr(32, 1111);
+  regs.WriteFr(32, 3.5);
+  regs.WritePr(16, true);
+  regs.RotateDown();
+  EXPECT_EQ(regs.ReadGr(33), 1111u);
+  EXPECT_EQ(regs.ReadFr(33), 3.5);
+  EXPECT_TRUE(regs.ReadPr(17));
+  regs.RotateDown();
+  EXPECT_EQ(regs.ReadGr(34), 1111u);
+}
+
+TEST(RegisterFile, RotationWrapsModulo96) {
+  RegisterFile regs;
+  regs.WriteGr(32, 7);
+  for (int i = 0; i < isa::kNumRotGr; ++i) regs.RotateDown();
+  EXPECT_EQ(regs.ReadGr(32), 7u);  // full cycle
+}
+
+TEST(RegisterFile, Pr63RotatesIntoP16) {
+  RegisterFile regs;
+  regs.WritePr(63, true);
+  regs.RotateDown();
+  EXPECT_TRUE(regs.ReadPr(16));
+}
+
+TEST(RegisterFile, SetRotatingPredicates) {
+  RegisterFile regs;
+  regs.SetRotatingPredicates(0b101);
+  EXPECT_TRUE(regs.ReadPr(16));
+  EXPECT_FALSE(regs.ReadPr(17));
+  EXPECT_TRUE(regs.ReadPr(18));
+  EXPECT_FALSE(regs.ReadPr(19));
+}
+
+// --- Core fixture ---------------------------------------------------------------
+
+class CoreFixture : public ::testing::Test {
+ protected:
+  CoreFixture() : image_(0x40000000) {}
+
+  // Builds a machine around code assembled by `build`, returns entry.
+  Addr Assemble(const std::function<void(Assembler&)>& build) {
+    Assembler a(&image_);
+    const Addr entry = image_.code_end();
+    build(a);
+    a.Finish();
+    machine::MachineConfig cfg = machine::SmpServerConfig(1);
+    cfg.mem.memory_bytes = 1 << 22;
+    machine_ = std::make_unique<machine::Machine>(cfg, &image_);
+    return entry;
+  }
+
+  // Runs CPU0 from entry until break; returns instructions retired.
+  std::uint64_t Run(Addr entry) {
+    Core& core = machine_->core(0);
+    core.Start(entry);
+    while (!core.halted()) core.Step();
+    return core.instructions_retired();
+  }
+
+  Core& core() { return machine_->core(0); }
+
+  isa::BinaryImage image_;
+  std::unique_ptr<machine::Machine> machine_;
+};
+
+TEST_F(CoreFixture, AluAndImmediates) {
+  const Addr entry = Assemble([](Assembler& a) {
+    a.Emit(MovImm(8, 40));
+    a.Emit(AddImm(9, 8, 2));
+    a.Emit(ShlAdd(10, 9, 2, 8));  // 42*4 + 40 = 208
+    a.Emit(SubReg(11, 10, 9));    // 166
+    a.Emit(Break());
+  });
+  Run(entry);
+  EXPECT_EQ(core().regs().ReadGr(9), 42u);
+  EXPECT_EQ(core().regs().ReadGr(10), 208u);
+  EXPECT_EQ(core().regs().ReadGr(11), 166u);
+}
+
+TEST_F(CoreFixture, PredicationSquashesSideEffects) {
+  const Addr entry = Assemble([](Assembler& a) {
+    a.Emit(MovImm(26, 0x1000));
+    a.Emit(CmpImm(CmpRel::kEq, 8, 9, 0, 1));       // p8=false, p9=true
+    a.Emit(Pred(8, MovImm(10, 99)));               // squashed
+    a.Emit(Pred(9, MovImm(11, 77)));               // executes
+    a.Emit(Pred(8, LdPostInc(8, 12, 26, 8)));      // squashed: no post-inc
+    a.Emit(Break());
+  });
+  Run(entry);
+  EXPECT_EQ(core().regs().ReadGr(10), 0u);
+  EXPECT_EQ(core().regs().ReadGr(11), 77u);
+  EXPECT_EQ(core().regs().ReadGr(26), 0x1000u);  // base unchanged
+}
+
+TEST_F(CoreFixture, LoadStoreRoundTripAndPostInc) {
+  const Addr entry = Assemble([](Assembler& a) {
+    a.Emit(MovImm(26, 0x2000));
+    a.Emit(MovImm(8, 0xdeadbeef));
+    a.Emit(St(4, 26, 8));
+    a.Emit(LdPostInc(4, 9, 26, 4));
+    a.Emit(Break());
+  });
+  Run(entry);
+  EXPECT_EQ(core().regs().ReadGr(9), 0xdeadbeefu);
+  EXPECT_EQ(core().regs().ReadGr(26), 0x2004u);
+  EXPECT_EQ(machine_->memory().Read(0x2000, 4), 0xdeadbeefu);
+}
+
+TEST_F(CoreFixture, NarrowStoreMasksValue) {
+  const Addr entry = Assemble([](Assembler& a) {
+    a.Emit(MovImm(26, 0x2000));
+    a.Emit(MovImm(8, -1));      // all ones
+    a.Emit(St(8, 26, 0));       // clear the word
+    a.Emit(St(1, 26, 8));       // store one byte
+    a.Emit(Ld(8, 9, 26));
+    a.Emit(Break());
+  });
+  Run(entry);
+  EXPECT_EQ(core().regs().ReadGr(9), 0xffu);
+}
+
+TEST_F(CoreFixture, FpArithmetic) {
+  const Addr entry = Assemble([](Assembler& a) {
+    a.Emit(MovImm(8, 0x4008000000000000LL));  // 3.0
+    a.Emit(Setf(10, 8));
+    a.Emit(Fma(11, 10, 10, 1));   // 10
+    a.Emit(Fsqrt(12, 11));
+    a.Emit(Fneg(13, 12));
+    a.Emit(Fcmp(FCmpRel::kLt, 8, 9, 13, 0));  // -sqrt(10) < 0
+    a.Emit(Getf(9, 10));
+    a.Emit(Break());
+  });
+  Run(entry);
+  EXPECT_EQ(core().regs().ReadFr(11), 10.0);
+  EXPECT_TRUE(core().regs().ReadPr(8));
+  EXPECT_EQ(core().regs().ReadGr(9), 0x4008000000000000u);
+}
+
+TEST_F(CoreFixture, BrCloopRunsExactTripCount) {
+  const Addr entry = Assemble([](Assembler& a) {
+    const auto loop = a.NewLabel();
+    a.Emit(MovImm(9, 6));  // LC = n-1 for 7 iterations
+    a.Emit(MovToAr(AppReg::kLC, 9));
+    a.Emit(MovImm(8, 0));
+    a.FlushBundle();
+    a.Bind(loop);
+    a.Emit(AddImm(8, 8, 1));
+    a.EmitBranch(BrCloop(0), loop);
+    a.Emit(Break());
+  });
+  Run(entry);
+  EXPECT_EQ(core().regs().ReadGr(8), 7u);
+}
+
+// The canonical rotating-register pipeline: a 2-stage copy through the
+// rotating FP file, checking br.ctop's LC/EC/p16 management end to end.
+TEST_F(CoreFixture, BrCtopPipelinedCopy) {
+  constexpr int kN = 10;
+  const Addr entry = Assemble([](Assembler& a) {
+    const auto loop = a.NewLabel();
+    a.Emit(ClrRrb());
+    a.Emit(MovImm(26, 0x2000));   // src
+    a.Emit(MovImm(27, 0x4000));   // dst
+    a.Emit(MovImm(8, kN - 1));
+    a.Emit(MovToAr(AppReg::kLC, 8));
+    a.Emit(MovImm(9, 3));         // EC = stages(2) + 1
+    a.Emit(MovToAr(AppReg::kEC, 9));
+    a.Emit(MovToPrRot(1));
+    a.FlushBundle();
+    a.Bind(loop);
+    a.Emit(Pred(16, LdfPostInc(32, 26, 8)));
+    a.Emit(Pred(18, StfPostInc(27, 34, 8)));
+    a.EmitBranch(BrCtop(0), loop);
+    a.Emit(Break());
+  });
+  for (int i = 0; i < kN; ++i) {
+    // Machine is built inside Assemble; write after construction.
+    machine_->memory().WriteDouble(0x2000 + 8 * static_cast<Addr>(i),
+                                   1.5 * i);
+  }
+  Run(entry);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(machine_->memory().ReadDouble(0x4000 + 8 * static_cast<Addr>(i)),
+              1.5 * i)
+        << i;
+  }
+  // No overrun store.
+  EXPECT_EQ(machine_->memory().ReadDouble(0x4000 + 8 * kN), 0.0);
+}
+
+TEST_F(CoreFixture, BrWtopWhileLoop) {
+  const Addr entry = Assemble([](Assembler& a) {
+    const auto loop = a.NewLabel();
+    a.Emit(ClrRrb());
+    a.Emit(MovImm(28, 0));
+    a.Emit(MovImm(29, 5));  // n
+    a.Emit(MovImm(8, 1));
+    a.Emit(MovToAr(AppReg::kEC, 8));
+    a.Emit(Cmp(CmpRel::kLt, 15, 14, 28, 29));
+    a.FlushBundle();
+    a.Bind(loop);
+    a.Emit(AddImm(28, 28, 1));
+    a.Emit(Cmp(CmpRel::kLt, 15, 14, 28, 29));
+    a.EmitBranch(BrWtop(15, 0), loop);
+    a.Emit(Break());
+  });
+  Run(entry);
+  EXPECT_EQ(core().regs().ReadGr(28), 5u);
+}
+
+TEST_F(CoreFixture, LfetchPastMemoryEndIsDropped) {
+  const Addr entry = Assemble([](Assembler& a) {
+    a.Emit(MovImm(26, 1LL << 40));  // far past memory
+    a.Emit(Lfetch(26));
+    a.Emit(Break());
+  });
+  Run(entry);
+  EXPECT_EQ(core().lfetches_dropped(), 1u);
+}
+
+TEST_F(CoreFixture, BtbRecordsTakenBranches) {
+  const Addr entry = Assemble([](Assembler& a) {
+    const auto loop = a.NewLabel();
+    a.Emit(MovImm(9, 5));
+    a.Emit(MovToAr(AppReg::kLC, 9));
+    a.FlushBundle();
+    a.Bind(loop);
+    a.Emit(Nop());
+    a.EmitBranch(BrCloop(0), loop);
+    a.Emit(Break());
+  });
+  Run(entry);
+  const auto entries = core().btb().Snapshot();
+  EXPECT_EQ(core().btb().count(), 4);
+  // Backward loop branch: source > target, repeated.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(entries[static_cast<std::size_t>(i)].source,
+              entries[static_cast<std::size_t>(i)].target);
+  }
+}
+
+TEST_F(CoreFixture, DearRecordsOnlyLongLatencyLoads) {
+  const Addr entry = Assemble([](Assembler& a) {
+    a.Emit(MovImm(26, 0x2000));
+    a.Emit(Ldf(10, 26));   // cold: memory latency
+    a.Emit(Ldf(11, 26));   // L2 hit: 6 cycles, filtered out
+    a.Emit(Break());
+  });
+  core().dear().SetLatencyThreshold(12);
+  Run(entry);
+  EXPECT_EQ(core().dear().qualified_count(), 1u);
+  EXPECT_EQ(core().dear().last().data_addr, 0x2000u);
+  EXPECT_GE(core().dear().last().latency,
+            machine_->config().mem.memory_latency);
+}
+
+TEST_F(CoreFixture, HpmCountersTrackEvents) {
+  const Addr entry = Assemble([](Assembler& a) {
+    a.Emit(MovImm(26, 0x2000));
+    a.Emit(Ldf(10, 26));
+    a.Emit(Ldf(11, 26));
+    a.Emit(Break());
+  });
+  core().hpm().Select(0, HpmEvent::kInstRetired);
+  core().hpm().Select(1, HpmEvent::kLoadsRetired);
+  core().hpm().Select(2, HpmEvent::kBusMemory);
+  core().hpm().Select(3, HpmEvent::kCpuCycles);
+  Run(entry);
+  EXPECT_EQ(core().hpm().Read(0), 4u);
+  EXPECT_EQ(core().hpm().Read(1), 2u);
+  EXPECT_EQ(core().hpm().Read(2), 1u);  // one bus fill
+  EXPECT_GT(core().hpm().Read(3), machine_->config().mem.memory_latency);
+}
+
+TEST_F(CoreFixture, RetireHookFiresAtPeriod) {
+  const Addr entry = Assemble([](Assembler& a) {
+    for (int i = 0; i < 10; ++i) a.Emit(AddImm(8, 8, 1));
+    a.Emit(Break());
+  });
+  int fired = 0;
+  core().SetRetireHook(4, [&fired](Core&) { ++fired; });
+  const auto retired = Run(entry);
+  EXPECT_EQ(retired, 11u);  // 10 adds + break
+  EXPECT_EQ(fired, 2);      // after 4 and 8 retired instructions
+}
+
+}  // namespace
+}  // namespace cobra::cpu

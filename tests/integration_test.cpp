@@ -1,0 +1,312 @@
+// Cross-module integration and property tests:
+//   * behavioural equivalence of COBRA-patched binaries across the whole
+//     NPB mini-suite (the optimizer must never change program results);
+//   * trace deployment over nested (CSR) loops;
+//   * determinism of full COBRA runs;
+//   * perfmon driver lifecycle edge cases;
+//   * encode/decode fuzzing over the whole representable instruction space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+
+#include "cobra/cobra.h"
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "npb/common.h"
+#include "perfmon/sampling.h"
+#include "support/rng.h"
+
+namespace cobra {
+namespace {
+
+// --- COBRA never changes results ------------------------------------------------
+
+class NpbUnderCobra : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NpbUnderCobra, PatchedBinaryStillVerifies) {
+  auto benchmark = npb::MakeBenchmark(GetParam());
+  kgen::Program prog;
+  benchmark->Build(prog, kgen::PrefetchPolicy{});
+  machine::MachineConfig cfg = machine::SmpServerConfig(4);
+  cfg.mem.memory_bytes = 1 << 25;
+  machine::Machine machine(cfg, &prog.image());
+  benchmark->Init(machine, 4);
+
+  core::CobraConfig config;
+  config.sampling_period_insts = 1000;
+  config.strategy = core::OptKind::kNoprefetch;
+  core::CobraRuntime cobra(&machine, config);
+  cobra.AttachAll(4);
+
+  rt::Team team(&machine, 4);
+  benchmark->Run(team);
+  EXPECT_TRUE(benchmark->Verify(machine)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, NpbUnderCobra,
+                         ::testing::Values("bt", "sp", "lu", "ft", "mg",
+                                           "cg"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(NpbUnderCobraExcl, PatchedBinaryStillVerifies) {
+  for (const char* name : {"mg", "cg"}) {
+    auto benchmark = npb::MakeBenchmark(name);
+    kgen::Program prog;
+    benchmark->Build(prog, kgen::PrefetchPolicy{});
+    machine::MachineConfig cfg = machine::SmpServerConfig(4);
+    cfg.mem.memory_bytes = 1 << 25;
+    machine::Machine machine(cfg, &prog.image());
+    benchmark->Init(machine, 4);
+    core::CobraConfig config;
+    config.sampling_period_insts = 1000;
+    config.strategy = core::OptKind::kPrefetchExcl;
+    core::CobraRuntime cobra(&machine, config);
+    cobra.AttachAll(4);
+    rt::Team team(&machine, 4);
+    benchmark->Run(team);
+    EXPECT_TRUE(benchmark->Verify(machine)) << name;
+  }
+}
+
+// --- Nested-loop trace deployment -------------------------------------------------
+
+TEST(NestedLoops, CsrInnerLoopTraceComputesSameValues) {
+  kgen::Program prog;
+  const kgen::LoopInfo spmv = EmitCsrMatvec(prog, "spmv", {});
+  constexpr int kRows = 96;
+  std::vector<std::int64_t> rowptr{0};
+  std::vector<std::int64_t> col;
+  std::vector<double> vals;
+  for (int i = 0; i < kRows; ++i) {
+    for (int j = i - 3; j <= i + 3; ++j) {
+      if (j < 0 || j >= kRows) continue;
+      col.push_back(j);
+      vals.push_back(0.5 / (1 + std::abs(i - j)));
+    }
+    rowptr.push_back(static_cast<std::int64_t>(col.size()));
+  }
+  const mem::Addr rowptr_a = prog.Alloc(rowptr.size() * 8);
+  const mem::Addr col_a = prog.Alloc(col.size() * 8);
+  const mem::Addr vals_a = prog.Alloc(vals.size() * 8);
+  const mem::Addr p_a = prog.Alloc(kRows * 8);
+  const mem::Addr q_a = prog.Alloc(kRows * 8);
+
+  machine::MachineConfig cfg = machine::SmpServerConfig(2);
+  cfg.mem.memory_bytes = 1 << 22;
+  machine::Machine machine(cfg, &prog.image());
+  for (std::size_t i = 0; i < rowptr.size(); ++i) {
+    machine.memory().WriteAs<std::int64_t>(rowptr_a + 8 * i, rowptr[i]);
+  }
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    machine.memory().WriteAs<std::int64_t>(col_a + 8 * i, col[i]);
+    machine.memory().WriteDouble(vals_a + 8 * i, vals[i]);
+  }
+  for (int i = 0; i < kRows; ++i) {
+    machine.memory().WriteDouble(p_a + 8 * static_cast<mem::Addr>(i),
+                                 1.0 + 0.25 * i);
+  }
+
+  // Deploy a noprefetch trace over the *inner* product loop; the outer row
+  // loop keeps running original code and must interoperate with the
+  // redirected inner loop seamlessly.
+  core::TraceCache cache(&prog.image());
+  const int id =
+      cache.Deploy(core::LoopRegion{spmv.head, spmv.back_branch_pc},
+                   core::OptKind::kNoprefetch);
+  ASSERT_GE(id, 0);
+
+  rt::Team team(&machine, 2);
+  team.Run(spmv.entry, [&](int tid, cpu::RegisterFile& regs) {
+    const auto chunk = rt::StaticChunk(tid, 2, kRows);
+    regs.WriteGr(14, rowptr_a);
+    regs.WriteGr(15, col_a);
+    regs.WriteGr(16, vals_a);
+    regs.WriteGr(17, p_a);
+    regs.WriteGr(18, q_a);
+    regs.WriteGr(19, static_cast<std::uint64_t>(chunk.begin));
+    regs.WriteGr(20, static_cast<std::uint64_t>(chunk.end));
+  });
+
+  for (int i = 0; i < kRows; ++i) {
+    double acc = 0.0;
+    for (std::int64_t k = rowptr[static_cast<std::size_t>(i)];
+         k < rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      acc = std::fma(
+          vals[static_cast<std::size_t>(k)],
+          1.0 + 0.25 * static_cast<double>(col[static_cast<std::size_t>(k)]),
+          acc);
+    }
+    EXPECT_EQ(machine.memory().ReadDouble(q_a + 8 * static_cast<mem::Addr>(i)),
+              acc)
+        << i;
+  }
+}
+
+// --- Determinism under COBRA -------------------------------------------------------
+
+TEST(Determinism, FullCobraRunsAreBitIdentical) {
+  auto RunOnce = [] {
+    auto benchmark = npb::MakeBenchmark("mg");
+    kgen::Program prog;
+    benchmark->Build(prog, kgen::PrefetchPolicy{});
+    machine::MachineConfig cfg = machine::SmpServerConfig(4);
+    cfg.mem.memory_bytes = 1 << 25;
+    machine::Machine machine(cfg, &prog.image());
+    benchmark->Init(machine, 4);
+    core::CobraConfig config;
+    config.sampling_period_insts = 1000;
+    core::CobraRuntime cobra(&machine, config);
+    cobra.AttachAll(4);
+    rt::Team team(&machine, 4);
+    const Cycle cycles = benchmark->Run(team);
+    return std::make_pair(cycles, cobra.stats().deployments);
+  };
+  const auto first = RunOnce();
+  const auto second = RunOnce();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+// --- perfmon lifecycle -----------------------------------------------------------
+
+TEST(PerfmonLifecycle, StopFlushesPartialBatchAndRestartWorks) {
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  const mem::Addr x = prog.Alloc(512 * 8);
+  const mem::Addr y = prog.Alloc(512 * 8);
+  machine::MachineConfig cfg = machine::SmpServerConfig(1);
+  cfg.mem.memory_bytes = 1 << 22;
+  machine::Machine machine(cfg, &prog.image());
+
+  perfmon::SamplingConfig pcfg;
+  pcfg.period_insts = 100;
+  pcfg.batch_size = 64;  // larger than one run produces: forces a flush path
+  perfmon::SamplingDriver driver(&machine, pcfg);
+  std::size_t delivered = 0;
+  driver.StartMonitoring(0, 0,
+                         [&](int, std::span<const perfmon::Sample> batch) {
+                           delivered += batch.size();
+                         });
+
+  rt::Team team(&machine, 1);
+  auto Run = [&] {
+    team.Run(daxpy.entry, [&](int, cpu::RegisterFile& regs) {
+      regs.WriteGr(14, x);
+      regs.WriteGr(15, y);
+      regs.WriteGr(16, 512);
+      regs.WriteFr(6, 1.0);
+    });
+  };
+  Run();
+  EXPECT_EQ(delivered, 0u);  // partial batch still buffered
+  driver.StopMonitoring(0);
+  EXPECT_GT(delivered, 0u);  // flushed on stop
+  const std::size_t after_stop = delivered;
+  Run();
+  EXPECT_EQ(delivered, after_stop);  // no sampling while stopped
+
+  // Restart resumes cleanly.
+  driver.StartMonitoring(0, 0,
+                         [&](int, std::span<const perfmon::Sample> batch) {
+                           delivered += batch.size();
+                         });
+  Run();
+  driver.StopAll();
+  EXPECT_GT(delivered, after_stop);
+}
+
+// --- Encode/decode fuzz ------------------------------------------------------------
+
+TEST(EncodingFuzz, RandomValidInstructionsRoundTrip) {
+  support::Rng rng(0xDEC0DE);
+  int tested = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    isa::Instruction inst;
+    inst.op = static_cast<isa::Opcode>(
+        rng.NextBounded(static_cast<std::uint64_t>(isa::Opcode::kOpcodeCount)));
+    inst.unit = static_cast<isa::Unit>(rng.NextBounded(4));
+    inst.qp = static_cast<std::uint8_t>(rng.NextBounded(64));
+    inst.r1 = static_cast<std::uint8_t>(rng.NextBounded(128));
+    inst.r2 = static_cast<std::uint8_t>(rng.NextBounded(128));
+    inst.r3 = static_cast<std::uint8_t>(rng.NextBounded(128));
+    inst.extra = static_cast<std::uint8_t>(rng.NextBounded(128));
+    inst.p1 = static_cast<std::uint8_t>(rng.NextBounded(64));
+    inst.p2 = static_cast<std::uint8_t>(rng.NextBounded(64));
+    inst.size = static_cast<std::uint8_t>(1u << rng.NextBounded(4));
+    inst.post_inc = rng.NextBounded(2) != 0;
+    inst.rel = static_cast<isa::CmpRel>(rng.NextBounded(8));
+    inst.frel = static_cast<isa::FCmpRel>(rng.NextBounded(6));
+    inst.ld_hint = static_cast<isa::LoadHint>(rng.NextBounded(3));
+    inst.lf_hint.temporal = static_cast<isa::Temporal>(rng.NextBounded(4));
+    inst.lf_hint.excl = rng.NextBounded(2) != 0;
+    inst.lf_hint.fault = rng.NextBounded(2) != 0;
+    inst.imm = static_cast<std::int64_t>(rng.NextU64());
+
+    // Normalize fields the encoding legitimately does not preserve for
+    // this opcode (mirrors what Decode canonicalizes).
+    switch (inst.op) {
+      case isa::Opcode::kCmp:
+      case isa::Opcode::kCmpImm:
+        inst.extra = 0;                 // relation is packed there instead
+        inst.frel = isa::FCmpRel::kEq;  // not representable for cmp
+        break;
+      case isa::Opcode::kFcmp:
+        inst.extra = 0;
+        inst.rel = isa::CmpRel::kEq;
+        break;
+      case isa::Opcode::kLd:
+        inst.extra = 0;  // load hint is packed in the temporal bits
+        inst.rel = isa::CmpRel::kEq;
+        inst.frel = isa::FCmpRel::kEq;
+        break;
+      default:
+        inst.rel = isa::CmpRel::kEq;
+        inst.frel = isa::FCmpRel::kEq;
+        break;
+    }
+    if (inst.op != isa::Opcode::kLd) inst.ld_hint = isa::LoadHint::kNone;
+    if (inst.op != isa::Opcode::kLfetch) {
+      // Non-lfetch ops keep the default temporal field.
+      inst.lf_hint = isa::LfetchHint{};
+      if (inst.op == isa::Opcode::kLd) {
+        // kLd reuses the temporal bits for the load hint.
+      }
+    }
+    // fcmp packs frel in extra and leaves lf hints defaulted (as helpers do).
+
+    const isa::EncodedSlot slot = isa::Encode(inst);
+    const isa::Instruction decoded = isa::Decode(slot);
+    EXPECT_EQ(decoded, inst) << isa::Disassemble(inst) << " trial " << trial;
+    ++tested;
+  }
+  EXPECT_EQ(tested, 20000);
+}
+
+// --- Disassembler totality over real binaries ---------------------------------------
+
+TEST(DisasmTotality, EveryNpbSlotDisassembles) {
+  for (const std::string& name : npb::SuiteNames()) {
+    auto benchmark = npb::MakeBenchmark(name);
+    kgen::Program prog;
+    benchmark->Build(prog, kgen::PrefetchPolicy{});
+    const auto& image = prog.image();
+    for (isa::Addr bundle = image.code_base(); bundle < image.code_end();
+         bundle += isa::kBundleBytes) {
+      for (unsigned slot = 0; slot < 3; ++slot) {
+        const std::string text =
+            isa::Disassemble(image.Fetch(isa::MakePc(bundle, slot)));
+        EXPECT_FALSE(text.empty());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cobra

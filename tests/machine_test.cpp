@@ -1,0 +1,225 @@
+// Machine/Team/perfmon integration tests: deterministic interleaving,
+// fork/join semantics, static scheduling, and the sampling driver.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/assembler.h"
+#include "machine/machine.h"
+#include "perfmon/sampling.h"
+#include "rt/team.h"
+
+namespace cobra::machine {
+namespace {
+
+using namespace isa;
+
+// Emits a kernel that stores `tid`-dependent values over its chunk:
+//   args: r14 = base address, r15 = n (int64 slots), r16 = value.
+Addr EmitFillKernel(BinaryImage& image) {
+  Assembler a(&image);
+  const Addr entry = image.code_end();
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+  a.Emit(CmpImm(CmpRel::kLe, 8, 0, 15, 0));
+  a.EmitBranch(BrCond(8, 0), exit);
+  a.Emit(MovReg(26, 14));
+  a.Emit(AddImm(9, 15, -1));
+  a.Emit(MovToAr(AppReg::kLC, 9));
+  a.FlushBundle();
+  a.Bind(loop);
+  a.Emit(StPostInc(8, 26, 16, 8));
+  a.EmitBranch(BrCloop(0), loop);
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+  return entry;
+}
+
+TEST(StaticChunk, CoversRangeWithoutOverlap) {
+  for (int threads = 1; threads <= 8; ++threads) {
+    for (std::int64_t n : {0, 1, 7, 64, 1001}) {
+      std::int64_t covered = 0;
+      std::int64_t prev_end = 0;
+      for (int tid = 0; tid < threads; ++tid) {
+        const auto chunk = rt::StaticChunk(tid, threads, n);
+        EXPECT_EQ(chunk.begin, prev_end);
+        EXPECT_GE(chunk.size(), 0);
+        covered += chunk.size();
+        prev_end = chunk.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+class TeamFixture : public ::testing::Test {
+ protected:
+  void Build(MachineConfig cfg) {
+    cfg.mem.memory_bytes = 1 << 22;
+    image_ = std::make_unique<BinaryImage>();
+    entry_ = EmitFillKernel(*image_);
+    machine_ = std::make_unique<Machine>(cfg, image_.get());
+  }
+
+  std::unique_ptr<BinaryImage> image_;
+  Addr entry_ = 0;
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_F(TeamFixture, ParallelFillCoversAllChunks) {
+  Build(SmpServerConfig(4));
+  rt::Team team(machine_.get(), 4);
+  constexpr std::int64_t kN = 1000;
+  const Addr base = 0x10000;
+  const Cycle cycles = team.Run(entry_, [&](int tid, cpu::RegisterFile& regs) {
+    const auto chunk = rt::StaticChunk(tid, 4, kN);
+    regs.WriteGr(14, base + 8 * static_cast<Addr>(chunk.begin));
+    regs.WriteGr(15, static_cast<std::uint64_t>(chunk.size()));
+    regs.WriteGr(16, static_cast<std::uint64_t>(100 + tid));
+  });
+  EXPECT_GT(cycles, 0u);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    int owner = -1;
+    for (int tid = 0; tid < 4; ++tid) {
+      const auto chunk = rt::StaticChunk(tid, 4, kN);
+      if (i >= chunk.begin && i < chunk.end) owner = tid;
+    }
+    EXPECT_EQ(machine_->memory().Read(base + 8 * static_cast<Addr>(i), 8),
+              static_cast<std::uint64_t>(100 + owner));
+  }
+}
+
+TEST_F(TeamFixture, RunsAreDeterministic) {
+  Build(SmpServerConfig(4));
+  auto RunOnce = [&]() {
+    machine_->ResetTiming();
+    rt::Team team(machine_.get(), 4);
+    return team.Run(entry_, [&](int tid, cpu::RegisterFile& regs) {
+      const auto chunk = rt::StaticChunk(tid, 4, 4096);
+      regs.WriteGr(14, 0x10000 + 8 * static_cast<Addr>(chunk.begin));
+      regs.WriteGr(15, static_cast<std::uint64_t>(chunk.size()));
+      regs.WriteGr(16, static_cast<std::uint64_t>(tid));
+    });
+  };
+  const Cycle first = RunOnce();
+  const Cycle second = RunOnce();
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(TeamFixture, JoinBarrierSyncsCores) {
+  Build(SmpServerConfig(4));
+  rt::Team team(machine_.get(), 4);
+  // Wildly unbalanced chunks.
+  team.Run(entry_, [&](int tid, cpu::RegisterFile& regs) {
+    regs.WriteGr(14, 0x10000 + 0x4000 * static_cast<Addr>(tid));
+    regs.WriteGr(15, tid == 0 ? 2000u : 1u);
+    regs.WriteGr(16, 7);
+  });
+  const Cycle t = machine_->GlobalTime();
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_EQ(machine_->core(cpu).now(), t);
+  }
+}
+
+TEST_F(TeamFixture, EmptyChunksAreSafe) {
+  Build(SmpServerConfig(4));
+  rt::Team team(machine_.get(), 4);
+  team.Run(entry_, [&](int tid, cpu::RegisterFile& regs) {
+    const auto chunk = rt::StaticChunk(tid, 4, 2);  // threads 2,3 empty
+    regs.WriteGr(14, 0x10000 + 8 * static_cast<Addr>(chunk.begin));
+    regs.WriteGr(15, static_cast<std::uint64_t>(chunk.size()));
+    regs.WriteGr(16, 5);
+  });
+  EXPECT_EQ(machine_->memory().Read(0x10000, 8), 5u);
+  EXPECT_EQ(machine_->memory().Read(0x10008, 8), 5u);
+}
+
+TEST_F(TeamFixture, NumaMachineRunsTheSameProgram) {
+  Build(AltixConfig(8));
+  rt::Team team(machine_.get(), 8);
+  // Large enough that each thread's chunk spans whole 16K pages.
+  constexpr std::int64_t kN = 8 * 4096;
+  team.Run(entry_, [&](int tid, cpu::RegisterFile& regs) {
+    const auto chunk = rt::StaticChunk(tid, 8, kN);
+    regs.WriteGr(14, 0x10000 + 8 * static_cast<Addr>(chunk.begin));
+    regs.WriteGr(15, static_cast<std::uint64_t>(chunk.size()));
+    regs.WriteGr(16, static_cast<std::uint64_t>(tid));
+  });
+  // First-touch: each thread's pages homed at its node.
+  EXPECT_EQ(machine_->memory().HomeNode(0x10000), 0);
+  const auto last_chunk = rt::StaticChunk(7, 8, kN);
+  EXPECT_EQ(machine_->memory().HomeNode(
+                0x10000 + 8 * static_cast<Addr>(last_chunk.begin) + 16384),
+            3);
+}
+
+TEST_F(TeamFixture, SamplingDriverDeliversTaggedBatches) {
+  Build(SmpServerConfig(2));
+  perfmon::SamplingConfig cfg;
+  cfg.period_insts = 50;
+  cfg.batch_size = 4;
+  perfmon::SamplingDriver driver(machine_.get(), cfg);
+
+  std::vector<perfmon::Sample> received;
+  for (CpuId cpu = 0; cpu < 2; ++cpu) {
+    driver.StartMonitoring(
+        cpu, /*tid=*/cpu,
+        [&received](int, std::span<const perfmon::Sample> batch) {
+          received.insert(received.end(), batch.begin(), batch.end());
+        });
+  }
+
+  rt::Team team(machine_.get(), 2);
+  team.Run(entry_, [&](int tid, cpu::RegisterFile& regs) {
+    const auto chunk = rt::StaticChunk(tid, 2, 2048);
+    regs.WriteGr(14, 0x10000 + 8 * static_cast<Addr>(chunk.begin));
+    regs.WriteGr(15, static_cast<std::uint64_t>(chunk.size()));
+    regs.WriteGr(16, 1);
+  });
+  driver.StopAll();
+
+  ASSERT_GT(received.size(), 8u);
+  for (const auto& sample : received) {
+    EXPECT_EQ(sample.tid, sample.cpu);  // bound threads
+    EXPECT_TRUE(sample.cpu == 0 || sample.cpu == 1);
+    EXPECT_GE(sample.pc, image_->code_base());
+  }
+  // Per-CPU indices are monotone from zero.
+  std::uint64_t next_index[2] = {0, 0};
+  for (const auto& sample : received) {
+    EXPECT_EQ(sample.index, next_index[sample.cpu]++);
+  }
+  EXPECT_EQ(driver.TotalSamples(), received.size());
+}
+
+TEST_F(TeamFixture, SamplerSeesLoopBranchesInBtb) {
+  Build(SmpServerConfig(1));
+  perfmon::SamplingConfig cfg;
+  cfg.period_insts = 16;
+  cfg.batch_size = 2;
+  perfmon::SamplingDriver driver(machine_.get(), cfg);
+  bool saw_backward_branch = false;
+  driver.StartMonitoring(
+      0, 0, [&](int, std::span<const perfmon::Sample> batch) {
+        for (const auto& sample : batch) {
+          for (const auto& entry : sample.btb) {
+            if (entry.source != 0 && entry.target <= entry.source) {
+              saw_backward_branch = true;
+            }
+          }
+        }
+      });
+  rt::Team team(machine_.get(), 1);
+  team.Run(entry_, [&](int, cpu::RegisterFile& regs) {
+    regs.WriteGr(14, 0x10000);
+    regs.WriteGr(15, 512);
+    regs.WriteGr(16, 1);
+  });
+  driver.StopAll();
+  EXPECT_TRUE(saw_backward_branch);
+}
+
+}  // namespace
+}  // namespace cobra::machine

@@ -1,0 +1,506 @@
+// Memory-system tests: main memory + first-touch pages, cache arrays, the
+// MESI protocol over the snooping bus, the NUMA directory, prefetch
+// semantics (including .excl), inclusion, writebacks, and bus contention.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache_array.h"
+#include "mem/cache_stack.h"
+#include "mem/config.h"
+#include "mem/directory.h"
+#include "mem/main_memory.h"
+#include "mem/snoop_bus.h"
+
+namespace cobra::mem {
+namespace {
+
+// --- MainMemory ------------------------------------------------------------
+
+TEST(MainMemory, ReadWriteRoundTrip) {
+  MainMemory memory(1 << 20);
+  memory.Write(0x100, 8, 0x1122334455667788ULL);
+  EXPECT_EQ(memory.Read(0x100, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(memory.Read(0x100, 4), 0x55667788ULL);
+  EXPECT_EQ(memory.Read(0x104, 4), 0x11223344ULL);
+  memory.WriteDouble(0x200, 3.25);
+  EXPECT_EQ(memory.ReadDouble(0x200), 3.25);
+}
+
+TEST(MainMemory, OutOfRangeAborts) {
+  MainMemory memory(4096);
+  EXPECT_DEATH(memory.Read(4095, 8), "out of simulated memory");
+}
+
+TEST(MainMemory, FirstTouchAssignsHome) {
+  MainMemory memory(1 << 20, 16 * 1024);
+  EXPECT_EQ(memory.HomeNode(0x100), -1);
+  EXPECT_EQ(memory.TouchPage(0x100, 2), 2);
+  EXPECT_EQ(memory.TouchPage(0x100, 3), 2);  // already homed
+  EXPECT_EQ(memory.HomeNode(0x3fff), 2);     // same 16K page
+  EXPECT_EQ(memory.HomeNode(0x4000), -1);    // next page untouched
+}
+
+TEST(MainMemory, PlaceRangePins) {
+  MainMemory memory(1 << 20, 16 * 1024);
+  memory.PlaceRange(0x4000, 0xc000, 1);
+  EXPECT_EQ(memory.HomeNode(0x4000), 1);
+  EXPECT_EQ(memory.HomeNode(0xbfff), 1);
+  EXPECT_EQ(memory.TouchPage(0x4000, 0), 1);
+}
+
+// --- CacheArray -----------------------------------------------------------
+
+TEST(CacheArray, HitsAndLru) {
+  CacheArray cache(1024, 128, 2);  // 4 sets x 2 ways
+  bool victim_valid = false;
+  CacheArray::Line victim;
+  cache.Insert(0x0000, Mesi::kE, 0, &victim, &victim_valid);
+  EXPECT_FALSE(victim_valid);
+  cache.Insert(0x0800, Mesi::kE, 0, &victim, &victim_valid);  // same set 0
+  EXPECT_FALSE(victim_valid);
+  EXPECT_NE(cache.Touch(0x0000), nullptr);  // refresh LRU of first line
+  cache.Insert(0x1000, Mesi::kE, 0, &victim, &victim_valid);  // set 0 again
+  ASSERT_TRUE(victim_valid);
+  EXPECT_EQ(victim.line_addr, 0x0800u);  // LRU victim
+  EXPECT_NE(cache.Probe(0x0000), nullptr);
+  EXPECT_EQ(cache.Probe(0x0800), nullptr);
+}
+
+TEST(CacheArray, DirtyEvictionCounted) {
+  CacheArray cache(256, 128, 1);  // 2 sets, direct-mapped
+  bool victim_valid = false;
+  CacheArray::Line victim;
+  cache.Insert(0x0000, Mesi::kM, 0, &victim, &victim_valid);
+  cache.Insert(0x0100, Mesi::kE, 0, &victim, &victim_valid);  // evicts set 0
+  ASSERT_TRUE(victim_valid);
+  EXPECT_EQ(victim.state, Mesi::kM);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+}
+
+TEST(CacheArray, UselessPrefetchEvictionCounted) {
+  CacheArray cache(256, 128, 1);
+  bool victim_valid = false;
+  CacheArray::Line victim;
+  auto* line = cache.Insert(0x0000, Mesi::kS, 0, &victim, &victim_valid);
+  line->prefetched = true;
+  line->referenced = false;
+  cache.Insert(0x0100, Mesi::kE, 0, &victim, &victim_valid);
+  EXPECT_EQ(cache.stats().useless_prefetch_evictions, 1u);
+}
+
+// --- Test fixture: N-CPU system over a snooping bus ------------------------
+
+class SmpFixture : public ::testing::Test {
+ protected:
+  void Build(int cpus) {
+    cfg_ = ItaniumSmpConfig();
+    cfg_.memory_bytes = 1 << 22;
+    bus_ = std::make_unique<SnoopBus>(cfg_);
+    std::vector<CacheStack*> raw;
+    for (int i = 0; i < cpus; ++i) {
+      stacks_.push_back(std::make_unique<CacheStack>(i, cfg_));
+      stacks_.back()->AttachFabric(bus_.get());
+      raw.push_back(stacks_.back().get());
+    }
+    bus_->AttachStacks(raw);
+  }
+
+  CacheStack& stack(int i) { return *stacks_[static_cast<std::size_t>(i)]; }
+
+  MemConfig cfg_;
+  std::unique_ptr<SnoopBus> bus_;
+  std::vector<std::unique_ptr<CacheStack>> stacks_;
+};
+
+TEST_F(SmpFixture, ColdLoadGetsExclusiveAndMemoryLatency) {
+  Build(2);
+  const auto result = stack(0).Load(0x1000, 8, false, false, 0);
+  EXPECT_EQ(result.source, CacheStack::Source::kMemory);
+  EXPECT_GE(result.latency, cfg_.memory_latency);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kE);
+  EXPECT_EQ(bus_->TotalCounts().bus_memory, 1u);
+}
+
+TEST_F(SmpFixture, SecondLoadHitsL1ThenL2) {
+  Build(1);
+  stack(0).Load(0x1000, 8, false, false, 0);
+  // Integer reload: L1 hit.
+  auto r = stack(0).Load(0x1000, 8, false, false, 1000);
+  EXPECT_EQ(r.source, CacheStack::Source::kL1);
+  EXPECT_EQ(r.latency, cfg_.l1_hit_latency);
+  // FP load bypasses L1: L2 hit.
+  r = stack(0).Load(0x1000, 8, true, false, 2000);
+  EXPECT_EQ(r.source, CacheStack::Source::kL2);
+  EXPECT_EQ(r.latency, cfg_.l2_hit_latency);
+}
+
+TEST_F(SmpFixture, ReadSharingDowngradesToShared) {
+  Build(2);
+  stack(0).Load(0x1000, 8, false, false, 0);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kE);
+  const auto r = stack(1).Load(0x1000, 8, false, false, 1000);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kS);
+  EXPECT_EQ(stack(1).LineState(0x1000), Mesi::kS);
+  EXPECT_EQ(r.source, CacheStack::Source::kMemory);  // clean snoop hit
+  EXPECT_EQ(bus_->TotalCounts().bus_rd_hit, 1u);
+}
+
+TEST_F(SmpFixture, ReadOfModifiedLineIsCoherentMiss) {
+  Build(2);
+  stack(0).Store(0x1000, 8, 0);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kM);
+  const auto r = stack(1).Load(0x1000, 8, false, false, 1000);
+  EXPECT_EQ(r.source, CacheStack::Source::kCoherent);
+  EXPECT_GE(r.latency, cfg_.hitm_latency);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kS);
+  EXPECT_EQ(stack(1).LineState(0x1000), Mesi::kS);
+  EXPECT_EQ(bus_->TotalCounts().bus_rd_hitm, 1u);
+}
+
+TEST_F(SmpFixture, StoreToSharedLineIsCoherentWriteMiss) {
+  Build(2);
+  stack(0).Load(0x1000, 8, false, false, 0);
+  stack(1).Load(0x1000, 8, false, false, 100);  // both Shared now
+  const auto l3_misses_before = stack(0).L3Misses();
+  const auto r = stack(0).Store(0x1000, 8, 1000);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kM);
+  EXPECT_EQ(stack(1).LineState(0x1000), Mesi::kI);  // invalidated
+  // Itanium 2: the store to a Shared line is a full read-invalidate (an L2
+  // write miss that also counts as an L3 miss), not an address-only BIL.
+  EXPECT_EQ(bus_->TotalCounts().bus_upgrades, 0u);
+  EXPECT_EQ(stack(0).stats().store_upgrades, 1u);
+  EXPECT_EQ(stack(0).L3Misses(), l3_misses_before + 1);
+  EXPECT_GE(r.latency, cfg_.memory_latency);
+}
+
+TEST_F(SmpFixture, StoreToExclusiveIsSilent) {
+  Build(2);
+  stack(0).Load(0x1000, 8, false, false, 0);
+  const auto before = bus_->TotalCounts().bus_memory +
+                      bus_->TotalCounts().bus_upgrades;
+  const auto r = stack(0).Store(0x1000, 8, 1000);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kM);
+  EXPECT_EQ(r.latency, cfg_.store_hit_latency);
+  EXPECT_EQ(bus_->TotalCounts().bus_memory + bus_->TotalCounts().bus_upgrades,
+            before);
+}
+
+TEST_F(SmpFixture, RfoOfModifiedLineCountsInvalHitm) {
+  Build(2);
+  stack(0).Store(0x1000, 8, 0);
+  stack(1).Store(0x1000, 8, 1000);  // cold in CPU1: RFO hits M in CPU0
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kI);
+  EXPECT_EQ(stack(1).LineState(0x1000), Mesi::kM);
+  EXPECT_EQ(bus_->TotalCounts().bus_rd_inval_all_hitm, 1u);
+}
+
+TEST_F(SmpFixture, PrefetchInstallsSharedOrExclusive) {
+  Build(2);
+  stack(0).Prefetch(0x1000, /*excl=*/false, 0);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kE);  // nobody else had it
+  stack(1).Prefetch(0x1000, /*excl=*/false, 100);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kS);
+  EXPECT_EQ(stack(1).LineState(0x1000), Mesi::kS);
+}
+
+TEST_F(SmpFixture, ExclPrefetchInvalidatesOtherCopies) {
+  Build(2);
+  stack(0).Load(0x1000, 8, false, false, 0);
+  stack(1).Prefetch(0x1000, /*excl=*/true, 100);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kI);
+  EXPECT_EQ(stack(1).LineState(0x1000), Mesi::kE);
+  // The later store on CPU1 is then silent.
+  const auto upgrades_before = bus_->TotalCounts().bus_upgrades;
+  stack(1).Store(0x1000, 8, 200);
+  EXPECT_EQ(bus_->TotalCounts().bus_upgrades, upgrades_before);
+}
+
+TEST_F(SmpFixture, ExclPrefetchReacquiresOwnWrittenLine) {
+  Build(2);
+  // CPU0 wrote the line; CPU1's read downgraded it to Shared. An exclusive
+  // prefetch hint may re-acquire it (it is part of CPU0's written set).
+  stack(0).Store(0x1000, 8, 0);
+  stack(1).Load(0x1000, 8, false, false, 100);  // HITM: S in both
+  stack(0).Prefetch(0x1000, /*excl=*/true, 2000);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kE);
+  EXPECT_EQ(stack(1).LineState(0x1000), Mesi::kI);
+  EXPECT_EQ(stack(0).stats().prefetch_upgrades, 1u);
+}
+
+TEST_F(SmpFixture, ExclPrefetchDoesNotStealReadSharedLines) {
+  Build(2);
+  // Both CPUs only ever read the line: the exclusive hint must not
+  // invalidate the other reader's copy (read-shared data is not a
+  // store-bound stream).
+  stack(0).Load(0x1000, 8, false, false, 0);
+  stack(1).Load(0x1000, 8, false, false, 100);  // S in both
+  stack(0).Prefetch(0x1000, /*excl=*/true, 2000);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kS);
+  EXPECT_EQ(stack(1).LineState(0x1000), Mesi::kS);
+  EXPECT_EQ(stack(0).stats().prefetch_upgrades, 0u);
+}
+
+TEST_F(SmpFixture, ExclPrefetchDirtyInstallAblation) {
+  auto cfg = ItaniumSmpConfig();
+  cfg.excl_prefetch_installs_dirty = true;
+  cfg.memory_bytes = 1 << 22;
+  cfg_ = cfg;
+  bus_ = std::make_unique<SnoopBus>(cfg_);
+  stacks_.push_back(std::make_unique<CacheStack>(0, cfg_));
+  stacks_.back()->AttachFabric(bus_.get());
+  bus_->AttachStacks({stacks_.back().get()});
+  stack(0).Prefetch(0x1000, /*excl=*/true, 0);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kM);
+}
+
+TEST_F(SmpFixture, PrefetchedLineStallsOnlyForRemainder) {
+  Build(1);
+  stack(0).Prefetch(0x1000, false, 0);  // ready at ~memory_latency
+  // Demand load shortly after: waits the remainder, not the full latency.
+  const auto r = stack(0).Load(0x1000, 8, true, false, 50);
+  EXPECT_LT(r.latency, cfg_.memory_latency);
+  EXPECT_GT(r.latency, cfg_.l2_hit_latency);
+  // Long after: plain L2 hit.
+  const auto r2 = stack(0).Load(0x1008, 8, true, false, 10000);
+  EXPECT_EQ(r2.latency, cfg_.l2_hit_latency);
+}
+
+TEST_F(SmpFixture, PrefetchIsDroppedWhenLinePresent) {
+  Build(1);
+  stack(0).Load(0x1000, 8, false, false, 0);
+  const auto bus_before = bus_->TotalCounts().bus_memory;
+  stack(0).Prefetch(0x1000, false, 100);
+  EXPECT_EQ(bus_->TotalCounts().bus_memory, bus_before);
+}
+
+TEST_F(SmpFixture, BusContentionQueuesRequests) {
+  Build(2);
+  // Two simultaneous cold loads: the second queues behind the first.
+  const auto r0 = stack(0).Load(0x1000, 8, false, false, 0);
+  const auto r1 = stack(1).Load(0x2000, 8, false, false, 0);
+  EXPECT_EQ(r0.latency, cfg_.memory_latency);
+  EXPECT_EQ(r1.latency, cfg_.memory_latency + cfg_.bus_data_occupancy);
+  EXPECT_EQ(bus_->queue_cycles(), cfg_.bus_data_occupancy);
+}
+
+TEST_F(SmpFixture, InclusionL3EvictionInvalidatesInnerLevels) {
+  Build(1);
+  // Fill one L3 set past its associativity and check early lines left L2/L1.
+  const Addr stride =
+      cfg_.l3.line_bytes * (cfg_.l3.size_bytes / cfg_.l3.line_bytes /
+                            static_cast<Addr>(cfg_.l3.associativity));
+  stack(0).Load(0x0, 8, false, false, 0);
+  EXPECT_TRUE(stack(0).PresentInL1(0x0));
+  for (int i = 1; i <= cfg_.l3.associativity; ++i) {
+    stack(0).Load(static_cast<Addr>(i) * stride, 8, false, false, 0);
+  }
+  EXPECT_EQ(stack(0).LineState(0x0), Mesi::kI);
+  EXPECT_FALSE(stack(0).PresentInL2(0x0));
+  EXPECT_FALSE(stack(0).PresentInL1(0x0));
+}
+
+TEST_F(SmpFixture, DirtyL3EvictionWritesBack) {
+  Build(1);
+  const Addr stride =
+      cfg_.l3.line_bytes * (cfg_.l3.size_bytes / cfg_.l3.line_bytes /
+                            static_cast<Addr>(cfg_.l3.associativity));
+  stack(0).Store(0x0, 8, 0);
+  for (int i = 1; i <= cfg_.l3.associativity; ++i) {
+    stack(0).Load(static_cast<Addr>(i) * stride, 8, false, false, 0);
+  }
+  EXPECT_EQ(stack(0).stats().fabric_writebacks, 1u);
+  EXPECT_EQ(bus_->TotalCounts().bus_writebacks, 1u);
+}
+
+TEST_F(SmpFixture, PerCpuCountsAttributeToRequester) {
+  Build(2);
+  stack(0).Store(0x1000, 8, 0);
+  stack(1).Load(0x1000, 8, false, false, 100);
+  EXPECT_EQ(bus_->CpuCounts(1).bus_rd_hitm, 1u);
+  EXPECT_EQ(bus_->CpuCounts(0).bus_rd_hitm, 0u);
+}
+
+// MESI invariant sweep: after a random workload, no line is M/E in one
+// stack while valid in another.
+TEST_F(SmpFixture, MesiInvariantHoldsUnderRandomTraffic) {
+  Build(4);
+  std::uint64_t rng = 12345;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 20000; ++step) {
+    const int cpu = static_cast<int>(next() % 4);
+    const Addr addr = (next() % 64) * 64;  // 64 hot sublines
+    const int op = static_cast<int>(next() % 4);
+    if (op == 0) {
+      stack(cpu).Store(addr, 8, static_cast<Cycle>(step) * 10);
+    } else if (op == 1) {
+      stack(cpu).Prefetch(addr, next() % 2 == 0,
+                          static_cast<Cycle>(step) * 10);
+    } else {
+      stack(cpu).Load(addr, 8, op == 2, false, static_cast<Cycle>(step) * 10);
+    }
+  }
+  for (Addr line = 0; line < 64 * 64; line += cfg_.l2.line_bytes) {
+    int exclusive_holders = 0;
+    int holders = 0;
+    for (int cpu = 0; cpu < 4; ++cpu) {
+      const Mesi state = stack(cpu).LineState(line);
+      if (state != Mesi::kI) ++holders;
+      if (state == Mesi::kM || state == Mesi::kE) ++exclusive_holders;
+    }
+    EXPECT_LE(exclusive_holders, 1) << "line " << line;
+    if (exclusive_holders == 1) {
+      EXPECT_EQ(holders, 1) << "line " << line;
+    }
+  }
+}
+
+// --- Directory (NUMA) fixture ------------------------------------------------
+
+class NumaFixture : public ::testing::Test {
+ protected:
+  void Build(int cpus) {
+    cfg_ = AltixNumaConfig();
+    cfg_.memory_bytes = 1 << 22;
+    memory_ = std::make_unique<MainMemory>(cfg_.memory_bytes, cfg_.page_bytes);
+    dir_ = std::make_unique<DirectoryFabric>(cfg_, memory_.get(), cpus);
+    std::vector<CacheStack*> raw;
+    for (int i = 0; i < cpus; ++i) {
+      stacks_.push_back(std::make_unique<CacheStack>(i, cfg_));
+      stacks_.back()->AttachFabric(dir_.get());
+      raw.push_back(stacks_.back().get());
+    }
+    dir_->AttachStacks(raw);
+  }
+
+  CacheStack& stack(int i) { return *stacks_[static_cast<std::size_t>(i)]; }
+
+  MemConfig cfg_;
+  std::unique_ptr<MainMemory> memory_;
+  std::unique_ptr<DirectoryFabric> dir_;
+  std::vector<std::unique_ptr<CacheStack>> stacks_;
+};
+
+TEST_F(NumaFixture, FirstTouchHomesPageAtRequester) {
+  Build(4);
+  stack(2).Load(0x1000, 8, false, false, 0);  // CPU2 = node 1
+  EXPECT_EQ(memory_->HomeNode(0x1000), 1);
+}
+
+TEST_F(NumaFixture, LocalVsRemoteLatency) {
+  Build(4);
+  memory_->PlaceRange(0x0, 0x8000, /*node=*/0);
+  const auto local = stack(0).Load(0x1000, 8, false, false, 0);
+  const auto remote = stack(2).Load(0x2000, 8, false, false, 0);
+  EXPECT_FALSE(local.source == CacheStack::Source::kRemote);
+  EXPECT_EQ(remote.source, CacheStack::Source::kRemote);
+  EXPECT_GT(remote.latency, local.latency + 2 * cfg_.link_hop_latency);
+}
+
+TEST_F(NumaFixture, DirectoryTracksOwnerAndSharers) {
+  Build(4);
+  stack(0).Load(0x1000, 8, false, false, 0);
+  const auto* entry = dir_->Lookup(0x1000 & ~Addr{127});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->owner, 0);
+  stack(2).Load(0x1000, 8, false, false, 100);
+  entry = dir_->Lookup(0x1000 & ~Addr{127});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->owner, -1);
+  EXPECT_EQ(entry->sharers, 0b101u);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kS);
+}
+
+TEST_F(NumaFixture, RemoteDirtyReadIsThreeHopCoherentMiss) {
+  Build(8);
+  memory_->PlaceRange(0x0, 0x8000, 0);
+  stack(6).Store(0x1000, 8, 0);  // node 3 owns the line dirty
+  const auto r = stack(2).Load(0x1000, 8, false, false, 10000);
+  EXPECT_EQ(r.source, CacheStack::Source::kCoherent);
+  // requester(node1) -> home(node0) -> owner(node3) -> requester: 3 legs.
+  EXPECT_GE(r.latency, cfg_.hitm_latency + 3 * 2 * cfg_.link_hop_latency);
+  EXPECT_EQ(stack(6).LineState(0x1000), Mesi::kS);
+}
+
+TEST_F(NumaFixture, UpgradeInvalidatesPreciselyTheSharers) {
+  Build(8);
+  stack(0).Load(0x1000, 8, false, false, 0);
+  stack(3).Load(0x1000, 8, false, false, 100);
+  stack(5).Load(0x1000, 8, false, false, 200);
+  stack(3).Store(0x1000, 8, 1000);
+  EXPECT_EQ(stack(0).LineState(0x1000), Mesi::kI);
+  EXPECT_EQ(stack(5).LineState(0x1000), Mesi::kI);
+  EXPECT_EQ(stack(3).LineState(0x1000), Mesi::kM);
+  const auto* entry = dir_->Lookup(0x1000 & ~Addr{127});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->owner, 3);
+}
+
+TEST_F(NumaFixture, EvictNotifyKeepsDirectoryExact) {
+  Build(2);
+  const Addr stride =
+      cfg_.l3.line_bytes * (cfg_.l3.size_bytes / cfg_.l3.line_bytes /
+                            static_cast<Addr>(cfg_.l3.associativity));
+  stack(0).Load(0x0, 8, false, false, 0);
+  EXPECT_NE(dir_->Lookup(0x0), nullptr);
+  for (int i = 1; i <= cfg_.l3.associativity; ++i) {
+    stack(0).Load(static_cast<Addr>(i) * stride, 8, false, false, 0);
+  }
+  EXPECT_EQ(dir_->Lookup(0x0), nullptr);  // clean drop was reported
+}
+
+TEST_F(NumaFixture, MesiInvariantHoldsUnderRandomTraffic) {
+  Build(8);
+  std::uint64_t rng = 99;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int step = 0; step < 30000; ++step) {
+    const int cpu = static_cast<int>(next() % 8);
+    const Addr addr = (next() % 128) * 64;
+    const int op = static_cast<int>(next() % 4);
+    if (op == 0) {
+      stack(cpu).Store(addr, 8, static_cast<Cycle>(step) * 10);
+    } else if (op == 1) {
+      stack(cpu).Prefetch(addr, next() % 2 == 0,
+                          static_cast<Cycle>(step) * 10);
+    } else {
+      stack(cpu).Load(addr, 8, op == 2, false, static_cast<Cycle>(step) * 10);
+    }
+  }
+  for (Addr line = 0; line < 128 * 64; line += cfg_.l2.line_bytes) {
+    int exclusive_holders = 0;
+    int holders = 0;
+    for (int cpu = 0; cpu < 8; ++cpu) {
+      const Mesi state = stack(cpu).LineState(line);
+      if (state != Mesi::kI) ++holders;
+      if (state == Mesi::kM || state == Mesi::kE) ++exclusive_holders;
+    }
+    EXPECT_LE(exclusive_holders, 1) << "line " << line;
+    if (exclusive_holders == 1) {
+      EXPECT_EQ(holders, 1) << "line " << line;
+    }
+    // Directory agreement: every holder is known to the directory.
+    const auto* entry = dir_->Lookup(line);
+    for (int cpu = 0; cpu < 8; ++cpu) {
+      if (stack(cpu).LineState(line) != Mesi::kI) {
+        ASSERT_NE(entry, nullptr) << "line " << line;
+        const bool known = (entry->sharers >> cpu) & 1;
+        EXPECT_TRUE(known || entry->owner == cpu)
+            << "line " << line << " cpu " << cpu;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cobra::mem

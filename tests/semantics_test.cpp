@@ -1,0 +1,171 @@
+// Property tests for the architectural semantics the whole system rests
+// on: software-pipelined loop branches execute exact trip counts across
+// pipeline depths and trip counts, and the memory system's bookkeeping is
+// self-consistent (every L3 miss is exactly one bus data transaction).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/assembler.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "machine/machine.h"
+#include "rt/team.h"
+
+namespace cobra {
+namespace {
+
+using isa::Addr;
+using namespace isa;
+
+// Builds a D-stage software-pipelined copy kernel:
+//   (p16) ldfd f32=[r26],8 ; (p16+D) stfd [r27]=f(32+D),8 ; br.ctop
+// args: r14 = src, r15 = dst, r16 = n.
+Addr EmitPipelinedCopy(BinaryImage& image, int stages) {
+  Assembler a(&image);
+  const Addr entry = image.code_end();
+  const auto exit = a.NewLabel();
+  const auto loop = a.NewLabel();
+  a.Emit(ClrRrb());
+  a.Emit(CmpImm(CmpRel::kLe, 8, 0, 16, 0));
+  a.EmitBranch(BrCond(8, 0), exit);
+  a.Emit(MovReg(26, 14));
+  a.Emit(MovReg(27, 15));
+  a.Emit(AddImm(9, 16, -1));
+  a.Emit(MovToAr(AppReg::kLC, 9));
+  a.Emit(MovImm(10, stages + 1));
+  a.Emit(MovToAr(AppReg::kEC, 10));
+  a.Emit(MovToPrRot(1));
+  a.FlushBundle();
+  a.Bind(loop);
+  a.Emit(Pred(16, LdfPostInc(32, 26, 8)));
+  a.Emit(Pred(16 + stages, StfPostInc(27, 32 + stages, 8)));
+  a.EmitBranch(BrCtop(0), loop);
+  a.Bind(exit);
+  a.Emit(Break());
+  a.Finish();
+  return entry;
+}
+
+struct PipelineCase {
+  int stages;
+  int n;
+};
+
+class SwpTripCount : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(SwpTripCount, CopiesExactlyNElements) {
+  const auto [stages, n] = GetParam();
+  isa::BinaryImage image;
+  const Addr entry = EmitPipelinedCopy(image, stages);
+  machine::MachineConfig cfg = machine::SmpServerConfig(1);
+  cfg.mem.memory_bytes = 1 << 20;
+  machine::Machine machine(cfg, &image);
+  const Addr src = 0x4000, dst = 0x8000;
+  for (int i = 0; i < n + 8; ++i) {
+    machine.memory().WriteDouble(src + 8 * static_cast<Addr>(i), 10.0 + i);
+    machine.memory().WriteDouble(dst + 8 * static_cast<Addr>(i), -1.0);
+  }
+  rt::Team team(&machine, 1);
+  team.Run(entry, [&](int, cpu::RegisterFile& regs) {
+    regs.WriteGr(14, src);
+    regs.WriteGr(15, dst);
+    regs.WriteGr(16, static_cast<std::uint64_t>(n));
+  });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(machine.memory().ReadDouble(dst + 8 * static_cast<Addr>(i)),
+              10.0 + i)
+        << "stages=" << stages << " n=" << n << " i=" << i;
+  }
+  // No overrun: the epilogue drain must not store past n elements.
+  EXPECT_EQ(machine.memory().ReadDouble(dst + 8 * static_cast<Addr>(n)),
+            -1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthAndTripSweep, SwpTripCount,
+    ::testing::Values(PipelineCase{1, 1}, PipelineCase{1, 2},
+                      PipelineCase{1, 7}, PipelineCase{1, 33},
+                      PipelineCase{2, 1}, PipelineCase{2, 3},
+                      PipelineCase{2, 32}, PipelineCase{4, 1},
+                      PipelineCase{4, 5}, PipelineCase{4, 64},
+                      PipelineCase{7, 2}, PipelineCase{7, 100}),
+    [](const ::testing::TestParamInfo<PipelineCase>& info) {
+      return "d" + std::to_string(info.param.stages) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+// --- Memory-system accounting invariant -----------------------------------------
+
+TEST(Accounting, EveryL3MissIsOneBusDataTransaction) {
+  // Run the full prefetching DAXPY on 4 threads and cross-check: bus data
+  // transactions == all stacks' L3 misses + all dirty-victim writebacks
+  // (upgrades are address-only and excluded on both sides).
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  constexpr std::int64_t kN = 32768;  // 512K: evictions + sharing
+  const mem::Addr x = prog.Alloc(kN * 8);
+  const mem::Addr y = prog.Alloc(kN * 8);
+  machine::MachineConfig cfg = machine::SmpServerConfig(4);
+  cfg.mem.memory_bytes = 1 << 24;
+  machine::Machine machine(cfg, &prog.image());
+  for (std::int64_t i = 0; i < kN; ++i) {
+    machine.memory().WriteDouble(x + 8 * static_cast<mem::Addr>(i), 1.0);
+    machine.memory().WriteDouble(y + 8 * static_cast<mem::Addr>(i), 2.0);
+  }
+  rt::Team team(&machine, 4);
+  for (int rep = 0; rep < 6; ++rep) {
+    team.Run(daxpy.entry, [&](int tid, cpu::RegisterFile& regs) {
+      const auto chunk = rt::StaticChunk(tid, 4, kN);
+      regs.WriteGr(14, x + 8 * static_cast<mem::Addr>(chunk.begin));
+      regs.WriteGr(15, y + 8 * static_cast<mem::Addr>(chunk.begin));
+      regs.WriteGr(16, static_cast<std::uint64_t>(chunk.size()));
+      regs.WriteFr(6, 0.5);
+    });
+  }
+  std::uint64_t l3_misses = 0, writebacks = 0;
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    l3_misses += machine.stack(cpu).L3Misses();
+    writebacks += machine.stack(cpu).stats().fabric_writebacks;
+  }
+  const auto& bus = machine.fabric().TotalCounts();
+  EXPECT_EQ(bus.bus_memory, l3_misses + writebacks);
+  EXPECT_EQ(bus.bus_writebacks, writebacks);
+}
+
+TEST(Accounting, HpmMatchesFabricAttribution) {
+  // The per-CPU HPM bus counters must sum to the fabric totals.
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  const mem::Addr x = prog.Alloc(8192 * 8);
+  const mem::Addr y = prog.Alloc(8192 * 8);
+  machine::MachineConfig cfg = machine::SmpServerConfig(2);
+  cfg.mem.memory_bytes = 1 << 23;
+  machine::Machine machine(cfg, &prog.image());
+  rt::Team team(&machine, 2);
+  for (int rep = 0; rep < 4; ++rep) {
+    team.Run(daxpy.entry, [&](int tid, cpu::RegisterFile& regs) {
+      const auto chunk = rt::StaticChunk(tid, 2, 8192);
+      regs.WriteGr(14, x + 8 * static_cast<mem::Addr>(chunk.begin));
+      regs.WriteGr(15, y + 8 * static_cast<mem::Addr>(chunk.begin));
+      regs.WriteGr(16, static_cast<std::uint64_t>(chunk.size()));
+      regs.WriteFr(6, 0.5);
+    });
+  }
+  const auto& total = machine.fabric().TotalCounts();
+  std::uint64_t sum_memory = 0, sum_hitm = 0, sum_hit = 0;
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    const auto& mine = machine.fabric().CpuCounts(cpu);
+    sum_memory += mine.bus_memory;
+    sum_hitm += mine.bus_rd_hitm;
+    sum_hit += mine.bus_rd_hit;
+  }
+  EXPECT_EQ(total.bus_memory, sum_memory);
+  EXPECT_EQ(total.bus_rd_hitm, sum_hitm);
+  EXPECT_EQ(total.bus_rd_hit, sum_hit);
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,122 @@
+// Support-library tests: deterministic RNG, statistics accumulators,
+// histogram filtering, and the table renderer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace cobra::support {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng c(43);
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(9);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    min = std::fmin(min, v);
+    max = std::fmax(max, v);
+  }
+  EXPECT_LT(min, 0.05);  // reasonably uniform coverage
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Rng, RangedDoubles) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RunningStat, MomentsMatchClosedForm) {
+  RunningStat stat;
+  for (int i = 1; i <= 100; ++i) stat.Add(i);
+  EXPECT_EQ(stat.Count(), 100u);
+  EXPECT_DOUBLE_EQ(stat.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(stat.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(stat.Sum(), 5050.0);
+  // Sample variance of 1..100 = 101*100/12 / ... = 841.6666...
+  EXPECT_NEAR(stat.Variance(), 841.6666666, 1e-6);
+  stat.Reset();
+  EXPECT_EQ(stat.Count(), 0u);
+  EXPECT_EQ(stat.Mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndTails) {
+  Histogram hist(0.0, 100.0, 10);
+  hist.Add(-5.0);    // underflow
+  hist.Add(0.0);     // bucket 0
+  hist.Add(9.999);   // bucket 0
+  hist.Add(95.0);    // bucket 9
+  hist.Add(100.0);   // overflow (half-open)
+  hist.Add(1e9);     // overflow
+  EXPECT_EQ(hist.Total(), 6u);
+  EXPECT_EQ(hist.Underflow(), 1u);
+  EXPECT_EQ(hist.Overflow(), 2u);
+  EXPECT_EQ(hist.BucketCount(0), 2u);
+  EXPECT_EQ(hist.BucketCount(9), 1u);
+  EXPECT_EQ(hist.BucketLo(0), 0.0);
+  EXPECT_EQ(hist.BucketLo(9), 90.0);
+}
+
+TEST(Histogram, CountAtLeastMatchesLatencyFilterUse) {
+  // The DEAR-filter style question: how many samples were >= 180 cycles?
+  Histogram hist(0.0, 300.0, 30);  // 10-cycle buckets
+  for (int i = 0; i < 10; ++i) hist.Add(130.0);  // memory loads
+  for (int i = 0; i < 4; ++i) hist.Add(195.0);   // coherent misses
+  hist.Add(400.0);                                // remote
+  EXPECT_EQ(hist.CountAtLeast(180.0), 5u);
+  EXPECT_EQ(hist.CountAtLeast(0.0), 15u);
+  EXPECT_EQ(hist.CountAtLeast(300.0), 1u);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"x", TextTable::Int(42)});
+  table.AddRow({"longer-name", TextTable::Num(3.14159, 2)});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| 42 "), std::string::npos);
+  EXPECT_NE(out.find("| 3.14 "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name "), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, FormattersProduceExpectedStrings) {
+  EXPECT_EQ(TextTable::Int(-7), "-7");
+  EXPECT_EQ(TextTable::Num(0.5, 1), "0.5");
+  EXPECT_EQ(TextTable::Pct(0.175), "+17.5%");
+  EXPECT_EQ(TextTable::Pct(-0.05, 0), "-5%");
+}
+
+TEST(Check, FailingCheckAborts) {
+  EXPECT_DEATH(COBRA_CHECK_MSG(false, "boom"), "boom");
+}
+
+}  // namespace
+}  // namespace cobra::support
