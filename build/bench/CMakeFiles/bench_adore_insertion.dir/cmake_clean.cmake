@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adore_insertion.dir/bench_adore_insertion.cpp.o"
+  "CMakeFiles/bench_adore_insertion.dir/bench_adore_insertion.cpp.o.d"
+  "bench_adore_insertion"
+  "bench_adore_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adore_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

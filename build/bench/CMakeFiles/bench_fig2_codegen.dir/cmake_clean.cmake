@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_codegen.dir/bench_fig2_codegen.cpp.o"
+  "CMakeFiles/bench_fig2_codegen.dir/bench_fig2_codegen.cpp.o.d"
+  "bench_fig2_codegen"
+  "bench_fig2_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

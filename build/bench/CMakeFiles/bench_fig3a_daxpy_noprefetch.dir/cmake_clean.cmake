@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_daxpy_noprefetch.dir/bench_fig3a_daxpy_noprefetch.cpp.o"
+  "CMakeFiles/bench_fig3a_daxpy_noprefetch.dir/bench_fig3a_daxpy_noprefetch.cpp.o.d"
+  "bench_fig3a_daxpy_noprefetch"
+  "bench_fig3a_daxpy_noprefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_daxpy_noprefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

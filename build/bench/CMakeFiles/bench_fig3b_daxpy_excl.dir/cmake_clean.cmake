@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_daxpy_excl.dir/bench_fig3b_daxpy_excl.cpp.o"
+  "CMakeFiles/bench_fig3b_daxpy_excl.dir/bench_fig3b_daxpy_excl.cpp.o.d"
+  "bench_fig3b_daxpy_excl"
+  "bench_fig3b_daxpy_excl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_daxpy_excl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3b_daxpy_excl.
+# This may be replaced when dependencies are built.

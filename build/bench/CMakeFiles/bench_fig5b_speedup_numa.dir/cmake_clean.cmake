@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_speedup_numa.dir/bench_fig5b_speedup_numa.cpp.o"
+  "CMakeFiles/bench_fig5b_speedup_numa.dir/bench_fig5b_speedup_numa.cpp.o.d"
+  "bench_fig5b_speedup_numa"
+  "bench_fig5b_speedup_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_speedup_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

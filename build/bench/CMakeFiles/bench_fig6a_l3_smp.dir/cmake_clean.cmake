@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_l3_smp.dir/bench_fig6a_l3_smp.cpp.o"
+  "CMakeFiles/bench_fig6a_l3_smp.dir/bench_fig6a_l3_smp.cpp.o.d"
+  "bench_fig6a_l3_smp"
+  "bench_fig6a_l3_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_l3_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_l3_numa.dir/bench_fig6b_l3_numa.cpp.o"
+  "CMakeFiles/bench_fig6b_l3_numa.dir/bench_fig6b_l3_numa.cpp.o.d"
+  "bench_fig6b_l3_numa"
+  "bench_fig6b_l3_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_l3_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_bus_smp.dir/bench_fig7a_bus_smp.cpp.o"
+  "CMakeFiles/bench_fig7a_bus_smp.dir/bench_fig7a_bus_smp.cpp.o.d"
+  "bench_fig7a_bus_smp"
+  "bench_fig7a_bus_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_bus_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_bus_numa.dir/bench_fig7b_bus_numa.cpp.o"
+  "CMakeFiles/bench_fig7b_bus_numa.dir/bench_fig7b_bus_numa.cpp.o.d"
+  "bench_fig7b_bus_numa"
+  "bench_fig7b_bus_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_bus_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_bench_common.dir/daxpy_experiment.cpp.o"
+  "CMakeFiles/cobra_bench_common.dir/daxpy_experiment.cpp.o.d"
+  "CMakeFiles/cobra_bench_common.dir/npb_experiment.cpp.o"
+  "CMakeFiles/cobra_bench_common.dir/npb_experiment.cpp.o.d"
+  "libcobra_bench_common.a"
+  "libcobra_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daxpy_motivation.dir/daxpy_motivation.cpp.o"
+  "CMakeFiles/daxpy_motivation.dir/daxpy_motivation.cpp.o.d"
+  "daxpy_motivation"
+  "daxpy_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daxpy_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

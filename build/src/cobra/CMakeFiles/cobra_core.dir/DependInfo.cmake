@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cobra/controller.cpp" "src/cobra/CMakeFiles/cobra_core.dir/controller.cpp.o" "gcc" "src/cobra/CMakeFiles/cobra_core.dir/controller.cpp.o.d"
+  "/root/repo/src/cobra/insertion.cpp" "src/cobra/CMakeFiles/cobra_core.dir/insertion.cpp.o" "gcc" "src/cobra/CMakeFiles/cobra_core.dir/insertion.cpp.o.d"
+  "/root/repo/src/cobra/monitor.cpp" "src/cobra/CMakeFiles/cobra_core.dir/monitor.cpp.o" "gcc" "src/cobra/CMakeFiles/cobra_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/cobra/optimizer.cpp" "src/cobra/CMakeFiles/cobra_core.dir/optimizer.cpp.o" "gcc" "src/cobra/CMakeFiles/cobra_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/cobra/profile.cpp" "src/cobra/CMakeFiles/cobra_core.dir/profile.cpp.o" "gcc" "src/cobra/CMakeFiles/cobra_core.dir/profile.cpp.o.d"
+  "/root/repo/src/cobra/trace_cache.cpp" "src/cobra/CMakeFiles/cobra_core.dir/trace_cache.cpp.o" "gcc" "src/cobra/CMakeFiles/cobra_core.dir/trace_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmon/CMakeFiles/cobra_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cobra_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cobra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobra_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cobra_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cobra_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

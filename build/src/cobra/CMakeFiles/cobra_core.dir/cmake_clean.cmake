@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_core.dir/controller.cpp.o"
+  "CMakeFiles/cobra_core.dir/controller.cpp.o.d"
+  "CMakeFiles/cobra_core.dir/insertion.cpp.o"
+  "CMakeFiles/cobra_core.dir/insertion.cpp.o.d"
+  "CMakeFiles/cobra_core.dir/monitor.cpp.o"
+  "CMakeFiles/cobra_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/cobra_core.dir/optimizer.cpp.o"
+  "CMakeFiles/cobra_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cobra_core.dir/profile.cpp.o"
+  "CMakeFiles/cobra_core.dir/profile.cpp.o.d"
+  "CMakeFiles/cobra_core.dir/trace_cache.cpp.o"
+  "CMakeFiles/cobra_core.dir/trace_cache.cpp.o.d"
+  "libcobra_core.a"
+  "libcobra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

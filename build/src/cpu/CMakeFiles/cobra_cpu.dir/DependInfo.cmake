@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/cobra_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/cobra_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/hpm.cpp" "src/cpu/CMakeFiles/cobra_cpu.dir/hpm.cpp.o" "gcc" "src/cpu/CMakeFiles/cobra_cpu.dir/hpm.cpp.o.d"
+  "/root/repo/src/cpu/regfile.cpp" "src/cpu/CMakeFiles/cobra_cpu.dir/regfile.cpp.o" "gcc" "src/cpu/CMakeFiles/cobra_cpu.dir/regfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/cobra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cobra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_cpu.dir/core.cpp.o"
+  "CMakeFiles/cobra_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/cobra_cpu.dir/hpm.cpp.o"
+  "CMakeFiles/cobra_cpu.dir/hpm.cpp.o.d"
+  "CMakeFiles/cobra_cpu.dir/regfile.cpp.o"
+  "CMakeFiles/cobra_cpu.dir/regfile.cpp.o.d"
+  "libcobra_cpu.a"
+  "libcobra_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_isa.dir/assembler.cpp.o"
+  "CMakeFiles/cobra_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/cobra_isa.dir/disasm.cpp.o"
+  "CMakeFiles/cobra_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/cobra_isa.dir/encoding.cpp.o"
+  "CMakeFiles/cobra_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/cobra_isa.dir/image.cpp.o"
+  "CMakeFiles/cobra_isa.dir/image.cpp.o.d"
+  "CMakeFiles/cobra_isa.dir/instruction.cpp.o"
+  "CMakeFiles/cobra_isa.dir/instruction.cpp.o.d"
+  "libcobra_isa.a"
+  "libcobra_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

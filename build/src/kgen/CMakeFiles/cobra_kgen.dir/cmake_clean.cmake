@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_kgen.dir/emitters.cpp.o"
+  "CMakeFiles/cobra_kgen.dir/emitters.cpp.o.d"
+  "CMakeFiles/cobra_kgen.dir/program.cpp.o"
+  "CMakeFiles/cobra_kgen.dir/program.cpp.o.d"
+  "libcobra_kgen.a"
+  "libcobra_kgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_kgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/machine.cpp" "src/machine/CMakeFiles/cobra_machine.dir/machine.cpp.o" "gcc" "src/machine/CMakeFiles/cobra_machine.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/cobra_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cobra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cobra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

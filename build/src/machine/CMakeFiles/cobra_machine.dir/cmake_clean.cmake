@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_machine.dir/machine.cpp.o"
+  "CMakeFiles/cobra_machine.dir/machine.cpp.o.d"
+  "libcobra_machine.a"
+  "libcobra_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_array.cpp" "src/mem/CMakeFiles/cobra_mem.dir/cache_array.cpp.o" "gcc" "src/mem/CMakeFiles/cobra_mem.dir/cache_array.cpp.o.d"
+  "/root/repo/src/mem/cache_stack.cpp" "src/mem/CMakeFiles/cobra_mem.dir/cache_stack.cpp.o" "gcc" "src/mem/CMakeFiles/cobra_mem.dir/cache_stack.cpp.o.d"
+  "/root/repo/src/mem/config.cpp" "src/mem/CMakeFiles/cobra_mem.dir/config.cpp.o" "gcc" "src/mem/CMakeFiles/cobra_mem.dir/config.cpp.o.d"
+  "/root/repo/src/mem/directory.cpp" "src/mem/CMakeFiles/cobra_mem.dir/directory.cpp.o" "gcc" "src/mem/CMakeFiles/cobra_mem.dir/directory.cpp.o.d"
+  "/root/repo/src/mem/main_memory.cpp" "src/mem/CMakeFiles/cobra_mem.dir/main_memory.cpp.o" "gcc" "src/mem/CMakeFiles/cobra_mem.dir/main_memory.cpp.o.d"
+  "/root/repo/src/mem/snoop_bus.cpp" "src/mem/CMakeFiles/cobra_mem.dir/snoop_bus.cpp.o" "gcc" "src/mem/CMakeFiles/cobra_mem.dir/snoop_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cobra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

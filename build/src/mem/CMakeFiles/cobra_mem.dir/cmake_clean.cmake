@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_mem.dir/cache_array.cpp.o"
+  "CMakeFiles/cobra_mem.dir/cache_array.cpp.o.d"
+  "CMakeFiles/cobra_mem.dir/cache_stack.cpp.o"
+  "CMakeFiles/cobra_mem.dir/cache_stack.cpp.o.d"
+  "CMakeFiles/cobra_mem.dir/config.cpp.o"
+  "CMakeFiles/cobra_mem.dir/config.cpp.o.d"
+  "CMakeFiles/cobra_mem.dir/directory.cpp.o"
+  "CMakeFiles/cobra_mem.dir/directory.cpp.o.d"
+  "CMakeFiles/cobra_mem.dir/main_memory.cpp.o"
+  "CMakeFiles/cobra_mem.dir/main_memory.cpp.o.d"
+  "CMakeFiles/cobra_mem.dir/snoop_bus.cpp.o"
+  "CMakeFiles/cobra_mem.dir/snoop_bus.cpp.o.d"
+  "libcobra_mem.a"
+  "libcobra_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/bt.cpp" "src/npb/CMakeFiles/cobra_npb.dir/bt.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/bt.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/cobra_npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/common.cpp" "src/npb/CMakeFiles/cobra_npb.dir/common.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/common.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/npb/CMakeFiles/cobra_npb.dir/ep.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/ep.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/npb/CMakeFiles/cobra_npb.dir/ft.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/ft.cpp.o.d"
+  "/root/repo/src/npb/grid.cpp" "src/npb/CMakeFiles/cobra_npb.dir/grid.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/grid.cpp.o.d"
+  "/root/repo/src/npb/is.cpp" "src/npb/CMakeFiles/cobra_npb.dir/is.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/is.cpp.o.d"
+  "/root/repo/src/npb/lu.cpp" "src/npb/CMakeFiles/cobra_npb.dir/lu.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/lu.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/npb/CMakeFiles/cobra_npb.dir/mg.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/mg.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/npb/CMakeFiles/cobra_npb.dir/sp.cpp.o" "gcc" "src/npb/CMakeFiles/cobra_npb.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kgen/CMakeFiles/cobra_kgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cobra_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cobra_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobra_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cobra_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cobra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cobra_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

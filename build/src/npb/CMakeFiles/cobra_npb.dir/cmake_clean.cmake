@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_npb.dir/bt.cpp.o"
+  "CMakeFiles/cobra_npb.dir/bt.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/cg.cpp.o"
+  "CMakeFiles/cobra_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/common.cpp.o"
+  "CMakeFiles/cobra_npb.dir/common.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/ep.cpp.o"
+  "CMakeFiles/cobra_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/ft.cpp.o"
+  "CMakeFiles/cobra_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/grid.cpp.o"
+  "CMakeFiles/cobra_npb.dir/grid.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/is.cpp.o"
+  "CMakeFiles/cobra_npb.dir/is.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/lu.cpp.o"
+  "CMakeFiles/cobra_npb.dir/lu.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/mg.cpp.o"
+  "CMakeFiles/cobra_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/cobra_npb.dir/sp.cpp.o"
+  "CMakeFiles/cobra_npb.dir/sp.cpp.o.d"
+  "libcobra_npb.a"
+  "libcobra_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_perfmon.dir/sampling.cpp.o"
+  "CMakeFiles/cobra_perfmon.dir/sampling.cpp.o.d"
+  "libcobra_perfmon.a"
+  "libcobra_perfmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

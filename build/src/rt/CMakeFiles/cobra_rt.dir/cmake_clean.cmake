@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_rt.dir/team.cpp.o"
+  "CMakeFiles/cobra_rt.dir/team.cpp.o.d"
+  "libcobra_rt.a"
+  "libcobra_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

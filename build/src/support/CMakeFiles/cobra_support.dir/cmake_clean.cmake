@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_support.dir/table.cpp.o"
+  "CMakeFiles/cobra_support.dir/table.cpp.o.d"
+  "libcobra_support.a"
+  "libcobra_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_test.dir/cobra_test.cpp.o"
+  "CMakeFiles/cobra_test.dir/cobra_test.cpp.o.d"
+  "cobra_test"
+  "cobra_test.pdb"
+  "cobra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

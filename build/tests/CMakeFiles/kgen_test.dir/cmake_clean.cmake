@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgen_test.dir/kgen_test.cpp.o"
+  "CMakeFiles/kgen_test.dir/kgen_test.cpp.o.d"
+  "kgen_test"
+  "kgen_test.pdb"
+  "kgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem_test.cpp" "tests/CMakeFiles/mem_test.dir/mem_test.cpp.o" "gcc" "tests/CMakeFiles/mem_test.dir/mem_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cobra/CMakeFiles/cobra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/npb/CMakeFiles/cobra_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/kgen/CMakeFiles/cobra_kgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/cobra_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cobra_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cobra_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cobra_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cobra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cobra_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cobra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
