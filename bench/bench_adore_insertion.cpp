@@ -47,7 +47,7 @@ Row Run(bool static_prefetch, bool with_cobra, int threads) {
     cobra->AttachAll(threads);
   }
 
-  rt::Team team(&machine, threads);
+  rt::Team team(&machine, threads, machine::EngineConfigFromEnv());
   const Cycle start = machine.GlobalTime();
   for (int rep = 0; rep < 12; ++rep) {
     team.Run(daxpy.entry, [&](int tid, cpu::RegisterFile& regs) {

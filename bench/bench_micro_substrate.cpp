@@ -78,7 +78,7 @@ void BM_InterpreterDaxpy(benchmark::State& state) {
     machine.memory().WriteDouble(x + 8 * static_cast<mem::Addr>(i), 1.0);
     machine.memory().WriteDouble(y + 8 * static_cast<mem::Addr>(i), 2.0);
   }
-  rt::Team team(&machine, 1);
+  rt::Team team(&machine, 1, machine::EngineConfigFromEnv());
   std::uint64_t instructions = 0;
   for (auto _ : state) {
     const std::uint64_t before = machine.core(0).instructions_retired();
@@ -112,7 +112,7 @@ void BM_SamplingOverhead(benchmark::State& state) {
                          [&sink](int, std::span<const perfmon::Sample> b) {
                            sink += b.size();
                          });
-  rt::Team team(&machine, 1);
+  rt::Team team(&machine, 1, machine::EngineConfigFromEnv());
   for (auto _ : state) {
     team.Run(daxpy.entry, [&](int, cpu::RegisterFile& regs) {
       regs.WriteGr(14, x);

@@ -54,7 +54,7 @@ DaxpyResult RunDaxpyExperiment(const DaxpyParams& params) {
                                 y + 8 * static_cast<Addr>(chunk.end), node);
   }
 
-  rt::Team team(&machine, params.threads);
+  rt::Team team(&machine, params.threads, params.engine);
   auto RunRep = [&] {
     team.Run(daxpy.entry, [&](int tid, cpu::RegisterFile& regs) {
       const auto chunk = rt::StaticChunk(tid, params.threads, n);

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "machine/engine.h"
 #include "machine/machine.h"
 #include "support/simtypes.h"
 
@@ -31,6 +32,9 @@ struct DaxpyParams {
   int reps = 40;         // outer j-loop trips (paper: 1,000,000)
   int warmup_reps = 4;   // excluded from the timed region
   machine::MachineConfig machine = machine::SmpServerConfig(4);
+  // Host execution engine (results are bit-identical across engines);
+  // honours COBRA_ENGINE, e.g. "parallel:4" or "serial@512".
+  machine::EngineConfig engine = machine::EngineConfigFromEnv();
 };
 
 DaxpyResult RunDaxpyExperiment(const DaxpyParams& params);

@@ -51,7 +51,7 @@ NpbRunResult RunNpbExperiment(const std::string& benchmark,
     cobra->AttachAll(threads);
   }
 
-  rt::Team team(&machine, threads);
+  rt::Team team(&machine, threads, options.engine);
   NpbRunResult result;
   result.cycles = bench->Run(team);
   for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {

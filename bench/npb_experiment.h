@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cobra/cobra.h"
+#include "machine/engine.h"
 #include "machine/machine.h"
 #include "support/simtypes.h"
 
@@ -37,6 +38,9 @@ struct NpbOptions {
   bool static_noprefetch_binary = false;
   // Ablation hook applied to the COBRA configuration before attach.
   std::function<void(core::CobraConfig&)> tweak_config;
+  // Host execution engine (results are bit-identical across engines);
+  // honours COBRA_ENGINE, e.g. "parallel:4" or "serial@512".
+  machine::EngineConfig engine = machine::EngineConfigFromEnv();
 };
 
 NpbRunResult RunNpbExperiment(const std::string& benchmark,

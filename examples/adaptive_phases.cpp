@@ -71,7 +71,7 @@ int main() {
   core::CobraRuntime cobra(&machine, config);
   cobra.AttachAll(4);
 
-  rt::Team team(&machine, 4);
+  rt::Team team(&machine, 4, machine::EngineConfigFromEnv());
   std::printf("phase A: 128 KB working set, 40 passes (sharing-bound)\n");
   const Cycle phase_a =
       RunPhase(machine, team, daxpy, small_x, small_y, kSmallN, 40);

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     cobra->AttachAll(threads);
   }
 
-  rt::Team team(&machine, threads);
+  rt::Team team(&machine, threads, machine::EngineConfigFromEnv());
   const Cycle cycles = benchmark->Run(team);
   const bool verified = benchmark->Verify(machine);
 

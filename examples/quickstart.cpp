@@ -10,6 +10,8 @@
 // 5. Compare against an identical run without COBRA.
 //
 // Build & run:  ./build/examples/quickstart
+// Set COBRA_ENGINE=parallel[:N] to run the simulation on N host threads —
+// the cycle counts and COBRA decisions are bit-identical to the serial run.
 #include <cstdio>
 
 #include "cobra/cobra.h"
@@ -58,7 +60,10 @@ RunResult RunDaxpy(bool with_cobra) {
   }
 
   // --- 4. The OpenMP-style outer loop ------------------------------------
-  rt::Team team(&machine, 4);
+  // The engine only affects host wall-clock, never simulated results;
+  // COBRA_ENGINE=parallel[:N] fans the cores out over N host threads.
+  rt::Team team(&machine, 4, machine::EngineConfigFromEnv());
+  std::printf("  [engine: %s]\n", team.engine_name());
   const Cycle start = machine.GlobalTime();
   for (int rep = 0; rep < 40; ++rep) {
     team.Run(daxpy.entry, [&](int tid, cpu::RegisterFile& regs) {

@@ -60,25 +60,67 @@ std::uint64_t Core::RawEventValue(HpmEvent event) const {
 
 void Core::Step() {
   COBRA_CHECK_MSG(!halted_, "stepping a halted core");
-  const Instruction& inst = image_->Fetch(pc_);
+  StepFetched(image_->Fetch(pc_));
+}
 
-  // Issue cost: Itanium 2 issues `issue_width_bundles` bundles per cycle;
-  // charged at slot 0 (branch targets are bundle-aligned, so every executed
-  // bundle passes through slot 0).
-  if (isa::SlotOf(pc_) == 0) {
-    const int width = stack_->config().issue_width_bundles;
-    if (++bundle_credit_ >= width) {
-      bundle_credit_ = 0;
-      ++now_;
-    }
-  }
-
+void Core::StepFetched(const Instruction& inst) {
+  ChargeIssue();
   Execute(inst);
-  ++retired_;
+  RetireTail();
+}
 
-  if (sample_period_ != 0 && --until_sample_ == 0) {
-    until_sample_ = sample_period_;
-    sample_hook_(*this);
+bool Core::NextStepNeedsFabric() const {
+  if (halted_) return false;
+  const Instruction& inst = image_->Fetch(pc_);
+  // Only memory ops can touch the fabric (branch and memory opcodes are
+  // disjoint), and a squashed instruction retires with no architectural
+  // effect (Execute checks the same predicate).
+  if (!isa::IsMemoryOp(inst.op)) return false;
+  if (!regs_.ReadPr(inst.qp)) return false;
+  return MemOpNeedsFabric(inst, regs_.ReadGr(inst.r2));
+}
+
+bool Core::MemOpNeedsFabric(const Instruction& inst, Addr addr) const {
+  switch (inst.op) {
+    case Opcode::kLd:
+      return stack_->LoadNeedsFabric(addr, /*fp=*/false,
+                                     inst.ld_hint == isa::LoadHint::kBias);
+    case Opcode::kLdf:
+      return stack_->LoadNeedsFabric(addr, /*fp=*/true, /*bias=*/false);
+    case Opcode::kSt:
+    case Opcode::kStf:
+      return stack_->StoreNeedsFabric(addr);
+    case Opcode::kLfetch: {
+      if (addr >= memory_->size()) return false;  // non-faulting: dropped
+      // Prefetch routing compares in-flight fill deadlines against the
+      // access time, which includes the issue cycle this step would charge.
+      Cycle access_now = now_;
+      if (isa::SlotOf(pc_) == 0 &&
+          bundle_credit_ + 1 >= stack_->config().issue_width_bundles) {
+        ++access_now;
+      }
+      return stack_->PrefetchNeedsFabric(addr, inst.lf_hint.excl, access_now);
+    }
+    default:
+      COBRA_UNREACHABLE("not a memory op");
+  }
+}
+
+void Core::RunSegment(Cycle q_end) {
+  while (!halted_ && now_ < q_end) {
+    const Instruction& inst = image_->Fetch(pc_);
+    if (isa::IsMemoryOp(inst.op) && regs_.ReadPr(inst.qp)) {
+      const Addr addr = regs_.ReadGr(inst.r2);
+      if (MemOpNeedsFabric(inst, addr)) return;
+      // Fused step: the classification, predicate and address above are
+      // exactly what Execute would recompute.
+      ChargeIssue();
+      DoMemoryOp(inst, addr);
+      AdvancePc();
+      RetireTail();
+      continue;
+    }
+    StepFetched(inst);
   }
 }
 
@@ -91,9 +133,7 @@ void Core::TakeBranch(Addr target, bool loop_branch) {
   bundle_credit_ = 0;  // issue group ends at a taken branch
 }
 
-void Core::DoMemoryOp(const Instruction& inst) {
-  const Addr addr = regs_.ReadGr(inst.r2);
-
+void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
   // Software pipelining / compiler scheduling hides a window of load
   // latency; only the remainder stalls the core. DEAR observes the full
   // latency (the hardware captures it at the memory system, not the
@@ -240,7 +280,7 @@ void Core::Execute(const Instruction& inst) {
   }
 
   if (isa::IsMemoryOp(inst.op)) {
-    DoMemoryOp(inst);
+    DoMemoryOp(inst, regs_.ReadGr(inst.r2));
     AdvancePc();
     return;
   }

@@ -47,6 +47,20 @@ class Core final : public HpmSource {
   // Executes exactly one instruction (abort if halted).
   void Step();
 
+  // Exact, side-effect-free probe: would the next Step() issue a coherence
+  // fabric transaction? The execution engines (machine/engine.h) call this
+  // at every step boundary to end a core-private segment just before a
+  // fabric access, which is then committed in canonical (cycle, cpu-id)
+  // order while all other cores are quiescent. Mirrors DoMemoryOp's routing
+  // into the cache stack's *NeedsFabric probes decision-for-decision.
+  bool NextStepNeedsFabric() const;
+
+  // Segment hot loop for the execution engines: equivalent to
+  //   while (!halted() && now() < q_end && !NextStepNeedsFabric()) Step();
+  // but fetches each instruction once (probe and step share the decode).
+  // The caller is expected to hold the cache stack's fabric guard.
+  void RunSegment(Cycle q_end);
+
   // --- State ------------------------------------------------------------------
   RegisterFile& regs() { return regs_; }
   const RegisterFile& regs() const { return regs_; }
@@ -70,13 +84,34 @@ class Core final : public HpmSource {
   std::uint64_t RawEventValue(HpmEvent event) const override;
 
  private:
+  void StepFetched(const isa::Instruction& inst);
+  bool MemOpNeedsFabric(const isa::Instruction& inst, isa::Addr addr) const;
   void Execute(const isa::Instruction& inst);
+  // Issue cost: Itanium 2 issues `issue_width_bundles` bundles per cycle;
+  // charged at slot 0 (branch targets are bundle-aligned, so every executed
+  // bundle passes through slot 0).
+  void ChargeIssue() {
+    if (isa::SlotOf(pc_) == 0) {
+      const int width = stack_->config().issue_width_bundles;
+      if (++bundle_credit_ >= width) {
+        bundle_credit_ = 0;
+        ++now_;
+      }
+    }
+  }
+  void RetireTail() {
+    ++retired_;
+    if (sample_period_ != 0 && --until_sample_ == 0) {
+      until_sample_ = sample_period_;
+      sample_hook_(*this);
+    }
+  }
   void AdvancePc() {
     const unsigned slot = isa::SlotOf(pc_);
     pc_ = slot < 2 ? pc_ + 1 : isa::BundleAddr(pc_) + isa::kBundleBytes;
   }
   void TakeBranch(isa::Addr target, bool loop_branch);
-  void DoMemoryOp(const isa::Instruction& inst);
+  void DoMemoryOp(const isa::Instruction& inst, isa::Addr addr);
   void DoBranch(const isa::Instruction& inst);
 
   CpuId id_;

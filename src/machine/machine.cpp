@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "machine/engine.h"
 #include "support/check.h"
 
 namespace cobra::machine {
@@ -68,25 +69,26 @@ void Machine::SyncCores() {
   for (auto& core : cores_) core->set_now(t);
 }
 
+Machine::~Machine() = default;
+
 void Machine::RunUntilAllHalted(const std::vector<CpuId>& active) {
-  // Lowest-cycle-first, CPU-id tie-break: a deterministic interleave that
-  // approximates concurrent execution at instruction granularity.
-  std::vector<cpu::Core*> running;
-  for (CpuId cpu : active) {
-    cpu::Core* core = cores_.at(static_cast<std::size_t>(cpu)).get();
-    COBRA_CHECK_MSG(!core->halted(), "active core was never started");
-    running.push_back(core);
-  }
-  while (!running.empty()) {
-    cpu::Core* next = running.front();
-    for (cpu::Core* core : running) {
-      if (core->now() < next->now()) next = core;
-    }
-    next->Step();
-    if (next->halted()) {
-      std::erase(running, next);
-    }
-  }
+  if (!default_engine_) default_engine_ = MakeEngine(EngineConfig{});
+  default_engine_->Run(*this, active);
+}
+
+int Machine::AddRoundTask(std::function<void()> task) {
+  const int id = next_round_task_id_++;
+  round_tasks_.emplace_back(id, std::move(task));
+  return id;
+}
+
+void Machine::RemoveRoundTask(int id) {
+  std::erase_if(round_tasks_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+void Machine::RunRoundTasks() {
+  for (const auto& [id, task] : round_tasks_) task();
 }
 
 void Machine::ResetTiming() {

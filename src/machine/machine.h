@@ -1,13 +1,19 @@
-// Machine: a complete simulated multiprocessor.
+// Machine: a complete simulated multiprocessor (the paper's two evaluation
+// hosts from Section 5.1).
 //
 // Owns the main memory, one cache stack + core per CPU, and the coherence
 // fabric (snooping bus for the 4-way Itanium 2 SMP server, directory over a
-// fat-tree for the SGI Altix cc-NUMA system).  Executes cores with a
-// deterministic lowest-cycle-first interleave (ties broken by CPU id), so
-// every experiment is bit-reproducible.
+// fat-tree for the SGI Altix cc-NUMA system).  Cores execute under a
+// pluggable ExecutionEngine (machine/engine.h): simulated time advances in
+// fixed cycle quanta, cores run core-private segments between barriers, and
+// every coherence transaction commits in canonical (cycle, cpu-id) order —
+// so every experiment is bit-reproducible whether the engine runs segments
+// on one host thread or many.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cpu/core.h"
@@ -21,6 +27,8 @@
 #include "support/simtypes.h"
 
 namespace cobra::machine {
+
+class ExecutionEngine;
 
 enum class FabricKind { kSnoopBus, kDirectory };
 
@@ -40,6 +48,7 @@ class Machine {
  public:
   // The image is owned by the caller (it is the program, not the machine).
   Machine(const MachineConfig& cfg, isa::BinaryImage* image);
+  ~Machine();
 
   int num_cpus() const { return static_cast<int>(cores_.size()); }
   const MachineConfig& config() const { return cfg_; }
@@ -65,12 +74,38 @@ class Machine {
   // Barrier: advances every core to GlobalTime().
   void SyncCores();
 
-  // Steps the given cores lowest-cycle-first until all have halted.
+  // Runs the given cores until all have halted, under a default serial
+  // ExecutionEngine (rt::Team accepts an EngineConfig for the others).
   void RunUntilAllHalted(const std::vector<CpuId>& active);
 
   // Drops all cached lines and statistics; clears fabric counters and each
   // core's clock. Memory *contents* and page placement are preserved.
   void ResetTiming();
+
+  // --- Engine integration ----------------------------------------------------
+  // True while an ExecutionEngine is driving the cores. Subsystems that
+  // deliver callbacks into shared state (e.g. perfmon sample batches, which
+  // reach COBRA's optimizer and may rewrite the binary image) must defer
+  // delivery to a round task while an engine is active.
+  bool engine_active() const { return engine_depth_ > 0; }
+
+  // Round tasks run at every engine commit barrier, while all cores are
+  // quiescent, in registration order. Returns an id for RemoveRoundTask.
+  int AddRoundTask(std::function<void()> task);
+  void RemoveRoundTask(int id);
+  void RunRoundTasks();
+
+  // RAII marker used by engines around a run (see engine_active()).
+  class EngineScope {
+   public:
+    explicit EngineScope(Machine& m) : m_(m) { ++m_.engine_depth_; }
+    ~EngineScope() { --m_.engine_depth_; }
+    EngineScope(const EngineScope&) = delete;
+    EngineScope& operator=(const EngineScope&) = delete;
+
+   private:
+    Machine& m_;
+  };
 
  private:
   MachineConfig cfg_;
@@ -79,6 +114,11 @@ class Machine {
   std::unique_ptr<mem::CoherenceFabric> fabric_;
   std::vector<std::unique_ptr<mem::CacheStack>> stacks_;
   std::vector<std::unique_ptr<cpu::Core>> cores_;
+
+  std::unique_ptr<ExecutionEngine> default_engine_;  // lazily created
+  int engine_depth_ = 0;
+  std::vector<std::pair<int, std::function<void()>>> round_tasks_;
+  int next_round_task_id_ = 0;
 };
 
 }  // namespace cobra::machine

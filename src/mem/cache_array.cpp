@@ -1,5 +1,7 @@
 #include "mem/cache_array.h"
 
+#include <bit>
+
 namespace cobra::mem {
 
 namespace {
@@ -8,7 +10,9 @@ bool IsPow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 CacheArray::CacheArray(std::size_t size_bytes, std::size_t line_bytes,
                        int associativity)
-    : line_bytes_(line_bytes), assoc_(associativity) {
+    : line_bytes_(line_bytes),
+      line_shift_(std::countr_zero(line_bytes)),
+      assoc_(associativity) {
   COBRA_CHECK_MSG(IsPow2(line_bytes), "line size must be a power of two");
   COBRA_CHECK(associativity >= 1);
   COBRA_CHECK_MSG(size_bytes % (line_bytes * associativity) == 0,

@@ -82,10 +82,11 @@ class CacheArray {
 
  private:
   std::size_t SetOf(Addr addr) const {
-    return (addr / line_bytes_) & (sets_ - 1);
+    return (addr >> line_shift_) & (sets_ - 1);
   }
 
   std::size_t line_bytes_;
+  int line_shift_;  // log2(line_bytes_): division is too hot for SetOf
   std::size_t sets_;
   int assoc_;
   std::vector<Line> lines_;  // sets_ * assoc_, set-major

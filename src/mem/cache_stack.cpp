@@ -1,6 +1,7 @@
 #include "mem/cache_stack.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/check.h"
 
@@ -11,11 +12,26 @@ CacheStack::CacheStack(CpuId cpu, const MemConfig& cfg)
       cfg_(cfg),
       l1_(cfg.l1.size_bytes, cfg.l1.line_bytes, cfg.l1.associativity),
       l2_(cfg.l2.size_bytes, cfg.l2.line_bytes, cfg.l2.associativity),
-      l3_(cfg.l3.size_bytes, cfg.l3.line_bytes, cfg.l3.associativity) {
+      l3_(cfg.l3.size_bytes, cfg.l3.line_bytes, cfg.l3.associativity),
+      memo_shift_(std::countr_zero(cfg.l2.line_bytes)) {
   COBRA_CHECK_MSG(cfg.l2.line_bytes == cfg.l3.line_bytes,
                   "coherence granularity is the (shared) L2/L3 line size");
   COBRA_CHECK_MSG(cfg.l1.line_bytes <= cfg.l2.line_bytes,
                   "L1 lines must not exceed the coherence line");
+}
+
+FabricResult CacheStack::FabricRequest(BusOp op, Addr line_addr, Cycle now) {
+  COBRA_CHECK_MSG(!fabric_guard_,
+                  "coherence transaction during a core-private segment "
+                  "(engine probe out of sync with the access path)");
+  return fabric_->Request(cpu_, op, line_addr, now);
+}
+
+void CacheStack::FabricEvictNotify(Addr line_addr) {
+  COBRA_CHECK_MSG(!fabric_guard_,
+                  "eviction notification during a core-private segment "
+                  "(engine probe out of sync with the access path)");
+  fabric_->EvictNotify(cpu_, line_addr);
 }
 
 CacheStack::Source CacheStack::ClassifySource(const FabricResult& r) {
@@ -52,9 +68,9 @@ void CacheStack::EvictVictim(const CacheArray::Line& victim, Cycle now) {
   l2_.Invalidate(victim.line_addr);
   if (victim.state == Mesi::kM) {
     ++stats_.fabric_writebacks;
-    fabric_->Request(cpu_, BusOp::kWriteback, victim.line_addr, now);
+    FabricRequest(BusOp::kWriteback, victim.line_addr, now);
   } else {
-    fabric_->EvictNotify(cpu_, victim.line_addr);
+    FabricEvictNotify(victim.line_addr);
   }
 }
 
@@ -109,7 +125,7 @@ CacheStack::AccessResult CacheStack::Load(Addr addr, int size, bool fp,
     if (bias && line->state == Mesi::kS) {
       // ld.bias on a shared line: upgrade in the background.
       const FabricResult r =
-          fabric_->Request(cpu_, BusOp::kUpgrade, CohLine(addr), now);
+          FabricRequest(BusOp::kUpgrade, CohLine(addr), now);
       SetStateAll(addr, r.grant == Mesi::kI ? Mesi::kS : Mesi::kE);
     }
     return {cfg_.l2_hit_latency + wait, Source::kL2};
@@ -132,7 +148,7 @@ CacheStack::AccessResult CacheStack::Load(Addr addr, int size, bool fp,
 
   // Miss: go to the fabric.
   const BusOp op = bias ? BusOp::kReadExcl : BusOp::kRead;
-  const FabricResult r = fabric_->Request(cpu_, op, CohLine(addr), now);
+  const FabricResult r = FabricRequest(op, CohLine(addr), now);
   Fill(addr, r.grant, now + r.latency, /*prefetched=*/false, now);
   if (!fp) FillL1(addr, now + r.latency);
   return {r.latency, ClassifySource(r)};
@@ -174,7 +190,7 @@ CacheStack::AccessResult CacheStack::Store(Addr addr, int size, Cycle now) {
       ++coherent_write_misses_;
       InvalidateAll(addr);
       const FabricResult r =
-          fabric_->Request(cpu_, BusOp::kReadExcl, CohLine(addr), now);
+          FabricRequest(BusOp::kReadExcl, CohLine(addr), now);
       Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false,
            now);
       return {Charge(r.latency) + wait,
@@ -191,7 +207,7 @@ CacheStack::AccessResult CacheStack::Store(Addr addr, int size, Cycle now) {
       ++coherent_write_misses_;
       InvalidateAll(addr);
       const FabricResult r =
-          fabric_->Request(cpu_, BusOp::kReadExcl, CohLine(addr), now);
+          FabricRequest(BusOp::kReadExcl, CohLine(addr), now);
       Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false,
            now);
       return {Charge(r.latency) + wait,
@@ -209,7 +225,7 @@ CacheStack::AccessResult CacheStack::Store(Addr addr, int size, Cycle now) {
 
   // Miss: read-for-ownership.
   const FabricResult r =
-      fabric_->Request(cpu_, BusOp::kReadExcl, CohLine(addr), now);
+      FabricRequest(BusOp::kReadExcl, CohLine(addr), now);
   Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false, now);
   return {Charge(r.latency), ClassifySource(r)};
 }
@@ -231,7 +247,7 @@ void CacheStack::Prefetch(Addr addr, bool excl, Cycle now) {
     if (l2_line->ready_at > now) return;
     if (excl && l2_line->state == Mesi::kS && l2_line->was_dirty_here) {
       ++stats_.prefetch_upgrades;
-      fabric_->Request(cpu_, BusOp::kUpgrade, line, now);
+      FabricRequest(BusOp::kUpgrade, line, now);
       SetStateAll(line, excl_state);
     }
     return;
@@ -243,7 +259,7 @@ void CacheStack::Prefetch(Addr addr, bool excl, Cycle now) {
     Mesi state = l3_line->state;
     if (excl && state == Mesi::kS && l3_line->was_dirty_here) {
       ++stats_.prefetch_upgrades;
-      fabric_->Request(cpu_, BusOp::kUpgrade, line, now);
+      FabricRequest(BusOp::kUpgrade, line, now);
       state = excl_state;
       l3_line->state = state;
     }
@@ -260,12 +276,92 @@ void CacheStack::Prefetch(Addr addr, bool excl, Cycle now) {
   // Full miss: issue the bus transaction but do not stall the core.
   ++stats_.prefetch_bus_requests;
   const BusOp op = excl ? BusOp::kReadExclHint : BusOp::kRead;
-  const FabricResult r = fabric_->Request(cpu_, op, line, now);
+  const FabricResult r = FabricRequest(op, line, now);
   // A best-effort exclusive prefetch may come back shared (hint not
   // honoured against a dirty remote line); install what was granted.
   const Mesi grant =
       excl && r.grant == Mesi::kE ? excl_state : r.grant;
   Fill(line, grant, now + r.latency, /*prefetched=*/true, now);
+}
+
+bool CacheStack::LoadNeedsFabric(Addr addr, bool fp, bool bias) const {
+  // Mirrors Load(): L1 hits (integer only) and plain L2/L3 hits stay
+  // private; an ld.bias hit on a Shared L2 line upgrades in the background;
+  // a full miss always reaches the fabric.  Note that an L1 or Shared-L3
+  // hit satisfies the current bias load privately but must not memoize
+  // kMemoOwned: the refill can leave a Shared line in L2 that a later bias
+  // load would have to upgrade.
+  const Addr line_addr = CohLine(addr);
+  if (MemoHas(line_addr, bias ? kMemoOwned : kMemoPresent)) return false;
+  if (!fp && l1_.Probe(addr) != nullptr) {
+    MemoSet(line_addr, kMemoPresent);  // inclusion: L1 hit => in L3
+    return false;
+  }
+  if (const auto* line = l2_.Probe(addr)) {
+    if (line->state == Mesi::kS) {
+      if (bias) return true;
+      MemoSet(line_addr, kMemoPresent);
+      return false;
+    }
+    MemoSet(line_addr, kMemoPresent | kMemoOwned);
+    return false;
+  }
+  if (const auto* line = l3_.Probe(addr)) {  // L2 refill is internal
+    MemoSet(line_addr, line->state == Mesi::kS ? kMemoPresent
+                                               : kMemoPresent | kMemoOwned);
+    return false;
+  }
+  return true;
+}
+
+bool CacheStack::StoreNeedsFabric(Addr addr) const {
+  // Mirrors Store(): M/E hits drain locally; a store to a Shared line is a
+  // coherent write miss (full read-invalidate); a miss reads for ownership.
+  const Addr line_addr = CohLine(addr);
+  if (MemoHas(line_addr, kMemoOwned)) return false;
+  if (const auto* line = l2_.Probe(addr)) {
+    if (line->state == Mesi::kS) return true;
+    MemoSet(line_addr, kMemoPresent | kMemoOwned);
+    return false;
+  }
+  if (const auto* line = l3_.Probe(addr)) {
+    if (line->state == Mesi::kS) return true;
+    MemoSet(line_addr, kMemoPresent | kMemoOwned);
+    return false;
+  }
+  return true;
+}
+
+bool CacheStack::PrefetchNeedsFabric(Addr addr, bool excl, Cycle now) const {
+  // Mirrors Prefetch(): an in-flight fill absorbs the prefetch (MSHR
+  // merge); a present line only produces traffic for an .excl upgrade of a
+  // previously-dirty Shared line; a full miss always issues a transaction.
+  // An in-flight line memoizes only presence (its state is not inspected),
+  // and a Shared line never memoizes kMemoOwned, so the was_dirty_here
+  // condition is always re-checked where it matters.
+  const Addr line_addr = CohLine(addr);
+  if (MemoHas(line_addr, excl ? kMemoOwned : kMemoPresent)) return false;
+  if (const auto* line = l2_.Probe(line_addr)) {
+    if (line->ready_at > now) {
+      MemoSet(line_addr, kMemoPresent);
+      return false;
+    }
+    if (excl && line->state == Mesi::kS && line->was_dirty_here) return true;
+    MemoSet(line_addr, line->state == Mesi::kS ? kMemoPresent
+                                               : kMemoPresent | kMemoOwned);
+    return false;
+  }
+  if (const auto* line = l3_.Probe(line_addr)) {
+    if (line->ready_at > now) {
+      MemoSet(line_addr, kMemoPresent);
+      return false;
+    }
+    if (excl && line->state == Mesi::kS && line->was_dirty_here) return true;
+    MemoSet(line_addr, line->state == Mesi::kS ? kMemoPresent
+                                               : kMemoPresent | kMemoOwned);
+    return false;
+  }
+  return true;
 }
 
 SnoopReply CacheStack::Snoop(Addr line_addr, SnoopType type) {

@@ -14,6 +14,8 @@
 // The stack is a timing model: functional data lives in MainMemory.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "mem/cache_array.h"
@@ -51,6 +53,26 @@ class CacheStack {
 
   // Non-binding prefetch (lfetch). Never stalls the core.
   void Prefetch(Addr addr, bool excl, Cycle now);
+
+  // --- Engine probes --------------------------------------------------------
+  // Exact, side-effect-free predicates for whether the corresponding access
+  // would issue a coherence-fabric transaction. The execution engines
+  // (machine/engine.h) use them to stop a core at the last core-private
+  // instruction of a segment, so that every fabric transaction is committed
+  // in canonical (cycle, cpu-id) order. Each probe mirrors its access path
+  // decision-for-decision; set_fabric_guard() below enforces the contract.
+  bool LoadNeedsFabric(Addr addr, bool fp, bool bias) const;
+  bool StoreNeedsFabric(Addr addr) const;
+  bool PrefetchNeedsFabric(Addr addr, bool excl, Cycle now) const;
+
+  // While set, any fabric transaction from this stack aborts the simulation
+  // (the engines set it around core-private segments; a trip means a probe
+  // above fell out of sync with its access path). Raising the guard also
+  // starts a fresh probe-memo generation (see ProbeMemo below).
+  void set_fabric_guard(bool on) {
+    fabric_guard_ = on;
+    if (on) ++probe_memo_.gen;
+  }
 
   // Fabric-initiated snoop of this stack.
   SnoopReply Snoop(Addr line_addr, SnoopType type);
@@ -97,6 +119,10 @@ class CacheStack {
  private:
   Addr CohLine(Addr addr) const { return l2_.LineAddrOf(addr); }
 
+  // All fabric traffic funnels through these two (guard enforcement).
+  FabricResult FabricRequest(BusOp op, Addr line_addr, Cycle now);
+  void FabricEvictNotify(Addr line_addr);
+
   // Installs a line into L3 (evicting/writing back as needed) and into L2.
   // Returns the L2 line.
   CacheArray::Line* Fill(Addr addr, Mesi state, Cycle ready_at,
@@ -116,6 +142,52 @@ class CacheStack {
   CacheArray l3_;
   Stats stats_;
   std::uint64_t coherent_write_misses_ = 0;
+  bool fabric_guard_ = false;
+
+  // Probe memo: a generation-tagged, direct-mapped cache of facts already
+  // proven about coherence lines during the current guarded segment. Both
+  // facts are monotone within a segment — the core's own (local) activity
+  // keeps a line present in L2∪L3 (L2 victims stay in L3; L3 evictions only
+  // happen on fabric fills) and never downgrades M/E (stores go E→M; remote
+  // snoops only run between segments, when the generation is bumped) — so a
+  // memo hit can skip the full tag scans the probes would otherwise repeat
+  // for every access to a hot line.
+  //   kMemoPresent: line in L2∪L3 — plain/fp loads and non-exclusive
+  //     prefetches are fabric-free.
+  //   kMemoOwned: line in M or E — bias loads, stores and exclusive
+  //     prefetches are fabric-free as well (implies kMemoPresent).
+  static constexpr std::uint8_t kMemoPresent = 1;
+  static constexpr std::uint8_t kMemoOwned = 2;
+  struct ProbeMemo {
+    static constexpr std::size_t kEntries = 256;
+    struct Entry {
+      Addr line = 0;
+      std::uint64_t gen = 0;
+      std::uint8_t safe = 0;
+    };
+    std::array<Entry, kEntries> entries{};
+    std::uint64_t gen = 1;
+  };
+  std::size_t MemoIndex(Addr line_addr) const {
+    return (line_addr >> memo_shift_) & (ProbeMemo::kEntries - 1);
+  }
+  bool MemoHas(Addr line_addr, std::uint8_t bit) const {
+    if (!fabric_guard_) return false;  // memo is only trusted inside a segment
+    const ProbeMemo::Entry& e = probe_memo_.entries[MemoIndex(line_addr)];
+    return e.gen == probe_memo_.gen && e.line == line_addr &&
+           (e.safe & bit) != 0;
+  }
+  void MemoSet(Addr line_addr, std::uint8_t bits) const {
+    if (!fabric_guard_) return;  // memo is only trusted inside a segment
+    ProbeMemo::Entry& e = probe_memo_.entries[MemoIndex(line_addr)];
+    if (e.gen == probe_memo_.gen && e.line == line_addr) {
+      e.safe |= bits;
+    } else {
+      e = {line_addr, probe_memo_.gen, bits};
+    }
+  }
+  mutable ProbeMemo probe_memo_;
+  int memo_shift_ = 0;  // log2(coherence line size)
 };
 
 }  // namespace cobra::mem

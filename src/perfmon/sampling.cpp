@@ -11,9 +11,13 @@ SamplingDriver::SamplingDriver(machine::Machine* machine,
   COBRA_CHECK(config.period_insts > 0);
   COBRA_CHECK(config.batch_size > 0);
   per_cpu_.resize(static_cast<std::size_t>(machine->num_cpus()));
+  round_task_id_ = machine->AddRoundTask([this] { DrainDeferred(); });
 }
 
-SamplingDriver::~SamplingDriver() { StopAll(); }
+SamplingDriver::~SamplingDriver() {
+  StopAll();
+  machine_->RemoveRoundTask(round_task_id_);
+}
 
 void SamplingDriver::StartMonitoring(CpuId cpu, int tid,
                                      DeliveryHandler handler) {
@@ -49,16 +53,44 @@ void SamplingDriver::CollectSample(cpu::Core& core) {
   }
   sample.btb = core.btb().Snapshot();
   sample.dear = core.dear().last();
-  ++total_samples_;
+  total_samples_.fetch_add(1, std::memory_order_relaxed);
 
   state.kernel_buffer.push_back(sample);
   if (state.kernel_buffer.size() >= config_.batch_size) {
-    Flush(core.id());
+    if (machine_->engine_active()) {
+      // Segment phase (possibly on a worker thread): queue the batch for
+      // the commit barrier instead of calling into shared COBRA state.
+      state.deferred.push_back(std::move(state.kernel_buffer));
+      state.kernel_buffer.clear();
+      state.kernel_buffer.reserve(config_.batch_size);
+    } else {
+      Flush(core.id());
+    }
+  }
+}
+
+void SamplingDriver::DeliverDeferred(CpuId cpu) {
+  auto& state = per_cpu_.at(static_cast<std::size_t>(cpu));
+  if (state.deferred.empty()) return;
+  // Swap out first: a handler may (transitively) run more simulation.
+  std::vector<std::vector<Sample>> batches;
+  batches.swap(state.deferred);
+  for (const std::vector<Sample>& batch : batches) {
+    if (state.handler) {
+      state.handler(cpu, std::span<const Sample>(batch));
+    }
+  }
+}
+
+void SamplingDriver::DrainDeferred() {
+  for (CpuId cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    DeliverDeferred(cpu);
   }
 }
 
 void SamplingDriver::Flush(CpuId cpu) {
   auto& state = per_cpu_.at(static_cast<std::size_t>(cpu));
+  DeliverDeferred(cpu);
   if (state.kernel_buffer.empty()) return;
   if (state.handler) {
     state.handler(cpu, std::span<const Sample>(state.kernel_buffer));

@@ -10,9 +10,19 @@
 // four performance counters, the eight BTB address registers (four
 // source/target pairs), and the latest DEAR record (miss instruction
 // address, miss data address, latency).
+//
+// Delivery discipline: while an ExecutionEngine is driving the cores,
+// full batches are queued per CPU and handed to the handlers at the next
+// engine commit barrier (a registered round task), in cpu-id order. The
+// handlers feed COBRA's monitoring threads, whose optimizer may rewrite
+// the binary image — deferring to barriers means rewrites only happen
+// while every core is quiescent, identically under the serial and
+// parallel engines. Without an engine (unit tests driving cores by hand),
+// batches deliver inline as the samples are collected.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -71,7 +81,9 @@ class SamplingDriver {
   void StopMonitoring(CpuId cpu);
   void StopAll();
 
-  std::uint64_t TotalSamples() const { return total_samples_; }
+  std::uint64_t TotalSamples() const {
+    return total_samples_.load(std::memory_order_relaxed);
+  }
   const SamplingConfig& config() const { return config_; }
 
  private:
@@ -80,16 +92,23 @@ class SamplingDriver {
     int tid = 0;
     std::uint64_t next_index = 0;
     std::vector<Sample> kernel_buffer;
+    // Full batches awaiting barrier delivery (engine runs only). Touched
+    // exclusively by the core's segment (worker-local) or at barriers.
+    std::vector<std::vector<Sample>> deferred;
     DeliveryHandler handler;
   };
 
   void CollectSample(cpu::Core& core);
   void Flush(CpuId cpu);
+  void DeliverDeferred(CpuId cpu);
+  void DrainDeferred();  // the registered round task
 
   machine::Machine* machine_;
   SamplingConfig config_;
   std::vector<PerCpu> per_cpu_;
-  std::uint64_t total_samples_ = 0;
+  int round_task_id_ = -1;
+  // Cores sample concurrently during parallel segment phases.
+  std::atomic<std::uint64_t> total_samples_{0};
 };
 
 }  // namespace cobra::perfmon

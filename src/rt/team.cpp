@@ -16,8 +16,11 @@ IndexRange StaticChunk(int tid, int num_threads, std::int64_t n) {
   return IndexRange{begin, begin + len};
 }
 
-Team::Team(machine::Machine* machine, int num_threads)
-    : machine_(machine), num_threads_(num_threads) {
+Team::Team(machine::Machine* machine, int num_threads,
+           const machine::EngineConfig& engine)
+    : machine_(machine),
+      num_threads_(num_threads),
+      engine_(machine::MakeEngine(engine)) {
   COBRA_CHECK(machine != nullptr);
   COBRA_CHECK_MSG(num_threads >= 1 && num_threads <= machine->num_cpus(),
                   "team larger than the machine");
@@ -39,7 +42,7 @@ Cycle Team::Run(isa::Addr entry,
     active.push_back(tid);
   }
 
-  machine_->RunUntilAllHalted(active);
+  engine_->Run(*machine_, active);
 
   // Join barrier.
   machine_->SyncCores();

@@ -4,17 +4,26 @@
 // A parallel region launches one simulated thread per core (thread i bound
 // to CPU i, as the paper binds threads to processors), sets up each
 // thread's argument registers, runs all cores to completion under the
-// machine's deterministic interleave, and joins with a barrier.  Loop
+// machine's deterministic execution engine, and joins with a barrier.  Loop
 // iterations are divided with OpenMP's static schedule (contiguous chunks
 // by thread id), which is the partitioning whose boundary lines produce
 // the sharing behaviour the paper studies.
+//
+// The team owns its ExecutionEngine (machine/engine.h): pass an
+// EngineConfig to run regions on the parallel host engine. Serial and
+// parallel engines are bit-identical; the engine choice only affects host
+// wall-clock. The parallel engine requires regions to be free of simulated
+// data races (concurrent conflicting accesses to the same bytes), which
+// the fork/join + static-chunk workloads here satisfy by construction.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cpu/regfile.h"
+#include "machine/engine.h"
 #include "machine/machine.h"
 #include "support/simtypes.h"
 
@@ -33,10 +42,13 @@ IndexRange StaticChunk(int tid, int num_threads, std::int64_t n);
 
 class Team {
  public:
-  // Uses CPUs [0, num_threads) of the machine.
-  Team(machine::Machine* machine, int num_threads);
+  // Uses CPUs [0, num_threads) of the machine. `engine` selects how the
+  // host executes regions (default: the serial engine).
+  Team(machine::Machine* machine, int num_threads,
+       const machine::EngineConfig& engine = {});
 
   int num_threads() const { return num_threads_; }
+  const char* engine_name() const { return engine_->name(); }
 
   // Runs a parallel region: every thread starts at `entry` after `setup`
   // has initialized its registers. Returns the region's duration in cycles
@@ -49,6 +61,7 @@ class Team {
  private:
   machine::Machine* machine_;
   int num_threads_;
+  std::unique_ptr<machine::ExecutionEngine> engine_;
 };
 
 }  // namespace cobra::rt
