@@ -50,9 +50,12 @@ int TraceCache::Deploy(const LoopRegion& loop, OptKind opt) {
   const isa::Addr trace_head = image_->code_end();
   for (isa::Addr bundle = begin; bundle <= end;
        bundle += isa::kBundleBytes) {
-    image_->AppendBundle(image_->Fetch(isa::MakePc(bundle, 0)),
-                         image_->Fetch(isa::MakePc(bundle, 1)),
-                         image_->Fetch(isa::MakePc(bundle, 2)));
+    // Copy before appending: Fetch returns references into the image's own
+    // storage, which AppendBundle may reallocate.
+    const isa::Instruction slot0 = image_->Fetch(isa::MakePc(bundle, 0));
+    const isa::Instruction slot1 = image_->Fetch(isa::MakePc(bundle, 1));
+    const isa::Instruction slot2 = image_->Fetch(isa::MakePc(bundle, 2));
+    image_->AppendBundle(slot0, slot1, slot2);
   }
   // Exit stub: fall through back to the original code after the loop.
   image_->AppendBundle(isa::Nop(isa::Unit::kM), isa::Nop(isa::Unit::kI),

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.h"
+#include "verify/coherence_checker.h"
 
 namespace cobra::cpu {
 
@@ -147,6 +148,7 @@ void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
     case Opcode::kLd: {
       const std::uint64_t value = memory_->Read(addr, inst.size);
       regs_.WriteGr(inst.r1, value);
+      if (checker_ != nullptr) checker_->OnLoad(id_, addr, inst.size, value);
       const auto result =
           stack_->Load(addr, inst.size, /*fp=*/false,
                        inst.ld_hint == isa::LoadHint::kBias, now_);
@@ -155,7 +157,11 @@ void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
       break;
     }
     case Opcode::kLdf: {
-      regs_.WriteFr(inst.r1, memory_->ReadDouble(addr));
+      const double value = memory_->ReadDouble(addr);
+      regs_.WriteFr(inst.r1, value);
+      if (checker_ != nullptr) {
+        checker_->OnLoad(id_, addr, 8, std::bit_cast<std::uint64_t>(value));
+      }
       const auto result =
           stack_->Load(addr, 8, /*fp=*/true, /*bias=*/false, now_);
       now_ += Stall(result.latency);
@@ -166,11 +172,16 @@ void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
       std::uint64_t value = regs_.ReadGr(inst.r3);
       if (inst.size < 8) value &= (1ULL << (inst.size * 8)) - 1;
       memory_->Write(addr, inst.size, value);
+      if (checker_ != nullptr) checker_->OnStore(id_, addr, inst.size, value);
       now_ += stack_->Store(addr, inst.size, now_).latency;
       break;
     }
     case Opcode::kStf: {
-      memory_->WriteDouble(addr, regs_.ReadFr(inst.r3));
+      const double value = regs_.ReadFr(inst.r3);
+      memory_->WriteDouble(addr, value);
+      if (checker_ != nullptr) {
+        checker_->OnStore(id_, addr, 8, std::bit_cast<std::uint64_t>(value));
+      }
       now_ += stack_->Store(addr, 8, now_).latency;
       break;
     }
@@ -191,6 +202,10 @@ void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
   if (inst.post_inc) {
     regs_.WriteGr(inst.r2, addr + static_cast<std::uint64_t>(inst.imm));
   }
+
+  // The op is complete (lines installed, victims written back): re-check
+  // the settled invariants of every line its fabric traffic touched.
+  if (checker_ != nullptr) checker_->OnOpSettled(id_);
 }
 
 void Core::DoBranch(const Instruction& inst) {

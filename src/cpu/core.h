@@ -26,6 +26,10 @@
 #include "mem/main_memory.h"
 #include "support/simtypes.h"
 
+namespace cobra::verify {
+class CoherenceChecker;
+}
+
 namespace cobra::cpu {
 
 class Core final : public HpmSource {
@@ -34,6 +38,13 @@ class Core final : public HpmSource {
        mem::CacheStack* stack, const mem::CoherenceFabric* fabric);
 
   CpuId id() const { return id_; }
+
+  // Attaches the coherence checker's golden memory oracle: every load's
+  // returned value is diffed against it, every store is applied to it, and
+  // the per-line settled invariants are re-checked after each memory op.
+  void AttachChecker(verify::CoherenceChecker* checker) {
+    checker_ = checker;
+  }
 
   // --- Control --------------------------------------------------------------
   // Unhalts the core and begins execution at `entry` (bundle-aligned).
@@ -119,6 +130,7 @@ class Core final : public HpmSource {
   mem::MainMemory* memory_;
   mem::CacheStack* stack_;
   const mem::CoherenceFabric* fabric_;
+  verify::CoherenceChecker* checker_ = nullptr;  // null unless verifying
 
   RegisterFile regs_;
   Hpm hpm_;

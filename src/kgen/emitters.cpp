@@ -60,6 +60,19 @@ int StreamOpInputs(StreamOp op) {
   COBRA_UNREACHABLE("bad stream op");
 }
 
+const char* StreamOpName(StreamOp op) {
+  switch (op) {
+    case StreamOp::kCopy: return "copy";
+    case StreamOp::kScale: return "scale";
+    case StreamOp::kDaxpy: return "daxpy";
+    case StreamOp::kAdd: return "add";
+    case StreamOp::kTriad: return "triad";
+    case StreamOp::kStencil3Sym: return "stencil3sym";
+    case StreamOp::kBlend4: return "blend4";
+  }
+  COBRA_UNREACHABLE("bad stream op");
+}
+
 // ---------------------------------------------------------------------------
 // DAXPY (Figure 2). args: r14 = &x, r15 = &y, r16 = n; f6 = a.
 //

@@ -62,7 +62,11 @@ enum class StreamOp {
   kStencil3Sym, // out[i] = a*(l[i] + r[i]) + b*c[i]   (3 inputs: l, c, r)
   kBlend4,      // out[i] = a*x[i]*y[i] + b*w[i]       (3 inputs)
 };
+// Total ops in the StreamOp enum (random workload generators roll in
+// [0, kNumStreamOps) — keep in lockstep with the enum above).
+constexpr int kNumStreamOps = 7;
 int StreamOpInputs(StreamOp op);
+const char* StreamOpName(StreamOp op);
 
 struct StreamLoopSpec {
   StreamOp op = StreamOp::kDaxpy;

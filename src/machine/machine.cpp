@@ -1,9 +1,11 @@
 #include "machine/machine.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "machine/engine.h"
 #include "support/check.h"
+#include "verify/coherence_checker.h"
 
 namespace cobra::machine {
 
@@ -31,25 +33,43 @@ Machine::Machine(const MachineConfig& cfg, isa::BinaryImage* image)
   memory_ = std::make_unique<mem::MainMemory>(cfg.mem.memory_bytes,
                                               cfg.mem.page_bytes);
 
+  const mem::DirectoryFabric* directory = nullptr;
   if (cfg.fabric == FabricKind::kSnoopBus) {
     fabric_ = std::make_unique<mem::SnoopBus>(cfg.mem);
   } else {
-    fabric_ = std::make_unique<mem::DirectoryFabric>(cfg.mem, memory_.get(),
-                                                     cfg.num_cpus);
+    auto dir = std::make_unique<mem::DirectoryFabric>(cfg.mem, memory_.get(),
+                                                      cfg.num_cpus);
+    directory = dir.get();
+    fabric_ = std::move(dir);
   }
+
+  bool verify = cfg.verify_coherence;
+  if (const char* env = std::getenv("COBRA_VERIFY"); env && *env != '\0') {
+    verify = *env != '0';
+  }
+  if (verify) {
+    checker_ = std::make_unique<verify::CoherenceChecker>(
+        memory_.get(), fabric_.get(), directory);
+  }
+  // The stacks talk to the checker (which forwards to the real fabric)
+  // when verification is on; the real fabric still snoops them directly.
+  mem::CoherenceFabric* front =
+      checker_ ? static_cast<mem::CoherenceFabric*>(checker_.get())
+               : fabric_.get();
 
   std::vector<mem::CacheStack*> raw_stacks;
   for (CpuId cpu = 0; cpu < cfg.num_cpus; ++cpu) {
     stacks_.push_back(std::make_unique<mem::CacheStack>(cpu, cfg.mem));
-    stacks_.back()->AttachFabric(fabric_.get());
+    stacks_.back()->AttachFabric(front);
     raw_stacks.push_back(stacks_.back().get());
   }
-  fabric_->AttachStacks(raw_stacks);
+  front->AttachStacks(raw_stacks);
 
   for (CpuId cpu = 0; cpu < cfg.num_cpus; ++cpu) {
     cores_.push_back(std::make_unique<cpu::Core>(
         cpu, image_, memory_.get(), stacks_[static_cast<std::size_t>(cpu)].get(),
         fabric_.get()));
+    if (checker_) cores_.back()->AttachChecker(checker_.get());
   }
 }
 
@@ -89,12 +109,22 @@ void Machine::RemoveRoundTask(int id) {
 
 void Machine::RunRoundTasks() {
   for (const auto& [id, task] : round_tasks_) task();
+  if (checker_) checker_->OnRoundTasks();
+}
+
+void Machine::EngineEnter() {
+  if (engine_depth_++ == 0 && checker_) checker_->OnRunBegin();
+}
+
+void Machine::EngineExit() {
+  if (--engine_depth_ == 0 && checker_) checker_->OnRunEnd();
 }
 
 void Machine::ResetTiming() {
   for (auto& stack : stacks_) stack->Reset();
   fabric_->ResetCounts();
   for (auto& core : cores_) core->set_now(0);
+  if (checker_) checker_->OnResetTiming();
 }
 
 }  // namespace cobra::machine

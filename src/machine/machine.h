@@ -26,6 +26,10 @@
 #include "mem/snoop_bus.h"
 #include "support/simtypes.h"
 
+namespace cobra::verify {
+class CoherenceChecker;
+}
+
 namespace cobra::machine {
 
 class ExecutionEngine;
@@ -36,6 +40,12 @@ struct MachineConfig {
   int num_cpus = 4;
   FabricKind fabric = FabricKind::kSnoopBus;
   mem::MemConfig mem = mem::ItaniumSmpConfig();
+  // Wraps the fabric in a verify::CoherenceChecker that validates every
+  // transaction against the MESI/directory invariants and diffs every load
+  // against a sequentially-consistent golden memory. Off by default so
+  // benchmark timings are unaffected; tests that stress the fabric turn it
+  // on. The COBRA_VERIFY environment variable (0/1) overrides this.
+  bool verify_coherence = false;
 };
 
 // The 4-way Itanium 2 SMP server of Section 5.1.
@@ -64,6 +74,11 @@ class Machine {
   mem::CoherenceFabric& fabric() { return *fabric_; }
   const mem::CoherenceFabric& fabric() const { return *fabric_; }
   isa::BinaryImage& image() { return *image_; }
+
+  // The coherence checker, or nullptr when verification is off. fabric()
+  // keeps returning the real fabric either way (counters, queue cycles and
+  // introspection are unaffected by verification).
+  verify::CoherenceChecker* checker() { return checker_.get(); }
 
   // NUMA node of a CPU (0 for all CPUs on the snooping bus).
   int NodeOf(CpuId cpu) const;
@@ -95,11 +110,18 @@ class Machine {
   void RemoveRoundTask(int id);
   void RunRoundTasks();
 
+  // Engine entry/exit bookkeeping. On the outermost entry the coherence
+  // checker (if enabled) re-snapshots functional memory into its golden
+  // oracle (host-side setup writes between runs are not simulated stores);
+  // on the outermost exit it runs a final full sweep and memory diff.
+  void EngineEnter();
+  void EngineExit();
+
   // RAII marker used by engines around a run (see engine_active()).
   class EngineScope {
    public:
-    explicit EngineScope(Machine& m) : m_(m) { ++m_.engine_depth_; }
-    ~EngineScope() { --m_.engine_depth_; }
+    explicit EngineScope(Machine& m) : m_(m) { m_.EngineEnter(); }
+    ~EngineScope() { m_.EngineExit(); }
     EngineScope(const EngineScope&) = delete;
     EngineScope& operator=(const EngineScope&) = delete;
 
@@ -112,6 +134,7 @@ class Machine {
   isa::BinaryImage* image_;
   std::unique_ptr<mem::MainMemory> memory_;
   std::unique_ptr<mem::CoherenceFabric> fabric_;
+  std::unique_ptr<verify::CoherenceChecker> checker_;  // null unless enabled
   std::vector<std::unique_ptr<mem::CacheStack>> stacks_;
   std::vector<std::unique_ptr<cpu::Core>> cores_;
 

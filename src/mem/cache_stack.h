@@ -103,6 +103,18 @@ class CacheStack {
   const CacheArray& l2() const { return l2_; }
   const CacheArray& l3() const { return l3_; }
 
+  // Test-only fault injection: forces the MESI state of an already-cached
+  // line in L3 (and L2, keeping the levels in lockstep) without any fabric
+  // traffic, so checker tests can seed protocol violations. kI drops the
+  // copy outright.
+  void TestOnlyCorruptLine(Addr addr, Mesi state) {
+    if (auto* line = l3_.Probe(addr)) line->state = state;
+    if (auto* line = l2_.Probe(addr)) line->state = state;
+  }
+
+  // Mutable L2 access so checker tests can desynchronize a single level.
+  CacheArray& TestOnlyL2() { return l2_; }
+
   // Demand + prefetch miss totals as the Itanium 2 HPM events report them.
   // Coherent write misses (stores to Shared lines that must be re-fetched
   // with ownership) count as L2/L3 misses, as on the hardware.

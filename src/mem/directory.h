@@ -55,6 +55,20 @@ class DirectoryFabric : public CoherenceFabric {
   };
   const Entry* Lookup(Addr line_addr) const;
 
+  // Iterates every directory entry (verification sweeps).
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [line_addr, entry] : dir_) fn(line_addr, entry);
+  }
+
+  // Test-only fault injection: mutable access to an entry so checker tests
+  // can corrupt sharer/owner bits and assert the sweep trips. Returns
+  // nullptr if the line has no entry.
+  Entry* TestOnlyMutableEntry(Addr line_addr) {
+    auto it = dir_.find(line_addr);
+    return it == dir_.end() ? nullptr : &it->second;
+  }
+
   // Cycles spent queued on node buses (contention measure).
   Cycle queue_cycles() const { return queue_cycles_; }
 

@@ -49,6 +49,10 @@ class MainMemory {
     __builtin_memcpy(data_.data() + addr, &value, sizeof(T));
   }
 
+  // Raw host-side view of the backing store (the verification oracle
+  // snapshots and diffs whole regions; simulated code never sees this).
+  const std::uint8_t* raw() const { return data_.data(); }
+
   // --- First-touch page placement ------------------------------------------
   // Returns the page's home node, assigning `node` if untouched.
   int TouchPage(Addr addr, int node);

@@ -1,8 +1,10 @@
 #include "rt/team.h"
 
 #include <algorithm>
+#include <string>
 
 #include "support/check.h"
+#include "verify/coherence_checker.h"
 
 namespace cobra::rt {
 
@@ -28,6 +30,17 @@ Team::Team(machine::Machine* machine, int num_threads,
 
 Cycle Team::Run(isa::Addr entry,
                 const std::function<void(int, cpu::RegisterFile&)>& setup) {
+  // When the coherence checker is live and no harness (e.g. the fuzzer)
+  // has already set a replay context, tag aborts with the engine and team
+  // shape so a violation in an ordinary test run is still diagnosable.
+  const bool tag_context = machine_->checker() != nullptr &&
+                           verify::FailureContext().empty();
+  if (tag_context) {
+    verify::SetFailureContext(std::string("team run: engine=") +
+                              engine_->name() +
+                              " threads=" + std::to_string(num_threads_));
+  }
+
   // Fork barrier: all participating cores start at the same instant.
   machine_->SyncCores();
   const Cycle start = machine_->GlobalTime();
@@ -46,6 +59,7 @@ Cycle Team::Run(isa::Addr entry,
 
   // Join barrier.
   machine_->SyncCores();
+  if (tag_context) verify::SetFailureContext("");
   return machine_->GlobalTime() - start;
 }
 

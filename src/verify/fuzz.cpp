@@ -1,0 +1,420 @@
+#include "verify/fuzz.h"
+
+#include <cstdint>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "isa/assembler.h"
+#include "isa/instruction.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "mem/main_memory.h"
+#include "rt/team.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "verify/coherence_checker.h"
+
+namespace cobra::verify {
+
+namespace {
+
+// Per-thread register setup, expressible as base + tid * stride so the
+// generator can describe every workload's launch uniformly.
+struct GrInit {
+  int reg = 0;
+  std::uint64_t base = 0;
+  std::uint64_t per_tid = 0;
+};
+
+struct FrInit {
+  int reg = 0;
+  double value = 0.0;
+};
+
+// Seeded bulk initialization of a data region (applied host-side before
+// the run; the oracle snapshots memory afterwards).
+struct RegionFill {
+  enum Kind { kDoubles, kWords, kInts32 };
+  mem::Addr begin = 0;
+  std::uint64_t count = 0;
+  Kind kind = kWords;
+  std::uint64_t seed = 0;
+};
+
+struct GeneratedCase {
+  isa::Addr entry = 0;
+  std::vector<GrInit> grs;
+  std::vector<FrInit> frs;
+  std::vector<RegionFill> fills;
+};
+
+// --- Raw memory-op mix ------------------------------------------------------
+// A single counted loop whose body interleaves independent access streams:
+//
+//   * store streams: each thread stores to its own 8-byte word of a line,
+//     advancing one 128-B line per iteration — adjacent threads' words
+//     share lines (false sharing, no true sharing), with a value register
+//     bumped every iteration so the oracle sees evolving data;
+//   * load-own streams: loads walking a store stream's region at the
+//     thread's own offset (read-after-write against the oracle);
+//   * shared read-only streams: every thread walks the same 8-byte-stride
+//     region (Shared copies everywhere), as plain, FP (L1-bypassing) or
+//     ld.bias (background-upgrade) loads;
+//   * lfetch streams: one prefetch per iteration roving over a written
+//     region at a per-thread line offset, .excl with probability 1/2 —
+//     best-effort RFOs that steal other threads' dirty lines.
+GeneratedCase GenerateRawMix(kgen::Program& prog, support::Rng& rng,
+                             int threads) {
+  using namespace cobra::isa;
+  (void)threads;
+  GeneratedCase g;
+
+  const int iters = 48 + static_cast<int>(rng.NextBounded(112));
+  constexpr std::int64_t kLine = 128;
+
+  int next_reg = 8;  // r29..r31 reserved: load sink + loop-count setup
+  auto TakeReg = [&next_reg] {
+    COBRA_CHECK_MSG(next_reg <= 28, "fuzz raw mix ran out of registers");
+    return next_reg++;
+  };
+  auto AllocStreamRegion = [&](std::int64_t stride) {
+    return prog.Alloc(static_cast<std::uint64_t>(iters + 16) *
+                      static_cast<std::uint64_t>(stride));
+  };
+
+  std::vector<std::vector<Instruction>> groups;
+  std::vector<mem::Addr> store_regions;
+
+  const int n_store = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int s = 0; s < n_store; ++s) {
+    const mem::Addr region = AllocStreamRegion(kLine);
+    store_regions.push_back(region);
+    const int base = TakeReg();
+    const int val = TakeReg();
+    const int size = 1 << rng.NextBounded(4);  // 1 / 2 / 4 / 8 bytes
+    g.grs.push_back({base, region, 8});
+    g.grs.push_back({val, rng.NextU64(), 0x1001});
+    g.fills.push_back({region, static_cast<std::uint64_t>(iters + 16) * 16,
+                       RegionFill::kWords, rng.NextU64()});
+    groups.push_back(
+        {AddImm(val, val, 1 + static_cast<std::int64_t>(rng.NextBounded(7))),
+         StPostInc(size, base, val, kLine)});
+  }
+
+  const int n_load_own = static_cast<int>(rng.NextBounded(2));
+  for (int s = 0; s < n_load_own; ++s) {
+    const mem::Addr region = store_regions[rng.NextBounded(store_regions.size())];
+    const int base = TakeReg();
+    const int size = 1 << rng.NextBounded(4);
+    g.grs.push_back({base, region, 8});
+    groups.push_back({LdPostInc(size, 29, base, kLine)});
+  }
+
+  const int n_shared = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int s = 0; s < n_shared; ++s) {
+    const mem::Addr region = AllocStreamRegion(8);
+    const int base = TakeReg();
+    g.grs.push_back({base, region, 0});
+    g.fills.push_back({region, static_cast<std::uint64_t>(iters + 16),
+                       RegionFill::kWords, rng.NextU64()});
+    switch (rng.NextBounded(3)) {
+      case 0:
+        groups.push_back({LdPostInc(8, 29, base, 8)});
+        break;
+      case 1:
+        groups.push_back({LdfPostInc(9, base, 8)});
+        break;
+      default:
+        groups.push_back({LdPostInc(8, 29, base, 8, LoadHint::kBias)});
+        break;
+    }
+  }
+
+  const int n_prefetch = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int s = 0; s < n_prefetch; ++s) {
+    const mem::Addr region =
+        rng.NextBounded(10) < 7
+            ? store_regions[rng.NextBounded(store_regions.size())]
+            : AllocStreamRegion(kLine);
+    const int base = TakeReg();
+    g.grs.push_back({base, region, kLine});
+    LfetchHint hint;
+    hint.excl = rng.NextBounded(2) == 0;
+    groups.push_back({LfetchPostInc(base, kLine, hint)});
+  }
+
+  // Shuffle the per-iteration interleaving once, per seed.
+  for (std::size_t i = groups.size(); i > 1; --i) {
+    std::swap(groups[i - 1], groups[rng.NextBounded(i)]);
+  }
+
+  Assembler a(&prog.image());
+  const auto loop = a.NewLabel();
+  a.Emit(MovImm(30, iters - 1));
+  a.Emit(MovToAr(AppReg::kLC, 30));
+  a.FlushBundle();
+  a.Bind(loop);
+  for (const auto& group : groups) {
+    for (const Instruction& inst : group) a.Emit(inst);
+  }
+  a.EmitBranch(BrCloop(0), loop);
+  a.Emit(Break());
+  g.entry = a.Finish();
+  return g;
+}
+
+// --- Random kgen kernels ----------------------------------------------------
+// The racy emitters (histogram, rank, scan) are excluded: the parallel
+// engine's contract requires regions free of simulated data races, and the
+// serial/parallel fingerprint diff depends on it.
+
+kgen::PrefetchPolicy RandomPrefetch(support::Rng& rng) {
+  kgen::PrefetchPolicy pf;
+  pf.enabled = rng.NextBounded(10) < 8;
+  pf.distance_bytes = 128 * (1 + static_cast<int>(rng.NextBounded(12)));
+  pf.prologue_prefetches = static_cast<int>(rng.NextBounded(7));
+  pf.excl = rng.NextBounded(2) == 0;
+  return pf;
+}
+
+GeneratedCase GenerateStreamLoop(kgen::Program& prog, support::Rng& rng,
+                                 int threads) {
+  GeneratedCase g;
+  kgen::StreamLoopSpec spec;
+  spec.op = static_cast<kgen::StreamOp>(
+      rng.NextBounded(static_cast<std::uint64_t>(kgen::kNumStreamOps)));
+  spec.prefetch = RandomPrefetch(rng);
+  const kgen::LoopInfo info = EmitStreamLoop(
+      prog, std::string("fuzz_") + kgen::StreamOpName(spec.op), spec);
+  g.entry = info.entry;
+
+  const std::uint64_t per = 64 + rng.NextBounded(192);
+  const std::uint64_t n = per * static_cast<std::uint64_t>(threads);
+  const int inputs = kgen::StreamOpInputs(spec.op);
+  for (int i = 0; i < inputs; ++i) {
+    const mem::Addr base = prog.Alloc(n * 8);
+    g.grs.push_back({kgen::ArgReg(i), base, 8 * per});
+    g.fills.push_back({base, n, RegionFill::kDoubles, rng.NextU64()});
+  }
+  const mem::Addr out = prog.Alloc(n * 8);
+  g.grs.push_back({17, out, 8 * per});
+  g.grs.push_back({18, per, 0});
+  g.frs.push_back({6, rng.NextDouble(-1.5, 1.5)});
+  g.frs.push_back({7, rng.NextDouble(-1.5, 1.5)});
+  return g;
+}
+
+GeneratedCase GenerateReduction(kgen::Program& prog, support::Rng& rng,
+                                int threads) {
+  GeneratedCase g;
+  const auto op = static_cast<kgen::ReduceOp>(rng.NextBounded(4));
+  const kgen::LoopInfo info =
+      EmitReduction(prog, "fuzz_reduce", op, RandomPrefetch(rng));
+  g.entry = info.entry;
+
+  const std::uint64_t per = 64 + rng.NextBounded(192);
+  const std::uint64_t n = per * static_cast<std::uint64_t>(threads);
+  const mem::Addr x = prog.Alloc(n * 8);
+  const mem::Addr y = prog.Alloc(n * 8);
+  // Adjacent 8-byte partial slots: every thread's result store false-shares
+  // one coherence line.
+  const mem::Addr partials =
+      prog.Alloc(8 * static_cast<std::uint64_t>(threads));
+  g.grs.push_back({14, x, 8 * per});
+  g.grs.push_back({15, y, 8 * per});
+  g.grs.push_back({16, per, 0});
+  g.grs.push_back({17, partials, 8});
+  g.fills.push_back({x, n, RegionFill::kDoubles, rng.NextU64()});
+  g.fills.push_back({y, n, RegionFill::kDoubles, rng.NextU64()});
+  return g;
+}
+
+GeneratedCase GenerateFill32(kgen::Program& prog, support::Rng& rng,
+                             int threads) {
+  GeneratedCase g;
+  const kgen::LoopInfo info =
+      EmitFill32(prog, "fuzz_fill", RandomPrefetch(rng));
+  g.entry = info.entry;
+
+  const std::uint64_t per = 128 + rng.NextBounded(384);
+  const std::uint64_t n = per * static_cast<std::uint64_t>(threads);
+  const mem::Addr buf = prog.Alloc(n * 4);
+  g.grs.push_back({14, buf, 4 * per});
+  g.grs.push_back({15, per, 0});
+  g.grs.push_back({16, rng.NextBounded(1u << 30), 0});
+  return g;
+}
+
+GeneratedCase GenerateIntAccumulate(kgen::Program& prog, support::Rng& rng,
+                                    int threads) {
+  GeneratedCase g;
+  const kgen::LoopInfo info =
+      EmitIntAccumulate(prog, "fuzz_acc", RandomPrefetch(rng));
+  g.entry = info.entry;
+
+  const std::uint64_t per = 128 + rng.NextBounded(384);
+  const std::uint64_t n = per * static_cast<std::uint64_t>(threads);
+  const mem::Addr src = prog.Alloc(n * 4);
+  const mem::Addr dst = prog.Alloc(n * 4);
+  g.grs.push_back({14, src, 4 * per});
+  g.grs.push_back({15, dst, 4 * per});
+  g.grs.push_back({16, per, 0});
+  g.fills.push_back({src, n, RegionFill::kInts32, rng.NextU64()});
+  g.fills.push_back({dst, n, RegionFill::kInts32, rng.NextU64()});
+  return g;
+}
+
+GeneratedCase Generate(kgen::Program& prog, support::Rng& rng, int threads) {
+  switch (rng.NextBounded(10)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+    case 4:
+      return GenerateRawMix(prog, rng, threads);
+    case 5:
+    case 6:
+      return GenerateStreamLoop(prog, rng, threads);
+    case 7:
+      return GenerateReduction(prog, rng, threads);
+    case 8:
+      return GenerateFill32(prog, rng, threads);
+    default:
+      return GenerateIntAccumulate(prog, rng, threads);
+  }
+}
+
+void ApplyFills(mem::MainMemory& memory,
+                const std::vector<RegionFill>& fills) {
+  for (const RegionFill& f : fills) {
+    support::Rng rng(f.seed);
+    switch (f.kind) {
+      case RegionFill::kDoubles:
+        for (std::uint64_t i = 0; i < f.count; ++i) {
+          memory.WriteDouble(f.begin + 8 * i, rng.NextDouble(-2.0, 2.0));
+        }
+        break;
+      case RegionFill::kWords:
+        for (std::uint64_t i = 0; i < f.count; ++i) {
+          memory.WriteAs<std::uint64_t>(f.begin + 8 * i, rng.NextU64());
+        }
+        break;
+      case RegionFill::kInts32:
+        for (std::uint64_t i = 0; i < f.count; ++i) {
+          memory.WriteAs<std::uint32_t>(
+              f.begin + 4 * i, static_cast<std::uint32_t>(rng.NextU64()));
+        }
+        break;
+    }
+  }
+}
+
+std::uint64_t HashMemory(const mem::MainMemory& memory, mem::Addr end) {
+  const std::uint8_t* data = memory.raw();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (mem::Addr a = 0; a < end; ++a) {
+    h ^= data[a];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Everything observable about the finished run — same spirit as
+// tests/engine_test.cpp's AppendMachineState, plus a data-segment hash.
+std::string Fingerprint(machine::Machine& m, mem::Addr data_end) {
+  std::ostringstream out;
+  out << "global_time=" << m.GlobalTime() << "\n";
+  for (CpuId cpu = 0; cpu < m.num_cpus(); ++cpu) {
+    const cpu::Core& core = m.core(cpu);
+    const mem::CacheStack& stack = m.stack(cpu);
+    const mem::CacheStack::Stats& ss = stack.stats();
+    const mem::BusEventCounts& bus = m.fabric().CpuCounts(cpu);
+    out << "cpu" << cpu << " now=" << core.now()
+        << " retired=" << core.instructions_retired()
+        << " dropped=" << core.lfetches_dropped() << " loads=" << ss.loads
+        << " stores=" << ss.stores << " pf=" << ss.prefetches
+        << " pf_bus=" << ss.prefetch_bus_requests
+        << " pf_up=" << ss.prefetch_upgrades << " l2wb=" << ss.l2_writebacks
+        << " fwb=" << ss.fabric_writebacks << " st_up=" << ss.store_upgrades
+        << " sn_down=" << ss.snoop_downgrades
+        << " sn_inv=" << ss.snoop_invalidations << " hitm=" << ss.hitm_supplies
+        << " l2m=" << stack.L2Misses() << " l3m=" << stack.L3Misses()
+        << " bus_mem=" << bus.bus_memory << " rd_hit=" << bus.bus_rd_hit
+        << " rd_hitm=" << bus.bus_rd_hitm
+        << " rd_inv_hitm=" << bus.bus_rd_inval_all_hitm
+        << " upg=" << bus.bus_upgrades << " wb=" << bus.bus_writebacks
+        << " remote=" << bus.remote_transactions << "\n";
+  }
+  const mem::BusEventCounts& total = m.fabric().TotalCounts();
+  out << "bus_total=" << total.bus_memory << "/" << total.CoherentEvents()
+      << "/" << total.remote_transactions << "\n";
+  out << "memhash=" << HashMemory(m.memory(), data_end) << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+FuzzCase SmpFuzzCase(std::uint64_t seed) {
+  FuzzCase c;
+  c.seed = seed;
+  c.machine_name = "smp4";
+  c.machine = machine::SmpServerConfig(4);
+  c.machine.mem.memory_bytes = 1 << 22;
+  c.machine.verify_coherence = true;
+  c.threads = 4;
+  return c;
+}
+
+FuzzCase NumaFuzzCase(std::uint64_t seed) {
+  FuzzCase c;
+  c.seed = seed;
+  c.machine_name = "numa8";
+  c.machine = machine::AltixConfig(8);
+  c.machine.mem.memory_bytes = 1 << 22;
+  c.machine.verify_coherence = true;
+  c.threads = 8;
+  return c;
+}
+
+std::string FormatEngine(const machine::EngineConfig& engine) {
+  std::ostringstream out;
+  out << (engine.kind == machine::EngineKind::kSerial ? "serial" : "parallel");
+  if (engine.kind == machine::EngineKind::kParallel &&
+      engine.host_threads > 0) {
+    out << ":" << engine.host_threads;
+  }
+  out << "@" << engine.quantum;
+  return out.str();
+}
+
+std::string RunFuzzCase(const FuzzCase& c,
+                        const machine::EngineConfig& engine) {
+  kgen::Program prog;
+  // Decouple the generator stream from the seed's raw value.
+  support::Rng rng(c.seed ^ 0x5bf0b5a2d192a3c1ULL);
+  const GeneratedCase g = Generate(prog, rng, c.threads);
+
+  machine::Machine m(c.machine, &prog.image());
+  ApplyFills(m.memory(), g.fills);
+
+  std::ostringstream ctx;
+  ctx << "fuzz seed=" << c.seed << " machine=" << c.machine_name
+      << " threads=" << c.threads << " engine=" << FormatEngine(engine)
+      << " -- rerun just this case with COBRA_FUZZ_SEED=" << c.seed;
+  SetFailureContext(ctx.str());
+
+  rt::Team team(&m, c.threads, engine);
+  team.Run(g.entry, [&g](int tid, cpu::RegisterFile& regs) {
+    for (const GrInit& init : g.grs) {
+      regs.WriteGr(init.reg,
+                   init.base + static_cast<std::uint64_t>(tid) * init.per_tid);
+    }
+    for (const FrInit& init : g.frs) regs.WriteFr(init.reg, init.value);
+  });
+  SetFailureContext("");
+
+  return Fingerprint(m, prog.data_break());
+}
+
+}  // namespace cobra::verify

@@ -1,0 +1,49 @@
+// Deterministic coherence fuzzer: seeded random programs stressed under
+// the coherence checker.
+//
+// Each seed expands into one generated workload — either a raw memory-op
+// mix assembled instruction by instruction (per-thread store streams on
+// false-sharing-prone offsets, shared read-only streams, ld.bias loads,
+// lfetch/lfetch.excl streams roving over other threads' written lines) or
+// a randomly-parameterized kgen kernel (stream loops, reductions with
+// adjacent partial-sum slots, int32 fills/accumulates with chunk-boundary
+// sharing). The case runs on a machine with the CoherenceChecker enabled
+// and returns a fingerprint of everything observable (final timing state,
+// per-CPU cache/coherence counters, a hash of the data segment), so the
+// harness can assert serial ≡ parallel exactly like tests/engine_test.cpp.
+//
+// Replaying a failure: every checker abort prints the case's seed and
+// machine/engine spec (via SetFailureContext); COBRA_FUZZ_SEED=<n> makes
+// the test harness and the cobra_fuzz tool run just that seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/engine.h"
+#include "machine/machine.h"
+
+namespace cobra::verify {
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  std::string machine_name;  // printed in the replay hint ("smp4", "numa8")
+  machine::MachineConfig machine;
+  int threads = 4;
+};
+
+// Canned machine shapes for fuzzing: the Section 5.1 hosts with a small
+// memory and the coherence checker enabled.
+FuzzCase SmpFuzzCase(std::uint64_t seed);
+FuzzCase NumaFuzzCase(std::uint64_t seed);
+
+// Renders an engine config the way ParseEngineSpec accepts it
+// ("parallel:4@1024").
+std::string FormatEngine(const machine::EngineConfig& engine);
+
+// Generates the seeded program, runs it to completion under `engine` with
+// the checker validating every transaction, and returns the fingerprint.
+// Any invariant violation aborts the process with the replay hint.
+std::string RunFuzzCase(const FuzzCase& c, const machine::EngineConfig& engine);
+
+}  // namespace cobra::verify

@@ -21,6 +21,7 @@
 #include "npb/common.h"
 #include "perfmon/sampling.h"
 #include "rt/team.h"
+#include "verify/fuzz.h"
 
 namespace cobra {
 namespace {
@@ -204,6 +205,23 @@ TEST_P(EngineDeterminism, NpbCgNumaWithCobraMatchesSerial) {
       RunNpbFingerprint("cg", machine::AltixConfig(8), 8, SerialReference());
   EXPECT_EQ(serial,
             RunNpbFingerprint("cg", machine::AltixConfig(8), 8, Engine()));
+}
+
+// One fixed-seed fuzz-generated random workload (see src/verify/fuzz.h)
+// per machine shape, run with the coherence checker enabled: the
+// fingerprint includes the data-segment hash, so a lost or misordered
+// store under the parallel engine fails here even if the timing state
+// happens to agree.
+TEST_P(EngineDeterminism, FuzzWorkloadSmpMatchesSerial) {
+  const verify::FuzzCase c = verify::SmpFuzzCase(7);
+  EXPECT_EQ(verify::RunFuzzCase(c, SerialReference()),
+            verify::RunFuzzCase(c, Engine()));
+}
+
+TEST_P(EngineDeterminism, FuzzWorkloadNumaMatchesSerial) {
+  const verify::FuzzCase c = verify::NumaFuzzCase(7);
+  EXPECT_EQ(verify::RunFuzzCase(c, SerialReference()),
+            verify::RunFuzzCase(c, Engine()));
 }
 
 // parallel:1 degenerates to the serial phase loop inside the parallel

@@ -1,0 +1,72 @@
+// Deterministic coherence fuzzing: seeded random workloads run on the
+// Section 5.1 machines with the coherence checker + golden memory oracle
+// enabled, under both the serial and the parallel engine.
+//
+// Each case must (a) complete with zero invariant violations — the checker
+// aborts the process otherwise, printing the seed and engine spec — and
+// (b) produce bit-identical fingerprints (timing state, coherence
+// counters, data-segment hash) across engines.
+//
+// Knobs:
+//   COBRA_FUZZ_CASES=<n>  seeds per machine shape (default 50)
+//   COBRA_FUZZ_SEED=<n>   replay exactly one seed (overrides CASES)
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "machine/engine.h"
+#include "verify/fuzz.h"
+
+namespace cobra::verify {
+namespace {
+
+int CasesFromEnv() {
+  if (const char* env = std::getenv("COBRA_FUZZ_CASES"); env && *env != '\0') {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 50;
+}
+
+bool SeedFromEnv(std::uint64_t* seed) {
+  if (const char* env = std::getenv("COBRA_FUZZ_SEED"); env && *env != '\0') {
+    *seed = std::strtoull(env, nullptr, 0);
+    return true;
+  }
+  return false;
+}
+
+machine::EngineConfig SerialEngine() { return machine::EngineConfig{}; }
+
+machine::EngineConfig ParallelEngine() {
+  machine::EngineConfig c;
+  c.kind = machine::EngineKind::kParallel;
+  c.host_threads = 4;
+  return c;
+}
+
+void RunSweep(FuzzCase (*make)(std::uint64_t), std::uint64_t seed_base) {
+  std::uint64_t replay_seed = 0;
+  const bool replay = SeedFromEnv(&replay_seed);
+  const int cases = replay ? 1 : CasesFromEnv();
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed =
+        replay ? replay_seed : seed_base + static_cast<std::uint64_t>(i);
+    const FuzzCase c = make(seed);
+    const std::string serial = RunFuzzCase(c, SerialEngine());
+    const std::string parallel = RunFuzzCase(c, ParallelEngine());
+    ASSERT_EQ(serial, parallel)
+        << "engine fingerprints diverged; replay with COBRA_FUZZ_SEED=" << seed
+        << " (machine " << c.machine_name << ")";
+  }
+}
+
+TEST(CoherenceFuzz, SmpSerialMatchesParallel) { RunSweep(&SmpFuzzCase, 1000); }
+
+TEST(CoherenceFuzz, NumaSerialMatchesParallel) {
+  RunSweep(&NumaFuzzCase, 2000);
+}
+
+}  // namespace
+}  // namespace cobra::verify

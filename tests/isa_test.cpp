@@ -3,6 +3,10 @@
 // disassembler's Itanium syntax.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
+#include <vector>
+
 #include "isa/assembler.h"
 #include "isa/disasm.h"
 #include "isa/encoding.h"
@@ -97,6 +101,45 @@ std::vector<Instruction> AllRepresentativeInstructions() {
 
 INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
                          ::testing::ValuesIn(AllRepresentativeInstructions()));
+
+// The representative set must stay in lockstep with the opcode enum: a new
+// opcode without a round-trip sample here silently escapes every encode,
+// decode, and disassembly test.
+TEST(EncodeRoundTrip, RepresentativeSetCoversEveryOpcode) {
+  std::array<bool, static_cast<std::size_t>(Opcode::kOpcodeCount)> seen{};
+  for (const Instruction& inst : AllRepresentativeInstructions()) {
+    seen[static_cast<std::size_t>(inst.op)] = true;
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "opcode enum value " << i
+                         << " has no representative instruction";
+  }
+}
+
+// Full-image round trip over every opcode: assemble the whole set into a
+// BinaryImage, then decode each raw slot back and compare the disassembly
+// text — the end-to-end path COBRA's patcher and tracer rely on.
+TEST(BinaryImage, EveryOpcodeRoundTripsThroughAnImageToIdenticalText) {
+  const std::vector<Instruction> insts = AllRepresentativeInstructions();
+  BinaryImage image;
+  for (std::size_t i = 0; i < insts.size(); i += 3) {
+    auto at = [&insts](std::size_t j) {
+      return j < insts.size() ? insts[j] : Nop();
+    };
+    image.AppendBundle(at(i), at(i + 1), at(i + 2));
+  }
+  std::size_t idx = 0;
+  for (Addr bundle = image.code_base(); bundle < image.code_end();
+       bundle += kBundleBytes) {
+    for (unsigned slot = 0; slot < 3 && idx < insts.size(); ++slot, ++idx) {
+      const Addr pc = MakePc(bundle, slot);
+      EXPECT_EQ(image.Fetch(pc), insts[idx]) << Disassemble(insts[idx]);
+      const std::string text = Disassemble(Decode(image.Raw(pc)));
+      EXPECT_EQ(text, Disassemble(insts[idx]));
+    }
+  }
+  EXPECT_EQ(idx, insts.size());
+}
 
 TEST(Encoding, ExclBitIsWhereThePatcherExpects) {
   LfetchHint plain;

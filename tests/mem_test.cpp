@@ -3,6 +3,9 @@
 // semantics (including .excl), inclusion, writebacks, and bus contention.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -12,6 +15,7 @@
 #include "mem/directory.h"
 #include "mem/main_memory.h"
 #include "mem/snoop_bus.h"
+#include "support/rng.h"
 
 namespace cobra::mem {
 namespace {
@@ -498,6 +502,173 @@ TEST_F(NumaFixture, MesiInvariantHoldsUnderRandomTraffic) {
         EXPECT_TRUE(known || entry->owner == cpu)
             << "line " << line << " cpu " << cpu;
       }
+    }
+  }
+}
+
+// --- CacheArray property test ------------------------------------------------
+// Random op sequences against an exact executable model of the array:
+// per-set MRU->LRU lists plus the counter semantics of Touch/Insert/
+// Invalidate. Everything is compared exactly — victim identity, counter
+// values, final residency and full LRU order.
+
+TEST(CacheArrayProperty, RandomOpsMatchExactReferenceModel) {
+  constexpr int kAssoc = 4;
+  constexpr std::size_t kSets = 4;
+  constexpr Addr kLine = 128;
+  constexpr int kDistinctLines = 64;
+  CacheArray cache(kSets * kAssoc * kLine, kLine, kAssoc);
+
+  struct ModelLine {
+    Addr addr = 0;
+    Mesi state = Mesi::kI;
+    bool prefetched = false;
+    bool referenced = false;
+  };
+  std::array<std::vector<ModelLine>, kSets> model;  // MRU at the front
+
+  auto FindIn = [](std::vector<ModelLine>& set, Addr line_addr) {
+    return std::find_if(
+        set.begin(), set.end(),
+        [line_addr](const ModelLine& l) { return l.addr == line_addr; });
+  };
+
+  support::Rng rng(0xc0b7a);
+  CacheArray::Stats expect;
+  std::uint64_t touches = 0;
+  constexpr std::array<Mesi, 3> kStates = {Mesi::kE, Mesi::kS, Mesi::kM};
+
+  for (int step = 0; step < 20000; ++step) {
+    const Addr line_addr = kLine * rng.NextBounded(kDistinctLines);
+    const Addr addr = line_addr + rng.NextBounded(kLine);  // any byte of it
+    auto& set = model[(line_addr / kLine) % kSets];
+    switch (rng.NextBounded(8)) {
+      case 0:
+      case 1:
+      case 2: {  // Touch: LRU bump on hit, hit/miss counters
+        ++touches;
+        CacheArray::Line* line = cache.Touch(addr);
+        auto it = FindIn(set, line_addr);
+        if (it != set.end()) {
+          ++expect.hits;
+          ASSERT_NE(line, nullptr);
+          ASSERT_EQ(line->line_addr, line_addr);
+          ASSERT_EQ(line->state, it->state);
+          const ModelLine ml = *it;
+          set.erase(it);
+          set.insert(set.begin(), ml);
+        } else {
+          ++expect.misses;
+          ASSERT_EQ(line, nullptr);
+        }
+        break;
+      }
+      case 3:
+      case 4:
+      case 5: {  // Insert: exact hit > invalid way > LRU victim
+        const Mesi state = kStates[rng.NextBounded(kStates.size())];
+        bool victim_valid = false;
+        CacheArray::Line victim;
+        CacheArray::Line* line =
+            cache.Insert(addr, state, 0, &victim, &victim_valid);
+        ASSERT_NE(line, nullptr);
+        auto it = FindIn(set, line_addr);
+        if (it != set.end()) {
+          // Re-insert over the existing copy keeps prefetch bookkeeping.
+          ASSERT_FALSE(victim_valid);
+          ModelLine ml = *it;
+          ml.state = state;
+          set.erase(it);
+          set.insert(set.begin(), ml);
+        } else if (static_cast<int>(set.size()) < kAssoc) {
+          ASSERT_FALSE(victim_valid);
+          set.insert(set.begin(), ModelLine{line_addr, state, false, false});
+        } else {
+          ASSERT_TRUE(victim_valid);
+          const ModelLine lru = set.back();
+          ASSERT_EQ(victim.line_addr, lru.addr);
+          ASSERT_EQ(victim.state, lru.state);
+          ASSERT_EQ(victim.prefetched, lru.prefetched);
+          ASSERT_EQ(victim.referenced, lru.referenced);
+          ++expect.evictions;
+          if (lru.state == Mesi::kM) ++expect.dirty_evictions;
+          if (lru.prefetched && !lru.referenced) {
+            ++expect.useless_prefetch_evictions;
+          }
+          set.pop_back();
+          set.insert(set.begin(), ModelLine{line_addr, state, false, false});
+        }
+        ASSERT_EQ(line->state, state);
+        ASSERT_EQ(line->prefetched, set.front().prefetched);
+        ASSERT_EQ(line->referenced, set.front().referenced);
+        // Sometimes mark the fill the way CacheStack does: as a prefetch,
+        // or as a demand access referencing a prefetched line.
+        if (rng.NextBounded(4) == 0) {
+          line->prefetched = true;
+          set.front().prefetched = true;
+        } else if (rng.NextBounded(4) == 0) {
+          line->referenced = true;
+          set.front().referenced = true;
+        }
+        break;
+      }
+      case 6: {  // Invalidate: drop if present, no counters
+        cache.Invalidate(addr);
+        auto it = FindIn(set, line_addr);
+        if (it != set.end()) set.erase(it);
+        break;
+      }
+      default: {  // Probe: no LRU or counter side effects
+        const CacheArray& ccache = cache;
+        const CacheArray::Line* line = ccache.Probe(addr);
+        auto it = FindIn(set, line_addr);
+        if (it != set.end()) {
+          ASSERT_NE(line, nullptr);
+          ASSERT_EQ(line->state, it->state);
+        } else {
+          ASSERT_EQ(line, nullptr);
+        }
+        break;
+      }
+    }
+  }
+
+  // Counters are exact (and therefore can never have gone "negative" /
+  // wrapped: each is bounded by the model's event count).
+  const CacheArray::Stats& got = cache.stats();
+  EXPECT_EQ(got.hits, expect.hits);
+  EXPECT_EQ(got.misses, expect.misses);
+  EXPECT_EQ(got.evictions, expect.evictions);
+  EXPECT_EQ(got.dirty_evictions, expect.dirty_evictions);
+  EXPECT_EQ(got.useless_prefetch_evictions, expect.useless_prefetch_evictions);
+  EXPECT_EQ(got.hits + got.misses, touches);
+  EXPECT_LE(got.dirty_evictions, got.evictions);
+  EXPECT_LE(got.useless_prefetch_evictions, got.evictions);
+
+  // Final residency and full LRU order: valid lines per set, most recently
+  // used first, must equal the model lists element for element.
+  struct Seen {
+    Addr addr;
+    Mesi state;
+    std::uint64_t lru;
+  };
+  std::array<std::vector<Seen>, kSets> seen;
+  std::size_t resident = 0;
+  cache.ForEachValid([&seen, &resident](const CacheArray::Line& line) {
+    seen[(line.line_addr / kLine) % kSets].push_back(
+        {line.line_addr, line.state, line.lru});
+    ++resident;
+  });
+  std::size_t model_resident = 0;
+  for (std::size_t s = 0; s < kSets; ++s) model_resident += model[s].size();
+  ASSERT_EQ(resident, model_resident);
+  for (std::size_t s = 0; s < kSets; ++s) {
+    std::sort(seen[s].begin(), seen[s].end(),
+              [](const Seen& a, const Seen& b) { return a.lru > b.lru; });
+    ASSERT_EQ(seen[s].size(), model[s].size());
+    for (std::size_t i = 0; i < seen[s].size(); ++i) {
+      EXPECT_EQ(seen[s][i].addr, model[s][i].addr) << "set " << s << " mru#" << i;
+      EXPECT_EQ(seen[s][i].state, model[s][i].state) << "set " << s << " mru#" << i;
     }
   }
 }

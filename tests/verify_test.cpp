@@ -1,0 +1,185 @@
+// Fault-injection tests for the coherence checker: corrupt one piece of
+// simulated state behind the protocol's back and assert the checker aborts
+// naming the violated invariant and the line address.
+//
+// Each test runs a small real workload first (all threads read one shared
+// line, each thread dirties its own line) so the caches and directory are
+// populated the honest way, then flips exactly one bit of state.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.h"
+#include "isa/instruction.h"
+#include "kgen/program.h"
+#include "machine/engine.h"
+#include "machine/machine.h"
+#include "mem/coherence.h"
+#include "mem/directory.h"
+#include "rt/team.h"
+#include "verify/coherence_checker.h"
+
+namespace cobra::verify {
+namespace {
+
+using mem::Mesi;
+
+struct RanWorkload {
+  std::unique_ptr<kgen::Program> prog;
+  std::unique_ptr<machine::Machine> m;
+  mem::Addr shared_line = 0;  // every CPU ends holding this line Shared
+  mem::Addr own_base = 0;     // CPU i ends holding own_base + i*128 Modified
+};
+
+RanWorkload RunSharedReadWorkload(machine::MachineConfig cfg, int threads) {
+  using namespace cobra::isa;
+  RanWorkload w;
+  w.prog = std::make_unique<kgen::Program>();
+  w.shared_line = w.prog->Alloc(256);
+  w.own_base = w.prog->Alloc(static_cast<std::uint64_t>(threads) * 128 + 128);
+
+  Assembler a(&w.prog->image());
+  const auto loop = a.NewLabel();
+  a.Emit(MovImm(30, 31));  // 32 iterations
+  a.Emit(MovToAr(AppReg::kLC, 30));
+  a.FlushBundle();
+  a.Bind(loop);
+  a.Emit(Ld(8, 29, 8));    // shared read: all threads hit the same line
+  a.Emit(St(8, 9, 10));    // private dirty line per thread
+  a.Emit(AddImm(10, 10, 1));
+  a.EmitBranch(BrCloop(0), loop);
+  a.Emit(Break());
+  const Addr entry = a.Finish();
+
+  cfg.verify_coherence = true;
+  w.m = std::make_unique<machine::Machine>(cfg, &w.prog->image());
+  rt::Team team(w.m.get(), threads, machine::EngineConfig{});
+  const mem::Addr shared = w.shared_line;
+  const mem::Addr own = w.own_base;
+  team.Run(entry, [shared, own](int tid, cpu::RegisterFile& regs) {
+    regs.WriteGr(8, shared);
+    regs.WriteGr(9, own + static_cast<std::uint64_t>(tid) * 128);
+    regs.WriteGr(10, 0x100 + static_cast<std::uint64_t>(tid));
+  });
+  return w;
+}
+
+std::string HexLine(mem::Addr line_addr) {
+  std::ostringstream out;
+  out << "line 0x" << std::hex << line_addr;
+  return out.str();
+}
+
+// --- The workload itself is clean -------------------------------------------
+
+TEST(VerifyChecker, CleanWorkloadPassesAllSweeps) {
+  RanWorkload w = RunSharedReadWorkload(machine::SmpServerConfig(4), 4);
+  ASSERT_NE(w.m->checker(), nullptr);
+  w.m->checker()->CheckAll();  // must not abort
+  const CoherenceChecker::Stats stats = w.m->checker()->stats();
+  EXPECT_GT(stats.transactions, 0u);
+  EXPECT_GT(stats.loads, 0u);
+  EXPECT_GT(stats.stores, 0u);
+  EXPECT_GT(stats.lines_settled, 0u);
+  EXPECT_GE(stats.sweeps, 1u);  // the end-of-run sweep at minimum
+}
+
+TEST(VerifyChecker, EnvVarForcesCheckerOn) {
+  ::setenv("COBRA_VERIFY", "1", 1);
+  machine::MachineConfig cfg = machine::SmpServerConfig(2);
+  cfg.verify_coherence = false;
+  kgen::Program prog;
+  machine::Machine m(cfg, &prog.image());
+  ::unsetenv("COBRA_VERIFY");
+  EXPECT_NE(m.checker(), nullptr);
+}
+
+TEST(VerifyChecker, FailureContextRoundTrips) {
+  SetFailureContext("fuzz seed=42");
+  EXPECT_EQ(FailureContext(), "fuzz seed=42");
+  SetFailureContext("");
+  EXPECT_TRUE(FailureContext().empty());
+}
+
+// --- Seeded corruption: MESI states -----------------------------------------
+
+using VerifyCheckerDeath = ::testing::Test;
+
+TEST(VerifyCheckerDeath, SecondModifiedCopyViolatesSingleWriter) {
+  RanWorkload w = RunSharedReadWorkload(machine::SmpServerConfig(4), 4);
+  // Every CPU holds shared_line Shared; promoting one copy to Modified
+  // behind the protocol's back creates an M+S mix.
+  w.m->stack(1).TestOnlyCorruptLine(w.shared_line, Mesi::kM);
+  EXPECT_DEATH(w.m->checker()->CheckAll(), "single-writer");
+}
+
+TEST(VerifyCheckerDeath, AbortNamesTheLineAddress) {
+  RanWorkload w = RunSharedReadWorkload(machine::SmpServerConfig(4), 4);
+  w.m->stack(1).TestOnlyCorruptLine(w.shared_line, Mesi::kE);
+  EXPECT_DEATH(w.m->checker()->CheckAll(), HexLine(w.shared_line));
+}
+
+TEST(VerifyCheckerDeath, L2DesyncViolatesLockstep) {
+  RanWorkload w = RunSharedReadWorkload(machine::SmpServerConfig(4), 4);
+  // Corrupt only the L2 copy: L3 keeps the honest state.
+  auto* l2_line = w.m->stack(0).TestOnlyL2().Probe(w.shared_line);
+  ASSERT_NE(l2_line, nullptr);
+  l2_line->state = Mesi::kM;
+  EXPECT_DEATH(w.m->checker()->CheckLineSettled(w.shared_line),
+               "cache-lockstep");
+}
+
+// --- Seeded corruption: directory -------------------------------------------
+
+TEST(VerifyCheckerDeath, DroppedSharerBitCaught) {
+  RanWorkload w = RunSharedReadWorkload(machine::AltixConfig(4), 4);
+  auto* dir = dynamic_cast<mem::DirectoryFabric*>(&w.m->fabric());
+  ASSERT_NE(dir, nullptr);
+  auto* entry = dir->TestOnlyMutableEntry(w.shared_line);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(entry->sharers, 0u);
+  entry->sharers &= entry->sharers - 1;  // drop one genuine sharer bit
+  EXPECT_DEATH(w.m->checker()->CheckLineSettled(w.shared_line),
+               "directory-sharers");
+}
+
+TEST(VerifyCheckerDeath, WrongDirectoryOwnerCaught) {
+  RanWorkload w = RunSharedReadWorkload(machine::AltixConfig(4), 4);
+  // CPU 2's private line is Modified there; blame a different owner.
+  const mem::Addr dirty_line = w.own_base + 2 * 128;
+  ASSERT_EQ(w.m->stack(2).LineState(dirty_line), Mesi::kM);
+  auto* dir = dynamic_cast<mem::DirectoryFabric*>(&w.m->fabric());
+  ASSERT_NE(dir, nullptr);
+  auto* entry = dir->TestOnlyMutableEntry(dirty_line);
+  ASSERT_NE(entry, nullptr);
+  entry->owner = 0;
+  EXPECT_DEATH(w.m->checker()->CheckLineSettled(dirty_line),
+               "directory-owner");
+}
+
+// --- Seeded corruption: memory values ---------------------------------------
+
+TEST(VerifyCheckerDeath, SilentMemoryCorruptionCaught) {
+  RanWorkload w = RunSharedReadWorkload(machine::SmpServerConfig(4), 4);
+  // Flip a functional-memory byte without going through a core: the
+  // sequentially-consistent oracle still holds the honest value.
+  const std::uint64_t honest = w.m->memory().Read(w.own_base, 8);
+  w.m->memory().Write(w.own_base, 8, honest ^ 0xff);
+  EXPECT_DEATH(
+      w.m->checker()->DiffShadow(w.own_base, 8, "fault-injection test"),
+      "golden-memory");
+}
+
+TEST(VerifyCheckerDeath, AbortPrintsReplayContext) {
+  RanWorkload w = RunSharedReadWorkload(machine::SmpServerConfig(4), 4);
+  w.m->stack(1).TestOnlyCorruptLine(w.shared_line, Mesi::kM);
+  SetFailureContext("rerun with COBRA_FUZZ_SEED=1234");
+  EXPECT_DEATH(w.m->checker()->CheckAll(), "COBRA_FUZZ_SEED=1234");
+  SetFailureContext("");
+}
+
+}  // namespace
+}  // namespace cobra::verify
