@@ -1,0 +1,310 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/check.h"
+
+namespace cobra::analysis {
+
+namespace {
+
+// Successor shape of one instruction, before block formation.
+struct SuccShape {
+  bool falls_through = false;
+  bool has_taken = false;
+  isa::Addr taken = 0;       // valid when has_taken && taken_resolves
+  bool taken_resolves = false;
+  bool rotating = false;
+};
+
+isa::Addr NextSlotPc(isa::Addr pc) {
+  const unsigned slot = isa::SlotOf(pc);
+  if (slot < 2) return isa::MakePc(isa::BundleAddr(pc), slot + 1);
+  return isa::BundleAddr(pc) + isa::kBundleBytes;
+}
+
+SuccShape SuccessorsOf(const isa::BinaryImage& image, isa::Addr pc) {
+  const isa::Instruction& inst = image.Fetch(pc);
+  SuccShape s;
+  switch (inst.op) {
+    case isa::Opcode::kBreak:
+      return s;  // thread halts: no successors
+    case isa::Opcode::kBrl:
+      s.has_taken = true;
+      s.taken = isa::BundleAddr(static_cast<isa::Addr>(inst.imm));
+      s.taken_resolves = image.Contains(s.taken);
+      return s;
+    case isa::Opcode::kBrCond:
+      s.has_taken = true;
+      // qp == 0 is p0 (always true): the branch is unconditional.
+      s.falls_through = inst.qp != 0;
+      break;
+    case isa::Opcode::kBrCloop:
+    case isa::Opcode::kBrCtop:
+    case isa::Opcode::kBrWtop:
+      s.has_taken = true;
+      s.falls_through = true;  // loop exhaustion exits through the slot
+      s.rotating = isa::IsRotatingBranch(inst.op);
+      break;
+    default:
+      s.falls_through = true;
+      return s;
+  }
+  // Relative branch: displacement is in bundles.
+  const isa::Addr target =
+      isa::BundleAddr(pc) +
+      static_cast<isa::Addr>(inst.imm) * isa::kBundleBytes;
+  s.taken = target;
+  s.taken_resolves = image.Contains(target);
+  return s;
+}
+
+bool IsTerminator(const isa::Instruction& inst) {
+  return isa::IsBranch(inst.op) || inst.op == isa::Opcode::kBreak;
+}
+
+}  // namespace
+
+Cfg Cfg::Build(const isa::BinaryImage& image, isa::Addr entry) {
+  return Build(image, std::vector<isa::Addr>{entry});
+}
+
+Cfg Cfg::Build(const isa::BinaryImage& image,
+               const std::vector<isa::Addr>& entries) {
+  Cfg cfg;
+  cfg.image_ = &image;
+
+  // Pass 1: reachability + leader discovery over slot pcs.
+  std::set<isa::Addr> reachable;
+  std::set<isa::Addr> leaders;
+  std::vector<isa::Addr> worklist;
+  for (const isa::Addr entry : entries) {
+    if (!image.Contains(entry)) continue;
+    leaders.insert(entry);
+    worklist.push_back(entry);
+  }
+  while (!worklist.empty()) {
+    const isa::Addr pc = worklist.back();
+    worklist.pop_back();
+    if (!reachable.insert(pc).second) continue;
+    const SuccShape s = SuccessorsOf(image, pc);
+    if (s.falls_through) {
+      const isa::Addr next = NextSlotPc(pc);
+      if (image.Contains(next)) {
+        // The slot after a branch starts a block (join of the not-taken
+        // path); plain fall-through inside a bundle does not.
+        if (IsTerminator(image.Fetch(pc))) leaders.insert(next);
+        worklist.push_back(next);
+      }
+    }
+    if (s.has_taken && s.taken_resolves) {
+      leaders.insert(s.taken);
+      worklist.push_back(s.taken);
+    }
+  }
+
+  // Pass 2: form blocks by walking from each reachable leader.
+  std::map<isa::Addr, int> block_of_leader;
+  for (const isa::Addr leader : leaders) {
+    if (!reachable.count(leader)) continue;
+    const int id = static_cast<int>(cfg.blocks_.size());
+    block_of_leader[leader] = id;
+    BasicBlock block;
+    block.id = id;
+    isa::Addr pc = leader;
+    for (;;) {
+      block.pcs.push_back(pc);
+      if (IsTerminator(image.Fetch(pc))) break;
+      const isa::Addr next = NextSlotPc(pc);
+      if (!image.Contains(next) || leaders.count(next)) break;
+      pc = next;
+    }
+    cfg.blocks_.push_back(std::move(block));
+  }
+
+  // Pass 3: edges.
+  for (BasicBlock& block : cfg.blocks_) {
+    const isa::Addr last = block.end_pc();
+    const SuccShape s = SuccessorsOf(image, last);
+    if (s.falls_through) {
+      const isa::Addr next = NextSlotPc(last);
+      const auto it = image.Contains(next) ? block_of_leader.find(next)
+                                           : block_of_leader.end();
+      if (it != block_of_leader.end()) {
+        block.succs.push_back({it->second, false});
+      } else {
+        block.succs.push_back({BasicBlock::kExitBlock, false});
+        ++cfg.unresolved_edges_;
+      }
+    }
+    if (s.has_taken) {
+      const auto it = s.taken_resolves ? block_of_leader.find(s.taken)
+                                       : block_of_leader.end();
+      if (it != block_of_leader.end()) {
+        block.succs.push_back({it->second, s.rotating});
+      } else {
+        block.succs.push_back({BasicBlock::kExitBlock, s.rotating});
+        ++cfg.unresolved_edges_;
+      }
+    }
+  }
+  for (const BasicBlock& block : cfg.blocks_) {
+    for (const BasicBlock::Edge& e : block.succs) {
+      if (e.to != BasicBlock::kExitBlock) {
+        cfg.blocks_[static_cast<std::size_t>(e.to)].preds.push_back(block.id);
+      }
+    }
+  }
+  for (const isa::Addr entry : entries) {
+    const auto it = block_of_leader.find(entry);
+    if (it != block_of_leader.end()) cfg.entry_blocks_.push_back(it->second);
+  }
+
+  cfg.ComputeDominators();
+  cfg.FindLoops();
+  return cfg;
+}
+
+int Cfg::BlockAt(isa::Addr pc) const {
+  for (const BasicBlock& block : blocks_) {
+    for (const isa::Addr p : block.pcs) {
+      if (p == pc) return block.id;
+    }
+  }
+  return BasicBlock::kExitBlock;
+}
+
+void Cfg::ComputeDominators() {
+  const std::size_t n = blocks_.size();
+  const std::size_t words = (n + 63) / 64;
+  std::vector<bool> is_entry(n, false);
+  for (const int e : entry_blocks_) is_entry[static_cast<std::size_t>(e)] = true;
+
+  dom_.assign(n, std::vector<std::uint64_t>(words, ~0ULL));
+  for (std::size_t b = 0; b < n; ++b) {
+    if (is_entry[b]) {
+      std::fill(dom_[b].begin(), dom_[b].end(), 0ULL);
+      dom_[b][b / 64] = 1ULL << (b % 64);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (is_entry[b]) continue;
+      // dom(b) = {b} ∪ ∩ dom(preds). The virtual root's set is empty, so
+      // entry blocks stay {self}; blocks with no preds keep "all" (they do
+      // not occur: every non-entry block has at least one predecessor).
+      std::vector<std::uint64_t> next(words, ~0ULL);
+      for (const int p : blocks_[b].preds) {
+        for (std::size_t w = 0; w < words; ++w) {
+          next[w] &= dom_[static_cast<std::size_t>(p)][w];
+        }
+      }
+      next[b / 64] |= 1ULL << (b % 64);
+      if (next != dom_[b]) {
+        dom_[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::Dominates(int a, int b) const {
+  if (a < 0 || b < 0) return false;
+  const auto ua = static_cast<std::size_t>(a);
+  const auto ub = static_cast<std::size_t>(b);
+  return (dom_[ub][ua / 64] >> (ua % 64)) & 1;
+}
+
+void Cfg::FindLoops() {
+  for (const BasicBlock& block : blocks_) {
+    for (const BasicBlock::Edge& e : block.succs) {
+      if (e.to == BasicBlock::kExitBlock || !Dominates(e.to, block.id)) {
+        continue;
+      }
+      NaturalLoop loop;
+      loop.head_block = e.to;
+      loop.latch_block = block.id;
+      loop.head = isa::BundleAddr(
+          blocks_[static_cast<std::size_t>(e.to)].begin());
+      loop.back_branch_pc = block.end_pc();
+      // Body: header plus everything that reaches the latch without
+      // passing through the header.
+      std::vector<bool> in_body(blocks_.size(), false);
+      in_body[static_cast<std::size_t>(e.to)] = true;
+      std::vector<int> stack;
+      if (!in_body[static_cast<std::size_t>(block.id)]) {
+        in_body[static_cast<std::size_t>(block.id)] = true;
+        stack.push_back(block.id);
+      }
+      while (!stack.empty()) {
+        const int b = stack.back();
+        stack.pop_back();
+        for (const int p : blocks_[static_cast<std::size_t>(b)].preds) {
+          if (!in_body[static_cast<std::size_t>(p)]) {
+            in_body[static_cast<std::size_t>(p)] = true;
+            stack.push_back(p);
+          }
+        }
+      }
+      for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        if (in_body[b]) loop.body.push_back(static_cast<int>(b));
+      }
+      loops_.push_back(std::move(loop));
+    }
+  }
+}
+
+RegionCheck CheckLoopRegion(const isa::BinaryImage& image, isa::Addr head,
+                            isa::Addr back_branch_pc) {
+  RegionCheck check;
+  const isa::Addr begin = isa::BundleAddr(head);
+  const isa::Addr end = isa::BundleAddr(back_branch_pc);
+  if (!image.Contains(begin) || !image.Contains(back_branch_pc)) {
+    check.reason = "region outside the image";
+    return check;
+  }
+  if (begin > end) {
+    check.reason = "back branch above the head";
+    return check;
+  }
+
+  const isa::Instruction& br = image.Fetch(back_branch_pc);
+  if (!isa::IsBranch(br.op) || br.op == isa::Opcode::kBrl) {
+    check.reason = "loop-closing slot is not a relative branch";
+    return check;
+  }
+  const isa::Addr taken =
+      end + static_cast<isa::Addr>(br.imm) * isa::kBundleBytes;
+  if (taken != begin) {
+    check.reason = "back branch does not target the region head";
+    return check;
+  }
+
+  const Cfg cfg = Cfg::Build(image, begin);
+  const int latch = cfg.BlockAt(back_branch_pc);
+  if (latch == BasicBlock::kExitBlock) {
+    check.reason = "back branch unreachable from the head";
+    return check;
+  }
+  for (const NaturalLoop& loop : cfg.loops()) {
+    if (loop.head != begin || loop.back_branch_pc != back_branch_pc) continue;
+    for (const int b : loop.body) {
+      for (const isa::Addr pc : cfg.blocks()[static_cast<std::size_t>(b)].pcs) {
+        if (isa::BundleAddr(pc) < begin || isa::BundleAddr(pc) > end) {
+          check.reason = "natural loop body escapes the region";
+          return check;
+        }
+      }
+    }
+    check.ok = true;
+    return check;
+  }
+  check.reason = "back edge does not close a natural loop";
+  return check;
+}
+
+}  // namespace cobra::analysis

@@ -1,0 +1,108 @@
+// Control-flow-graph recovery over a BinaryImage (the static half of
+// COBRA's patch-safety story).
+//
+// Blocks are slot-granular: an instruction address is a (bundle, slot)
+// pair, a branch may sit in any slot, and its fall-through successor is the
+// *next slot*, not the next bundle — exactly the shape the trace cache
+// copies and patches. Recovery starts from explicit entry points (kernel
+// entries, loop heads, trace heads) and follows:
+//   - fall-through            pc -> next slot / next bundle,
+//   - relative branches       target = bundle + imm * 16 (taken edge),
+//   - brl                     absolute bundle target,
+//   - break                   kernel end, no successors.
+// Edges taken by br.ctop / br.wtop are tagged `rotating`: crossing them
+// renames the rotating GR/FR/PR frames (dataflow.h applies the renaming).
+//
+// An edge whose target cannot be resolved inside the image is recorded as
+// an *exit edge*; dataflow treats those maximally conservatively. On top of
+// the graph we compute iterative dominators, back edges (u -> v with v
+// dominating u) and their natural loops — the authoritative region oracle
+// behind the controller's BTB-guessed loop regions (CheckLoopRegion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "isa/types.h"
+
+namespace cobra::analysis {
+
+struct BasicBlock {
+  // Marks an edge that leaves the analyzed code (break has *no* edge at
+  // all; this is for unresolvable or out-of-image targets).
+  static constexpr int kExitBlock = -1;
+
+  struct Edge {
+    int to = kExitBlock;
+    bool rotating = false;  // taken edge of br.ctop / br.wtop
+  };
+
+  int id = -1;
+  std::vector<isa::Addr> pcs;  // slot pcs in execution order, never empty
+  std::vector<Edge> succs;
+  std::vector<int> preds;
+
+  isa::Addr begin() const { return pcs.front(); }
+  isa::Addr end_pc() const { return pcs.back(); }
+};
+
+// A back edge latch -> header and the blocks of its natural loop.
+struct NaturalLoop {
+  int head_block = -1;
+  int latch_block = -1;
+  isa::Addr head = 0;            // bundle address of the header block
+  isa::Addr back_branch_pc = 0;  // last slot of the latch block
+  std::vector<int> body;         // block ids, header included
+};
+
+class Cfg {
+ public:
+  // Builds the graph of everything reachable from `entries` (slot pcs;
+  // bundle addresses mean slot 0). Entries outside the image are ignored.
+  static Cfg Build(const isa::BinaryImage& image,
+                   const std::vector<isa::Addr>& entries);
+  static Cfg Build(const isa::BinaryImage& image, isa::Addr entry);
+
+  const isa::BinaryImage& image() const { return *image_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const std::vector<int>& entry_blocks() const { return entry_blocks_; }
+  const std::vector<NaturalLoop>& loops() const { return loops_; }
+
+  // Id of the block containing `pc`, or BasicBlock::kExitBlock if the pc
+  // was not reached from any entry.
+  int BlockAt(isa::Addr pc) const;
+
+  // Reflexive block dominance (relative to a virtual root fanning out to
+  // every entry block).
+  bool Dominates(int a, int b) const;
+
+  // Number of edges leaving the analyzed code for unresolvable targets
+  // (fall-through off the image end, brl outside the image, ...).
+  int unresolved_edges() const { return unresolved_edges_; }
+
+ private:
+  void ComputeDominators();
+  void FindLoops();
+
+  const isa::BinaryImage* image_ = nullptr;
+  std::vector<BasicBlock> blocks_;
+  std::vector<int> entry_blocks_;
+  std::vector<NaturalLoop> loops_;
+  std::vector<std::vector<std::uint64_t>> dom_;  // per-block dominator bitset
+  int unresolved_edges_ = 0;
+};
+
+// The region oracle: is bundles [head, back_branch_pc] a natural loop whose
+// closing branch targets `head`, with the whole loop body inside the
+// region? This is what makes a BTB-discovered (head, back-edge) pair safe
+// to treat as a relocatable loop region.
+struct RegionCheck {
+  bool ok = false;
+  std::string reason;  // human-readable failure, empty when ok
+};
+RegionCheck CheckLoopRegion(const isa::BinaryImage& image, isa::Addr head,
+                            isa::Addr back_branch_pc);
+
+}  // namespace cobra::analysis

@@ -1,0 +1,390 @@
+#include "analysis/dataflow.h"
+
+#include <deque>
+#include <vector>
+
+#include "support/check.h"
+
+namespace cobra::analysis {
+
+namespace {
+
+// Applies `f` to every set bit of the rotating subrange and re-adds the
+// static part unchanged.
+template <typename MapGr, typename MapPr>
+RegSet RotateWith(const RegSet& s, MapGr&& map_gr, MapPr&& map_pr) {
+  RegSet out;
+  for (int r = 0; r < isa::kFirstRotGr; ++r) {
+    if (s.HasGr(r)) out.AddGr(r);
+    if (s.HasFr(r)) out.AddFr(r);
+  }
+  for (int r = isa::kFirstRotGr; r < isa::kNumGr; ++r) {
+    if (s.HasGr(r)) out.AddGr(map_gr(r));
+    if (s.HasFr(r)) out.AddFr(map_gr(r));  // FR geometry matches GR
+  }
+  for (int r = 0; r < isa::kFirstRotPr; ++r) {
+    if (s.HasPr(r)) out.AddPr(r);
+  }
+  for (int r = isa::kFirstRotPr; r < isa::kNumPr; ++r) {
+    if (s.HasPr(r)) out.AddPr(map_pr(r));
+  }
+  out.ar = s.ar;
+  return out;
+}
+
+}  // namespace
+
+RegSet RotateFwd(const RegSet& s) {
+  return RotateWith(
+      s,
+      [](int r) {
+        return isa::kFirstRotGr +
+               (r - isa::kFirstRotGr + 1) % isa::kNumRotGr;
+      },
+      [](int r) {
+        return isa::kFirstRotPr +
+               (r - isa::kFirstRotPr + 1) % isa::kNumRotPr;
+      });
+}
+
+RegSet RotateBwd(const RegSet& s) {
+  return RotateWith(
+      s,
+      [](int r) {
+        return isa::kFirstRotGr +
+               (r - isa::kFirstRotGr - 1 + isa::kNumRotGr) % isa::kNumRotGr;
+      },
+      [](int r) {
+        return isa::kFirstRotPr +
+               (r - isa::kFirstRotPr - 1 + isa::kNumRotPr) % isa::kNumRotPr;
+      });
+}
+
+SlotEffects EffectsOf(const isa::Instruction& inst) {
+  using isa::Opcode;
+  SlotEffects e;
+  e.predicated = inst.qp != 0;
+  if (inst.qp != 0) e.use.AddPr(inst.qp);
+
+  switch (inst.op) {
+    case Opcode::kNop:
+    case Opcode::kBreak:
+    case Opcode::kBrl:
+      break;
+
+    // Three-operand integer ALU.
+    case Opcode::kAddReg:
+    case Opcode::kSubReg:
+    case Opcode::kShlAdd:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+      e.def.AddGr(inst.r1);
+      e.use.AddGr(inst.r2);
+      e.use.AddGr(inst.r3);
+      break;
+
+    // Two-operand integer ALU (immediate or move forms).
+    case Opcode::kAddImm:
+    case Opcode::kAndImm:
+    case Opcode::kOrImm:
+    case Opcode::kShlImm:
+    case Opcode::kShrImm:
+    case Opcode::kSarImm:
+    case Opcode::kMovReg:
+    case Opcode::kSxt4:
+    case Opcode::kZxt4:
+      e.def.AddGr(inst.r1);
+      e.use.AddGr(inst.r2);
+      break;
+
+    case Opcode::kMovImm:
+      e.def.AddGr(inst.r1);
+      break;
+
+    case Opcode::kCmp:
+      e.use.AddGr(inst.r2);
+      e.use.AddGr(inst.r3);
+      e.def.AddPr(inst.p1);
+      if (inst.p2 != 0) e.def.AddPr(inst.p2);
+      break;
+    case Opcode::kCmpImm:
+      e.use.AddGr(inst.r2);
+      e.def.AddPr(inst.p1);
+      if (inst.p2 != 0) e.def.AddPr(inst.p2);
+      break;
+    case Opcode::kFcmp:
+      e.use.AddFr(inst.r2);
+      e.use.AddFr(inst.r3);
+      e.def.AddPr(inst.p1);
+      if (inst.p2 != 0) e.def.AddPr(inst.p2);
+      break;
+
+    case Opcode::kMovToAr:
+      e.use.AddGr(inst.r2);
+      e.def.AddAr(static_cast<isa::AppReg>(inst.imm));
+      break;
+    case Opcode::kMovFromAr:
+      e.def.AddGr(inst.r1);
+      e.use.AddAr(static_cast<isa::AppReg>(inst.imm));
+      break;
+    case Opcode::kMovToPrRot:
+      for (int r = isa::kFirstRotPr; r < isa::kNumPr; ++r) e.def.AddPr(r);
+      break;
+    case Opcode::kClrRrb:
+      // Identity renaming (see the header): no register effects.
+      break;
+
+    // Memory.
+    case Opcode::kLd:
+      e.def.AddGr(inst.r1);
+      e.use.AddGr(inst.r2);
+      if (inst.post_inc) e.def.AddGr(inst.r2);
+      break;
+    case Opcode::kSt:
+      e.use.AddGr(inst.r2);
+      e.use.AddGr(inst.r3);
+      if (inst.post_inc) e.def.AddGr(inst.r2);
+      break;
+    case Opcode::kLdf:
+      e.def.AddFr(inst.r1);
+      e.use.AddGr(inst.r2);
+      if (inst.post_inc) e.def.AddGr(inst.r2);
+      break;
+    case Opcode::kStf:
+      e.use.AddGr(inst.r2);
+      e.use.AddFr(inst.r3);
+      if (inst.post_inc) e.def.AddGr(inst.r2);
+      break;
+    case Opcode::kLfetch:
+      e.use.AddGr(inst.r2);  // the base use Liveness can exclude
+      if (inst.post_inc) e.def.AddGr(inst.r2);
+      break;
+
+    // Floating point.
+    case Opcode::kFma:
+    case Opcode::kFms:
+    case Opcode::kFnma:
+      e.def.AddFr(inst.r1);
+      e.use.AddFr(inst.r2);
+      e.use.AddFr(inst.r3);
+      e.use.AddFr(inst.extra);
+      break;
+    case Opcode::kFmin:
+    case Opcode::kFmax:
+      e.def.AddFr(inst.r1);
+      e.use.AddFr(inst.r2);
+      e.use.AddFr(inst.r3);
+      break;
+    case Opcode::kFmov:
+    case Opcode::kFneg:
+    case Opcode::kFabs:
+    case Opcode::kFrcpa:
+    case Opcode::kFsqrt:
+    case Opcode::kFcvtFx:
+    case Opcode::kFcvtXf:
+      e.def.AddFr(inst.r1);
+      e.use.AddFr(inst.r2);
+      break;
+    case Opcode::kSetf:
+      e.def.AddFr(inst.r1);
+      e.use.AddGr(inst.r2);
+      break;
+    case Opcode::kGetf:
+      e.def.AddGr(inst.r1);
+      e.use.AddFr(inst.r2);
+      break;
+
+    // Branches. The qp condition use is covered above; the SWP branches
+    // touch LC/EC and write the stage predicate p63 (renamed to p16 by the
+    // rotation on taken edges).
+    case Opcode::kBrCond:
+      break;
+    case Opcode::kBrCloop:
+      e.use.AddAr(isa::AppReg::kLC);
+      e.def.AddAr(isa::AppReg::kLC);
+      break;
+    case Opcode::kBrCtop:
+      e.use.AddAr(isa::AppReg::kLC);
+      e.use.AddAr(isa::AppReg::kEC);
+      e.def.AddAr(isa::AppReg::kLC);
+      e.def.AddAr(isa::AppReg::kEC);
+      e.def.AddPr(isa::kNumPr - 1);
+      break;
+    case Opcode::kBrWtop:
+      e.use.AddAr(isa::AppReg::kEC);
+      e.def.AddAr(isa::AppReg::kEC);
+      e.def.AddPr(isa::kNumPr - 1);
+      break;
+
+    case Opcode::kOpcodeCount:
+      COBRA_UNREACHABLE("invalid opcode");
+  }
+  return e;
+}
+
+RegSet ReferencedRegs(const isa::Instruction& inst) {
+  const SlotEffects e = EffectsOf(inst);
+  RegSet all = e.use;
+  all |= e.def;
+  return all;
+}
+
+Liveness Liveness::Compute(const Cfg& cfg, LivenessOptions opts) {
+  Liveness result;
+  const auto& blocks = cfg.blocks();
+  const isa::BinaryImage& image = cfg.image();
+
+  // Boundary set for edges that leave the analyzed code.
+  RegSet boundary;
+  if (opts.boundary == LivenessOptions::Boundary::kReferencedRegs) {
+    for (const BasicBlock& block : blocks) {
+      for (const isa::Addr pc : block.pcs) {
+        boundary |= ReferencedRegs(image.Fetch(pc));
+      }
+    }
+  }
+
+  auto slot_effects = [&](isa::Addr pc) {
+    SlotEffects e = EffectsOf(image.Fetch(pc));
+    if (opts.exclude_lfetch_base_uses &&
+        image.Fetch(pc).op == isa::Opcode::kLfetch) {
+      RegSet base;
+      base.AddGr(image.Fetch(pc).r2);
+      e.use.Remove(base);
+    }
+    return e;
+  };
+
+  // Block-level fixpoint on live-in sets.
+  std::vector<RegSet> live_in(blocks.size());
+  auto block_out = [&](const BasicBlock& block) {
+    RegSet out;
+    for (const BasicBlock::Edge& e : block.succs) {
+      if (e.to == BasicBlock::kExitBlock) {
+        out |= boundary;
+      } else if (e.rotating) {
+        out |= RotateBwd(live_in[static_cast<std::size_t>(e.to)]);
+      } else {
+        out |= live_in[static_cast<std::size_t>(e.to)];
+      }
+    }
+    return out;
+  };
+  auto transfer = [&](const BasicBlock& block, RegSet live) {
+    for (auto it = block.pcs.rbegin(); it != block.pcs.rend(); ++it) {
+      const SlotEffects e = slot_effects(*it);
+      if (!e.predicated) live.Remove(e.def);  // may-defs never kill
+      live |= e.use;
+    }
+    return live;
+  };
+
+  std::deque<int> worklist;
+  std::vector<bool> queued(blocks.size(), true);
+  for (const BasicBlock& block : blocks) worklist.push_back(block.id);
+  while (!worklist.empty()) {
+    const int b = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(b)] = false;
+    const BasicBlock& block = blocks[static_cast<std::size_t>(b)];
+    RegSet in = transfer(block, block_out(block));
+    if (in == live_in[static_cast<std::size_t>(b)]) continue;
+    live_in[static_cast<std::size_t>(b)] = std::move(in);
+    for (const int p : block.preds) {
+      if (!queued[static_cast<std::size_t>(p)]) {
+        queued[static_cast<std::size_t>(p)] = true;
+        worklist.push_back(p);
+      }
+    }
+  }
+
+  // Final pass: per-slot sets.
+  for (const BasicBlock& block : blocks) {
+    RegSet live = block_out(block);
+    for (auto it = block.pcs.rbegin(); it != block.pcs.rend(); ++it) {
+      result.live_out_[*it] = live;
+      const SlotEffects e = slot_effects(*it);
+      if (!e.predicated) live.Remove(e.def);
+      live |= e.use;
+      result.live_in_[*it] = live;
+    }
+  }
+  return result;
+}
+
+const RegSet& Liveness::LiveIn(isa::Addr pc) const {
+  const auto it = live_in_.find(pc);
+  return it != live_in_.end() ? it->second : empty_;
+}
+
+const RegSet& Liveness::LiveOut(isa::Addr pc) const {
+  const auto it = live_out_.find(pc);
+  return it != live_out_.end() ? it->second : empty_;
+}
+
+RegSet DefinedRegs::EntryDefined() {
+  RegSet s;
+  for (int r = 0; r < isa::kFirstRotGr; ++r) s.AddGr(r);
+  for (int r = 0; r < isa::kFirstRotFr; ++r) s.AddFr(r);
+  for (int r = 0; r < isa::kFirstRotPr; ++r) s.AddPr(r);
+  return s;
+}
+
+DefinedRegs DefinedRegs::Compute(const Cfg& cfg, const RegSet& entry_defined) {
+  DefinedRegs result;
+  const auto& blocks = cfg.blocks();
+  const isa::BinaryImage& image = cfg.image();
+
+  std::vector<bool> is_entry(blocks.size(), false);
+  for (const int e : cfg.entry_blocks()) {
+    is_entry[static_cast<std::size_t>(e)] = true;
+  }
+
+  // Block-level fixpoint on defined-at-entry sets (may-union meet).
+  std::vector<RegSet> defined_in(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (is_entry[b]) defined_in[b] = entry_defined;
+  }
+  auto block_exit = [&](const BasicBlock& block) {
+    RegSet d = defined_in[static_cast<std::size_t>(block.id)];
+    for (const isa::Addr pc : block.pcs) {
+      d |= EffectsOf(image.Fetch(pc)).def;  // may-defs count: union
+    }
+    return d;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BasicBlock& block : blocks) {
+      const RegSet out = block_exit(block);
+      for (const BasicBlock::Edge& e : block.succs) {
+        if (e.to == BasicBlock::kExitBlock) continue;
+        const RegSet incoming = e.rotating ? RotateFwd(out) : out;
+        RegSet merged = defined_in[static_cast<std::size_t>(e.to)];
+        merged |= incoming;
+        if (!(merged == defined_in[static_cast<std::size_t>(e.to)])) {
+          defined_in[static_cast<std::size_t>(e.to)] = std::move(merged);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  for (const BasicBlock& block : blocks) {
+    RegSet d = defined_in[static_cast<std::size_t>(block.id)];
+    for (const isa::Addr pc : block.pcs) {
+      result.before_[pc] = d;
+      d |= EffectsOf(image.Fetch(pc)).def;
+    }
+  }
+  return result;
+}
+
+const RegSet& DefinedRegs::DefinedBefore(isa::Addr pc) const {
+  const auto it = before_.find(pc);
+  return it != before_.end() ? it->second : empty_;
+}
+
+}  // namespace cobra::analysis

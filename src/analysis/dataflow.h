@@ -1,0 +1,143 @@
+// Dataflow over the slot-granular CFG: per-slot def/use effects, backward
+// liveness, and a forward "ever defined" analysis — all aware of the three
+// MIA-64 features that break naive register analyses:
+//
+//   *Predication.*  A def under a qp != p0 predicate is a MAY-def: it never
+//   kills liveness (the old value survives squashed iterations), and the
+//   qp predicate register itself is a use.
+//
+//   *Register rotation.*  br.ctop / br.wtop decrement the rotating register
+//   bases when taken, so the value written to r32 before the branch is
+//   *named* r33 after it. Crossing a rotating edge renames the rotating
+//   subrange of a set by one position (RotateFwd along execution,
+//   RotateBwd against it). clrrrb re-bases the frames; the emitters only
+//   use it in kernel preheaders where all RRBs are already zero, so it is
+//   modeled as the identity renaming.
+//
+//   *SWP loop counters.*  LC / EC live in application registers; the
+//   modulo-scheduled branches read and write them, which is what the lint's
+//   LC/EC-misuse check keys on.
+//
+// Liveness supports two refinements the patch machinery needs:
+//   - `exclude_lfetch_base_uses`: "non-prefetch liveness". An lfetch's base
+//     address read keeps no *program value* alive — a register referenced
+//     only by prefetch address arithmetic is fair game for scavenging.
+//   - boundary modes for edges leaving the analyzed code: kReferencedRegs
+//     assumes every register mentioned anywhere in the region may be read
+//     after it (the safe default for regions that fall off the analyzed
+//     text); code that ends in `break` needs no boundary at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/cfg.h"
+#include "isa/instruction.h"
+#include "isa/types.h"
+
+namespace cobra::analysis {
+
+// Bitset over the full architectural register space: 128 GR, 128 FR,
+// 64 PR, and the LC/EC application registers.
+struct RegSet {
+  std::uint64_t gr[2] = {0, 0};
+  std::uint64_t fr[2] = {0, 0};
+  std::uint64_t pr = 0;
+  std::uint64_t ar = 0;  // bit 0 = LC, bit 1 = EC
+
+  void AddGr(int r) { gr[r >> 6] |= 1ULL << (r & 63); }
+  void AddFr(int r) { fr[r >> 6] |= 1ULL << (r & 63); }
+  void AddPr(int r) { pr |= 1ULL << r; }
+  void AddAr(isa::AppReg a) { ar |= 1ULL << static_cast<int>(a); }
+  bool HasGr(int r) const { return (gr[r >> 6] >> (r & 63)) & 1; }
+  bool HasFr(int r) const { return (fr[r >> 6] >> (r & 63)) & 1; }
+  bool HasPr(int r) const { return (pr >> r) & 1; }
+  bool HasAr(isa::AppReg a) const {
+    return (ar >> static_cast<int>(a)) & 1;
+  }
+
+  RegSet& operator|=(const RegSet& o) {
+    gr[0] |= o.gr[0]; gr[1] |= o.gr[1];
+    fr[0] |= o.fr[0]; fr[1] |= o.fr[1];
+    pr |= o.pr; ar |= o.ar;
+    return *this;
+  }
+  // Set difference: removes every register in `o`.
+  void Remove(const RegSet& o) {
+    gr[0] &= ~o.gr[0]; gr[1] &= ~o.gr[1];
+    fr[0] &= ~o.fr[0]; fr[1] &= ~o.fr[1];
+    pr &= ~o.pr; ar &= ~o.ar;
+  }
+  bool Empty() const {
+    return (gr[0] | gr[1] | fr[0] | fr[1] | pr | ar) == 0;
+  }
+  friend bool operator==(const RegSet&, const RegSet&) = default;
+};
+
+// Renames the rotating subranges by one rotation. Along execution
+// (RotateFwd) a value named r falls into name r+1 (wrapping within the
+// rotating range); RotateBwd is the inverse, for backward analyses
+// crossing a rotating edge against execution order.
+RegSet RotateFwd(const RegSet& s);
+RegSet RotateBwd(const RegSet& s);
+
+// Per-slot def/use effects. `predicated` means the defs are may-defs (the
+// instruction can be squashed): they must not kill liveness and do not
+// make a "must defined" fact.
+struct SlotEffects {
+  RegSet use;
+  RegSet def;
+  bool predicated = false;
+};
+SlotEffects EffectsOf(const isa::Instruction& inst);
+
+// Every register name the instruction mentions (use or def, any class) —
+// the conservative region-boundary set.
+RegSet ReferencedRegs(const isa::Instruction& inst);
+
+struct LivenessOptions {
+  // Non-prefetch liveness: drop lfetch base-address uses.
+  bool exclude_lfetch_base_uses = false;
+  enum class Boundary {
+    kReferencedRegs,  // exit edges read anything the region references
+    kNone,            // exit edges read nothing
+  };
+  Boundary boundary = Boundary::kReferencedRegs;
+};
+
+// Backward liveness to fixpoint over the CFG, with per-slot results.
+class Liveness {
+ public:
+  static Liveness Compute(const Cfg& cfg, LivenessOptions opts = {});
+
+  // Live registers before / after the slot at `pc`. Unreached pcs report
+  // the empty set.
+  const RegSet& LiveIn(isa::Addr pc) const;
+  const RegSet& LiveOut(isa::Addr pc) const;
+
+ private:
+  std::map<isa::Addr, RegSet> live_in_;
+  std::map<isa::Addr, RegSet> live_out_;
+  RegSet empty_;
+};
+
+// Forward may-analysis: which register names have a def on *some* path
+// from an entry (under all applicable rotation renamings). The complement
+// at a use site is a read of a never-defined register.
+class DefinedRegs {
+ public:
+  static DefinedRegs Compute(const Cfg& cfg, const RegSet& entry_defined);
+
+  // What a kernel entry provides: the static GR/FR/PR files (zeroed by
+  // RegisterFile::Reset, and the argument/scratch conventions live there).
+  // Rotating registers and LC/EC must be established by the code itself.
+  static RegSet EntryDefined();
+
+  const RegSet& DefinedBefore(isa::Addr pc) const;
+
+ private:
+  std::map<isa::Addr, RegSet> before_;
+  RegSet empty_;
+};
+
+}  // namespace cobra::analysis

@@ -1,0 +1,224 @@
+#include "analysis/lint.h"
+
+#include <sstream>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+
+namespace cobra::analysis {
+
+namespace {
+
+std::string Hex(isa::Addr pc) {
+  std::ostringstream os;
+  os << "0x" << std::hex << pc;
+  return os.str();
+}
+
+// Register names whose only legal role is reading a hardwired constant.
+bool WritesHardwired(const RegSet& def) {
+  return def.HasGr(0) || def.HasFr(0) || def.HasFr(1) || def.HasPr(0);
+}
+
+bool MustBeBUnit(isa::Opcode op) {
+  return isa::IsBranch(op) || op == isa::Opcode::kBreak ||
+         op == isa::Opcode::kClrRrb;
+}
+
+// Restrict a set to the rotating register names (the ones a kernel entry
+// does not provide).
+RegSet RotatingOnly(const RegSet& s) {
+  RegSet r = s;
+  RegSet static_names;
+  for (int i = 0; i < isa::kFirstRotGr; ++i) static_names.AddGr(i);
+  for (int i = 0; i < isa::kFirstRotFr; ++i) static_names.AddFr(i);
+  for (int i = 0; i < isa::kFirstRotPr; ++i) static_names.AddPr(i);
+  static_names.AddAr(isa::AppReg::kLC);
+  static_names.AddAr(isa::AppReg::kEC);
+  r.Remove(static_names);
+  return r;
+}
+
+std::string NameRegs(const RegSet& s) {
+  std::ostringstream os;
+  const char* sep = "";
+  for (int i = 0; i < isa::kNumGr; ++i) {
+    if (s.HasGr(i)) { os << sep << "r" << i; sep = " "; }
+  }
+  for (int i = 0; i < isa::kNumFr; ++i) {
+    if (s.HasFr(i)) { os << sep << "f" << i; sep = " "; }
+  }
+  for (int i = 0; i < isa::kNumPr; ++i) {
+    if (s.HasPr(i)) { os << sep << "p" << i; sep = " "; }
+  }
+  if (s.HasAr(isa::AppReg::kLC)) { os << sep << "LC"; sep = " "; }
+  if (s.HasAr(isa::AppReg::kEC)) { os << sep << "EC"; }
+  return os.str();
+}
+
+}  // namespace
+
+std::string LintReport::ToString() const {
+  std::ostringstream os;
+  os << (clean ? "lint clean" : "lint FAILED") << ": " << slots_checked
+     << " slots, " << kernels_checked << " kernels, " << findings.size()
+     << " findings";
+  for (const LintFinding& f : findings) {
+    os << "\n  [" << f.invariant << "] at " << Hex(f.pc) << ": " << f.detail;
+  }
+  return os.str();
+}
+
+LintReport LintImage(
+    const isa::BinaryImage& image,
+    const std::vector<std::pair<std::string, isa::Addr>>& kernels) {
+  LintReport report;
+  auto finding = [&](const char* inv, isa::Addr pc, std::string detail) {
+    report.clean = false;
+    report.findings.push_back(LintFinding{inv, pc, std::move(detail)});
+  };
+
+  // --- Whole-text sweep ------------------------------------------------------
+  const isa::Addr static_end = image.code_cache_start() != 0
+                                   ? image.code_cache_start()
+                                   : image.code_end();
+  for (isa::Addr bundle = image.code_base(); bundle < static_end;
+       bundle += isa::kBundleBytes) {
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      const isa::Addr pc = isa::MakePc(bundle, slot);
+      ++report.slots_checked;
+
+      isa::Instruction inst;
+      std::string error;
+      if (!isa::TryDecode(image.Raw(pc), &inst, &error)) {
+        finding(lint_invariant::kIllegalEncoding, pc, error);
+        continue;
+      }
+
+      if (MustBeBUnit(inst.op)) {
+        if (inst.unit != isa::Unit::kB) {
+          finding(lint_invariant::kUnitMismatch, pc,
+                  "control-flow instruction off the B unit");
+        }
+      } else if (inst.op != isa::Opcode::kNop &&
+                 inst.unit == isa::Unit::kB) {
+        finding(lint_invariant::kUnitMismatch, pc,
+                "non-branch instruction on the B unit");
+      }
+
+      const SlotEffects effects = EffectsOf(inst);
+      if (WritesHardwired(effects.def)) {
+        finding(lint_invariant::kIllegalDest, pc,
+                "write to a hardwired register (r0/f0/f1/p0)");
+      }
+
+      if (inst.op == isa::Opcode::kShlAdd &&
+          (inst.imm < 1 || inst.imm > 4)) {
+        finding(lint_invariant::kShladdCount, pc,
+                "shladd shift count outside 1..4");
+      }
+
+      if (inst.op == isa::Opcode::kBrl) {
+        if (!image.Contains(isa::BundleAddr(static_cast<isa::Addr>(inst.imm)))) {
+          finding(lint_invariant::kBranchTarget, pc,
+                  "brl target outside the image");
+        }
+      } else if (isa::IsBranch(inst.op)) {
+        const isa::Addr target =
+            bundle + static_cast<isa::Addr>(inst.imm) * isa::kBundleBytes;
+        if (!image.Contains(target)) {
+          finding(lint_invariant::kBranchTarget, pc,
+                  "relative branch target outside the image");
+        }
+      }
+    }
+  }
+
+  // --- Per-kernel dataflow ---------------------------------------------------
+  for (const auto& [name, entry] : kernels) {
+    ++report.kernels_checked;
+    const Cfg cfg = Cfg::Build(image, entry);
+
+    const DefinedRegs defined =
+        DefinedRegs::Compute(cfg, DefinedRegs::EntryDefined());
+    LivenessOptions np;
+    np.exclude_lfetch_base_uses = true;
+    const Liveness live = Liveness::Compute(cfg, np);
+
+    // Forward fixpoint for LC/EC *establishment*: only mov-to-AR counts.
+    // The modulo-scheduled branches read-modify-write the counters, so
+    // their defs must not satisfy their own reads through the back edge.
+    const std::vector<BasicBlock>& blocks = cfg.blocks();
+    std::vector<std::uint64_t> ar_in(blocks.size(), 0);
+    auto block_out = [&](const BasicBlock& block) {
+      std::uint64_t v = ar_in[static_cast<std::size_t>(block.id)];
+      for (const isa::Addr pc : block.pcs) {
+        const isa::Instruction& inst = image.Fetch(pc);
+        if (inst.op == isa::Opcode::kMovToAr) v |= 1ULL << inst.imm;
+      }
+      return v;
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const BasicBlock& block : blocks) {
+        const std::uint64_t out = block_out(block);
+        for (const BasicBlock::Edge& e : block.succs) {
+          if (e.to == BasicBlock::kExitBlock) continue;
+          std::uint64_t& in = ar_in[static_cast<std::size_t>(e.to)];
+          if ((in | out) != in) {
+            in |= out;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    for (const BasicBlock& block : blocks) {
+      std::uint64_t ar_established = ar_in[static_cast<std::size_t>(block.id)];
+      for (const isa::Addr pc : block.pcs) {
+        const isa::Instruction& inst = image.Fetch(pc);
+        const SlotEffects effects = EffectsOf(inst);
+        const RegSet& before = defined.DefinedBefore(pc);
+
+        RegSet undefined = RotatingOnly(effects.use);
+        undefined.Remove(before);
+        // LC/EC get their own invariant below.
+        if (!undefined.Empty()) {
+          finding(lint_invariant::kUndefinedRead, pc,
+                  "kernel '" + name + "' reads never-defined " +
+                      NameRegs(undefined));
+        }
+
+        for (const isa::AppReg ar : {isa::AppReg::kLC, isa::AppReg::kEC}) {
+          if (effects.use.HasAr(ar) &&
+              ((ar_established >> static_cast<int>(ar)) & 1) == 0) {
+            finding(lint_invariant::kLcEcMisuse, pc,
+                    "kernel '" + name + "' consumes " +
+                        (ar == isa::AppReg::kLC ? std::string("LC")
+                                                : std::string("EC")) +
+                        " without a reaching mov-to-AR");
+          }
+        }
+        if (inst.op == isa::Opcode::kMovToAr) {
+          ar_established |= 1ULL << inst.imm;
+        }
+
+        if (inst.op == isa::Opcode::kLfetch && inst.post_inc &&
+            inst.r2 < isa::kFirstRotGr &&
+            live.LiveOut(pc).HasGr(inst.r2)) {
+          finding(lint_invariant::kLfetchLiveTarget, pc,
+                  "kernel '" + name + "': post-increment lfetch mutates r" +
+                      std::to_string(inst.r2) +
+                      ", which carries a live program value");
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace cobra::analysis

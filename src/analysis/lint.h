@@ -1,0 +1,65 @@
+// cobra_lint invariants: static sanity checks every shipped MIA-64 image
+// must satisfy. Two layers:
+//
+//   Whole-text sweep (every slot of the static segment, reachable or not):
+//     - every slot decodes (no reserved bits, valid opcode field)
+//     - issue-unit consistency (branches/break/clrrrb on the B unit,
+//       nothing else on it except nops)
+//     - no writes to the hardwired registers r0 / f0 / f1 / p0
+//     - shladd shift count in 1..4
+//     - every branch target lands inside the image
+//
+//   Per-kernel dataflow (CFG from each kernel entry):
+//     - no read of a rotating register that no path has defined
+//       (static GR/FR/PR are architecturally initialized; rotating names
+//       and LC/EC are not)
+//     - no modulo-scheduled branch consuming LC/EC without a reaching
+//       mov-to-AR
+//     - no post-increment lfetch mutating a static base register that
+//       still carries a live program value (non-prefetch liveness)
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/image.h"
+#include "isa/types.h"
+
+namespace cobra::analysis {
+
+struct LintFinding {
+  std::string invariant;  // stable kebab-case name from lint_invariant
+  isa::Addr pc = 0;
+  std::string detail;
+};
+
+struct LintReport {
+  bool clean = true;
+  std::vector<LintFinding> findings;
+  int slots_checked = 0;
+  int kernels_checked = 0;
+
+  std::string ToString() const;
+};
+
+namespace lint_invariant {
+inline constexpr const char* kIllegalEncoding = "illegal-encoding";
+inline constexpr const char* kUnitMismatch = "unit-mismatch";
+inline constexpr const char* kIllegalDest = "illegal-dest";
+inline constexpr const char* kShladdCount = "shladd-count";
+inline constexpr const char* kBranchTarget = "branch-target";
+inline constexpr const char* kUndefinedRead = "undefined-read";
+inline constexpr const char* kLcEcMisuse = "lcec-misuse";
+inline constexpr const char* kLfetchLiveTarget = "lfetch-live-target";
+}  // namespace lint_invariant
+
+// Runs every check against `image`. `kernels` are (name, entry-pc) pairs;
+// the per-kernel dataflow checks run once per entry. The whole-text sweep
+// covers the static segment only (the code cache is runtime-managed and
+// policed by the patch verifier instead).
+LintReport LintImage(
+    const isa::BinaryImage& image,
+    const std::vector<std::pair<std::string, isa::Addr>>& kernels);
+
+}  // namespace cobra::analysis

@@ -1,0 +1,287 @@
+#include "analysis/verifier.h"
+
+#include <sstream>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "support/check.h"
+
+namespace cobra::analysis {
+
+namespace {
+
+std::string Hex(isa::Addr pc) {
+  std::ostringstream os;
+  os << "0x" << std::hex << pc;
+  return os.str();
+}
+
+struct PlantedAdd {
+  isa::Addr pc = 0;
+  int dest = 0;
+  int base = 0;
+  std::uint8_t qp = 0;
+  bool paired = false;
+};
+
+struct PlantedLfetch {
+  isa::Addr pc = 0;
+  int base = 0;
+  std::uint8_t qp = 0;
+};
+
+// A nop head modulo the qp field (NopOutLfetch and the insertion pass both
+// write nops carrying a predicate).
+bool IsNop(const isa::Instruction& inst) {
+  return inst.op == isa::Opcode::kNop;
+}
+
+}  // namespace
+
+std::string PatchReport::ToString() const {
+  std::ostringstream os;
+  if (ok) {
+    os << "patch ok:";
+  } else {
+    os << "patch verification FAILED:";
+  }
+  os << " lfetch-nops=" << lfetch_nops << " lfetch-incs=" << lfetch_incs
+     << " excl-flips=" << excl_flips
+     << " planted-prefetches=" << planted_prefetches;
+  for (const Violation& v : violations) {
+    os << "\n  [" << v.invariant << "] at " << Hex(v.pc) << ": " << v.detail;
+  }
+  return os.str();
+}
+
+PatchReport VerifyTracePatch(
+    const isa::BinaryImage& image, isa::Addr orig_begin, isa::Addr orig_end,
+    const std::array<isa::EncodedSlot, 3>& original_head,
+    isa::Addr trace_head, bool redirect_active) {
+  PatchReport report;
+  auto violate = [&](const char* inv, isa::Addr pc, std::string detail) {
+    report.ok = false;
+    report.violations.push_back(Violation{inv, pc, std::move(detail)});
+  };
+
+  orig_begin = isa::BundleAddr(orig_begin);
+  orig_end = isa::BundleAddr(orig_end);
+  trace_head = isa::BundleAddr(trace_head);
+  COBRA_CHECK_MSG(orig_begin <= orig_end && image.Contains(orig_begin) &&
+                      image.Contains(orig_end) && image.InCodeCache(trace_head),
+                  "verifier called with a malformed deployment geometry");
+  const auto num_bundles =
+      static_cast<std::int64_t>((orig_end - orig_begin) / isa::kBundleBytes) +
+      1;
+  const isa::Addr stub =
+      trace_head + static_cast<isa::Addr>(num_bundles) * isa::kBundleBytes;
+  COBRA_CHECK_MSG(image.Contains(stub), "trace exit stub outside the image");
+
+  // --- Head-bundle invariant ------------------------------------------------
+  if (redirect_active) {
+    const std::array<isa::EncodedSlot, 3> redirect = {
+        isa::Encode(isa::Nop(isa::Unit::kM)),
+        isa::Encode(isa::Nop(isa::Unit::kI)),
+        isa::Encode(isa::Brl(trace_head))};
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      const isa::Addr pc = isa::MakePc(orig_begin, slot);
+      if (!(image.Raw(pc) == redirect[slot])) {
+        violate(invariant::kHeadRedirect, pc,
+                "deployed head bundle is not {nop.m, nop.i, brl trace}");
+      }
+    }
+  } else {
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      const isa::Addr pc = isa::MakePc(orig_begin, slot);
+      if (!(image.Raw(pc) == original_head[slot])) {
+        violate(invariant::kRollbackRestore, pc,
+                "reverted head bundle differs from the saved original");
+      }
+    }
+  }
+
+  // --- Exit stub ------------------------------------------------------------
+  const std::array<isa::EncodedSlot, 3> expected_stub = {
+      isa::Encode(isa::Nop(isa::Unit::kM)),
+      isa::Encode(isa::Nop(isa::Unit::kI)),
+      isa::Encode(isa::Brl(orig_end + isa::kBundleBytes))};
+  for (unsigned slot = 0; slot < 3; ++slot) {
+    const isa::Addr pc = isa::MakePc(stub, slot);
+    if (!(image.Raw(pc) == expected_stub[slot])) {
+      violate(invariant::kExitStub, pc,
+              "exit stub is not {nop.m, nop.i, brl back}");
+    }
+  }
+
+  // --- Slot-by-slot delta whitelist ------------------------------------------
+  std::vector<PlantedAdd> adds;
+  std::vector<PlantedLfetch> lfetches;
+  for (std::int64_t i = 0; i < num_bundles; ++i) {
+    const isa::Addr orig_bundle =
+        orig_begin + static_cast<isa::Addr>(i) * isa::kBundleBytes;
+    const isa::Addr trace_bundle =
+        trace_head + static_cast<isa::Addr>(i) * isa::kBundleBytes;
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      const isa::EncodedSlot orig_raw =
+          i == 0 ? original_head[slot]
+                 : image.Raw(isa::MakePc(orig_bundle, slot));
+      const isa::Addr trace_pc = isa::MakePc(trace_bundle, slot);
+      const isa::EncodedSlot trace_raw = image.Raw(trace_pc);
+
+      isa::Instruction trace_inst;
+      std::string decode_error;
+      if (!isa::TryDecode(trace_raw, &trace_inst, &decode_error)) {
+        violate(invariant::kIllegalEncoding, trace_pc, decode_error);
+        continue;
+      }
+      // Containment of every branch in the relocated body (identical slots
+      // included: a pre-existing escape is just as fatal once relocated).
+      if (trace_inst.op == isa::Opcode::kBrl) {
+        violate(invariant::kBranchEscape, trace_pc,
+                "brl inside the relocated loop body");
+      } else if (isa::IsBranch(trace_inst.op)) {
+        const std::int64_t target = i + trace_inst.imm;
+        if (target < 0 || target >= num_bundles) {
+          violate(invariant::kBranchEscape, trace_pc,
+                  "branch target leaves the relocated region");
+        }
+      }
+
+      if (trace_raw == orig_raw) continue;
+
+      isa::Instruction orig_inst;
+      if (!isa::TryDecode(orig_raw, &orig_inst, &decode_error)) {
+        violate(invariant::kIllegalEncoding, trace_pc,
+                "original slot undecodable: " + decode_error);
+        continue;
+      }
+
+      // Whitelist 3: raw delta confined to the EXCL hint bit of an lfetch.
+      if ((orig_raw.head ^ trace_raw.head) == isa::enc::kExclBit &&
+          orig_raw.imm == trace_raw.imm) {
+        if (orig_inst.op == isa::Opcode::kLfetch) {
+          ++report.excl_flips;
+        } else {
+          violate(invariant::kStrayBitDelta, trace_pc,
+                  "hint bit flipped on a non-lfetch");
+        }
+        continue;
+      }
+
+      // Whitelist 1: lfetch (no post-increment) -> nop.m, same qp.
+      if (orig_inst.op == isa::Opcode::kLfetch && !orig_inst.post_inc &&
+          IsNop(trace_inst) && trace_inst.qp == orig_inst.qp) {
+        ++report.lfetch_nops;
+        continue;
+      }
+      // Whitelist 2: lfetch with post-increment -> the increment alone.
+      if (orig_inst.op == isa::Opcode::kLfetch && orig_inst.post_inc &&
+          trace_inst.op == isa::Opcode::kAddImm &&
+          trace_inst.r1 == orig_inst.r2 && trace_inst.r2 == orig_inst.r2 &&
+          trace_inst.imm == orig_inst.imm &&
+          trace_inst.qp == orig_inst.qp) {
+        ++report.lfetch_incs;
+        continue;
+      }
+      // Whitelist 4 candidates: former nop slots gaining the insertion pair.
+      if (IsNop(orig_inst) && trace_inst.op == isa::Opcode::kAddImm) {
+        adds.push_back(PlantedAdd{trace_pc, trace_inst.r1, trace_inst.r2,
+                                  trace_inst.qp, false});
+        continue;
+      }
+      if (IsNop(orig_inst) && trace_inst.op == isa::Opcode::kLfetch &&
+          !trace_inst.post_inc) {
+        lfetches.push_back(
+            PlantedLfetch{trace_pc, trace_inst.r2, trace_inst.qp});
+        continue;
+      }
+
+      // Same-opcode relative branches differing only in displacement get
+      // the sharper invariant name.
+      if (isa::IsBranch(orig_inst.op) && orig_inst.op == trace_inst.op &&
+          orig_inst.op != isa::Opcode::kBrl &&
+          orig_inst.imm != trace_inst.imm) {
+        violate(invariant::kBranchDistance, trace_pc,
+                "relative branch displacement changed");
+        continue;
+      }
+      violate(invariant::kNonWhitelistedDelta, trace_pc,
+              "slot delta outside the optimization whitelist");
+    }
+  }
+
+  // --- Whitelist 4: validate the planted pairs -------------------------------
+  if (!adds.empty() || !lfetches.empty()) {
+    // The predicates and bases of real loads in the trace region.
+    std::vector<std::pair<int, std::uint8_t>> load_shapes;  // (base, qp)
+    for (std::int64_t i = 0; i < num_bundles; ++i) {
+      for (unsigned slot = 0; slot < 3; ++slot) {
+        const isa::Addr pc = isa::MakePc(
+            trace_head + static_cast<isa::Addr>(i) * isa::kBundleBytes, slot);
+        isa::Instruction inst;
+        if (!isa::TryDecode(image.Raw(pc), &inst, nullptr)) continue;
+        if (inst.op == isa::Opcode::kLd || inst.op == isa::Opcode::kLdf) {
+          load_shapes.emplace_back(inst.r2, inst.qp);
+        }
+      }
+    }
+
+    for (const PlantedLfetch& lf : lfetches) {
+      PlantedAdd* producer = nullptr;
+      for (PlantedAdd& add : adds) {
+        if (add.dest == lf.base && add.qp == lf.qp && add.pc < lf.pc) {
+          producer = &add;
+        }
+      }
+      if (producer == nullptr) {
+        violate(invariant::kPlantedUnpaired, lf.pc,
+                "planted lfetch has no preceding planted add for its base");
+        continue;
+      }
+      producer->paired = true;
+    }
+    for (const PlantedAdd& add : adds) {
+      if (!add.paired) {
+        violate(invariant::kPlantedUnpaired, add.pc,
+                "planted add feeds no planted lfetch");
+        continue;
+      }
+      ++report.planted_prefetches;
+      if (add.dest < 8 || add.dest >= isa::kFirstRotGr) {
+        violate(invariant::kPlantedScratchRange, add.pc,
+                "planted scratch register outside r8..r31");
+      }
+      const bool base_matches_load = [&] {
+        for (const auto& [base, qp] : load_shapes) {
+          if (base == add.base && qp == add.qp) return true;
+        }
+        return false;
+      }();
+      if (!base_matches_load) {
+        violate(invariant::kPlantedBaseMismatch, add.pc,
+                "planted add does not track a region load's base/predicate");
+      }
+    }
+
+    // Scratch deadness: non-prefetch liveness over the patched trace.
+    if (!adds.empty()) {
+      const Cfg cfg = Cfg::Build(image, trace_head);
+      LivenessOptions opts;
+      opts.exclude_lfetch_base_uses = true;
+      const Liveness live = Liveness::Compute(cfg, opts);
+      for (const PlantedAdd& add : adds) {
+        if (!add.paired) continue;
+        if (add.dest >= 0 && add.dest < isa::kNumGr &&
+            live.LiveOut(add.pc).HasGr(add.dest)) {
+          violate(invariant::kPlantedLiveScratch, add.pc,
+                  "planted scratch register carries a live program value");
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace cobra::analysis

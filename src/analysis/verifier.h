@@ -1,0 +1,84 @@
+// Patch-safety verifier: proves a deployed trace is the original region
+// plus *only* whitelisted binary deltas.
+//
+// TraceCache::Deploy copies a loop region [orig_begin, orig_end] bundle by
+// bundle into the code cache, applies one optimization, appends an exit
+// stub, and redirects the original head bundle through a brl. Everything
+// COBRA is allowed to have changed is enumerable:
+//
+//   1. lfetch -> nop.m            (same qp; noprefetch, no post-increment)
+//   2. lfetch.post -> add b=b,inc (same qp, same base, same increment)
+//   3. lfetch -> lfetch.excl      (raw delta confined to the EXCL hint bit)
+//   4. nop -> add rS = rB + d     ) ADORE insertion pair: the add must
+//      nop -> lfetch [rS]         ) precede its lfetch, carry the predicate
+//                                   of a load in the region whose base is
+//                                   rB, and rS must be a provably dead
+//                                   static scratch register (non-prefetch
+//                                   liveness over the patched trace).
+//   5. the head-bundle redirect {nop.m, nop.i, brl trace} while deployed,
+//      or the bit-exact saved head bundle after a rollback.
+//   6. the appended exit stub {nop.m, nop.i, brl orig_end+16}.
+//
+// Anything else — a skewed branch displacement, a clobbered live register,
+// an illegal encoding, a branch escaping the relocated region — is a
+// violation, reported with the invariant name and the offending pc.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "isa/image.h"
+#include "isa/types.h"
+
+namespace cobra::analysis {
+
+struct Violation {
+  std::string invariant;  // stable kebab-case invariant name
+  isa::Addr pc = 0;       // offending slot
+  std::string detail;
+};
+
+struct PatchReport {
+  bool ok = true;
+  std::vector<Violation> violations;
+
+  // Census of accepted whitelisted deltas.
+  int lfetch_nops = 0;       // whitelist 1
+  int lfetch_incs = 0;       // whitelist 2
+  int excl_flips = 0;        // whitelist 3
+  int planted_prefetches = 0;  // whitelist 4 (pairs)
+
+  std::string ToString() const;
+};
+
+// Invariant names the verifier reports (kept here so tests and callers
+// never match on ad-hoc strings).
+namespace invariant {
+inline constexpr const char* kIllegalEncoding = "illegal-encoding";
+inline constexpr const char* kHeadRedirect = "head-redirect";
+inline constexpr const char* kRollbackRestore = "rollback-restore";
+inline constexpr const char* kExitStub = "exit-stub";
+inline constexpr const char* kBranchDistance = "branch-distance";
+inline constexpr const char* kBranchEscape = "branch-escape";
+inline constexpr const char* kNonWhitelistedDelta = "non-whitelisted-delta";
+inline constexpr const char* kStrayBitDelta = "stray-bit-delta";
+inline constexpr const char* kPlantedLiveScratch = "planted-live-scratch";
+inline constexpr const char* kPlantedScratchRange = "planted-scratch-range";
+inline constexpr const char* kPlantedUnpaired = "planted-unpaired";
+inline constexpr const char* kPlantedBaseMismatch = "planted-base-mismatch";
+}  // namespace invariant
+
+// Diffs the trace at `trace_head` against the original region
+// [orig_begin, orig_end] (bundle addresses, inclusive). `original_head` is
+// the saved pre-redirect head bundle (the in-image head holds the brl
+// redirect while deployed). `redirect_active` selects which head-bundle
+// invariant applies (5. above).
+PatchReport VerifyTracePatch(
+    const isa::BinaryImage& image, isa::Addr orig_begin, isa::Addr orig_end,
+    const std::array<isa::EncodedSlot, 3>& original_head,
+    isa::Addr trace_head, bool redirect_active);
+
+}  // namespace cobra::analysis

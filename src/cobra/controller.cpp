@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/cfg.h"
 #include "support/check.h"
 
 namespace cobra::core {
@@ -94,6 +95,7 @@ void CobraRuntime::OptimizationThreadWake() {
 
   window_start_ = profile.totals;
   last_profile_ = std::move(profile);
+  stats_.patch_verifications = trace_cache_.verifications();
 }
 
 bool CobraRuntime::LoopQualifies(const SystemProfile& profile,
@@ -102,10 +104,14 @@ bool CobraRuntime::LoopQualifies(const SystemProfile& profile,
   const isa::Addr head = isa::BundleAddr(loop.head);
   const isa::Addr back = isa::BundleAddr(loop.back_branch_pc);
   const isa::BinaryImage& image = machine_->image();
-  if (!image.Contains(head) || !image.Contains(back) || head > back) {
+  if (image.Contains(head) && image.InCodeCache(head)) {
+    return false;  // a trace of ours
+  }
+  // CFG region oracle: the sampled (head, back-branch) pair must close a
+  // natural loop whose body stays inside the region.
+  if (!analysis::CheckLoopRegion(image, loop.head, loop.back_branch_pc).ok) {
     return false;
   }
-  if (image.InCodeCache(head)) return false;  // a trace of ours
 
   *lfetches = FindLfetches(image, head, back);
   if (lfetches->empty()) return false;
@@ -129,10 +135,10 @@ bool CobraRuntime::LoopQualifiesForInsertion(
   const isa::Addr head = isa::BundleAddr(loop.head);
   const isa::Addr back = isa::BundleAddr(loop.back_branch_pc);
   const isa::BinaryImage& image = machine_->image();
-  if (!image.Contains(head) || !image.Contains(back) || head > back) {
+  if (image.Contains(head) && image.InCodeCache(head)) return false;
+  if (!analysis::CheckLoopRegion(image, loop.head, loop.back_branch_pc).ok) {
     return false;
   }
-  if (image.InCodeCache(head)) return false;
 
   // Only loops the compiler left unprefetched.
   if (!FindLfetches(image, head, back).empty()) return false;
@@ -250,6 +256,9 @@ int CobraRuntime::DeployQualifying(const SystemProfile& profile) {
         continue;
       }
       stats_.prefetches_inserted += static_cast<std::uint64_t>(inserted);
+      // The insertion edited the live trace after Deploy's own check:
+      // re-verify so a bad plant can never outlive this wake-up.
+      trace_cache_.CheckDeployment(id);
     }
 
     ++stats_.deployments;

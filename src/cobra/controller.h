@@ -100,6 +100,7 @@ class CobraRuntime {
     std::uint64_t phase_changes = 0;
     std::uint64_t lfetches_rewritten = 0;
     std::uint64_t prefetches_inserted = 0;
+    std::uint64_t patch_verifications = 0;  // passes of the safety verifier
     double last_coherent_ratio = 0.0;
   };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
 #include "support/check.h"
 
 namespace cobra::core {
@@ -19,11 +21,66 @@ void CollectRegisterFields(const isa::Instruction& inst, bool* used) {
   used[inst.extra] = true;
 }
 
+// All scavengeable registers, in ascending order: r in 8..31 with no
+// live-in or live-out occurrence at any slot of [begin, end] under
+// non-prefetch liveness.
+std::vector<int> FreeScratchGrs(const isa::BinaryImage& image,
+                                isa::Addr begin_bundle,
+                                isa::Addr end_bundle) {
+  const isa::Addr begin = isa::BundleAddr(begin_bundle);
+  const isa::Addr end = isa::BundleAddr(end_bundle);
+  const analysis::Cfg cfg = analysis::Cfg::Build(image, begin);
+  analysis::LivenessOptions opts;
+  opts.exclude_lfetch_base_uses = true;
+  const analysis::Liveness live = analysis::Liveness::Compute(cfg, opts);
+
+  bool live_somewhere[32] = {};
+  for (isa::Addr bundle = begin; bundle <= end;
+       bundle += isa::kBundleBytes) {
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      const isa::Addr pc = isa::MakePc(bundle, slot);
+      const analysis::RegSet& in = live.LiveIn(pc);
+      const analysis::RegSet& out = live.LiveOut(pc);
+      for (int reg = 8; reg <= 31; ++reg) {
+        if (in.HasGr(reg) || out.HasGr(reg)) live_somewhere[reg] = true;
+      }
+    }
+  }
+  std::vector<int> free;
+  for (int reg = 8; reg <= 31; ++reg) {
+    if (!live_somewhere[reg]) free.push_back(reg);
+  }
+  return free;
+}
+
+// Whether any slot strictly between `from_pc` and `to_pc` (linear program
+// order) may write `reg` — a clobber that would corrupt the prefetch
+// address the planted add just computed.
+bool GrDefBetween(const isa::BinaryImage& image, isa::Addr from_pc,
+                  isa::Addr to_pc, int reg) {
+  isa::Addr pc = from_pc;
+  for (;;) {
+    const unsigned slot = isa::SlotOf(pc);
+    pc = slot < 2 ? isa::MakePc(isa::BundleAddr(pc), slot + 1)
+                  : isa::BundleAddr(pc) + isa::kBundleBytes;
+    if (pc >= to_pc || !image.Contains(pc)) return false;
+    if (analysis::EffectsOf(image.Fetch(pc)).def.HasGr(reg)) return true;
+  }
+}
+
 }  // namespace
 
 std::optional<int> FindFreeScratchGr(const isa::BinaryImage& image,
                                      isa::Addr begin_bundle,
                                      isa::Addr end_bundle) {
+  const std::vector<int> free = FreeScratchGrs(image, begin_bundle, end_bundle);
+  if (free.empty()) return std::nullopt;
+  return free.front();
+}
+
+std::optional<int> FindFreeScratchGrConservative(const isa::BinaryImage& image,
+                                                 isa::Addr begin_bundle,
+                                                 isa::Addr end_bundle) {
   bool used[128] = {};
   for (isa::Addr bundle = isa::BundleAddr(begin_bundle);
        bundle <= isa::BundleAddr(end_bundle); bundle += isa::kBundleBytes) {
@@ -57,25 +114,36 @@ int InsertPrefetches(isa::BinaryImage& image, isa::Addr begin_bundle,
                      int target_distance_bytes) {
   std::vector<isa::Addr> nops =
       FindNopSlots(image, begin_bundle, end_bundle);
+  // One liveness pass serves every candidate: the pairs planted below keep
+  // their scratch registers out of the non-prefetch-live set (the only new
+  // reads are lfetch address reads), so the free list stays valid — each
+  // insertion just consumes one entry.
+  std::vector<int> free = FreeScratchGrs(image, begin_bundle, end_bundle);
   int inserted = 0;
 
   for (const InsertionCandidate& candidate : candidates) {
     if (candidate.stride == 0) continue;
     if (nops.size() < 2) break;
+    if (free.empty()) break;
 
     const isa::Instruction load = image.Fetch(candidate.load_pc);
     if (load.op != isa::Opcode::kLd && load.op != isa::Opcode::kLdf) continue;
-
-    // One scavenged register per insertion (re-scan so earlier insertions'
-    // scratch registers are seen as used).
-    const std::optional<int> scratch =
-        FindFreeScratchGr(image, begin_bundle, end_bundle);
-    if (!scratch.has_value()) break;
 
     // Address-computation slot must precede the lfetch slot in program
     // order so the lfetch sees this iteration's address.
     const isa::Addr add_pc = nops[0];
     const isa::Addr lfetch_pc = nops[1];
+
+    // A dead register may still be written by the original code (a dead
+    // def); such a write between our two slots would clobber the computed
+    // address, so pick a scratch with no def in the window.
+    const auto scratch_it =
+        std::find_if(free.begin(), free.end(), [&](int reg) {
+          return !GrDefBetween(image, add_pc, lfetch_pc, reg);
+        });
+    if (scratch_it == free.end()) break;
+    const int scratch = *scratch_it;
+    free.erase(scratch_it);
     nops.erase(nops.begin(), nops.begin() + 2);
 
     // Prefetch `iterations_ahead` iterations forward, covering roughly the
@@ -85,9 +153,9 @@ int InsertPrefetches(isa::BinaryImage& image, isa::Addr begin_bundle,
         1, target_distance_bytes / std::max<std::int64_t>(1, std::abs(stride)));
     const std::int64_t distance = stride * ahead;
 
-    isa::Instruction add = isa::AddImm(*scratch, load.r2, distance);
+    isa::Instruction add = isa::AddImm(scratch, load.r2, distance);
     add.qp = load.qp;  // fire exactly when the load's pipeline stage does
-    isa::Instruction lfetch = isa::Lfetch(*scratch);
+    isa::Instruction lfetch = isa::Lfetch(scratch);
     lfetch.qp = load.qp;
     lfetch.unit = isa::Unit::kM;
     image.Patch(add_pc, add);

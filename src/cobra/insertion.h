@@ -31,12 +31,24 @@ struct InsertionCandidate {
   std::int64_t stride = 0;    // inferred, nonzero
 };
 
-// Scans bundles [begin, end] for a static general register r8..r31 that no
-// instruction reads or writes (conservatively treating every register
-// field as a potential GR reference). Returns std::nullopt if none.
+// Finds a static general register r8..r31 that is provably dead across
+// bundles [begin, end]: non-prefetch liveness (lfetch address reads keep
+// nothing alive) over the CFG rooted at `begin_bundle` never has it live
+// at any region slot. A register the region writes but never consumes is
+// therefore fair game even though it appears in register fields — the
+// precision the conservative scan below gives up. Returns std::nullopt
+// if none.
 std::optional<int> FindFreeScratchGr(const isa::BinaryImage& image,
                                      isa::Addr begin_bundle,
                                      isa::Addr end_bundle);
+
+// The pre-dataflow scavenger: rejects r8..r31 if *any* register field of
+// any instruction in the region carries its number, whether or not the
+// value is ever consumed. Kept for comparison (and as the fallback story
+// in DESIGN.md §7).
+std::optional<int> FindFreeScratchGrConservative(const isa::BinaryImage& image,
+                                                 isa::Addr begin_bundle,
+                                                 isa::Addr end_bundle);
 
 // Returns the pcs of rewritable nop slots in [begin, end] (plain nops with
 // qp == 0 or any qp — the insertion copies the load's predicate over).

@@ -1,5 +1,6 @@
 #include "cobra/trace_cache.h"
 
+#include "analysis/cfg.h"
 #include "support/check.h"
 
 namespace cobra::core {
@@ -38,6 +39,13 @@ int TraceCache::Deploy(const LoopRegion& loop, OptKind opt) {
   // reverted loop may be redeployed (possibly with a different strategy).
   if (const Deployment* existing = FindByHead(isa::BundleAddr(loop.head));
       existing != nullptr && existing->active) {
+    return -1;
+  }
+  if (image_->InCodeCache(loop.head)) return -1;  // already a trace
+  // CFG region oracle: the back edge must close a natural loop fully
+  // contained in [head, back_branch].
+  if (!analysis::CheckLoopRegion(*image_, loop.head, loop.back_branch_pc)
+           .ok) {
     return -1;
   }
   if (!RegionIsRelocatable(loop)) return -1;
@@ -87,7 +95,25 @@ int TraceCache::Deploy(const LoopRegion& loop, OptKind opt) {
   deployment.lfetches_rewritten = rewritten;
   deployment.active = true;
   deployments_.push_back(deployment);
+  CheckDeployment(deployment.id);
   return deployment.id;
+}
+
+analysis::PatchReport TraceCache::VerifyDeployment(int id) const {
+  COBRA_CHECK(id >= 0 && static_cast<std::size_t>(id) < deployments_.size());
+  const Deployment& deployment = deployments_[static_cast<std::size_t>(id)];
+  const auto it = saved_bundles_.find(deployment.loop.head);
+  COBRA_CHECK(it != saved_bundles_.end());
+  return analysis::VerifyTracePatch(
+      *image_, deployment.loop.head, deployment.loop.back_branch_pc,
+      it->second, deployment.trace_head, deployment.active);
+}
+
+analysis::PatchReport TraceCache::CheckDeployment(int id) {
+  analysis::PatchReport report = VerifyDeployment(id);
+  ++verifications_;
+  COBRA_CHECK_MSG(report.ok, report.ToString().c_str());
+  return report;
 }
 
 void TraceCache::Revert(int id) {
@@ -102,6 +128,7 @@ void TraceCache::Revert(int id) {
   }
   deployment.active = false;
   --redirects_active_;
+  CheckDeployment(id);
 }
 
 void TraceCache::Reapply(int id) {
@@ -116,6 +143,7 @@ void TraceCache::Reapply(int id) {
                 isa::Brl(deployment.trace_head));
   deployment.active = true;
   ++redirects_active_;
+  CheckDeployment(id);
 }
 
 const TraceCache::Deployment* TraceCache::FindByHead(isa::Addr head) const {

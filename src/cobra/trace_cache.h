@@ -18,6 +18,7 @@
 #include <map>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "cobra/optimizer.h"
 #include "isa/image.h"
 
@@ -43,15 +44,26 @@ class TraceCache {
   };
 
   // Builds an optimized trace for `loop` and redirects the original code
-  // into it. Returns the deployment id, or -1 if the region is not safely
-  // relocatable (it contains a branch escaping the region) or is already
-  // deployed/inside the code cache.
+  // into it. Returns the deployment id, or -1 if the region fails the CFG
+  // region oracle (analysis::CheckLoopRegion), is not safely relocatable,
+  // or is already deployed/inside the code cache. Every successful
+  // deployment is re-verified by the patch-safety verifier; a
+  // non-whitelisted binary delta aborts the process.
   int Deploy(const LoopRegion& loop, OptKind opt);
 
   // Restores the original head bundle (trace retained for Reapply).
   void Revert(int id);
   // Re-patches the head bundle of a reverted deployment.
   void Reapply(int id);
+
+  // Diffs the deployment's trace (and head-bundle state) against the
+  // original region. Pure query: reports, never aborts.
+  analysis::PatchReport VerifyDeployment(int id) const;
+  // VerifyDeployment + abort on violation; counts toward verifications().
+  // Called internally after Deploy/Revert/Reapply, and by the controller
+  // after it edits a trace in place (prefetch insertion).
+  analysis::PatchReport CheckDeployment(int id);
+  std::uint64_t verifications() const { return verifications_; }
 
   // Deployment covering `head`, or nullptr.
   const Deployment* FindByHead(isa::Addr head) const;
@@ -69,6 +81,7 @@ class TraceCache {
   std::map<isa::Addr, std::array<isa::EncodedSlot, 3>> saved_bundles_;
   std::uint64_t traces_built_ = 0;
   std::uint64_t redirects_active_ = 0;
+  std::uint64_t verifications_ = 0;
 };
 
 }  // namespace cobra::core

@@ -73,15 +73,14 @@ EncodedSlot Encode(const Instruction& inst) {
   return slot;
 }
 
-Instruction Decode(const EncodedSlot& slot) {
-  using namespace enc;
-  COBRA_CHECK_MSG((slot.head >> 62) == 0, "reserved encoding bits set");
+namespace {
 
+// Shared decode body: assumes the reserved bits and opcode field have
+// already been validated.
+Instruction DecodeValidated(const EncodedSlot& slot) {
+  using namespace enc;
   Instruction inst;
-  const auto op_raw = Extract(slot.head, kOpcodeShift, kOpcodeBits);
-  COBRA_CHECK_MSG(op_raw < static_cast<std::uint64_t>(Opcode::kOpcodeCount),
-                  "invalid opcode field");
-  inst.op = static_cast<Opcode>(op_raw);
+  inst.op = static_cast<Opcode>(Extract(slot.head, kOpcodeShift, kOpcodeBits));
   inst.qp = static_cast<std::uint8_t>(Extract(slot.head, kQpShift, kQpBits));
   inst.unit = static_cast<Unit>(Extract(slot.head, kUnitShift, kUnitBits));
   inst.r1 = static_cast<std::uint8_t>(Extract(slot.head, kR1Shift, kR1Bits));
@@ -130,6 +129,32 @@ Instruction Decode(const EncodedSlot& slot) {
     inst.lf_hint.fault = (slot.head >> kFaultShift) & 1;
   }
   return inst;
+}
+
+}  // namespace
+
+Instruction Decode(const EncodedSlot& slot) {
+  using namespace enc;
+  COBRA_CHECK_MSG((slot.head >> 62) == 0, "reserved encoding bits set");
+  const auto op_raw = Extract(slot.head, kOpcodeShift, kOpcodeBits);
+  COBRA_CHECK_MSG(op_raw < static_cast<std::uint64_t>(Opcode::kOpcodeCount),
+                  "invalid opcode field");
+  return DecodeValidated(slot);
+}
+
+bool TryDecode(const EncodedSlot& slot, Instruction* out, std::string* error) {
+  using namespace enc;
+  if ((slot.head >> 62) != 0) {
+    if (error != nullptr) *error = "reserved encoding bits set";
+    return false;
+  }
+  const auto op_raw = Extract(slot.head, kOpcodeShift, kOpcodeBits);
+  if (op_raw >= static_cast<std::uint64_t>(Opcode::kOpcodeCount)) {
+    if (error != nullptr) *error = "invalid opcode field";
+    return false;
+  }
+  if (out != nullptr) *out = DecodeValidated(slot);
+  return true;
 }
 
 Opcode OpcodeOf(std::uint64_t head) {

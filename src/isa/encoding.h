@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "isa/instruction.h"
 
@@ -66,6 +67,12 @@ EncodedSlot Encode(const Instruction& inst);
 // Decodes an encoded slot. Aborts if the opcode field is invalid or a
 // reserved bit is set (catches corrupted patches early).
 Instruction Decode(const EncodedSlot& slot);
+
+// Non-aborting decode for analysis tools (the lint and the patch-safety
+// verifier must *report* a corrupt slot, not die on it). Returns false on a
+// malformed slot; `out` and `error` may be null.
+bool TryDecode(const EncodedSlot& slot, Instruction* out,
+               std::string* error = nullptr);
 
 // Convenience predicates on raw head words, used by the binary patcher.
 Opcode OpcodeOf(std::uint64_t head);

@@ -45,6 +45,10 @@ void BinaryImage::Patch(Addr pc, const Instruction& inst) {
   PatchRaw(pc, Encode(inst));
 }
 
+void BinaryImage::TestOnlyCorruptSlot(Addr pc, const EncodedSlot& slot) {
+  slots_[SlotIndex(pc)] = slot;  // decoded twin intentionally left stale
+}
+
 void BinaryImage::SetLfetchExcl(Addr pc, bool excl) {
   EncodedSlot slot = Raw(pc);
   COBRA_CHECK_MSG(IsLfetchHead(slot.head), "slot does not hold an lfetch");

@@ -81,6 +81,12 @@ class BinaryImage {
   // Number of raw patches applied over the image's lifetime.
   std::uint64_t patch_count() const { return patch_count_; }
 
+  // Test-only fault injection: writes the raw slot WITHOUT re-decoding, so
+  // tests can seed corrupt encodings for the lint / patch-safety verifier
+  // to catch. The decoded twin keeps its previous value (Fetch at this pc
+  // is stale until a valid patch lands).
+  void TestOnlyCorruptSlot(Addr pc, const EncodedSlot& slot);
+
  private:
   std::size_t SlotIndex(Addr pc) const;
 

@@ -52,6 +52,10 @@ class Program {
   void AddKernel(const std::string& name, isa::Addr entry);
   isa::Addr KernelEntry(const std::string& name) const;
   bool HasKernel(const std::string& name) const;
+  // All registered kernels, in emission order (lint walks these).
+  const std::vector<std::pair<std::string, isa::Addr>>& kernels() const {
+    return kernels_;
+  }
 
   void AddLoop(LoopInfo info) { loops_.push_back(std::move(info)); }
   const std::vector<LoopInfo>& loops() const { return loops_; }

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "cobra/optimizer.h"
+#include "cobra/trace_cache.h"
 #include "isa/assembler.h"
 #include "isa/instruction.h"
 #include "kgen/emitters.h"
@@ -415,6 +417,37 @@ std::string RunFuzzCase(const FuzzCase& c,
   SetFailureContext("");
 
   return Fingerprint(m, prog.data_break());
+}
+
+int VerifyFuzzDeployments(const FuzzCase& c) {
+  kgen::Program prog;
+  support::Rng rng(c.seed ^ 0x5bf0b5a2d192a3c1ULL);
+  (void)Generate(prog, rng, c.threads);
+
+  std::ostringstream ctx;
+  ctx << "fuzz patch-verify seed=" << c.seed << " machine=" << c.machine_name
+      << " -- rerun just this case with COBRA_FUZZ_SEED=" << c.seed;
+  SetFailureContext(ctx.str());
+
+  // Raw-mix cases register no LoopInfo; the kgen-kernel cases contribute
+  // their randomly parameterized loops (policy, distance, operation).
+  core::TraceCache cache(&prog.image());
+  for (const kgen::LoopInfo& loop : prog.loops()) {
+    for (const core::OptKind opt :
+         {core::OptKind::kNoprefetch, core::OptKind::kPrefetchExcl,
+          core::OptKind::kNone}) {
+      const int id =
+          cache.Deploy({loop.head, loop.back_branch_pc}, opt);
+      if (id < 0) continue;  // region gated out before any patching
+      // Deploy, Revert, Reapply and the final Revert each run the
+      // checking verifier (abort on violation).
+      cache.Revert(id);
+      cache.Reapply(id);
+      cache.Revert(id);
+    }
+  }
+  SetFailureContext("");
+  return static_cast<int>(cache.verifications());
 }
 
 }  // namespace cobra::verify

@@ -46,4 +46,12 @@ std::string FormatEngine(const machine::EngineConfig& engine);
 // Any invariant violation aborts the process with the replay hint.
 std::string RunFuzzCase(const FuzzCase& c, const machine::EngineConfig& engine);
 
+// Patch-safety sweep for the same seeded program (COBRA_VERIFY=1 in the
+// fuzz harness): regenerates the case, deploys every emitted loop region
+// under each optimization kind, and exercises the rollback/re-apply cycle.
+// Each step runs the patch-safety verifier; a violation (a false positive,
+// since the trace cache itself produced the patches) aborts with the
+// replay hint. Returns the number of verifier passes.
+int VerifyFuzzDeployments(const FuzzCase& c);
+
 }  // namespace cobra::verify

@@ -1,0 +1,335 @@
+// Static analysis subsystem: CFG recovery against kgen ground truth,
+// rotation-aware liveness / defined-registers dataflow, and the
+// cobra_lint invariant catalogue (clean corpus + seeded defects).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/dataflow.h"
+#include "analysis/lint.h"
+#include "isa/assembler.h"
+#include "isa/image.h"
+#include "isa/instruction.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "npb/common.h"
+
+namespace cobra::analysis {
+namespace {
+
+using isa::Addr;
+
+std::vector<kgen::PrefetchPolicy> AllPolicies() {
+  return {kgen::PrefetchPolicy{}, kgen::PrefetchPolicy::None(),
+          kgen::PrefetchPolicy::Excl()};
+}
+
+void EmitRepresentativeKernels(kgen::Program& prog,
+                               const kgen::PrefetchPolicy& pf) {
+  kgen::EmitDaxpy(prog, "daxpy", pf);
+  kgen::StreamLoopSpec spec;
+  spec.op = kgen::StreamOp::kTriad;
+  spec.prefetch = pf;
+  kgen::EmitStreamLoop(prog, "triad", spec);
+  kgen::EmitReduction(prog, "dot", kgen::ReduceOp::kDot, pf);
+  kgen::EmitCsrMatvec(prog, "spmv", pf);
+  kgen::EmitHistogram(prog, "histogram", pf);
+  kgen::EmitWhileCopy(prog, "while_copy", pf);
+  kgen::EmitEpKernel(prog, "ep", pf);
+}
+
+// --- CFG recovery vs kgen ground truth ---------------------------------------
+
+TEST(CfgRecovery, FindsEveryEmittedLoop) {
+  for (const kgen::PrefetchPolicy& pf : AllPolicies()) {
+    kgen::Program prog;
+    EmitRepresentativeKernels(prog, pf);
+    for (const kgen::LoopInfo& info : prog.loops()) {
+      const Cfg cfg = Cfg::Build(prog.image(), info.entry);
+      bool found = false;
+      for (const NaturalLoop& loop : cfg.loops()) {
+        if (loop.head == info.head &&
+            loop.back_branch_pc == info.back_branch_pc) {
+          found = true;
+          // The loop header must dominate its latch, never vice versa
+          // (unless they coincide in a one-block loop).
+          EXPECT_TRUE(cfg.Dominates(loop.head_block, loop.latch_block));
+          if (loop.head_block != loop.latch_block) {
+            EXPECT_FALSE(cfg.Dominates(loop.latch_block, loop.head_block));
+          }
+        }
+      }
+      EXPECT_TRUE(found) << info.name << ": emitted loop not recovered";
+    }
+  }
+}
+
+TEST(CfgRecovery, RegionOracleAcceptsEmittedRegions) {
+  for (const kgen::PrefetchPolicy& pf : AllPolicies()) {
+    kgen::Program prog;
+    EmitRepresentativeKernels(prog, pf);
+    for (const kgen::LoopInfo& info : prog.loops()) {
+      const RegionCheck check =
+          CheckLoopRegion(prog.image(), info.head, info.back_branch_pc);
+      EXPECT_TRUE(check.ok) << info.name << ": " << check.reason;
+    }
+  }
+}
+
+TEST(CfgRecovery, RegionOracleRejectsBogusRegions) {
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  // Prologue start is not the loop head the back branch targets.
+  EXPECT_FALSE(
+      CheckLoopRegion(prog.image(), daxpy.entry, daxpy.back_branch_pc).ok);
+  // Region outside the image.
+  EXPECT_FALSE(CheckLoopRegion(prog.image(), 0x10, 0x20).ok);
+  // "Back branch" that is not a branch at all.
+  EXPECT_FALSE(CheckLoopRegion(prog.image(), daxpy.head, daxpy.head).ok);
+}
+
+// --- Liveness ----------------------------------------------------------------
+
+TEST(Liveness, StraightLineKillAndUse) {
+  isa::BinaryImage image;
+  const Addr b0 = image.AppendBundle(isa::AddImm(9, 8, 1),
+                                     isa::St(8, 10, 9), isa::Break());
+  const Cfg cfg = Cfg::Build(image, b0);
+  const Liveness live = Liveness::Compute(cfg);
+  const Addr add_pc = isa::MakePc(b0, 0);
+  const Addr st_pc = isa::MakePc(b0, 1);
+  EXPECT_TRUE(live.LiveIn(add_pc).HasGr(8));
+  EXPECT_TRUE(live.LiveIn(add_pc).HasGr(10));
+  EXPECT_FALSE(live.LiveIn(add_pc).HasGr(9));  // killed by the add
+  EXPECT_TRUE(live.LiveOut(add_pc).HasGr(9));
+  EXPECT_FALSE(live.LiveOut(st_pc).HasGr(9));  // dead after the store
+}
+
+TEST(Liveness, PredicatedDefIsMayDef) {
+  isa::BinaryImage image;
+  const Addr b0 = image.AppendBundle(
+      isa::CmpImm(isa::CmpRel::kLt, 8, 0, 14, 5),
+      isa::Pred(8, isa::MovImm(9, 0)), isa::St(8, 10, 9));
+  image.AppendBundle(isa::Break(), isa::Nop(), isa::Nop());
+  const Cfg cfg = Cfg::Build(image, b0);
+  const Liveness live = Liveness::Compute(cfg);
+  const Addr mov_pc = isa::MakePc(b0, 1);
+  // The squashed path still reads the old r9: a predicated def must not
+  // kill. The qp itself is consumed.
+  EXPECT_TRUE(live.LiveIn(mov_pc).HasGr(9));
+  EXPECT_TRUE(live.LiveIn(mov_pc).HasPr(8));
+}
+
+TEST(Liveness, RotatingEdgeRenamesAcrossBackEdge) {
+  isa::BinaryImage image;
+  isa::Assembler a(&image);
+  const auto loop = a.NewLabel();
+  a.Emit(isa::MovReg(33, 14));
+  a.Emit(isa::AddImm(8, 16, -1));
+  a.Emit(isa::MovToAr(isa::AppReg::kLC, 8));
+  a.Emit(isa::MovImm(9, 1));
+  a.Emit(isa::MovToAr(isa::AppReg::kEC, 9));
+  a.FlushBundle();
+  a.Bind(loop);
+  const Addr head = image.code_end();
+  a.Emit(isa::AddImm(32, 33, 8));  // writes r32 = next iteration's r33
+  a.Emit(isa::Nop());
+  const Addr back = a.EmitBranch(isa::BrCtop(0), loop);
+  a.FlushBundle();
+  a.Emit(isa::Break());
+  a.Finish();
+
+  const Cfg cfg = Cfg::Build(image, image.code_base());
+  const Liveness live = Liveness::Compute(cfg);
+  const Addr add_pc = isa::MakePc(head, 0);
+  // r33 is read at the head; across the rotating back edge that value is
+  // the r32 written below — so r32 is live at the branch, under its
+  // pre-rotation name.
+  EXPECT_TRUE(live.LiveIn(add_pc).HasGr(33));
+  EXPECT_TRUE(live.LiveOut(back).HasGr(32));
+  EXPECT_FALSE(live.LiveOut(back).HasGr(34));
+}
+
+TEST(Liveness, NonPrefetchModeDropsLfetchBases) {
+  isa::BinaryImage image;
+  isa::Assembler a(&image);
+  const auto loop = a.NewLabel();
+  a.Emit(isa::AddImm(8, 16, -1));
+  a.Emit(isa::MovToAr(isa::AppReg::kLC, 8));
+  a.FlushBundle();
+  a.Bind(loop);
+  const Addr head = image.code_end();
+  a.Emit(isa::LfetchPostInc(28, 8, isa::LfetchHint{}));
+  a.Emit(isa::Nop());
+  a.EmitBranch(isa::BrCloop(0), loop);
+  a.FlushBundle();
+  a.Emit(isa::Break());
+  a.Finish();
+
+  const Cfg cfg = Cfg::Build(image, image.code_base());
+  const Addr head_pc = isa::MakePc(head, 0);
+  const Liveness plain = Liveness::Compute(cfg);
+  EXPECT_TRUE(plain.LiveIn(head_pc).HasGr(28));
+  LivenessOptions np;
+  np.exclude_lfetch_base_uses = true;
+  const Liveness non_prefetch = Liveness::Compute(cfg, np);
+  // The only consumer of r28 is prefetch address arithmetic: dead.
+  EXPECT_FALSE(non_prefetch.LiveIn(head_pc).HasGr(28));
+}
+
+TEST(DefinedRegs, EntryProvidesStaticFilesOnly) {
+  const RegSet entry = DefinedRegs::EntryDefined();
+  EXPECT_TRUE(entry.HasGr(8));
+  EXPECT_TRUE(entry.HasFr(6));
+  EXPECT_TRUE(entry.HasPr(15));
+  EXPECT_FALSE(entry.HasGr(32));
+  EXPECT_FALSE(entry.HasFr(32));
+  EXPECT_FALSE(entry.HasPr(16));
+  EXPECT_FALSE(entry.HasAr(isa::AppReg::kLC));
+  EXPECT_FALSE(entry.HasAr(isa::AppReg::kEC));
+}
+
+TEST(DefinedRegs, RotationClosureCoversSwpChains) {
+  // The daxpy pipeline reads f37/f43/r40 etc. — names only reachable from
+  // the in-loop defs through repeated rotation. The may-analysis must
+  // close over them (this is exactly what keeps lint quiet on SWP code).
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy::None());
+  const Cfg cfg = Cfg::Build(prog.image(), daxpy.entry);
+  const DefinedRegs defined =
+      DefinedRegs::Compute(cfg, DefinedRegs::EntryDefined());
+  const RegSet& at_back = defined.DefinedBefore(daxpy.back_branch_pc);
+  EXPECT_TRUE(at_back.HasFr(37));
+  EXPECT_TRUE(at_back.HasFr(43));
+  EXPECT_TRUE(at_back.HasGr(40));
+  EXPECT_TRUE(at_back.HasPr(23));
+  EXPECT_TRUE(at_back.HasAr(isa::AppReg::kLC));
+}
+
+// --- Lint: clean corpus ------------------------------------------------------
+
+TEST(Lint, KgenCorpusIsClean) {
+  for (const kgen::PrefetchPolicy& pf : AllPolicies()) {
+    kgen::Program prog;
+    EmitRepresentativeKernels(prog, pf);
+    const LintReport report = LintImage(prog.image(), prog.kernels());
+    EXPECT_TRUE(report.clean) << report.ToString();
+    EXPECT_GT(report.slots_checked, 0);
+    EXPECT_EQ(report.kernels_checked, 7);
+  }
+}
+
+TEST(Lint, NpbBenchmarkIsClean) {
+  kgen::Program prog;
+  npb::MakeBenchmark("cg")->Build(prog, kgen::PrefetchPolicy{});
+  const LintReport report = LintImage(prog.image(), prog.kernels());
+  EXPECT_TRUE(report.clean) << report.ToString();
+}
+
+// --- Lint: seeded defects ----------------------------------------------------
+
+// Expects exactly one finding with the given invariant at `pc`.
+void ExpectSingleFinding(const LintReport& report, const char* invariant,
+                         Addr pc) {
+  EXPECT_FALSE(report.clean);
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.findings[0].invariant, invariant);
+  EXPECT_EQ(report.findings[0].pc, pc);
+}
+
+TEST(LintDefects, CorruptEncoding) {
+  isa::BinaryImage image;
+  const Addr b0 = image.AppendBundle(isa::Nop(), isa::Nop(), isa::Break());
+  const Addr pc = isa::MakePc(b0, 1);
+  image.TestOnlyCorruptSlot(pc, isa::EncodedSlot{3ULL << 62, 0});
+  ExpectSingleFinding(LintImage(image, {}), lint_invariant::kIllegalEncoding,
+                      pc);
+}
+
+TEST(LintDefects, BranchTargetOutsideImage) {
+  isa::BinaryImage image;
+  const Addr b0 =
+      image.AppendBundle(isa::Nop(), isa::Nop(), isa::BrCond(0, 50));
+  ExpectSingleFinding(LintImage(image, {}), lint_invariant::kBranchTarget,
+                      isa::MakePc(b0, 2));
+}
+
+TEST(LintDefects, UndefinedRotatingRead) {
+  isa::BinaryImage image;
+  const Addr b0 = image.AppendBundle(isa::AddReg(8, 40, 41), isa::Nop(),
+                                     isa::Break());
+  const LintReport report = LintImage(image, {{"k", b0}});
+  ASSERT_EQ(report.findings.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.findings[0].invariant, lint_invariant::kUndefinedRead);
+  EXPECT_EQ(report.findings[0].pc, isa::MakePc(b0, 0));
+  EXPECT_NE(report.findings[0].detail.find("r40"), std::string::npos);
+}
+
+TEST(LintDefects, LoopCounterWithoutSetup) {
+  isa::BinaryImage image;
+  isa::Assembler a(&image);
+  const auto loop = a.NewLabel();
+  a.Bind(loop);
+  a.Emit(isa::AddImm(8, 8, 1));
+  a.Emit(isa::Nop());
+  const Addr back = a.EmitBranch(isa::BrCloop(0), loop);
+  a.FlushBundle();
+  a.Emit(isa::Break());
+  a.Finish();
+  ExpectSingleFinding(LintImage(image, {{"k", image.code_base()}}),
+                      lint_invariant::kLcEcMisuse, back);
+}
+
+TEST(LintDefects, LfetchMutatesLiveBase) {
+  isa::BinaryImage image;
+  isa::Assembler a(&image);
+  const auto loop = a.NewLabel();
+  a.Emit(isa::AddImm(8, 16, -1));
+  a.Emit(isa::MovToAr(isa::AppReg::kLC, 8));
+  a.FlushBundle();
+  a.Bind(loop);
+  a.Emit(isa::LdPostInc(8, 9, 26, 8));
+  const Addr lfetch_pc = a.CurrentPc();
+  // Post-increments r26 — the pointer the *load* walks: a real clobber.
+  a.Emit(isa::LfetchPostInc(26, 8, isa::LfetchHint{}));
+  a.Emit(isa::St(8, 27, 9));
+  a.EmitBranch(isa::BrCloop(0), loop);
+  a.FlushBundle();
+  a.Emit(isa::Break());
+  a.Finish();
+  ExpectSingleFinding(LintImage(image, {{"k", image.code_base()}}),
+                      lint_invariant::kLfetchLiveTarget, lfetch_pc);
+}
+
+TEST(LintDefects, WriteToHardwiredRegister) {
+  isa::BinaryImage image;
+  const Addr b0 =
+      image.AppendBundle(isa::AddImm(0, 9, 1), isa::Nop(), isa::Break());
+  ExpectSingleFinding(LintImage(image, {}), lint_invariant::kIllegalDest,
+                      isa::MakePc(b0, 0));
+}
+
+TEST(LintDefects, ShladdCountOutOfRange) {
+  isa::BinaryImage image;
+  isa::Instruction shladd = isa::ShlAdd(8, 9, 3, 10);
+  shladd.imm = 7;  // encodable, architecturally invalid
+  const Addr b0 = image.AppendBundle(shladd, isa::Nop(), isa::Break());
+  ExpectSingleFinding(LintImage(image, {}), lint_invariant::kShladdCount,
+                      isa::MakePc(b0, 0));
+}
+
+TEST(LintDefects, NonBranchOnBranchUnit) {
+  isa::BinaryImage image;
+  isa::Instruction add = isa::AddImm(8, 9, 1);
+  add.unit = isa::Unit::kB;
+  const Addr b0 = image.AppendBundle(add, isa::Nop(), isa::Break());
+  ExpectSingleFinding(LintImage(image, {}), lint_invariant::kUnitMismatch,
+                      isa::MakePc(b0, 0));
+}
+
+}  // namespace
+}  // namespace cobra::analysis

@@ -10,8 +10,12 @@
 // Knobs:
 //   COBRA_FUZZ_CASES=<n>  seeds per machine shape (default 50)
 //   COBRA_FUZZ_SEED=<n>   replay exactly one seed (overrides CASES)
+//   COBRA_VERIFY=1        additionally deploy every emitted loop of each
+//                         case through the trace cache and run the
+//                         patch-safety verifier on deploy/revert/re-apply
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -37,6 +41,11 @@ bool SeedFromEnv(std::uint64_t* seed) {
   return false;
 }
 
+bool VerifyFromEnv() {
+  const char* env = std::getenv("COBRA_VERIFY");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
 machine::EngineConfig SerialEngine() { return machine::EngineConfig{}; }
 
 machine::EngineConfig ParallelEngine() {
@@ -49,7 +58,9 @@ machine::EngineConfig ParallelEngine() {
 void RunSweep(FuzzCase (*make)(std::uint64_t), std::uint64_t seed_base) {
   std::uint64_t replay_seed = 0;
   const bool replay = SeedFromEnv(&replay_seed);
+  const bool verify = VerifyFromEnv();
   const int cases = replay ? 1 : CasesFromEnv();
+  int verifier_passes = 0;
   for (int i = 0; i < cases; ++i) {
     const std::uint64_t seed =
         replay ? replay_seed : seed_base + static_cast<std::uint64_t>(i);
@@ -59,6 +70,13 @@ void RunSweep(FuzzCase (*make)(std::uint64_t), std::uint64_t seed_base) {
     ASSERT_EQ(serial, parallel)
         << "engine fingerprints diverged; replay with COBRA_FUZZ_SEED=" << seed
         << " (machine " << c.machine_name << ")";
+    // A verifier violation aborts inside the call — reaching the next
+    // iteration is the zero-false-positive assertion.
+    if (verify) verifier_passes += VerifyFuzzDeployments(c);
+  }
+  if (verify) {
+    std::printf("[ COBRA    ] patch verifier: %d passes over %d cases\n",
+                verifier_passes, cases);
   }
 }
 

@@ -65,16 +65,38 @@ TEST(Scavenging, FindsRegisterUnusedInRegion) {
 
 TEST(Scavenging, ReturnsNulloptWhenEverythingIsLive) {
   isa::BinaryImage image;
-  // Reference every register 8..31 (three per instruction).
+  // Genuinely consume every candidate register: each r8..r31 is stored to
+  // memory, so its value is live from the region entry to its store.
   isa::Assembler a(&image);
-  for (int reg = 8; reg <= 31; reg += 3) {
-    a.Emit(isa::AddReg(reg, std::min(reg + 1, 31), std::min(reg + 2, 31)));
+  for (int reg = 8; reg <= 31; ++reg) {
+    a.Emit(isa::St(8, reg, reg));
   }
   a.Emit(isa::Break());
   a.Finish();
   EXPECT_FALSE(
       FindFreeScratchGr(image, image.code_base(), image.code_end() - 16)
           .has_value());
+}
+
+TEST(Scavenging, LivenessAcceptsReferencedButDeadRegister) {
+  isa::BinaryImage image;
+  // r8..r30 are all live (stored); r31 only appears as the target of a
+  // dead def — referenced, but its value is never consumed.
+  isa::Assembler a(&image);
+  for (int reg = 8; reg <= 30; ++reg) {
+    a.Emit(isa::St(8, reg, reg));
+  }
+  a.Emit(isa::AddImm(31, 1, 7));  // dead def of r31
+  a.Emit(isa::Break());
+  a.Finish();
+  const Addr begin = image.code_base();
+  const Addr end = image.code_end() - 16;
+  // The register-field scan cannot tell a dead def from a live value...
+  EXPECT_FALSE(FindFreeScratchGrConservative(image, begin, end).has_value());
+  // ...true liveness can.
+  const auto scratch = FindFreeScratchGr(image, begin, end);
+  ASSERT_TRUE(scratch.has_value());
+  EXPECT_EQ(*scratch, 31);
 }
 
 TEST(NopSlots, FindsOnlyNops) {

@@ -45,6 +45,15 @@ TEST_P(NpbUnderCobra, PatchedBinaryStillVerifies) {
   rt::Team team(&machine, 4);
   benchmark->Run(team);
   EXPECT_TRUE(benchmark->Verify(machine)) << GetParam();
+
+  // Every code patch the runtime made went through the patch-safety
+  // verifier: Deploy/Revert/Reapply each end in a CheckDeployment pass, so
+  // the pass count must cover at least one pass per deployment.
+  const auto& stats = cobra.stats();
+  EXPECT_GE(stats.patch_verifications, stats.deployments) << GetParam();
+  if (stats.deployments > 0) {
+    EXPECT_GT(stats.patch_verifications, 0u) << GetParam();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, NpbUnderCobra,
@@ -71,6 +80,8 @@ TEST(NpbUnderCobraExcl, PatchedBinaryStillVerifies) {
     rt::Team team(&machine, 4);
     benchmark->Run(team);
     EXPECT_TRUE(benchmark->Verify(machine)) << name;
+    EXPECT_GE(cobra.stats().patch_verifications, cobra.stats().deployments)
+        << name;
   }
 }
 

@@ -1,0 +1,325 @@
+// Patch-safety verifier: positive verification of every whitelisted delta
+// the trace cache can produce, and negative tests seeding each forbidden
+// delta — asserting the exact invariant name and offending pc.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/verifier.h"
+#include "cobra/insertion.h"
+#include "cobra/optimizer.h"
+#include "cobra/trace_cache.h"
+#include "isa/assembler.h"
+#include "isa/encoding.h"
+#include "isa/image.h"
+#include "isa/instruction.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+
+namespace cobra {
+namespace {
+
+using analysis::PatchReport;
+using core::LoopRegion;
+using core::OptKind;
+using core::TraceCache;
+using isa::Addr;
+
+bool HasViolation(const PatchReport& report, const char* invariant, Addr pc) {
+  for (const analysis::Violation& v : report.violations) {
+    if (v.invariant == invariant && v.pc == pc) return true;
+  }
+  return false;
+}
+
+// Expects the report to carry exactly one violation.
+void ExpectOnly(const PatchReport& report, const char* invariant, Addr pc) {
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.violations.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.violations[0].invariant, invariant);
+  EXPECT_EQ(report.violations[0].pc, pc);
+}
+
+// A minimal counted loop with a static-base load (r26), a value consumer
+// (store through r27), and two free nop slots — everything the insertion
+// whitelist needs, under full control of the test.
+//   b0: add r8 = r16 - 1 ; mov LC = r8 ; nop
+//   b1: ld8 r9 = [r26], 8 ; nop.m ; nop.i        <- loop head
+//   b2: st8 [r27] = r9 ; nop ; br.cloop b1
+//   b3: break
+struct HandLoop {
+  isa::BinaryImage image;
+  LoopRegion region;
+  Addr load_pc = 0;
+
+  HandLoop() {
+    isa::Assembler a(&image);
+    const isa::Assembler::Label loop = a.NewLabel();
+    a.Emit(isa::AddImm(8, 16, -1));
+    a.Emit(isa::MovToAr(isa::AppReg::kLC, 8));
+    a.FlushBundle();
+    a.Bind(loop);
+    region.head = image.code_end();
+    load_pc = a.CurrentPc();
+    a.Emit(isa::LdPostInc(8, 9, 26, 8));
+    a.Emit(isa::Nop(isa::Unit::kM));
+    a.Emit(isa::Nop(isa::Unit::kI));
+    a.Emit(isa::St(8, 27, 9));
+    region.back_branch_pc = a.EmitBranch(isa::BrCloop(0), loop);
+    a.FlushBundle();
+    a.Emit(isa::Break());
+    a.Finish();
+  }
+};
+
+// --- Positive: every whitelist category --------------------------------------
+
+TEST(VerifierPositive, NoprefetchTurnsLfetchesIntoNops) {
+  kgen::Program prog;
+  const kgen::LoopInfo info =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  ASSERT_FALSE(info.lfetch_pcs.empty());
+  TraceCache cache(&prog.image());
+  const int id =
+      cache.Deploy({info.head, info.back_branch_pc}, OptKind::kNoprefetch);
+  ASSERT_GE(id, 0);
+  const PatchReport report = cache.VerifyDeployment(id);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  EXPECT_EQ(report.lfetch_nops + report.lfetch_incs,
+            static_cast<int>(info.lfetch_pcs.size()));
+  EXPECT_EQ(cache.verifications(), 1u);  // Deploy's built-in check
+}
+
+TEST(VerifierPositive, NoprefetchPreservesPostIncrementStreams) {
+  kgen::Program prog;
+  const kgen::LoopInfo info =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy::Excl());
+  ASSERT_FALSE(info.lfetch_pcs.empty());
+  TraceCache cache(&prog.image());
+  const int id =
+      cache.Deploy({info.head, info.back_branch_pc}, OptKind::kNoprefetch);
+  ASSERT_GE(id, 0);
+  const PatchReport report = cache.VerifyDeployment(id);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  // The excl-policy daxpy prefetches through post-increment cursors: the
+  // rewrite must keep the address stream as adds, not plain nops.
+  EXPECT_EQ(report.lfetch_incs, static_cast<int>(info.lfetch_pcs.size()));
+  EXPECT_EQ(report.lfetch_nops, 0);
+}
+
+TEST(VerifierPositive, ExclRehintIsOneBitPerLfetch) {
+  kgen::Program prog;
+  const kgen::LoopInfo info =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  TraceCache cache(&prog.image());
+  const int id =
+      cache.Deploy({info.head, info.back_branch_pc}, OptKind::kPrefetchExcl);
+  ASSERT_GE(id, 0);
+  const PatchReport report = cache.VerifyDeployment(id);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  EXPECT_EQ(report.excl_flips, static_cast<int>(info.lfetch_pcs.size()));
+}
+
+TEST(VerifierPositive, RevertAndReapplyStayVerified) {
+  kgen::Program prog;
+  const kgen::LoopInfo info =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  TraceCache cache(&prog.image());
+  const int id =
+      cache.Deploy({info.head, info.back_branch_pc}, OptKind::kNoprefetch);
+  ASSERT_GE(id, 0);
+  cache.Revert(id);
+  EXPECT_TRUE(cache.VerifyDeployment(id).ok);
+  cache.Reapply(id);
+  EXPECT_TRUE(cache.VerifyDeployment(id).ok);
+  // Deploy, Revert and Reapply each ran the checking verifier.
+  EXPECT_EQ(cache.verifications(), 3u);
+}
+
+TEST(VerifierPositive, AcceptsLivenessCheckedInsertion) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kInsertPrefetch);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const core::InsertionCandidate cand{isa::MakePc(trace_head, 0), 8};
+  const int inserted = core::InsertPrefetches(
+      hl.image, trace_head, trace_head + isa::kBundleBytes, {cand});
+  ASSERT_EQ(inserted, 1);
+  // CheckDeployment aborts on any violation — reaching the assertions
+  // below means the planted pair passed the whitelist.
+  const PatchReport report = cache.CheckDeployment(id);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  EXPECT_EQ(report.planted_prefetches, 1);
+}
+
+// --- Negative: each forbidden delta, by invariant ----------------------------
+
+TEST(VerifierNegative, SkewedBranchDistance) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kNone);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr trace_back = isa::MakePc(trace_head + isa::kBundleBytes, 2);
+  isa::Instruction br = hl.image.Fetch(trace_back);
+  br.imm = 0;  // still inside the region, but no longer the head
+  hl.image.Patch(trace_back, br);
+  ExpectOnly(cache.VerifyDeployment(id), analysis::invariant::kBranchDistance,
+             trace_back);
+}
+
+TEST(VerifierNegative, BranchEscapingTheRegion) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kNone);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr trace_back = isa::MakePc(trace_head + isa::kBundleBytes, 2);
+  isa::Instruction br = hl.image.Fetch(trace_back);
+  br.imm = -5;  // before the relocated region
+  hl.image.Patch(trace_back, br);
+  const PatchReport report = cache.VerifyDeployment(id);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(
+      HasViolation(report, analysis::invariant::kBranchEscape, trace_back))
+      << report.ToString();
+}
+
+TEST(VerifierNegative, PlantedPairClobbersLiveRegister) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kInsertPrefetch);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr add_pc = isa::MakePc(trace_head, 1);
+  // r26 is the load's own cursor — live on every iteration. A correct
+  // insertion would have scavenged a dead register instead.
+  hl.image.Patch(add_pc, isa::AddImm(26, 26, 64));
+  hl.image.Patch(isa::MakePc(trace_head, 2), isa::Lfetch(26));
+  ExpectOnly(cache.VerifyDeployment(id),
+             analysis::invariant::kPlantedLiveScratch, add_pc);
+}
+
+TEST(VerifierNegative, PlantedScratchOutsideStaticRange) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kInsertPrefetch);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr add_pc = isa::MakePc(trace_head, 1);
+  hl.image.Patch(add_pc, isa::AddImm(40, 26, 64));  // rotating scratch
+  hl.image.Patch(isa::MakePc(trace_head, 2), isa::Lfetch(40));
+  ExpectOnly(cache.VerifyDeployment(id),
+             analysis::invariant::kPlantedScratchRange, add_pc);
+}
+
+TEST(VerifierNegative, PlantedLfetchWithoutItsAdd) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kInsertPrefetch);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr lfetch_pc = isa::MakePc(trace_head, 2);
+  hl.image.Patch(lfetch_pc, isa::Lfetch(8));
+  ExpectOnly(cache.VerifyDeployment(id),
+             analysis::invariant::kPlantedUnpaired, lfetch_pc);
+}
+
+TEST(VerifierNegative, PlantedBaseMatchesNoLoad) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kInsertPrefetch);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr add_pc = isa::MakePc(trace_head, 1);
+  // r27 is the *store* pointer: prefetching off it matches no load shape.
+  hl.image.Patch(add_pc, isa::AddImm(8, 27, 64));
+  hl.image.Patch(isa::MakePc(trace_head, 2), isa::Lfetch(8));
+  ExpectOnly(cache.VerifyDeployment(id),
+             analysis::invariant::kPlantedBaseMismatch, add_pc);
+}
+
+TEST(VerifierNegative, HintFlipOnNonLfetch) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kNone);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr st_pc = isa::MakePc(trace_head + isa::kBundleBytes, 0);
+  isa::EncodedSlot raw = hl.image.Raw(st_pc);
+  raw.head ^= isa::enc::kExclBit;  // .excl on a store is meaningless
+  hl.image.TestOnlyCorruptSlot(st_pc, raw);
+  ExpectOnly(cache.VerifyDeployment(id), analysis::invariant::kStrayBitDelta,
+             st_pc);
+}
+
+TEST(VerifierNegative, CorruptBundleEncoding) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kNone);
+  ASSERT_GE(id, 0);
+  const Addr pc = isa::MakePc(cache.Get(id)->trace_head, 1);
+  hl.image.TestOnlyCorruptSlot(pc, isa::EncodedSlot{3ULL << 62, 0});
+  ExpectOnly(cache.VerifyDeployment(id),
+             analysis::invariant::kIllegalEncoding, pc);
+}
+
+TEST(VerifierNegative, NonWhitelistedRewrite) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kNone);
+  ASSERT_GE(id, 0);
+  const Addr st_pc =
+      isa::MakePc(cache.Get(id)->trace_head + isa::kBundleBytes, 0);
+  hl.image.Patch(st_pc, isa::St(8, 27, 26));  // stores the wrong register
+  ExpectOnly(cache.VerifyDeployment(id),
+             analysis::invariant::kNonWhitelistedDelta, st_pc);
+}
+
+TEST(VerifierNegative, TamperedExitStub) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kNone);
+  ASSERT_GE(id, 0);
+  const Addr stub_brl =
+      isa::MakePc(cache.Get(id)->trace_head + 2 * isa::kBundleBytes, 2);
+  hl.image.Patch(stub_brl, isa::Brl(hl.image.code_base()));
+  const PatchReport report = cache.VerifyDeployment(id);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(
+      HasViolation(report, analysis::invariant::kExitStub, stub_brl))
+      << report.ToString();
+}
+
+TEST(VerifierNegative, TamperedHeadRedirect) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kNone);
+  ASSERT_GE(id, 0);
+  const Addr head_brl = isa::MakePc(hl.region.head, 2);
+  hl.image.Patch(head_brl, isa::Brl(hl.image.code_end() - isa::kBundleBytes));
+  const PatchReport report = cache.VerifyDeployment(id);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(
+      HasViolation(report, analysis::invariant::kHeadRedirect, head_brl))
+      << report.ToString();
+}
+
+TEST(VerifierNegative, TamperedRollbackRestore) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kNone);
+  ASSERT_GE(id, 0);
+  cache.Revert(id);
+  const Addr head_slot0 = isa::MakePc(hl.region.head, 0);
+  hl.image.Patch(head_slot0, isa::AddImm(9, 9, 1));
+  const PatchReport report = cache.VerifyDeployment(id);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(HasViolation(report, analysis::invariant::kRollbackRestore,
+                           head_slot0))
+      << report.ToString();
+}
+
+}  // namespace
+}  // namespace cobra

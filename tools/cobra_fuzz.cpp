@@ -16,6 +16,10 @@
 //   --engine=SPEC  compare serial against SPEC (default "parallel:4";
 //                  accepts anything machine::ParseEngineSpec does)
 //   --dump         print every case's fingerprint (counters + data hash)
+//   --verify       also deploy every emitted loop of each case through the
+//                  trace cache and run the patch-safety verifier on the
+//                  deploy/revert/re-apply cycle (COBRA_VERIFY=1 does the
+//                  same from the environment)
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -38,6 +42,7 @@ struct CliOptions {
   bool run_smp = true;
   bool run_numa = true;
   bool dump = false;
+  bool verify = false;
   std::string engine_spec = "parallel:4";
 };
 
@@ -67,6 +72,8 @@ CliOptions Parse(int argc, char** argv) {
     } else if (std::strcmp(arg, "--machine=both") == 0) {
     } else if (std::strcmp(arg, "--dump") == 0) {
       opt.dump = true;
+    } else if (std::strcmp(arg, "--verify") == 0) {
+      opt.verify = true;
     } else if (std::strncmp(arg, "--engine=", 9) == 0) {
       opt.engine_spec = arg + 9;
     } else {
@@ -78,12 +85,17 @@ CliOptions Parse(int argc, char** argv) {
     opt.have_seed = true;
     opt.seed = std::strtoull(env, nullptr, 0);
   }
+  if (const char* env = std::getenv("COBRA_VERIFY");
+      env != nullptr && *env != '\0' && *env != '0') {
+    opt.verify = true;
+  }
   return opt;
 }
 
 int RunShape(FuzzCase (*make)(std::uint64_t), std::uint64_t seed_base,
              const CliOptions& opt,
-             const cobra::machine::EngineConfig& engine) {
+             const cobra::machine::EngineConfig& engine,
+             int* verifier_passes) {
   cobra::machine::EngineConfig serial;
   serial.quantum = engine.quantum;
   int mismatches = 0;
@@ -92,6 +104,9 @@ int RunShape(FuzzCase (*make)(std::uint64_t), std::uint64_t seed_base,
     const std::uint64_t seed =
         opt.have_seed ? opt.seed : seed_base + static_cast<std::uint64_t>(i);
     const FuzzCase c = make(seed);
+    if (opt.verify) {
+      *verifier_passes += cobra::verify::VerifyFuzzDeployments(c);
+    }
     const std::string a = RunFuzzCase(c, serial);
     const std::string b = RunFuzzCase(c, engine);
     if (a != b) {
@@ -118,11 +133,17 @@ int main(int argc, char** argv) {
   const cobra::machine::EngineConfig engine =
       cobra::machine::ParseEngineSpec(opt.engine_spec);
   int mismatches = 0;
+  int verifier_passes = 0;
   if (opt.run_smp) {
-    mismatches += RunShape(&cobra::verify::SmpFuzzCase, 1000, opt, engine);
+    mismatches += RunShape(&cobra::verify::SmpFuzzCase, 1000, opt, engine,
+                           &verifier_passes);
   }
   if (opt.run_numa) {
-    mismatches += RunShape(&cobra::verify::NumaFuzzCase, 2000, opt, engine);
+    mismatches += RunShape(&cobra::verify::NumaFuzzCase, 2000, opt, engine,
+                           &verifier_passes);
+  }
+  if (opt.verify) {
+    std::printf("cobra_fuzz: patch verifier ran %d passes\n", verifier_passes);
   }
   if (mismatches != 0) {
     std::fprintf(stderr, "cobra_fuzz: %d fingerprint mismatch(es)\n",

@@ -1,0 +1,112 @@
+// cobra_lint: static MIA-64 binary checker over every image this repo can
+// generate — each kgen kernel family and each NPB benchmark, under every
+// compiler prefetch policy. A shipped binary must come back clean; the CI
+// runs this as a gate.
+//
+// Usage: cobra_lint [-v]
+//   -v  print the per-image report even when clean
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "npb/common.h"
+
+namespace {
+
+using cobra::analysis::LintImage;
+using cobra::analysis::LintReport;
+using cobra::kgen::PrefetchPolicy;
+using cobra::kgen::Program;
+
+struct PolicyCase {
+  const char* label;
+  PrefetchPolicy pf;
+};
+
+std::vector<PolicyCase> Policies() {
+  return {{"prefetch", PrefetchPolicy{}},
+          {"noprefetch", PrefetchPolicy::None()},
+          {"excl", PrefetchPolicy::Excl()}};
+}
+
+// One linked "binary" holding every kgen kernel under one policy.
+void EmitAllKernels(Program& prog, const PrefetchPolicy& pf) {
+  using namespace cobra::kgen;
+  EmitDaxpy(prog, "daxpy", pf);
+  for (int op = 0; op < kNumStreamOps; ++op) {
+    StreamLoopSpec spec;
+    spec.op = static_cast<StreamOp>(op);
+    spec.prefetch = pf;
+    EmitStreamLoop(prog, std::string("stream_") + StreamOpName(spec.op),
+                   spec);
+  }
+  EmitReduction(prog, "reduce_sum", ReduceOp::kSum, pf);
+  EmitReduction(prog, "reduce_dot", ReduceOp::kDot, pf);
+  EmitReduction(prog, "reduce_sumsq", ReduceOp::kSumSq, pf);
+  EmitReduction(prog, "reduce_max", ReduceOp::kMax, pf);
+  EmitCsrMatvec(prog, "csr_matvec", pf);
+  EmitHistogram(prog, "histogram", pf);
+  EmitFill32(prog, "fill32", pf);
+  EmitIntAccumulate(prog, "int_accumulate", pf);
+  EmitRank(prog, "rank", pf);
+  EmitPermute(prog, "permute", pf);
+  EmitScan(prog, "scan", pf);
+  EmitWhileCopy(prog, "while_copy", pf);
+  EmitEpKernel(prog, "ep", pf);
+}
+
+int Run(bool verbose) {
+  int images = 0;
+  int dirty_images = 0;
+  std::size_t total_findings = 0;
+
+  auto lint_one = [&](const std::string& label, const Program& prog) {
+    const LintReport report = LintImage(prog.image(), prog.kernels());
+    ++images;
+    if (!report.clean) {
+      ++dirty_images;
+      total_findings += report.findings.size();
+    }
+    if (verbose || !report.clean) {
+      std::cout << label << ": " << report.ToString() << "\n";
+    }
+  };
+
+  for (const PolicyCase& policy : Policies()) {
+    Program prog;
+    EmitAllKernels(prog, policy.pf);
+    lint_one(std::string("kgen[") + policy.label + "]", prog);
+  }
+
+  for (const std::string& name : cobra::npb::SuiteNames()) {
+    for (const PolicyCase& policy : Policies()) {
+      Program prog;
+      cobra::npb::MakeBenchmark(name)->Build(prog, policy.pf);
+      lint_one("npb/" + name + "[" + policy.label + "]", prog);
+    }
+  }
+
+  std::cout << "cobra_lint: " << images - dirty_images << "/" << images
+            << " images clean, " << total_findings << " findings\n";
+  return dirty_images == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-v") == 0 ||
+        std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::cerr << "usage: cobra_lint [-v]\n";
+      return 2;
+    }
+  }
+  return Run(verbose);
+}
