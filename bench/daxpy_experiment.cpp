@@ -86,6 +86,7 @@ DaxpyResult RunDaxpyExperiment(const DaxpyParams& params) {
   result.bus_memory = bus_end.bus_memory - bus_start.bus_memory;
   result.coherent_events =
       bus_end.CoherentEvents() - bus_start.CoherentEvents();
+  result.snapshot = machine.registry().Take();
 
   // Functional verification over all reps (identical fma ordering on host).
   result.verified = true;

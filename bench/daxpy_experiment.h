@@ -9,6 +9,7 @@
 
 #include "machine/engine.h"
 #include "machine/machine.h"
+#include "obs/registry.h"
 #include "support/simtypes.h"
 
 namespace cobra::bench {
@@ -23,6 +24,9 @@ struct DaxpyResult {
   std::uint64_t bus_memory = 0;     // system bus data transactions
   std::uint64_t coherent_events = 0;
   bool verified = false;            // y == y0 + reps * a * x
+  // End-of-run observability-registry snapshot (engine-determinism tests
+  // compare its fingerprint across execution engines).
+  obs::Snapshot snapshot;
 };
 
 struct DaxpyParams {

@@ -1,11 +1,7 @@
 #include "npb_experiment.h"
 
-#include <cstdio>
-#include <vector>
-
 #include "npb/common.h"
 #include "support/check.h"
-#include "support/table.h"
 
 namespace cobra::bench {
 
@@ -25,11 +21,13 @@ NpbRunResult RunNpbExperiment(const std::string& benchmark,
   auto bench = npb::MakeBenchmark(benchmark);
   kgen::Program prog;
   // All modes run the same aggressively-prefetching binary; COBRA adapts it
-  // at runtime (that is the point of the paper). The blind-noprefetch
-  // ablation compiles the prefetches away instead.
-  bench->Build(prog, options.static_noprefetch_binary
-                         ? kgen::PrefetchPolicy::None()
-                         : kgen::PrefetchPolicy{});
+  // at runtime (that is the point of the paper). The blind-noprefetch and
+  // always-excl ablations compile the strawman binaries instead.
+  COBRA_CHECK(!(options.static_noprefetch_binary && options.static_excl_binary));
+  kgen::PrefetchPolicy policy;
+  if (options.static_noprefetch_binary) policy = kgen::PrefetchPolicy::None();
+  if (options.static_excl_binary) policy = kgen::PrefetchPolicy::Excl();
+  bench->Build(prog, policy);
 
   machine::MachineConfig cfg = machine_config;
   cfg.mem.memory_bytes = 1 << 25;
@@ -55,71 +53,21 @@ NpbRunResult RunNpbExperiment(const std::string& benchmark,
   NpbRunResult result;
   result.cycles = bench->Run(team);
   for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    const auto& stats = machine.stack(cpu).stats();
     result.l3_misses += machine.stack(cpu).L3Misses();
+    result.snoop_invalidations += stats.snoop_invalidations;
+    result.prefetch_bus_requests += stats.prefetch_bus_requests;
   }
   const auto& bus = machine.fabric().TotalCounts();
   result.bus_memory = bus.bus_memory;
   result.coherent_events = bus.CoherentEvents();
+  result.bus_upgrades = bus.bus_upgrades;
+  result.bus_rd_inval_all_hitm = bus.bus_rd_inval_all_hitm;
+  result.remote_transactions = bus.remote_transactions;
   result.verified = bench->Verify(machine);
   if (cobra) result.cobra = cobra->stats();
+  result.snapshot = machine.registry().Take();
   return result;
-}
-
-void PrintNpbFigure(const char* title, const char* paper_reference,
-                    const machine::MachineConfig& machine_config, int threads,
-                    int metric) {
-  std::printf("%s\n%s\n\n", title, paper_reference);
-
-  const char* metric_name = metric == 0   ? "speedup"
-                            : metric == 1 ? "normalized L3 misses"
-                                          : "normalized bus transactions";
-  support::TextTable table({"benchmark", "mode", metric_name, "raw",
-                            "deployments", "verified"});
-
-  double sum_noprefetch = 0.0, sum_excl = 0.0;
-  int count = 0;
-  for (const std::string& name : npb::ResultBenchmarkNames()) {
-    const NpbRunResult base =
-        RunNpbExperiment(name, machine_config, threads, NpbMode::kBaseline);
-    COBRA_CHECK_MSG(base.verified, "baseline verification failed");
-
-    for (const NpbMode mode :
-         {NpbMode::kCobraNoprefetch, NpbMode::kCobraExcl}) {
-      const NpbRunResult opt =
-          RunNpbExperiment(name, machine_config, threads, mode);
-      auto Pick = [&](const NpbRunResult& r) -> double {
-        switch (metric) {
-          case 0: return static_cast<double>(r.cycles);
-          case 1: return static_cast<double>(r.l3_misses);
-          default: return static_cast<double>(r.bus_memory);
-        }
-      };
-      // Speedup = base/opt; miss/transaction counts normalize opt/base.
-      const double value = metric == 0 ? Pick(base) / Pick(opt)
-                                       : Pick(opt) / Pick(base);
-      if (mode == NpbMode::kCobraNoprefetch) {
-        sum_noprefetch += value;
-      } else {
-        sum_excl += value;
-      }
-      table.AddRow({name + ".S", NpbModeName(mode),
-                    support::TextTable::Num(value, 3),
-                    support::TextTable::Int(static_cast<long long>(
-                        metric == 0   ? opt.cycles
-                        : metric == 1 ? opt.l3_misses
-                                      : opt.bus_memory)),
-                    support::TextTable::Int(
-                        static_cast<long long>(opt.cobra.deployments)),
-                    opt.verified ? "yes" : "NO"});
-    }
-    ++count;
-  }
-  table.AddRow({"avg", "noprefetch",
-                support::TextTable::Num(sum_noprefetch / count, 3), "", "",
-                ""});
-  table.AddRow({"avg", "prefetch.excl",
-                support::TextTable::Num(sum_excl / count, 3), "", "", ""});
-  table.Print();
 }
 
 }  // namespace cobra::bench

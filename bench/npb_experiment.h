@@ -14,6 +14,7 @@
 #include "cobra/cobra.h"
 #include "machine/engine.h"
 #include "machine/machine.h"
+#include "obs/registry.h"
 #include "support/simtypes.h"
 
 namespace cobra::bench {
@@ -27,8 +28,19 @@ struct NpbRunResult {
   std::uint64_t l3_misses = 0;
   std::uint64_t bus_memory = 0;
   std::uint64_t coherent_events = 0;
+  // Invalidation traffic components (the Fig. 7a adaptive-vs-always-on
+  // `.excl` comparison): ownership transactions on the fabric, and lines
+  // other caches lost to them.
+  std::uint64_t bus_upgrades = 0;
+  std::uint64_t bus_rd_inval_all_hitm = 0;
+  std::uint64_t snoop_invalidations = 0;
+  std::uint64_t remote_transactions = 0;
+  std::uint64_t prefetch_bus_requests = 0;
   bool verified = false;
   core::CobraRuntime::Stats cobra;
+  // Full observability-registry snapshot at the end of the run (every
+  // cpuN.*, mem.*, bus.*, engine.*, perfmon.*, cobra.* metric).
+  obs::Snapshot snapshot;
 };
 
 // Extra knobs for ablation studies (all defaults reproduce the paper runs).
@@ -36,6 +48,9 @@ struct NpbOptions {
   // Compile the binary without prefetches instead of attaching COBRA
   // ("blind" static noprefetch, the strawman COBRA's selectivity beats).
   bool static_noprefetch_binary = false;
+  // Compile every lfetch as lfetch.excl (always-on exclusive hints, the
+  // non-adaptive strawman of Fig. 7a). Mutually exclusive with the above.
+  bool static_excl_binary = false;
   // Ablation hook applied to the COBRA configuration before attach.
   std::function<void(core::CobraConfig&)> tweak_config;
   // Host execution engine (results are bit-identical across engines);
@@ -47,12 +62,5 @@ NpbRunResult RunNpbExperiment(const std::string& benchmark,
                               const machine::MachineConfig& machine_config,
                               int threads, NpbMode mode,
                               const NpbOptions& options = {});
-
-// Prints one figure: per-benchmark series of `metric` for the two COBRA
-// modes normalized to the baseline, plus the average row, in the paper's
-// layout. `metric`: 0 = speedup, 1 = L3 misses, 2 = bus transactions.
-void PrintNpbFigure(const char* title, const char* paper_reference,
-                    const machine::MachineConfig& machine_config, int threads,
-                    int metric);
 
 }  // namespace cobra::bench

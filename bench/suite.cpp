@@ -1,0 +1,695 @@
+#include "suite.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "cobra/cobra.h"
+#include "daxpy_experiment.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+#include "machine/machine.h"
+#include "npb/common.h"
+#include "npb_experiment.h"
+#include "obs/trace.h"
+#include "rt/team.h"
+#include "support/check.h"
+
+namespace cobra::bench {
+namespace {
+
+using support::Json;
+
+std::string FingerprintHex(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, fp);
+  return buf;
+}
+
+// The per-row counter dump: every registry metric as {name, value}. An
+// array of uniform objects keeps the document schema independent of the
+// machine's CPU count (4-way SMP and 8-way NUMA rows have different metric
+// *lists* but the same shape).
+Json SnapshotCounters(const obs::Snapshot& snapshot) {
+  Json counters = Json::Array();
+  for (const obs::Metric& m : snapshot.metrics) {
+    Json entry = Json::Object();
+    entry.Set("name", m.name);
+    entry.Set("value", m.value);
+    counters.Append(std::move(entry));
+  }
+  return counters;
+}
+
+Json BeginExperiment(const char* name, const char* figure,
+                     const char* description, const char* machine,
+                     int threads) {
+  Json e = Json::Object();
+  e.Set("name", name);
+  e.Set("figure", figure);
+  e.Set("description", description);
+  e.Set("machine", machine);
+  e.Set("threads", threads);
+  return e;
+}
+
+double Speedup(const NpbRunResult& base, const NpbRunResult& opt) {
+  return static_cast<double>(base.cycles) / static_cast<double>(opt.cycles);
+}
+
+double Ratio(std::uint64_t opt, std::uint64_t base) {
+  return base == 0 ? 0.0
+                   : static_cast<double>(opt) / static_cast<double>(base);
+}
+
+// --- Table 1: static loop / prefetch statistics ----------------------------
+
+Json RunTable1(const SuiteOptions&) {
+  Json e = BeginExperiment(
+      "table1_static_stats", "Table 1",
+      "lfetch / br.ctop / br.cloop / br.wtop counts per compiler-generated "
+      "OpenMP NPB binary",
+      "none", 0);
+  Json rows = Json::Array();
+  std::uint64_t lfetch_total = 0;
+  for (const std::string& name : npb::SuiteNames()) {
+    auto benchmark = npb::MakeBenchmark(name);
+    kgen::Program prog;
+    benchmark->Build(prog, kgen::PrefetchPolicy{});
+    const kgen::StaticStats stats = prog.CountStatic();
+    lfetch_total += stats.lfetch;
+    Json row = Json::Object();
+    row.Set("benchmark", name);
+    row.Set("lfetch", stats.lfetch);
+    row.Set("br_ctop", stats.br_ctop);
+    row.Set("br_cloop", stats.br_cloop);
+    row.Set("br_wtop", stats.br_wtop);
+    rows.Append(std::move(row));
+  }
+  e.Set("rows", std::move(rows));
+  Json derived = Json::Object();
+  derived.Set("lfetch_total", lfetch_total);
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
+// --- Figure 2: DAXPY codegen shape -----------------------------------------
+
+Json RunFig2(const SuiteOptions&) {
+  Json e = BeginExperiment(
+      "fig2_codegen", "Figure 2",
+      "structural properties of the generated DAXPY assembly (6 prologue "
+      "lfetches + 1 rotating steady-state lfetch, br.ctop loop)",
+      "none", 0);
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  const kgen::StaticStats stats = prog.CountStatic();
+  const bool back_branch_is_ctop =
+      prog.image().Fetch(daxpy.back_branch_pc).op == isa::Opcode::kBrCtop;
+
+  Json rows = Json::Array();
+  auto AddProp = [&rows](const char* property, std::uint64_t value) {
+    Json row = Json::Object();
+    row.Set("property", property);
+    row.Set("value", value);
+    rows.Append(std::move(row));
+  };
+  AddProp("steady_state_lfetch_pcs", daxpy.lfetch_pcs.size());
+  AddProp("static_lfetch", stats.lfetch);
+  AddProp("br_ctop", stats.br_ctop);
+  AddProp("back_branch_is_ctop", back_branch_is_ctop ? 1 : 0);
+  e.Set("rows", std::move(rows));
+
+  Json derived = Json::Object();
+  derived.Set("shape_ok", daxpy.lfetch_pcs.size() == 1 && stats.lfetch == 7 &&
+                              stats.br_ctop == 1 && back_branch_is_ctop);
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
+// --- Figure 3: DAXPY working-set / thread-count sweep ----------------------
+
+Json RunFig3(const SuiteOptions& options) {
+  Json e = BeginExperiment(
+      "fig3_daxpy", "Figure 3",
+      "normalized DAXPY execution time, prefetch vs noprefetch vs "
+      "prefetch.excl, per working set (1-thread prefetch = 1)",
+      "smp4", 4);
+  const std::size_t working_sets_full[] = {128 * 1024, 512 * 1024,
+                                           2 * 1024 * 1024};
+  const std::size_t working_sets_quick[] = {128 * 1024};
+  const std::size_t* working_sets =
+      options.quick ? working_sets_quick : working_sets_full;
+  const std::size_t num_ws = options.quick ? 1 : 3;
+  const DaxpyVariant variants[] = {DaxpyVariant::kPrefetch,
+                                   DaxpyVariant::kNoprefetch,
+                                   DaxpyVariant::kExcl};
+
+  Json rows = Json::Array();
+  double noprefetch_vs_prefetch_4t = 0.0;
+  double excl_vs_prefetch_4t = 0.0;
+  for (std::size_t w = 0; w < num_ws; ++w) {
+    const std::size_t ws = working_sets[w];
+    double baseline = 0.0;
+    double prefetch_4t = 0.0;
+    for (const int threads : {1, 2, 4}) {
+      for (const DaxpyVariant variant : variants) {
+        DaxpyParams params;
+        params.threads = threads;
+        params.working_set_bytes = ws;
+        params.variant = variant;
+        params.engine = options.engine;
+        if (options.quick) {
+          params.reps = 16;
+          params.warmup_reps = 2;
+        }
+        const DaxpyResult r = RunDaxpyExperiment(params);
+        const double cycles = static_cast<double>(r.cycles);
+        if (baseline == 0.0) baseline = cycles;  // (1 thread, prefetch)
+        if (threads == 4 && variant == DaxpyVariant::kPrefetch) {
+          prefetch_4t = cycles;
+        }
+        // Only the first (smallest) working set feeds the headline derived
+        // numbers — the paper's 128K column is where noprefetch wins.
+        if (w == 0 && threads == 4 && prefetch_4t > 0.0) {
+          if (variant == DaxpyVariant::kNoprefetch) {
+            noprefetch_vs_prefetch_4t = prefetch_4t / cycles;
+          } else if (variant == DaxpyVariant::kExcl) {
+            excl_vs_prefetch_4t = prefetch_4t / cycles;
+          }
+        }
+        Json row = Json::Object();
+        row.Set("working_set_kib", ws / 1024);
+        row.Set("threads", threads);
+        row.Set("variant", DaxpyVariantName(variant));
+        row.Set("cycles", static_cast<std::uint64_t>(r.cycles));
+        row.Set("normalized", cycles / baseline);
+        row.Set("l3_misses", r.l3_misses);
+        row.Set("bus_memory", r.bus_memory);
+        row.Set("verified", r.verified);
+        rows.Append(std::move(row));
+      }
+    }
+  }
+  e.Set("rows", std::move(rows));
+  Json derived = Json::Object();
+  derived.Set("noprefetch_speedup_4t_128k", noprefetch_vs_prefetch_4t);
+  derived.Set("excl_speedup_4t_128k", excl_vs_prefetch_4t);
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
+// --- Figures 5/6/7: the NPB matrix on each machine -------------------------
+
+// One benchmark × mode grid per machine covers three paper figures at once:
+// speedup (Fig. 5), L3 misses (Fig. 6) and bus/invalidation traffic
+// (Fig. 7). The fourth mode — the always-on `.excl` binary — is the
+// non-adaptive strawman COBRA's measured epochs beat in Fig. 7(a).
+struct NpbModeSpec {
+  const char* name;
+  NpbMode mode;
+  bool static_excl;
+};
+
+constexpr NpbModeSpec kNpbModes[] = {
+    {"prefetch", NpbMode::kBaseline, false},
+    {"noprefetch", NpbMode::kCobraNoprefetch, false},
+    {"prefetch.excl", NpbMode::kCobraExcl, false},
+    {"static.excl", NpbMode::kBaseline, true},
+};
+
+Json NpbRow(const std::string& benchmark, const char* mode_name,
+            const NpbRunResult& r, const NpbRunResult& base) {
+  Json row = Json::Object();
+  row.Set("benchmark", benchmark);
+  row.Set("mode", mode_name);
+  row.Set("cycles", static_cast<std::uint64_t>(r.cycles));
+  row.Set("speedup", Speedup(base, r));
+  row.Set("l3_misses", r.l3_misses);
+  const std::uint64_t demand =
+      r.l3_misses >= r.prefetch_bus_requests
+          ? r.l3_misses - r.prefetch_bus_requests
+          : 0;
+  row.Set("demand_l3_misses", demand);
+  row.Set("bus_memory", r.bus_memory);
+  row.Set("coherent_events", r.coherent_events);
+  row.Set("bus_upgrades", r.bus_upgrades);
+  row.Set("bus_rd_inval_all_hitm", r.bus_rd_inval_all_hitm);
+  row.Set("invalidation_traffic", r.bus_upgrades + r.bus_rd_inval_all_hitm);
+  row.Set("snoop_invalidations", r.snoop_invalidations);
+  row.Set("remote_transactions", r.remote_transactions);
+  row.Set("prefetch_bus_requests", r.prefetch_bus_requests);
+  row.Set("verified", r.verified);
+  Json cobra = Json::Object();
+  cobra.Set("evaluations", r.cobra.evaluations);
+  cobra.Set("deployments", r.cobra.deployments);
+  cobra.Set("rollbacks", r.cobra.rollbacks);
+  cobra.Set("epochs_kept", r.cobra.epochs_kept);
+  cobra.Set("epochs_reverted", r.cobra.epochs_reverted);
+  cobra.Set("strategy_switches", r.cobra.strategy_switches);
+  cobra.Set("phase_changes", r.cobra.phase_changes);
+  cobra.Set("lfetches_rewritten", r.cobra.lfetches_rewritten);
+  cobra.Set("prefetches_inserted", r.cobra.prefetches_inserted);
+  cobra.Set("patch_verifications", r.cobra.patch_verifications);
+  row.Set("cobra", std::move(cobra));
+  row.Set("registry_fingerprint", FingerprintHex(r.snapshot.Fingerprint()));
+  row.Set("counters", SnapshotCounters(r.snapshot));
+  return row;
+}
+
+Json RunNpbMatrix(const SuiteOptions& options, bool numa) {
+  const char* name = numa ? "npb_numa" : "npb_smp";
+  const char* figure = numa ? "Figures 5b, 6b, 7b" : "Figures 5a, 6a, 7a";
+  const auto machine =
+      numa ? machine::AltixConfig(8) : machine::SmpServerConfig(4);
+  const int threads = numa ? 8 : 4;
+  Json e = BeginExperiment(
+      name, figure,
+      "OpenMP NPB (class S) under COBRA: speedup, L3 misses and "
+      "bus/invalidation traffic per benchmark and optimization mode",
+      numa ? "numa8" : "smp4", threads);
+
+  const std::vector<std::string> benchmarks =
+      options.quick ? std::vector<std::string>{"lu", "mg", "cg"}
+                    : npb::ResultBenchmarkNames();
+
+  Json rows = Json::Array();
+  // Per-mode accumulators for the derived averages/totals (skipping the
+  // baseline, whose ratios are 1 by definition).
+  double speedup_sum[4] = {};
+  double l3_ratio_sum[4] = {};
+  double bus_ratio_sum[4] = {};
+  std::uint64_t invalidations_total[4] = {};
+  std::uint64_t snoop_invalidations_total[4] = {};
+  for (const std::string& benchmark : benchmarks) {
+    if (options.echo) {
+      std::fprintf(stderr, "[cobra_bench]   %s %s\n", name, benchmark.c_str());
+    }
+    NpbRunResult base;
+    for (int m = 0; m < 4; ++m) {
+      const NpbModeSpec& spec = kNpbModes[m];
+      NpbOptions npb_options;
+      npb_options.engine = options.engine;
+      npb_options.static_excl_binary = spec.static_excl;
+      const NpbRunResult r =
+          RunNpbExperiment(benchmark, machine, threads, spec.mode, npb_options);
+      if (m == 0) base = r;
+      speedup_sum[m] += Speedup(base, r);
+      l3_ratio_sum[m] += Ratio(r.l3_misses, base.l3_misses);
+      bus_ratio_sum[m] += Ratio(r.bus_memory, base.bus_memory);
+      invalidations_total[m] += r.bus_upgrades + r.bus_rd_inval_all_hitm;
+      snoop_invalidations_total[m] += r.snoop_invalidations;
+      rows.Append(NpbRow(benchmark, spec.name, r, base));
+    }
+  }
+  e.Set("rows", std::move(rows));
+
+  const double n = static_cast<double>(benchmarks.size());
+  Json derived = Json::Object();
+  derived.Set("benchmarks", static_cast<std::uint64_t>(benchmarks.size()));
+  derived.Set("speedup_noprefetch_avg", speedup_sum[1] / n);
+  derived.Set("speedup_excl_avg", speedup_sum[2] / n);
+  derived.Set("speedup_static_excl_avg", speedup_sum[3] / n);
+  derived.Set("l3_ratio_noprefetch_avg", l3_ratio_sum[1] / n);
+  derived.Set("l3_ratio_excl_avg", l3_ratio_sum[2] / n);
+  derived.Set("bus_ratio_noprefetch_avg", bus_ratio_sum[1] / n);
+  derived.Set("bus_ratio_excl_avg", bus_ratio_sum[2] / n);
+  derived.Set("invalidations_cobra_excl_total", invalidations_total[2]);
+  derived.Set("invalidations_static_excl_total", invalidations_total[3]);
+  derived.Set("snoop_invalidations_cobra_excl_total",
+              snoop_invalidations_total[2]);
+  derived.Set("snoop_invalidations_static_excl_total",
+              snoop_invalidations_total[3]);
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
+Json RunNpbSmp(const SuiteOptions& options) {
+  return RunNpbMatrix(options, /*numa=*/false);
+}
+Json RunNpbNuma(const SuiteOptions& options) {
+  return RunNpbMatrix(options, /*numa=*/true);
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------------
+
+Json RunAblations(const SuiteOptions& options) {
+  Json e = BeginExperiment(
+      "ablations", "DESIGN.md §4",
+      "COBRA design-choice ablations: selection filters, measured epochs, "
+      "blind static noprefetch, monitoring overhead",
+      "smp4", 4);
+  const auto machine = machine::SmpServerConfig(4);
+  const int threads = 4;
+  const std::vector<std::string> benchmarks =
+      options.quick ? std::vector<std::string>{"cg"}
+                    : std::vector<std::string>{"ft", "mg", "cg"};
+
+  Json rows = Json::Array();
+  auto AddRow = [&rows](const std::string& benchmark,
+                        const std::string& configuration, double speedup,
+                        std::uint64_t deployments, std::uint64_t rollbacks) {
+    Json row = Json::Object();
+    row.Set("benchmark", benchmark);
+    row.Set("configuration", configuration);
+    row.Set("speedup", speedup);
+    row.Set("deployments", deployments);
+    row.Set("rollbacks", rollbacks);
+    rows.Append(std::move(row));
+  };
+
+  for (const std::string& benchmark : benchmarks) {
+    if (options.echo) {
+      std::fprintf(stderr, "[cobra_bench]   ablations %s\n",
+                   benchmark.c_str());
+    }
+    NpbOptions base_options;
+    base_options.engine = options.engine;
+    const auto base = RunNpbExperiment(benchmark, machine, threads,
+                                       NpbMode::kBaseline, base_options);
+    auto Cobra = [&](const char* configuration, NpbOptions npb_options) {
+      npb_options.engine = options.engine;
+      const auto r = RunNpbExperiment(benchmark, machine, threads,
+                                      NpbMode::kCobraNoprefetch, npb_options);
+      AddRow(benchmark, configuration, Speedup(base, r), r.cobra.deployments,
+             r.cobra.rollbacks);
+    };
+    Cobra("full", NpbOptions{});
+    {
+      NpbOptions o;
+      o.tweak_config = [](core::CobraConfig& cfg) {
+        cfg.require_coherent_load_in_loop = false;
+        cfg.require_coherent_ratio = false;
+      };
+      Cobra("A1_filters_off", std::move(o));
+    }
+    {
+      NpbOptions o;
+      o.static_noprefetch_binary = true;
+      o.engine = options.engine;
+      const auto r = RunNpbExperiment(benchmark, machine, threads,
+                                      NpbMode::kBaseline, o);
+      AddRow(benchmark, "A2_blind_static_noprefetch", Speedup(base, r), 0, 0);
+    }
+    {
+      NpbOptions o;
+      o.tweak_config = [](core::CobraConfig& cfg) {
+        cfg.measured_epochs = false;
+      };
+      Cobra("A3_measured_epochs_off", std::move(o));
+    }
+    for (const Cycle overhead : {Cycle{500}, Cycle{4000}}) {
+      NpbOptions o;
+      o.tweak_config = [overhead](core::CobraConfig& cfg) {
+        cfg.monitor_overhead_cycles = overhead;
+      };
+      Cobra(("A4_overhead_" + std::to_string(overhead)).c_str(),
+            std::move(o));
+    }
+  }
+  e.Set("rows", std::move(rows));
+  Json derived = Json::Object();
+  derived.Set("benchmarks", static_cast<std::uint64_t>(benchmarks.size()));
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
+// --- ADORE-style runtime prefetch insertion (extension) --------------------
+
+struct InsertionRun {
+  Cycle cycles = 0;
+  std::uint64_t l3_misses = 0;
+  std::uint64_t prefetch_bus_requests = 0;
+  std::uint64_t prefetches_inserted = 0;
+};
+
+InsertionRun RunInsertionOnce(bool static_prefetch, bool with_cobra,
+                              int threads, int reps,
+                              const machine::EngineConfig& engine) {
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy",
+                static_prefetch ? kgen::PrefetchPolicy{}
+                                : kgen::PrefetchPolicy::None());
+  constexpr std::int64_t kN = 262144;  // 4 MB working set: memory-bound
+  const mem::Addr x = prog.Alloc(kN * 8);
+  const mem::Addr y = prog.Alloc(kN * 8);
+  machine::MachineConfig cfg = machine::SmpServerConfig(threads);
+  cfg.mem.memory_bytes = 1 << 26;
+  machine::Machine machine(cfg, &prog.image());
+  for (std::int64_t i = 0; i < kN; ++i) {
+    machine.memory().WriteDouble(x + 8 * static_cast<mem::Addr>(i), 1.0);
+    machine.memory().WriteDouble(y + 8 * static_cast<mem::Addr>(i), 2.0);
+  }
+
+  std::unique_ptr<core::CobraRuntime> cobra;
+  if (with_cobra) {
+    core::CobraConfig config;
+    config.strategy = core::OptKind::kInsertPrefetch;
+    cobra = std::make_unique<core::CobraRuntime>(&machine, config);
+    cobra->AttachAll(threads);
+  }
+
+  rt::Team team(&machine, threads, engine);
+  const Cycle start = machine.GlobalTime();
+  for (int rep = 0; rep < reps; ++rep) {
+    team.Run(daxpy.entry, [&](int tid, cpu::RegisterFile& regs) {
+      const auto chunk = rt::StaticChunk(tid, threads, kN);
+      regs.WriteGr(14, x + 8 * static_cast<mem::Addr>(chunk.begin));
+      regs.WriteGr(15, y + 8 * static_cast<mem::Addr>(chunk.begin));
+      regs.WriteGr(16, static_cast<std::uint64_t>(chunk.size()));
+      regs.WriteFr(6, 0.5);
+    });
+  }
+  InsertionRun run;
+  run.cycles = machine.GlobalTime() - start;
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    run.l3_misses += machine.stack(cpu).L3Misses();
+    run.prefetch_bus_requests +=
+        machine.stack(cpu).stats().prefetch_bus_requests;
+  }
+  if (cobra) run.prefetches_inserted = cobra->stats().prefetches_inserted;
+  return run;
+}
+
+Json RunInsertion(const SuiteOptions& options) {
+  Json e = BeginExperiment(
+      "adore_insertion", "extension",
+      "ADORE-style runtime prefetch insertion into a conservatively "
+      "compiled (noprefetch) memory-bound DAXPY",
+      "smp", 0);
+  const std::vector<int> thread_counts =
+      options.quick ? std::vector<int>{2} : std::vector<int>{1, 2};
+  const int reps = options.quick ? 8 : 12;
+
+  Json rows = Json::Array();
+  auto DemandL3 = [](const InsertionRun& run) {
+    return run.l3_misses >= run.prefetch_bus_requests
+               ? run.l3_misses - run.prefetch_bus_requests
+               : 0;
+  };
+  double speedup_inserted_vs_bare = 0.0;
+  double demand_l3_inserted_over_bare = 0.0;
+  for (const int threads : thread_counts) {
+    if (options.echo) {
+      std::fprintf(stderr, "[cobra_bench]   adore_insertion %dt\n", threads);
+    }
+    const InsertionRun bare =
+        RunInsertionOnce(false, false, threads, reps, options.engine);
+    const InsertionRun inserted =
+        RunInsertionOnce(false, true, threads, reps, options.engine);
+    const InsertionRun compiled =
+        RunInsertionOnce(true, false, threads, reps, options.engine);
+    auto AddRow = [&](const char* config, const InsertionRun& run) {
+      Json row = Json::Object();
+      row.Set("threads", threads);
+      row.Set("config", config);
+      row.Set("cycles", static_cast<std::uint64_t>(run.cycles));
+      row.Set("vs_bare", static_cast<double>(run.cycles) /
+                             static_cast<double>(bare.cycles));
+      row.Set("l3_misses", run.l3_misses);
+      row.Set("demand_l3_misses", DemandL3(run));
+      row.Set("prefetches_inserted", run.prefetches_inserted);
+      rows.Append(std::move(row));
+    };
+    AddRow("bare", bare);
+    AddRow("cobra.insertion", inserted);
+    AddRow("static.prefetch", compiled);
+    // The last (largest) thread count feeds the headline derived numbers.
+    speedup_inserted_vs_bare = static_cast<double>(bare.cycles) /
+                               static_cast<double>(inserted.cycles);
+    demand_l3_inserted_over_bare =
+        Ratio(DemandL3(inserted), DemandL3(bare));
+  }
+  e.Set("rows", std::move(rows));
+  Json derived = Json::Object();
+  derived.Set("speedup_inserted_vs_bare", speedup_inserted_vs_bare);
+  derived.Set("demand_l3_inserted_over_bare", demand_l3_inserted_over_bare);
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
+// --- Micro suite: execution-engine behaviour -------------------------------
+
+DaxpyParams MicroDaxpyParams(const SuiteOptions& options) {
+  DaxpyParams params;
+  params.threads = 4;
+  params.working_set_bytes = 128 * 1024;
+  params.variant = DaxpyVariant::kPrefetch;
+  params.reps = options.quick ? 8 : 20;
+  params.warmup_reps = 2;
+  return params;
+}
+
+Json RunEngineEquivalence(const SuiteOptions& options) {
+  Json e = BeginExperiment(
+      "engine_equivalence", "DESIGN.md §7",
+      "registry fingerprint of the same DAXPY run under the serial and "
+      "parallel engines (must be bit-identical)",
+      "smp4", 4);
+  struct Spec {
+    const char* name;
+    machine::EngineKind kind;
+    int host_threads;
+  };
+  const Spec specs[] = {{"serial", machine::EngineKind::kSerial, 0},
+                        {"parallel:2", machine::EngineKind::kParallel, 2},
+                        {"parallel:4", machine::EngineKind::kParallel, 4}};
+  Json rows = Json::Array();
+  std::uint64_t first_fp = 0;
+  bool identical = true;
+  for (const Spec& spec : specs) {
+    DaxpyParams params = MicroDaxpyParams(options);
+    params.engine.kind = spec.kind;
+    params.engine.host_threads = spec.host_threads;
+    params.engine.quantum = options.engine.quantum;
+    const DaxpyResult r = RunDaxpyExperiment(params);
+    const std::uint64_t fp = r.snapshot.Fingerprint();
+    if (rows.size() == 0) first_fp = fp;
+    identical = identical && fp == first_fp;
+    Json row = Json::Object();
+    row.Set("engine", spec.name);
+    row.Set("cycles", static_cast<std::uint64_t>(r.cycles));
+    row.Set("registry_fingerprint", FingerprintHex(fp));
+    row.Set("verified", r.verified);
+    rows.Append(std::move(row));
+  }
+  e.Set("rows", std::move(rows));
+  Json derived = Json::Object();
+  derived.Set("identical", identical);
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
+Json RunQuantumSweep(const SuiteOptions& options) {
+  Json e = BeginExperiment(
+      "quantum_sweep", "DESIGN.md §7",
+      "the quantum is a semantic timing-model parameter: different Q give "
+      "different (equally deterministic) cycle counts",
+      "smp4", 4);
+  Json rows = Json::Array();
+  for (const Cycle quantum : {Cycle{256}, Cycle{1024}, Cycle{4096}}) {
+    DaxpyParams params = MicroDaxpyParams(options);
+    params.engine = options.engine;
+    params.engine.quantum = quantum;
+    const DaxpyResult r = RunDaxpyExperiment(params);
+    Json row = Json::Object();
+    row.Set("quantum", static_cast<std::uint64_t>(quantum));
+    row.Set("cycles", static_cast<std::uint64_t>(r.cycles));
+    row.Set("registry_fingerprint",
+            FingerprintHex(r.snapshot.Fingerprint()));
+    rows.Append(std::move(row));
+  }
+  e.Set("rows", std::move(rows));
+  Json derived = Json::Object();
+  derived.Set("quanta", 3);
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
+// --- Suite assembly --------------------------------------------------------
+
+struct ExperimentDef {
+  const char* name;
+  Json (*fn)(const SuiteOptions&);
+};
+
+constexpr ExperimentDef kPaperExperiments[] = {
+    {"table1_static_stats", RunTable1}, {"fig2_codegen", RunFig2},
+    {"fig3_daxpy", RunFig3},            {"npb_smp", RunNpbSmp},
+    {"npb_numa", RunNpbNuma},           {"ablations", RunAblations},
+    {"adore_insertion", RunInsertion},
+};
+
+constexpr ExperimentDef kMicroExperiments[] = {
+    {"engine_equivalence", RunEngineEquivalence},
+    {"quantum_sweep", RunQuantumSweep},
+};
+
+template <std::size_t N>
+Json RunSuite(const char* suite_name, const ExperimentDef (&defs)[N],
+              const SuiteOptions& options) {
+  Json doc = Json::Object();
+  doc.Set("schema_version", 1);
+  doc.Set("generator", "cobra_bench");
+  doc.Set("suite", suite_name);
+  doc.Set("quick", options.quick);
+  doc.Set("engine", EngineSpecString(options.engine));
+  Json experiments = Json::Array();
+  for (const ExperimentDef& def : defs) {
+    if (!options.only.empty() &&
+        std::string_view(def.name).find(options.only) ==
+            std::string_view::npos) {
+      continue;
+    }
+    if (options.echo) {
+      std::fprintf(stderr, "[cobra_bench] %s\n", def.name);
+    }
+    experiments.Append(def.fn(options));
+    // Each experiment gets its own COBRA_TRACE timeline segment; flushing
+    // between them bounds memory and makes partial traces useful.
+    obs::FlushEnvTrace();
+  }
+  doc.Set("experiments", std::move(experiments));
+  return doc;
+}
+
+template <std::size_t N>
+std::vector<std::string> Names(const ExperimentDef (&defs)[N]) {
+  std::vector<std::string> names;
+  for (const ExperimentDef& def : defs) names.emplace_back(def.name);
+  return names;
+}
+
+}  // namespace
+
+std::string EngineSpecString(const machine::EngineConfig& config) {
+  std::string spec =
+      config.kind == machine::EngineKind::kSerial ? "serial" : "parallel";
+  if (config.kind == machine::EngineKind::kParallel &&
+      config.host_threads > 0) {
+    spec += ":" + std::to_string(config.host_threads);
+  }
+  if (config.quantum != machine::EngineConfig{}.quantum) {
+    spec += "@" + std::to_string(config.quantum);
+  }
+  return spec;
+}
+
+std::vector<std::string> PaperExperimentNames() {
+  return Names(kPaperExperiments);
+}
+std::vector<std::string> MicroExperimentNames() {
+  return Names(kMicroExperiments);
+}
+
+Json RunPaperSuite(const SuiteOptions& options) {
+  return RunSuite("paper", kPaperExperiments, options);
+}
+Json RunMicroSuite(const SuiteOptions& options) {
+  return RunSuite("micro", kMicroExperiments, options);
+}
+
+}  // namespace cobra::bench

@@ -1,0 +1,53 @@
+// The unified paper-conformance benchmark suite behind tools/cobra_bench.
+//
+// One call runs every experiment the per-figure binaries used to print —
+// Table 1, Figure 2's codegen shape, the Figure 3 DAXPY sweep, the NPB
+// matrices behind Figures 5/6/7 on both machines, the DESIGN.md §4
+// ablations and the ADORE-style insertion extension — and returns a single
+// schema-stable support::Json document:
+//
+//   { schema_version, generator, suite, quick, engine,
+//     experiments: [ { name, figure, description, machine, threads,
+//                      rows: [...], derived: {...} }, ... ] }
+//
+// Row keys and types never depend on --quick or on measured values (only
+// row *counts* change), so the golden-schema test can pin the document
+// shape, and tests/paper_trends_test.cpp asserts the paper's headline
+// trends directly on the returned tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/engine.h"
+#include "support/json.h"
+
+namespace cobra::bench {
+
+struct SuiteOptions {
+  // CI-sized matrices: fewer NPB benchmarks, one DAXPY working set, fewer
+  // repetitions. Same experiments, same schema, < ~1 minute total.
+  bool quick = false;
+  // Substring filter on experiment names; empty runs everything.
+  std::string only;
+  // Progress lines on stderr (one per experiment) for interactive runs.
+  bool echo = false;
+  // Host execution engine for every simulated run (results are
+  // bit-identical across engines); honours COBRA_ENGINE.
+  machine::EngineConfig engine = machine::EngineConfigFromEnv();
+};
+
+// Canonical spec string for an engine config ("serial", "parallel:4@2048");
+// inverse of machine::ParseEngineSpec, recorded in the report header.
+std::string EngineSpecString(const machine::EngineConfig& config);
+
+// Experiment names in run order (for --list and the --only filter).
+std::vector<std::string> PaperExperimentNames();
+std::vector<std::string> MicroExperimentNames();
+
+// Runs the paper-conformance suite / the engine microbenchmarks and
+// returns the full report document described above.
+support::Json RunPaperSuite(const SuiteOptions& options = {});
+support::Json RunMicroSuite(const SuiteOptions& options = {});
+
+}  // namespace cobra::bench

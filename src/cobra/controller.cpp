@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "analysis/cfg.h"
 #include "support/check.h"
@@ -27,6 +29,34 @@ CobraRuntime::CobraRuntime(machine::Machine* machine, CobraConfig config)
       trace_cache_(&machine->image()) {
   COBRA_CHECK(machine != nullptr);
   monitors_.resize(static_cast<std::size_t>(machine->num_cpus()));
+
+  metrics_ = obs::Registry::Registration(&machine->registry());
+  metrics_.Add("cobra.evaluations", [this] { return stats_.evaluations; });
+  metrics_.Add("cobra.deployments", [this] { return stats_.deployments; });
+  metrics_.Add("cobra.rollbacks", [this] { return stats_.rollbacks; });
+  metrics_.Add("cobra.epochs_kept", [this] { return stats_.epochs_kept; });
+  metrics_.Add("cobra.epochs_reverted",
+               [this] { return stats_.epochs_reverted; });
+  metrics_.Add("cobra.strategy_switches",
+               [this] { return stats_.strategy_switches; });
+  metrics_.Add("cobra.phase_changes", [this] { return stats_.phase_changes; });
+  metrics_.Add("cobra.lfetches_rewritten",
+               [this] { return stats_.lfetches_rewritten; });
+  metrics_.Add("cobra.prefetches_inserted",
+               [this] { return stats_.prefetches_inserted; });
+  metrics_.Add("cobra.patch_verifications",
+               [this] { return trace_cache_.verifications(); });
+  metrics_.Add("cobra.traces_built",
+               [this] { return trace_cache_.traces_built(); });
+  metrics_.Add("cobra.redirects_active",
+               [this] { return trace_cache_.redirects_active(); });
+}
+
+void CobraRuntime::TraceInstant(std::string name) {
+  if (obs::TraceSink* trace = machine_->trace()) {
+    trace->Instant(machine_->trace_pid(), machine_->trace_cobra_tid(),
+                   "cobra", std::move(name), machine_->GlobalTime());
+  }
 }
 
 CobraRuntime::~CobraRuntime() { DetachAll(); }
@@ -262,6 +292,7 @@ int CobraRuntime::DeployQualifying(const SystemProfile& profile) {
     }
 
     ++stats_.deployments;
+    TraceInstant(std::string("deploy.") + OptKindName(kind));
     ++active;
     ++deployed;
     stats_.lfetches_rewritten += static_cast<std::uint64_t>(
@@ -283,6 +314,7 @@ void CobraRuntime::RevertEpoch() {
         deployment != nullptr && deployment->active) {
       trace_cache_.Revert(id);
       ++stats_.rollbacks;
+      TraceInstant("revert");
     }
   }
   for (const isa::Addr head : epoch_heads_) {
@@ -347,9 +379,11 @@ void CobraRuntime::EpochStep(const SystemProfile& profile,
       if (cpi_on > cpi_off_ * config_.epoch_slowdown_threshold) {
         RevertEpoch();
         ++stats_.epochs_reverted;
+        TraceInstant("epoch.reverted");
         epoch_state_ = EpochState::kMeasureOff;  // measure fresh, try again
       } else {
         ++stats_.epochs_kept;
+        TraceInstant("epoch.kept");
         epoch_deployments_.clear();
         epoch_heads_.clear();
         cpi_off_ = cpi_on;  // the kept level is the new baseline
@@ -402,10 +436,12 @@ void CobraRuntime::PhaseDetect(const CounterTotals& window) {
   // Continuous re-adaptation: revert everything, forget loop verdicts,
   // restart the epoch machinery against the new phase.
   ++stats_.phase_changes;
+  TraceInstant("phase_change");
   for (const auto& deployment : trace_cache_.deployments()) {
     if (deployment.active) {
       trace_cache_.Revert(deployment.id);
       ++stats_.rollbacks;
+      TraceInstant("revert");
     }
   }
   history_.clear();

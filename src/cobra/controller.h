@@ -127,6 +127,8 @@ class CobraRuntime {
 
   void OnBatch(int cpu, std::span<const perfmon::Sample> batch);
   void OptimizationThreadWake();
+  // Instant event on the machine's "cobra" trace lane (no-op untraced).
+  void TraceInstant(std::string name);
   // Deploys every currently qualifying hot loop; returns how many.
   int DeployQualifying(const SystemProfile& profile);
   void EpochStep(const SystemProfile& profile, double window_cpi);
@@ -146,6 +148,7 @@ class CobraRuntime {
   CobraConfig config_;
   perfmon::SamplingDriver driver_;
   TraceCache trace_cache_;
+  obs::Registry::Registration metrics_;
   std::vector<std::unique_ptr<MonitoringThread>> monitors_;
   Stats stats_;
   SystemProfile last_profile_;

@@ -37,10 +37,12 @@ struct PendingCommit {
 // quantum edge.
 template <typename SegmentPhase>
 void RunCommitRounds(const std::vector<cpu::Core*>& running, Cycle q_end,
-                     SegmentPhase& segments) {
+                     SegmentPhase& segments, EngineCounters& counters) {
   std::vector<PendingCommit> pending;
   for (;;) {
     segments(running, q_end);
+    ++counters.segment_phases;
+    counters.segments += running.size();
 
     // A core still inside the window is stopped on a fabric access (the
     // probe is exact); everyone else halted or reached the quantum edge.
@@ -51,6 +53,7 @@ void RunCommitRounds(const std::vector<cpu::Core*>& running, Cycle q_end,
       }
     }
     if (pending.empty()) return;
+    counters.commits += pending.size();
 
     // Canonical commit order: (stop cycle, cpu id). Each pending step
     // executes whole — fabric transaction, snoops, victim writebacks —
@@ -80,6 +83,7 @@ void RunRounds(Machine& m, const std::vector<CpuId>& active, Cycle quantum,
     running.push_back(core);
   }
   Machine::EngineScope scope(m);
+  EngineCounters& counters = m.engine_counters();
 
   while (!running.empty()) {
     Cycle window = running.front()->now();
@@ -94,7 +98,12 @@ void RunRounds(Machine& m, const std::vector<CpuId>& active, Cycle quantum,
       cpu::Core* core = running.front();
       while (!core->halted() && core->now() < q_end) core->Step();
     } else {
-      RunCommitRounds(running, q_end, segments);
+      RunCommitRounds(running, q_end, segments, counters);
+    }
+    ++counters.quanta;
+    if (obs::TraceSink* trace = m.trace()) {
+      trace->Complete(m.trace_pid(), m.trace_engine_tid(), "engine",
+                      "quantum", window, quantum);
     }
 
     // Round tasks (deferred sample delivery into COBRA, whose optimizer

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
 #include "machine/engine.h"
 #include "support/check.h"
@@ -71,6 +72,112 @@ Machine::Machine(const MachineConfig& cfg, isa::BinaryImage* image)
         fabric_.get()));
     if (checker_) cores_.back()->AttachChecker(checker_.get());
   }
+
+  RegisterMetrics();
+  SetTraceSink(obs::EnvTraceSink());
+}
+
+void Machine::RegisterMetrics() {
+  // Probes read the owning subsystem's live counters at snapshot time; all
+  // captured pointers are members of this Machine, which outlives the
+  // registry's users. Fabric counters are read from the *real* fabric
+  // (fabric_), never the checker front, so verification stays invisible.
+  const auto add = [this](std::string name, obs::Registry::Probe probe) {
+    registry_.Register(std::move(name), std::move(probe));
+  };
+
+  for (CpuId cpu = 0; cpu < cfg_.num_cpus; ++cpu) {
+    const std::string n = std::to_string(cpu);
+    const cpu::Core* core = cores_[static_cast<std::size_t>(cpu)].get();
+    const mem::CacheStack* stack = stacks_[static_cast<std::size_t>(cpu)].get();
+
+    add("cpu" + n + ".cycles", [core] { return core->now(); });
+    add("cpu" + n + ".retired",
+        [core] { return core->instructions_retired(); });
+    add("cpu" + n + ".lfetches_dropped",
+        [core] { return core->lfetches_dropped(); });
+
+    add("mem.cpu" + n + ".l2.miss", [stack] { return stack->L2Misses(); });
+    add("mem.cpu" + n + ".l3.miss", [stack] { return stack->L3Misses(); });
+    add("mem.cpu" + n + ".loads", [stack] { return stack->stats().loads; });
+    add("mem.cpu" + n + ".stores", [stack] { return stack->stats().stores; });
+    add("mem.cpu" + n + ".prefetches",
+        [stack] { return stack->stats().prefetches; });
+    add("mem.cpu" + n + ".prefetch_bus_requests",
+        [stack] { return stack->stats().prefetch_bus_requests; });
+    add("mem.cpu" + n + ".prefetch_upgrades",
+        [stack] { return stack->stats().prefetch_upgrades; });
+    add("mem.cpu" + n + ".writebacks",
+        [stack] { return stack->stats().fabric_writebacks; });
+    add("mem.cpu" + n + ".store_upgrades",
+        [stack] { return stack->stats().store_upgrades; });
+    add("mem.cpu" + n + ".snoop_downgrades",
+        [stack] { return stack->stats().snoop_downgrades; });
+    add("mem.cpu" + n + ".snoop_invalidations",
+        [stack] { return stack->stats().snoop_invalidations; });
+    add("mem.cpu" + n + ".hitm_supplies",
+        [stack] { return stack->stats().hitm_supplies; });
+
+    const mem::CoherenceFabric* fabric = fabric_.get();
+    add("bus.cpu" + n + ".memory",
+        [fabric, cpu] { return fabric->CpuCounts(cpu).bus_memory; });
+    add("bus.cpu" + n + ".coherent",
+        [fabric, cpu] { return fabric->CpuCounts(cpu).CoherentEvents(); });
+  }
+
+  const auto agg = [this](auto get) {
+    std::uint64_t total = 0;
+    for (const auto& stack : stacks_) total += get(*stack);
+    return total;
+  };
+  add("mem.l2.miss", [this, agg] {
+    return agg([](const mem::CacheStack& s) { return s.L2Misses(); });
+  });
+  add("mem.l3.miss", [this, agg] {
+    return agg([](const mem::CacheStack& s) { return s.L3Misses(); });
+  });
+  add("mem.prefetches", [this, agg] {
+    return agg([](const mem::CacheStack& s) { return s.stats().prefetches; });
+  });
+
+  const mem::CoherenceFabric* fabric = fabric_.get();
+  add("bus.memory", [fabric] { return fabric->TotalCounts().bus_memory; });
+  add("bus.rd_hit", [fabric] { return fabric->TotalCounts().bus_rd_hit; });
+  add("bus.rd_hitm", [fabric] { return fabric->TotalCounts().bus_rd_hitm; });
+  add("bus.rd_inval_all_hitm",
+      [fabric] { return fabric->TotalCounts().bus_rd_inval_all_hitm; });
+  add("bus.upgrades", [fabric] { return fabric->TotalCounts().bus_upgrades; });
+  add("bus.writebacks",
+      [fabric] { return fabric->TotalCounts().bus_writebacks; });
+  add("bus.remote",
+      [fabric] { return fabric->TotalCounts().remote_transactions; });
+  add("bus.coherent",
+      [fabric] { return fabric->TotalCounts().CoherentEvents(); });
+  add("bus.occupancy", [fabric] { return fabric->queue_cycles(); });
+
+  add("engine.quanta", [this] { return engine_counters_.quanta; });
+  add("engine.segment_phases",
+      [this] { return engine_counters_.segment_phases; });
+  add("engine.segments", [this] { return engine_counters_.segments; });
+  add("engine.commits", [this] { return engine_counters_.commits; });
+  add("engine.rounds", [this] { return engine_counters_.rounds; });
+
+  add("machine.global_time", [this] { return GlobalTime(); });
+}
+
+void Machine::SetTraceSink(obs::TraceSink* trace) {
+  trace_ = trace;
+  if (trace_ == nullptr) return;
+  const char* fabric_name =
+      cfg_.fabric == FabricKind::kSnoopBus ? "smp" : "numa";
+  trace_pid_ = trace_->BeginProcess(std::string(fabric_name) + "x" +
+                                    std::to_string(num_cpus()));
+  for (CpuId cpu = 0; cpu < cfg_.num_cpus; ++cpu) {
+    trace_->NameThread(trace_pid_, cpu, "cpu" + std::to_string(cpu));
+  }
+  trace_->NameThread(trace_pid_, trace_engine_tid(), "engine");
+  trace_->NameThread(trace_pid_, trace_cobra_tid(), "cobra");
+  for (auto& stack : stacks_) stack->AttachTrace(trace_, trace_pid_);
 }
 
 int Machine::NodeOf(CpuId cpu) const {
@@ -108,6 +215,7 @@ void Machine::RemoveRoundTask(int id) {
 }
 
 void Machine::RunRoundTasks() {
+  ++engine_counters_.rounds;
   for (const auto& [id, task] : round_tasks_) task();
   if (checker_) checker_->OnRoundTasks();
 }
@@ -124,6 +232,7 @@ void Machine::ResetTiming() {
   for (auto& stack : stacks_) stack->Reset();
   fabric_->ResetCounts();
   for (auto& core : cores_) core->set_now(0);
+  engine_counters_ = EngineCounters{};
   if (checker_) checker_->OnResetTiming();
 }
 

@@ -24,6 +24,8 @@
 #include "mem/directory.h"
 #include "mem/main_memory.h"
 #include "mem/snoop_bus.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "support/simtypes.h"
 
 namespace cobra::verify {
@@ -35,6 +37,18 @@ namespace cobra::machine {
 class ExecutionEngine;
 
 enum class FabricKind { kSnoopBus, kDirectory };
+
+// Scheduling-loop counters, maintained by the execution engines on the
+// coordinating thread only. Every field is a function of simulated state
+// alone, so serial and parallel engines (at equal quantum) agree exactly —
+// the registry-fingerprint determinism test relies on this.
+struct EngineCounters {
+  std::uint64_t quanta = 0;          // quantum windows executed
+  std::uint64_t segment_phases = 0;  // segment fan-outs (barriers)
+  std::uint64_t segments = 0;        // core-private segments run
+  std::uint64_t commits = 0;         // fabric steps committed canonically
+  std::uint64_t rounds = 0;          // round-task batches run
+};
 
 struct MachineConfig {
   int num_cpus = 4;
@@ -83,6 +97,28 @@ class Machine {
   // NUMA node of a CPU (0 for all CPUs on the snooping bus).
   int NodeOf(CpuId cpu) const;
 
+  // --- Observability --------------------------------------------------------
+  // Central metric registry. The machine registers its own hierarchical
+  // counters (cpuN.*, mem.*, bus.*, engine.*) at construction; subsystems
+  // with a shorter lifetime (CobraRuntime, SamplingDriver) add theirs via
+  // obs::Registry::Registration. registry().Take() is the one queryable
+  // snapshot of everything.
+  obs::Registry& registry() { return registry_; }
+
+  EngineCounters& engine_counters() { return engine_counters_; }
+  const EngineCounters& engine_counters() const { return engine_counters_; }
+
+  // Chrome trace-event timeline (nullptr = disabled). The constructor wires
+  // obs::EnvTraceSink(), so setting COBRA_TRACE=<file> traces every machine
+  // in the process; tests may override with their own sink. Threads: one
+  // lane per CPU (tid = CpuId), plus an `engine` lane for quantum windows
+  // and a `cobra` lane for deploy/revert instants.
+  void SetTraceSink(obs::TraceSink* trace);
+  obs::TraceSink* trace() { return trace_; }
+  int trace_pid() const { return trace_pid_; }
+  int trace_engine_tid() const { return num_cpus(); }
+  int trace_cobra_tid() const { return num_cpus() + 1; }
+
   // Simulated wall-clock: the maximum core time.
   Cycle GlobalTime() const;
 
@@ -130,6 +166,8 @@ class Machine {
   };
 
  private:
+  void RegisterMetrics();
+
   MachineConfig cfg_;
   isa::BinaryImage* image_;
   std::unique_ptr<mem::MainMemory> memory_;
@@ -137,6 +175,11 @@ class Machine {
   std::unique_ptr<verify::CoherenceChecker> checker_;  // null unless enabled
   std::vector<std::unique_ptr<mem::CacheStack>> stacks_;
   std::vector<std::unique_ptr<cpu::Core>> cores_;
+
+  obs::Registry registry_;
+  EngineCounters engine_counters_;
+  obs::TraceSink* trace_ = nullptr;
+  int trace_pid_ = 0;
 
   std::unique_ptr<ExecutionEngine> default_engine_;  // lazily created
   int engine_depth_ = 0;

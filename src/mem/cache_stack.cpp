@@ -24,7 +24,12 @@ FabricResult CacheStack::FabricRequest(BusOp op, Addr line_addr, Cycle now) {
   COBRA_CHECK_MSG(!fabric_guard_,
                   "coherence transaction during a core-private segment "
                   "(engine probe out of sync with the access path)");
-  return fabric_->Request(cpu_, op, line_addr, now);
+  FabricResult r = fabric_->Request(cpu_, op, line_addr, now);
+  if (trace_ != nullptr) {
+    trace_->Complete(trace_pid_, static_cast<int>(cpu_), "coherence",
+                     BusOpName(op), now, r.latency);
+  }
+  return r;
 }
 
 void CacheStack::FabricEvictNotify(Addr line_addr) {

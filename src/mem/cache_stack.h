@@ -21,6 +21,7 @@
 #include "mem/cache_array.h"
 #include "mem/coherence.h"
 #include "mem/config.h"
+#include "obs/trace.h"
 
 namespace cobra::mem {
 
@@ -29,6 +30,15 @@ class CacheStack {
   CacheStack(CpuId cpu, const MemConfig& cfg);
 
   void AttachFabric(CoherenceFabric* fabric) { fabric_ = fabric; }
+
+  // Timeline sink for coherence transactions (nullptr disables). Safe even
+  // under the parallel engine: FabricRequest only runs at commit barriers,
+  // where stacks are serviced one at a time in canonical order.
+  void AttachTrace(obs::TraceSink* trace, int trace_pid) {
+    trace_ = trace;
+    trace_pid_ = trace_pid;
+  }
+
   CpuId cpu() const { return cpu_; }
   const MemConfig& config() const { return cfg_; }
 
@@ -149,6 +159,8 @@ class CacheStack {
   CpuId cpu_;
   const MemConfig cfg_;
   CoherenceFabric* fabric_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  int trace_pid_ = 0;
   CacheArray l1_;
   CacheArray l2_;
   CacheArray l3_;

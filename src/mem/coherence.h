@@ -24,7 +24,8 @@ inline const char* MesiName(Mesi s) {
   return "?";
 }
 
-// Transaction kinds a cache stack can place on the fabric.
+// Transaction kinds a cache stack can place on the fabric (names below are
+// the timeline-trace event names).
 enum class BusOp : std::uint8_t {
   kRead,          // BRL: read line (grant S if shared, E if nobody holds it)
   kReadExcl,      // BRIL / RFO: read line with intent to modify (grant E)
@@ -35,6 +36,17 @@ enum class BusOp : std::uint8_t {
   kUpgrade,       // BIL: invalidate other copies of a line already held S
   kWriteback,     // BWL: write a dirty victim back to memory
 };
+
+inline const char* BusOpName(BusOp op) {
+  switch (op) {
+    case BusOp::kRead: return "read";
+    case BusOp::kReadExcl: return "read.excl";
+    case BusOp::kReadExclHint: return "read.excl.hint";
+    case BusOp::kUpgrade: return "upgrade";
+    case BusOp::kWriteback: return "writeback";
+  }
+  return "?";
+}
 
 // How the rest of the system responded — the Itanium 2 snoop-response
 // events the paper's detector divides by total bus transactions.
@@ -117,6 +129,11 @@ class CoherenceFabric {
   virtual const BusEventCounts& TotalCounts() const = 0;
   // Per-requesting-CPU counters (what that CPU's HPM sees).
   virtual const BusEventCounts& CpuCounts(CpuId cpu) const = 0;
+
+  // Total cycles requests spent queued behind busy shared resources — the
+  // observability registry's `bus.occupancy` metric. Fabrics without a
+  // contention model report 0.
+  virtual Cycle queue_cycles() const { return 0; }
 
   virtual void ResetCounts() = 0;
 };

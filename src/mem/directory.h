@@ -70,7 +70,7 @@ class DirectoryFabric : public CoherenceFabric {
   }
 
   // Cycles spent queued on node buses (contention measure).
-  Cycle queue_cycles() const { return queue_cycles_; }
+  Cycle queue_cycles() const override { return queue_cycles_; }
 
  private:
   Cycle Leg(int node_a, int node_b) const {

@@ -36,7 +36,7 @@ class SnoopBus : public CoherenceFabric {
   // Cycle at which the bus becomes free (testing / contention probes).
   Cycle free_at() const { return free_at_; }
   // Total cycles requests spent queued behind a busy bus.
-  Cycle queue_cycles() const { return queue_cycles_; }
+  Cycle queue_cycles() const override { return queue_cycles_; }
 
  private:
   MemConfig cfg_;

@@ -1,0 +1,88 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace cobra::obs {
+
+bool Snapshot::Has(std::string_view name) const {
+  return std::any_of(metrics.begin(), metrics.end(),
+                     [&](const Metric& m) { return m.name == name; });
+}
+
+std::uint64_t Snapshot::Value(std::string_view name) const {
+  for (const Metric& m : metrics) {
+    if (m.name == name) return m.value;
+  }
+  COBRA_CHECK_MSG(false, "snapshot has no such metric");
+  return 0;
+}
+
+std::uint64_t Snapshot::SumPrefix(std::string_view prefix) const {
+  std::uint64_t sum = 0;
+  for (const Metric& m : metrics) {
+    if (m.name.size() >= prefix.size() &&
+        std::string_view(m.name).substr(0, prefix.size()) == prefix) {
+      sum += m.value;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t Snapshot::Fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto Mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  for (const Metric& m : metrics) {
+    for (const char c : m.name) Mix(static_cast<std::uint8_t>(c));
+    Mix(0);
+    std::uint64_t v = m.value;
+    for (int i = 0; i < 8; ++i) {
+      Mix(static_cast<std::uint8_t>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  return h;
+}
+
+std::string Snapshot::ToString() const {
+  std::string out;
+  for (const Metric& m : metrics) {
+    out += m.name;
+    out += ' ';
+    out += std::to_string(m.value);
+    out += '\n';
+  }
+  return out;
+}
+
+int Registry::Register(std::string name, Probe probe) {
+  COBRA_CHECK_MSG(!name.empty(), "metric name must not be empty");
+  COBRA_CHECK_MSG(probe != nullptr, "metric probe must be callable");
+  for (const Entry& e : entries_) {
+    COBRA_CHECK_MSG(e.name != name, "duplicate metric name");
+  }
+  const int id = next_id_++;
+  entries_.push_back(Entry{id, std::move(name), std::move(probe)});
+  return id;
+}
+
+void Registry::Unregister(int id) {
+  std::erase_if(entries_, [id](const Entry& e) { return e.id == id; });
+}
+
+Snapshot Registry::Take() const {
+  Snapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    snap.metrics.push_back(Metric{e.name, e.probe()});
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return snap;
+}
+
+}  // namespace cobra::obs

@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/check.h"
+
+namespace cobra::obs {
+namespace {
+
+// JSON string escaping for event/track names (quotes, backslashes,
+// control characters; names here are ASCII by construction).
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+int TraceSink::BeginProcess(const std::string& name) {
+  const int pid = next_pid_++;
+  Event e;
+  e.ph = 'M';
+  e.category = "__metadata";
+  e.name = std::string("process_name") + '\x01' + name;
+  e.pid = pid;
+  events_.push_back(std::move(e));
+  return pid;
+}
+
+void TraceSink::NameThread(int pid, int tid, const std::string& name) {
+  Event e;
+  e.ph = 'M';
+  e.category = "__metadata";
+  e.name = std::string("thread_name") + '\x01' + name;
+  e.pid = pid;
+  e.tid = tid;
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::Complete(int pid, int tid, const char* category,
+                         std::string name, Cycle ts, Cycle dur) {
+  Event e;
+  e.ph = 'X';
+  e.category = category;
+  e.name = std::move(name);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  e.dur = dur;
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::Instant(int pid, int tid, const char* category,
+                        std::string name, Cycle ts) {
+  Event e;
+  e.ph = 'i';
+  e.category = category;
+  e.name = std::move(name);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::WriteJson(std::ostream& out) const {
+  std::string buf;
+  buf.reserve(events_.size() * 96 + 64);
+  buf += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) buf += ",\n";
+    first = false;
+    buf += "{\"ph\":\"";
+    buf += e.ph;
+    buf += "\",\"pid\":";
+    buf += std::to_string(e.pid);
+    buf += ",\"tid\":";
+    buf += std::to_string(e.tid);
+    if (e.ph == 'M') {
+      // Metadata: name carries "kind\x01value" (process_name/thread_name).
+      const std::size_t sep = e.name.find('\x01');
+      buf += ",\"name\":\"";
+      AppendEscaped(buf, e.name.substr(0, sep));
+      buf += "\",\"args\":{\"name\":\"";
+      AppendEscaped(buf, e.name.substr(sep + 1));
+      buf += "\"}}";
+      continue;
+    }
+    buf += ",\"ts\":";
+    buf += std::to_string(e.ts);
+    if (e.ph == 'X') {
+      buf += ",\"dur\":";
+      buf += std::to_string(e.dur);
+    }
+    if (e.ph == 'i') buf += ",\"s\":\"t\"";
+    buf += ",\"cat\":\"";
+    AppendEscaped(buf, e.category);
+    buf += "\",\"name\":\"";
+    AppendEscaped(buf, e.name);
+    buf += "\"}";
+  }
+  buf += "\n]}\n";
+  out << buf;
+}
+
+void TraceSink::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  COBRA_CHECK_MSG(out.good(), "COBRA_TRACE: cannot open trace file");
+  WriteJson(out);
+  COBRA_CHECK_MSG(out.good(), "COBRA_TRACE: trace file write failed");
+}
+
+namespace {
+
+struct EnvTrace {
+  std::string path;
+  TraceSink sink;
+
+  ~EnvTrace() { sink.WriteFile(path); }
+
+  static EnvTrace* Get() {
+    static EnvTrace* instance = [] {
+      const char* path = std::getenv("COBRA_TRACE");
+      if (path == nullptr || *path == '\0') return static_cast<EnvTrace*>(nullptr);
+      auto* t = new EnvTrace;  // freed at exit via the atexit handler below
+      t->path = path;
+      std::atexit([] { delete Get(); });
+      return t;
+    }();
+    return instance;
+  }
+};
+
+}  // namespace
+
+TraceSink* EnvTraceSink() {
+  EnvTrace* t = EnvTrace::Get();
+  return t == nullptr ? nullptr : &t->sink;
+}
+
+void FlushEnvTrace() {
+  EnvTrace* t = EnvTrace::Get();
+  if (t != nullptr) t->sink.WriteFile(t->path);
+}
+
+}  // namespace cobra::obs
+

@@ -1,0 +1,84 @@
+// Chrome trace-event timeline sink (chrome://tracing / Perfetto JSON).
+//
+// When the COBRA_TRACE environment variable names a file, every Machine in
+// the process appends its timeline to one shared sink, written out as a
+// Chrome trace-event JSON document at exit:
+//   * engine quanta — one complete event per quantum window, on a
+//     dedicated "engine" track per machine;
+//   * coherence transactions — one complete event per fabric request
+//     (name = bus op, duration = transaction latency incl. queuing), on
+//     the requesting CPU's track;
+//   * COBRA deploy / revert / reapply and epoch verdicts — instant events
+//     on the "cobra" track.
+// Each Machine gets its own pid (trace "process"), so successive
+// experiments in one driver run land side by side on the same timeline.
+//
+// Timestamps are simulated cycles written into the trace's microsecond
+// field (1 cycle renders as 1 us); traces are therefore deterministic and
+// diffable, like everything else in the simulator.
+//
+// Appends are not internally synchronized: all emitting sites run on the
+// engine's coordinating thread (fabric transactions commit at barriers,
+// COBRA wakes inside round tasks), which the fabric guard already
+// enforces for the transaction path.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/simtypes.h"
+
+namespace cobra::obs {
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Starts a new trace process (one per Machine); emits the
+  // process_name metadata record and returns the pid to tag events with.
+  int BeginProcess(const std::string& name);
+  // Names a thread track within a process (e.g. "cpu0", "engine").
+  void NameThread(int pid, int tid, const std::string& name);
+
+  // Complete event ("ph":"X"): a span [ts, ts+dur) on (pid, tid).
+  void Complete(int pid, int tid, const char* category, std::string name,
+                Cycle ts, Cycle dur);
+  // Instant event ("ph":"i", thread scope).
+  void Instant(int pid, int tid, const char* category, std::string name,
+               Cycle ts);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  // Serializes the trace as {"traceEvents":[...]} JSON.
+  void WriteJson(std::ostream& out) const;
+  // WriteJson to `path`; aborts if the file cannot be written.
+  void WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph = 'X';
+    const char* category = "";
+    std::string name;
+    int pid = 0;
+    int tid = 0;
+    Cycle ts = 0;
+    Cycle dur = 0;
+  };
+  std::vector<Event> events_;
+  int next_pid_ = 1;
+};
+
+// The process-wide sink gated by COBRA_TRACE: returns nullptr when the
+// variable is unset/empty; otherwise a shared sink whose contents are
+// written to the named file at process exit (and on every FlushEnvTrace).
+TraceSink* EnvTraceSink();
+// Writes the env-gated sink to its file now (no-op when tracing is off).
+// The benchmark driver calls this after each experiment so a crash keeps
+// the timeline collected so far.
+void FlushEnvTrace();
+
+}  // namespace cobra::obs

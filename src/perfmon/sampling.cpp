@@ -12,6 +12,9 @@ SamplingDriver::SamplingDriver(machine::Machine* machine,
   COBRA_CHECK(config.batch_size > 0);
   per_cpu_.resize(static_cast<std::size_t>(machine->num_cpus()));
   round_task_id_ = machine->AddRoundTask([this] { DrainDeferred(); });
+  metrics_ = obs::Registry::Registration(&machine->registry());
+  metrics_.Add("perfmon.samples", [this] { return TotalSamples(); });
+  metrics_.Add("perfmon.batches", [this] { return total_batches_; });
 }
 
 SamplingDriver::~SamplingDriver() {
@@ -77,6 +80,7 @@ void SamplingDriver::DeliverDeferred(CpuId cpu) {
   batches.swap(state.deferred);
   for (const std::vector<Sample>& batch : batches) {
     if (state.handler) {
+      ++total_batches_;
       state.handler(cpu, std::span<const Sample>(batch));
     }
   }
@@ -93,6 +97,7 @@ void SamplingDriver::Flush(CpuId cpu) {
   DeliverDeferred(cpu);
   if (state.kernel_buffer.empty()) return;
   if (state.handler) {
+    ++total_batches_;
     state.handler(cpu, std::span<const Sample>(state.kernel_buffer));
   }
   state.kernel_buffer.clear();

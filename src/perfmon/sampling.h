@@ -31,6 +31,7 @@
 #include "cpu/core.h"
 #include "cpu/hpm.h"
 #include "machine/machine.h"
+#include "obs/registry.h"
 #include "support/simtypes.h"
 
 namespace cobra::perfmon {
@@ -84,6 +85,8 @@ class SamplingDriver {
   std::uint64_t TotalSamples() const {
     return total_samples_.load(std::memory_order_relaxed);
   }
+  // Batches handed to delivery handlers (the monitoring-thread "signals").
+  std::uint64_t TotalBatches() const { return total_batches_; }
   const SamplingConfig& config() const { return config_; }
 
  private:
@@ -109,6 +112,9 @@ class SamplingDriver {
   int round_task_id_ = -1;
   // Cores sample concurrently during parallel segment phases.
   std::atomic<std::uint64_t> total_samples_{0};
+  // Batches only deliver at barriers or inline (coordinator thread).
+  std::uint64_t total_batches_ = 0;
+  obs::Registry::Registration metrics_;
 };
 
 }  // namespace cobra::perfmon

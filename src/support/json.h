@@ -1,0 +1,98 @@
+// Minimal JSON document model, writer and parser.
+//
+// This is the machine-readable side of the observability layer: the
+// benchmark driver (tools/cobra_bench) assembles its BENCH_*.json report
+// as a Json tree, the golden-schema test parses the serialized document
+// back and compares *shapes* (SchemaSignature), and the trace-sink test
+// parses COBRA_TRACE output to prove it loads in chrome://tracing.
+//
+// Scope: everything JSON requires for those documents — objects (insertion
+// ordered), arrays, strings, booleans, null, and numbers (64-bit integers
+// kept exact, doubles printed round-trippably). No comments, no NaN/Inf.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cobra::support {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  Json(double d) : kind_(Kind::kNumber), dbl_(d) {}  // NOLINT
+  Json(std::int64_t i)  // NOLINT
+      : kind_(Kind::kNumber), integral_(true), int_(i),
+        dbl_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : Json(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Json(int i) : Json(static_cast<std::int64_t>(i)) {}            // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}             // NOLINT
+
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  // --- Object access (aborts unless kind is kObject) -----------------------
+  // Sets `key` (replacing an existing value, preserving insertion order).
+  Json& Set(std::string_view key, Json value);
+  // Value of `key`, or nullptr when absent.
+  const Json* Find(std::string_view key) const;
+  // Value of `key`; aborts when absent.
+  const Json& At(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  // --- Array access (aborts unless kind is kArray) -------------------------
+  Json& Append(Json value);
+  const std::vector<Json>& elements() const;
+  std::size_t size() const;
+
+  // --- Scalar access (aborts on kind mismatch) -----------------------------
+  bool AsBool() const;
+  double AsDouble() const;
+  std::int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  // --- Serialization -------------------------------------------------------
+  // Pretty-prints with 2-space indentation; doubles use round-trippable
+  // formatting, so Parse(Dump(x)).Dump() == Dump(x).
+  std::string Dump() const;
+
+  // Parses a complete JSON document; returns nullopt (and sets *error to a
+  // position-tagged message) on malformed input or trailing garbage.
+  static std::optional<Json> Parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+  // Canonical shape signature: key names and value *types*, values erased.
+  //   null|bool|num|str  -> that token
+  //   object             -> {key:sig,...}   (keys sorted)
+  //   array              -> [sig|sig...]    (distinct element sigs, sorted)
+  // Two documents with the same signature have interchangeable structure —
+  // the golden-schema test pins the benchmark report to one signature.
+  std::string SchemaSignature() const;
+
+ private:
+  explicit Json(Kind kind) : kind_(kind) {}
+  void DumpTo(std::string& out, int indent) const;
+  void SignatureTo(std::string& out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  bool integral_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace cobra::support

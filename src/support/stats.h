@@ -87,6 +87,32 @@ class Histogram {
     return c;
   }
 
+  // p-quantile (p in [0, 1]) estimated from the bucket counts, with linear
+  // interpolation inside the bucket the rank falls into (benchmark p50 /
+  // p90 / p99 reporting). Underflow resolves to `lo`, overflow to `hi`
+  // (the histogram does not keep exact values outside [lo, hi)). Returns 0
+  // for an empty histogram.
+  double Quantile(double p) const {
+    if (total_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the sample we're after, 1-based; p=0 -> first, p=1 -> last.
+    const double rank = p * static_cast<double>(total_ - 1) + 1.0;
+    double seen = 0.0;
+    if (rank <= static_cast<double>(Underflow())) return lo_;
+    seen += static_cast<double>(Underflow());
+    const double width = (hi_ - lo_) / static_cast<double>(Buckets());
+    for (std::size_t i = 0; i < Buckets(); ++i) {
+      const double in_bucket = static_cast<double>(BucketCount(i));
+      if (in_bucket > 0.0 && rank <= seen + in_bucket) {
+        // Interpolate by the rank's position within this bucket's span.
+        const double frac = (rank - seen) / in_bucket;
+        return BucketLo(i) + frac * width;
+      }
+      seen += in_bucket;
+    }
+    return hi_;
+  }
+
  private:
   double lo_;
   double hi_;

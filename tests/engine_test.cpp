@@ -19,6 +19,7 @@
 #include "machine/engine.h"
 #include "machine/machine.h"
 #include "npb/common.h"
+#include "obs/registry.h"
 #include "perfmon/sampling.h"
 #include "rt/team.h"
 #include "verify/fuzz.h"
@@ -66,6 +67,13 @@ void AppendMachineState(std::ostringstream& out, machine::Machine& m) {
   const mem::BusEventCounts& total = m.fabric().TotalCounts();
   out << "bus_total=" << total.bus_memory << "/" << total.CoherentEvents()
       << "/" << total.remote_transactions << "\n";
+  // The observability registry reads every live counter in the machine —
+  // including the engine's own quantum/segment/commit tallies, which are
+  // only comparable between engines running the same quantum (the fixture
+  // guarantees that). A mismatch diffs metric-by-metric below.
+  const obs::Snapshot snapshot = m.registry().Take();
+  out << "registry_fp=" << snapshot.Fingerprint() << "\n"
+      << snapshot.ToString();
 }
 
 struct DaxpyFingerprint {

@@ -1,0 +1,164 @@
+// Paper-conformance trend tests (ctest label `trends`): run the quick
+// benchmark suite in-process once and assert the *directions* the paper's
+// figures claim — not exact numbers, which depend on the timing model's
+// constants, but the ordering relations COBRA's design argument rests on:
+//
+//   Fig. 5   COBRA speeds NPB up over the prefetch baseline, on the SMP
+//            bus machine and the NUMA directory machine alike.
+//   Fig. 6   COBRA's noprefetch optimization cuts L3 misses; ADORE-style
+//            insertion cuts *demand* L3 misses on a noprefetch binary.
+//   Fig. 7a  Adaptive `.excl` hints generate far less invalidation
+//            traffic than a binary compiled with always-on `.excl`.
+//   Fig. 7b  On NUMA, plain `.nt1` removal (noprefetch) beats `.excl`.
+//
+// The same document feeds the golden-schema test: the report's shape
+// (keys and value types, not values) is pinned to
+// tests/golden/bench_schema.txt, and the serialized report must round-trip
+// through the support::Json parser unchanged.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "suite.h"
+#include "support/json.h"
+
+namespace cobra {
+namespace {
+
+using support::Json;
+
+// One quick-suite run shared by every test in this binary (~10 s total; a
+// per-test run would multiply that by the assertion count).
+const Json& Report() {
+  static const Json* doc = [] {
+    bench::SuiteOptions options;
+    options.quick = true;
+    return new Json(bench::RunPaperSuite(options));
+  }();
+  return *doc;
+}
+
+const Json& Experiment(const std::string& name) {
+  for (const Json& e : Report().At("experiments").elements()) {
+    if (e.At("name").AsString() == name) return e;
+  }
+  ADD_FAILURE() << "experiment not found: " << name;
+  static const Json missing = Json::Object();
+  return missing;
+}
+
+double Derived(const std::string& experiment, const std::string& key) {
+  return Experiment(experiment).At("derived").At(key).AsDouble();
+}
+
+TEST(PaperTrends, EverySimulatedRunVerifies) {
+  for (const Json& e : Report().At("experiments").elements()) {
+    for (const Json& row : e.At("rows").elements()) {
+      const Json* verified = row.Find("verified");
+      if (verified != nullptr) {
+        EXPECT_TRUE(verified->AsBool())
+            << e.At("name").AsString() << " row failed functional "
+            << "verification: " << row.Dump();
+      }
+    }
+  }
+}
+
+TEST(PaperTrends, CodegenShapeMatchesFigure2) {
+  EXPECT_TRUE(Experiment("fig2_codegen").At("derived").At("shape_ok").AsBool());
+}
+
+// Figure 3: at the cache-resident working set, removing the compiler's
+// prefetches speeds the 4-thread DAXPY up (the motivation for the paper).
+TEST(PaperTrends, DaxpyNoprefetchWinsAtSmallWorkingSet) {
+  EXPECT_GT(Derived("fig3_daxpy", "noprefetch_speedup_4t_128k"), 1.0);
+}
+
+// Figure 5: average COBRA (noprefetch) speedup over the prefetch baseline
+// is above 1 on both machines — the baseline's speedup is 1 by definition,
+// so this is "COBRA >= baseline".
+TEST(PaperTrends, CobraBeatsBaselineOnSmpAndNuma) {
+  EXPECT_GT(Derived("npb_smp", "speedup_noprefetch_avg"), 1.0);
+  EXPECT_GT(Derived("npb_numa", "speedup_noprefetch_avg"), 1.0);
+}
+
+// Figure 6: the optimization that wins (noprefetch) wins *because* it cuts
+// L3 misses — the average per-benchmark L3 ratio vs baseline is below 1.
+TEST(PaperTrends, NoprefetchCutsL3Misses) {
+  EXPECT_LT(Derived("npb_smp", "l3_ratio_noprefetch_avg"), 1.0);
+  EXPECT_LT(Derived("npb_numa", "l3_ratio_noprefetch_avg"), 1.0);
+}
+
+// Figure 6 / ADORE: runtime prefetch *insertion* into a noprefetch binary
+// cuts demand L3 misses (and speeds the memory-bound DAXPY up).
+TEST(PaperTrends, InsertionCutsDemandL3Misses) {
+  EXPECT_LT(Derived("adore_insertion", "demand_l3_inserted_over_bare"), 1.0);
+  EXPECT_GT(Derived("adore_insertion", "speedup_inserted_vs_bare"), 1.0);
+}
+
+// Figure 7a: COBRA deploys `.excl` hints adaptively (measured epochs revert
+// them where they hurt), so its invalidation traffic — ownership upgrades
+// plus read-for-ownership HITM transfers — stays far below the always-on
+// `.excl` binary's.
+TEST(PaperTrends, AdaptiveExclInvalidatesLessThanAlwaysOn) {
+  EXPECT_LT(Derived("npb_smp", "invalidations_cobra_excl_total"),
+            Derived("npb_smp", "invalidations_static_excl_total"));
+  EXPECT_LT(Derived("npb_smp", "snoop_invalidations_cobra_excl_total"),
+            Derived("npb_smp", "snoop_invalidations_static_excl_total"));
+}
+
+// Figure 7b: on the NUMA machine, exclusive-hinted prefetches steal shared
+// lines across the directory fabric; plain prefetch removal (`.nt1`-style)
+// is the better strategy there.
+TEST(PaperTrends, NumaPrefersNoprefetchOverExcl) {
+  EXPECT_GT(Derived("npb_numa", "speedup_noprefetch_avg"),
+            Derived("npb_numa", "speedup_excl_avg"));
+}
+
+// --- Report document contract ---------------------------------------------
+
+TEST(BenchReport, RoundTripsThroughParser) {
+  const std::string text = Report().Dump();
+  std::string error;
+  const auto parsed = Json::Parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(BenchReport, SchemaMatchesGolden) {
+  std::ifstream in(std::string(COBRA_GOLDEN_DIR) + "/bench_schema.txt");
+  ASSERT_TRUE(in.good()) << "missing golden file " << COBRA_GOLDEN_DIR
+                         << "/bench_schema.txt";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  std::string expected = golden.str();
+  // Trim the trailing newline the generator writes.
+  while (!expected.empty() &&
+         (expected.back() == '\n' || expected.back() == '\r')) {
+    expected.pop_back();
+  }
+  // The signature erases values, so this holds for any engine, any machine
+  // and --quick or not. Regenerate after an intentional schema change with:
+  //   cobra_bench --suite=paper --quick --schema > tests/golden/bench_schema.txt
+  EXPECT_EQ(Report().SchemaSignature(), expected);
+
+  // Round-tripping must preserve the schema, not just the text.
+  const auto parsed = Json::Parse(Report().Dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->SchemaSignature(), expected);
+}
+
+TEST(BenchReport, HeaderIdentifiesTheRun) {
+  EXPECT_EQ(Report().At("schema_version").AsInt(), 1);
+  EXPECT_EQ(Report().At("generator").AsString(), "cobra_bench");
+  EXPECT_EQ(Report().At("suite").AsString(), "paper");
+  EXPECT_TRUE(Report().At("quick").AsBool());
+  // Every declared experiment ran (no --only filter here).
+  EXPECT_EQ(Report().At("experiments").size(),
+            bench::PaperExperimentNames().size());
+}
+
+}  // namespace
+}  // namespace cobra

@@ -94,6 +94,39 @@ TEST(Histogram, CountAtLeastMatchesLatencyFilterUse) {
   EXPECT_EQ(hist.CountAtLeast(300.0), 1u);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  // Uniform fill: one sample per 1-wide bucket at its midpoint.
+  Histogram hist(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) hist.Add(i + 0.5);
+  // rank(p) = p * 99 + 1, linearly interpolated inside the bucket it
+  // lands in, so quantiles track the uniform distribution closely.
+  EXPECT_NEAR(hist.Quantile(0.5), 50.5, 0.5);
+  EXPECT_NEAR(hist.Quantile(0.9), 90.1, 0.5);
+  EXPECT_NEAR(hist.Quantile(0.99), 99.01, 0.5);
+  // p is clamped; the extremes resolve inside the first/last hit bucket.
+  EXPECT_EQ(hist.Quantile(-1.0), hist.Quantile(0.0));
+  EXPECT_EQ(hist.Quantile(2.0), hist.Quantile(1.0));
+  EXPECT_GE(hist.Quantile(0.0), 0.0);
+  EXPECT_LE(hist.Quantile(1.0), 100.0);
+  // Quantiles are monotone in p.
+  for (double p = 0.0; p < 1.0; p += 0.1) {
+    EXPECT_LE(hist.Quantile(p), hist.Quantile(p + 0.1));
+  }
+}
+
+TEST(Histogram, QuantileTailsAndEmpty) {
+  Histogram empty(0.0, 10.0, 5);
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+
+  // All mass in the underflow bucket resolves to lo; overflow mass to hi
+  // (the histogram keeps no exact values outside [lo, hi)).
+  Histogram tails(10.0, 20.0, 5);
+  for (int i = 0; i < 4; ++i) tails.Add(-100.0);
+  EXPECT_EQ(tails.Quantile(0.5), 10.0);
+  for (int i = 0; i < 20; ++i) tails.Add(500.0);
+  EXPECT_EQ(tails.Quantile(0.9), 20.0);
+}
+
 TEST(TextTable, RendersAlignedColumns) {
   TextTable table({"name", "value"});
   table.AddRow({"x", TextTable::Int(42)});

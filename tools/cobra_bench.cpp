@@ -1,0 +1,135 @@
+// cobra_bench: the unified paper-conformance benchmark driver.
+//
+// Replaces the twelve per-figure bench binaries with one entry point that
+// runs the whole suite and emits a machine-readable report:
+//
+//   cobra_bench --suite=paper --quick --json=BENCH_cobra.json
+//   cobra_bench --suite=micro
+//   cobra_bench --list
+//   cobra_bench --only=npb_smp
+//
+// The JSON document's shape is pinned by tests/paper_trends_test.cpp
+// (golden schema); the paper's headline trends are asserted by the same
+// test on a quick run. COBRA_TRACE=<file> additionally writes a Chrome
+// trace-event timeline of the simulated runs, and COBRA_ENGINE selects the
+// host execution engine (bit-identical results either way).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "suite.h"
+#include "support/json.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--suite=paper|micro] [--quick] [--json=FILE]\n"
+      "          [--only=SUBSTRING] [--list] [--quiet]\n"
+      "\n"
+      "  --suite=NAME   paper (default): Table 1, Fig 2/3/5/6/7, ablations,\n"
+      "                 insertion; micro: execution-engine studies\n"
+      "  --quick        CI-sized matrices (same experiments, same schema)\n"
+      "  --json=FILE    write the report document to FILE\n"
+      "  --only=SUB     run only experiments whose name contains SUB\n"
+      "  --list         print experiment names and exit\n"
+      "  --schema       print the report's schema signature instead of the\n"
+      "                 summary (regenerates tests/golden/bench_schema.txt)\n"
+      "  --quiet        suppress progress lines on stderr\n"
+      "\n"
+      "environment: COBRA_ENGINE=serial|parallel[:N][@Q], COBRA_TRACE=FILE\n",
+      argv0);
+  return 2;
+}
+
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cobra;
+
+  std::string suite = "paper";
+  std::string json_path;
+  bench::SuiteOptions options;
+  options.echo = true;
+  bool list = false;
+  bool schema = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (std::strcmp(arg, "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--schema") == 0) {
+      schema = true;
+      options.echo = false;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      options.echo = false;
+    } else if (FlagValue(arg, "--suite", &value)) {
+      suite = value;
+    } else if (FlagValue(arg, "--json", &value)) {
+      json_path = value;
+    } else if (FlagValue(arg, "--only", &value)) {
+      options.only = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (suite != "paper" && suite != "micro") return Usage(argv[0]);
+
+  if (list) {
+    const auto names = suite == "paper" ? bench::PaperExperimentNames()
+                                        : bench::MicroExperimentNames();
+    for (const std::string& name : names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  const support::Json doc = suite == "paper" ? bench::RunPaperSuite(options)
+                                             : bench::RunMicroSuite(options);
+
+  if (schema) {
+    std::printf("%s\n", doc.SchemaSignature().c_str());
+    return 0;
+  }
+
+  // Human-readable summary: one line per experiment, plus its derived
+  // headline numbers (the full data lives in the JSON report).
+  std::printf("cobra_bench suite=%s quick=%s engine=%s\n", suite.c_str(),
+              options.quick ? "yes" : "no",
+              doc.At("engine").AsString().c_str());
+  for (const support::Json& e : doc.At("experiments").elements()) {
+    std::printf("  %-20s %-20s rows=%zu", e.At("name").AsString().c_str(),
+                e.At("figure").AsString().c_str(), e.At("rows").size());
+    for (const auto& [key, value] : e.At("derived").items()) {
+      if (value.is_number()) {
+        std::printf("  %s=%.4g", key.c_str(), value.AsDouble());
+      } else if (value.kind() == support::Json::Kind::kBool) {
+        std::printf("  %s=%s", key.c_str(), value.AsBool() ? "yes" : "NO");
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (!json_path.empty()) {
+    const std::string text = doc.Dump();
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cobra_bench: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n", json_path.c_str(), text.size() + 1);
+  }
+  return 0;
+}
