@@ -1,0 +1,101 @@
+#include "compare.h"
+
+#include <utility>
+
+namespace cobra::bench {
+namespace {
+
+using support::Json;
+
+const char* KindName(Json::Kind kind) {
+  switch (kind) {
+    case Json::Kind::kNull:
+      return "null";
+    case Json::Kind::kBool:
+      return "bool";
+    case Json::Kind::kNumber:
+      return "number";
+    case Json::Kind::kString:
+      return "string";
+    case Json::Kind::kArray:
+      return "array";
+    case Json::Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+void Record(CompareResult& out, std::size_t max_diffs, const std::string& path,
+            std::string detail) {
+  ++out.total_diffs;
+  if (out.diffs.size() < max_diffs) {
+    out.diffs.push_back(path + ": " + std::move(detail));
+  }
+}
+
+void Diff(const Json& expected, const Json& actual, const std::string& path,
+          CompareResult& out, std::size_t max_diffs) {
+  if (expected.kind() != actual.kind()) {
+    Record(out, max_diffs, path,
+           std::string("kind ") + KindName(expected.kind()) + " vs " +
+               KindName(actual.kind()));
+    return;
+  }
+  switch (expected.kind()) {
+    case Json::Kind::kObject: {
+      for (const auto& [key, value] : expected.items()) {
+        if (key == "host") continue;  // host-side perf: nondeterministic
+        const std::string sub = path + "." + key;
+        const Json* other = actual.Find(key);
+        if (other == nullptr) {
+          Record(out, max_diffs, sub, "missing from actual report");
+          continue;
+        }
+        Diff(value, *other, sub, out, max_diffs);
+      }
+      for (const auto& [key, value] : actual.items()) {
+        (void)value;
+        if (key == "host") continue;
+        if (expected.Find(key) == nullptr) {
+          Record(out, max_diffs, path + "." + key,
+                 "missing from expected report");
+        }
+      }
+      break;
+    }
+    case Json::Kind::kArray: {
+      const auto& a = expected.elements();
+      const auto& b = actual.elements();
+      if (a.size() != b.size()) {
+        Record(out, max_diffs, path,
+               "array length " + std::to_string(a.size()) + " vs " +
+                   std::to_string(b.size()));
+      }
+      const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        Diff(a[i], b[i], path + "[" + std::to_string(i) + "]", out,
+             max_diffs);
+      }
+      break;
+    }
+    default:
+      // Scalars: Dump() is round-trippable (integers exact, doubles
+      // shortest-round-trip), so serialized equality is value equality.
+      if (expected.Dump() != actual.Dump()) {
+        Record(out, max_diffs, path,
+               expected.Dump() + " != " + actual.Dump());
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+CompareResult CompareReports(const Json& expected, const Json& actual,
+                             std::size_t max_diffs) {
+  CompareResult result;
+  Diff(expected, actual, "$", result, max_diffs);
+  return result;
+}
+
+}  // namespace cobra::bench

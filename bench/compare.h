@@ -1,0 +1,39 @@
+// Report comparison behind `cobra_bench --compare=OLD.json`: a structural,
+// metric-by-metric diff of two benchmark report documents.
+//
+// Simulated metrics must match *exactly* — the suite is deterministic by
+// contract, so any numeric drift is a bug (or an intentional model change
+// that must re-bless the golden file). Any object member named "host" is
+// skipped on both sides: host-side performance readings (wall-clock,
+// sim-MIPS) are nondeterministic by design and carry no simulated state.
+// Missing keys, extra keys, kind mismatches and array-length mismatches all
+// count as drift.
+//
+// Used two ways: CI pins the quick-suite metrics to a committed golden file
+// (tests/golden/bench_quick_metrics.json), and developers prove a refactor
+// bit-identical by comparing a fresh report against a saved baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace cobra::bench {
+
+struct CompareResult {
+  // Human-readable "path: detail" lines, capped at the max_diffs passed to
+  // CompareReports; total_diffs keeps the full count.
+  std::vector<std::string> diffs;
+  std::uint64_t total_diffs = 0;
+  bool identical() const { return total_diffs == 0; }
+};
+
+// Diffs `expected` against `actual`, ignoring every object member named
+// "host" on either side. Scalars compare by exact serialized value.
+CompareResult CompareReports(const support::Json& expected,
+                             const support::Json& actual,
+                             std::size_t max_diffs = 32);
+
+}  // namespace cobra::bench

@@ -1,5 +1,6 @@
 #include "suite.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
@@ -34,12 +35,38 @@ std::string FingerprintHex(std::uint64_t fp) {
 Json SnapshotCounters(const obs::Snapshot& snapshot) {
   Json counters = Json::Array();
   for (const obs::Metric& m : snapshot.metrics) {
+    // Host-class readings are nondeterministic; they are reported once per
+    // experiment in the "host" object, never in the counter dumps that
+    // reports are diffed by.
+    if (m.host) continue;
     Json entry = Json::Object();
     entry.Set("name", m.name);
     entry.Set("value", m.value);
     counters.Append(std::move(entry));
   }
   return counters;
+}
+
+// The per-experiment "host" object: how fast the host simulated, measured
+// process-wide around the experiment body. Every value here varies run to
+// run; report-comparison tools must ignore the whole object (cobra_bench
+// --compare does).
+Json HostPerfJson(const machine::HostPerf& before,
+                  const machine::HostPerf& after, double wall_seconds) {
+  const std::uint64_t sim_cycles = after.sim_cycles - before.sim_cycles;
+  const std::uint64_t retired = after.retired - before.retired;
+  Json host = Json::Object();
+  host.Set("wall_seconds", wall_seconds);
+  host.Set("engine_runs", after.runs - before.runs);
+  host.Set("sim_cycles", sim_cycles);
+  host.Set("retired_insts", retired);
+  host.Set("sim_cycles_per_host_second",
+           wall_seconds > 0.0 ? static_cast<double>(sim_cycles) / wall_seconds
+                              : 0.0);
+  host.Set("sim_mips", wall_seconds > 0.0
+                           ? static_cast<double>(retired) / wall_seconds / 1e6
+                           : 0.0);
+  return host;
 }
 
 Json BeginExperiment(const char* name, const char* figure,
@@ -647,7 +674,15 @@ Json RunSuite(const char* suite_name, const ExperimentDef (&defs)[N],
     if (options.echo) {
       std::fprintf(stderr, "[cobra_bench] %s\n", def.name);
     }
-    experiments.Append(def.fn(options));
+    const machine::HostPerf before = machine::GlobalHostPerfTotals();
+    const auto t0 = std::chrono::steady_clock::now();
+    Json e = def.fn(options);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    e.Set("host",
+          HostPerfJson(before, machine::GlobalHostPerfTotals(), wall_seconds));
+    experiments.Append(std::move(e));
     // Each experiment gets its own COBRA_TRACE timeline segment; flushing
     // between them bounds memory and makes partial traces useful.
     obs::FlushEnvTrace();

@@ -8,12 +8,19 @@
 //
 //   { schema_version, generator, suite, quick, engine,
 //     experiments: [ { name, figure, description, machine, threads,
-//                      rows: [...], derived: {...} }, ... ] }
+//                      rows: [...], derived: {...}, host: {...} }, ... ] }
 //
 // Row keys and types never depend on --quick or on measured values (only
 // row *counts* change), so the golden-schema test can pin the document
 // shape, and tests/paper_trends_test.cpp asserts the paper's headline
 // trends directly on the returned tree.
+//
+// Every experiment also carries a "host" object (wall_seconds, sim_cycles,
+// retired_insts, sim_cycles_per_host_second, sim_mips): host-side
+// performance of the simulator itself. Its values are nondeterministic by
+// nature; report-diffing tools (cobra_bench --compare) skip the object, and
+// the underlying host.* registry metrics are excluded from determinism
+// fingerprints.
 #pragma once
 
 #include <string>

@@ -1,5 +1,6 @@
 #include "cpu/core.h"
 
+#include <array>
 #include <bit>
 #include <cmath>
 
@@ -9,8 +10,295 @@
 namespace cobra::cpu {
 
 using isa::Addr;
-using isa::Instruction;
+using isa::ExecPlan;
 using isa::Opcode;
+
+namespace {
+
+bool CmpEval(isa::CmpRel rel, std::uint64_t a, std::uint64_t b) {
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  switch (rel) {
+    case isa::CmpRel::kEq: return a == b;
+    case isa::CmpRel::kNe: return a != b;
+    case isa::CmpRel::kLt: return sa < sb;
+    case isa::CmpRel::kLe: return sa <= sb;
+    case isa::CmpRel::kGt: return sa > sb;
+    case isa::CmpRel::kGe: return sa >= sb;
+    case isa::CmpRel::kLtu: return a < b;
+    case isa::CmpRel::kGeu: return a >= b;
+  }
+  COBRA_UNREACHABLE("bad cmp relation");
+}
+
+bool FCmpEval(isa::FCmpRel rel, double a, double b) {
+  switch (rel) {
+    case isa::FCmpRel::kEq: return a == b;
+    case isa::FCmpRel::kNe: return a != b;
+    case isa::FCmpRel::kLt: return a < b;
+    case isa::FCmpRel::kLe: return a <= b;
+    case isa::FCmpRel::kGt: return a > b;
+    case isa::FCmpRel::kGe: return a >= b;
+  }
+  COBRA_UNREACHABLE("bad fcmp relation");
+}
+
+}  // namespace
+
+// Per-opcode execute handlers. Each handler performs the instruction's
+// architectural effect and advances the pc itself (kBreak leaves the pc at
+// the break). Branch and memory opcodes never reach this table — ExecutePlan
+// routes them on the classification bits first — so their entries (and the
+// stale-plan sentinel) abort.
+struct ExecOps {
+  using Handler = void (*)(Core&, const ExecPlan&);
+
+  static void Bad(Core&, const ExecPlan&) {
+    COBRA_UNREACHABLE("plan dispatch reached a non-ALU or stale handler");
+  }
+
+  static void Nop(Core& c, const ExecPlan&) { c.AdvancePc(); }
+  static void Break(Core& c, const ExecPlan&) {
+    c.halted_ = true;  // pc stays at the break
+  }
+
+  static void AddReg(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) + c.regs_.ReadGr(p.r3));
+    c.AdvancePc();
+  }
+  static void SubReg(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) - c.regs_.ReadGr(p.r3));
+    c.AdvancePc();
+  }
+  static void AddImm(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) +
+                              static_cast<std::uint64_t>(p.imm));
+    c.AdvancePc();
+  }
+  static void ShlAdd(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1,
+                    (c.regs_.ReadGr(p.r2) << p.imm) + c.regs_.ReadGr(p.r3));
+    c.AdvancePc();
+  }
+  static void And(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) & c.regs_.ReadGr(p.r3));
+    c.AdvancePc();
+  }
+  static void Or(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) | c.regs_.ReadGr(p.r3));
+    c.AdvancePc();
+  }
+  static void Xor(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) ^ c.regs_.ReadGr(p.r3));
+    c.AdvancePc();
+  }
+  static void AndImm(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) &
+                              static_cast<std::uint64_t>(p.imm));
+    c.AdvancePc();
+  }
+  static void OrImm(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) |
+                              static_cast<std::uint64_t>(p.imm));
+    c.AdvancePc();
+  }
+  static void ShlImm(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) << p.imm);
+    c.AdvancePc();
+  }
+  static void ShrImm(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) >> p.imm);
+    c.AdvancePc();
+  }
+  static void SarImm(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1,
+                    static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(c.regs_.ReadGr(p.r2)) >>
+                        p.imm));
+    c.AdvancePc();
+  }
+  static void MovImm(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, static_cast<std::uint64_t>(p.imm));
+    c.AdvancePc();
+  }
+  static void MovReg(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2));
+    c.AdvancePc();
+  }
+  static void Sxt4(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1,
+                    static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                        static_cast<std::int32_t>(c.regs_.ReadGr(p.r2)))));
+    c.AdvancePc();
+  }
+  static void Zxt4(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, c.regs_.ReadGr(p.r2) & 0xffffffffULL);
+    c.AdvancePc();
+  }
+  static void Cmp(Core& c, const ExecPlan& p) {
+    const bool t = CmpEval(static_cast<isa::CmpRel>(p.aux),
+                           c.regs_.ReadGr(p.r2), c.regs_.ReadGr(p.r3));
+    c.regs_.WritePr(p.p1, t);
+    if (p.p2 != 0) c.regs_.WritePr(p.p2, !t);
+    c.AdvancePc();
+  }
+  static void CmpImm(Core& c, const ExecPlan& p) {
+    const bool t =
+        CmpEval(static_cast<isa::CmpRel>(p.aux), c.regs_.ReadGr(p.r2),
+                static_cast<std::uint64_t>(p.imm));
+    c.regs_.WritePr(p.p1, t);
+    if (p.p2 != 0) c.regs_.WritePr(p.p2, !t);
+    c.AdvancePc();
+  }
+
+  static void MovToAr(Core& c, const ExecPlan& p) {
+    if (static_cast<isa::AppReg>(p.imm) == isa::AppReg::kLC) {
+      c.regs_.set_lc(c.regs_.ReadGr(p.r2));
+    } else {
+      c.regs_.set_ec(c.regs_.ReadGr(p.r2));
+    }
+    c.AdvancePc();
+  }
+  static void MovFromAr(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, static_cast<isa::AppReg>(p.imm) == isa::AppReg::kLC
+                              ? c.regs_.lc()
+                              : c.regs_.ec());
+    c.AdvancePc();
+  }
+  static void MovToPrRot(Core& c, const ExecPlan& p) {
+    c.regs_.SetRotatingPredicates(static_cast<std::uint64_t>(p.imm));
+    c.AdvancePc();
+  }
+  static void ClrRrb(Core& c, const ExecPlan&) {
+    c.regs_.ClearRrb();
+    c.AdvancePc();
+  }
+
+  // IA-64 fma.d and friends are *fused*: a single rounding.
+  static void Fma(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, std::fma(c.regs_.ReadFr(p.r2), c.regs_.ReadFr(p.r3),
+                                   c.regs_.ReadFr(p.extra)));
+    c.AdvancePc();
+  }
+  static void Fms(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, std::fma(c.regs_.ReadFr(p.r2), c.regs_.ReadFr(p.r3),
+                                   -c.regs_.ReadFr(p.extra)));
+    c.AdvancePc();
+  }
+  static void Fnma(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, std::fma(-c.regs_.ReadFr(p.r2), c.regs_.ReadFr(p.r3),
+                                   c.regs_.ReadFr(p.extra)));
+    c.AdvancePc();
+  }
+  static void Fmov(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, c.regs_.ReadFr(p.r2));
+    c.AdvancePc();
+  }
+  static void Fneg(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, -c.regs_.ReadFr(p.r2));
+    c.AdvancePc();
+  }
+  static void Fabs(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, std::fabs(c.regs_.ReadFr(p.r2)));
+    c.AdvancePc();
+  }
+  static void Frcpa(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, 1.0 / c.regs_.ReadFr(p.r2));
+    c.AdvancePc();
+  }
+  static void Fsqrt(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, std::sqrt(c.regs_.ReadFr(p.r2)));
+    c.AdvancePc();
+  }
+  static void Fmin(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1,
+                    std::fmin(c.regs_.ReadFr(p.r2), c.regs_.ReadFr(p.r3)));
+    c.AdvancePc();
+  }
+  static void Fmax(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1,
+                    std::fmax(c.regs_.ReadFr(p.r2), c.regs_.ReadFr(p.r3)));
+    c.AdvancePc();
+  }
+  static void Fcmp(Core& c, const ExecPlan& p) {
+    const bool t = FCmpEval(static_cast<isa::FCmpRel>(p.aux),
+                            c.regs_.ReadFr(p.r2), c.regs_.ReadFr(p.r3));
+    c.regs_.WritePr(p.p1, t);
+    if (p.p2 != 0) c.regs_.WritePr(p.p2, !t);
+    c.AdvancePc();
+  }
+  static void Setf(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, std::bit_cast<double>(c.regs_.ReadGr(p.r2)));
+    c.AdvancePc();
+  }
+  static void Getf(Core& c, const ExecPlan& p) {
+    c.regs_.WriteGr(p.r1, std::bit_cast<std::uint64_t>(c.regs_.ReadFr(p.r2)));
+    c.AdvancePc();
+  }
+  static void FcvtFx(Core& c, const ExecPlan& p) {
+    // Truncate toward zero (value kept in the FR as a double; see DESIGN).
+    c.regs_.WriteFr(p.r1, std::trunc(c.regs_.ReadFr(p.r2)));
+    c.AdvancePc();
+  }
+  static void FcvtXf(Core& c, const ExecPlan& p) {
+    c.regs_.WriteFr(p.r1, c.regs_.ReadFr(p.r2));
+    c.AdvancePc();
+  }
+};
+
+namespace {
+
+constexpr std::size_t Idx(Opcode op) { return static_cast<std::size_t>(op); }
+
+constexpr std::array<ExecOps::Handler, isa::kNumPlanHandlers> MakePlanTable() {
+  std::array<ExecOps::Handler, isa::kNumPlanHandlers> t{};
+  for (auto& h : t) h = &ExecOps::Bad;
+  t[Idx(Opcode::kNop)] = &ExecOps::Nop;
+  t[Idx(Opcode::kBreak)] = &ExecOps::Break;
+  t[Idx(Opcode::kAddReg)] = &ExecOps::AddReg;
+  t[Idx(Opcode::kSubReg)] = &ExecOps::SubReg;
+  t[Idx(Opcode::kAddImm)] = &ExecOps::AddImm;
+  t[Idx(Opcode::kShlAdd)] = &ExecOps::ShlAdd;
+  t[Idx(Opcode::kAnd)] = &ExecOps::And;
+  t[Idx(Opcode::kOr)] = &ExecOps::Or;
+  t[Idx(Opcode::kXor)] = &ExecOps::Xor;
+  t[Idx(Opcode::kAndImm)] = &ExecOps::AndImm;
+  t[Idx(Opcode::kOrImm)] = &ExecOps::OrImm;
+  t[Idx(Opcode::kShlImm)] = &ExecOps::ShlImm;
+  t[Idx(Opcode::kShrImm)] = &ExecOps::ShrImm;
+  t[Idx(Opcode::kSarImm)] = &ExecOps::SarImm;
+  t[Idx(Opcode::kMovImm)] = &ExecOps::MovImm;
+  t[Idx(Opcode::kMovReg)] = &ExecOps::MovReg;
+  t[Idx(Opcode::kSxt4)] = &ExecOps::Sxt4;
+  t[Idx(Opcode::kZxt4)] = &ExecOps::Zxt4;
+  t[Idx(Opcode::kCmp)] = &ExecOps::Cmp;
+  t[Idx(Opcode::kCmpImm)] = &ExecOps::CmpImm;
+  t[Idx(Opcode::kMovToAr)] = &ExecOps::MovToAr;
+  t[Idx(Opcode::kMovFromAr)] = &ExecOps::MovFromAr;
+  t[Idx(Opcode::kMovToPrRot)] = &ExecOps::MovToPrRot;
+  t[Idx(Opcode::kClrRrb)] = &ExecOps::ClrRrb;
+  t[Idx(Opcode::kFma)] = &ExecOps::Fma;
+  t[Idx(Opcode::kFms)] = &ExecOps::Fms;
+  t[Idx(Opcode::kFnma)] = &ExecOps::Fnma;
+  t[Idx(Opcode::kFmov)] = &ExecOps::Fmov;
+  t[Idx(Opcode::kFneg)] = &ExecOps::Fneg;
+  t[Idx(Opcode::kFabs)] = &ExecOps::Fabs;
+  t[Idx(Opcode::kFrcpa)] = &ExecOps::Frcpa;
+  t[Idx(Opcode::kFsqrt)] = &ExecOps::Fsqrt;
+  t[Idx(Opcode::kFmin)] = &ExecOps::Fmin;
+  t[Idx(Opcode::kFmax)] = &ExecOps::Fmax;
+  t[Idx(Opcode::kFcmp)] = &ExecOps::Fcmp;
+  t[Idx(Opcode::kSetf)] = &ExecOps::Setf;
+  t[Idx(Opcode::kGetf)] = &ExecOps::Getf;
+  t[Idx(Opcode::kFcvtFx)] = &ExecOps::FcvtFx;
+  t[Idx(Opcode::kFcvtXf)] = &ExecOps::FcvtXf;
+  return t;
+}
+
+constexpr std::array<ExecOps::Handler, isa::kNumPlanHandlers> kPlanHandlers =
+    MakePlanTable();
+
+}  // namespace
 
 Core::Core(CpuId id, isa::BinaryImage* image, mem::MainMemory* memory,
            mem::CacheStack* stack, const mem::CoherenceFabric* fabric)
@@ -22,6 +310,8 @@ Core::Core(CpuId id, isa::BinaryImage* image, mem::MainMemory* memory,
       hpm_(this) {
   COBRA_CHECK(image != nullptr && memory != nullptr && stack != nullptr &&
               fabric != nullptr);
+  issue_width_ = stack_->config().issue_width_bundles;
+  load_hide_ = stack_->config().load_hide_cycles;
 }
 
 void Core::Start(Addr entry) {
@@ -61,67 +351,57 @@ std::uint64_t Core::RawEventValue(HpmEvent event) const {
 
 void Core::Step() {
   COBRA_CHECK_MSG(!halted_, "stepping a halted core");
-  StepFetched(image_->Fetch(pc_));
-}
-
-void Core::StepFetched(const Instruction& inst) {
+  const ExecPlan& plan = image_->PlanAt(pc_);
   ChargeIssue();
-  Execute(inst);
+  ExecutePlan(plan);
   RetireTail();
 }
 
 bool Core::NextStepNeedsFabric() const {
   if (halted_) return false;
-  const Instruction& inst = image_->Fetch(pc_);
+  const ExecPlan& plan = image_->PlanAt(pc_);
   // Only memory ops can touch the fabric (branch and memory opcodes are
   // disjoint), and a squashed instruction retires with no architectural
-  // effect (Execute checks the same predicate).
-  if (!isa::IsMemoryOp(inst.op)) return false;
-  if (!regs_.ReadPr(inst.qp)) return false;
-  return MemOpNeedsFabric(inst, regs_.ReadGr(inst.r2));
+  // effect (ExecutePlan checks the same predicate).
+  if (!(plan.cls & isa::kPlanMem)) return false;
+  if (!regs_.ReadPr(plan.qp)) return false;
+  return PlanMemNeedsFabric(plan, regs_.ReadGr(plan.r2));
 }
 
-bool Core::MemOpNeedsFabric(const Instruction& inst, Addr addr) const {
-  switch (inst.op) {
-    case Opcode::kLd:
-      return stack_->LoadNeedsFabric(addr, /*fp=*/false,
-                                     inst.ld_hint == isa::LoadHint::kBias);
-    case Opcode::kLdf:
-      return stack_->LoadNeedsFabric(addr, /*fp=*/true, /*bias=*/false);
-    case Opcode::kSt:
-    case Opcode::kStf:
-      return stack_->StoreNeedsFabric(addr);
-    case Opcode::kLfetch: {
-      if (addr >= memory_->size()) return false;  // non-faulting: dropped
-      // Prefetch routing compares in-flight fill deadlines against the
-      // access time, which includes the issue cycle this step would charge.
-      Cycle access_now = now_;
-      if (isa::SlotOf(pc_) == 0 &&
-          bundle_credit_ + 1 >= stack_->config().issue_width_bundles) {
-        ++access_now;
-      }
-      return stack_->PrefetchNeedsFabric(addr, inst.lf_hint.excl, access_now);
+bool Core::PlanMemNeedsFabric(const ExecPlan& plan, Addr addr) const {
+  if (plan.cls & isa::kPlanLfetch) {
+    if (addr >= memory_->size()) return false;  // non-faulting: dropped
+    // Prefetch routing compares in-flight fill deadlines against the
+    // access time, which includes the issue cycle this step would charge.
+    Cycle access_now = now_;
+    if (isa::SlotOf(pc_) == 0 && bundle_credit_ + 1 >= issue_width_) {
+      ++access_now;
     }
-    default:
-      COBRA_UNREACHABLE("not a memory op");
+    return stack_->PrefetchNeedsFabric(addr, (plan.cls & isa::kPlanExcl) != 0,
+                                       access_now);
   }
+  if (plan.cls & isa::kPlanStore) return stack_->StoreNeedsFabric(addr);
+  return stack_->LoadNeedsFabric(addr, (plan.cls & isa::kPlanFp) != 0,
+                                 (plan.cls & isa::kPlanBias) != 0);
 }
 
 void Core::RunSegment(Cycle q_end) {
   while (!halted_ && now_ < q_end) {
-    const Instruction& inst = image_->Fetch(pc_);
-    if (isa::IsMemoryOp(inst.op) && regs_.ReadPr(inst.qp)) {
-      const Addr addr = regs_.ReadGr(inst.r2);
-      if (MemOpNeedsFabric(inst, addr)) return;
+    const ExecPlan& plan = image_->PlanAt(pc_);
+    if ((plan.cls & isa::kPlanMem) && regs_.ReadPr(plan.qp)) {
+      const Addr addr = regs_.ReadGr(plan.r2);
+      if (PlanMemNeedsFabric(plan, addr)) return;
       // Fused step: the classification, predicate and address above are
-      // exactly what Execute would recompute.
+      // exactly what ExecutePlan would recompute.
       ChargeIssue();
-      DoMemoryOp(inst, addr);
+      DoMemoryOpPlan(plan, addr);
       AdvancePc();
       RetireTail();
       continue;
     }
-    StepFetched(inst);
+    ChargeIssue();
+    ExecutePlan(plan);
+    RetireTail();
   }
 }
 
@@ -134,31 +414,31 @@ void Core::TakeBranch(Addr target, bool loop_branch) {
   bundle_credit_ = 0;  // issue group ends at a taken branch
 }
 
-void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
+void Core::DoMemoryOpPlan(const ExecPlan& plan, Addr addr) {
   // Software pipelining / compiler scheduling hides a window of load
   // latency; only the remainder stalls the core. DEAR observes the full
   // latency (the hardware captures it at the memory system, not the
   // pipeline).
-  const Cycle hide = stack_->config().load_hide_cycles;
+  const Cycle hide = load_hide_;
   auto Stall = [hide](Cycle latency) {
     return latency > hide ? latency - hide : 0;
   };
 
-  switch (inst.op) {
+  switch (static_cast<Opcode>(plan.handler)) {
     case Opcode::kLd: {
-      const std::uint64_t value = memory_->Read(addr, inst.size);
-      regs_.WriteGr(inst.r1, value);
-      if (checker_ != nullptr) checker_->OnLoad(id_, addr, inst.size, value);
+      const std::uint64_t value = memory_->Read(addr, plan.size);
+      regs_.WriteGr(plan.r1, value);
+      if (checker_ != nullptr) checker_->OnLoad(id_, addr, plan.size, value);
       const auto result =
-          stack_->Load(addr, inst.size, /*fp=*/false,
-                       inst.ld_hint == isa::LoadHint::kBias, now_);
+          stack_->Load(addr, plan.size, /*fp=*/false,
+                       (plan.cls & isa::kPlanBias) != 0, now_);
       now_ += Stall(result.latency);
       dear_.Observe(pc_, addr, result.latency);
       break;
     }
     case Opcode::kLdf: {
       const double value = memory_->ReadDouble(addr);
-      regs_.WriteFr(inst.r1, value);
+      regs_.WriteFr(plan.r1, value);
       if (checker_ != nullptr) {
         checker_->OnLoad(id_, addr, 8, std::bit_cast<std::uint64_t>(value));
       }
@@ -169,15 +449,15 @@ void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
       break;
     }
     case Opcode::kSt: {
-      std::uint64_t value = regs_.ReadGr(inst.r3);
-      if (inst.size < 8) value &= (1ULL << (inst.size * 8)) - 1;
-      memory_->Write(addr, inst.size, value);
-      if (checker_ != nullptr) checker_->OnStore(id_, addr, inst.size, value);
-      now_ += stack_->Store(addr, inst.size, now_).latency;
+      std::uint64_t value = regs_.ReadGr(plan.r3);
+      if (plan.size < 8) value &= (1ULL << (plan.size * 8)) - 1;
+      memory_->Write(addr, plan.size, value);
+      if (checker_ != nullptr) checker_->OnStore(id_, addr, plan.size, value);
+      now_ += stack_->Store(addr, plan.size, now_).latency;
       break;
     }
     case Opcode::kStf: {
-      const double value = regs_.ReadFr(inst.r3);
+      const double value = regs_.ReadFr(plan.r3);
       memory_->WriteDouble(addr, value);
       if (checker_ != nullptr) {
         checker_->OnStore(id_, addr, 8, std::bit_cast<std::uint64_t>(value));
@@ -189,7 +469,7 @@ void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
       // Non-binding and non-faulting: a prefetch past the end of the data
       // segment (the Figure 2 pathology would fault otherwise) is dropped.
       if (addr < memory_->size()) {
-        stack_->Prefetch(addr, inst.lf_hint.excl, now_);
+        stack_->Prefetch(addr, (plan.cls & isa::kPlanExcl) != 0, now_);
       } else {
         ++lfetches_dropped_;
       }
@@ -199,8 +479,8 @@ void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
       COBRA_UNREACHABLE("not a memory op");
   }
 
-  if (inst.post_inc) {
-    regs_.WriteGr(inst.r2, addr + static_cast<std::uint64_t>(inst.imm));
+  if (plan.cls & isa::kPlanPostInc) {
+    regs_.WriteGr(plan.r2, addr + static_cast<std::uint64_t>(plan.imm));
   }
 
   // The op is complete (lines installed, victims written back): re-check
@@ -208,16 +488,16 @@ void Core::DoMemoryOp(const Instruction& inst, Addr addr) {
   if (checker_ != nullptr) checker_->OnOpSettled(id_);
 }
 
-void Core::DoBranch(const Instruction& inst) {
+void Core::DoBranchPlan(const ExecPlan& plan) {
   auto Target = [&]() -> Addr {
     return isa::BundleAddr(pc_) +
-           static_cast<Addr>(inst.imm *
+           static_cast<Addr>(plan.imm *
                              static_cast<std::int64_t>(isa::kBundleBytes));
   };
 
-  switch (inst.op) {
+  switch (static_cast<Opcode>(plan.handler)) {
     case Opcode::kBrCond:
-      if (regs_.ReadPr(inst.qp)) {
+      if (regs_.ReadPr(plan.qp)) {
         TakeBranch(Target(), /*loop_branch=*/false);
       } else {
         AdvancePc();
@@ -254,7 +534,7 @@ void Core::DoBranch(const Instruction& inst) {
 
     case Opcode::kBrWtop:
       // IA-64 modulo-scheduled while-loop branch.
-      if (regs_.ReadPr(inst.qp)) {
+      if (regs_.ReadPr(plan.qp)) {
         regs_.WritePr(63, false);
         regs_.RotateDown();
         TakeBranch(Target(), /*loop_branch=*/true);
@@ -271,7 +551,7 @@ void Core::DoBranch(const Instruction& inst) {
       return;
 
     case Opcode::kBrl:
-      TakeBranch(static_cast<Addr>(inst.imm), /*loop_branch=*/false);
+      TakeBranch(static_cast<Addr>(plan.imm), /*loop_branch=*/false);
       return;
 
     default:
@@ -279,220 +559,28 @@ void Core::DoBranch(const Instruction& inst) {
   }
 }
 
-void Core::Execute(const Instruction& inst) {
+void Core::ExecutePlan(const ExecPlan& plan) {
   // Branch opcodes interpret predicates themselves (br.cond's qp *is* its
   // condition; br.ctop/br.wtop execute regardless).
-  if (isa::IsBranch(inst.op)) {
-    DoBranch(inst);
+  if (plan.cls & isa::kPlanBranch) {
+    DoBranchPlan(plan);
     return;
   }
 
   // Qualifying predicate: a squashed instruction still retires but has no
   // architectural effect (no post-increment either).
-  if (!regs_.ReadPr(inst.qp)) {
+  if (!regs_.ReadPr(plan.qp)) {
     AdvancePc();
     return;
   }
 
-  if (isa::IsMemoryOp(inst.op)) {
-    DoMemoryOp(inst, regs_.ReadGr(inst.r2));
+  if (plan.cls & isa::kPlanMem) {
+    DoMemoryOpPlan(plan, regs_.ReadGr(plan.r2));
     AdvancePc();
     return;
   }
 
-  auto CmpEval = [&](isa::CmpRel rel, std::uint64_t a,
-                     std::uint64_t b) -> bool {
-    const auto sa = static_cast<std::int64_t>(a);
-    const auto sb = static_cast<std::int64_t>(b);
-    switch (rel) {
-      case isa::CmpRel::kEq: return a == b;
-      case isa::CmpRel::kNe: return a != b;
-      case isa::CmpRel::kLt: return sa < sb;
-      case isa::CmpRel::kLe: return sa <= sb;
-      case isa::CmpRel::kGt: return sa > sb;
-      case isa::CmpRel::kGe: return sa >= sb;
-      case isa::CmpRel::kLtu: return a < b;
-      case isa::CmpRel::kGeu: return a >= b;
-    }
-    COBRA_UNREACHABLE("bad cmp relation");
-  };
-
-  auto FCmpEval = [&](isa::FCmpRel rel, double a, double b) -> bool {
-    switch (rel) {
-      case isa::FCmpRel::kEq: return a == b;
-      case isa::FCmpRel::kNe: return a != b;
-      case isa::FCmpRel::kLt: return a < b;
-      case isa::FCmpRel::kLe: return a <= b;
-      case isa::FCmpRel::kGt: return a > b;
-      case isa::FCmpRel::kGe: return a >= b;
-    }
-    COBRA_UNREACHABLE("bad fcmp relation");
-  };
-
-  switch (inst.op) {
-    case Opcode::kNop:
-      break;
-    case Opcode::kBreak:
-      halted_ = true;
-      return;  // pc stays at the break
-
-    case Opcode::kAddReg:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) + regs_.ReadGr(inst.r3));
-      break;
-    case Opcode::kSubReg:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) - regs_.ReadGr(inst.r3));
-      break;
-    case Opcode::kAddImm:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) +
-                                 static_cast<std::uint64_t>(inst.imm));
-      break;
-    case Opcode::kShlAdd:
-      regs_.WriteGr(inst.r1,
-                    (regs_.ReadGr(inst.r2) << inst.imm) + regs_.ReadGr(inst.r3));
-      break;
-    case Opcode::kAnd:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) & regs_.ReadGr(inst.r3));
-      break;
-    case Opcode::kOr:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) | regs_.ReadGr(inst.r3));
-      break;
-    case Opcode::kXor:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) ^ regs_.ReadGr(inst.r3));
-      break;
-    case Opcode::kAndImm:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) &
-                                 static_cast<std::uint64_t>(inst.imm));
-      break;
-    case Opcode::kOrImm:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) |
-                                 static_cast<std::uint64_t>(inst.imm));
-      break;
-    case Opcode::kShlImm:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) << inst.imm);
-      break;
-    case Opcode::kShrImm:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) >> inst.imm);
-      break;
-    case Opcode::kSarImm:
-      regs_.WriteGr(inst.r1,
-                    static_cast<std::uint64_t>(
-                        static_cast<std::int64_t>(regs_.ReadGr(inst.r2)) >>
-                        inst.imm));
-      break;
-    case Opcode::kMovImm:
-      regs_.WriteGr(inst.r1, static_cast<std::uint64_t>(inst.imm));
-      break;
-    case Opcode::kMovReg:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2));
-      break;
-    case Opcode::kSxt4:
-      regs_.WriteGr(inst.r1,
-                    static_cast<std::uint64_t>(static_cast<std::int64_t>(
-                        static_cast<std::int32_t>(regs_.ReadGr(inst.r2)))));
-      break;
-    case Opcode::kZxt4:
-      regs_.WriteGr(inst.r1, regs_.ReadGr(inst.r2) & 0xffffffffULL);
-      break;
-    case Opcode::kCmp: {
-      const bool t =
-          CmpEval(inst.rel, regs_.ReadGr(inst.r2), regs_.ReadGr(inst.r3));
-      regs_.WritePr(inst.p1, t);
-      if (inst.p2 != 0) regs_.WritePr(inst.p2, !t);
-      break;
-    }
-    case Opcode::kCmpImm: {
-      const bool t = CmpEval(inst.rel, regs_.ReadGr(inst.r2),
-                             static_cast<std::uint64_t>(inst.imm));
-      regs_.WritePr(inst.p1, t);
-      if (inst.p2 != 0) regs_.WritePr(inst.p2, !t);
-      break;
-    }
-
-    case Opcode::kMovToAr:
-      if (static_cast<isa::AppReg>(inst.imm) == isa::AppReg::kLC) {
-        regs_.set_lc(regs_.ReadGr(inst.r2));
-      } else {
-        regs_.set_ec(regs_.ReadGr(inst.r2));
-      }
-      break;
-    case Opcode::kMovFromAr:
-      regs_.WriteGr(inst.r1, static_cast<isa::AppReg>(inst.imm) ==
-                                     isa::AppReg::kLC
-                                 ? regs_.lc()
-                                 : regs_.ec());
-      break;
-    case Opcode::kMovToPrRot:
-      regs_.SetRotatingPredicates(static_cast<std::uint64_t>(inst.imm));
-      break;
-    case Opcode::kClrRrb:
-      regs_.ClearRrb();
-      break;
-
-    // IA-64 fma.d and friends are *fused*: a single rounding.
-    case Opcode::kFma:
-      regs_.WriteFr(inst.r1, std::fma(regs_.ReadFr(inst.r2),
-                                      regs_.ReadFr(inst.r3),
-                                      regs_.ReadFr(inst.extra)));
-      break;
-    case Opcode::kFms:
-      regs_.WriteFr(inst.r1, std::fma(regs_.ReadFr(inst.r2),
-                                      regs_.ReadFr(inst.r3),
-                                      -regs_.ReadFr(inst.extra)));
-      break;
-    case Opcode::kFnma:
-      regs_.WriteFr(inst.r1, std::fma(-regs_.ReadFr(inst.r2),
-                                      regs_.ReadFr(inst.r3),
-                                      regs_.ReadFr(inst.extra)));
-      break;
-    case Opcode::kFmov:
-      regs_.WriteFr(inst.r1, regs_.ReadFr(inst.r2));
-      break;
-    case Opcode::kFneg:
-      regs_.WriteFr(inst.r1, -regs_.ReadFr(inst.r2));
-      break;
-    case Opcode::kFabs:
-      regs_.WriteFr(inst.r1, std::fabs(regs_.ReadFr(inst.r2)));
-      break;
-    case Opcode::kFrcpa:
-      regs_.WriteFr(inst.r1, 1.0 / regs_.ReadFr(inst.r2));
-      break;
-    case Opcode::kFsqrt:
-      regs_.WriteFr(inst.r1, std::sqrt(regs_.ReadFr(inst.r2)));
-      break;
-    case Opcode::kFmin:
-      regs_.WriteFr(inst.r1,
-                    std::fmin(regs_.ReadFr(inst.r2), regs_.ReadFr(inst.r3)));
-      break;
-    case Opcode::kFmax:
-      regs_.WriteFr(inst.r1,
-                    std::fmax(regs_.ReadFr(inst.r2), regs_.ReadFr(inst.r3)));
-      break;
-    case Opcode::kFcmp: {
-      const bool t =
-          FCmpEval(inst.frel, regs_.ReadFr(inst.r2), regs_.ReadFr(inst.r3));
-      regs_.WritePr(inst.p1, t);
-      if (inst.p2 != 0) regs_.WritePr(inst.p2, !t);
-      break;
-    }
-    case Opcode::kSetf:
-      regs_.WriteFr(inst.r1, std::bit_cast<double>(regs_.ReadGr(inst.r2)));
-      break;
-    case Opcode::kGetf:
-      regs_.WriteGr(inst.r1, std::bit_cast<std::uint64_t>(regs_.ReadFr(inst.r2)));
-      break;
-    case Opcode::kFcvtFx:
-      // Truncate toward zero (value kept in the FR as a double; see DESIGN).
-      regs_.WriteFr(inst.r1, std::trunc(regs_.ReadFr(inst.r2)));
-      break;
-    case Opcode::kFcvtXf:
-      regs_.WriteFr(inst.r1, regs_.ReadFr(inst.r2));
-      break;
-
-    default:
-      COBRA_UNREACHABLE("unhandled opcode");
-  }
-
-  AdvancePc();
+  kPlanHandlers[plan.handler](*this, plan);
 }
 
 }  // namespace cobra::cpu

@@ -20,6 +20,7 @@
 
 #include "cpu/hpm.h"
 #include "cpu/regfile.h"
+#include "isa/exec_plan.h"
 #include "isa/image.h"
 #include "mem/cache_stack.h"
 #include "mem/coherence.h"
@@ -31,6 +32,10 @@ class CoherenceChecker;
 }
 
 namespace cobra::cpu {
+
+// Defined in core.cpp: the per-opcode handler table the execute path
+// dispatches through (friend of Core so handlers touch core state directly).
+struct ExecOps;
 
 class Core final : public HpmSource {
  public:
@@ -62,14 +67,16 @@ class Core final : public HpmSource {
   // fabric transaction? The execution engines (machine/engine.h) call this
   // at every step boundary to end a core-private segment just before a
   // fabric access, which is then committed in canonical (cycle, cpu-id)
-  // order while all other cores are quiescent. Mirrors DoMemoryOp's routing
-  // into the cache stack's *NeedsFabric probes decision-for-decision.
+  // order while all other cores are quiescent. Mirrors DoMemoryOpPlan's
+  // routing into the cache stack's *NeedsFabric probes
+  // decision-for-decision.
   bool NextStepNeedsFabric() const;
 
   // Segment hot loop for the execution engines: equivalent to
   //   while (!halted() && now() < q_end && !NextStepNeedsFabric()) Step();
-  // but fetches each instruction once (probe and step share the decode).
-  // The caller is expected to hold the cache stack's fabric guard.
+  // but looks up each slot's exec plan once (probe and step share the
+  // classification). The caller is expected to hold the cache stack's
+  // fabric guard.
   void RunSegment(Cycle q_end);
 
   // --- State ------------------------------------------------------------------
@@ -95,16 +102,19 @@ class Core final : public HpmSource {
   std::uint64_t RawEventValue(HpmEvent event) const override;
 
  private:
-  void StepFetched(const isa::Instruction& inst);
-  bool MemOpNeedsFabric(const isa::Instruction& inst, isa::Addr addr) const;
-  void Execute(const isa::Instruction& inst);
+  friend struct ExecOps;
+
+  // Executes one instruction from its plan: routes branches and memory ops
+  // on the classification bits, squashes on a false qualifying predicate,
+  // and dispatches everything else through the ExecOps handler table.
+  void ExecutePlan(const isa::ExecPlan& plan);
+  bool PlanMemNeedsFabric(const isa::ExecPlan& plan, isa::Addr addr) const;
   // Issue cost: Itanium 2 issues `issue_width_bundles` bundles per cycle;
   // charged at slot 0 (branch targets are bundle-aligned, so every executed
   // bundle passes through slot 0).
   void ChargeIssue() {
     if (isa::SlotOf(pc_) == 0) {
-      const int width = stack_->config().issue_width_bundles;
-      if (++bundle_credit_ >= width) {
+      if (++bundle_credit_ >= issue_width_) {
         bundle_credit_ = 0;
         ++now_;
       }
@@ -122,8 +132,8 @@ class Core final : public HpmSource {
     pc_ = slot < 2 ? pc_ + 1 : isa::BundleAddr(pc_) + isa::kBundleBytes;
   }
   void TakeBranch(isa::Addr target, bool loop_branch);
-  void DoMemoryOp(const isa::Instruction& inst, isa::Addr addr);
-  void DoBranch(const isa::Instruction& inst);
+  void DoMemoryOpPlan(const isa::ExecPlan& plan, isa::Addr addr);
+  void DoBranchPlan(const isa::ExecPlan& plan);
 
   CpuId id_;
   isa::BinaryImage* image_;
@@ -131,6 +141,11 @@ class Core final : public HpmSource {
   mem::CacheStack* stack_;
   const mem::CoherenceFabric* fabric_;
   verify::CoherenceChecker* checker_ = nullptr;  // null unless verifying
+  // Immutable timing parameters hoisted out of MemConfig (const after
+  // CacheStack construction) so the per-instruction path avoids the
+  // pointer chase.
+  int issue_width_;
+  Cycle load_hide_;
 
   RegisterFile regs_;
   Hpm hpm_;

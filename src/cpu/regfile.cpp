@@ -15,56 +15,10 @@ void RegisterFile::Reset() {
   rrb_gr_ = rrb_fr_ = rrb_pr_ = 0;
 }
 
-std::uint64_t RegisterFile::ReadGr(int r) const {
-  COBRA_CHECK(r >= 0 && r < isa::kNumGr);
-  if (r == 0) return 0;
-  return gr_[static_cast<std::size_t>(PhysGr(r))];
-}
-
-void RegisterFile::WriteGr(int r, std::uint64_t value) {
-  COBRA_CHECK(r >= 0 && r < isa::kNumGr);
-  COBRA_CHECK_MSG(r != 0, "write to r0 is illegal");
-  gr_[static_cast<std::size_t>(PhysGr(r))] = value;
-}
-
-double RegisterFile::ReadFr(int r) const {
-  COBRA_CHECK(r >= 0 && r < isa::kNumFr);
-  if (r == 0) return 0.0;
-  if (r == 1) return 1.0;
-  return fr_[static_cast<std::size_t>(PhysFr(r))];
-}
-
-void RegisterFile::WriteFr(int r, double value) {
-  COBRA_CHECK(r >= 0 && r < isa::kNumFr);
-  COBRA_CHECK_MSG(r > 1, "write to f0/f1 is illegal");
-  fr_[static_cast<std::size_t>(PhysFr(r))] = value;
-}
-
-bool RegisterFile::ReadPr(int p) const {
-  COBRA_CHECK(p >= 0 && p < isa::kNumPr);
-  if (p == 0) return true;
-  return pr_[static_cast<std::size_t>(PhysPr(p))];
-}
-
-void RegisterFile::WritePr(int p, bool value) {
-  COBRA_CHECK(p >= 0 && p < isa::kNumPr);
-  COBRA_CHECK_MSG(p != 0, "write to p0 is illegal");
-  pr_[static_cast<std::size_t>(PhysPr(p))] = value;
-}
-
 void RegisterFile::SetRotatingPredicates(std::uint64_t mask) {
   for (int i = 0; i < isa::kNumRotPr; ++i) {
     WritePr(isa::kFirstRotPr + i, (mask >> i) & 1);
   }
-}
-
-void RegisterFile::RotateDown() {
-  auto dec = [](int rrb, int modulus) {
-    return (rrb + modulus - 1) % modulus;
-  };
-  rrb_gr_ = dec(rrb_gr_, isa::kNumRotGr);
-  rrb_fr_ = dec(rrb_fr_, isa::kNumRotFr);
-  rrb_pr_ = dec(rrb_pr_, isa::kNumRotPr);
 }
 
 void RegisterFile::ClearRrb() { rrb_gr_ = rrb_fr_ = rrb_pr_ = 0; }

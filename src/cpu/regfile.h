@@ -22,17 +22,46 @@ class RegisterFile {
  public:
   RegisterFile();
 
+  // The register accessors are inline: they run several times per simulated
+  // instruction and the rotation arithmetic below is branch-free enough to
+  // fold into the caller.
+
   // --- General registers ---------------------------------------------------
-  std::uint64_t ReadGr(int r) const;
-  void WriteGr(int r, std::uint64_t value);
+  std::uint64_t ReadGr(int r) const {
+    COBRA_CHECK(r >= 0 && r < isa::kNumGr);
+    if (r == 0) return 0;
+    return gr_[static_cast<std::size_t>(PhysGr(r))];
+  }
+  void WriteGr(int r, std::uint64_t value) {
+    COBRA_CHECK(r >= 0 && r < isa::kNumGr);
+    COBRA_CHECK_MSG(r != 0, "write to r0 is illegal");
+    gr_[static_cast<std::size_t>(PhysGr(r))] = value;
+  }
 
   // --- Floating registers (hold doubles; f0 = +0.0, f1 = 1.0) --------------
-  double ReadFr(int r) const;
-  void WriteFr(int r, double value);
+  double ReadFr(int r) const {
+    COBRA_CHECK(r >= 0 && r < isa::kNumFr);
+    if (r == 0) return 0.0;
+    if (r == 1) return 1.0;
+    return fr_[static_cast<std::size_t>(PhysFr(r))];
+  }
+  void WriteFr(int r, double value) {
+    COBRA_CHECK(r >= 0 && r < isa::kNumFr);
+    COBRA_CHECK_MSG(r > 1, "write to f0/f1 is illegal");
+    fr_[static_cast<std::size_t>(PhysFr(r))] = value;
+  }
 
   // --- Predicate registers (p0 hardwired to 1) -----------------------------
-  bool ReadPr(int p) const;
-  void WritePr(int p, bool value);
+  bool ReadPr(int p) const {
+    COBRA_CHECK(p >= 0 && p < isa::kNumPr);
+    if (p == 0) return true;
+    return pr_[static_cast<std::size_t>(PhysPr(p))];
+  }
+  void WritePr(int p, bool value) {
+    COBRA_CHECK(p >= 0 && p < isa::kNumPr);
+    COBRA_CHECK_MSG(p != 0, "write to p0 is illegal");
+    pr_[static_cast<std::size_t>(PhysPr(p))] = value;
+  }
 
   // Sets the 48 rotating predicates from a bit mask: bit i -> p(16+i)
   // (mov pr.rot = imm).
@@ -46,7 +75,12 @@ class RegisterFile {
 
   // --- Rotation --------------------------------------------------------------
   // Decrements all three RRBs (the effect of a taken br.ctop/br.wtop).
-  void RotateDown();
+  // Inline: charged on every taken modulo-scheduled loop branch.
+  void RotateDown() {
+    rrb_gr_ = rrb_gr_ == 0 ? isa::kNumRotGr - 1 : rrb_gr_ - 1;
+    rrb_fr_ = rrb_fr_ == 0 ? isa::kNumRotFr - 1 : rrb_fr_ - 1;
+    rrb_pr_ = rrb_pr_ == 0 ? isa::kNumRotPr - 1 : rrb_pr_ - 1;
+  }
   // Resets all RRBs to zero (clrrrb).
   void ClearRrb();
   int rrb_gr() const { return rrb_gr_; }
@@ -56,20 +90,27 @@ class RegisterFile {
   void Reset();
 
  private:
+  // Rotation maps a logical name to `first + (name - first + rrb) % num`.
+  // The RRBs stay in [0, num) (RotateDown/ClearRrb maintain this) and the
+  // logical offset is < num, so the sum is < 2*num and the modulo reduces
+  // to at most one subtraction — this runs for every register access on the
+  // interpreter's hot path.
+  static int PhysRot(int reg, int first, int num, int rrb) {
+    int t = reg - first + rrb;
+    if (t >= num) t -= num;
+    return first + t;
+  }
   int PhysGr(int r) const {
     if (r < isa::kFirstRotGr) return r;
-    return isa::kFirstRotGr +
-           (r - isa::kFirstRotGr + rrb_gr_) % isa::kNumRotGr;
+    return PhysRot(r, isa::kFirstRotGr, isa::kNumRotGr, rrb_gr_);
   }
   int PhysFr(int r) const {
     if (r < isa::kFirstRotFr) return r;
-    return isa::kFirstRotFr +
-           (r - isa::kFirstRotFr + rrb_fr_) % isa::kNumRotFr;
+    return PhysRot(r, isa::kFirstRotFr, isa::kNumRotFr, rrb_fr_);
   }
   int PhysPr(int p) const {
     if (p < isa::kFirstRotPr) return p;
-    return isa::kFirstRotPr +
-           (p - isa::kFirstRotPr + rrb_pr_) % isa::kNumRotPr;
+    return PhysRot(p, isa::kFirstRotPr, isa::kNumRotPr, rrb_pr_);
   }
 
   std::array<std::uint64_t, isa::kNumGr> gr_{};

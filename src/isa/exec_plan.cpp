@@ -1,0 +1,53 @@
+#include "isa/exec_plan.h"
+
+namespace cobra::isa {
+
+ExecPlan BuildExecPlan(const Instruction& inst) {
+  ExecPlan p;
+  p.imm = inst.imm;
+  p.handler = static_cast<std::uint16_t>(inst.op);
+  p.qp = inst.qp;
+  p.r1 = inst.r1;
+  p.r2 = inst.r2;
+  p.r3 = inst.r3;
+  p.extra = inst.extra;
+  p.p1 = inst.p1;
+  p.p2 = inst.p2;
+  p.size = inst.size;
+
+  std::uint8_t cls = 0;
+  if (IsMemoryOp(inst.op)) cls |= kPlanMem;
+  if (IsBranch(inst.op)) cls |= kPlanBranch;
+  if (inst.op == Opcode::kSt || inst.op == Opcode::kStf) cls |= kPlanStore;
+  if (inst.op == Opcode::kLdf || inst.op == Opcode::kStf) cls |= kPlanFp;
+  if (inst.op == Opcode::kLfetch) {
+    cls |= kPlanLfetch;
+    if (inst.lf_hint.excl) cls |= kPlanExcl;
+  }
+  if (inst.op == Opcode::kLd && inst.ld_hint == LoadHint::kBias) {
+    cls |= kPlanBias;
+  }
+  if (inst.post_inc) cls |= kPlanPostInc;
+  p.cls = cls;
+
+  switch (inst.op) {
+    case Opcode::kCmp:
+    case Opcode::kCmpImm:
+      p.aux = static_cast<std::uint8_t>(inst.rel);
+      break;
+    case Opcode::kFcmp:
+      p.aux = static_cast<std::uint8_t>(inst.frel);
+      break;
+    default:
+      break;
+  }
+  return p;
+}
+
+ExecPlan StaleExecPlan() {
+  ExecPlan p;
+  p.handler = kPlanHandlerStale;
+  return p;
+}
+
+}  // namespace cobra::isa

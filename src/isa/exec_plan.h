@@ -1,0 +1,69 @@
+// Per-slot execution plans: the pre-resolved form the core's hot path
+// dispatches on.
+//
+// Decoding an `Instruction` is cheap, but *classifying* it — is it a memory
+// op, does it need the coherence fabric, which predicate gates it, which
+// registers does it touch — is re-derived on every step by the interpreter's
+// nested opcode switches. An ExecPlan flattens all of that into one 24-byte
+// struct computed once per slot (and recomputed on patch): a direct handler
+// id the core indexes into its handler table, the operand register numbers,
+// and a classification bitmask that answers the per-step routing questions
+// (memory? branch? store? fp? lfetch? .bias/.excl? post-increment?) with
+// single bit tests.
+//
+// Plans are a pure cache over the decoded twin: BinaryImage rebuilds a
+// slot's plan whenever its raw words change (PatchRaw/Patch/SetLfetchExcl/
+// NopOutLfetch all funnel through PatchRaw), so executing from the plan is
+// bit-identical to re-decoding every step. `plan_generation()` counts those
+// rebuilds so external consumers can detect invalidation.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+#include "isa/types.h"
+
+namespace cobra::isa {
+
+// Classification bits (ExecPlan::cls). Routing on the hot path tests these
+// instead of switching on the opcode.
+inline constexpr std::uint8_t kPlanMem = 1u << 0;      // IsMemoryOp
+inline constexpr std::uint8_t kPlanBranch = 1u << 1;   // IsBranch
+inline constexpr std::uint8_t kPlanStore = 1u << 2;    // kSt / kStf
+inline constexpr std::uint8_t kPlanFp = 1u << 3;       // kLdf / kStf
+inline constexpr std::uint8_t kPlanLfetch = 1u << 4;   // kLfetch
+inline constexpr std::uint8_t kPlanBias = 1u << 5;     // ld.bias
+inline constexpr std::uint8_t kPlanExcl = 1u << 6;     // lfetch.excl
+inline constexpr std::uint8_t kPlanPostInc = 1u << 7;  // post-increment form
+
+// Handler ids are the numeric Opcode values; one extra id marks a slot whose
+// raw words were overwritten without re-decoding (TestOnlyCorruptSlot) so a
+// stale plan can never be dispatched silently.
+inline constexpr std::uint16_t kPlanHandlerStale =
+    static_cast<std::uint16_t>(Opcode::kOpcodeCount);
+inline constexpr std::size_t kNumPlanHandlers =
+    static_cast<std::size_t>(Opcode::kOpcodeCount) + 1;
+
+struct ExecPlan {
+  std::int64_t imm = 0;       // immediate / displacement / post-increment
+  std::uint16_t handler = 0;  // Opcode value, or kPlanHandlerStale
+  std::uint8_t cls = 0;       // kPlan* classification bits
+  std::uint8_t qp = 0;
+  std::uint8_t r1 = 0;
+  std::uint8_t r2 = 0;
+  std::uint8_t r3 = 0;
+  std::uint8_t extra = 0;
+  std::uint8_t p1 = 0;
+  std::uint8_t p2 = 0;
+  std::uint8_t size = 0;  // memory access size in bytes
+  std::uint8_t aux = 0;   // CmpRel (kCmp/kCmpImm) or FCmpRel (kFcmp)
+};
+
+// Flattens a decoded instruction into its execution plan.
+ExecPlan BuildExecPlan(const Instruction& inst);
+
+// The plan installed for a slot corrupted by TestOnlyCorruptSlot: cls = 0
+// and handler = kPlanHandlerStale, so dispatch aborts if it is ever reached.
+ExecPlan StaleExecPlan();
+
+}  // namespace cobra::isa

@@ -1,8 +1,16 @@
 #include "isa/image.h"
 
+#include <algorithm>
+
 #include "support/check.h"
 
 namespace cobra::isa {
+
+std::atomic<bool> BinaryImage::plan_cache_enabled_{true};
+
+void BinaryImage::TestOnlySetPlanCacheEnabled(bool enabled) {
+  plan_cache_enabled_.store(enabled, std::memory_order_relaxed);
+}
 
 BinaryImage::BinaryImage(Addr code_base) : code_base_(code_base) {
   COBRA_CHECK_MSG(BundleAddr(code_base) == code_base,
@@ -15,7 +23,9 @@ Addr BinaryImage::AppendBundle(const Instruction& s0, const Instruction& s1,
   for (const Instruction* inst : {&s0, &s1, &s2}) {
     slots_.push_back(Encode(*inst));
     decoded_.push_back(*inst);
+    plans_.push_back(BuildExecPlan(*inst));
   }
+  ++plan_generation_;
   return addr;
 }
 
@@ -25,20 +35,19 @@ Addr BinaryImage::BeginCodeCache() {
   return code_cache_start_;
 }
 
-std::size_t BinaryImage::SlotIndex(Addr pc) const {
-  COBRA_CHECK_MSG(Contains(pc), "instruction address outside image");
-  const unsigned slot = SlotOf(pc);
-  COBRA_CHECK_MSG(slot < 3, "invalid slot number");
-  const auto bundle =
-      static_cast<std::size_t>((BundleAddr(pc) - code_base_) / kBundleBytes);
-  return bundle * 3 + slot;
-}
-
 void BinaryImage::PatchRaw(Addr pc, const EncodedSlot& slot) {
   const std::size_t idx = SlotIndex(pc);
   slots_[idx] = slot;
   decoded_[idx] = Decode(slot);  // aborts on malformed patches
+  plans_[idx] = BuildExecPlan(decoded_[idx]);
+  ++plan_generation_;
   ++patch_count_;
+  if (!corrupt_slots_.empty()) {
+    // A valid patch heals a previously corrupted slot.
+    corrupt_slots_.erase(
+        std::remove(corrupt_slots_.begin(), corrupt_slots_.end(), idx),
+        corrupt_slots_.end());
+  }
 }
 
 void BinaryImage::Patch(Addr pc, const Instruction& inst) {
@@ -46,7 +55,27 @@ void BinaryImage::Patch(Addr pc, const Instruction& inst) {
 }
 
 void BinaryImage::TestOnlyCorruptSlot(Addr pc, const EncodedSlot& slot) {
-  slots_[SlotIndex(pc)] = slot;  // decoded twin intentionally left stale
+  const std::size_t idx = SlotIndex(pc);
+  slots_[idx] = slot;  // decoded twin intentionally left stale
+  plans_[idx] = StaleExecPlan();
+  ++plan_generation_;
+  if (std::find(corrupt_slots_.begin(), corrupt_slots_.end(), idx) ==
+      corrupt_slots_.end()) {
+    corrupt_slots_.push_back(idx);
+  }
+}
+
+void BinaryImage::CheckNotStale(std::size_t idx) const {
+  COBRA_CHECK_MSG(std::find(corrupt_slots_.begin(), corrupt_slots_.end(),
+                            idx) == corrupt_slots_.end(),
+                  "fetch from a slot whose raw words no longer match its "
+                  "decoded twin (TestOnlyCorruptSlot without a re-patch)");
+}
+
+const ExecPlan& BinaryImage::RebuildPlanUncached(std::size_t idx) const {
+  thread_local ExecPlan scratch;
+  scratch = BuildExecPlan(decoded_[idx]);
+  return scratch;
 }
 
 void BinaryImage::SetLfetchExcl(Addr pc, bool excl) {

@@ -10,17 +10,23 @@
 // those traces and how prefetch hints are rewritten.
 //
 // A decoded twin of every slot is kept alongside the encoded words purely
-// as a decode cache; all mutation goes through the encoded representation
-// so that patches are honest bit-level binary edits.
+// as a decode cache, and a flattened ExecPlan twin (see isa/exec_plan.h) is
+// kept alongside that for the core's hot dispatch path; all mutation goes
+// through the encoded representation so that patches are honest bit-level
+// binary edits, and every raw patch rebuilds both cached twins in the same
+// call, so neither can drift from the bits.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "isa/encoding.h"
+#include "isa/exec_plan.h"
 #include "isa/instruction.h"
 #include "isa/types.h"
+#include "support/check.h"
 
 namespace cobra::isa {
 
@@ -57,7 +63,27 @@ class BinaryImage {
 
   // --- Access -------------------------------------------------------------
   // Decoded instruction at `pc` (slot must be 0..2, address in range).
-  const Instruction& Fetch(Addr pc) const { return decoded_[SlotIndex(pc)]; }
+  // Aborts if the slot's raw words were overwritten without re-decoding
+  // (TestOnlyCorruptSlot): a stale decode must never execute.
+  const Instruction& Fetch(Addr pc) const {
+    const std::size_t idx = SlotIndex(pc);
+    if (!corrupt_slots_.empty()) CheckNotStale(idx);
+    return decoded_[idx];
+  }
+
+  // Execution plan at `pc` — the core's hot path dispatches on this instead
+  // of re-classifying the decoded instruction every step. Same staleness
+  // contract as Fetch. With the plan cache disabled (test-only knob below)
+  // the plan is rebuilt from the decoded twin on every call, which is the
+  // reference behaviour the cached plans must be bit-identical to.
+  const ExecPlan& PlanAt(Addr pc) const {
+    const std::size_t idx = SlotIndex(pc);
+    if (!corrupt_slots_.empty()) CheckNotStale(idx);
+    if (!plan_cache_enabled_.load(std::memory_order_relaxed)) {
+      return RebuildPlanUncached(idx);
+    }
+    return plans_[idx];
+  }
 
   const EncodedSlot& Raw(Addr pc) const { return slots_[SlotIndex(pc)]; }
 
@@ -81,20 +107,49 @@ class BinaryImage {
   // Number of raw patches applied over the image's lifetime.
   std::uint64_t patch_count() const { return patch_count_; }
 
+  // Monotone counter bumped by every mutation of the plan cache (patches,
+  // appends, and test-only corruption). External consumers that hold plan
+  // references across patch points can compare generations to detect
+  // invalidation; tests assert that runtime patching bumps it.
+  std::uint64_t plan_generation() const { return plan_generation_; }
+
   // Test-only fault injection: writes the raw slot WITHOUT re-decoding, so
   // tests can seed corrupt encodings for the lint / patch-safety verifier
-  // to catch. The decoded twin keeps its previous value (Fetch at this pc
-  // is stale until a valid patch lands).
+  // to catch. The decoded and plan twins are marked stale (and the plan
+  // generation bumped): Fetch/PlanAt at this pc abort until a valid patch
+  // lands, so a stale decode can never silently execute.
   void TestOnlyCorruptSlot(Addr pc, const EncodedSlot& slot);
 
+  // Test-only, process-global: disables the plan cache so PlanAt rebuilds
+  // from the decoded twin on every call. Used by the fuzz harness to prove
+  // cached plans are bit-identical to the never-cached reference.
+  static void TestOnlySetPlanCacheEnabled(bool enabled);
+
  private:
-  std::size_t SlotIndex(Addr pc) const;
+  // Inline: runs once per simulated instruction (Fetch/PlanAt).
+  std::size_t SlotIndex(Addr pc) const {
+    COBRA_CHECK_MSG(Contains(pc), "instruction address outside image");
+    const unsigned slot = SlotOf(pc);
+    COBRA_CHECK_MSG(slot < 3, "invalid slot number");
+    const auto bundle =
+        static_cast<std::size_t>((BundleAddr(pc) - code_base_) / kBundleBytes);
+    return bundle * 3 + slot;
+  }
+  // Aborts if slot `idx` is in the corrupt list (raw words no longer match
+  // the decoded twin). Out of line: the hot path only pays the empty check.
+  void CheckNotStale(std::size_t idx) const;
+  const ExecPlan& RebuildPlanUncached(std::size_t idx) const;
+
+  static std::atomic<bool> plan_cache_enabled_;
 
   Addr code_base_;
   Addr code_cache_start_ = 0;
   std::vector<EncodedSlot> slots_;
   std::vector<Instruction> decoded_;
+  std::vector<ExecPlan> plans_;
+  std::vector<std::size_t> corrupt_slots_;
   std::uint64_t patch_count_ = 0;
+  std::uint64_t plan_generation_ = 0;
 };
 
 }  // namespace cobra::isa

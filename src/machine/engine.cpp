@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -85,6 +86,19 @@ void RunRounds(Machine& m, const std::vector<CpuId>& active, Cycle quantum,
   Machine::EngineScope scope(m);
   EngineCounters& counters = m.engine_counters();
 
+  // Host-perf accounting: wall-clock around the whole run, simulated-work
+  // deltas from the cores themselves. Purely observational (host-class
+  // metrics, excluded from fingerprints); nothing here feeds simulation.
+  const auto host_start = std::chrono::steady_clock::now();
+  HostPerf delta;
+  delta.runs = 1;
+  std::uint64_t cycles_before = 0;
+  std::uint64_t retired_before = 0;
+  for (const cpu::Core* core : running) {
+    cycles_before += core->now();
+    retired_before += core->instructions_retired();
+  }
+
   while (!running.empty()) {
     Cycle window = running.front()->now();
     for (cpu::Core* core : running) window = std::min(window, core->now());
@@ -117,6 +131,19 @@ void RunRounds(Machine& m, const std::vector<CpuId>& active, Cycle quantum,
 
     std::erase_if(running, [](cpu::Core* core) { return core->halted(); });
   }
+
+  for (CpuId cpu : active) {
+    const cpu::Core& core = m.core(cpu);
+    delta.sim_cycles += core.now();
+    delta.retired += core.instructions_retired();
+  }
+  delta.sim_cycles -= cycles_before;
+  delta.retired -= retired_before;
+  delta.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_start)
+          .count());
+  m.AccumulateHostPerf(delta);
 }
 
 class SerialEngine final : public ExecutionEngine {

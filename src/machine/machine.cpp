@@ -1,6 +1,7 @@
 #include "machine/machine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string>
 
@@ -9,6 +10,40 @@
 #include "verify/coherence_checker.h"
 
 namespace cobra::machine {
+
+namespace {
+// Process-wide HostPerf accumulators. Relaxed atomics: engines write from
+// their coordinating threads, the bench driver reads between experiments;
+// no ordering is needed beyond the totals being eventually consistent.
+struct GlobalHostCounters {
+  std::atomic<std::uint64_t> wall_ns{0};
+  std::atomic<std::uint64_t> runs{0};
+  std::atomic<std::uint64_t> sim_cycles{0};
+  std::atomic<std::uint64_t> retired{0};
+};
+GlobalHostCounters g_host_perf;
+}  // namespace
+
+HostPerf GlobalHostPerfTotals() {
+  HostPerf t;
+  t.wall_ns = g_host_perf.wall_ns.load(std::memory_order_relaxed);
+  t.runs = g_host_perf.runs.load(std::memory_order_relaxed);
+  t.sim_cycles = g_host_perf.sim_cycles.load(std::memory_order_relaxed);
+  t.retired = g_host_perf.retired.load(std::memory_order_relaxed);
+  return t;
+}
+
+void Machine::AccumulateHostPerf(const HostPerf& delta) {
+  host_perf_.wall_ns += delta.wall_ns;
+  host_perf_.runs += delta.runs;
+  host_perf_.sim_cycles += delta.sim_cycles;
+  host_perf_.retired += delta.retired;
+  g_host_perf.wall_ns.fetch_add(delta.wall_ns, std::memory_order_relaxed);
+  g_host_perf.runs.fetch_add(delta.runs, std::memory_order_relaxed);
+  g_host_perf.sim_cycles.fetch_add(delta.sim_cycles,
+                                   std::memory_order_relaxed);
+  g_host_perf.retired.fetch_add(delta.retired, std::memory_order_relaxed);
+}
 
 MachineConfig SmpServerConfig(int num_cpus) {
   MachineConfig cfg;
@@ -163,6 +198,17 @@ void Machine::RegisterMetrics() {
   add("engine.rounds", [this] { return engine_counters_.rounds; });
 
   add("machine.global_time", [this] { return GlobalTime(); });
+
+  // Host-side performance readings: sampled into snapshots like any metric
+  // but flagged host-class, so fingerprints and ToString dumps skip them
+  // (they vary run to run by construction).
+  registry_.RegisterHost("host.wall_ns",
+                         [this] { return host_perf_.wall_ns; });
+  registry_.RegisterHost("host.runs", [this] { return host_perf_.runs; });
+  registry_.RegisterHost("host.sim_cycles",
+                         [this] { return host_perf_.sim_cycles; });
+  registry_.RegisterHost("host.retired",
+                         [this] { return host_perf_.retired; });
 }
 
 void Machine::SetTraceSink(obs::TraceSink* trace) {

@@ -50,6 +50,23 @@ struct EngineCounters {
   std::uint64_t rounds = 0;          // round-task batches run
 };
 
+// Host-side performance accounting: how much simulated work the engines did
+// and how long it took in host wall-clock. Written by the execution engines
+// on the coordinating thread around each Run(); purely observational (never
+// read by simulation) and exposed through host-class registry probes that
+// are excluded from determinism fingerprints (see obs::Metric::host).
+struct HostPerf {
+  std::uint64_t wall_ns = 0;     // host wall-clock inside engine runs
+  std::uint64_t runs = 0;        // engine Run() invocations
+  std::uint64_t sim_cycles = 0;  // simulated cycles advanced, summed over cores
+  std::uint64_t retired = 0;     // instructions retired, summed over cores
+};
+
+// Process-wide HostPerf totals across every Machine ever constructed. The
+// bench driver samples these around each experiment (experiments build and
+// discard machines freely, so per-machine counters alone would be lost).
+HostPerf GlobalHostPerfTotals();
+
 struct MachineConfig {
   int num_cpus = 4;
   FabricKind fabric = FabricKind::kSnoopBus;
@@ -107,6 +124,11 @@ class Machine {
 
   EngineCounters& engine_counters() { return engine_counters_; }
   const EngineCounters& engine_counters() const { return engine_counters_; }
+
+  // Adds one engine run's host-side measurements to this machine's totals
+  // and to the process-wide totals (GlobalHostPerfTotals).
+  void AccumulateHostPerf(const HostPerf& delta);
+  const HostPerf& host_perf() const { return host_perf_; }
 
   // Chrome trace-event timeline (nullptr = disabled). The constructor wires
   // obs::EnvTraceSink(), so setting COBRA_TRACE=<file> traces every machine
@@ -178,6 +200,7 @@ class Machine {
 
   obs::Registry registry_;
   EngineCounters engine_counters_;
+  HostPerf host_perf_;
   obs::TraceSink* trace_ = nullptr;
   int trace_pid_ = 0;
 

@@ -19,32 +19,9 @@ CacheArray::CacheArray(std::size_t size_bytes, std::size_t line_bytes,
                   "cache size must be a multiple of line*assoc");
   sets_ = size_bytes / (line_bytes * static_cast<std::size_t>(associativity));
   COBRA_CHECK_MSG(IsPow2(sets_), "number of sets must be a power of two");
+  COBRA_CHECK_MSG(associativity <= 255, "way hint is stored in a byte");
   lines_.resize(sets_ * static_cast<std::size_t>(assoc_));
-}
-
-CacheArray::Line* CacheArray::Probe(Addr addr) {
-  const Addr line_addr = LineAddrOf(addr);
-  Line* base = &lines_[SetOf(addr) * static_cast<std::size_t>(assoc_)];
-  for (int way = 0; way < assoc_; ++way) {
-    Line& line = base[way];
-    if (line.state != Mesi::kI && line.line_addr == line_addr) return &line;
-  }
-  return nullptr;
-}
-
-const CacheArray::Line* CacheArray::Probe(Addr addr) const {
-  return const_cast<CacheArray*>(this)->Probe(addr);
-}
-
-CacheArray::Line* CacheArray::Touch(Addr addr) {
-  Line* line = Probe(addr);
-  if (line != nullptr) {
-    line->lru = ++lru_clock_;
-    ++stats_.hits;
-  } else {
-    ++stats_.misses;
-  }
-  return line;
+  mru_way_.assign(sets_, 0);
 }
 
 CacheArray::Line* CacheArray::Insert(Addr addr, Mesi state, Cycle ready_at,
@@ -92,6 +69,7 @@ CacheArray::Line* CacheArray::Insert(Addr addr, Mesi state, Cycle ready_at,
     slot->referenced = false;
     slot->was_dirty_here = false;
   }
+  mru_way_[SetOf(addr)] = static_cast<std::uint8_t>(slot - base);
   return slot;
 }
 
@@ -104,6 +82,7 @@ void CacheArray::Invalidate(Addr addr) {
 
 void CacheArray::Clear() {
   for (Line& line : lines_) line = Line{};
+  mru_way_.assign(sets_, 0);
   lru_clock_ = 0;
 }
 

@@ -50,12 +50,42 @@ class CacheArray {
   Addr LineAddrOf(Addr addr) const { return addr & ~(line_bytes_ - 1); }
 
   // Looks the line up without touching LRU (used by snoops). Returns
-  // nullptr on miss.
-  Line* Probe(Addr addr);
-  const Line* Probe(Addr addr) const;
+  // nullptr on miss. Inline with a per-set way hint: the demand path and
+  // the engine's fabric probes call this for every memory access.
+  Line* Probe(Addr addr) {
+    const Addr line_addr = LineAddrOf(addr);
+    const std::size_t set = SetOf(addr);
+    Line* base = &lines_[set * static_cast<std::size_t>(assoc_)];
+    // Way-hint fast path: a line can live in at most one way, so finding
+    // it at the hinted way is exactly the scan's answer.
+    Line& hinted = base[mru_way_[set]];
+    if (hinted.state != Mesi::kI && hinted.line_addr == line_addr) {
+      return &hinted;
+    }
+    for (int way = 0; way < assoc_; ++way) {
+      Line& line = base[way];
+      if (line.state != Mesi::kI && line.line_addr == line_addr) {
+        mru_way_[set] = static_cast<std::uint8_t>(way);
+        return &line;
+      }
+    }
+    return nullptr;
+  }
+  const Line* Probe(Addr addr) const {
+    return const_cast<CacheArray*>(this)->Probe(addr);
+  }
 
   // Looks the line up and refreshes LRU on hit.
-  Line* Touch(Addr addr);
+  Line* Touch(Addr addr) {
+    Line* line = Probe(addr);
+    if (line != nullptr) {
+      line->lru = ++lru_clock_;
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+    return line;
+  }
 
   // Inserts (or re-uses) the line, evicting the LRU victim if the set is
   // full. The victim (if any, and valid) is copied to `*victim` and
@@ -90,6 +120,13 @@ class CacheArray {
   std::size_t sets_;
   int assoc_;
   std::vector<Line> lines_;  // sets_ * assoc_, set-major
+  // Per-set most-recently-hit way. A pure host-side lookup hint: Probe
+  // checks this way first and only falls back to the full associativity
+  // scan on a hint miss, so the ~99%-hit demand path and the engine's
+  // *NeedsFabric probes cost one tag compare instead of `assoc_`. Carries
+  // no simulated state — hits find the same unique line with the same
+  // LRU/stats effects the scan would.
+  std::vector<std::uint8_t> mru_way_;  // sets_ entries
   std::uint64_t lru_clock_ = 0;
   Stats stats_;
 };

@@ -78,10 +78,17 @@ class CacheStack {
   // While set, any fabric transaction from this stack aborts the simulation
   // (the engines set it around core-private segments; a trip means a probe
   // above fell out of sync with its access path). Raising the guard also
-  // starts a fresh probe-memo generation (see ProbeMemo below).
+  // starts a fresh probe-memo generation (see ProbeMemo below). If the
+  // 64-bit generation ever wraps (a soak run raising the guard 2^64 times),
+  // every entry is cleared and the counter restarts at 1: entries tagged
+  // under the old numbering could otherwise alias the recycled generation
+  // and resurface stale facts.
   void set_fabric_guard(bool on) {
     fabric_guard_ = on;
-    if (on) ++probe_memo_.gen;
+    if (on && ++probe_memo_.gen == 0) {
+      probe_memo_.entries.fill({});
+      probe_memo_.gen = 1;  // 0 marks never-written entries
+    }
   }
 
   // Fabric-initiated snoop of this stack.
@@ -124,6 +131,15 @@ class CacheStack {
 
   // Mutable L2 access so checker tests can desynchronize a single level.
   CacheArray& TestOnlyL2() { return l2_; }
+
+  // Test-only: plant / read the probe-memo generation so the wrap-around
+  // reset in set_fabric_guard can be unit-tested without 2^64 toggles.
+  void TestOnlySetProbeMemoGeneration(std::uint64_t gen) {
+    probe_memo_.gen = gen;
+  }
+  std::uint64_t TestOnlyProbeMemoGeneration() const {
+    return probe_memo_.gen;
+  }
 
   // Demand + prefetch miss totals as the Itanium 2 HPM events report them.
   // Coherent write misses (stores to Shared lines that must be re-fetched

@@ -5,28 +5,14 @@
 namespace cobra::mem {
 
 MainMemory::MainMemory(std::size_t bytes, std::size_t page_bytes)
-    : data_(bytes, 0), page_bytes_(page_bytes) {
+    : data_(static_cast<std::uint8_t*>(std::calloc(bytes, 1))),
+      size_(bytes),
+      page_bytes_(page_bytes) {
+  COBRA_CHECK_MSG(bytes == 0 || data_ != nullptr,
+                  "simulated memory allocation failed");
   COBRA_CHECK_MSG(page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0,
                   "page size must be a power of two");
   page_home_.assign((bytes + page_bytes - 1) / page_bytes, -1);
-}
-
-std::uint64_t MainMemory::Read(Addr addr, int size) const {
-  CheckRange(addr, static_cast<std::size_t>(size));
-  std::uint64_t out = 0;
-  std::memcpy(&out, data_.data() + addr, static_cast<std::size_t>(size));
-  return out;
-}
-
-void MainMemory::Write(Addr addr, int size, std::uint64_t value) {
-  CheckRange(addr, static_cast<std::size_t>(size));
-  std::memcpy(data_.data() + addr, &value, static_cast<std::size_t>(size));
-}
-
-double MainMemory::ReadDouble(Addr addr) const { return ReadAs<double>(addr); }
-
-void MainMemory::WriteDouble(Addr addr, double value) {
-  WriteAs<double>(addr, value);
 }
 
 int MainMemory::TouchPage(Addr addr, int node) {
@@ -46,7 +32,7 @@ void MainMemory::ResetPageMap() {
 }
 
 void MainMemory::PlaceRange(Addr begin, Addr end, int node) {
-  COBRA_CHECK(begin <= end && end <= data_.size());
+  COBRA_CHECK(begin <= end && end <= size_);
   for (Addr page = begin / page_bytes_;
        page <= (end == begin ? begin : end - 1) / page_bytes_; ++page) {
     page_home_[page] = static_cast<std::int16_t>(node);

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "mem/config.h"
@@ -26,32 +28,43 @@ class MainMemory {
  public:
   explicit MainMemory(std::size_t bytes, std::size_t page_bytes = 16 * 1024);
 
-  std::size_t size() const { return data_.size(); }
+  std::size_t size() const { return size_; }
   std::size_t page_bytes() const { return page_bytes_; }
 
   // --- Functional access ---------------------------------------------------
-  std::uint64_t Read(Addr addr, int size) const;
-  void Write(Addr addr, int size, std::uint64_t value);
-  double ReadDouble(Addr addr) const;
-  void WriteDouble(Addr addr, double value);
+  // Inline: these run once per simulated load/store, making them some of
+  // the hottest code in the simulator.
+  std::uint64_t Read(Addr addr, int size) const {
+    CheckRange(addr, static_cast<std::size_t>(size));
+    std::uint64_t out = 0;
+    __builtin_memcpy(&out, data_.get() + addr, static_cast<std::size_t>(size));
+    return out;
+  }
+  void Write(Addr addr, int size, std::uint64_t value) {
+    CheckRange(addr, static_cast<std::size_t>(size));
+    __builtin_memcpy(data_.get() + addr, &value,
+                     static_cast<std::size_t>(size));
+  }
+  double ReadDouble(Addr addr) const { return ReadAs<double>(addr); }
+  void WriteDouble(Addr addr, double value) { WriteAs<double>(addr, value); }
 
   // Typed bulk helpers for workload setup/verification (host-side).
   template <typename T>
   T ReadAs(Addr addr) const {
     CheckRange(addr, sizeof(T));
     T out;
-    __builtin_memcpy(&out, data_.data() + addr, sizeof(T));
+    __builtin_memcpy(&out, data_.get() + addr, sizeof(T));
     return out;
   }
   template <typename T>
   void WriteAs(Addr addr, T value) {
     CheckRange(addr, sizeof(T));
-    __builtin_memcpy(data_.data() + addr, &value, sizeof(T));
+    __builtin_memcpy(data_.get() + addr, &value, sizeof(T));
   }
 
   // Raw host-side view of the backing store (the verification oracle
   // snapshots and diffs whole regions; simulated code never sees this).
-  const std::uint8_t* raw() const { return data_.data(); }
+  const std::uint8_t* raw() const { return data_.get(); }
 
   // --- First-touch page placement ------------------------------------------
   // Returns the page's home node, assigning `node` if untouched.
@@ -66,11 +79,22 @@ class MainMemory {
 
  private:
   void CheckRange(Addr addr, std::size_t bytes) const {
-    COBRA_CHECK_MSG(addr + bytes <= data_.size() && addr + bytes >= bytes,
+    COBRA_CHECK_MSG(addr + bytes <= size_ && addr + bytes >= bytes,
                     "data access out of simulated memory range");
   }
 
-  std::vector<std::uint8_t> data_;
+  struct FreeDeleter {
+    void operator()(std::uint8_t* p) const { std::free(p); }
+  };
+
+  // calloc-backed rather than a value-initialized vector: simulated memory
+  // must start zeroed (determinism), but calloc hands out zero pages the
+  // kernel materializes on first touch, so constructing a machine with a
+  // large, sparsely-used data segment costs no up-front memset. Machines
+  // are built per experiment run, so this is on the benchmark driver's
+  // critical path.
+  std::unique_ptr<std::uint8_t[], FreeDeleter> data_;
+  std::size_t size_ = 0;
   std::size_t page_bytes_;
   std::vector<std::int16_t> page_home_;  // -1 = untouched
 };

@@ -37,6 +37,7 @@ std::uint64_t Snapshot::Fingerprint() const {
     h *= 1099511628211ull;  // FNV prime
   };
   for (const Metric& m : metrics) {
+    if (m.host) continue;  // host-side readings are nondeterministic
     for (const char c : m.name) Mix(static_cast<std::uint8_t>(c));
     Mix(0);
     std::uint64_t v = m.value;
@@ -51,6 +52,7 @@ std::uint64_t Snapshot::Fingerprint() const {
 std::string Snapshot::ToString() const {
   std::string out;
   for (const Metric& m : metrics) {
+    if (m.host) continue;  // keep dumps diffable across runs
     out += m.name;
     out += ' ';
     out += std::to_string(m.value);
@@ -60,13 +62,21 @@ std::string Snapshot::ToString() const {
 }
 
 int Registry::Register(std::string name, Probe probe) {
+  return RegisterEntry(std::move(name), std::move(probe), /*host=*/false);
+}
+
+int Registry::RegisterHost(std::string name, Probe probe) {
+  return RegisterEntry(std::move(name), std::move(probe), /*host=*/true);
+}
+
+int Registry::RegisterEntry(std::string name, Probe probe, bool host) {
   COBRA_CHECK_MSG(!name.empty(), "metric name must not be empty");
   COBRA_CHECK_MSG(probe != nullptr, "metric probe must be callable");
   for (const Entry& e : entries_) {
     COBRA_CHECK_MSG(e.name != name, "duplicate metric name");
   }
   const int id = next_id_++;
-  entries_.push_back(Entry{id, std::move(name), std::move(probe)});
+  entries_.push_back(Entry{id, std::move(name), std::move(probe), host});
   return id;
 }
 
@@ -78,7 +88,7 @@ Snapshot Registry::Take() const {
   Snapshot snap;
   snap.metrics.reserve(entries_.size());
   for (const Entry& e : entries_) {
-    snap.metrics.push_back(Metric{e.name, e.probe()});
+    snap.metrics.push_back(Metric{e.name, e.probe(), e.host});
   }
   std::sort(snap.metrics.begin(), snap.metrics.end(),
             [](const Metric& a, const Metric& b) { return a.name < b.name; });

@@ -28,6 +28,10 @@ namespace cobra::obs {
 struct Metric {
   std::string name;
   std::uint64_t value = 0;
+  // Host-side measurement (wall-clock, host throughput): genuinely
+  // nondeterministic, so excluded from Fingerprint() and ToString() — the
+  // determinism contract covers simulated state only.
+  bool host = false;
 };
 
 // A point-in-time reading of every registered probe, sorted by name.
@@ -42,10 +46,12 @@ struct Snapshot {
 
   // FNV-1a over the sorted (name, value) stream: bit-identical snapshots
   // (the determinism contract between execution engines) hash identically,
-  // and any divergent counter changes the fingerprint.
+  // and any divergent counter changes the fingerprint. Host metrics are
+  // skipped — they vary run to run by construction.
   std::uint64_t Fingerprint() const;
 
-  // One "name value" line per metric (diff-friendly).
+  // One "name value" line per metric (diff-friendly). Host metrics are
+  // skipped so the dump stays comparable across runs, like Fingerprint().
   std::string ToString() const;
 };
 
@@ -61,6 +67,9 @@ class Registry {
   // returned id unregisters the probe (components outliving the registry
   // owner need not bother; shorter-lived ones use a Registration group).
   int Register(std::string name, Probe probe);
+  // Registers a *host* probe: sampled into snapshots like any metric but
+  // excluded from determinism fingerprints and ToString dumps (see Metric).
+  int RegisterHost(std::string name, Probe probe);
   void Unregister(int id);
 
   Snapshot Take() const;
@@ -111,7 +120,10 @@ class Registry {
     int id = 0;
     std::string name;
     Probe probe;
+    bool host = false;
   };
+  int RegisterEntry(std::string name, Probe probe, bool host);
+
   std::vector<Entry> entries_;
   int next_id_ = 0;
 };

@@ -419,6 +419,54 @@ std::string RunFuzzCase(const FuzzCase& c,
   return Fingerprint(m, prog.data_break());
 }
 
+std::string RunFuzzCaseWithDeployments(const FuzzCase& c,
+                                       const machine::EngineConfig& engine) {
+  kgen::Program prog;
+  support::Rng rng(c.seed ^ 0x5bf0b5a2d192a3c1ULL);
+  const GeneratedCase g = Generate(prog, rng, c.threads);
+
+  machine::Machine m(c.machine, &prog.image());
+  ApplyFills(m.memory(), g.fills);
+
+  std::ostringstream ctx;
+  ctx << "fuzz live-patch seed=" << c.seed << " machine=" << c.machine_name
+      << " threads=" << c.threads << " engine=" << FormatEngine(engine)
+      << " -- rerun just this case with COBRA_FUZZ_SEED=" << c.seed;
+  SetFailureContext(ctx.str());
+
+  rt::Team team(&m, c.threads, engine);
+  const auto RunOnce = [&] {
+    team.Run(g.entry, [&g](int tid, cpu::RegisterFile& regs) {
+      for (const GrInit& init : g.grs) {
+        regs.WriteGr(init.reg, init.base +
+                                   static_cast<std::uint64_t>(tid) *
+                                       init.per_tid);
+      }
+      for (const FrInit& init : g.frs) regs.WriteFr(init.reg, init.value);
+    });
+  };
+
+  RunOnce();  // baseline pass over the original binary
+  core::TraceCache cache(&prog.image());
+  for (const kgen::LoopInfo& loop : prog.loops()) {
+    for (const core::OptKind opt :
+         {core::OptKind::kNoprefetch, core::OptKind::kPrefetchExcl,
+          core::OptKind::kNone}) {
+      const int id = cache.Deploy({loop.head, loop.back_branch_pc}, opt);
+      if (id < 0) continue;  // region gated out before any patching
+      RunOnce();  // execute through the redirected entry
+      cache.Revert(id);
+      RunOnce();  // back over the restored original slots
+      cache.Reapply(id);
+      RunOnce();  // and through the re-applied patch
+      cache.Revert(id);
+    }
+  }
+  SetFailureContext("");
+
+  return Fingerprint(m, prog.data_break());
+}
+
 int VerifyFuzzDeployments(const FuzzCase& c) {
   kgen::Program prog;
   support::Rng rng(c.seed ^ 0x5bf0b5a2d192a3c1ULL);

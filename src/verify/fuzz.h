@@ -54,4 +54,16 @@ std::string RunFuzzCase(const FuzzCase& c, const machine::EngineConfig& engine);
 // replay hint. Returns the number of verifier passes.
 int VerifyFuzzDeployments(const FuzzCase& c);
 
+// Live-patching variant of RunFuzzCase: runs the seeded workload once over
+// the original binary, then interleaves trace-cache deploy / revert /
+// re-apply cycles (every emitted loop × every optimization kind) with full
+// re-executions of the workload, and returns the final fingerprint. Every
+// re-execution fetches through slots the preceding patch rewrote, so this
+// is the harness that proves the per-slot exec-plan cache is invalidated
+// correctly by live patching: with the cache disabled
+// (isa::BinaryImage::TestOnlySetPlanCacheEnabled(false)) the fingerprint
+// must be bit-identical to the cached run.
+std::string RunFuzzCaseWithDeployments(const FuzzCase& c,
+                                       const machine::EngineConfig& engine);
+
 }  // namespace cobra::verify

@@ -15,10 +15,12 @@
 //                         patch-safety verifier on deploy/revert/re-apply
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "isa/image.h"
 #include "machine/engine.h"
 #include "verify/fuzz.h"
 
@@ -84,6 +86,45 @@ TEST(CoherenceFuzz, SmpSerialMatchesParallel) { RunSweep(&SmpFuzzCase, 1000); }
 
 TEST(CoherenceFuzz, NumaSerialMatchesParallel) {
   RunSweep(&NumaFuzzCase, 2000);
+}
+
+// Exec-plan invalidation under live patching: each seed's workload runs
+// interleaved with trace-cache deploy / revert / re-apply cycles, once with
+// the per-slot plan cache enabled (the production configuration) and once
+// with PlanAt rebuilding from the decoded twin on every fetch (the
+// never-cached reference). The fingerprints must be bit-identical: any slot
+// whose cached plan survived a patch would execute stale semantics and
+// diverge. Under COBRA_VERIFY=1 (the CI verified sweep re-runs this label)
+// the patch-safety verifier additionally checks every deployment step.
+void RunPlanCacheSweep(FuzzCase (*make)(std::uint64_t),
+                       std::uint64_t seed_base,
+                       const machine::EngineConfig& engine) {
+  std::uint64_t replay_seed = 0;
+  const bool replay = SeedFromEnv(&replay_seed);
+  // Each seed executes the workload ~10x (per patch state), so this sweep
+  // uses fewer seeds than the engine-equivalence sweeps.
+  const int cases = replay ? 1 : std::min(CasesFromEnv(), 8);
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed =
+        replay ? replay_seed : seed_base + static_cast<std::uint64_t>(i);
+    const FuzzCase c = make(seed);
+    const std::string cached = RunFuzzCaseWithDeployments(c, engine);
+    isa::BinaryImage::TestOnlySetPlanCacheEnabled(false);
+    const std::string uncached = RunFuzzCaseWithDeployments(c, engine);
+    isa::BinaryImage::TestOnlySetPlanCacheEnabled(true);
+    ASSERT_EQ(cached, uncached)
+        << "plan cache diverged from the never-cached reference; replay "
+           "with COBRA_FUZZ_SEED="
+        << seed << " (machine " << c.machine_name << ")";
+  }
+}
+
+TEST(CoherenceFuzz, PlanCacheInvalidationSmp) {
+  RunPlanCacheSweep(&SmpFuzzCase, 3000, SerialEngine());
+}
+
+TEST(CoherenceFuzz, PlanCacheInvalidationNuma) {
+  RunPlanCacheSweep(&NumaFuzzCase, 4000, ParallelEngine());
 }
 
 }  // namespace

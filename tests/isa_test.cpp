@@ -253,6 +253,61 @@ TEST(BinaryImage, FetchOutOfRangeAborts) {
   EXPECT_DEATH(image.Fetch(image.code_end()), "outside image");
 }
 
+TEST(BinaryImage, ExecPlanTracksPatches) {
+  BinaryImage image;
+  const Addr b0 = image.AppendBundle(Nop(), Lfetch(43), Nop());
+  const std::uint64_t gen0 = image.plan_generation();
+  EXPECT_GT(gen0, 0u);  // AppendBundle populated the plans
+
+  // The lfetch slot's plan carries the routing classification the core's
+  // fabric probe tests instead of re-classifying the decoded instruction.
+  const ExecPlan& lf = image.PlanAt(MakePc(b0, 1));
+  EXPECT_EQ(lf.handler, static_cast<std::uint16_t>(Opcode::kLfetch));
+  EXPECT_TRUE(lf.cls & kPlanMem);
+  EXPECT_TRUE(lf.cls & kPlanLfetch);
+  EXPECT_FALSE(lf.cls & kPlanExcl);
+
+  // Patching a slot rebuilds its plan in the same call and bumps the
+  // generation, so no consumer can observe a plan that predates the bits.
+  const Addr pc = MakePc(b0, 0);
+  image.Patch(pc, AddImm(8, 16, -1));
+  EXPECT_GT(image.plan_generation(), gen0);
+  const ExecPlan& plan = image.PlanAt(pc);
+  EXPECT_EQ(plan.handler, static_cast<std::uint16_t>(Opcode::kAddImm));
+  EXPECT_EQ(plan.imm, -1);
+  EXPECT_EQ(plan.r1, 8);
+  EXPECT_EQ(plan.r2, 16);
+  EXPECT_EQ(plan.cls, 0);
+
+  // The hint-bit patcher funnels through PatchRaw too.
+  const std::uint64_t gen1 = image.plan_generation();
+  image.SetLfetchExcl(MakePc(b0, 1), true);
+  EXPECT_GT(image.plan_generation(), gen1);
+  EXPECT_TRUE(image.PlanAt(MakePc(b0, 1)).cls & kPlanExcl);
+}
+
+TEST(BinaryImage, CorruptSlotMarksPlanStaleAndAborts) {
+  BinaryImage image;
+  const Addr b0 = image.AppendBundle(Nop(), Nop(), Nop());
+  const Addr pc = MakePc(b0, 1);
+  const std::uint64_t gen0 = image.plan_generation();
+
+  EncodedSlot garbage = image.Raw(pc);
+  garbage.head ^= 0xffff'ffffULL;
+  image.TestOnlyCorruptSlot(pc, garbage);
+  EXPECT_GT(image.plan_generation(), gen0);
+  EXPECT_DEATH(image.Fetch(pc), "no longer match");
+  EXPECT_DEATH(image.PlanAt(pc), "no longer match");
+  // Untouched slots in the same image keep working.
+  EXPECT_EQ(image.Fetch(MakePc(b0, 0)), Nop());
+
+  // A valid re-patch heals the slot: decode, plan and staleness all agree.
+  image.Patch(pc, AddImm(8, 16, 4));
+  EXPECT_EQ(image.Fetch(pc), AddImm(8, 16, 4));
+  EXPECT_EQ(image.PlanAt(pc).handler,
+            static_cast<std::uint16_t>(Opcode::kAddImm));
+}
+
 // --- Assembler -----------------------------------------------------------------
 
 TEST(Assembler, PacksThreeSlotsPerBundle) {

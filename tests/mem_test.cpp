@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -189,6 +190,37 @@ TEST_F(SmpFixture, StoreToExclusiveIsSilent) {
   EXPECT_EQ(r.latency, cfg_.store_hit_latency);
   EXPECT_EQ(bus_->TotalCounts().bus_memory + bus_->TotalCounts().bus_upgrades,
             before);
+}
+
+TEST_F(SmpFixture, ProbeMemoGenerationWrapClearsStaleEntries) {
+  Build(2);
+  CacheStack& s = stack(0);
+  s.Load(0x1000, 8, false, false, 0);  // line Exclusive in CPU0
+
+  // Stamp a memo entry at generation 1: force the counter so the next
+  // guarded segment lands on exactly 1, then take the fabric-free probe
+  // that records "line present & owned".
+  s.TestOnlySetProbeMemoGeneration(0);
+  s.set_fabric_guard(true);
+  ASSERT_EQ(s.TestOnlyProbeMemoGeneration(), 1u);
+  EXPECT_FALSE(s.LoadNeedsFabric(0x1000, false, false));
+  s.set_fabric_guard(false);
+
+  // Between segments a remote store invalidates the line behind the memo's
+  // back (legal: the memo is only trusted inside a guarded segment).
+  stack(1).Store(0x1000, 8, 1000);
+  ASSERT_EQ(s.LineState(0x1000), Mesi::kI);
+
+  // Force the 2^64 wrap: the next guard entry overflows the generation to
+  // 0, which must clear the table and restart at 1. Without the clear, the
+  // entry stamped at the *old* generation 1 would alias the new one and
+  // report the invalidated line as still fabric-free.
+  s.TestOnlySetProbeMemoGeneration(
+      std::numeric_limits<std::uint64_t>::max());
+  s.set_fabric_guard(true);
+  EXPECT_EQ(s.TestOnlyProbeMemoGeneration(), 1u);
+  EXPECT_TRUE(s.LoadNeedsFabric(0x1000, false, false));
+  s.set_fabric_guard(false);
 }
 
 TEST_F(SmpFixture, RfoOfModifiedLineCountsInvalHitm) {

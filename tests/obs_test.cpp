@@ -65,6 +65,27 @@ TEST(Registry, FingerprintTracksNamesAndValues) {
   EXPECT_NE(other.Take().Fingerprint(), fp2);
 }
 
+TEST(Registry, HostMetricsExcludedFromFingerprintAndDump) {
+  obs::Registry registry;
+  registry.Register("sim.counter", [] { return std::uint64_t{42}; });
+  const std::uint64_t fp_sim_only = registry.Take().Fingerprint();
+  const std::string dump_sim_only = registry.Take().ToString();
+
+  // A host-class probe is sampled like any metric but must not perturb the
+  // determinism fingerprint or the diffable dump, whatever value it reads.
+  std::uint64_t wall = 123456;
+  registry.RegisterHost("host.wall_ns", [&wall] { return wall; });
+  obs::Snapshot snap = registry.Take();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  EXPECT_TRUE(snap.Has("host.wall_ns"));
+  EXPECT_EQ(snap.Value("host.wall_ns"), 123456u);
+  EXPECT_EQ(snap.Fingerprint(), fp_sim_only);
+  EXPECT_EQ(snap.ToString(), dump_sim_only);
+
+  wall = 999;  // "another run": different host reading, same fingerprint
+  EXPECT_EQ(registry.Take().Fingerprint(), fp_sim_only);
+}
+
 TEST(Registry, DuplicateNameAborts) {
   obs::Registry registry;
   registry.Register("x", [] { return std::uint64_t{0}; });
@@ -132,6 +153,14 @@ TEST(Registry, MachineMetricsAgreeWithCounters) {
   EXPECT_EQ(snap.Value("machine.global_time"), machine.GlobalTime());
   EXPECT_GT(snap.Value("engine.quanta"), 0u);
   EXPECT_GT(snap.Value("engine.commits"), 0u);
+
+  // The engine accounted the run's host-perf: simulated-work counters are
+  // exact (sum of core deltas), wall-clock is host-dependent so only its
+  // presence is checked.
+  EXPECT_EQ(snap.Value("host.runs"), 1u);
+  EXPECT_GT(snap.Value("host.sim_cycles"), 0u);
+  EXPECT_GT(snap.Value("host.retired"), 0u);
+  EXPECT_TRUE(snap.Has("host.wall_ns"));
 }
 
 // --- Trace sink ------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include <sstream>
 #include <string>
 
+#include "compare.h"
 #include "suite.h"
 #include "support/json.h"
 
@@ -148,6 +149,72 @@ TEST(BenchReport, SchemaMatchesGolden) {
   const auto parsed = Json::Parse(Report().Dump());
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->SchemaSignature(), expected);
+}
+
+// --- Report comparison (cobra_bench --compare) -----------------------------
+
+TEST(CompareReports, SelfCompareIsIdentical) {
+  const bench::CompareResult r = bench::CompareReports(Report(), Report());
+  EXPECT_TRUE(r.identical());
+  EXPECT_EQ(r.total_diffs, 0u);
+}
+
+TEST(CompareReports, FlagsDriftButIgnoresHostKeys) {
+  Json expected = Json::Object();
+  expected.Set("cycles", 100);
+  Json exp_host = Json::Object();
+  exp_host.Set("wall_seconds", 1.5);
+  expected.Set("host", std::move(exp_host));
+
+  // Identical sim metrics, wildly different host perf: no drift.
+  Json same = Json::Object();
+  same.Set("cycles", 100);
+  Json same_host = Json::Object();
+  same_host.Set("wall_seconds", 99.0);
+  same_host.Set("sim_mips", 3.0);  // even extra host keys are ignored
+  same.Set("host", std::move(same_host));
+  EXPECT_TRUE(bench::CompareReports(expected, same).identical());
+
+  // A drifted sim counter is one difference with a path.
+  Json drifted = Json::Object();
+  drifted.Set("cycles", 101);
+  const bench::CompareResult r = bench::CompareReports(expected, drifted);
+  EXPECT_EQ(r.total_diffs, 1u);
+  ASSERT_EQ(r.diffs.size(), 1u);
+  EXPECT_NE(r.diffs[0].find("$.cycles"), std::string::npos);
+
+  // Missing / extra non-host keys and kind mismatches all count.
+  Json renamed = Json::Object();
+  renamed.Set("cycle_count", 100);
+  EXPECT_EQ(bench::CompareReports(expected, renamed).total_diffs, 2u);
+  Json restrung = Json::Object();
+  restrung.Set("cycles", "100");
+  EXPECT_EQ(bench::CompareReports(expected, restrung).total_diffs, 1u);
+}
+
+TEST(BenchReport, MatchesCommittedGoldenQuickMetrics) {
+  // The CI bench-smoke job runs `cobra_bench --suite=paper --quick
+  // --compare=tests/golden/bench_quick_metrics.json`; this is the same
+  // contract in-process, so a drifting simulation fails the test suite even
+  // without the driver. Re-bless an intentional model change with:
+  //   cobra_bench --suite=paper --quick
+  //     --json=tests/golden/bench_quick_metrics.json
+  std::ifstream in(std::string(COBRA_GOLDEN_DIR) +
+                   "/bench_quick_metrics.json");
+  ASSERT_TRUE(in.good()) << "missing golden file " << COBRA_GOLDEN_DIR
+                         << "/bench_quick_metrics.json";
+  std::stringstream text;
+  text << in.rdbuf();
+  std::string error;
+  const auto golden = Json::Parse(text.str(), &error);
+  ASSERT_TRUE(golden.has_value()) << error;
+  // Compare the experiments subtree, not the header: results are
+  // bit-identical across engines, but the header's "engine" string is not
+  // (this test must pass under COBRA_ENGINE=parallel too).
+  const bench::CompareResult r = bench::CompareReports(
+      golden->At("experiments"), Report().At("experiments"));
+  for (const std::string& diff : r.diffs) ADD_FAILURE() << diff;
+  EXPECT_EQ(r.total_diffs, 0u);
 }
 
 TEST(BenchReport, HeaderIdentifiesTheRun) {

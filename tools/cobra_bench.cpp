@@ -17,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "compare.h"
 #include "suite.h"
 #include "support/json.h"
 
@@ -26,13 +27,16 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--suite=paper|micro] [--quick] [--json=FILE]\n"
-      "          [--only=SUBSTRING] [--list] [--quiet]\n"
+      "          [--only=SUBSTRING] [--compare=OLD.json] [--list] [--quiet]\n"
       "\n"
       "  --suite=NAME   paper (default): Table 1, Fig 2/3/5/6/7, ablations,\n"
       "                 insertion; micro: execution-engine studies\n"
       "  --quick        CI-sized matrices (same experiments, same schema)\n"
       "  --json=FILE    write the report document to FILE\n"
       "  --only=SUB     run only experiments whose name contains SUB\n"
+      "  --compare=OLD  diff this run's report against a previous report,\n"
+      "                 metric by metric (exact for simulated counters,\n"
+      "                 ignoring host.* perf keys); exit 1 on any drift\n"
       "  --list         print experiment names and exit\n"
       "  --schema       print the report's schema signature instead of the\n"
       "                 summary (regenerates tests/golden/bench_schema.txt)\n"
@@ -50,6 +54,16 @@ bool FlagValue(const char* arg, const char* name, std::string* value) {
   return true;
 }
 
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,6 +71,7 @@ int main(int argc, char** argv) {
 
   std::string suite = "paper";
   std::string json_path;
+  std::string compare_path;
   bench::SuiteOptions options;
   options.echo = true;
   bool list = false;
@@ -79,6 +94,8 @@ int main(int argc, char** argv) {
       json_path = value;
     } else if (FlagValue(arg, "--only", &value)) {
       options.only = value;
+    } else if (FlagValue(arg, "--compare", &value)) {
+      compare_path = value;
     } else {
       return Usage(argv[0]);
     }
@@ -130,6 +147,36 @@ int main(int argc, char** argv) {
     std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote %s (%zu bytes)\n", json_path.c_str(), text.size() + 1);
+  }
+
+  if (!compare_path.empty()) {
+    std::string old_text;
+    if (!ReadFile(compare_path, &old_text)) {
+      std::fprintf(stderr, "cobra_bench: cannot read %s\n",
+                   compare_path.c_str());
+      return 2;
+    }
+    std::string error;
+    const auto old_doc = support::Json::Parse(old_text, &error);
+    if (!old_doc.has_value()) {
+      std::fprintf(stderr, "cobra_bench: %s: %s\n", compare_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    const bench::CompareResult cmp = bench::CompareReports(*old_doc, doc);
+    if (!cmp.identical()) {
+      for (const std::string& line : cmp.diffs) {
+        std::fprintf(stderr, "cobra_bench: compare: %s\n", line.c_str());
+      }
+      std::fprintf(stderr,
+                   "cobra_bench: compare: %llu difference(s) vs %s "
+                   "(host keys ignored)\n",
+                   static_cast<unsigned long long>(cmp.total_diffs),
+                   compare_path.c_str());
+      return 1;
+    }
+    std::printf("compare: OK, matches %s (host keys ignored)\n",
+                compare_path.c_str());
   }
   return 0;
 }
