@@ -55,11 +55,20 @@ Json HostPerfJson(const machine::HostPerf& before,
                   const machine::HostPerf& after, double wall_seconds) {
   const std::uint64_t sim_cycles = after.sim_cycles - before.sim_cycles;
   const std::uint64_t retired = after.retired - before.retired;
+  const std::uint64_t sb_retired = after.sb_retired - before.sb_retired;
   Json host = Json::Object();
   host.Set("wall_seconds", wall_seconds);
   host.Set("engine_runs", after.runs - before.runs);
   host.Set("sim_cycles", sim_cycles);
   host.Set("retired_insts", retired);
+  // Instructions retired inside the trace-JIT's superblock executor (0 with
+  // COBRA_TJIT=off), and the share of all retired instructions that ran
+  // there — the JIT coverage this experiment achieved.
+  host.Set("sb_retired_insts", sb_retired);
+  host.Set("sb_share",
+           retired > 0 ? static_cast<double>(sb_retired) /
+                             static_cast<double>(retired)
+                       : 0.0);
   host.Set("sim_cycles_per_host_second",
            wall_seconds > 0.0 ? static_cast<double>(sim_cycles) / wall_seconds
                               : 0.0);

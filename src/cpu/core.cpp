@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "support/check.h"
+#include "tjit/superblock.h"
+#include "tjit/tcache.h"
 #include "verify/coherence_checker.h"
 
 namespace cobra::cpu {
@@ -386,6 +388,10 @@ bool Core::PlanMemNeedsFabric(const ExecPlan& plan, Addr addr) const {
 }
 
 void Core::RunSegment(Cycle q_end) {
+  if (tjit_ != nullptr) {
+    RunSegmentTjit(q_end);
+    return;
+  }
   while (!halted_ && now_ < q_end) {
     const ExecPlan& plan = image_->PlanAt(pc_);
     if ((plan.cls & isa::kPlanMem) && regs_.ReadPr(plan.qp)) {
@@ -403,6 +409,322 @@ void Core::RunSegment(Cycle q_end) {
     ExecutePlan(plan);
     RetireTail();
   }
+}
+
+void Core::RunQuantum(Cycle q_end) {
+  if (tjit_ == nullptr) {
+    // Pure interpreter: stepping straight through is fastest.
+    while (!halted_ && now_ < q_end) Step();
+    return;
+  }
+  // With the trace JIT, run segments (which stop just before any
+  // fabric-bound step) and commit those steps inline — with one runnable
+  // core there is nothing to order against. The step stream is identical
+  // to pure stepping: segments replay the interpreter exactly and probes
+  // never change simulated state.
+  while (!halted_ && now_ < q_end) {
+    RunSegmentTjit(q_end);
+    if (!halted_ && now_ < q_end) Step();
+  }
+}
+
+void Core::RunSegmentTjit(Cycle q_end) {
+  tjit::TranslationCache& tc = *tjit_;
+  if (tc.BeginSegment()) resume_sb_ = nullptr;  // patches landed: flushed
+
+  // Re-enter the superblock a fabric commit or quantum edge split, or look
+  // the entry pc up. The hint is consumed exactly once, here.
+  tjit::Superblock* sb = nullptr;
+  std::uint32_t start_idx = 0;
+  if (!halted_ && now_ < q_end) {
+    if (resume_sb_ != nullptr && pc_ == resume_pc_) {
+      sb = resume_sb_;
+      start_idx = resume_idx_;
+    } else if (isa::SlotOf(pc_) == 0) {
+      sb = tc.Lookup(pc_);
+    }
+  }
+  resume_sb_ = nullptr;
+
+  for (;;) {
+    if (sb != nullptr) {
+      if (RunSuperblocks(sb, start_idx, q_end)) return;
+      // Side exit: pc_ is architecturally exact; interpret from here.
+      sb = nullptr;
+      start_idx = 0;
+    }
+    while (!halted_ && now_ < q_end) {
+      const ExecPlan& plan = image_->PlanAt(pc_);
+      if ((plan.cls & isa::kPlanMem) && regs_.ReadPr(plan.qp)) {
+        const Addr addr = regs_.ReadGr(plan.r2);
+        if (checker_ != nullptr) {
+          // The checker interposes on every access in a fixed order; keep
+          // the reference probe-then-access path for it.
+          if (PlanMemNeedsFabric(plan, addr)) return;
+          ChargeIssue();
+          DoMemoryOpPlan(plan, addr);
+        } else if (!TryMemoryOpPlan(plan, addr, isa::SlotOf(pc_) == 0)) {
+          return;  // fabric-bound: nothing was committed
+        }
+        AdvancePc();
+        RetireTail();
+        continue;
+      }
+      if (plan.cls & isa::kPlanBranch) {
+        const Addr from = pc_;
+        ChargeIssue();
+        DoBranchPlan(plan);
+        RetireTail();
+        // Harvest: a taken backward (or self) branch marks a loop head.
+        if (pc_ <= from) {
+          sb = tc.NoteLoopEdge(pc_);
+          if (sb != nullptr) break;
+        }
+        continue;
+      }
+      ChargeIssue();
+      ExecutePlan(plan);
+      RetireTail();
+    }
+    if (sb == nullptr) return;  // halted or quantum edge
+  }
+}
+
+bool Core::RunSuperblocks(tjit::Superblock* sb, std::uint32_t idx,
+                          Cycle q_end) {
+  const std::uint64_t retired_before = retired_;
+  const bool stop = ExecSuperblockLoop(sb, idx, q_end);
+  tjit_retired_ += retired_ - retired_before;
+  return stop;
+}
+
+// The superblock executor. Invariant: at the top of every iteration pc_ is
+// architecturally correct and equals steps[idx].pc — every path below that
+// moves `idx` also moves pc_ the way the interpreter would, so a stop or
+// side exit at any point lands the interpreter on the exact slot with
+// identical register/memory/timing state.
+bool Core::ExecSuperblockLoop(tjit::Superblock* sb, std::uint32_t idx,
+                              Cycle q_end) {
+  tjit::TranslationCache& tc = *tjit_;
+  tjit::Step* steps = sb->steps.data();
+
+  // Leave the trace at an edge with no compiled continuation: chain to the
+  // successor block when one exists (memoized per edge), else side-exit.
+  // Returns false to side-exit, true to continue at (sb, idx = 0).
+  const auto ExitOrChain = [&](tjit::Superblock** chain_slot) -> bool {
+    tjit::Superblock* chained = *chain_slot;
+    if (chained != nullptr) {
+      ++tc.stats().chains;
+    } else if (isa::SlotOf(pc_) == 0) {
+      chained = tc.Chain(pc_);
+      *chain_slot = chained;
+    }
+    if (chained == nullptr) {
+      ++tc.stats().side_exits;
+      return false;
+    }
+    sb = chained;
+    steps = sb->steps.data();
+    idx = 0;
+    return true;
+  };
+
+  for (;;) {
+    if (now_ >= q_end) {
+      // Quantum edge: resume exactly here next segment.
+      resume_sb_ = sb;
+      resume_idx_ = idx;
+      resume_pc_ = pc_;
+      return true;
+    }
+    tjit::Step& s = steps[idx];
+    switch (s.kind) {
+      case tjit::StepKind::kBranch: {
+        ChargeIssueFor(s.slot0);
+        DoBranchPlan(s.plan);
+        RetireTail();
+        const bool taken = pc_ == s.taken_pc;
+        const std::uint32_t next = taken ? s.taken_idx : s.next_idx;
+        if (next == tjit::kNoStep) {
+          if (!ExitOrChain(taken ? &s.chain_taken : &s.chain_next)) {
+            return false;
+          }
+          continue;
+        }
+        idx = next;
+        continue;
+      }
+
+      case tjit::StepKind::kNopRun: {
+        if (sample_period_ != 0 && until_sample_ <= s.count) {
+          // The retire hook would fire mid-run: let the interpreter
+          // execute the singles (pc_ is still at the run's first nop).
+          ++tc.stats().side_exits;
+          return false;
+        }
+        const int total = bundle_credit_ + static_cast<int>(s.slot0_count);
+        const Cycle adv = static_cast<Cycle>(total / issue_width_);
+        if (now_ + adv >= q_end) {
+          // The batched issue charge could cross the quantum edge mid-run;
+          // the interpreter stops at the exact slot.
+          ++tc.stats().side_exits;
+          return false;
+        }
+        now_ += adv;
+        bundle_credit_ = total % issue_width_;
+        retired_ += s.count;
+        if (sample_period_ != 0) until_sample_ -= s.count;
+        pc_ = s.next_pc;
+        if (s.next_idx == tjit::kNoStep) {
+          if (!ExitOrChain(&s.chain_next)) return false;
+          continue;
+        }
+        idx = s.next_idx;
+        continue;
+      }
+
+      case tjit::StepKind::kLd:
+      case tjit::StepKind::kLdf:
+      case tjit::StepKind::kSt:
+      case tjit::StepKind::kStf:
+      case tjit::StepKind::kLfetch: {
+        if (!regs_.ReadPr(s.plan.qp)) {
+          // Squashed: retires with no architectural effect.
+          ChargeIssueFor(s.slot0);
+          pc_ = s.next_pc;
+          RetireTail();
+        } else {
+          const Addr addr = regs_.ReadGr(s.plan.r2);
+          if (checker_ != nullptr) {
+            if (PlanMemNeedsFabric(s.plan, addr)) {
+              if (s.next_idx != tjit::kNoStep) {
+                // The engine commits this step via Step(); resume after it.
+                resume_sb_ = sb;
+                resume_idx_ = s.next_idx;
+                resume_pc_ = s.next_pc;
+              }
+              return true;
+            }
+            ChargeIssueFor(s.slot0);
+            DoMemoryOpPlan(s.plan, addr);
+          } else if (!TryMemoryOpPlan(s.plan, addr, s.slot0)) {
+            if (s.next_idx != tjit::kNoStep) {
+              resume_sb_ = sb;
+              resume_idx_ = s.next_idx;
+              resume_pc_ = s.next_pc;
+            }
+            return true;
+          }
+          pc_ = s.next_pc;
+          RetireTail();
+        }
+        if (s.next_idx == tjit::kNoStep) {
+          if (!ExitOrChain(&s.chain_next)) return false;
+          continue;
+        }
+        idx = s.next_idx;
+        continue;
+      }
+
+      case tjit::StepKind::kAlu: {
+        ChargeIssueFor(s.slot0);
+        if (!regs_.ReadPr(s.plan.qp)) {
+          pc_ = s.next_pc;  // squash
+        } else {
+          kPlanHandlers[s.plan.handler](*this, s.plan);  // advances pc_
+        }
+        RetireTail();
+        if (s.next_idx == tjit::kNoStep) {
+          if (!ExitOrChain(&s.chain_next)) return false;
+          continue;
+        }
+        idx = s.next_idx;
+        continue;
+      }
+    }
+    COBRA_UNREACHABLE("bad step kind");
+  }
+}
+
+bool Core::TryMemoryOpPlan(const ExecPlan& plan, Addr addr, bool slot0) {
+  // The access time is computed as if the issue cycle had been charged
+  // (mirrors PlanMemNeedsFabric's prospective computation); the charge is
+  // applied only once the access is known to stay fabric-free.
+  const Cycle access_now =
+      now_ + ((slot0 && bundle_credit_ + 1 >= issue_width_) ? 1 : 0);
+  const Cycle hide = load_hide_;
+  const auto Stall = [hide](Cycle latency) {
+    return latency > hide ? latency - hide : 0;
+  };
+
+  switch (static_cast<Opcode>(plan.handler)) {
+    case Opcode::kLd: {
+      mem::CacheStack::AccessResult result;
+      if (!stack_->TryLoad(addr, plan.size, /*fp=*/false,
+                           (plan.cls & isa::kPlanBias) != 0, access_now,
+                           &result)) {
+        return false;
+      }
+      ChargeIssueFor(slot0);
+      regs_.WriteGr(plan.r1, memory_->Read(addr, plan.size));
+      now_ += Stall(result.latency);
+      dear_.Observe(pc_, addr, result.latency);
+      break;
+    }
+    case Opcode::kLdf: {
+      mem::CacheStack::AccessResult result;
+      if (!stack_->TryLoad(addr, 8, /*fp=*/true, /*bias=*/false, access_now,
+                           &result)) {
+        return false;
+      }
+      ChargeIssueFor(slot0);
+      regs_.WriteFr(plan.r1, memory_->ReadDouble(addr));
+      now_ += Stall(result.latency);
+      dear_.Observe(pc_, addr, result.latency);
+      break;
+    }
+    case Opcode::kSt: {
+      mem::CacheStack::AccessResult result;
+      if (!stack_->TryStore(addr, plan.size, access_now, &result)) {
+        return false;
+      }
+      ChargeIssueFor(slot0);
+      std::uint64_t value = regs_.ReadGr(plan.r3);
+      if (plan.size < 8) value &= (1ULL << (plan.size * 8)) - 1;
+      memory_->Write(addr, plan.size, value);
+      now_ += result.latency;
+      break;
+    }
+    case Opcode::kStf: {
+      mem::CacheStack::AccessResult result;
+      if (!stack_->TryStore(addr, 8, access_now, &result)) return false;
+      ChargeIssueFor(slot0);
+      memory_->WriteDouble(addr, regs_.ReadFr(plan.r3));
+      now_ += result.latency;
+      break;
+    }
+    case Opcode::kLfetch: {
+      if (addr >= memory_->size()) {
+        // Non-faulting: dropped without touching the cache stack.
+        ChargeIssueFor(slot0);
+        ++lfetches_dropped_;
+        break;
+      }
+      if (!stack_->TryPrefetch(addr, (plan.cls & isa::kPlanExcl) != 0,
+                               access_now)) {
+        return false;
+      }
+      ChargeIssueFor(slot0);
+      break;
+    }
+    default:
+      COBRA_UNREACHABLE("not a memory op");
+  }
+
+  if (plan.cls & isa::kPlanPostInc) {
+    regs_.WriteGr(plan.r2, addr + static_cast<std::uint64_t>(plan.imm));
+  }
+  return true;
 }
 
 void Core::TakeBranch(Addr target, bool loop_branch) {

@@ -31,6 +31,11 @@ namespace cobra::verify {
 class CoherenceChecker;
 }
 
+namespace cobra::tjit {
+class TranslationCache;
+struct Superblock;
+}
+
 namespace cobra::cpu {
 
 // Defined in core.cpp: the per-opcode handler table the execute path
@@ -76,8 +81,29 @@ class Core final : public HpmSource {
   //   while (!halted() && now() < q_end && !NextStepNeedsFabric()) Step();
   // but looks up each slot's exec plan once (probe and step share the
   // classification). The caller is expected to hold the cache stack's
-  // fabric guard.
+  // fabric guard. With a translation cache attached (AttachTjit), hot
+  // traces run through compiled superblocks instead of the interpreter —
+  // with step-for-step identical simulated effects.
   void RunSegment(Cycle q_end);
+
+  // Full quantum window for a single runnable core (no segmentation
+  // needed: program order is canonical commit order). Equivalent to
+  //   while (!halted() && now() < q_end) Step();
+  // but routes through RunSegment so the superblock executor and fused
+  // cache accesses are used; fabric-bound steps execute inline.
+  void RunQuantum(Cycle q_end);
+
+  // --- Trace JIT -------------------------------------------------------------
+  // Attaches this core's translation cache (owned by the Machine; nullptr
+  // detaches). See tjit/tcache.h for the invalidation contract.
+  void AttachTjit(tjit::TranslationCache* tc) {
+    tjit_ = tc;
+    resume_sb_ = nullptr;
+  }
+  tjit::TranslationCache* tjit() { return tjit_; }
+  // Instructions retired inside the superblock executor (host-side
+  // accounting; a subset of instructions_retired()).
+  std::uint64_t superblock_retired() const { return tjit_retired_; }
 
   // --- State ------------------------------------------------------------------
   RegisterFile& regs() { return regs_; }
@@ -112,8 +138,11 @@ class Core final : public HpmSource {
   // Issue cost: Itanium 2 issues `issue_width_bundles` bundles per cycle;
   // charged at slot 0 (branch targets are bundle-aligned, so every executed
   // bundle passes through slot 0).
-  void ChargeIssue() {
-    if (isa::SlotOf(pc_) == 0) {
+  void ChargeIssue() { ChargeIssueFor(isa::SlotOf(pc_) == 0); }
+  // Same charge with the slot-0 test precomputed (superblock steps carry
+  // it; the fused memory path needs it before the pc advances).
+  void ChargeIssueFor(bool slot0) {
+    if (slot0) {
       if (++bundle_credit_ >= issue_width_) {
         bundle_credit_ = 0;
         ++now_;
@@ -134,6 +163,25 @@ class Core final : public HpmSource {
   void TakeBranch(isa::Addr target, bool loop_branch);
   void DoMemoryOpPlan(const isa::ExecPlan& plan, isa::Addr addr);
   void DoBranchPlan(const isa::ExecPlan& plan);
+
+  // Fused probe + memory access (checker off only): decides fabric need
+  // exactly like PlanMemNeedsFabric and, when fabric-free, performs the
+  // access exactly like ChargeIssue + DoMemoryOpPlan. Returns false with
+  // no simulated side effects when the step must stop the segment; the
+  // issue cycle is charged only on success (the access time is computed
+  // as if it had been). Does not advance the pc.
+  bool TryMemoryOpPlan(const isa::ExecPlan& plan, isa::Addr addr, bool slot0);
+
+  // Tjit-enabled segment loop: interpreter with loop-edge harvesting, the
+  // superblock executor, and exit chaining (see docs/DISPATCH.md).
+  void RunSegmentTjit(Cycle q_end);
+  // Runs superblocks starting at (sb, idx) until a side exit (returns
+  // false; the interpreter continues at pc()) or a fabric/quantum stop
+  // (returns true; the segment ends, with a resume hint saved so the next
+  // segment re-enters the block mid-trace).
+  bool RunSuperblocks(tjit::Superblock* sb, std::uint32_t idx, Cycle q_end);
+  bool ExecSuperblockLoop(tjit::Superblock* sb, std::uint32_t idx,
+                          Cycle q_end);
 
   CpuId id_;
   isa::BinaryImage* image_;
@@ -162,6 +210,17 @@ class Core final : public HpmSource {
   std::uint64_t sample_period_ = 0;
   std::uint64_t until_sample_ = 0;
   std::function<void(Core&)> sample_hook_;
+
+  // --- Trace JIT -------------------------------------------------------------
+  tjit::TranslationCache* tjit_ = nullptr;  // null: pure interpreter
+  // Resume hint: where to re-enter the last superblock after a fabric
+  // commit or quantum edge split it. Consumed (and cleared) at the next
+  // segment start; validated by pc match and dropped whenever the cache
+  // flushes, so it can never point into a destroyed block.
+  tjit::Superblock* resume_sb_ = nullptr;
+  std::uint32_t resume_idx_ = 0;
+  isa::Addr resume_pc_ = 0;
+  std::uint64_t tjit_retired_ = 0;
 };
 
 }  // namespace cobra::cpu

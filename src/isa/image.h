@@ -125,6 +125,19 @@ class BinaryImage {
   // cached plans are bit-identical to the never-cached reference.
   static void TestOnlySetPlanCacheEnabled(bool enabled);
 
+  // True when the slot at `pc` is in the corrupt list (raw words written
+  // without a re-decode). Fetch/PlanAt on such a slot abort; the superblock
+  // compiler (tjit/superblock.cpp) checks this first so a stale plan can
+  // never be baked into a trace.
+  bool SlotKnownStale(Addr pc) const {
+    if (corrupt_slots_.empty()) return false;
+    const std::size_t idx = SlotIndex(pc);
+    for (const std::size_t corrupt : corrupt_slots_) {
+      if (corrupt == idx) return true;
+    }
+    return false;
+  }
+
  private:
   // Inline: runs once per simulated instruction (Fetch/PlanAt).
   std::size_t SlotIndex(Addr pc) const {

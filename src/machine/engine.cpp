@@ -94,9 +94,11 @@ void RunRounds(Machine& m, const std::vector<CpuId>& active, Cycle quantum,
   delta.runs = 1;
   std::uint64_t cycles_before = 0;
   std::uint64_t retired_before = 0;
+  std::uint64_t sb_retired_before = 0;
   for (const cpu::Core* core : running) {
     cycles_before += core->now();
     retired_before += core->instructions_retired();
+    sb_retired_before += core->superblock_retired();
   }
 
   while (!running.empty()) {
@@ -106,11 +108,12 @@ void RunRounds(Machine& m, const std::vector<CpuId>& active, Cycle quantum,
 
     if (running.size() == 1) {
       // One runnable core: program order *is* canonical commit order, so
-      // the probe/commit machinery adds nothing — step straight to the
+      // the probe/commit machinery adds nothing — run straight to the
       // quantum edge. The step stream is identical to the segmented path
       // (probes never change state), so both engines share this exactly.
-      cpu::Core* core = running.front();
-      while (!core->halted() && core->now() < q_end) core->Step();
+      // RunQuantum routes through the superblock executor when a
+      // translation cache is attached (fabric-bound steps commit inline).
+      running.front()->RunQuantum(q_end);
     } else {
       RunCommitRounds(running, q_end, segments, counters);
     }
@@ -136,9 +139,11 @@ void RunRounds(Machine& m, const std::vector<CpuId>& active, Cycle quantum,
     const cpu::Core& core = m.core(cpu);
     delta.sim_cycles += core.now();
     delta.retired += core.instructions_retired();
+    delta.sb_retired += core.superblock_retired();
   }
   delta.sim_cycles -= cycles_before;
   delta.retired -= retired_before;
+  delta.sb_retired -= sb_retired_before;
   delta.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - host_start)

@@ -7,6 +7,7 @@
 
 #include "machine/engine.h"
 #include "support/check.h"
+#include "tjit/tcache.h"
 #include "verify/coherence_checker.h"
 
 namespace cobra::machine {
@@ -20,6 +21,7 @@ struct GlobalHostCounters {
   std::atomic<std::uint64_t> runs{0};
   std::atomic<std::uint64_t> sim_cycles{0};
   std::atomic<std::uint64_t> retired{0};
+  std::atomic<std::uint64_t> sb_retired{0};
 };
 GlobalHostCounters g_host_perf;
 }  // namespace
@@ -30,6 +32,7 @@ HostPerf GlobalHostPerfTotals() {
   t.runs = g_host_perf.runs.load(std::memory_order_relaxed);
   t.sim_cycles = g_host_perf.sim_cycles.load(std::memory_order_relaxed);
   t.retired = g_host_perf.retired.load(std::memory_order_relaxed);
+  t.sb_retired = g_host_perf.sb_retired.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -38,11 +41,14 @@ void Machine::AccumulateHostPerf(const HostPerf& delta) {
   host_perf_.runs += delta.runs;
   host_perf_.sim_cycles += delta.sim_cycles;
   host_perf_.retired += delta.retired;
+  host_perf_.sb_retired += delta.sb_retired;
   g_host_perf.wall_ns.fetch_add(delta.wall_ns, std::memory_order_relaxed);
   g_host_perf.runs.fetch_add(delta.runs, std::memory_order_relaxed);
   g_host_perf.sim_cycles.fetch_add(delta.sim_cycles,
                                    std::memory_order_relaxed);
   g_host_perf.retired.fetch_add(delta.retired, std::memory_order_relaxed);
+  g_host_perf.sb_retired.fetch_add(delta.sb_retired,
+                                   std::memory_order_relaxed);
 }
 
 MachineConfig SmpServerConfig(int num_cpus) {
@@ -106,6 +112,18 @@ Machine::Machine(const MachineConfig& cfg, isa::BinaryImage* image)
         cpu, image_, memory_.get(), stacks_[static_cast<std::size_t>(cpu)].get(),
         fabric_.get()));
     if (checker_) cores_.back()->AttachChecker(checker_.get());
+  }
+
+  // Trace JIT: one translation cache per core (superblocks embed core-local
+  // chain pointers, and segment phases touch the caches in parallel).
+  // COBRA_TJIT=off leaves the cores on the pure PR5 interpreter path.
+  if (const tjit::TjitConfig tjit_cfg = tjit::TjitConfigFromEnv();
+      tjit_cfg.enabled) {
+    for (auto& core : cores_) {
+      tjit_caches_.push_back(
+          std::make_unique<tjit::TranslationCache>(image_, tjit_cfg));
+      core->AttachTjit(tjit_caches_.back().get());
+    }
   }
 
   RegisterMetrics();
@@ -209,6 +227,52 @@ void Machine::RegisterMetrics() {
                          [this] { return host_perf_.sim_cycles; });
   registry_.RegisterHost("host.retired",
                          [this] { return host_perf_.retired; });
+  registry_.RegisterHost("host.sb_retired",
+                         [this] { return host_perf_.sb_retired; });
+
+  // Translation-cache counters are host-class by design: whether a step ran
+  // through a superblock or the interpreter is a host implementation detail
+  // with zero simulated effect, so COBRA_TJIT=on/off must (and does) leave
+  // every fingerprinted metric bit-identical. Registered even when the JIT
+  // is disabled so snapshot shape is mode-independent.
+  const auto tjit_sum = [this](auto get) {
+    return [this, get] {
+      std::uint64_t total = 0;
+      for (const auto& tc : tjit_caches_) total += get(tc->stats());
+      return total;
+    };
+  };
+  registry_.RegisterHost("tjit.hits", tjit_sum([](const tjit::TjitStats& s) {
+                           return s.hits;
+                         }));
+  registry_.RegisterHost("tjit.misses",
+                         tjit_sum([](const tjit::TjitStats& s) {
+                           return s.misses;
+                         }));
+  registry_.RegisterHost("tjit.compiles",
+                         tjit_sum([](const tjit::TjitStats& s) {
+                           return s.compiles;
+                         }));
+  registry_.RegisterHost("tjit.compiled_steps",
+                         tjit_sum([](const tjit::TjitStats& s) {
+                           return s.compiled_steps;
+                         }));
+  registry_.RegisterHost("tjit.flushes",
+                         tjit_sum([](const tjit::TjitStats& s) {
+                           return s.flushes;
+                         }));
+  registry_.RegisterHost("tjit.chains", tjit_sum([](const tjit::TjitStats& s) {
+                           return s.chains;
+                         }));
+  registry_.RegisterHost("tjit.side_exits",
+                         tjit_sum([](const tjit::TjitStats& s) {
+                           return s.side_exits;
+                         }));
+  registry_.RegisterHost("tjit.sb_retired", [this] {
+    std::uint64_t total = 0;
+    for (const auto& core : cores_) total += core->superblock_retired();
+    return total;
+  });
 }
 
 void Machine::SetTraceSink(obs::TraceSink* trace) {

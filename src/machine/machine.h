@@ -32,6 +32,10 @@ namespace cobra::verify {
 class CoherenceChecker;
 }
 
+namespace cobra::tjit {
+class TranslationCache;
+}
+
 namespace cobra::machine {
 
 class ExecutionEngine;
@@ -60,6 +64,7 @@ struct HostPerf {
   std::uint64_t runs = 0;        // engine Run() invocations
   std::uint64_t sim_cycles = 0;  // simulated cycles advanced, summed over cores
   std::uint64_t retired = 0;     // instructions retired, summed over cores
+  std::uint64_t sb_retired = 0;  // subset retired in the superblock executor
 };
 
 // Process-wide HostPerf totals across every Machine ever constructed. The
@@ -197,6 +202,10 @@ class Machine {
   std::unique_ptr<verify::CoherenceChecker> checker_;  // null unless enabled
   std::vector<std::unique_ptr<mem::CacheStack>> stacks_;
   std::vector<std::unique_ptr<cpu::Core>> cores_;
+  // Per-core trace-JIT translation caches (empty when COBRA_TJIT=off).
+  // Per-core because superblocks embed core-local chain pointers and the
+  // caches are touched inside parallel segment phases.
+  std::vector<std::unique_ptr<tjit::TranslationCache>> tjit_caches_;
 
   obs::Registry registry_;
   EngineCounters engine_counters_;

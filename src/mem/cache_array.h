@@ -87,6 +87,16 @@ class CacheArray {
     return line;
   }
 
+  // Touch() split apart for callers that already hold a Probe() result
+  // (the cache stack's fused Try* accesses): TouchHit refreshes LRU and
+  // counts the hit for a line this array returned from Probe; CountMiss
+  // records the lookup miss a failed Touch would have counted.
+  void TouchHit(Line* line) {
+    line->lru = ++lru_clock_;
+    ++stats_.hits;
+  }
+  void CountMiss() { ++stats_.misses; }
+
   // Inserts (or re-uses) the line, evicting the LRU victim if the set is
   // full. The victim (if any, and valid) is copied to `*victim` and
   // `victim_valid` set. Returns the inserted line.

@@ -64,6 +64,23 @@ class CacheStack {
   // Non-binding prefetch (lfetch). Never stalls the core.
   void Prefetch(Addr addr, bool excl, Cycle now);
 
+  // --- Fused probe + access -------------------------------------------------
+  // One-pass combination of a *NeedsFabric probe and the access itself, for
+  // the core's hot dispatch path (probe-then-access walks every tag array
+  // twice). The decision phase is pure (Probe only updates the host-side
+  // way hint); if the access would reach the coherence fabric the call
+  // returns false with NO simulated side effects, and the caller stops the
+  // segment exactly as it would on a probe hit. Otherwise the commit phase
+  // replays the corresponding access's fabric-free path effect-for-effect —
+  // same LRU updates, hit/miss counts, fills and writeback counts — so a
+  // fused run is bit-identical to probe + Load/Store/Prefetch.
+  // Defined inline below the class: the superblock executor calls these for
+  // every memory step, so the whole hit path must inline like Probe does.
+  bool TryLoad(Addr addr, int size, bool fp, bool bias, Cycle now,
+               AccessResult* out);
+  bool TryStore(Addr addr, int size, Cycle now, AccessResult* out);
+  bool TryPrefetch(Addr addr, bool excl, Cycle now);
+
   // --- Engine probes --------------------------------------------------------
   // Exact, side-effect-free predicates for whether the corresponding access
   // would issue a coherence-fabric transaction. The execution engines
@@ -229,5 +246,138 @@ class CacheStack {
   mutable ProbeMemo probe_memo_;
   int memo_shift_ = 0;  // log2(coherence line size)
 };
+
+// --- Fused probe + access (inline: per-instruction hot path) ----------------
+
+inline bool CacheStack::TryLoad(Addr addr, int size, bool fp, bool bias,
+                                Cycle now, AccessResult* out) {
+  (void)size;
+  // Decision phase: pure, mirroring LoadNeedsFabric decision-for-decision
+  // (the memo is not consulted — it answers yes/no but the commit phase
+  // below needs the probed lines themselves).
+  CacheArray::Line* l1_line = fp ? nullptr : l1_.Probe(addr);
+  CacheArray::Line* l2_line = nullptr;
+  CacheArray::Line* l3_line = nullptr;
+  if (l1_line == nullptr) {
+    l2_line = l2_.Probe(addr);
+    if (l2_line != nullptr) {
+      if (bias && l2_line->state == Mesi::kS) return false;  // upgrade
+    } else {
+      l3_line = l3_.Probe(addr);
+      if (l3_line == nullptr) return false;  // full miss
+    }
+  }
+
+  // Commit phase: exactly Load()'s fabric-free paths.
+  ++stats_.loads;
+  if (l1_line != nullptr) {
+    l1_.TouchHit(l1_line);
+    const Cycle wait = l1_line->ready_at > now ? l1_line->ready_at - now : 0;
+    *out = {cfg_.l1_hit_latency + wait, Source::kL1};
+    return true;
+  }
+  if (!fp) l1_.CountMiss();
+  if (l2_line != nullptr) {
+    l2_.TouchHit(l2_line);
+    l2_line->referenced = true;
+    if (auto* outer = l3_.Probe(addr)) outer->referenced = true;
+    const Cycle wait = l2_line->ready_at > now ? l2_line->ready_at - now : 0;
+    if (!fp) FillL1(addr, now + cfg_.l2_hit_latency);
+    *out = {cfg_.l2_hit_latency + wait, Source::kL2};
+    return true;
+  }
+  l2_.CountMiss();
+  l3_.TouchHit(l3_line);
+  l3_line->referenced = true;
+  const Cycle wait = l3_line->ready_at > now ? l3_line->ready_at - now : 0;
+  CacheArray::Line victim;
+  bool victim_valid = false;
+  auto* refill =
+      l2_.Insert(CohLine(addr), l3_line->state, 0, &victim, &victim_valid);
+  if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+  refill->referenced = true;
+  if (!fp) FillL1(addr, now + cfg_.l3_hit_latency);
+  *out = {cfg_.l3_hit_latency + wait, Source::kL3};
+  return true;
+}
+
+inline bool CacheStack::TryStore(Addr addr, int size, Cycle now,
+                                 AccessResult* out) {
+  (void)size;
+  // Decision phase: pure, mirroring StoreNeedsFabric (a Shared line is a
+  // coherent write miss; a miss reads for ownership).
+  CacheArray::Line* l2_line = l2_.Probe(addr);
+  CacheArray::Line* l3_line = nullptr;
+  if (l2_line != nullptr) {
+    if (l2_line->state == Mesi::kS) return false;
+  } else {
+    l3_line = l3_.Probe(addr);
+    if (l3_line == nullptr || l3_line->state == Mesi::kS) return false;
+  }
+
+  // Commit phase: exactly Store()'s fabric-free paths (M/E hits).
+  ++stats_.stores;
+  if (l2_line != nullptr) {
+    l2_.TouchHit(l2_line);
+    l2_line->referenced = true;
+    if (auto* outer = l3_.Probe(addr)) outer->referenced = true;
+    const Cycle wait = l2_line->ready_at > now ? l2_line->ready_at - now : 0;
+    if (l2_line->state == Mesi::kE) SetStateAll(addr, Mesi::kM);
+    *out = {cfg_.store_hit_latency + wait, Source::kL2};
+    return true;
+  }
+  l2_.CountMiss();
+  l3_.TouchHit(l3_line);
+  l3_line->referenced = true;
+  const Cycle wait = l3_line->ready_at > now ? l3_line->ready_at - now : 0;
+  SetStateAll(addr, Mesi::kM);
+  CacheArray::Line victim;
+  bool victim_valid = false;
+  auto* refill = l2_.Insert(CohLine(addr), Mesi::kM, 0, &victim, &victim_valid);
+  if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+  refill->referenced = true;
+  *out = {cfg_.l3_hit_latency + wait, Source::kL3};
+  return true;
+}
+
+inline bool CacheStack::TryPrefetch(Addr addr, bool excl, Cycle now) {
+  const Addr line = CohLine(addr);
+  // Decision phase: pure, mirroring PrefetchNeedsFabric (an in-flight fill
+  // absorbs the prefetch; only an .excl upgrade of a previously-dirty
+  // Shared line or a full miss reaches the fabric).
+  CacheArray::Line* l2_line = l2_.Probe(line);
+  CacheArray::Line* l3_line = nullptr;
+  if (l2_line != nullptr) {
+    if (l2_line->ready_at <= now && excl && l2_line->state == Mesi::kS &&
+        l2_line->was_dirty_here) {
+      return false;
+    }
+  } else {
+    l3_line = l3_.Probe(line);
+    if (l3_line == nullptr) return false;
+    if (l3_line->ready_at <= now && excl && l3_line->state == Mesi::kS &&
+        l3_line->was_dirty_here) {
+      return false;
+    }
+  }
+
+  // Commit phase: exactly Prefetch()'s fabric-free paths.
+  ++stats_.prefetches;
+  if (l2_line != nullptr) {
+    l2_.TouchHit(l2_line);
+    return true;  // present (or fill in flight): nothing else to do
+  }
+  l2_.CountMiss();
+  l3_.TouchHit(l3_line);
+  if (l3_line->ready_at > now) return true;  // fill in flight: MSHR merge
+  CacheArray::Line victim;
+  bool victim_valid = false;
+  auto* staged = l2_.Insert(line, l3_line->state, now + cfg_.l3_hit_latency,
+                            &victim, &victim_valid);
+  if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+  staged->prefetched = true;
+  staged->referenced = false;
+  return true;
+}
 
 }  // namespace cobra::mem

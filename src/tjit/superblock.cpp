@@ -1,0 +1,136 @@
+#include "tjit/superblock.h"
+
+#include <unordered_map>
+
+#include "isa/image.h"
+#include "support/check.h"
+
+namespace cobra::tjit {
+
+namespace {
+
+isa::Addr AdvanceOf(isa::Addr pc) {
+  const unsigned slot = isa::SlotOf(pc);
+  return slot < 2 ? pc + 1 : isa::BundleAddr(pc) + isa::kBundleBytes;
+}
+
+// Taken-path target, exactly as Core::DoBranchPlan computes it: relative
+// branches are bundle-counted displacements from the branch's own bundle;
+// brl carries an absolute target. TakeBranch bundle-aligns either way.
+isa::Addr TakenTargetOf(const isa::ExecPlan& plan, isa::Addr pc) {
+  if (static_cast<isa::Opcode>(plan.handler) == isa::Opcode::kBrl) {
+    return isa::BundleAddr(static_cast<isa::Addr>(plan.imm));
+  }
+  return isa::BundleAddr(pc) +
+         static_cast<isa::Addr>(
+             plan.imm * static_cast<std::int64_t>(isa::kBundleBytes));
+}
+
+}  // namespace
+
+bool CompileTrace(const isa::BinaryImage& image, isa::Addr entry,
+                  std::uint32_t max_steps, Superblock* out) {
+  COBRA_CHECK_MSG(isa::SlotOf(entry) == 0, "trace entry must be bundle-aligned");
+  out->entry = entry;
+  out->steps.clear();
+
+  // Bundle-aligned pcs already in the trace. Branch targets are always
+  // bundle-aligned (TakeBranch aligns), so this is enough for a backward
+  // branch to close an internal loop edge.
+  std::unordered_map<isa::Addr, std::uint32_t> head_idx;
+
+  // The previous step's dangling continuation: written once the next step
+  // exists (indices, not pointers — the vector reallocates as it grows).
+  std::uint32_t pending_from = kNoStep;
+  bool pending_taken_edge = false;
+
+  isa::Addr pc = entry;
+  while (out->steps.size() < max_steps) {
+    if (!image.Contains(pc) || image.SlotKnownStale(pc)) break;
+    const isa::ExecPlan plan = image.PlanAt(pc);
+    if (plan.handler >= isa::kPlanHandlerStale) break;
+    const auto op = static_cast<isa::Opcode>(plan.handler);
+    if (op == isa::Opcode::kBreak) break;
+
+    const auto my_idx = static_cast<std::uint32_t>(out->steps.size());
+    Step s;
+    s.plan = plan;
+    s.pc = pc;
+    s.slot0 = isa::SlotOf(pc) == 0;
+    s.next_pc = AdvanceOf(pc);
+
+    if (plan.cls & isa::kPlanBranch) {
+      s.kind = StepKind::kBranch;
+      s.taken_pc = TakenTargetOf(plan, pc);
+    } else if (op == isa::Opcode::kNop) {
+      // Fuse the whole run of consecutive nops (predicated or not — a
+      // squashed nop and an executed nop have identical effects).
+      s.kind = StepKind::kNopRun;
+      std::uint16_t count = 0;
+      std::uint16_t slot0s = 0;
+      isa::Addr run_pc = pc;
+      while (count < 0xffff && image.Contains(run_pc) &&
+             !image.SlotKnownStale(run_pc) &&
+             static_cast<isa::Opcode>(image.PlanAt(run_pc).handler) ==
+                 isa::Opcode::kNop) {
+        ++count;
+        if (isa::SlotOf(run_pc) == 0) ++slot0s;
+        run_pc = AdvanceOf(run_pc);
+      }
+      s.count = count;
+      s.slot0_count = slot0s;
+      s.next_pc = run_pc;
+    } else if (plan.cls & isa::kPlanMem) {
+      switch (op) {
+        case isa::Opcode::kLd: s.kind = StepKind::kLd; break;
+        case isa::Opcode::kLdf: s.kind = StepKind::kLdf; break;
+        case isa::Opcode::kSt: s.kind = StepKind::kSt; break;
+        case isa::Opcode::kStf: s.kind = StepKind::kStf; break;
+        case isa::Opcode::kLfetch: s.kind = StepKind::kLfetch; break;
+        default: COBRA_UNREACHABLE("unclassified memory opcode");
+      }
+    } else {
+      s.kind = StepKind::kAlu;
+    }
+
+    // Register this step before resolving its own branch target, so a
+    // single-bundle loop can link back to itself.
+    if (s.slot0) head_idx.emplace(s.pc, my_idx);
+    out->steps.push_back(s);
+    if (pending_from != kNoStep) {
+      Step& prev = out->steps[pending_from];
+      (pending_taken_edge ? prev.taken_idx : prev.next_idx) = my_idx;
+      pending_from = kNoStep;
+    }
+
+    if (s.kind == StepKind::kBranch) {
+      const auto it = head_idx.find(out->steps[my_idx].taken_pc);
+      if (it != head_idx.end()) {
+        // The taken edge closes a loop inside the trace: the canonical
+        // superblock shape. End the walk; the fall-through (loop exit)
+        // side-exits or chains to another block.
+        out->steps[my_idx].taken_idx = it->second;
+        break;
+      }
+      if (op == isa::Opcode::kBrl) {
+        // Unconditional: follow the target (the fall-through edge is
+        // unreachable). This stitches straight through the head-bundle
+        // redirects COBRA deploys into the code cache.
+        pending_from = my_idx;
+        pending_taken_edge = true;
+        pc = out->steps[my_idx].taken_pc;
+        continue;
+      }
+      // Conditional with an unknown taken target: assume fall-through and
+      // keep compiling; the taken edge stays a side exit.
+    }
+
+    pending_from = my_idx;
+    pending_taken_edge = false;
+    pc = out->steps[my_idx].next_pc;
+  }
+
+  return !out->steps.empty();
+}
+
+}  // namespace cobra::tjit

@@ -1,0 +1,88 @@
+// Superblocks: hot straight-line traces flattened into arrays of
+// pre-resolved execution steps.
+//
+// The interpreter (cpu/core.cpp) dispatches every simulated instruction by
+// looking up its exec plan, testing classification bits, and re-deriving
+// branch targets and issue/slot geometry from the pc. A superblock hoists
+// all of that to compile time: each Step carries a *copy* of the slot's
+// ExecPlan plus everything the dispatch loop would recompute — the step
+// kind (pre-routed opcode), the architectural pc, the fall-through and
+// taken successor pcs, whether the step sits at slot 0 (and therefore
+// charges the bundle-issue cycle), and the successor step indices so
+// control transfers inside the trace are a single array index instead of a
+// pc→slot-index translation. Runs of consecutive nops are fused into one
+// batched step.
+//
+// Because every Step holds a plan copy, a superblock is immune to the
+// image's plan vector reallocating — but NOT to patching: any slot rewrite
+// changes what the copied plans should be. The translation cache
+// (tjit/tcache.h) owns that invalidation contract via the image's
+// plan_generation counter; superblocks themselves are plain data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/exec_plan.h"
+#include "isa/types.h"
+
+namespace cobra::isa {
+class BinaryImage;
+}
+
+namespace cobra::tjit {
+
+// "No successor step": the executor leaves the trace here (side exit or
+// fall-off-the-end) with the architectural pc already correct.
+inline constexpr std::uint32_t kNoStep = 0xffff'ffffu;
+
+enum class StepKind : std::uint8_t {
+  kAlu,     // predicated handler-table dispatch (everything non-mem/branch)
+  kNopRun,  // `count` consecutive nops fused into one batched step
+  kLd,      // memory ops with the opcode pre-routed: no switch at run time
+  kLdf,
+  kSt,
+  kStf,
+  kLfetch,
+  kBranch,
+};
+
+struct Superblock;
+
+struct Step {
+  isa::ExecPlan plan{};
+  isa::Addr pc = 0;        // architectural pc of this step
+  isa::Addr next_pc = 0;   // pc after the straight-line (fall-through) path
+  isa::Addr taken_pc = 0;  // branches only: pc after the taken path
+  std::uint32_t next_idx = kNoStep;   // successor on the straight-line path
+  std::uint32_t taken_idx = kNoStep;  // branches only: successor when taken
+  // Lazily resolved successor blocks at trace exits, one per edge. A pure
+  // host-side memo of a TranslationCache lookup: a cache flush destroys
+  // every block — including the steps holding these pointers — so a cached
+  // chain can never dangle across an invalidation.
+  Superblock* chain_next = nullptr;
+  Superblock* chain_taken = nullptr;
+  StepKind kind = StepKind::kAlu;
+  bool slot0 = false;             // sits at slot 0: charges the issue cycle
+  std::uint16_t count = 0;        // kNopRun: fused nop count
+  std::uint16_t slot0_count = 0;  // kNopRun: how many of them sit at slot 0
+};
+
+struct Superblock {
+  isa::Addr entry = 0;  // bundle-aligned
+  std::vector<Step> steps;
+};
+
+// Compiles the straight-line trace starting at the bundle-aligned `entry`
+// into `out`. The walk copies each slot's exec plan and follows the likely
+// path: conditional branches assume fall-through (their taken edge becomes
+// a side exit), brl is followed unconditionally (stitching across COBRA's
+// deployed-trace redirects into the code cache), and a branch whose taken
+// target is already in the trace closes an internal loop edge and ends the
+// walk. The trace also ends at a break, a slot marked stale, the image
+// boundary, or `max_steps`. Returns false (empty trace) when not even one
+// step could be compiled.
+bool CompileTrace(const isa::BinaryImage& image, isa::Addr entry,
+                  std::uint32_t max_steps, Superblock* out);
+
+}  // namespace cobra::tjit

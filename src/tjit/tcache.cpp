@@ -1,0 +1,140 @@
+#include "tjit/tcache.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "isa/image.h"
+#include "support/check.h"
+
+namespace cobra::tjit {
+
+namespace {
+
+std::atomic<bool> g_test_enabled{true};
+
+std::uint64_t EnvNumber(const char* name, std::uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  std::uint64_t value = 0;
+  for (const char* p = env; *p != '\0'; ++p) {
+    COBRA_CHECK_MSG(*p >= '0' && *p <= '9', "bad numeric env value");
+    value = value * 10 + static_cast<std::uint64_t>(*p - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+void TestOnlySetTjitEnabled(bool enabled) {
+  g_test_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TjitConfig TjitConfigFromEnv() {
+  TjitConfig cfg;
+  if (const char* env = std::getenv("COBRA_TJIT"); env != nullptr) {
+    const std::string_view v(env);
+    cfg.enabled = !(v == "off" || v == "0" || v == "OFF");
+  }
+  if (!g_test_enabled.load(std::memory_order_relaxed)) cfg.enabled = false;
+  cfg.hot_threshold = static_cast<std::uint32_t>(
+      EnvNumber("COBRA_TJIT_THRESHOLD", cfg.hot_threshold));
+  COBRA_CHECK_MSG(cfg.hot_threshold > 0, "COBRA_TJIT_THRESHOLD must be > 0");
+  cfg.max_cache_steps = static_cast<std::size_t>(
+      EnvNumber("COBRA_TJIT_CACHE", cfg.max_cache_steps));
+  COBRA_CHECK_MSG(cfg.max_cache_steps >= cfg.max_trace_steps,
+                  "COBRA_TJIT_CACHE must hold at least one full trace");
+  return cfg;
+}
+
+TranslationCache::TranslationCache(const isa::BinaryImage* image,
+                                   const TjitConfig& cfg)
+    : image_(image), cfg_(cfg) {
+  COBRA_CHECK(image != nullptr);
+}
+
+bool TranslationCache::BeginSegment() {
+  const std::uint64_t gen = image_->plan_generation();
+  if (gen == generation_) return false;
+  Flush();
+  generation_ = gen;
+  return true;
+}
+
+void TranslationCache::Flush() {
+  if (!blocks_.empty()) ++stats_.flushes;
+  blocks_.clear();
+  hot_.fill(HotEntry{});
+  total_steps_ = 0;
+}
+
+Superblock* TranslationCache::Lookup(isa::Addr pc) {
+  const auto it = blocks_.find(pc);
+  if (it == blocks_.end() || it->second == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second.get();
+}
+
+Superblock* TranslationCache::Chain(isa::Addr pc) {
+  const auto it = blocks_.find(pc);
+  if (it == blocks_.end() || it->second == nullptr) return nullptr;
+  ++stats_.chains;
+  return it->second.get();
+}
+
+Superblock* TranslationCache::NoteLoopEdge(isa::Addr head) {
+  HotEntry& e = hot_[(head / isa::kBundleBytes) & (kHotEntries - 1)];
+  if (e.pc != head) {
+    // Direct-mapped: a colliding head simply evicts the old profile.
+    e = HotEntry{head, 1, false, nullptr};
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (e.block != nullptr) {
+    ++stats_.hits;
+    return e.block;
+  }
+  if (e.failed || ++e.count < cfg_.hot_threshold) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Superblock* block = CompileAt(head);
+  // CompileAt may have flushed (capacity) and reset `e`; re-establish the
+  // entry either way so the next edge takes the fast path above.
+  e.pc = head;
+  e.block = block;
+  e.failed = block == nullptr;
+  if (block == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return block;
+}
+
+Superblock* TranslationCache::CompileAt(isa::Addr entry) {
+  if (const auto it = blocks_.find(entry); it != blocks_.end()) {
+    return it->second.get();
+  }
+  auto sb = std::make_unique<Superblock>();
+  if (!CompileTrace(*image_, entry, cfg_.max_trace_steps, sb.get())) {
+    blocks_.emplace(entry, nullptr);
+    return nullptr;
+  }
+  if (total_steps_ + sb->steps.size() > cfg_.max_cache_steps) {
+    // Valgrind-style wholesale invalidation: chain edges are never traced,
+    // so partial eviction would leave dangling block pointers.
+    Flush();
+  }
+  total_steps_ += sb->steps.size();
+  ++stats_.compiles;
+  stats_.compiled_steps += sb->steps.size();
+  Superblock* raw = sb.get();
+  blocks_.emplace(entry, std::move(sb));
+  return raw;
+}
+
+}  // namespace cobra::tjit

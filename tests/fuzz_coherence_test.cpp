@@ -22,6 +22,7 @@
 
 #include "isa/image.h"
 #include "machine/engine.h"
+#include "tjit/tcache.h"
 #include "verify/fuzz.h"
 
 namespace cobra::verify {
@@ -125,6 +126,42 @@ TEST(CoherenceFuzz, PlanCacheInvalidationSmp) {
 
 TEST(CoherenceFuzz, PlanCacheInvalidationNuma) {
   RunPlanCacheSweep(&NumaFuzzCase, 4000, ParallelEngine());
+}
+
+// Translation-cache staleness audit: the same deploy / revert / re-apply
+// schedules, run once with the trace JIT compiling and chaining superblocks
+// and once forced onto the pure interpreter. Superblocks snapshot exec
+// plans at compile time, so any block that survived a patch (a missed
+// plan_generation flush) would execute the pre-patch code and diverge the
+// fingerprint — timing state, coherence counters and the data-segment hash
+// all at once. Machines capture COBRA_TJIT at construction, so the toggle
+// wraps the whole run.
+void RunTjitSweep(FuzzCase (*make)(std::uint64_t), std::uint64_t seed_base,
+                  const machine::EngineConfig& engine) {
+  std::uint64_t replay_seed = 0;
+  const bool replay = SeedFromEnv(&replay_seed);
+  const int cases = replay ? 1 : std::min(CasesFromEnv(), 8);
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed =
+        replay ? replay_seed : seed_base + static_cast<std::uint64_t>(i);
+    const FuzzCase c = make(seed);
+    const std::string jitted = RunFuzzCaseWithDeployments(c, engine);
+    tjit::TestOnlySetTjitEnabled(false);
+    const std::string interpreted = RunFuzzCaseWithDeployments(c, engine);
+    tjit::TestOnlySetTjitEnabled(true);
+    ASSERT_EQ(jitted, interpreted)
+        << "superblock execution diverged from the interpreter under live "
+           "patching; replay with COBRA_FUZZ_SEED="
+        << seed << " (machine " << c.machine_name << ")";
+  }
+}
+
+TEST(CoherenceFuzz, TjitInvalidationSmp) {
+  RunTjitSweep(&SmpFuzzCase, 5000, SerialEngine());
+}
+
+TEST(CoherenceFuzz, TjitInvalidationNuma) {
+  RunTjitSweep(&NumaFuzzCase, 6000, ParallelEngine());
 }
 
 }  // namespace

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md, PAPER.md and
+everything under docs/ for markdown links of the form [text](target).
+External links (http/https/mailto) are ignored; everything else is resolved
+relative to the file containing the link (anchors stripped) and must exist
+in the working tree. Exit status 1 lists every dead link.
+
+Usage: python3 tools/check_doc_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root):
+    for name in os.listdir(root):
+        if name.endswith(".md"):
+            yield os.path.join(root, name)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _, files in os.walk(docs):
+            for name in files:
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def dead_links(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks routinely contain [x](y)-shaped text that is not a
+    # link; drop them before scanning.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    base = os.path.dirname(path)
+    for lineno_text in text.splitlines():
+        for match in LINK_RE.finditer(lineno_text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+            if not os.path.exists(resolved):
+                yield target, resolved
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = []
+    for path in sorted(doc_files(root)):
+        for target, resolved in dead_links(path):
+            failures.append(f"{os.path.relpath(path, root)}: dead link "
+                            f"'{target}' (resolved to {resolved})")
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"{len(failures)} dead documentation link(s)", file=sys.stderr)
+        return 1
+    print("all documentation links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
