@@ -63,6 +63,9 @@ NpbRunResult RunNpbExperiment(const std::string& benchmark,
   result.coherent_events = bus.CoherentEvents();
   result.bus_upgrades = bus.bus_upgrades;
   result.bus_rd_inval_all_hitm = bus.bus_rd_inval_all_hitm;
+  result.bus_updates = bus.bus_updates;
+  result.c2c_transfers = bus.c2c_transfers;
+  result.bus_writebacks = bus.bus_writebacks;
   result.remote_transactions = bus.remote_transactions;
   result.verified = bench->Verify(machine);
   if (cobra) result.cobra = cobra->stats();

@@ -34,6 +34,12 @@ struct NpbRunResult {
   std::uint64_t bus_upgrades = 0;
   std::uint64_t bus_rd_inval_all_hitm = 0;
   std::uint64_t snoop_invalidations = 0;
+  // Protocol-contrast traffic (the protocol_matrix experiment): Dragon
+  // update broadcasts, cache-to-cache supplies (dirty everywhere; also
+  // clean under MESIF), and dirty-victim writebacks.
+  std::uint64_t bus_updates = 0;
+  std::uint64_t c2c_transfers = 0;
+  std::uint64_t bus_writebacks = 0;
   std::uint64_t remote_transactions = 0;
   std::uint64_t prefetch_bus_requests = 0;
   bool verified = false;

@@ -11,6 +11,7 @@
 #include "kgen/emitters.h"
 #include "kgen/program.h"
 #include "machine/machine.h"
+#include "mem/protocol.h"
 #include "npb/common.h"
 #include "npb_experiment.h"
 #include "obs/trace.h"
@@ -369,6 +370,95 @@ Json RunNpbNuma(const SuiteOptions& options) {
   return RunNpbMatrix(options, /*numa=*/true);
 }
 
+// --- Coherence-protocol matrix (DESIGN.md §Coherence protocols) ------------
+
+Json RunProtocolMatrix(const SuiteOptions& options) {
+  Json e = BeginExperiment(
+      "protocol_matrix", "DESIGN.md, Coherence protocols",
+      "sharing-heavy NPB kernels under each coherence protocol "
+      "(MESI/MOESI/Dragon/MESIF), static.excl binary vs adaptive COBRA: "
+      "cycles plus invalidation / update / cache-to-cache / writeback "
+      "traffic",
+      "smp4", 4);
+  const std::vector<std::string> benchmarks =
+      options.quick ? std::vector<std::string>{"cg"}
+                    : std::vector<std::string>{"cg", "mg", "ft"};
+  static constexpr mem::Protocol kProtocols[] = {
+      mem::Protocol::kMesi, mem::Protocol::kMoesi, mem::Protocol::kDragon,
+      mem::Protocol::kMesif};
+  struct ModeSpec {
+    const char* name;
+    bool static_excl;
+  };
+  static constexpr ModeSpec kModes[] = {{"static.excl", true},
+                                        {"adaptive", false}};
+
+  Json rows = Json::Array();
+  // Per-protocol totals across benchmarks and modes, for the trend
+  // assertions (Dragon: updates, zero invalidations; MESIF: clean c2c).
+  std::uint64_t invalidations[4] = {};
+  std::uint64_t snoop_invalidations[4] = {};
+  std::uint64_t updates[4] = {};
+  std::uint64_t c2c[4] = {};
+  std::uint64_t writebacks[4] = {};
+  std::uint64_t cycles[4] = {};
+  for (const std::string& benchmark : benchmarks) {
+    for (int pi = 0; pi < 4; ++pi) {
+      machine::MachineConfig machine = machine::SmpServerConfig(4);
+      machine.mem.protocol = kProtocols[pi];
+      if (options.echo) {
+        std::fprintf(stderr, "[cobra_bench]   protocol_matrix %s %s\n",
+                     benchmark.c_str(),
+                     mem::ProtocolName(kProtocols[pi]));
+      }
+      for (const ModeSpec& mode : kModes) {
+        NpbOptions npb_options;
+        npb_options.engine = options.engine;
+        npb_options.static_excl_binary = mode.static_excl;
+        const NpbRunResult r = RunNpbExperiment(
+            benchmark, machine, 4,
+            mode.static_excl ? NpbMode::kBaseline : NpbMode::kCobraExcl,
+            npb_options);
+        const std::uint64_t inval = r.bus_upgrades + r.bus_rd_inval_all_hitm;
+        invalidations[pi] += inval;
+        snoop_invalidations[pi] += r.snoop_invalidations;
+        updates[pi] += r.bus_updates;
+        c2c[pi] += r.c2c_transfers;
+        writebacks[pi] += r.bus_writebacks;
+        cycles[pi] += r.cycles;
+        Json row = Json::Object();
+        row.Set("benchmark", benchmark);
+        row.Set("protocol", mem::ProtocolName(kProtocols[pi]));
+        row.Set("mode", mode.name);
+        row.Set("cycles", r.cycles);
+        row.Set("l3_misses", r.l3_misses);
+        row.Set("bus_memory", r.bus_memory);
+        row.Set("invalidations", inval);
+        row.Set("snoop_invalidations", r.snoop_invalidations);
+        row.Set("updates", r.bus_updates);
+        row.Set("c2c_transfers", r.c2c_transfers);
+        row.Set("writebacks", r.bus_writebacks);
+        rows.Append(std::move(row));
+      }
+    }
+  }
+  e.Set("rows", std::move(rows));
+
+  Json derived = Json::Object();
+  derived.Set("benchmarks", static_cast<std::uint64_t>(benchmarks.size()));
+  for (int pi = 0; pi < 4; ++pi) {
+    const std::string p = mem::ProtocolName(kProtocols[pi]);
+    derived.Set(p + "_invalidations_total", invalidations[pi]);
+    derived.Set(p + "_snoop_invalidations_total", snoop_invalidations[pi]);
+    derived.Set(p + "_updates_total", updates[pi]);
+    derived.Set(p + "_c2c_total", c2c[pi]);
+    derived.Set(p + "_writebacks_total", writebacks[pi]);
+    derived.Set(p + "_cycles_total", cycles[pi]);
+  }
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
 // --- Ablations (DESIGN.md §4) ----------------------------------------------
 
 Json RunAblations(const SuiteOptions& options) {
@@ -655,8 +745,8 @@ struct ExperimentDef {
 constexpr ExperimentDef kPaperExperiments[] = {
     {"table1_static_stats", RunTable1}, {"fig2_codegen", RunFig2},
     {"fig3_daxpy", RunFig3},            {"npb_smp", RunNpbSmp},
-    {"npb_numa", RunNpbNuma},           {"ablations", RunAblations},
-    {"adore_insertion", RunInsertion},
+    {"npb_numa", RunNpbNuma},           {"protocol_matrix", RunProtocolMatrix},
+    {"ablations", RunAblations},        {"adore_insertion", RunInsertion},
 };
 
 constexpr ExperimentDef kMicroExperiments[] = {
@@ -673,6 +763,11 @@ Json RunSuite(const char* suite_name, const ExperimentDef (&defs)[N],
   doc.Set("suite", suite_name);
   doc.Set("quick", options.quick);
   doc.Set("engine", EngineSpecString(options.engine));
+  // The ambient coherence protocol (COBRA_PROTOCOL): every preset-built
+  // machine in the suite runs under it. protocol_matrix additionally pins
+  // each protocol explicitly, regardless of this value.
+  doc.Set("protocol",
+          mem::ProtocolName(mem::ProtocolFromEnv(mem::Protocol::kMesi)));
   Json experiments = Json::Array();
   for (const ExperimentDef& def : defs) {
     if (!options.only.empty() &&

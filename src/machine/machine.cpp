@@ -139,6 +139,13 @@ void Machine::RegisterMetrics() {
     registry_.Register(std::move(name), std::move(probe));
   };
 
+  // Fabric traffic metrics carry the active coherence protocol in their
+  // prefix (fabric.mesi.*, fabric.dragon.*, ...), so two runs under
+  // different protocols can never be confused: the metric names — and with
+  // them the registry fingerprint and the bench JSON schema — differ.
+  const std::string fab =
+      std::string("fabric.") + mem::ProtocolName(cfg_.mem.protocol);
+
   for (CpuId cpu = 0; cpu < cfg_.num_cpus; ++cpu) {
     const std::string n = std::to_string(cpu);
     const cpu::Core* core = cores_[static_cast<std::size_t>(cpu)].get();
@@ -170,11 +177,17 @@ void Machine::RegisterMetrics() {
         [stack] { return stack->stats().snoop_invalidations; });
     add("mem.cpu" + n + ".hitm_supplies",
         [stack] { return stack->stats().hitm_supplies; });
+    add("mem.cpu" + n + ".store_updates",
+        [stack] { return stack->stats().store_updates; });
+    add("mem.cpu" + n + ".snoop_updates",
+        [stack] { return stack->stats().snoop_updates; });
+    add("mem.cpu" + n + ".buffered_stores",
+        [stack] { return stack->stats().buffered_stores; });
 
     const mem::CoherenceFabric* fabric = fabric_.get();
-    add("bus.cpu" + n + ".memory",
+    add(fab + ".cpu" + n + ".memory",
         [fabric, cpu] { return fabric->CpuCounts(cpu).bus_memory; });
-    add("bus.cpu" + n + ".coherent",
+    add(fab + ".cpu" + n + ".coherent",
         [fabric, cpu] { return fabric->CpuCounts(cpu).CoherentEvents(); });
   }
 
@@ -194,19 +207,26 @@ void Machine::RegisterMetrics() {
   });
 
   const mem::CoherenceFabric* fabric = fabric_.get();
-  add("bus.memory", [fabric] { return fabric->TotalCounts().bus_memory; });
-  add("bus.rd_hit", [fabric] { return fabric->TotalCounts().bus_rd_hit; });
-  add("bus.rd_hitm", [fabric] { return fabric->TotalCounts().bus_rd_hitm; });
-  add("bus.rd_inval_all_hitm",
+  add(fab + ".memory", [fabric] { return fabric->TotalCounts().bus_memory; });
+  add(fab + ".rd_hit", [fabric] { return fabric->TotalCounts().bus_rd_hit; });
+  add(fab + ".rd_hitm",
+      [fabric] { return fabric->TotalCounts().bus_rd_hitm; });
+  add(fab + ".rd_inval_all_hitm",
       [fabric] { return fabric->TotalCounts().bus_rd_inval_all_hitm; });
-  add("bus.upgrades", [fabric] { return fabric->TotalCounts().bus_upgrades; });
-  add("bus.writebacks",
+  add(fab + ".upgrades",
+      [fabric] { return fabric->TotalCounts().bus_upgrades; });
+  add(fab + ".updates",
+      [fabric] { return fabric->TotalCounts().bus_updates; });
+  add(fab + ".c2c", [fabric] {
+    return fabric->TotalCounts().c2c_transfers;
+  });
+  add(fab + ".writebacks",
       [fabric] { return fabric->TotalCounts().bus_writebacks; });
-  add("bus.remote",
+  add(fab + ".remote",
       [fabric] { return fabric->TotalCounts().remote_transactions; });
-  add("bus.coherent",
+  add(fab + ".coherent",
       [fabric] { return fabric->TotalCounts().CoherentEvents(); });
-  add("bus.occupancy", [fabric] { return fabric->queue_cycles(); });
+  add(fab + ".occupancy", [fabric] { return fabric->queue_cycles(); });
 
   add("engine.quanta", [this] { return engine_counters_.quanta; });
   add("engine.segment_phases",

@@ -121,7 +121,8 @@ class Machine {
 
   // --- Observability --------------------------------------------------------
   // Central metric registry. The machine registers its own hierarchical
-  // counters (cpuN.*, mem.*, bus.*, engine.*) at construction; subsystems
+  // counters (cpuN.*, mem.*, fabric.<protocol>.*, engine.*) at
+  // construction; subsystems
   // with a shorter lifetime (CobraRuntime, SamplingDriver) add theirs via
   // obs::Registry::Registration. registry().Take() is the one queryable
   // snapshot of everything.

@@ -10,6 +10,7 @@ namespace cobra::mem {
 CacheStack::CacheStack(CpuId cpu, const MemConfig& cfg)
     : cpu_(cpu),
       cfg_(cfg),
+      policy_(&CoherencePolicy::For(cfg.protocol)),
       l1_(cfg.l1.size_bytes, cfg.l1.line_bytes, cfg.l1.associativity),
       l2_(cfg.l2.size_bytes, cfg.l2.line_bytes, cfg.l2.associativity),
       l3_(cfg.l3.size_bytes, cfg.l3.line_bytes, cfg.l3.associativity),
@@ -25,6 +26,13 @@ FabricResult CacheStack::FabricRequest(BusOp op, Addr line_addr, Cycle now) {
                   "coherence transaction during a core-private segment "
                   "(engine probe out of sync with the access path)");
   FabricResult r = fabric_->Request(cpu_, op, line_addr, now);
+  if (pending_stores_ > 0) {
+    // Drain-before-commit: buffered store-hit cost is paid here, before the
+    // transaction's result is usable, so the fabric-visible event order is
+    // exactly what it would be without the buffer.
+    r.latency += static_cast<Cycle>(pending_stores_) * cfg_.store_hit_latency;
+    pending_stores_ = 0;
+  }
   if (trace_ != nullptr) {
     trace_->Complete(trace_pid_, static_cast<int>(cpu_), "coherence",
                      BusOpName(op), now, r.latency);
@@ -71,7 +79,8 @@ void CacheStack::EvictVictim(const CacheArray::Line& victim, Cycle now) {
     l1_.Invalidate(sub);
   }
   l2_.Invalidate(victim.line_addr);
-  if (victim.state == Mesi::kM) {
+  if (CohDirty(victim.state)) {
+    // M, O and Sm victims all carry data newer than memory.
     ++stats_.fabric_writebacks;
     FabricRequest(BusOp::kWriteback, victim.line_addr, now);
   } else {
@@ -94,7 +103,7 @@ CacheArray::Line* CacheStack::Fill(Addr addr, Mesi state, Cycle ready_at,
   // Then L2. An L2 victim still resides in L3, so a dirty victim is only an
   // internal (L2->L3) writeback, which Itanium 2 counts as an L2 writeback.
   auto* l2_line = l2_.Insert(line, state, ready_at, &victim, &victim_valid);
-  if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+  if (victim_valid && CohDirty(victim.state)) ++stats_.l2_writebacks;
   l2_line->prefetched = prefetched;
   l2_line->referenced = !prefetched;
   return l2_line;
@@ -127,11 +136,15 @@ CacheStack::AccessResult CacheStack::Load(Addr addr, int size, bool fp,
     if (auto* outer = l3_.Probe(addr)) outer->referenced = true;
     const Cycle wait = line->ready_at > now ? line->ready_at - now : 0;
     if (!fp) FillL1(addr, now + cfg_.l2_hit_latency);
-    if (bias && line->state == Mesi::kS) {
-      // ld.bias on a shared line: upgrade in the background.
+    if (bias && !CohWritable(line->state) && policy_->bias_upgrades()) {
+      // ld.bias on a shared line: upgrade in the background. A dirty-shared
+      // copy (MOESI O) keeps its data and becomes M; clean copies land in E.
+      const Mesi old = line->state;
       const FabricResult r =
           FabricRequest(BusOp::kUpgrade, CohLine(addr), now);
-      SetStateAll(addr, r.grant == Mesi::kI ? Mesi::kS : Mesi::kE);
+      SetStateAll(addr, CohDirty(old)            ? Mesi::kM
+                        : r.grant == Mesi::kI    ? old
+                                                 : Mesi::kE);
     }
     return {cfg_.l2_hit_latency + wait, Source::kL2};
   }
@@ -145,18 +158,79 @@ CacheStack::AccessResult CacheStack::Load(Addr addr, int size, bool fp,
     bool victim_valid = false;
     auto* l2_line = l2_.Insert(CohLine(addr), line->state, 0, &victim,
                                &victim_valid);
-    if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+    if (victim_valid && CohDirty(victim.state)) ++stats_.l2_writebacks;
     l2_line->referenced = true;
     if (!fp) FillL1(addr, now + cfg_.l3_hit_latency);
     return {cfg_.l3_hit_latency + wait, Source::kL3};
   }
 
-  // Miss: go to the fabric.
-  const BusOp op = bias ? BusOp::kReadExcl : BusOp::kRead;
+  // Miss: go to the fabric. Under an update-based protocol there is no
+  // read-for-ownership; biased loads miss like plain ones.
+  const BusOp op =
+      bias && policy_->bias_upgrades() ? BusOp::kReadExcl : BusOp::kRead;
   const FabricResult r = FabricRequest(op, CohLine(addr), now);
   Fill(addr, r.grant, now + r.latency, /*prefetched=*/false, now);
   if (!fp) FillL1(addr, now + r.latency);
   return {r.latency, ClassifySource(r)};
+}
+
+CacheStack::AccessResult CacheStack::StoreToShared(Addr addr, Cycle wait,
+                                                   bool in_l2, Cycle now) {
+  auto Charge = [&](Cycle bus_latency) {
+    return cfg_.store_hit_latency +
+           static_cast<Cycle>(static_cast<double>(bus_latency) *
+                              cfg_.store_stall_fraction);
+  };
+  const Addr line = CohLine(addr);
+
+  // Upgrading actions keep the line resident; if it only sits in L3, refill
+  // L2 exactly as the writable L3-hit path does.
+  auto RefillL2 = [&](Mesi state) {
+    if (in_l2) return;
+    CacheArray::Line victim;
+    bool victim_valid = false;
+    auto* l2_line = l2_.Insert(line, state, 0, &victim, &victim_valid);
+    if (victim_valid && CohDirty(victim.state)) ++stats_.l2_writebacks;
+    l2_line->referenced = true;
+  };
+
+  switch (policy_->store_shared_action()) {
+    case StoreSharedAction::kReadInvalidate: {
+      // Itanium 2 treats a store to a Shared line as an L2 write miss: the
+      // line is re-fetched with a full read-invalidate transaction (this is
+      // the "coherent L2 write misses lead to L3 misses" behaviour the
+      // paper describes). Drop our copy and take the miss path.
+      ++stats_.store_upgrades;
+      ++coherent_write_misses_;
+      InvalidateAll(addr);
+      const FabricResult r = FabricRequest(BusOp::kReadExcl, line, now);
+      Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false,
+           now);
+      return {Charge(r.latency) + wait,
+              r.remote ? Source::kRemote : Source::kCoherent};
+    }
+    case StoreSharedAction::kUpgrade: {
+      // MOESI: invalidate the other copies in place — our data (S or O)
+      // stays resident, so this is an upgrade round, not a write miss.
+      ++stats_.store_upgrades;
+      const FabricResult r = FabricRequest(BusOp::kUpgrade, line, now);
+      SetStateAll(addr, Mesi::kM);
+      RefillL2(Mesi::kM);
+      return {Charge(r.latency) + wait,
+              r.remote ? Source::kRemote : Source::kCoherent};
+    }
+    case StoreSharedAction::kUpdate: {
+      // Dragon: broadcast the new data; remote copies stay valid and
+      // clean-shared. We end up Sm (sharers remain) or M (last copy).
+      ++stats_.store_updates;
+      const FabricResult r = FabricRequest(BusOp::kUpdate, line, now);
+      SetStateAll(addr, r.grant);
+      RefillL2(r.grant);
+      return {Charge(r.latency) + wait,
+              r.remote ? Source::kRemote : Source::kCoherent};
+    }
+  }
+  return {cfg_.store_hit_latency + wait, Source::kL2};  // unreachable
 }
 
 CacheStack::AccessResult CacheStack::Store(Addr addr, int size, Cycle now) {
@@ -175,60 +249,46 @@ CacheStack::AccessResult CacheStack::Store(Addr addr, int size, Cycle now) {
     line->referenced = true;
     if (auto* outer = l3_.Probe(addr)) outer->referenced = true;
     const Cycle wait = line->ready_at > now ? line->ready_at - now : 0;
-    switch (line->state) {
-      case Mesi::kM:
-        return {cfg_.store_hit_latency + wait, Source::kL2};
-      case Mesi::kE:
-        SetStateAll(addr, Mesi::kM);
-        return {cfg_.store_hit_latency + wait, Source::kL2};
-      case Mesi::kS:
-        break;  // coherent L2 write miss: full read-invalidate below
-      case Mesi::kI:
-        break;
+    if (CohWritable(line->state)) {
+      if (line->state == Mesi::kE) SetStateAll(addr, Mesi::kM);
+      const Cycle hit_cost = BufferStoreHit() ? 0 : cfg_.store_hit_latency;
+      return {hit_cost + wait, Source::kL2};
     }
-    if (line->state == Mesi::kS) {
-      // Itanium 2 treats a store to a Shared line as an L2 write miss: the
-      // line is re-fetched with a full read-invalidate transaction (this is
-      // the "coherent L2 write misses lead to L3 misses" behaviour the
-      // paper describes). Drop our copy and take the miss path.
-      ++stats_.store_upgrades;
-      ++coherent_write_misses_;
-      InvalidateAll(addr);
-      const FabricResult r =
-          FabricRequest(BusOp::kReadExcl, CohLine(addr), now);
-      Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false,
-           now);
-      return {Charge(r.latency) + wait,
-              r.remote ? Source::kRemote : Source::kCoherent};
-    }
+    return StoreToShared(addr, wait, /*in_l2=*/true, now);
   }
 
   // L3.
   if (auto* line = l3_.Touch(addr)) {
     line->referenced = true;
     const Cycle wait = line->ready_at > now ? line->ready_at - now : 0;
-    if (line->state == Mesi::kS) {
-      ++stats_.store_upgrades;
-      ++coherent_write_misses_;
-      InvalidateAll(addr);
-      const FabricResult r =
-          FabricRequest(BusOp::kReadExcl, CohLine(addr), now);
-      Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false,
-           now);
-      return {Charge(r.latency) + wait,
-              r.remote ? Source::kRemote : Source::kCoherent};
+    if (!CohWritable(line->state)) {
+      return StoreToShared(addr, wait, /*in_l2=*/false, now);
     }
     SetStateAll(addr, Mesi::kM);
     CacheArray::Line victim;
     bool victim_valid = false;
     auto* l2_line =
         l2_.Insert(CohLine(addr), Mesi::kM, 0, &victim, &victim_valid);
-    if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+    if (victim_valid && CohDirty(victim.state)) ++stats_.l2_writebacks;
     l2_line->referenced = true;
     return {cfg_.l3_hit_latency + wait, Source::kL3};
   }
 
-  // Miss: read-for-ownership.
+  // Miss. Invalidation protocols read for ownership; Dragon has no RFO —
+  // read the line, then broadcast the update if other copies were found.
+  if (policy_->store_shared_action() == StoreSharedAction::kUpdate) {
+    const FabricResult r = FabricRequest(BusOp::kRead, CohLine(addr), now);
+    Fill(addr, r.grant, now + Charge(r.latency), /*prefetched=*/false, now);
+    if (!CohWritable(r.grant)) {
+      ++stats_.store_updates;
+      const FabricResult u =
+          FabricRequest(BusOp::kUpdate, CohLine(addr), now);
+      SetStateAll(addr, u.grant);
+      return {Charge(r.latency + u.latency), ClassifySource(r)};
+    }
+    SetStateAll(addr, Mesi::kM);
+    return {Charge(r.latency), ClassifySource(r)};
+  }
   const FabricResult r =
       FabricRequest(BusOp::kReadExcl, CohLine(addr), now);
   Fill(addr, Mesi::kM, now + Charge(r.latency), /*prefetched=*/false, now);
@@ -243,6 +303,9 @@ void CacheStack::Prefetch(Addr addr, bool excl, Cycle now) {
   // lfetch.excl installs the line dirty on Itanium 2 (see MemConfig).
   const Mesi excl_state =
       cfg_.excl_prefetch_installs_dirty ? Mesi::kM : Mesi::kE;
+  // Under an update-based protocol there is no RFO: `.excl` degrades to a
+  // plain prefetch (no upgrades, no exclusive hints on the fabric).
+  const bool excl_rfo = excl && policy_->excl_prefetch_rfo();
 
   // Already in L2?
   if (auto* l2_line = l2_.Touch(line)) {
@@ -250,10 +313,11 @@ void CacheStack::Prefetch(Addr addr, bool excl, Cycle now) {
     // request (MSHR behaviour) — in particular an .excl prefetch must not
     // upgrade a line whose shared fallback data has not even arrived yet.
     if (l2_line->ready_at > now) return;
-    if (excl && l2_line->state == Mesi::kS && l2_line->was_dirty_here) {
+    if (excl_rfo && !CohWritable(l2_line->state) && l2_line->was_dirty_here) {
       ++stats_.prefetch_upgrades;
+      const Mesi old = l2_line->state;
       FabricRequest(BusOp::kUpgrade, line, now);
-      SetStateAll(line, excl_state);
+      SetStateAll(line, CohDirty(old) ? Mesi::kM : excl_state);
     }
     return;
   }
@@ -262,17 +326,17 @@ void CacheStack::Prefetch(Addr addr, bool excl, Cycle now) {
   if (auto* l3_line = l3_.Touch(line)) {
     if (l3_line->ready_at > now) return;  // fill in flight: MSHR merge
     Mesi state = l3_line->state;
-    if (excl && state == Mesi::kS && l3_line->was_dirty_here) {
+    if (excl_rfo && !CohWritable(state) && l3_line->was_dirty_here) {
       ++stats_.prefetch_upgrades;
       FabricRequest(BusOp::kUpgrade, line, now);
-      state = excl_state;
+      state = CohDirty(state) ? Mesi::kM : excl_state;
       l3_line->state = state;
     }
     CacheArray::Line victim;
     bool victim_valid = false;
     auto* l2_line = l2_.Insert(line, state, now + cfg_.l3_hit_latency, &victim,
                                &victim_valid);
-    if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+    if (victim_valid && CohDirty(victim.state)) ++stats_.l2_writebacks;
     l2_line->prefetched = true;
     l2_line->referenced = false;
     return;
@@ -280,12 +344,12 @@ void CacheStack::Prefetch(Addr addr, bool excl, Cycle now) {
 
   // Full miss: issue the bus transaction but do not stall the core.
   ++stats_.prefetch_bus_requests;
-  const BusOp op = excl ? BusOp::kReadExclHint : BusOp::kRead;
+  const BusOp op = excl_rfo ? BusOp::kReadExclHint : BusOp::kRead;
   const FabricResult r = FabricRequest(op, line, now);
   // A best-effort exclusive prefetch may come back shared (hint not
   // honoured against a dirty remote line); install what was granted.
   const Mesi grant =
-      excl && r.grant == Mesi::kE ? excl_state : r.grant;
+      excl_rfo && r.grant == Mesi::kE ? excl_state : r.grant;
   Fill(line, grant, now + r.latency, /*prefetched=*/true, now);
 }
 
@@ -297,14 +361,17 @@ bool CacheStack::LoadNeedsFabric(Addr addr, bool fp, bool bias) const {
   // kMemoOwned: the refill can leave a Shared line in L2 that a later bias
   // load would have to upgrade.
   const Addr line_addr = CohLine(addr);
-  if (MemoHas(line_addr, bias ? kMemoOwned : kMemoPresent)) return false;
+  const bool wants_owned = bias && policy_->bias_upgrades();
+  if (MemoHas(line_addr, wants_owned ? kMemoOwned : kMemoPresent)) {
+    return false;
+  }
   if (!fp && l1_.Probe(addr) != nullptr) {
     MemoSet(line_addr, kMemoPresent);  // inclusion: L1 hit => in L3
     return false;
   }
   if (const auto* line = l2_.Probe(addr)) {
-    if (line->state == Mesi::kS) {
-      if (bias) return true;
+    if (!CohWritable(line->state)) {
+      if (bias && policy_->bias_upgrades()) return true;
       MemoSet(line_addr, kMemoPresent);
       return false;
     }
@@ -312,8 +379,9 @@ bool CacheStack::LoadNeedsFabric(Addr addr, bool fp, bool bias) const {
     return false;
   }
   if (const auto* line = l3_.Probe(addr)) {  // L2 refill is internal
-    MemoSet(line_addr, line->state == Mesi::kS ? kMemoPresent
-                                               : kMemoPresent | kMemoOwned);
+    MemoSet(line_addr, !CohWritable(line->state)
+                           ? kMemoPresent
+                           : kMemoPresent | kMemoOwned);
     return false;
   }
   return true;
@@ -325,12 +393,12 @@ bool CacheStack::StoreNeedsFabric(Addr addr) const {
   const Addr line_addr = CohLine(addr);
   if (MemoHas(line_addr, kMemoOwned)) return false;
   if (const auto* line = l2_.Probe(addr)) {
-    if (line->state == Mesi::kS) return true;
+    if (!CohWritable(line->state)) return true;
     MemoSet(line_addr, kMemoPresent | kMemoOwned);
     return false;
   }
   if (const auto* line = l3_.Probe(addr)) {
-    if (line->state == Mesi::kS) return true;
+    if (!CohWritable(line->state)) return true;
     MemoSet(line_addr, kMemoPresent | kMemoOwned);
     return false;
   }
@@ -345,15 +413,19 @@ bool CacheStack::PrefetchNeedsFabric(Addr addr, bool excl, Cycle now) const {
   // and a Shared line never memoizes kMemoOwned, so the was_dirty_here
   // condition is always re-checked where it matters.
   const Addr line_addr = CohLine(addr);
-  if (MemoHas(line_addr, excl ? kMemoOwned : kMemoPresent)) return false;
+  const bool excl_rfo = excl && policy_->excl_prefetch_rfo();
+  if (MemoHas(line_addr, excl_rfo ? kMemoOwned : kMemoPresent)) return false;
   if (const auto* line = l2_.Probe(line_addr)) {
     if (line->ready_at > now) {
       MemoSet(line_addr, kMemoPresent);
       return false;
     }
-    if (excl && line->state == Mesi::kS && line->was_dirty_here) return true;
-    MemoSet(line_addr, line->state == Mesi::kS ? kMemoPresent
-                                               : kMemoPresent | kMemoOwned);
+    if (excl_rfo && !CohWritable(line->state) && line->was_dirty_here) {
+      return true;
+    }
+    MemoSet(line_addr, !CohWritable(line->state)
+                           ? kMemoPresent
+                           : kMemoPresent | kMemoOwned);
     return false;
   }
   if (const auto* line = l3_.Probe(line_addr)) {
@@ -361,9 +433,12 @@ bool CacheStack::PrefetchNeedsFabric(Addr addr, bool excl, Cycle now) const {
       MemoSet(line_addr, kMemoPresent);
       return false;
     }
-    if (excl && line->state == Mesi::kS && line->was_dirty_here) return true;
-    MemoSet(line_addr, line->state == Mesi::kS ? kMemoPresent
-                                               : kMemoPresent | kMemoOwned);
+    if (excl_rfo && !CohWritable(line->state) && line->was_dirty_here) {
+      return true;
+    }
+    MemoSet(line_addr, !CohWritable(line->state)
+                           ? kMemoPresent
+                           : kMemoPresent | kMemoOwned);
     return false;
   }
   return true;
@@ -373,20 +448,30 @@ SnoopReply CacheStack::Snoop(Addr line_addr, SnoopType type) {
   auto* line = l3_.Probe(line_addr);
   if (line == nullptr) return SnoopReply::kMiss;
 
-  const bool was_dirty = line->state == Mesi::kM;
+  const bool was_dirty = CohDirty(line->state);
   if (type == SnoopType::kRead) {
-    // Remote read: downgrade to Shared; a dirty line is supplied
-    // cache-to-cache (the fabric accounts for the implicit writeback).
-    if (line->state == Mesi::kM || line->state == Mesi::kE) {
-      ++stats_.snoop_downgrades;
-    }
+    // Remote read: move to the protocol's post-read state (S under MESI;
+    // MOESI keeps dirty data as O, Dragon as Sm, MESIF demotes F to S). A
+    // dirty line is supplied cache-to-cache; whether memory is also
+    // updated is the fabric's call (MESI/MESIF write back, MOESI/Dragon
+    // keep the dirty owner responsible).
+    const Mesi next = policy_->SnoopReadNext(line->state);
+    if (next != line->state) ++stats_.snoop_downgrades;
     if (was_dirty) {
       ++stats_.hitm_supplies;
       line->was_dirty_here = true;  // our written line, now shared
       if (auto* inner = l2_.Probe(line_addr)) inner->was_dirty_here = true;
     }
-    SetStateAll(line_addr, Mesi::kS);
+    SetStateAll(line_addr, next);
     return was_dirty ? SnoopReply::kHitM : SnoopReply::kHit;
+  }
+
+  if (type == SnoopType::kUpdate) {
+    // Dragon BusUpd: accept the updater's data; any copy here — including
+    // a previous Sm handing ownership over — is now clean-shared.
+    ++stats_.snoop_updates;
+    SetStateAll(line_addr, policy_->SnoopUpdateNext(line->state));
+    return SnoopReply::kHit;
   }
 
   // Invalidate.
@@ -410,6 +495,7 @@ void CacheStack::Reset() {
   l3_.ResetStats();
   stats_ = Stats{};
   coherent_write_misses_ = 0;
+  pending_stores_ = 0;
 }
 
 }  // namespace cobra::mem

@@ -1,5 +1,8 @@
-// Per-CPU private cache hierarchy: L1D / L2 / L3, MESI-coherent at 128-byte
-// (L2/L3 line) granularity, inclusive (L1 ⊆ L2 ⊆ L3).
+// Per-CPU private cache hierarchy: L1D / L2 / L3, coherent at 128-byte
+// (L2/L3 line) granularity, inclusive (L1 ⊆ L2 ⊆ L3). The coherence
+// protocol (MESI/MOESI/Dragon/MESIF) is a CoherencePolicy picked by
+// MemConfig::protocol; under the default MESI every path below behaves
+// exactly as the original MESI-only implementation did.
 //
 // Itanium 2 idiosyncrasies modelled because COBRA depends on them:
 //   * FP loads/stores bypass L1D and are served from L2 (so the DAXPY
@@ -113,9 +116,10 @@ class CacheStack {
 
   // --- Introspection (tests, COBRA detectors) ------------------------------
   Mesi LineState(Addr addr) const;     // state in L3 (kI if absent)
+  const CoherencePolicy& policy() const { return *policy_; }
   // Non-destructive dirty probe (the fabric's first snoop phase for
-  // best-effort exclusive prefetches).
-  bool HoldsDirty(Addr addr) const { return LineState(addr) == Mesi::kM; }
+  // best-effort exclusive prefetches, and MESIF's forwarder scan).
+  bool HoldsDirty(Addr addr) const { return CohDirty(LineState(addr)); }
   bool PresentInL2(Addr addr) const { return l2_.Probe(addr) != nullptr; }
   bool PresentInL1(Addr addr) const { return l1_.Probe(addr) != nullptr; }
 
@@ -128,9 +132,12 @@ class CacheStack {
     std::uint64_t l2_writebacks = 0;           // dirty L2 victims (to L3)
     std::uint64_t fabric_writebacks = 0;       // dirty L3 victims (to memory)
     std::uint64_t store_upgrades = 0;          // stores that needed S->M
+    std::uint64_t store_updates = 0;           // Dragon: stores that BusUpd'd
     std::uint64_t snoop_downgrades = 0;        // M/E -> S from remote reads
     std::uint64_t snoop_invalidations = 0;     // lines lost to remote writes
+    std::uint64_t snoop_updates = 0;           // Dragon: updates received
     std::uint64_t hitm_supplies = 0;           // dirty lines we supplied
+    std::uint64_t buffered_stores = 0;         // store-buffer free retires
   };
   const Stats& stats() const { return stats_; }
   const CacheArray& l1() const { return l1_; }
@@ -175,8 +182,27 @@ class CacheStack {
   Addr CohLine(Addr addr) const { return l2_.LineAddrOf(addr); }
 
   // All fabric traffic funnels through these two (guard enforcement).
+  // FabricRequest also drains the store buffer: any pending bufferable
+  // store-hit cost is charged to this transaction's latency before it
+  // commits, so buffering never reorders fabric-visible events.
   FabricResult FabricRequest(BusOp op, Addr line_addr, Cycle now);
   void FabricEvictNotify(Addr line_addr);
+
+  // A store found the line resident but not writable: dispatch on the
+  // policy's StoreSharedAction (read-invalidate / upgrade-in-place /
+  // update-broadcast). `wait` is any in-flight-fill wait already accrued;
+  // `in_l2` says whether the line currently sits in L2 (if not, upgrading
+  // actions refill L2 from L3).
+  AccessResult StoreToShared(Addr addr, Cycle wait, bool in_l2, Cycle now);
+
+  // Store-buffer fast path: returns true (and counts the store as buffered)
+  // if a writable-line store hit may retire without its store_hit_latency.
+  bool BufferStoreHit() {
+    if (pending_stores_ >= cfg_.store_buffer_entries) return false;
+    ++pending_stores_;
+    ++stats_.buffered_stores;
+    return true;
+  }
 
   // Installs a line into L3 (evicting/writing back as needed) and into L2.
   // Returns the L2 line.
@@ -191,6 +217,7 @@ class CacheStack {
 
   CpuId cpu_;
   const MemConfig cfg_;
+  const CoherencePolicy* policy_;
   CoherenceFabric* fabric_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
   int trace_pid_ = 0;
@@ -199,6 +226,7 @@ class CacheStack {
   CacheArray l3_;
   Stats stats_;
   std::uint64_t coherent_write_misses_ = 0;
+  int pending_stores_ = 0;  // store-buffer occupancy (drained on fabric use)
   bool fabric_guard_ = false;
 
   // Probe memo: a generation-tagged, direct-mapped cache of facts already
@@ -261,7 +289,9 @@ inline bool CacheStack::TryLoad(Addr addr, int size, bool fp, bool bias,
   if (l1_line == nullptr) {
     l2_line = l2_.Probe(addr);
     if (l2_line != nullptr) {
-      if (bias && l2_line->state == Mesi::kS) return false;  // upgrade
+      if (bias && !CohWritable(l2_line->state) && policy_->bias_upgrades()) {
+        return false;  // background ownership upgrade
+      }
     } else {
       l3_line = l3_.Probe(addr);
       if (l3_line == nullptr) return false;  // full miss
@@ -294,7 +324,7 @@ inline bool CacheStack::TryLoad(Addr addr, int size, bool fp, bool bias,
   bool victim_valid = false;
   auto* refill =
       l2_.Insert(CohLine(addr), l3_line->state, 0, &victim, &victim_valid);
-  if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+  if (victim_valid && CohDirty(victim.state)) ++stats_.l2_writebacks;
   refill->referenced = true;
   if (!fp) FillL1(addr, now + cfg_.l3_hit_latency);
   *out = {cfg_.l3_hit_latency + wait, Source::kL3};
@@ -304,15 +334,16 @@ inline bool CacheStack::TryLoad(Addr addr, int size, bool fp, bool bias,
 inline bool CacheStack::TryStore(Addr addr, int size, Cycle now,
                                  AccessResult* out) {
   (void)size;
-  // Decision phase: pure, mirroring StoreNeedsFabric (a Shared line is a
-  // coherent write miss; a miss reads for ownership).
+  // Decision phase: pure, mirroring StoreNeedsFabric (only M/E hits drain
+  // locally — every other resident state needs invalidation, upgrade or
+  // update traffic first, whichever the protocol prescribes).
   CacheArray::Line* l2_line = l2_.Probe(addr);
   CacheArray::Line* l3_line = nullptr;
   if (l2_line != nullptr) {
-    if (l2_line->state == Mesi::kS) return false;
+    if (!CohWritable(l2_line->state)) return false;
   } else {
     l3_line = l3_.Probe(addr);
-    if (l3_line == nullptr || l3_line->state == Mesi::kS) return false;
+    if (l3_line == nullptr || !CohWritable(l3_line->state)) return false;
   }
 
   // Commit phase: exactly Store()'s fabric-free paths (M/E hits).
@@ -323,7 +354,8 @@ inline bool CacheStack::TryStore(Addr addr, int size, Cycle now,
     if (auto* outer = l3_.Probe(addr)) outer->referenced = true;
     const Cycle wait = l2_line->ready_at > now ? l2_line->ready_at - now : 0;
     if (l2_line->state == Mesi::kE) SetStateAll(addr, Mesi::kM);
-    *out = {cfg_.store_hit_latency + wait, Source::kL2};
+    const Cycle hit_cost = BufferStoreHit() ? 0 : cfg_.store_hit_latency;
+    *out = {hit_cost + wait, Source::kL2};
     return true;
   }
   l2_.CountMiss();
@@ -334,7 +366,7 @@ inline bool CacheStack::TryStore(Addr addr, int size, Cycle now,
   CacheArray::Line victim;
   bool victim_valid = false;
   auto* refill = l2_.Insert(CohLine(addr), Mesi::kM, 0, &victim, &victim_valid);
-  if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+  if (victim_valid && CohDirty(victim.state)) ++stats_.l2_writebacks;
   refill->referenced = true;
   *out = {cfg_.l3_hit_latency + wait, Source::kL3};
   return true;
@@ -347,16 +379,17 @@ inline bool CacheStack::TryPrefetch(Addr addr, bool excl, Cycle now) {
   // Shared line or a full miss reaches the fabric).
   CacheArray::Line* l2_line = l2_.Probe(line);
   CacheArray::Line* l3_line = nullptr;
+  const bool excl_rfo = excl && policy_->excl_prefetch_rfo();
   if (l2_line != nullptr) {
-    if (l2_line->ready_at <= now && excl && l2_line->state == Mesi::kS &&
-        l2_line->was_dirty_here) {
+    if (l2_line->ready_at <= now && excl_rfo &&
+        !CohWritable(l2_line->state) && l2_line->was_dirty_here) {
       return false;
     }
   } else {
     l3_line = l3_.Probe(line);
     if (l3_line == nullptr) return false;
-    if (l3_line->ready_at <= now && excl && l3_line->state == Mesi::kS &&
-        l3_line->was_dirty_here) {
+    if (l3_line->ready_at <= now && excl_rfo &&
+        !CohWritable(l3_line->state) && l3_line->was_dirty_here) {
       return false;
     }
   }
@@ -374,7 +407,7 @@ inline bool CacheStack::TryPrefetch(Addr addr, bool excl, Cycle now) {
   bool victim_valid = false;
   auto* staged = l2_.Insert(line, l3_line->state, now + cfg_.l3_hit_latency,
                             &victim, &victim_valid);
-  if (victim_valid && victim.state == Mesi::kM) ++stats_.l2_writebacks;
+  if (victim_valid && CohDirty(victim.state)) ++stats_.l2_writebacks;
   staged->prefetched = true;
   staged->referenced = false;
   return true;

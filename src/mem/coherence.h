@@ -7,22 +7,18 @@
 #include <vector>
 
 #include "mem/main_memory.h"
+#include "mem/protocol.h"
 #include "support/simtypes.h"
 
 namespace cobra::mem {
 
-// MESI (Illinois) line states, as on the Itanium 2 front-side bus.
-enum class Mesi : std::uint8_t { kI, kS, kE, kM };
+// Line states live in protocol.h (the union alphabet over all four
+// protocols). `Mesi` remains the working name throughout the memory system:
+// under the default protocol the legal values are exactly the classic four,
+// and every call site reads as it did when MESI was the only protocol.
+using Mesi = CohState;
 
-inline const char* MesiName(Mesi s) {
-  switch (s) {
-    case Mesi::kI: return "I";
-    case Mesi::kS: return "S";
-    case Mesi::kE: return "E";
-    case Mesi::kM: return "M";
-  }
-  return "?";
-}
+inline const char* MesiName(Mesi s) { return CohStateName(s); }
 
 // Transaction kinds a cache stack can place on the fabric (names below are
 // the timeline-trace event names).
@@ -35,6 +31,8 @@ enum class BusOp : std::uint8_t {
                   // degrades to a read (owner downgrades, S granted).
   kUpgrade,       // BIL: invalidate other copies of a line already held S
   kWriteback,     // BWL: write a dirty victim back to memory
+  kUpdate,        // BusUpd (Dragon): broadcast a store's data to the other
+                  // copies instead of invalidating them
 };
 
 inline const char* BusOpName(BusOp op) {
@@ -44,6 +42,7 @@ inline const char* BusOpName(BusOp op) {
     case BusOp::kReadExclHint: return "read.excl.hint";
     case BusOp::kUpgrade: return "upgrade";
     case BusOp::kWriteback: return "writeback";
+    case BusOp::kUpdate: return "update";
   }
   return "?";
 }
@@ -73,10 +72,14 @@ struct BusEventCounts {
   std::uint64_t bus_rd_inval_all_hitm = 0;  // RFOs that hit Modified elsewhere
   std::uint64_t bus_upgrades = 0;        // S->M invalidation rounds
   std::uint64_t bus_writebacks = 0;      // dirty-victim writebacks
+  std::uint64_t bus_updates = 0;         // Dragon BusUpd broadcasts
+  std::uint64_t c2c_transfers = 0;       // lines supplied cache-to-cache
+                                         // (dirty HITM and MESIF clean-F)
   std::uint64_t remote_transactions = 0; // NUMA: crossed the interconnect
 
   std::uint64_t CoherentEvents() const {
-    return bus_rd_hit + bus_rd_hitm + bus_rd_inval_all_hitm + bus_upgrades;
+    return bus_rd_hit + bus_rd_hitm + bus_rd_inval_all_hitm + bus_upgrades +
+           bus_updates;
   }
 
   BusEventCounts& operator-=(const BusEventCounts& o) {
@@ -86,6 +89,8 @@ struct BusEventCounts {
     bus_rd_inval_all_hitm -= o.bus_rd_inval_all_hitm;
     bus_upgrades -= o.bus_upgrades;
     bus_writebacks -= o.bus_writebacks;
+    bus_updates -= o.bus_updates;
+    c2c_transfers -= o.c2c_transfers;
     remote_transactions -= o.remote_transactions;
     return *this;
   }
@@ -93,8 +98,9 @@ struct BusEventCounts {
 
 // Snoop requests delivered *to* a cache stack by the fabric.
 enum class SnoopType : std::uint8_t {
-  kRead,        // another CPU reads: downgrade M/E to S, supply if dirty
+  kRead,        // another CPU reads: downgrade per protocol, supply if dirty
   kInvalidate,  // another CPU wants exclusivity: drop the line
+  kUpdate,      // Dragon BusUpd: accept the updater's data, stay shared-clean
 };
 
 // What the snooped stack reports back.

@@ -8,7 +8,9 @@ MemConfig ItaniumSmpConfig() {
   // differ so the presets read as a specification.
   cfg.memory_latency = 130;
   cfg.hitm_latency = 190;
+  cfg.forward_latency = 90;
   cfg.link_hop_latency = 0;  // single bus, no interconnect hops
+  cfg.protocol = ProtocolFromEnv(Protocol::kMesi);
   return cfg;
 }
 
@@ -18,7 +20,9 @@ MemConfig AltixNumaConfig() {
   cfg.memory_latency = 145;   // local memory on Altix is slightly slower
   cfg.hitm_latency = 210;     // dirty transfer within a node
   cfg.upgrade_latency = 140;
+  cfg.forward_latency = 100;
   cfg.link_hop_latency = 75;  // remote traffic pays 2-3 traversals on top
+  cfg.protocol = ProtocolFromEnv(Protocol::kMesi);
   return cfg;
 }
 

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "mem/protocol.h"
 #include "support/simtypes.h"
 
 namespace cobra::mem {
@@ -39,6 +40,15 @@ struct MemConfig {
   Cycle upgrade_latency = 120;       // S->M invalidation round: the BIL
                                      // transaction still needs the full
                                      // address/snoop/response phases
+  Cycle forward_latency = 90;        // clean cache-to-cache supply (MESIF F
+                                     // sourcing, Dragon update delivery):
+                                     // cheaper than memory, cheaper than a
+                                     // dirty HITM intervention
+
+  // Coherence protocol the fabric and cache stacks speak. The presets
+  // apply the COBRA_PROTOCOL environment knob; assignments made after
+  // preset construction override it.
+  Protocol protocol = Protocol::kMesi;
 
   // Core issue width in bundles per cycle (Itanium 2 issues two bundles).
   int issue_width_bundles = 2;
@@ -59,6 +69,15 @@ struct MemConfig {
   // Fraction of a store's memory-system latency charged to the core
   // (approximates store buffering; 1.0 = fully exposed).
   double store_stall_fraction = 1.0;
+
+  // Optional store/write buffer (0 = off, the paper configuration). When
+  // enabled, up to this many store hits to writable (M/E) lines retire for
+  // free; the buffered drain cost is charged in bulk to the next fabric
+  // transaction the stack issues (drain-before-commit), so fabric-visible
+  // ordering — and therefore the serial ≡ parallel fingerprint — is
+  // unchanged. Only the store_hit_latency component is bufferable; stores
+  // that need the fabric are never buffered.
+  int store_buffer_entries = 0;
 
   // Cycles of load latency the core hides through software pipelining /
   // compiler scheduling (the whole point of the SWP kernels): only latency

@@ -8,7 +8,10 @@ namespace cobra::mem {
 
 DirectoryFabric::DirectoryFabric(const MemConfig& cfg, MainMemory* memory,
                                  int num_cpus)
-    : cfg_(cfg), memory_(memory), num_cpus_(num_cpus) {
+    : cfg_(cfg),
+      policy_(&CoherencePolicy::For(cfg.protocol)),
+      memory_(memory),
+      num_cpus_(num_cpus) {
   COBRA_CHECK(memory != nullptr);
   COBRA_CHECK(cfg.cpus_per_node >= 1);
   COBRA_CHECK_MSG(num_cpus <= 32, "sharer bitmask is 32 bits wide");
@@ -61,8 +64,9 @@ FabricResult DirectoryFabric::Request(CpuId cpu, BusOp op, Addr line_addr,
   const bool remote_home = home_node != req_node;
   const std::uint32_t my_bit = 1u << cpu;
 
-  const Cycle occupancy = op == BusOp::kUpgrade ? cfg_.bus_addr_occupancy
-                                                : cfg_.bus_data_occupancy;
+  const Cycle occupancy =
+      op == BusOp::kUpgrade || op == BusOp::kUpdate ? cfg_.bus_addr_occupancy
+                                                    : cfg_.bus_data_occupancy;
 
   // Leg 1: requester's front-side bus, then the interconnect to home.
   const Cycle local_start = AcquireNodeBus(req_node, now, occupancy);
@@ -124,9 +128,16 @@ FabricResult DirectoryFabric::Request(CpuId cpu, BusOp op, Addr line_addr,
             stacks_[static_cast<std::size_t>(owner)]->Snoop(
                 line_addr, SnoopType::kRead);
         if (reply != SnoopReply::kMiss) {
-          entry.sharers |= (1u << owner) | my_bit;
-          entry.owner = -1;
           const bool dirty = reply == SnoopReply::kHitM;
+          entry.sharers |= (1u << owner) | my_bit;
+          if (dirty && policy_->dirty_share_on_read()) {
+            // MOESI/Dragon: the owner (now O/Sm) keeps supplying and stays
+            // responsible for the writeback.
+          } else if (policy_->clean_forwarding()) {
+            entry.owner = cpu;  // MESIF: the requester is the new forwarder
+          } else {
+            entry.owner = -1;
+          }
           if (dirty) {
             ++total_.bus_rd_hitm;
             ++mine.bus_rd_hitm;
@@ -134,12 +145,21 @@ FabricResult DirectoryFabric::Request(CpuId cpu, BusOp op, Addr line_addr,
             ++total_.bus_rd_hit;
             ++mine.bus_rd_hit;
           }
+          // Every owner-forward moves the line cache-to-cache, except the
+          // MESI/Dragon clean-owner case where memory supplies instead.
+          const bool c2c = dirty || policy_->clean_forwarding();
+          if (c2c) {
+            ++total_.c2c_transfers;
+            ++mine.c2c_transfers;
+          }
           // Three-hop transfer: home -> owner -> requester.
-          const Cycle service =
-              (dirty ? cfg_.hitm_latency : cfg_.memory_latency) +
-              Leg(home_node, owner_node) + Leg(owner_node, req_node) -
-              Leg(home_node, req_node);
-          FabricResult r = Finish(service, Mesi::kS,
+          const Cycle src = dirty  ? cfg_.hitm_latency
+                            : c2c  ? cfg_.forward_latency
+                                   : cfg_.memory_latency;
+          const Cycle service = src + Leg(home_node, owner_node) +
+                                Leg(owner_node, req_node) -
+                                Leg(home_node, req_node);
+          FabricResult r = Finish(service, policy_->read_grant_shared(),
                                   dirty ? SnoopOutcome::kHitM
                                         : SnoopOutcome::kHit,
                                   /*counts_data=*/true);
@@ -158,7 +178,11 @@ FabricResult DirectoryFabric::Request(CpuId cpu, BusOp op, Addr line_addr,
       if (shared_elsewhere) {
         ++total_.bus_rd_hit;
         ++mine.bus_rd_hit;
-        return Finish(cfg_.memory_latency, Mesi::kS, SnoopOutcome::kHit,
+        // No responsible copy survives (e.g. the forwarder was evicted):
+        // memory supplies. Under MESIF the requester picks the F role up.
+        if (policy_->clean_forwarding()) entry.owner = cpu;
+        return Finish(cfg_.memory_latency, policy_->read_grant_shared(),
+                      SnoopOutcome::kHit,
                       /*counts_data=*/true);
       }
       entry.owner = cpu;
@@ -204,12 +228,56 @@ FabricResult DirectoryFabric::Request(CpuId cpu, BusOp op, Addr line_addr,
       if (hitm) {
         ++total_.bus_rd_inval_all_hitm;
         ++mine.bus_rd_inval_all_hitm;
+        ++total_.c2c_transfers;
+        ++mine.c2c_transfers;
       }
       FabricResult r = Finish(
           (hitm ? cfg_.hitm_latency : cfg_.memory_latency) + inval_leg,
           Mesi::kE, hitm ? SnoopOutcome::kHitM : SnoopOutcome::kMiss,
           /*counts_data=*/true);
       r.remote = r.remote || invalidated_remote;
+      return r;
+    }
+
+    case BusOp::kUpdate: {
+      // Dragon BusUpd via the home: deliver the new data to the owner and
+      // every sharer. Copies that were silently dropped report misses and
+      // are scrubbed from the entry, so the grant (Sm vs M) reflects the
+      // true surviving-copy count.
+      bool any_copy = false;
+      bool updated_remote = false;
+      Cycle update_leg = 0;
+      auto Deliver = [&](CpuId target) {
+        if (target == cpu) return;
+        const SnoopReply reply =
+            stacks_[static_cast<std::size_t>(target)]->Snoop(
+                line_addr, SnoopType::kUpdate);
+        if (reply == SnoopReply::kMiss) {
+          entry.sharers &= ~(1u << target);
+          if (entry.owner == target) entry.owner = -1;
+          return;
+        }
+        any_copy = true;
+        const int target_node = NodeOf(target);
+        if (target_node != home_node) {
+          update_leg = std::max(update_leg, 2 * Leg(home_node, target_node));
+        }
+        if (target_node != req_node) updated_remote = true;
+      };
+      if (entry.owner >= 0) Deliver(entry.owner);
+      for (CpuId target = 0; target < num_cpus_; ++target) {
+        if (entry.sharers & (1u << target)) Deliver(target);
+      }
+      entry.sharers |= my_bit;
+      entry.owner = cpu;  // the updater holds the dirty copy (Sm or M)
+      ++total_.bus_updates;
+      ++mine.bus_updates;
+      FabricResult r =
+          Finish(cfg_.forward_latency + update_leg,
+                 any_copy ? Mesi::kSm : Mesi::kM,
+                 any_copy ? SnoopOutcome::kHit : SnoopOutcome::kMiss,
+                 /*counts_data=*/false);
+      r.remote = r.remote || updated_remote;
       return r;
     }
   }

@@ -48,10 +48,13 @@ class DirectoryFabric : public CoherenceFabric {
   int NodeOf(CpuId cpu) const { return cpu / cfg_.cpus_per_node; }
   int num_nodes() const { return num_nodes_; }
 
-  // Directory introspection for tests and the coherence checker.
+  // Directory introspection for tests and the coherence checker. `owner`
+  // is the CPU holding the *responsible* copy: M/E under every protocol,
+  // plus MOESI's O, MESIF's F and Dragon's Sm — the copy that supplies the
+  // line (and, when dirty, writes it back).
   struct Entry {
-    std::uint32_t sharers = 0;  // bitmask over CpuId
-    int owner = -1;             // CPU holding the line E/M, or -1
+    std::uint32_t sharers = 0;  // bitmask over CpuId (includes the owner)
+    int owner = -1;             // CPU holding the responsible copy, or -1
   };
   const Entry* Lookup(Addr line_addr) const;
 
@@ -81,6 +84,7 @@ class DirectoryFabric : public CoherenceFabric {
   Cycle AcquireNodeBus(int node, Cycle earliest, Cycle occupancy);
 
   MemConfig cfg_;
+  const CoherencePolicy* policy_;
   MainMemory* memory_;
   int num_cpus_;
   int num_nodes_;

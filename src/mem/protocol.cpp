@@ -1,0 +1,120 @@
+#include "mem/protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+
+namespace cobra::mem {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kMesi: return "mesi";
+    case Protocol::kMoesi: return "moesi";
+    case Protocol::kDragon: return "dragon";
+    case Protocol::kMesif: return "mesif";
+  }
+  return "?";
+}
+
+bool ParseProtocol(const char* text, Protocol* out) {
+  if (text == nullptr) return false;
+  char lower[8] = {};
+  std::size_t n = std::strlen(text);
+  if (n == 0 || n >= sizeof(lower)) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  for (Protocol p : {Protocol::kMesi, Protocol::kMoesi, Protocol::kDragon,
+                     Protocol::kMesif}) {
+    if (std::strcmp(lower, ProtocolName(p)) == 0) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+Protocol ProtocolFromEnv(Protocol fallback) {
+  Protocol p = fallback;
+  ParseProtocol(std::getenv("COBRA_PROTOCOL"), &p);
+  return p;
+}
+
+const CoherencePolicy& CoherencePolicy::For(Protocol p) {
+  static const CoherencePolicy mesi(Protocol::kMesi,
+                                    /*update_based=*/false,
+                                    StoreSharedAction::kReadInvalidate,
+                                    /*dirty_share_on_read=*/false,
+                                    /*clean_forwarding=*/false, CohState::kS);
+  static const CoherencePolicy moesi(Protocol::kMoesi,
+                                     /*update_based=*/false,
+                                     StoreSharedAction::kUpgrade,
+                                     /*dirty_share_on_read=*/true,
+                                     /*clean_forwarding=*/false, CohState::kS);
+  static const CoherencePolicy dragon(Protocol::kDragon,
+                                      /*update_based=*/true,
+                                      StoreSharedAction::kUpdate,
+                                      /*dirty_share_on_read=*/true,
+                                      /*clean_forwarding=*/false,
+                                      CohState::kSc);
+  static const CoherencePolicy mesif(Protocol::kMesif,
+                                     /*update_based=*/false,
+                                     StoreSharedAction::kReadInvalidate,
+                                     /*dirty_share_on_read=*/false,
+                                     /*clean_forwarding=*/true, CohState::kF);
+  switch (p) {
+    case Protocol::kMesi: return mesi;
+    case Protocol::kMoesi: return moesi;
+    case Protocol::kDragon: return dragon;
+    case Protocol::kMesif: return mesif;
+  }
+  return mesi;
+}
+
+CohState CoherencePolicy::SnoopReadNext(CohState s) const {
+  if (!CohValid(s)) return CohState::kI;
+  switch (protocol_) {
+    case Protocol::kMesi:
+      return CohState::kS;
+    case Protocol::kMoesi:
+      // Dirty data stays here as Owned; clean holders drop to plain S.
+      return CohDirty(s) ? CohState::kO : CohState::kS;
+    case Protocol::kMesif:
+      // The requester always becomes the new forwarder, so whatever we
+      // held (F included) demotes to S — preserving exactly-one-F.
+      return CohState::kS;
+    case Protocol::kDragon:
+      return CohDirty(s) ? CohState::kSm : CohState::kSc;
+  }
+  return CohState::kS;
+}
+
+CohState CoherencePolicy::SnoopUpdateNext(CohState s) const {
+  if (!CohValid(s)) return CohState::kI;
+  // The remote updater becomes the one Sm owner; every other copy —
+  // including a previous Sm handing ownership over — is now clean-shared.
+  return CohState::kSc;
+}
+
+bool CoherencePolicy::LegalState(CohState s) const {
+  switch (s) {
+    case CohState::kI:
+    case CohState::kE:
+    case CohState::kM:
+      return true;
+    case CohState::kS:
+      return protocol_ != Protocol::kDragon;
+    case CohState::kO:
+      return protocol_ == Protocol::kMoesi;
+    case CohState::kF:
+      return protocol_ == Protocol::kMesif;
+    case CohState::kSm:
+    case CohState::kSc:
+      return protocol_ == Protocol::kDragon;
+  }
+  return false;
+}
+
+}  // namespace cobra::mem

@@ -1,0 +1,153 @@
+// Pluggable coherence protocol layer: the line-state alphabet shared by
+// every protocol, the protocol selector, and the CoherencePolicy tables the
+// cache stacks and fabrics consult instead of hard-coding MESI.
+//
+// Four protocols are modeled, spanning the classic design space:
+//   MESI   (Illinois)       invalidation-based, the Itanium 2 FSB baseline.
+//   MOESI                   adds Owned: a dirty line is shared cache-to-cache
+//                           without writing memory back on every snoop read.
+//   MESIF  (Intel QPI)      adds Forward: exactly one clean copy answers
+//                           read misses cache-to-cache instead of memory.
+//   Dragon (update-based)   stores to shared lines broadcast the new data
+//                           (BusUpd) instead of invalidating; Sm is the one
+//                           dirty owner among Sc sharers. No invalidations.
+#pragma once
+
+#include <cstdint>
+
+namespace cobra::mem {
+
+// Union of every protocol's line states. Each protocol uses a legal subset
+// (see CoherencePolicy::LegalState); kI..kM are the MESI core all four
+// share. The `Mesi` alias in coherence.h keeps pre-protocol code reading
+// naturally.
+enum class CohState : std::uint8_t {
+  kI,   // Invalid
+  kS,   // Shared, clean (MESI/MOESI/MESIF)
+  kE,   // Exclusive, clean
+  kM,   // Modified, sole copy
+  kO,   // MOESI Owned: dirty, shared; this cache supplies and writes back
+  kF,   // MESIF Forward: clean, shared; the one copy that answers reads
+  kSm,  // Dragon Shared-modified: dirty, shared; supplies and writes back
+  kSc,  // Dragon Shared-clean
+};
+
+inline const char* CohStateName(CohState s) {
+  switch (s) {
+    case CohState::kI: return "I";
+    case CohState::kS: return "S";
+    case CohState::kE: return "E";
+    case CohState::kM: return "M";
+    case CohState::kO: return "O";
+    case CohState::kF: return "F";
+    case CohState::kSm: return "Sm";
+    case CohState::kSc: return "Sc";
+  }
+  return "?";
+}
+
+// Line holds usable data.
+inline bool CohValid(CohState s) { return s != CohState::kI; }
+
+// A store may hit this line silently (no fabric transaction). True exactly
+// for M and E in *all four* protocols — every other valid state has (or may
+// have) other copies to invalidate or update first.
+inline bool CohWritable(CohState s) {
+  return s == CohState::kM || s == CohState::kE;
+}
+
+// This cache's copy is newer than memory: it must supply snooped reads and
+// write back on eviction.
+inline bool CohDirty(CohState s) {
+  return s == CohState::kM || s == CohState::kO || s == CohState::kSm;
+}
+
+enum class Protocol : std::uint8_t { kMesi, kMoesi, kDragon, kMesif };
+
+const char* ProtocolName(Protocol p);
+
+// Parses "mesi" / "moesi" / "dragon" / "mesif" (case-insensitive). Returns
+// false (out untouched) for anything else.
+bool ParseProtocol(const char* text, Protocol* out);
+
+// COBRA_PROTOCOL environment knob, falling back to `fallback` when unset or
+// unparsable. Applied by the machine presets in config.cpp, *not* by the
+// Machine constructor, so explicit `cfg.mem.protocol = ...` assignments made
+// after preset construction always win over the ambient environment.
+Protocol ProtocolFromEnv(Protocol fallback);
+
+// What a store to a resident-but-not-writable line does on the fabric.
+enum class StoreSharedAction : std::uint8_t {
+  kReadInvalidate,  // MESI/MESIF: full RFO, refill the line in M
+  kUpgrade,         // MOESI: invalidate the other copies, keep our data
+  kUpdate,          // Dragon: broadcast the new data to the other copies
+};
+
+// Per-protocol behaviour table. Stateless and immutable; one static
+// instance per protocol (CoherencePolicy::For). Cache stacks and fabrics
+// consult it instead of matching on states directly, so MESI's code paths
+// stay byte-for-byte what they were and the other protocols divert only
+// where the protocols genuinely differ.
+class CoherencePolicy {
+ public:
+  static const CoherencePolicy& For(Protocol p);
+
+  Protocol protocol() const { return protocol_; }
+  const char* name() const { return ProtocolName(protocol_); }
+
+  // Dragon: stores to shared lines update instead of invalidating, and no
+  // transaction may invalidate a remote copy.
+  bool update_based() const { return update_based_; }
+
+  // ld.bias on a shared line is worth an ownership upgrade (invalidation
+  // protocols). Under Dragon there is no upgrade: biased loads stay plain.
+  bool bias_upgrades() const { return !update_based_; }
+
+  // lfetch.excl issues RFO-style transactions (kReadExclHint / kUpgrade).
+  // Under Dragon exclusive hints degrade to plain prefetches.
+  bool excl_prefetch_rfo() const { return !update_based_; }
+
+  StoreSharedAction store_shared_action() const { return store_shared_; }
+
+  // Snoop read finds the line dirty here: does this cache keep supplying
+  // (MOESI O / Dragon Sm) or does memory take over (MESI/MESIF downgrade
+  // with implicit writeback)?
+  bool dirty_share_on_read() const { return dirty_share_on_read_; }
+
+  // MESIF: one clean copy (F) may source read misses cache-to-cache.
+  bool clean_forwarding() const { return clean_forwarding_; }
+
+  // State granted to a read that found other copies: S, F (requester
+  // becomes the new forwarder), or Sc.
+  CohState read_grant_shared() const { return read_grant_shared_; }
+
+  // This cache's next state after a remote read snoops its line.
+  CohState SnoopReadNext(CohState s) const;
+
+  // This cache's next state after a remote BusUpd delivers new data
+  // (Dragon only; the updater itself becomes Sm or M).
+  CohState SnoopUpdateNext(CohState s) const;
+
+  // Is `s` in this protocol's legal state set?
+  bool LegalState(CohState s) const;
+
+ private:
+  CoherencePolicy(Protocol protocol, bool update_based,
+                  StoreSharedAction store_shared, bool dirty_share_on_read,
+                  bool clean_forwarding, CohState read_grant_shared)
+      : protocol_(protocol),
+        update_based_(update_based),
+        store_shared_(store_shared),
+        dirty_share_on_read_(dirty_share_on_read),
+        clean_forwarding_(clean_forwarding),
+        read_grant_shared_(read_grant_shared) {}
+
+  Protocol protocol_;
+  bool update_based_;
+  StoreSharedAction store_shared_;
+  bool dirty_share_on_read_;
+  bool clean_forwarding_;
+  CohState read_grant_shared_;
+};
+
+}  // namespace cobra::mem

@@ -6,7 +6,8 @@
 
 namespace cobra::mem {
 
-SnoopBus::SnoopBus(const MemConfig& cfg) : cfg_(cfg) {}
+SnoopBus::SnoopBus(const MemConfig& cfg)
+    : cfg_(cfg), policy_(&CoherencePolicy::For(cfg.protocol)) {}
 
 void SnoopBus::AttachStacks(std::vector<CacheStack*> stacks) {
   stacks_ = std::move(stacks);
@@ -52,6 +53,17 @@ FabricResult SnoopBus::Request(CpuId cpu, BusOp op, Addr line_addr,
     case BusOp::kRead: {
       Occupy(cfg_.bus_data_occupancy);
       CountData();
+      // MESIF: find a clean source — the F holder, or a sole E copy —
+      // before the snoop demotes it; if one exists it supplies the line
+      // cache-to-cache and memory stays silent.
+      bool clean_forwarder = false;
+      if (policy_->clean_forwarding()) {
+        for (CacheStack* other : stacks_) {
+          if (other->cpu() == cpu) continue;
+          const Mesi s = other->LineState(line_addr);
+          if (s == Mesi::kF || s == Mesi::kE) clean_forwarder = true;
+        }
+      }
       SnoopReply worst = SnoopReply::kMiss;
       for (CacheStack* other : stacks_) {
         if (other->cpu() == cpu) continue;
@@ -64,21 +76,33 @@ FabricResult SnoopBus::Request(CpuId cpu, BusOp op, Addr line_addr,
       }
       switch (worst) {
         case SnoopReply::kHitM:
-          // Illinois: owner supplies the line cache-to-cache and memory is
-          // updated in the same transaction (an implicit writeback), so the
-          // bus is held for a second data transfer.
-          Occupy(2 * cfg_.bus_data_occupancy);
+          ++total_.c2c_transfers;
+          ++mine.c2c_transfers;
+          if (!policy_->dirty_share_on_read()) {
+            // Illinois/MESIF: owner supplies the line cache-to-cache and
+            // memory is updated in the same transaction (an implicit
+            // writeback), so the bus is held for a second data transfer.
+            Occupy(2 * cfg_.bus_data_occupancy);
+          }
+          // MOESI/Dragon: the owner (now O/Sm) keeps supplying; memory is
+          // untouched and the bus carries one transfer.
           ++total_.bus_rd_hitm;
           ++mine.bus_rd_hitm;
           result.latency = queue + cfg_.hitm_latency;
-          result.grant = Mesi::kS;
+          result.grant = policy_->read_grant_shared();
           result.snoop = SnoopOutcome::kHitM;
           return result;
         case SnoopReply::kHit:
           ++total_.bus_rd_hit;
           ++mine.bus_rd_hit;
-          result.latency = queue + cfg_.memory_latency;
-          result.grant = Mesi::kS;
+          if (clean_forwarder) {
+            ++total_.c2c_transfers;
+            ++mine.c2c_transfers;
+            result.latency = queue + cfg_.forward_latency;
+          } else {
+            result.latency = queue + cfg_.memory_latency;
+          }
+          result.grant = policy_->read_grant_shared();
           result.snoop = SnoopOutcome::kHit;
           return result;
         case SnoopReply::kMiss:
@@ -108,9 +132,13 @@ FabricResult SnoopBus::Request(CpuId cpu, BusOp op, Addr line_addr,
         }
         ++total_.bus_rd_hitm;
         ++mine.bus_rd_hitm;
-        Occupy(cfg_.bus_data_occupancy);  // implicit writeback transfer
+        ++total_.c2c_transfers;
+        ++mine.c2c_transfers;
+        if (!policy_->dirty_share_on_read()) {
+          Occupy(cfg_.bus_data_occupancy);  // implicit writeback transfer
+        }
         result.latency = queue + cfg_.hitm_latency;
-        result.grant = Mesi::kS;
+        result.grant = policy_->read_grant_shared();
         result.snoop = SnoopOutcome::kHitM;
         return result;
       }
@@ -144,9 +172,13 @@ FabricResult SnoopBus::Request(CpuId cpu, BusOp op, Addr line_addr,
         }
       }
       if (hitm) {
-        Occupy(2 * cfg_.bus_data_occupancy);  // implicit writeback transfer
+        if (!policy_->dirty_share_on_read()) {
+          Occupy(2 * cfg_.bus_data_occupancy);  // implicit writeback transfer
+        }
         ++total_.bus_rd_inval_all_hitm;
         ++mine.bus_rd_inval_all_hitm;
+        ++total_.c2c_transfers;
+        ++mine.c2c_transfers;
         result.latency = queue + cfg_.hitm_latency;
         result.snoop = SnoopOutcome::kHitM;
       } else {
@@ -158,17 +190,45 @@ FabricResult SnoopBus::Request(CpuId cpu, BusOp op, Addr line_addr,
     }
 
     case BusOp::kUpgrade: {
-      // Address-only invalidation round.
+      // Address-only invalidation round. Under MOESI the zapped copy may
+      // be the dirty-shared owner (O) — the requester's own copy carries
+      // the same data, so no transfer is needed, but the outcome reports
+      // HITM so observers (and the checker) see a dirty copy was retired.
       Occupy(cfg_.bus_addr_occupancy);
       ++total_.bus_upgrades;
       ++mine.bus_upgrades;
+      bool hitm = false;
       for (CacheStack* other : stacks_) {
         if (other->cpu() == cpu) continue;
-        other->Snoop(line_addr, SnoopType::kInvalidate);
+        if (other->Snoop(line_addr, SnoopType::kInvalidate) ==
+            SnoopReply::kHitM) {
+          hitm = true;
+        }
       }
       result.latency = queue + cfg_.upgrade_latency;
       result.grant = Mesi::kE;
-      result.snoop = SnoopOutcome::kHit;
+      result.snoop = hitm ? SnoopOutcome::kHitM : SnoopOutcome::kHit;
+      return result;
+    }
+
+    case BusOp::kUpdate: {
+      // Dragon BusUpd: a word-sized broadcast on the address network. Every
+      // other copy accepts the new data in place; the updater learns
+      // whether any sharers remain (Sm) or it now owns the only copy (M).
+      Occupy(cfg_.bus_addr_occupancy);
+      ++total_.bus_updates;
+      ++mine.bus_updates;
+      bool any_copy = false;
+      for (CacheStack* other : stacks_) {
+        if (other->cpu() == cpu) continue;
+        if (other->Snoop(line_addr, SnoopType::kUpdate) ==
+            SnoopReply::kHit) {
+          any_copy = true;
+        }
+      }
+      result.latency = queue + cfg_.forward_latency;
+      result.grant = any_copy ? Mesi::kSm : Mesi::kM;
+      result.snoop = any_copy ? SnoopOutcome::kHit : SnoopOutcome::kMiss;
       return result;
     }
   }

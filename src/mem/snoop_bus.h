@@ -1,5 +1,7 @@
-// Snooping front-side bus with a MESI (Illinois) protocol — the fabric of
-// the 4-way Itanium 2 SMP server.
+// Snooping front-side bus — the fabric of the 4-way Itanium 2 SMP server.
+// The protocol spoken on it (MESI/MOESI/Dragon/MESIF) is the
+// CoherencePolicy selected by MemConfig::protocol; MESI (Illinois) is the
+// default and reproduces the paper's machine exactly.
 //
 // Timing: the bus is a single shared resource. Each transaction occupies it
 // for `bus_data_occupancy` (data) or `bus_addr_occupancy` (address-only)
@@ -40,6 +42,7 @@ class SnoopBus : public CoherenceFabric {
 
  private:
   MemConfig cfg_;
+  const CoherencePolicy* policy_;
   std::vector<CacheStack*> stacks_;
   std::vector<BusEventCounts> per_cpu_;
   BusEventCounts total_;

@@ -42,6 +42,7 @@ void CoherenceChecker::AttachStacks(std::vector<mem::CacheStack*> stacks) {
   if (!stacks_.empty()) {
     line_bytes_ = stacks_[0]->config().l2.line_bytes;
     l1_line_bytes_ = stacks_[0]->config().l1.line_bytes;
+    policy_ = &stacks_[0]->policy();
   }
   inner_->AttachStacks(std::move(stacks));
 }
@@ -105,20 +106,33 @@ mem::FabricResult CoherenceChecker::Request(CpuId cpu, mem::BusOp op,
 
   const auto mine = stacks_[static_cast<std::size_t>(cpu)];
   const Mesi pre_mine = mine->LineState(line_addr);
-  bool any_m = false;
-  bool any_excl = false;
+  bool any_excl = false;   // M/E elsewhere
+  bool any_dirty = false;  // M/O/Sm elsewhere: a snoop would supply HITM
   bool any_copy = false;
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     if (static_cast<CpuId>(i) == cpu) continue;
     const Mesi s = stacks_[i]->LineState(line_addr);
-    any_m |= s == Mesi::kM;
-    any_excl |= s == Mesi::kM || s == Mesi::kE;
-    any_copy |= s != Mesi::kI;
+    any_excl |= mem::CohWritable(s);
+    any_dirty |= mem::CohDirty(s);
+    any_copy |= mem::CohValid(s);
+  }
+
+  // Transaction legality: an update-based protocol (Dragon) never issues
+  // read-for-ownership or invalidation rounds, and an invalidation
+  // protocol never broadcasts updates.
+  const bool rfo_op = op == BusOp::kReadExcl || op == BusOp::kReadExclHint ||
+                      op == BusOp::kUpgrade;
+  if (policy_->update_based() ? rfo_op : op == BusOp::kUpdate) {
+    Fail("protocol-op", line_addr,
+         std::string("bus op \"") + mem::BusOpName(op) +
+             "\" is illegal under protocol " + policy_->name());
   }
 
   // Requester pre-state: every miss-path transaction (including the
   // writeback of a victim, which Insert has already replaced) starts with
-  // the requester holding no copy; an upgrade starts from Shared.
+  // the requester holding no copy; an upgrade starts from a shared-class
+  // state (S, or MOESI's O / MESIF's F); an update broadcast starts from a
+  // Dragon shared copy (Sc/Sm).
   switch (op) {
     case BusOp::kRead:
     case BusOp::kReadExcl:
@@ -129,14 +143,27 @@ mem::FabricResult CoherenceChecker::Request(CpuId cpu, mem::BusOp op,
       }
       break;
     case BusOp::kUpgrade:
-      if (pre_mine != Mesi::kS) {
+      if (!mem::CohValid(pre_mine) || mem::CohWritable(pre_mine)) {
         Fail("requester-state", line_addr,
-             "upgrade request from a non-Shared line");
+             "upgrade request from a line not held in a shared-class "
+             "state");
       }
       if (any_excl) {
         Fail("single-writer", line_addr,
-             "requester holds the line Shared while it is "
+             "requester holds the line shared while it is "
              "Exclusive/Modified elsewhere");
+      }
+      break;
+    case BusOp::kUpdate:
+      if (pre_mine != Mesi::kSc && pre_mine != Mesi::kSm) {
+        Fail("requester-state", line_addr,
+             "update broadcast from a line the requester does not hold "
+             "shared (Sc/Sm)");
+      }
+      if (any_excl) {
+        Fail("update-delivery", line_addr,
+             "update broadcast while the line is Exclusive/Modified "
+             "elsewhere");
       }
       break;
     case BusOp::kWriteback:
@@ -144,10 +171,14 @@ mem::FabricResult CoherenceChecker::Request(CpuId cpu, mem::BusOp op,
         Fail("requester-state", line_addr,
              "writeback of a line still resident in the requester");
       }
-      if (any_copy) {
-        Fail("single-writer", line_addr,
-             "writeback of a (previously Modified) line another cache "
-             "holds a copy of");
+      // MESI/MESIF write back only M victims, which exclude every other
+      // copy. MOESI's O and Dragon's Sm victims legitimately leave S/Sc
+      // copies behind — but never another dirty or exclusive copy.
+      if (policy_->dirty_share_on_read() ? (any_excl || any_dirty)
+                                         : any_copy) {
+        Fail("single-owner-of-dirty", line_addr,
+             "writeback of a dirty victim while an incompatible copy "
+             "survives elsewhere");
       }
       // A dirty victim leaving the caches must carry exactly the bytes the
       // commit-order store sequence produced.
@@ -163,19 +194,20 @@ mem::FabricResult CoherenceChecker::Request(CpuId cpu, mem::BusOp op,
   // one place they legitimately differ (an honoured exclusive-prefetch
   // hint over clean remote copies reports kHit on the bus but kMiss from
   // the directory) is asserted only as far as both agree.
+  const Mesi shared_grant = policy_->read_grant_shared();
   switch (op) {
     case BusOp::kRead:
-      if (any_m) {
-        if (r.snoop != SnoopOutcome::kHitM || r.grant != Mesi::kS) {
+      if (any_dirty) {
+        if (r.snoop != SnoopOutcome::kHitM || r.grant != shared_grant) {
           Fail("snoop-response", line_addr,
-               "read with a Modified copy elsewhere must report HITM and "
-               "grant Shared");
+               "read with a dirty copy elsewhere must report HITM and "
+               "grant the protocol's shared state");
         }
       } else if (any_copy) {
-        if (r.snoop != SnoopOutcome::kHit || r.grant != Mesi::kS) {
+        if (r.snoop != SnoopOutcome::kHit || r.grant != shared_grant) {
           Fail("snoop-response", line_addr,
                "read with clean copies elsewhere must report HIT and grant "
-               "Shared");
+               "the protocol's shared state");
         }
       } else if (r.snoop != SnoopOutcome::kMiss || r.grant != Mesi::kE) {
         Fail("snoop-response", line_addr,
@@ -188,19 +220,19 @@ mem::FabricResult CoherenceChecker::Request(CpuId cpu, mem::BusOp op,
         Fail("fabric-grant", line_addr,
              "read-for-ownership must grant Exclusive");
       }
-      if (r.snoop != (any_m ? SnoopOutcome::kHitM : SnoopOutcome::kMiss)) {
+      if (r.snoop != (any_dirty ? SnoopOutcome::kHitM : SnoopOutcome::kMiss)) {
         Fail("snoop-response", line_addr,
              "read-for-ownership snoop outcome inconsistent with remote "
              "dirty state");
       }
       break;
     case BusOp::kReadExclHint:
-      if (any_m) {
+      if (any_dirty) {
         // Hint not honoured: degrades to a read, owner downgrades.
-        if (r.snoop != SnoopOutcome::kHitM || r.grant != Mesi::kS) {
+        if (r.snoop != SnoopOutcome::kHitM || r.grant != shared_grant) {
           Fail("snoop-response", line_addr,
                "exclusive-prefetch hint against a dirty remote line must "
-               "degrade to a Shared read reporting HITM");
+               "degrade to a shared read reporting HITM");
         }
       } else {
         if (r.grant != Mesi::kE) {
@@ -222,10 +254,24 @@ mem::FabricResult CoherenceChecker::Request(CpuId cpu, mem::BusOp op,
       if (r.grant != Mesi::kE) {
         Fail("fabric-grant", line_addr, "upgrade must grant Exclusive");
       }
-      if (r.snoop == SnoopOutcome::kHitM) {
+      // MOESI may retire a dirty-shared (O) copy in the invalidation
+      // round — that reports HITM. With no dirty copy out there, HITM
+      // would mean the requester held shared next to a Modified line.
+      if ((r.snoop == SnoopOutcome::kHitM) != any_dirty) {
         Fail("snoop-response", line_addr,
-             "upgrade reported HITM: the requester held Shared while the "
-             "line was Modified elsewhere");
+             "upgrade snoop outcome inconsistent with remote dirty state");
+      }
+      break;
+    case BusOp::kUpdate:
+      if (r.grant != (any_copy ? Mesi::kSm : Mesi::kM)) {
+        Fail("update-delivery", line_addr,
+             "update broadcast must grant Sm while other copies remain "
+             "and M once the updater holds the last copy");
+      }
+      if (r.snoop != (any_copy ? SnoopOutcome::kHit : SnoopOutcome::kMiss)) {
+        Fail("snoop-response", line_addr,
+             "update broadcast snoop outcome inconsistent with remote "
+             "copies");
       }
       break;
     case BusOp::kWriteback:
@@ -238,14 +284,23 @@ mem::FabricResult CoherenceChecker::Request(CpuId cpu, mem::BusOp op,
     for (std::size_t i = 0; i < stacks_.size(); ++i) {
       if (static_cast<CpuId>(i) == cpu) continue;
       const Mesi post = stacks_[i]->LineState(line_addr);
-      if (r.grant == Mesi::kE && post != Mesi::kI) {
+      if (mem::CohWritable(r.grant) && post != Mesi::kI) {
+        // kE from an RFO/upgrade, or kM from a last-copy update: the
+        // requester was promised sole ownership.
         Fail("fabric-grant", line_addr,
-             "Exclusive granted but another cache still holds the line");
+             "exclusive ownership granted but another cache still holds "
+             "the line");
       }
-      if (r.grant == Mesi::kS && (post == Mesi::kE || post == Mesi::kM)) {
+      if (!mem::CohWritable(r.grant) && mem::CohWritable(post)) {
         Fail("fabric-grant", line_addr,
-             "Shared granted but another cache still holds the line "
+             "shared state granted but another cache still holds the line "
              "exclusively");
+      }
+      if (op == BusOp::kUpdate && mem::CohValid(post) &&
+          post != Mesi::kSc) {
+        Fail("update-delivery", line_addr,
+             "a remote copy survived an update broadcast in a state other "
+             "than clean-shared (Sc)");
       }
     }
   }
@@ -309,19 +364,38 @@ void CoherenceChecker::CheckLineSettled(mem::Addr line_addr) {
   using mem::Mesi;
   ++lines_settled_;
 
-  int owner = -1;
-  int owners = 0;
-  bool any_shared = false;
+  int owners = 0;        // M/E holders
+  int dirty_owners = 0;  // M/O/Sm holders (copies newer than memory)
+  int forwarders = 0;    // MESIF F holders
+  int sm_copies = 0;     // Dragon Sm holders
+  // The *responsible* copy: the one the fabric forwards requests to and
+  // that (when dirty) owes memory the writeback — M/E plus O/F/Sm.
+  int responsible = -1;
+  int responsibles = 0;
+  int valid_copies = 0;
   std::uint32_t holder_mask = 0;
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     const mem::CacheStack& stack = *stacks_[i];
     const Mesi l3 = stack.LineState(line_addr);
-    if (l3 == Mesi::kE || l3 == Mesi::kM) {
-      ++owners;
-      owner = static_cast<int>(i);
+    if (!policy_->LegalState(l3)) {
+      std::ostringstream detail;
+      detail << "cpu" << i << " holds state " << mem::CohStateName(l3)
+             << ", which does not exist under protocol " << policy_->name();
+      Fail("protocol-state", line_addr, detail.str());
     }
-    if (l3 == Mesi::kS) any_shared = true;
-    if (l3 != Mesi::kI) holder_mask |= 1u << i;
+    if (mem::CohWritable(l3)) ++owners;
+    if (mem::CohDirty(l3)) ++dirty_owners;
+    if (l3 == Mesi::kF) ++forwarders;
+    if (l3 == Mesi::kSm) ++sm_copies;
+    if (mem::CohWritable(l3) || l3 == Mesi::kO || l3 == Mesi::kF ||
+        l3 == Mesi::kSm) {
+      ++responsibles;
+      responsible = static_cast<int>(i);
+    }
+    if (mem::CohValid(l3)) {
+      ++valid_copies;
+      holder_mask |= 1u << i;
+    }
 
     // Intra-stack lockstep: an L2 copy mirrors the L3 state (inclusion
     // keeps the pair in sync), and L1 presence implies an L3 copy.
@@ -348,14 +422,30 @@ void CoherenceChecker::CheckLineSettled(mem::Addr line_addr) {
     Fail("single-writer", line_addr,
          "more than one cache holds the line Exclusive/Modified");
   }
-  if (owners == 1 && any_shared) {
-    Fail("single-writer", line_addr,
-         "an Exclusive/Modified copy coexists with Shared copies");
+  if (owners == 1 && valid_copies > 1) {
+    // Under Dragon this is specifically a missed update: a writer may hold
+    // M/E only while it owns the sole copy, otherwise every store must
+    // have been broadcast to the other holders.
+    Fail(policy_->update_based() ? "no-stale-copy" : "single-writer",
+         line_addr, "an Exclusive/Modified copy coexists with other copies");
+  }
+  if (sm_copies > 1) {
+    Fail("update-delivery", line_addr,
+         "more than one cache holds the line Sm (two writers both believe "
+         "they own the dirty shared copy)");
+  }
+  if (dirty_owners > 1) {
+    Fail("single-owner-of-dirty", line_addr,
+         "more than one cache holds a dirty (M/O/Sm) copy of the line");
+  }
+  if (forwarders > 1) {
+    Fail("exactly-one-forwarder", line_addr,
+         "more than one cache holds the line in Forward state");
   }
 
   if (dir_ != nullptr) {
     const auto* e = dir_->Lookup(line_addr);
-    const int expect_owner = owners == 1 ? owner : -1;
+    const int expect_owner = responsibles == 1 ? responsible : -1;
     if (holder_mask == 0) {
       if (e != nullptr && (e->sharers != 0 || e->owner >= 0)) {
         Fail("directory-stale-entry", line_addr,
@@ -375,7 +465,8 @@ void CoherenceChecker::CheckLineSettled(mem::Addr line_addr) {
       if (e->owner != expect_owner) {
         std::ostringstream detail;
         detail << "directory owner " << e->owner
-               << " != actual Exclusive/Modified holder " << expect_owner;
+               << " != actual responsible (M/E/O/F/Sm) holder "
+               << expect_owner;
         Fail("directory-owner", line_addr, detail.str());
       }
     }

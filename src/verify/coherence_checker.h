@@ -1,7 +1,8 @@
 // Online coherence/consistency checker: a decorator around the machine's
-// CoherenceFabric that validates every transaction against the MESI
-// invariants, plus a golden memory oracle that shadows the functional
-// memory in commit order.
+// CoherenceFabric that validates every transaction against the active
+// protocol's invariants (MESI, MOESI, Dragon or MESIF — taken from the
+// attached stacks' CoherencePolicy), plus a golden memory oracle that
+// shadows the functional memory in commit order.
 //
 // The checker sits between the cache stacks and the real fabric (snooping
 // bus or NUMA directory): stacks issue requests to the checker, which
@@ -12,13 +13,24 @@
 // installed), per-line *settled* invariants are re-checked:
 //
 //   * single-writer / multiple-reader: at most one M/E copy of a line
-//     system-wide, and an M/E copy excludes Shared copies elsewhere;
-//   * intra-stack lockstep: an L2 copy carries the same MESI state as the
-//     L3 copy (inclusion keeps them paired), and L1 presence implies L3
-//     presence;
+//     system-wide, and an M/E copy excludes every other copy;
+//   * protocol-state: every resident state is legal under the active
+//     protocol (no O outside MOESI, no F outside MESIF, ...);
+//   * single-owner-of-dirty (MOESI): at most one dirty (M/O/Sm) copy;
+//   * exactly-one-forwarder (MESIF): at most one F copy system-wide;
+//   * update-delivery / no-stale-copy (Dragon): at most one Sm copy, and
+//     every copy surviving a BusUpd is clean-shared (Sc) — an M/E copy
+//     coexisting with others means an update broadcast was missed;
+//   * protocol-op: invalidation transactions (RFO, upgrade) never appear
+//     under an update-based protocol, and BusUpd never appears under an
+//     invalidation protocol;
+//   * intra-stack lockstep: an L2 copy carries the same coherence state as
+//     the L3 copy (inclusion keeps them paired), and L1 presence implies
+//     L3 presence;
 //   * directory exactness (NUMA only): the home directory's sharer vector
-//     is exactly the set of stacks holding the line, and its owner field is
-//     exactly the unique E/M holder (or -1).
+//     is exactly the set of stacks holding the line, and its owner field
+//     is exactly the unique *responsible* holder (M/E, plus MOESI's O,
+//     MESIF's F, Dragon's Sm), or -1.
 //
 // The golden oracle is a flat byte array updated by every store at commit
 // order. Every load's returned value is diffed against it, and every dirty
@@ -128,6 +140,9 @@ class CoherenceChecker final : public mem::CoherenceFabric {
   const mem::DirectoryFabric* dir_;  // nullptr on the snooping bus
   Options opts_;
   std::vector<mem::CacheStack*> stacks_;
+  // Active protocol, taken from the attached stacks (MESI until attach).
+  const mem::CoherencePolicy* policy_ =
+      &mem::CoherencePolicy::For(mem::Protocol::kMesi);
   std::size_t line_bytes_ = 128;
   std::size_t l1_line_bytes_ = 64;
 

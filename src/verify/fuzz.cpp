@@ -341,11 +341,14 @@ std::string Fingerprint(machine::Machine& m, mem::Addr data_end) {
         << " fwb=" << ss.fabric_writebacks << " st_up=" << ss.store_upgrades
         << " sn_down=" << ss.snoop_downgrades
         << " sn_inv=" << ss.snoop_invalidations << " hitm=" << ss.hitm_supplies
+        << " st_upd=" << ss.store_updates << " sn_upd=" << ss.snoop_updates
+        << " buf_st=" << ss.buffered_stores
         << " l2m=" << stack.L2Misses() << " l3m=" << stack.L3Misses()
         << " bus_mem=" << bus.bus_memory << " rd_hit=" << bus.bus_rd_hit
         << " rd_hitm=" << bus.bus_rd_hitm
         << " rd_inv_hitm=" << bus.bus_rd_inval_all_hitm
-        << " upg=" << bus.bus_upgrades << " wb=" << bus.bus_writebacks
+        << " upg=" << bus.bus_upgrades << " upd=" << bus.bus_updates
+        << " c2c=" << bus.c2c_transfers << " wb=" << bus.bus_writebacks
         << " remote=" << bus.remote_transactions << "\n";
   }
   const mem::BusEventCounts& total = m.fabric().TotalCounts();
@@ -377,6 +380,20 @@ FuzzCase NumaFuzzCase(std::uint64_t seed) {
   c.machine.verify_coherence = true;
   c.threads = 8;
   return c;
+}
+
+FuzzCase WithProtocol(FuzzCase c, mem::Protocol protocol) {
+  c.machine.mem.protocol = protocol;
+  c.machine_name += std::string(".") + mem::ProtocolName(protocol);
+  return c;
+}
+
+std::string MemoryImageOf(const std::string& fingerprint) {
+  const std::size_t pos = fingerprint.find("memhash=");
+  COBRA_CHECK_MSG(pos != std::string::npos,
+                  "fingerprint carries no memory-image line");
+  const std::size_t end = fingerprint.find('\n', pos);
+  return fingerprint.substr(pos, end - pos);
 }
 
 std::string FormatEngine(const machine::EngineConfig& engine) {

@@ -37,6 +37,18 @@ struct FuzzCase {
 FuzzCase SmpFuzzCase(std::uint64_t seed);
 FuzzCase NumaFuzzCase(std::uint64_t seed);
 
+// Re-targets a canned case at a coherence protocol: same seed, same
+// generated program, same machine shape, but the fabric speaks `protocol`
+// (and the replay hint says so). The architectural outcome of a case —
+// the final memory image — must not depend on the protocol; only timing
+// and traffic counters may differ.
+FuzzCase WithProtocol(FuzzCase c, mem::Protocol protocol);
+
+// Extracts the "memhash=..." final-memory-image line from a RunFuzzCase
+// fingerprint (for cross-protocol equality checks, where the full
+// fingerprint legitimately differs).
+std::string MemoryImageOf(const std::string& fingerprint);
+
 // Renders an engine config the way ParseEngineSpec accepts it
 // ("parallel:4@1024").
 std::string FormatEngine(const machine::EngineConfig& engine);

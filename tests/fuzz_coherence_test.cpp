@@ -22,6 +22,7 @@
 
 #include "isa/image.h"
 #include "machine/engine.h"
+#include "mem/protocol.h"
 #include "tjit/tcache.h"
 #include "verify/fuzz.h"
 
@@ -87,6 +88,55 @@ TEST(CoherenceFuzz, SmpSerialMatchesParallel) { RunSweep(&SmpFuzzCase, 1000); }
 
 TEST(CoherenceFuzz, NumaSerialMatchesParallel) {
   RunSweep(&NumaFuzzCase, 2000);
+}
+
+// Per-protocol conformance battery: every seed runs under all four
+// coherence protocols on both machine shapes, serial and parallel, with
+// the checker's protocol-specific invariant sets armed. Each protocol must
+// (a) survive with zero invariant violations, (b) be engine-deterministic,
+// and (c) agree with every other protocol on the final architectural
+// memory image — the protocol decides *when* data moves, never *what* the
+// program computes. Runs 16 machine executions per seed, so it uses fewer
+// seeds than the single-protocol sweeps.
+void RunProtocolSweep(FuzzCase (*make)(std::uint64_t),
+                      std::uint64_t seed_base) {
+  static constexpr mem::Protocol kProtocols[] = {
+      mem::Protocol::kMesi, mem::Protocol::kMoesi, mem::Protocol::kDragon,
+      mem::Protocol::kMesif};
+  std::uint64_t replay_seed = 0;
+  const bool replay = SeedFromEnv(&replay_seed);
+  const int cases = replay ? 1 : std::min(CasesFromEnv(), 12);
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed =
+        replay ? replay_seed : seed_base + static_cast<std::uint64_t>(i);
+    std::string baseline_image;
+    for (const mem::Protocol protocol : kProtocols) {
+      const FuzzCase c = WithProtocol(make(seed), protocol);
+      const std::string serial = RunFuzzCase(c, SerialEngine());
+      const std::string parallel = RunFuzzCase(c, ParallelEngine());
+      ASSERT_EQ(serial, parallel)
+          << "engine fingerprints diverged; replay with COBRA_FUZZ_SEED="
+          << seed << " (machine " << c.machine_name << ")";
+      const std::string image = MemoryImageOf(serial);
+      if (protocol == mem::Protocol::kMesi) {
+        baseline_image = image;
+      } else {
+        ASSERT_EQ(image, baseline_image)
+            << "final memory image diverged from the MESI baseline under "
+            << mem::ProtocolName(protocol)
+            << "; replay with COBRA_FUZZ_SEED=" << seed << " (machine "
+            << c.machine_name << ")";
+      }
+    }
+  }
+}
+
+TEST(CoherenceFuzz, SmpAllProtocolsConformAndAgreeOnMemory) {
+  RunProtocolSweep(&SmpFuzzCase, 7000);
+}
+
+TEST(CoherenceFuzz, NumaAllProtocolsConformAndAgreeOnMemory) {
+  RunProtocolSweep(&NumaFuzzCase, 8000);
 }
 
 // Exec-plan invalidation under live patching: each seed's workload runs

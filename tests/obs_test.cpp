@@ -148,7 +148,10 @@ TEST(Registry, MachineMetricsAgreeWithCounters) {
   EXPECT_EQ(snap.Value("mem.l3.miss"),
             snap.SumPrefix("mem.cpu0.l3.") + snap.SumPrefix("mem.cpu1.l3.") +
                 snap.SumPrefix("mem.cpu2.l3.") + snap.SumPrefix("mem.cpu3.l3."));
-  EXPECT_EQ(snap.Value("bus.memory"),
+  // Fabric metrics are registered under the active protocol's prefix.
+  const std::string fab =
+      std::string("fabric.") + mem::ProtocolName(machine.config().mem.protocol);
+  EXPECT_EQ(snap.Value(fab + ".memory"),
             machine.fabric().TotalCounts().bus_memory);
   EXPECT_EQ(snap.Value("machine.global_time"), machine.GlobalTime());
   EXPECT_GT(snap.Value("engine.quanta"), 0u);

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "compare.h"
+#include "mem/protocol.h"
 #include "suite.h"
 #include "support/json.h"
 
@@ -54,6 +55,16 @@ double Derived(const std::string& experiment, const std::string& key) {
   return Experiment(experiment).At("derived").At(key).AsDouble();
 }
 
+// CI replays the quick suite under every COBRA_PROTOCOL. The paper's
+// figure trends were measured on invalidation-based fabrics; under the
+// update-based protocol the class-S kernels are BusUpd-bound, prefetch
+// removal does not pay, and COBRA's measured epochs correctly roll the
+// deployments back. The Fig. 5/6/7 tests therefore assert the rollback
+// guarantee ("adaptation never hurts") instead of the win.
+bool AmbientUpdateBased() {
+  return Report().At("protocol").AsString() == "dragon";
+}
+
 TEST(PaperTrends, EverySimulatedRunVerifies) {
   for (const Json& e : Report().At("experiments").elements()) {
     for (const Json& row : e.At("rows").elements()) {
@@ -81,6 +92,11 @@ TEST(PaperTrends, DaxpyNoprefetchWinsAtSmallWorkingSet) {
 // is above 1 on both machines — the baseline's speedup is 1 by definition,
 // so this is "COBRA >= baseline".
 TEST(PaperTrends, CobraBeatsBaselineOnSmpAndNuma) {
+  if (AmbientUpdateBased()) {
+    EXPECT_GE(Derived("npb_smp", "speedup_noprefetch_avg"), 0.98);
+    EXPECT_GE(Derived("npb_numa", "speedup_noprefetch_avg"), 0.98);
+    return;
+  }
   EXPECT_GT(Derived("npb_smp", "speedup_noprefetch_avg"), 1.0);
   EXPECT_GT(Derived("npb_numa", "speedup_noprefetch_avg"), 1.0);
 }
@@ -88,6 +104,12 @@ TEST(PaperTrends, CobraBeatsBaselineOnSmpAndNuma) {
 // Figure 6: the optimization that wins (noprefetch) wins *because* it cuts
 // L3 misses — the average per-benchmark L3 ratio vs baseline is below 1.
 TEST(PaperTrends, NoprefetchCutsL3Misses) {
+  if (AmbientUpdateBased()) {
+    // Nothing stays deployed, so the miss profile must match the baseline.
+    EXPECT_LE(Derived("npb_smp", "l3_ratio_noprefetch_avg"), 1.01);
+    EXPECT_LE(Derived("npb_numa", "l3_ratio_noprefetch_avg"), 1.01);
+    return;
+  }
   EXPECT_LT(Derived("npb_smp", "l3_ratio_noprefetch_avg"), 1.0);
   EXPECT_LT(Derived("npb_numa", "l3_ratio_noprefetch_avg"), 1.0);
 }
@@ -104,16 +126,61 @@ TEST(PaperTrends, InsertionCutsDemandL3Misses) {
 // plus read-for-ownership HITM transfers — stays far below the always-on
 // `.excl` binary's.
 TEST(PaperTrends, AdaptiveExclInvalidatesLessThanAlwaysOn) {
+  // The whole suite may run under an ambient COBRA_PROTOCOL (CI does, for
+  // all four). Under the update-based protocol there is no invalidation
+  // traffic to contrast — `.excl` degrades to a plain prefetch — so the
+  // figure's claim reduces to "both sides are zero".
+  if (Report().At("protocol").AsString() == "dragon") {
+    EXPECT_EQ(Derived("npb_smp", "invalidations_static_excl_total"), 0.0);
+    EXPECT_EQ(Derived("npb_smp", "snoop_invalidations_static_excl_total"),
+              0.0);
+    return;
+  }
   EXPECT_LT(Derived("npb_smp", "invalidations_cobra_excl_total"),
             Derived("npb_smp", "invalidations_static_excl_total"));
   EXPECT_LT(Derived("npb_smp", "snoop_invalidations_cobra_excl_total"),
             Derived("npb_smp", "snoop_invalidations_static_excl_total"));
 }
 
+// --- Coherence-protocol contrasts (protocol_matrix) -------------------------
+// These run each protocol pinned explicitly, so they hold under any
+// ambient COBRA_PROTOCOL.
+
+// Dragon is update-based: stores to shared lines broadcast BusUpd and
+// nothing is ever invalidated. The invalidation protocols are the mirror
+// image: ownership traffic, zero updates.
+TEST(PaperTrends, DragonUpdatesInsteadOfInvalidating) {
+  EXPECT_EQ(Derived("protocol_matrix", "dragon_invalidations_total"), 0.0);
+  EXPECT_EQ(Derived("protocol_matrix", "dragon_snoop_invalidations_total"),
+            0.0);
+  EXPECT_GT(Derived("protocol_matrix", "dragon_updates_total"), 0.0);
+  EXPECT_GT(Derived("protocol_matrix", "mesi_invalidations_total"), 0.0);
+  EXPECT_EQ(Derived("protocol_matrix", "mesi_updates_total"), 0.0);
+  EXPECT_EQ(Derived("protocol_matrix", "mesif_updates_total"), 0.0);
+}
+
+// MESIF's Forward state sources clean lines cache-to-cache, which MESI
+// always fetches from memory; MOESI's Owned state additionally shares
+// dirty lines without the implicit writeback. Both must move at least as
+// many lines cache-to-cache as MESI on identical workloads.
+TEST(PaperTrends, ForwardingProtocolsMoveMoreLinesCacheToCache) {
+  EXPECT_GT(Derived("protocol_matrix", "mesif_c2c_total"),
+            Derived("protocol_matrix", "mesi_c2c_total"));
+  EXPECT_GE(Derived("protocol_matrix", "moesi_c2c_total"),
+            Derived("protocol_matrix", "mesi_c2c_total"));
+}
+
 // Figure 7b: on the NUMA machine, exclusive-hinted prefetches steal shared
 // lines across the directory fabric; plain prefetch removal (`.nt1`-style)
 // is the better strategy there.
 TEST(PaperTrends, NumaPrefersNoprefetchOverExcl) {
+  if (AmbientUpdateBased()) {
+    // `.excl` degrades to a plain prefetch under Dragon, so the two
+    // strategies converge rather than contrast.
+    EXPECT_GE(Derived("npb_numa", "speedup_noprefetch_avg"),
+              Derived("npb_numa", "speedup_excl_avg"));
+    return;
+  }
   EXPECT_GT(Derived("npb_numa", "speedup_noprefetch_avg"),
             Derived("npb_numa", "speedup_excl_avg"));
 }
@@ -199,6 +266,14 @@ TEST(BenchReport, MatchesCommittedGoldenQuickMetrics) {
   // without the driver. Re-bless an intentional model change with:
   //   cobra_bench --suite=paper --quick
   //     --json=tests/golden/bench_quick_metrics.json
+  // The golden values are blessed under the default protocol; an ambient
+  // COBRA_PROTOCOL changes fabric timing (and the fabric.<protocol>.*
+  // metric names), so only the MESI run is value-comparable.
+  if (Report().At("protocol").AsString() != "mesi") {
+    GTEST_SKIP() << "golden quick metrics are blessed under mesi; ambient "
+                    "protocol is "
+                 << Report().At("protocol").AsString();
+  }
   std::ifstream in(std::string(COBRA_GOLDEN_DIR) +
                    "/bench_quick_metrics.json");
   ASSERT_TRUE(in.good()) << "missing golden file " << COBRA_GOLDEN_DIR
@@ -222,6 +297,8 @@ TEST(BenchReport, HeaderIdentifiesTheRun) {
   EXPECT_EQ(Report().At("generator").AsString(), "cobra_bench");
   EXPECT_EQ(Report().At("suite").AsString(), "paper");
   EXPECT_TRUE(Report().At("quick").AsBool());
+  EXPECT_EQ(Report().At("protocol").AsString(),
+            mem::ProtocolName(mem::ProtocolFromEnv(mem::Protocol::kMesi)));
   // Every declared experiment ran (no --only filter here).
   EXPECT_EQ(Report().At("experiments").size(),
             bench::PaperExperimentNames().size());
