@@ -657,6 +657,107 @@ Json RunInsertion(const SuiteOptions& options) {
   return e;
 }
 
+// --- Static-priors ablation (scalar-evolution priors) ----------------------
+
+struct PriorsRun {
+  Cycle cycles = 0;
+  core::CobraRuntime::Stats stats;
+};
+
+PriorsRun RunStaticPriorsOnce(bool priors, int reps,
+                              const machine::EngineConfig& engine) {
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy =
+      EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy::None());
+  constexpr std::int64_t kN = 262144;  // 4 MB working set: memory-bound
+  const mem::Addr x = prog.Alloc(kN * 8);
+  const mem::Addr y = prog.Alloc(kN * 8);
+  machine::MachineConfig cfg = machine::SmpServerConfig(1);
+  cfg.mem.memory_bytes = 1 << 26;
+  machine::Machine machine(cfg, &prog.image());
+  for (std::int64_t i = 0; i < kN; ++i) {
+    machine.memory().WriteDouble(x + 8 * static_cast<mem::Addr>(i), 1.0);
+    machine.memory().WriteDouble(y + 8 * static_cast<mem::Addr>(i), 2.0);
+  }
+
+  // Eager wake windows make stride *confirmation* the qualification
+  // bottleneck; a sampling period coprime to the loop body length rotates
+  // the wake phase through the loop (a commensurate period parks every
+  // wake on the same mid-bundle pc and the quiesce check starves); a deep
+  // confirmation requirement makes the dynamic-only run watch the stream
+  // repeat for several windows before it trusts the stride.
+  core::CobraConfig config;
+  config.strategy = core::OptKind::kInsertPrefetch;
+  config.measured_epochs = false;
+  config.batch_size = 1;
+  config.batches_per_evaluation = 1;
+  config.min_loop_hits = 1;
+  config.sampling_period_insts = 1999;
+  config.stride_confirmations = 8;
+  config.static_priors = priors;
+  core::CobraRuntime cobra(&machine, config);
+  cobra.AttachAll(1);
+
+  rt::Team team(&machine, 1, engine);
+  const Cycle start = machine.GlobalTime();
+  for (int rep = 0; rep < reps; ++rep) {
+    team.Run(daxpy.entry, [&](int, cpu::RegisterFile& regs) {
+      regs.WriteGr(14, x);
+      regs.WriteGr(15, y);
+      regs.WriteGr(16, static_cast<std::uint64_t>(kN));
+      regs.WriteFr(6, 0.5);
+    });
+  }
+  PriorsRun run;
+  run.cycles = machine.GlobalTime() - start;
+  run.stats = cobra.stats();
+  return run;
+}
+
+Json RunStaticPriors(const SuiteOptions& options) {
+  Json e = BeginExperiment(
+      "static_priors", "extension",
+      "scalar-evolution static priors: cycles until the first trace goes "
+      "live on a noprefetch DAXPY — dynamic-only stride profiling vs "
+      "profile-confirmed static chrecs",
+      "smp1", 1);
+  const int reps = options.quick ? 8 : 12;
+  Json rows = Json::Array();
+  std::uint64_t first_deploy[2] = {};
+  std::uint64_t prior_hits_on = 0;
+  for (const bool priors : {false, true}) {
+    if (options.echo) {
+      std::fprintf(stderr, "[cobra_bench]   static_priors %s\n",
+                   priors ? "on" : "off");
+    }
+    const PriorsRun r = RunStaticPriorsOnce(priors, reps, options.engine);
+    first_deploy[priors ? 1 : 0] = r.stats.first_deploy_cycles;
+    if (priors) prior_hits_on = r.stats.prior_hits;
+    Json row = Json::Object();
+    row.Set("configuration",
+            priors ? "static_priors.on" : "static_priors.off");
+    row.Set("cycles", static_cast<std::uint64_t>(r.cycles));
+    row.Set("first_deploy_cycles", r.stats.first_deploy_cycles);
+    row.Set("deployments", r.stats.deployments);
+    row.Set("prefetches_inserted", r.stats.prefetches_inserted);
+    row.Set("scev_loops_analyzed", r.stats.scev_loops_analyzed);
+    row.Set("scev_loops_solved", r.stats.scev_loops_solved);
+    row.Set("prior_hits", r.stats.prior_hits);
+    row.Set("prior_mismatches", r.stats.prior_mismatches);
+    row.Set("invariant_suppressed", r.stats.invariant_suppressed);
+    rows.Append(std::move(row));
+  }
+  e.Set("rows", std::move(rows));
+  Json derived = Json::Object();
+  derived.Set("first_deploy_off", first_deploy[0]);
+  derived.Set("first_deploy_on", first_deploy[1]);
+  derived.Set("first_deploy_on_over_off",
+              Ratio(first_deploy[1], first_deploy[0]));
+  derived.Set("prior_hits", prior_hits_on);
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
 // --- Micro suite: execution-engine behaviour -------------------------------
 
 DaxpyParams MicroDaxpyParams(const SuiteOptions& options) {
@@ -747,6 +848,7 @@ constexpr ExperimentDef kPaperExperiments[] = {
     {"fig3_daxpy", RunFig3},            {"npb_smp", RunNpbSmp},
     {"npb_numa", RunNpbNuma},           {"protocol_matrix", RunProtocolMatrix},
     {"ablations", RunAblations},        {"adore_insertion", RunInsertion},
+    {"static_priors", RunStaticPriors},
 };
 
 constexpr ExperimentDef kMicroExperiments[] = {

@@ -4,6 +4,8 @@
 
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
+#include "analysis/memdep.h"
+#include "analysis/scev.h"
 #include "isa/encoding.h"
 #include "isa/instruction.h"
 
@@ -69,6 +71,24 @@ std::string LintReport::ToString() const {
     os << "\n  [" << f.invariant << "] at " << Hex(f.pc) << ": " << f.detail;
   }
   return os.str();
+}
+
+support::Json ReportJson(const LintReport& report, std::string_view label) {
+  support::Json doc = support::Json::Object();
+  doc.Set("image", std::string(label));
+  doc.Set("clean", report.clean);
+  doc.Set("slots_checked", report.slots_checked);
+  doc.Set("kernels_checked", report.kernels_checked);
+  support::Json findings = support::Json::Array();
+  for (const LintFinding& f : report.findings) {
+    support::Json entry = support::Json::Object();
+    entry.Set("invariant", f.invariant);
+    entry.Set("pc", Hex(f.pc));
+    entry.Set("detail", f.detail);
+    findings.Append(std::move(entry));
+  }
+  doc.Set("findings", std::move(findings));
+  return doc;
 }
 
 LintReport LintImage(
@@ -213,6 +233,40 @@ LintReport LintImage(
                   "kernel '" + name + "': post-increment lfetch mutates r" +
                       std::to_string(inst.r2) +
                       ", which carries a live program value");
+        }
+      }
+    }
+
+    // Per-loop scalar evolution: provable stride / alias facts only.
+    for (const NaturalLoop& loop : cfg.loops()) {
+      const LoopScev scev = AnalyzeLoop(cfg, loop);
+      if (!scev.solved) continue;
+      for (const MemAccess& access : scev.accesses) {
+        if (access.post_inc && access.cls != AddrClass::kUnknown &&
+            access.stride != access.post_inc_imm) {
+          finding(lint_invariant::kStrideMismatch, access.pc,
+                  "kernel '" + name + "': access post-increments by " +
+                      std::to_string(access.post_inc_imm) +
+                      " but its address chain advances by " +
+                      std::to_string(access.stride) + " per iteration");
+        }
+        if (!access.is_lfetch) continue;
+        if (access.cls == AddrClass::kInvariant) {
+          finding(lint_invariant::kRedundantPrefetch, access.pc,
+                  "kernel '" + name +
+                      "': lfetch address is loop-invariant — every "
+                      "iteration re-requests the same line");
+        }
+        if (!access.excl) {
+          for (const MemAccess* store :
+               ProvableStoreCollisions(scev, access, 0)) {
+            finding(lint_invariant::kPrefetchAliasesStore, access.pc,
+                    "kernel '" + name +
+                        "': plain lfetch provably prefetches a line the "
+                        "store at " +
+                        Hex(store->pc) +
+                        " writes — use .excl or drop the prefetch");
+          }
         }
       }
     }

@@ -17,6 +17,18 @@
 //       mov-to-AR
 //     - no post-increment lfetch mutating a static base register that
 //       still carries a live program value (non-prefetch liveness)
+//
+//   Per-loop scalar evolution (scev.h over each kernel's natural loops;
+//   only provable claims fire, so unsolved loops and unknown chains are
+//   silent):
+//     - a post-increment access whose solved address chain advances by a
+//       different per-iteration step than its own increment immediate
+//       (some other instruction also moves the base)
+//     - a plain (non-.excl) lfetch whose address lattice provably collides
+//       with a store stream of the same loop — the line arrives Shared and
+//       the store pays the upgrade anyway
+//     - an lfetch with a loop-invariant address: every iteration re-requests
+//       the same line
 #pragma once
 
 #include <string>
@@ -25,6 +37,7 @@
 
 #include "isa/image.h"
 #include "isa/types.h"
+#include "support/json.h"
 
 namespace cobra::analysis {
 
@@ -52,6 +65,9 @@ inline constexpr const char* kBranchTarget = "branch-target";
 inline constexpr const char* kUndefinedRead = "undefined-read";
 inline constexpr const char* kLcEcMisuse = "lcec-misuse";
 inline constexpr const char* kLfetchLiveTarget = "lfetch-live-target";
+inline constexpr const char* kStrideMismatch = "stride-mismatch";
+inline constexpr const char* kPrefetchAliasesStore = "prefetch-aliases-store";
+inline constexpr const char* kRedundantPrefetch = "redundant-prefetch";
 }  // namespace lint_invariant
 
 // Runs every check against `image`. `kernels` are (name, entry-pc) pairs;
@@ -61,5 +77,12 @@ inline constexpr const char* kLfetchLiveTarget = "lfetch-live-target";
 LintReport LintImage(
     const isa::BinaryImage& image,
     const std::vector<std::pair<std::string, isa::Addr>>& kernels);
+
+// Machine-readable form of one image's report (cobra_lint --json):
+//   { "image": label, "clean": bool, "slots_checked": n,
+//     "kernels_checked": n,
+//     "findings": [{"invariant": name, "pc": "0x...", "detail": text}] }
+// Key names and pc formatting are stable — CI tooling parses this.
+support::Json ReportJson(const LintReport& report, std::string_view label);
 
 }  // namespace cobra::analysis

@@ -1,0 +1,81 @@
+#include "analysis/memdep.h"
+
+#include <cstdlib>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace cobra::analysis {
+
+namespace {
+
+std::int64_t Mod(std::int64_t v, std::int64_t m) {
+  return ((v % m) + m) % m;
+}
+
+}  // namespace
+
+const char* AliasVerdictName(AliasVerdict verdict) {
+  switch (verdict) {
+    case AliasVerdict::kNoAlias:
+      return "no-alias";
+    case AliasVerdict::kMayAlias:
+      return "may-alias";
+    case AliasVerdict::kMustOverlap:
+      return "must-overlap";
+  }
+  COBRA_UNREACHABLE("invalid AliasVerdict");
+}
+
+AliasVerdict ClassifyAlias(const MemAccess& a, std::int64_t extra_disp_a,
+                           const MemAccess& b) {
+  if (a.cls == AddrClass::kUnknown || b.cls == AddrClass::kUnknown) {
+    return AliasVerdict::kMayAlias;
+  }
+  // Comparable only against the same entry symbol (both -1 means both
+  // chains resolved to absolute constants).
+  if (a.base_entry_gr != b.base_entry_gr) return AliasVerdict::kMayAlias;
+
+  const std::int64_t d = a.base_offset + extra_disp_a - b.base_offset;
+  const std::int64_t size_a = a.size;
+  const std::int64_t size_b = b.size;
+
+  if (a.stride == b.stride) {
+    if (a.stride == 0) {
+      // Two fixed footprints: plain interval intersection.
+      return (d < size_b && -d < size_a) ? AliasVerdict::kMustOverlap
+                                         : AliasVerdict::kNoAlias;
+    }
+    // Equal nonzero strides: every difference A_k - B_j lies on the
+    // lattice d + stride*Z, and every lattice point is realized by some
+    // iteration pair — the residue decides both directions.
+    const std::int64_t s = std::llabs(a.stride);
+    const std::int64_t r = Mod(d, s);
+    return (r < size_b || s - r < size_a) ? AliasVerdict::kMustOverlap
+                                          : AliasVerdict::kNoAlias;
+  }
+
+  // Differing strides: the reachable differences are contained in the
+  // gcd lattice, so only the no-alias direction is provable (whether a
+  // specific lattice point is realized depends on iteration counts).
+  const std::int64_t g =
+      std::gcd(std::llabs(a.stride), std::llabs(b.stride));
+  const std::int64_t r = Mod(d, g);
+  return (r < size_b || g - r < size_a) ? AliasVerdict::kMayAlias
+                                        : AliasVerdict::kNoAlias;
+}
+
+std::vector<const MemAccess*> ProvableStoreCollisions(const LoopScev& loop,
+                                                      const MemAccess& access,
+                                                      std::int64_t disp) {
+  std::vector<const MemAccess*> hits;
+  for (const MemAccess& store : loop.accesses) {
+    if (!store.is_store || store.pc == access.pc) continue;
+    if (ClassifyAlias(access, disp, store) == AliasVerdict::kMustOverlap) {
+      hits.push_back(&store);
+    }
+  }
+  return hits;
+}
+
+}  // namespace cobra::analysis

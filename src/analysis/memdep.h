@@ -1,0 +1,43 @@
+// Conservative pairwise memory dependence over scalar-evolution facts.
+//
+// Two accesses of the same loop whose address chains the scev pass solved
+// against the SAME entry register form comparable lattices
+//   A_k = entry + ca + k*s_a      B_k = entry + cb + k*s_b
+// and their collision question becomes pure modular arithmetic. Anything
+// less — different entry symbols, an unknown classification, different
+// strides — is unprovable with loop-local facts and reports kMayAlias.
+//
+// Verdicts are directional by design:
+//   kNoAlias      proven: no executed instance of `a` ever overlaps any
+//                 executed instance of `b` (given the scev claims, which
+//                 the fuzz differential harness validates);
+//   kMustOverlap  proven: the two address lattices intersect — some
+//                 iteration pair collides if the loop runs far enough
+//                 (this is what the prefetch-aliases-store lint fires on);
+//   kMayAlias     no proof either way (always safe to assume).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/scev.h"
+
+namespace cobra::analysis {
+
+enum class AliasVerdict : std::uint8_t { kNoAlias, kMayAlias, kMustOverlap };
+const char* AliasVerdictName(AliasVerdict verdict);
+
+// Verdict between `a`'s footprint displaced by `extra_disp_a` bytes (the
+// planted-prefetch lookahead; 0 compares the raw streams) and `b`'s
+// footprint, across all iteration pairs of the same loop.
+AliasVerdict ClassifyAlias(const MemAccess& a, std::int64_t extra_disp_a,
+                           const MemAccess& b);
+
+// The loop's stores whose streams provably collide with a prefetch planted
+// `disp` bytes ahead of `access`'s address chain. Pointers into
+// `loop.accesses`; empty when nothing is provable (NOT a no-alias proof).
+std::vector<const MemAccess*> ProvableStoreCollisions(const LoopScev& loop,
+                                                      const MemAccess& access,
+                                                      std::int64_t disp);
+
+}  // namespace cobra::analysis

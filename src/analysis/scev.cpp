@@ -1,0 +1,362 @@
+#include "analysis/scev.h"
+
+#include <algorithm>
+#include <array>
+
+#include "analysis/dataflow.h"
+#include "support/check.h"
+
+namespace cobra::analysis {
+
+namespace {
+
+using isa::Opcode;
+
+// Predicate-taint lattice element: 0 = unconditional, a pr name when every
+// contributing may-def shares that one predicate, kQpConflict when two
+// different predicates (or an untrackable one) mixed.
+constexpr int kQpConflict = -1;
+
+int MergeQp(int a, int b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return a == b ? a : kQpConflict;
+}
+
+// Symbolic register value: bottom, a compile-time constant, or the
+// loop-header entry value of register name `reg` plus a byte offset.
+struct SymVal {
+  enum class Kind : std::uint8_t { kBottom, kConst, kEntry };
+  Kind kind = Kind::kBottom;
+  int reg = -1;
+  std::int64_t off = 0;  // constant value (kConst) / byte offset (kEntry)
+  int qp = 0;            // taint, see MergeQp
+
+  static SymVal Bottom() { return {}; }
+  static SymVal Const(std::int64_t v) {
+    SymVal s;
+    s.kind = Kind::kConst;
+    s.off = v;
+    return s;
+  }
+  static SymVal Entry(int reg) {
+    SymVal s;
+    s.kind = Kind::kEntry;
+    s.reg = reg;
+    return s;
+  }
+
+  // Value equality ignoring the predicate taint.
+  bool SameValue(const SymVal& o) const {
+    if (kind != o.kind) return false;
+    if (kind == Kind::kBottom) return true;
+    if (kind == Kind::kEntry && reg != o.reg) return false;
+    return off == o.off;
+  }
+};
+
+SymVal PlusConst(SymVal v, std::int64_t c) {
+  if (v.kind == SymVal::Kind::kBottom) return SymVal::Bottom();
+  v.off += c;
+  return v;
+}
+
+// Symbolic GR state plus the predicate-writer facts QpStable needs.
+struct SymState {
+  std::array<SymVal, isa::kNumGr> gr;
+  std::uint64_t static_pr_writers = 0;  // non-branch defs of p1..p15
+  bool rotating_pr_writer = false;      // non-branch def of any p16+
+
+  SymState() {
+    gr[0] = SymVal::Const(0);  // r0 hardwired
+    for (int r = 1; r < isa::kNumGr; ++r) gr[r] = SymVal::Entry(r);
+  }
+};
+
+// Installs a def of `dest`. A predicated def is a may-def: when the new
+// value differs from the old the register is only `v` on iterations where
+// the predicate held, so the value carries the predicate as taint; when the
+// values agree the def is a no-op and only the taints merge.
+void ApplyGrDef(SymState& st, int dest, SymVal v, int inst_qp) {
+  if (dest == 0) return;  // writes to r0 have no architectural effect
+  v.qp = MergeQp(v.qp, inst_qp);
+  if (inst_qp != 0 && st.gr[dest].SameValue(v)) {
+    v.qp = MergeQp(v.qp, st.gr[dest].qp);
+  }
+  if (v.qp == kQpConflict) v = SymVal::Bottom();
+  st.gr[dest] = v;
+}
+
+// Folds the integer ALU forms the address chains are built from; anything
+// else is bottom. Source taints merge into the result.
+SymVal EvalAlu(const isa::Instruction& inst, const SymState& st) {
+  const SymVal a = st.gr[inst.r2];
+  const SymVal b = st.gr[inst.r3];
+  const int qp2 = MergeQp(a.qp, b.qp);
+  auto tag = [](SymVal v, int qp) {
+    v.qp = MergeQp(v.qp, qp);
+    if (v.qp == kQpConflict) return SymVal::Bottom();
+    return v;
+  };
+  switch (inst.op) {
+    case Opcode::kMovImm:
+      return SymVal::Const(inst.imm);
+    case Opcode::kMovReg:
+      return a;
+    case Opcode::kAddImm:
+      return PlusConst(a, inst.imm);
+    case Opcode::kAddReg:
+      if (a.kind == SymVal::Kind::kConst) return tag(PlusConst(b, a.off), qp2);
+      if (b.kind == SymVal::Kind::kConst) return tag(PlusConst(a, b.off), qp2);
+      return SymVal::Bottom();
+    case Opcode::kSubReg:
+      if (b.kind != SymVal::Kind::kConst) return SymVal::Bottom();
+      return tag(PlusConst(a, -b.off), qp2);
+    case Opcode::kShlAdd:
+      // r1 = (r2 << imm) + r3: only a constant can pass through the shift.
+      if (a.kind != SymVal::Kind::kConst) return SymVal::Bottom();
+      return tag(PlusConst(b, a.off << inst.imm), qp2);
+    case Opcode::kShlImm:
+      if (a.kind != SymVal::Kind::kConst) return SymVal::Bottom();
+      return SymVal::Const(a.off << inst.imm);
+    default:
+      return SymVal::Bottom();
+  }
+}
+
+void NotePrDef(SymState& st, int pr) {
+  if (pr == 0) return;
+  if (pr < isa::kFirstRotPr) {
+    st.static_pr_writers |= 1ULL << pr;
+  } else {
+    st.rotating_pr_writer = true;
+  }
+}
+
+// Is predicate `q` iteration-stable enough for a stride claim? Either a
+// static predicate nothing in the loop writes (constant over the run), or
+// the first rotating stage predicate p16 when the rotating back branch is
+// the only rotating-predicate writer: br.ctop feeds p16 the monotone
+// 1...1 0...0 kernel/epilogue history and br.wtop feeds it all-0, so with
+// any preheader init bit the executed-iteration set is one contiguous
+// window and consecutive executed instances are consecutive iterations.
+bool QpStable(int q, const SymState& st, bool rotating_back_edge) {
+  if (q == 0) return true;
+  if (q == kQpConflict) return false;
+  if (q < isa::kFirstRotPr) {
+    return (st.static_pr_writers & (1ULL << q)) == 0;
+  }
+  if (st.rotating_pr_writer) return false;
+  // Rotating-range predicate with no non-branch writer: constant when the
+  // back edge does not rotate; under a rotating branch only p16 — fed the
+  // contiguous window by the branch itself — is provable.
+  return !rotating_back_edge || q == isa::kFirstRotPr;
+}
+
+// Classifies one access against the end-of-iteration state `post` (already
+// rotated across the back edge). `pre`-taint facts travel in the access's
+// recorded addr value.
+void Classify(MemAccess& access, const SymVal& addr,
+              const std::array<SymVal, isa::kNumGr>& post,
+              const SymState& st, bool rotating_back_edge) {
+  access.cls = AddrClass::kUnknown;
+  if (addr.kind == SymVal::Kind::kBottom) return;
+
+  int chain_qp = addr.qp;
+  AddrClass cls = AddrClass::kUnknown;
+  int base_reg = -1;
+  std::int64_t base_off = 0;
+  std::int64_t stride = 0;
+
+  if (addr.kind == SymVal::Kind::kConst) {
+    cls = AddrClass::kInvariant;
+    base_off = addr.off;
+  } else {
+    // addr = entry(e) + c. The claim chains across iterations only if the
+    // entry symbol recurs onto itself: post-state(e) == entry(e) + step.
+    const SymVal& next = post[addr.reg];
+    if (next.kind != SymVal::Kind::kEntry || next.reg != addr.reg) return;
+    chain_qp = MergeQp(chain_qp, next.qp);
+    if (chain_qp == kQpConflict) return;
+    base_reg = addr.reg;
+    base_off = addr.off;
+    stride = next.off;
+    cls = stride == 0 ? AddrClass::kInvariant : AddrClass::kAffine;
+  }
+
+  // Predicate arbitration. A tainted chain is only valid on iterations
+  // where the taint predicate held, so the access must be gated by that
+  // same predicate (an unconditional access would observe the stale value
+  // on squashed iterations). The surviving predicate must be stable.
+  if (chain_qp != 0 && chain_qp != access.qp) return;
+  const int effective = MergeQp(chain_qp, access.qp);
+  if (!QpStable(effective, st, rotating_back_edge)) return;
+
+  access.cls = cls;
+  access.base_entry_gr = base_reg;
+  access.base_offset = base_off;
+  access.stride = stride;
+}
+
+LoopScev Unsolved(isa::Addr head, isa::Addr back_branch_pc,
+                  std::string reason) {
+  LoopScev scev;
+  scev.head = head;
+  scev.back_branch_pc = back_branch_pc;
+  scev.solved = false;
+  scev.reason = std::move(reason);
+  return scev;
+}
+
+}  // namespace
+
+const char* AddrClassName(AddrClass cls) {
+  switch (cls) {
+    case AddrClass::kUnknown:
+      return "unknown";
+    case AddrClass::kInvariant:
+      return "invariant";
+    case AddrClass::kAffine:
+      return "affine";
+  }
+  COBRA_UNREACHABLE("invalid AddrClass");
+}
+
+std::int64_t MemAccess::PrefetchDistance(std::int64_t target_bytes) const {
+  if (cls != AddrClass::kAffine || stride == 0) return 0;
+  const std::int64_t mag = stride < 0 ? -stride : stride;
+  const std::int64_t ahead = std::max<std::int64_t>(1, target_bytes / mag);
+  return stride * ahead;
+}
+
+const MemAccess* LoopScev::AccessAt(isa::Addr pc) const {
+  for (const MemAccess& a : accesses) {
+    if (a.pc == pc) return &a;
+  }
+  return nullptr;
+}
+
+LoopScev AnalyzeLoop(const Cfg& cfg, const NaturalLoop& loop) {
+  if (loop.body.size() != 1 || loop.head_block != loop.latch_block) {
+    return Unsolved(loop.head, loop.back_branch_pc, "multi-block loop body");
+  }
+  const isa::BinaryImage& image = cfg.image();
+  const BasicBlock& body =
+      cfg.blocks()[static_cast<std::size_t>(loop.head_block)];
+
+  const isa::Instruction& back = image.Fetch(loop.back_branch_pc);
+  const bool rotating_back_edge = isa::IsRotatingBranch(back.op);
+
+  LoopScev scev;
+  scev.head = loop.head;
+  scev.back_branch_pc = loop.back_branch_pc;
+  scev.solved = true;
+
+  // One symbolic pass over the body in program order. Every access records
+  // its address value at the access point (before any post-increment).
+  SymState st;
+  std::vector<SymVal> addr_vals;
+  for (const isa::Addr pc : body.pcs) {
+    const isa::Instruction& inst = image.Fetch(pc);
+    if (isa::IsMemoryOp(inst.op)) {
+      MemAccess access;
+      access.pc = pc;
+      access.op = inst.op;
+      access.qp = inst.qp;
+      access.size = inst.size;
+      access.is_store = inst.op == Opcode::kSt || inst.op == Opcode::kStf;
+      access.is_lfetch = inst.op == Opcode::kLfetch;
+      access.excl = access.is_lfetch && inst.lf_hint.excl;
+      access.post_inc = inst.post_inc;
+      access.post_inc_imm = inst.post_inc ? inst.imm : 0;
+      scev.accesses.push_back(access);
+      addr_vals.push_back(st.gr[inst.r2]);
+
+      if (inst.post_inc) {
+        ApplyGrDef(st, inst.r2, PlusConst(st.gr[inst.r2], inst.imm), inst.qp);
+      }
+      if (inst.op == Opcode::kLd) {
+        ApplyGrDef(st, inst.r1, SymVal::Bottom(), inst.qp);
+      }
+      continue;
+    }
+    switch (inst.op) {
+      case Opcode::kMovImm:
+      case Opcode::kMovReg:
+      case Opcode::kAddImm:
+      case Opcode::kAddReg:
+      case Opcode::kSubReg:
+      case Opcode::kShlAdd:
+      case Opcode::kShlImm:
+        ApplyGrDef(st, inst.r1, EvalAlu(inst, st), inst.qp);
+        break;
+      case Opcode::kCmp:
+      case Opcode::kCmpImm:
+      case Opcode::kFcmp:
+        NotePrDef(st, inst.p1);
+        NotePrDef(st, inst.p2);
+        break;
+      case Opcode::kMovToPrRot:
+        st.rotating_pr_writer = true;
+        break;
+      default: {
+        // Anything else: bottom out whatever GRs it may define. FR / AR /
+        // branch effects cannot feed an address chain we track.
+        const SlotEffects effects = EffectsOf(inst);
+        for (int r = 1; r < isa::kNumGr; ++r) {
+          if (effects.def.HasGr(r)) {
+            ApplyGrDef(st, r, SymVal::Bottom(), inst.qp);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Cross the back edge: taking a rotating branch renames the value held
+  // under name r to name r+1 (wrapping within the rotating file), so the
+  // next iteration's entry state reads the shifted frame. Predicate taints
+  // keep their names: QpStable only admits predicates whose truth is
+  // either constant (static, unwritten) or a contiguous window (p16), and
+  // both arguments are insensitive to which iteration the taint names.
+  std::array<SymVal, isa::kNumGr> post = st.gr;
+  if (rotating_back_edge) {
+    for (int r = isa::kFirstRotGr; r < isa::kNumGr; ++r) {
+      const int from = r == isa::kFirstRotGr ? isa::kNumGr - 1 : r - 1;
+      post[r] = st.gr[from];
+    }
+  }
+
+  for (std::size_t i = 0; i < scev.accesses.size(); ++i) {
+    Classify(scev.accesses[i], addr_vals[i], post, st, rotating_back_edge);
+  }
+  return scev;
+}
+
+LoopScev AnalyzeLoop(const isa::BinaryImage& image, isa::Addr head,
+                     isa::Addr back_branch_pc) {
+  const RegionCheck region = CheckLoopRegion(image, head, back_branch_pc);
+  if (!region.ok) return Unsolved(head, back_branch_pc, region.reason);
+
+  const Cfg cfg = Cfg::Build(image, head);
+  for (const NaturalLoop& loop : cfg.loops()) {
+    if (loop.head == isa::BundleAddr(head) &&
+        loop.back_branch_pc == back_branch_pc) {
+      return AnalyzeLoop(cfg, loop);
+    }
+  }
+  return Unsolved(head, back_branch_pc, "no matching natural loop");
+}
+
+std::vector<LoopScev> AnalyzeLoops(const isa::BinaryImage& image,
+                                   const std::vector<isa::Addr>& entries) {
+  const Cfg cfg = Cfg::Build(image, entries);
+  std::vector<LoopScev> result;
+  result.reserve(cfg.loops().size());
+  for (const NaturalLoop& loop : cfg.loops()) {
+    result.push_back(AnalyzeLoop(cfg, loop));
+  }
+  return result;
+}
+
+}  // namespace cobra::analysis

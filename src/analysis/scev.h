@@ -1,0 +1,118 @@
+// Symbolic scalar evolution over single-block natural loops: the static
+// half of COBRA's stride story.
+//
+// The dynamic pipeline infers strides from sparse DEAR samples and must
+// burn confirmation rounds before trusting them. This pass derives the
+// same facts *statically*, once, from the binary: for every memory slot in
+// a qualifying loop it solves the chain of recurrences of the address
+// register — base + k*step per iteration — through post-increment memory
+// ops, add/shladd chains, rotating-register renaming across br.ctop /
+// br.wtop back edges, and SWP stage predication, and classifies the slot:
+//
+//   kAffine     consecutive *executed* instances of the slot (per CPU)
+//               touch addresses exactly `stride` bytes apart;
+//   kInvariant  every executed instance touches the same address;
+//   kUnknown    no claim (pointer chasing, data-dependent predicates,
+//               multi-rotation chains, anything unproven).
+//
+// The claims are deliberately strong — the differential harness in
+// src/verify/fuzz.h replays generated and shipped loops and asserts no
+// affine/invariant claim is ever contradicted by the simulated address
+// stream — so the solver only claims what it can prove:
+//
+//   *Qualifying loops* are single-basic-block natural loops (header ==
+//   latch) whose region passes CheckLoopRegion. Multi-block bodies are
+//   reported unsolved; no claims are made.
+//
+//   *Symbolic domain.* A register value is bottom, a constant, or
+//   entry(r) + offset — the loop-header entry value of register name `r`
+//   plus a known byte offset. One symbolic pass over the body, followed by
+//   the back edge's rotation renaming, yields the end-of-iteration state;
+//   a register whose post-state is entry(r) + step under its *own* entry
+//   name r is an induction variable with that step. Multi-rotation chains
+//   (a value consumed two renamings after it was produced, as in the
+//   alternating prefetch chains of the Figure 2 DAXPY) do not close under
+//   one pass and correctly fall to kUnknown.
+//
+//   *Predication.* A may-def under qp != p0 taints the value with that
+//   predicate. A claim survives only if every contributing may-def and the
+//   access itself share one qp, and that qp is *stable*: either a static
+//   predicate no loop instruction writes (constant over the loop, so the
+//   access executes on all iterations or none), or the first rotating
+//   stage predicate (p16) when the SWP back branch is the loop's only
+//   rotating-predicate writer — its per-iteration pattern is one
+//   contiguous window (init bit, then the monotone LC/EC stage history),
+//   so executed instances are consecutive iterations and their deltas
+//   equal the step. Later stage predicates depend on preheader rotating-
+//   predicate bits this loop-local analysis cannot see; they fall to
+//   kUnknown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "isa/image.h"
+#include "isa/instruction.h"
+#include "isa/types.h"
+
+namespace cobra::analysis {
+
+enum class AddrClass : std::uint8_t { kUnknown, kInvariant, kAffine };
+const char* AddrClassName(AddrClass cls);
+
+// One memory slot of a solved loop body and its address classification.
+struct MemAccess {
+  isa::Addr pc = 0;
+  isa::Opcode op = isa::Opcode::kNop;
+  std::uint8_t qp = 0;
+  int size = 0;            // access footprint in bytes
+  bool is_store = false;
+  bool is_lfetch = false;
+  bool excl = false;       // lfetch.excl (prefetch-for-write)
+  bool post_inc = false;
+  std::int64_t post_inc_imm = 0;
+
+  AddrClass cls = AddrClass::kUnknown;
+  // For kAffine / kInvariant: address = entry(base_entry_gr) + base_offset
+  // (+ k*stride). base_entry_gr == -1 encodes a constant address, with
+  // base_offset holding the absolute value.
+  int base_entry_gr = -1;
+  std::int64_t base_offset = 0;
+  std::int64_t stride = 0;  // bytes per iteration; 0 for kInvariant
+
+  // Static prefetch-distance estimate: the planted-add displacement the
+  // insertion pass would choose for this stream — `target_bytes` rounded
+  // to a multiple of the stride, at least one stride (mirrors
+  // core::InsertPrefetches). 0 for non-affine accesses.
+  std::int64_t PrefetchDistance(std::int64_t target_bytes = 1024) const;
+};
+
+// Scalar-evolution result for one natural loop.
+struct LoopScev {
+  isa::Addr head = 0;            // bundle address of the loop header
+  isa::Addr back_branch_pc = 0;  // slot pc of the loop-closing branch
+  bool solved = false;           // symbolic pass ran over a qualifying body
+  std::string reason;            // why not solved (empty when solved)
+  std::vector<MemAccess> accesses;  // program order; empty when unsolved
+
+  const MemAccess* AccessAt(isa::Addr pc) const;
+};
+
+// Solves the loop closed by (head, back_branch_pc) — the same pair the
+// BTB hands the controller. Returns an unsolved LoopScev (with a reason)
+// when the pair does not close a qualifying region.
+LoopScev AnalyzeLoop(const isa::BinaryImage& image, isa::Addr head,
+                     isa::Addr back_branch_pc);
+
+// Same solve over a loop already recovered in a Cfg (saves the rebuild
+// when the caller is iterating a kernel's loops).
+LoopScev AnalyzeLoop(const Cfg& cfg, const NaturalLoop& loop);
+
+// Analyzes every natural loop reachable from `entries`, in discovery
+// order (the convenience entry point for lint and the fuzz harness).
+std::vector<LoopScev> AnalyzeLoops(const isa::BinaryImage& image,
+                                   const std::vector<isa::Addr>& entries);
+
+}  // namespace cobra::analysis

@@ -5,6 +5,7 @@
 
 #include "analysis/cfg.h"
 #include "analysis/dataflow.h"
+#include "analysis/scev.h"
 #include "support/check.h"
 
 namespace cobra::analysis {
@@ -22,6 +23,7 @@ struct PlantedAdd {
   int dest = 0;
   int base = 0;
   std::uint8_t qp = 0;
+  std::int64_t disp = 0;  // planted prefetch displacement in bytes
   bool paired = false;
 };
 
@@ -187,7 +189,7 @@ PatchReport VerifyTracePatch(
       // Whitelist 4 candidates: former nop slots gaining the insertion pair.
       if (IsNop(orig_inst) && trace_inst.op == isa::Opcode::kAddImm) {
         adds.push_back(PlantedAdd{trace_pc, trace_inst.r1, trace_inst.r2,
-                                  trace_inst.qp, false});
+                                  trace_inst.qp, trace_inst.imm, false});
         continue;
       }
       if (IsNop(orig_inst) && trace_inst.op == isa::Opcode::kLfetch &&
@@ -213,8 +215,13 @@ PatchReport VerifyTracePatch(
 
   // --- Whitelist 4: validate the planted pairs -------------------------------
   if (!adds.empty() || !lfetches.empty()) {
-    // The predicates and bases of real loads in the trace region.
-    std::vector<std::pair<int, std::uint8_t>> load_shapes;  // (base, qp)
+    // The predicates, bases, and pcs of real loads in the trace region.
+    struct LoadShape {
+      isa::Addr pc = 0;
+      int base = 0;
+      std::uint8_t qp = 0;
+    };
+    std::vector<LoadShape> load_shapes;
     for (std::int64_t i = 0; i < num_bundles; ++i) {
       for (unsigned slot = 0; slot < 3; ++slot) {
         const isa::Addr pc = isa::MakePc(
@@ -222,7 +229,7 @@ PatchReport VerifyTracePatch(
         isa::Instruction inst;
         if (!isa::TryDecode(image.Raw(pc), &inst, nullptr)) continue;
         if (inst.op == isa::Opcode::kLd || inst.op == isa::Opcode::kLdf) {
-          load_shapes.emplace_back(inst.r2, inst.qp);
+          load_shapes.push_back(LoadShape{pc, inst.r2, inst.qp});
         }
       }
     }
@@ -241,6 +248,19 @@ PatchReport VerifyTracePatch(
       }
       producer->paired = true;
     }
+
+    // Scalar evolution over the patched trace loop (the relocated back
+    // branch targets bundle 0, so the loop head is the trace head). An
+    // unsolved loop simply yields no chrec facts to check against.
+    const Cfg cfg = Cfg::Build(image, trace_head);
+    LoopScev trace_scev;
+    for (const NaturalLoop& loop : cfg.loops()) {
+      if (loop.head == trace_head) {
+        trace_scev = AnalyzeLoop(cfg, loop);
+        break;
+      }
+    }
+
     for (const PlantedAdd& add : adds) {
       if (!add.paired) {
         violate(invariant::kPlantedUnpaired, add.pc,
@@ -252,21 +272,50 @@ PatchReport VerifyTracePatch(
         violate(invariant::kPlantedScratchRange, add.pc,
                 "planted scratch register outside r8..r31");
       }
-      const bool base_matches_load = [&] {
-        for (const auto& [base, qp] : load_shapes) {
-          if (base == add.base && qp == add.qp) return true;
+      std::vector<isa::Addr> matching_loads;
+      for (const LoadShape& shape : load_shapes) {
+        if (shape.base == add.base && shape.qp == add.qp) {
+          matching_loads.push_back(shape.pc);
         }
-        return false;
-      }();
-      if (!base_matches_load) {
+      }
+      if (matching_loads.empty()) {
         violate(invariant::kPlantedBaseMismatch, add.pc,
                 "planted add does not track a region load's base/predicate");
+        continue;
+      }
+
+      // Chrec consistency: when the tracked load's address chain is
+      // statically solved, the planted displacement must stay on its
+      // lattice — a nonzero stride multiple with matching sign (or a zero
+      // displacement for a proven-invariant address). Unknown chains and
+      // unsolved loops assert nothing.
+      bool consistent = !trace_scev.solved;
+      std::int64_t solved_stride = 0;
+      for (const isa::Addr load_pc : matching_loads) {
+        if (consistent) break;
+        const MemAccess* access = trace_scev.AccessAt(load_pc);
+        if (access == nullptr || access->cls == AddrClass::kUnknown) {
+          consistent = true;
+          break;
+        }
+        if (access->cls == AddrClass::kAffine) {
+          solved_stride = access->stride;
+          consistent = add.disp != 0 && add.disp % access->stride == 0 &&
+                       (add.disp > 0) == (access->stride > 0);
+        } else {  // kInvariant
+          consistent = add.disp == 0;
+        }
+      }
+      if (!consistent) {
+        violate(invariant::kPlantedChrecMismatch, add.pc,
+                "planted displacement " + std::to_string(add.disp) +
+                    " leaves the load's static chrec lattice (stride " +
+                    std::to_string(solved_stride) + ")");
       }
     }
 
     // Scratch deadness: non-prefetch liveness over the patched trace.
     if (!adds.empty()) {
-      const Cfg cfg = Cfg::Build(image, trace_head);
       LivenessOptions opts;
       opts.exclude_lfetch_base_uses = true;
       const Liveness live = Liveness::Compute(cfg, opts);

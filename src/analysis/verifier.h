@@ -15,6 +15,17 @@
 //                                   rB, and rS must be a provably dead
 //                                   static scratch register (non-prefetch
 //                                   liveness over the patched trace).
+//                                   When scalar evolution solves the
+//                                   relocated loop and classifies that
+//                                   load's address chain, the displacement
+//                                   d must also stay on the load's chrec
+//                                   lattice: a nonzero multiple of the
+//                                   static stride with matching sign
+//                                   (equivalently, d iterations/stride
+//                                   ahead on the same stream). A prefetch
+//                                   whose displacement leaves the lattice
+//                                   was planted from a bogus dynamic
+//                                   stride.
 //   5. the head-bundle redirect {nop.m, nop.i, brl trace} while deployed,
 //      or the bit-exact saved head bundle after a rollback.
 //   6. the appended exit stub {nop.m, nop.i, brl orig_end+16}.
@@ -69,6 +80,7 @@ inline constexpr const char* kPlantedLiveScratch = "planted-live-scratch";
 inline constexpr const char* kPlantedScratchRange = "planted-scratch-range";
 inline constexpr const char* kPlantedUnpaired = "planted-unpaired";
 inline constexpr const char* kPlantedBaseMismatch = "planted-base-mismatch";
+inline constexpr const char* kPlantedChrecMismatch = "planted-chrec-mismatch";
 }  // namespace invariant
 
 // Diffs the trace at `trace_head` against the original region

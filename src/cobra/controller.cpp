@@ -50,6 +50,18 @@ CobraRuntime::CobraRuntime(machine::Machine* machine, CobraConfig config)
                [this] { return trace_cache_.traces_built(); });
   metrics_.Add("cobra.redirects_active",
                [this] { return trace_cache_.redirects_active(); });
+  metrics_.Add("cobra.first_deploy_cycles",
+               [this] { return stats_.first_deploy_cycles; });
+  metrics_.Add("analysis.scev.loops_analyzed",
+               [this] { return stats_.scev_loops_analyzed; });
+  metrics_.Add("analysis.scev.loops_solved",
+               [this] { return stats_.scev_loops_solved; });
+  metrics_.Add("analysis.scev.prior_hits",
+               [this] { return stats_.prior_hits; });
+  metrics_.Add("analysis.scev.prior_mismatches",
+               [this] { return stats_.prior_mismatches; });
+  metrics_.Add("analysis.scev.invariant_suppressed",
+               [this] { return stats_.invariant_suppressed; });
 }
 
 void CobraRuntime::TraceInstant(std::string name) {
@@ -159,9 +171,23 @@ bool CobraRuntime::LoopQualifies(const SystemProfile& profile,
   return true;
 }
 
+const analysis::LoopScev& CobraRuntime::ScevFor(const LoopCandidate& loop) {
+  const isa::Addr head = isa::BundleAddr(loop.head);
+  auto it = scev_cache_.find(head);
+  if (it == scev_cache_.end() ||
+      it->second.back_branch_pc != loop.back_branch_pc) {
+    ++stats_.scev_loops_analyzed;
+    analysis::LoopScev scev = analysis::AnalyzeLoop(
+        machine_->image(), loop.head, loop.back_branch_pc);
+    if (scev.solved) ++stats_.scev_loops_solved;
+    it = scev_cache_.insert_or_assign(head, std::move(scev)).first;
+  }
+  return it->second;
+}
+
 bool CobraRuntime::LoopQualifiesForInsertion(
     const SystemProfile& profile, const LoopCandidate& loop,
-    std::vector<InsertionCandidate>* out) const {
+    std::vector<InsertionCandidate>* out) {
   const isa::Addr head = isa::BundleAddr(loop.head);
   const isa::Addr back = isa::BundleAddr(loop.back_branch_pc);
   const isa::BinaryImage& image = machine_->image();
@@ -173,6 +199,9 @@ bool CobraRuntime::LoopQualifiesForInsertion(
   // Only loops the compiler left unprefetched.
   if (!FindLfetches(image, head, back).empty()) return false;
 
+  const analysis::LoopScev* scev =
+      config_.static_priors ? &ScevFor(loop) : nullptr;
+
   out->clear();
   for (const DelinquentLoad& load : profile.delinquent_loads) {
     if (load.pc < head || load.pc > isa::MakePc(back, 2)) continue;
@@ -180,8 +209,37 @@ bool CobraRuntime::LoopQualifiesForInsertion(
     // Coherent-dominated loads are the *other* optimizations' business;
     // prefetching them would manufacture the Figure 3 pathology.
     if (load.coherent_samples * 2 > load.samples) continue;
-    if (load.stride == 0 || load.stride_confirmations < 3) continue;
+    if (load.stride == 0) continue;
     if (std::llabs(load.stride) > 4096) continue;  // not a steady stream
+
+    auto needed = static_cast<std::uint32_t>(config_.stride_confirmations);
+    if (scev != nullptr && scev->solved) {
+      if (const analysis::MemAccess* access = scev->AccessAt(load.pc)) {
+        if (access->cls == analysis::AddrClass::kInvariant) {
+          // The address provably never moves: whatever DEAR sampled is
+          // re-reference noise, and a prefetch would be pure overhead.
+          ++stats_.invariant_suppressed;
+          continue;
+        }
+        if (access->cls == analysis::AddrClass::kAffine) {
+          // DEAR deltas are sampled, so the dynamic stride is some whole
+          // number of iterations ahead on the stream: accept any nonzero
+          // same-sign multiple of the static stride (the verifier enforces
+          // the same lattice on the planted pair).
+          const bool on_lattice =
+              load.stride % access->stride == 0 &&
+              (load.stride > 0) == (access->stride > 0);
+          if (on_lattice) {
+            needed = 1;  // static agreement: no need to wait for N repeats
+            ++stats_.prior_hits;
+          } else {
+            ++stats_.prior_mismatches;
+            continue;  // contradicted: hold back until the profile agrees
+          }
+        }
+      }
+    }
+    if (load.stride_confirmations < needed) continue;
     out->push_back(InsertionCandidate{load.pc, load.stride});
   }
   return !out->empty();
@@ -292,6 +350,10 @@ int CobraRuntime::DeployQualifying(const SystemProfile& profile) {
     }
 
     ++stats_.deployments;
+    if (stats_.first_deploy_cycles == 0) {
+      stats_.first_deploy_cycles =
+          static_cast<std::uint64_t>(machine_->GlobalTime());
+    }
     TraceInstant(std::string("deploy.") + OptKindName(kind));
     ++active;
     ++deployed;

@@ -22,10 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "analysis/scev.h"
 #include "cobra/insertion.h"
 #include "cobra/monitor.h"
 #include "cobra/optimizer.h"
@@ -73,6 +75,16 @@ struct CobraConfig {
   // the other optimization; plus phase-change re-adaptation.
   bool adaptive = false;
   double phase_change_threshold = 0.60;     // relative L3-per-inst shift
+
+  // Static-analysis priors for the insertion strategy. When on, each
+  // DEAR-inferred stride is cross-checked against the loop's scalar-
+  // evolution solution (analysis::AnalyzeLoop, cached per head): a dynamic
+  // stride on the static chrec lattice deploys after a single confirmation
+  // instead of `stride_confirmations`; a contradicted stride is held back
+  // until the profile agrees; a statically loop-invariant load is never
+  // selected (its DEAR deltas are re-reference noise, not a stream).
+  bool static_priors = false;
+  int stride_confirmations = 3;  // confirmations required without a prior
 };
 
 class CobraRuntime {
@@ -102,6 +114,15 @@ class CobraRuntime {
     std::uint64_t prefetches_inserted = 0;
     std::uint64_t patch_verifications = 0;  // passes of the safety verifier
     double last_coherent_ratio = 0.0;
+    // Static-prior arbitration (static_priors on; all zero otherwise).
+    std::uint64_t scev_loops_analyzed = 0;
+    std::uint64_t scev_loops_solved = 0;
+    std::uint64_t prior_hits = 0;           // dynamic stride on the lattice
+    std::uint64_t prior_mismatches = 0;     // contradicted stride held back
+    std::uint64_t invariant_suppressed = 0; // invariant loads never selected
+    // Global time when the first trace went live (0 = none yet): the
+    // latency-to-benefit figure the static_priors ablation compares.
+    std::uint64_t first_deploy_cycles = 0;
   };
 
   const Stats& stats() const { return stats_; }
@@ -142,7 +163,10 @@ class CobraRuntime {
   // with a confidently inferred stride.
   bool LoopQualifiesForInsertion(const SystemProfile& profile,
                                  const LoopCandidate& loop,
-                                 std::vector<InsertionCandidate>* out) const;
+                                 std::vector<InsertionCandidate>* out);
+  // Scalar-evolution facts for a profiled loop, solved once per head and
+  // cached (re-solved only if the sampled back edge moves).
+  const analysis::LoopScev& ScevFor(const LoopCandidate& loop);
 
   machine::Machine* machine_;
   CobraConfig config_;
@@ -168,6 +192,7 @@ class CobraRuntime {
     bool blacklisted = false;
   };
   std::map<isa::Addr, LoopHistory> history_;
+  std::map<isa::Addr, analysis::LoopScev> scev_cache_;  // by head bundle
   CounterTotals window_start_{};
   std::optional<double> reference_l3_per_inst_;
   bool phase_shift_pending_ = false;  // hysteresis for phase detection

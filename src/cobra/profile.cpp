@@ -48,11 +48,16 @@ void ThreadProfile::AddSample(const perfmon::Sample& sample) {
       const std::int64_t delta =
           static_cast<std::int64_t>(sample.dear.data_addr) -
           static_cast<std::int64_t>(load.last_data_addr);
+      // Direction-independent confirmation: the delta must run the same
+      // way as the candidate stride and its *magnitude* must sit within
+      // max(|stride|/8, 64) of the stride's — descending streams get the
+      // exact mirror image of the ascending window.
       const std::int64_t tolerance =
-          std::max<std::int64_t>(std::abs(load.stride) / 8, 64);
+          std::max<std::int64_t>(std::llabs(load.stride) / 8, 64);
+      const std::int64_t magnitude_gap =
+          std::llabs(std::llabs(delta) - std::llabs(load.stride));
       if (delta != 0 && load.stride != 0 &&
-          (delta > 0) == (load.stride > 0) &&
-          std::abs(delta - load.stride) <= tolerance) {
+          (delta > 0) == (load.stride > 0) && magnitude_gap <= tolerance) {
         ++load.stride_confirmations;
       } else if (delta != 0) {
         load.stride = delta;

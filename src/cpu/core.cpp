@@ -457,9 +457,9 @@ void Core::RunSegmentTjit(Cycle q_end) {
       const ExecPlan& plan = image_->PlanAt(pc_);
       if ((plan.cls & isa::kPlanMem) && regs_.ReadPr(plan.qp)) {
         const Addr addr = regs_.ReadGr(plan.r2);
-        if (checker_ != nullptr) {
-          // The checker interposes on every access in a fixed order; keep
-          // the reference probe-then-access path for it.
+        if (checker_ != nullptr || mem_observer_) {
+          // The checker and the memory observer interpose on every access
+          // in a fixed order; keep the reference probe-then-access path.
           if (PlanMemNeedsFabric(plan, addr)) return;
           ChargeIssue();
           DoMemoryOpPlan(plan, addr);
@@ -595,7 +595,7 @@ bool Core::ExecSuperblockLoop(tjit::Superblock* sb, std::uint32_t idx,
           RetireTail();
         } else {
           const Addr addr = regs_.ReadGr(s.plan.r2);
-          if (checker_ != nullptr) {
+          if (checker_ != nullptr || mem_observer_) {
             if (PlanMemNeedsFabric(s.plan, addr)) {
               if (s.next_idx != tjit::kNoStep) {
                 // The engine commits this step via Step(); resume after it.
@@ -737,6 +737,11 @@ void Core::TakeBranch(Addr target, bool loop_branch) {
 }
 
 void Core::DoMemoryOpPlan(const ExecPlan& plan, Addr addr) {
+  // Every architectural data access funnels through here when an observer
+  // is attached (the fused fast path is disabled above): exactly one
+  // callback per performed op.
+  if (mem_observer_) mem_observer_(pc_, addr);
+
   // Software pipelining / compiler scheduling hides a window of load
   // latency; only the remainder stalls the core. DEAR observes the full
   // latency (the hardware captures it at the memory system, not the

@@ -56,6 +56,17 @@ class Core final : public HpmSource {
     checker_ = checker;
   }
 
+  // Observes every architecturally performed data-memory access (load,
+  // store, lfetch) as (pc, address) — predicated-off slots never fire.
+  // The scalar-evolution differential harness replays these streams
+  // against the static stride claims. Setting an observer forces the
+  // reference probe-then-access path: the fused fast path commits
+  // accesses without any per-op interposition point.
+  using MemObserver = std::function<void(isa::Addr pc, isa::Addr addr)>;
+  void SetMemObserver(MemObserver observer) {
+    mem_observer_ = std::move(observer);
+  }
+
   // --- Control --------------------------------------------------------------
   // Unhalts the core and begins execution at `entry` (bundle-aligned).
   void Start(isa::Addr entry);
@@ -189,6 +200,7 @@ class Core final : public HpmSource {
   mem::CacheStack* stack_;
   const mem::CoherenceFabric* fabric_;
   verify::CoherenceChecker* checker_ = nullptr;  // null unless verifying
+  MemObserver mem_observer_;  // empty unless a harness is watching
   // Immutable timing parameters hoisted out of MemConfig (const after
   // CacheStack construction) so the per-instruction path avoids the
   // pointer chase.

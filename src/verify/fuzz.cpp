@@ -1,10 +1,12 @@
 #include "verify/fuzz.h"
 
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "analysis/scev.h"
 #include "cobra/optimizer.h"
 #include "cobra/trace_cache.h"
 #include "isa/assembler.h"
@@ -49,6 +51,9 @@ struct GeneratedCase {
   std::vector<GrInit> grs;
   std::vector<FrInit> frs;
   std::vector<RegionFill> fills;
+  // Hand-assembled loops (head, back-branch pc) that register no kgen
+  // LoopInfo — the scev soundness harness analyzes these too.
+  std::vector<std::pair<isa::Addr, isa::Addr>> loops;
 };
 
 // --- Raw memory-op mix ------------------------------------------------------
@@ -157,12 +162,14 @@ GeneratedCase GenerateRawMix(kgen::Program& prog, support::Rng& rng,
   a.Emit(MovToAr(AppReg::kLC, 30));
   a.FlushBundle();
   a.Bind(loop);
+  const isa::Addr head = prog.image().code_end();
   for (const auto& group : groups) {
     for (const Instruction& inst : group) a.Emit(inst);
   }
-  a.EmitBranch(BrCloop(0), loop);
+  const isa::Addr back = a.EmitBranch(BrCloop(0), loop);
   a.Emit(Break());
   g.entry = a.Finish();
+  g.loops.push_back({head, back});
   return g;
 }
 
@@ -407,6 +414,15 @@ std::string FormatEngine(const machine::EngineConfig& engine) {
   return out.str();
 }
 
+std::vector<std::pair<std::string, isa::Addr>> BuildFuzzProgram(
+    const FuzzCase& c, kgen::Program& prog) {
+  support::Rng rng(c.seed ^ 0x5bf0b5a2d192a3c1ULL);
+  const GeneratedCase g = Generate(prog, rng, c.threads);
+  std::vector<std::pair<std::string, isa::Addr>> kernels = prog.kernels();
+  if (kernels.empty()) kernels.push_back({"fuzz_raw_mix", g.entry});
+  return kernels;
+}
+
 std::string RunFuzzCase(const FuzzCase& c,
                         const machine::EngineConfig& engine) {
   kgen::Program prog;
@@ -482,6 +498,126 @@ std::string RunFuzzCaseWithDeployments(const FuzzCase& c,
   SetFailureContext("");
 
   return Fingerprint(m, prog.data_break());
+}
+
+ScevSoundnessResult CheckScevSoundness(const FuzzCase& c,
+                                       const machine::EngineConfig& engine) {
+  kgen::Program prog;
+  support::Rng rng(c.seed ^ 0x5bf0b5a2d192a3c1ULL);
+  const GeneratedCase g = Generate(prog, rng, c.threads);
+
+  // Loop inventory: kgen kernels register LoopInfo; the raw mix records
+  // its hand-assembled loop in the generated case.
+  std::vector<std::pair<isa::Addr, isa::Addr>> regions = g.loops;
+  for (const kgen::LoopInfo& loop : prog.loops()) {
+    regions.push_back({loop.head, loop.back_branch_pc});
+  }
+
+  // Solve statically BEFORE the run: the analyzer sees only the binary.
+  struct Claim {
+    analysis::AddrClass cls = analysis::AddrClass::kUnknown;
+    std::int64_t stride = 0;
+  };
+  struct Region {
+    isa::Addr lo = 0;
+    isa::Addr hi = 0;
+    std::vector<isa::Addr> claim_pcs;
+  };
+  std::map<isa::Addr, Claim> claims;  // by access pc
+  std::vector<Region> watched;
+  ScevSoundnessResult result;
+  for (const auto& [head, back] : regions) {
+    const analysis::LoopScev scev =
+        analysis::AnalyzeLoop(prog.image(), head, back);
+    if (!scev.solved) continue;
+    ++result.loops_solved;
+    Region region{isa::BundleAddr(head),
+                  isa::MakePc(isa::BundleAddr(back), 2), {}};
+    for (const analysis::MemAccess& access : scev.accesses) {
+      if (access.cls == analysis::AddrClass::kUnknown) continue;
+      claims[access.pc] = Claim{access.cls, access.stride};
+      region.claim_pcs.push_back(access.pc);
+      ++result.claims;
+    }
+    if (!region.claim_pcs.empty()) watched.push_back(std::move(region));
+  }
+  if (claims.empty()) return result;
+
+  // The address streams are architectural: the coherence oracle adds
+  // nothing here, so run without it.
+  machine::MachineConfig mcfg = c.machine;
+  mcfg.verify_coherence = false;
+  machine::Machine m(mcfg, &prog.image());
+  ApplyFills(m.memory(), g.fills);
+
+  std::ostringstream ctx;
+  ctx << "fuzz scev-soundness seed=" << c.seed << " machine=" << c.machine_name
+      << " threads=" << c.threads << " engine=" << FormatEngine(engine)
+      << " -- rerun just this case with COBRA_FUZZ_SEED=" << c.seed;
+  SetFailureContext(ctx.str());
+
+  // Per-cpu observation state (the parallel engine runs cores on host
+  // threads: nothing here may be shared across cpus until the merge).
+  struct CpuTally {
+    std::map<isa::Addr, isa::Addr> seen;  // last address per claimed pc,
+                                          // valid while inside the loop
+    std::uint64_t deltas_checked = 0;
+    std::uint64_t contradictions = 0;
+    std::string first_contradiction;
+  };
+  std::vector<CpuTally> tallies(static_cast<std::size_t>(m.num_cpus()));
+  for (CpuId cpu = 0; cpu < m.num_cpus(); ++cpu) {
+    CpuTally* tally = &tallies[static_cast<std::size_t>(cpu)];
+    m.core(cpu).SetMemObserver([&claims, &watched, tally, cpu,
+                                &c](isa::Addr pc, isa::Addr addr) {
+      for (const Region& region : watched) {
+        if (pc >= region.lo && pc <= region.hi) continue;
+        for (const isa::Addr claim_pc : region.claim_pcs) {
+          tally->seen.erase(claim_pc);  // cpu left this loop: stream restarts
+        }
+      }
+      const auto claim = claims.find(pc);
+      if (claim == claims.end()) return;
+      if (const auto prev = tally->seen.find(pc); prev != tally->seen.end()) {
+        ++tally->deltas_checked;
+        const std::int64_t delta = static_cast<std::int64_t>(addr) -
+                                   static_cast<std::int64_t>(prev->second);
+        const std::int64_t want =
+            claim->second.cls == analysis::AddrClass::kAffine
+                ? claim->second.stride
+                : 0;
+        if (delta != want && tally->contradictions++ == 0) {
+          std::ostringstream os;
+          os << "scev claim contradicted at pc 0x" << std::hex << pc
+             << std::dec << " on cpu " << cpu << ": static "
+             << (want == 0 ? "invariant address" : "stride") << " " << want
+             << " but observed delta " << delta << " (seed " << c.seed << ", "
+             << c.machine_name << ")";
+          tally->first_contradiction = os.str();
+        }
+      }
+      tally->seen[pc] = addr;
+    });
+  }
+
+  rt::Team team(&m, c.threads, engine);
+  team.Run(g.entry, [&g](int tid, cpu::RegisterFile& regs) {
+    for (const GrInit& init : g.grs) {
+      regs.WriteGr(init.reg,
+                   init.base + static_cast<std::uint64_t>(tid) * init.per_tid);
+    }
+    for (const FrInit& init : g.frs) regs.WriteFr(init.reg, init.value);
+  });
+  SetFailureContext("");
+
+  for (const CpuTally& tally : tallies) {
+    result.deltas_checked += tally.deltas_checked;
+    result.contradictions += tally.contradictions;
+    if (result.first_contradiction.empty()) {
+      result.first_contradiction = tally.first_contradiction;
+    }
+  }
+  return result;
 }
 
 int VerifyFuzzDeployments(const FuzzCase& c) {

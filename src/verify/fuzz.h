@@ -19,7 +19,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "kgen/program.h"
 #include "machine/engine.h"
 #include "machine/machine.h"
 
@@ -53,6 +56,14 @@ std::string MemoryImageOf(const std::string& fingerprint);
 // ("parallel:4@1024").
 std::string FormatEngine(const machine::EngineConfig& engine);
 
+// Regenerates a case's seeded binary into `prog` without running it, for
+// static tooling (cobra_lint --fuzz): the returned (name, entry) pairs
+// cover every entry point to lint. Kgen-kernel cases register their
+// kernels with the program; a raw memory-op mix registers none, so its
+// hand-assembled entry is reported as "fuzz_raw_mix".
+std::vector<std::pair<std::string, isa::Addr>> BuildFuzzProgram(
+    const FuzzCase& c, kgen::Program& prog);
+
 // Generates the seeded program, runs it to completion under `engine` with
 // the checker validating every transaction, and returns the fingerprint.
 // Any invariant violation aborts the process with the replay hint.
@@ -65,6 +76,24 @@ std::string RunFuzzCase(const FuzzCase& c, const machine::EngineConfig& engine);
 // since the trace cache itself produced the patches) aborts with the
 // replay hint. Returns the number of verifier passes.
 int VerifyFuzzDeployments(const FuzzCase& c);
+
+// Differential validation of the scalar-evolution pass (ISSUE 8): solves
+// every loop of the seeded program statically, then re-runs the workload
+// with a per-core memory observer and checks each affine / loop-invariant
+// address claim against the observed per-(cpu, pc) address stream —
+// consecutive in-loop accesses must advance by exactly the static stride
+// (or not at all, for invariant claims). A memory op outside the loop
+// region resets that cpu's streams for the region (the thread left the
+// loop; the next visit restarts the chrec from a fresh base).
+struct ScevSoundnessResult {
+  std::uint64_t loops_solved = 0;   // solved loops across the case
+  std::uint64_t claims = 0;         // affine/invariant accesses claimed
+  std::uint64_t deltas_checked = 0; // consecutive-access comparisons made
+  std::uint64_t contradictions = 0; // observed deltas off the claim
+  std::string first_contradiction;  // human-readable detail (empty if none)
+};
+ScevSoundnessResult CheckScevSoundness(const FuzzCase& c,
+                                       const machine::EngineConfig& engine);
 
 // Live-patching variant of RunFuzzCase: runs the seeded workload once over
 // the original binary, then interleaves trace-cache deploy / revert /

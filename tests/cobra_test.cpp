@@ -48,6 +48,49 @@ TEST(ThreadProfile, DearRecordsDedupAndClassify) {
   EXPECT_EQ(load.total_latency, 130u + 195u);
 }
 
+// Feeds one DEAR record per sample and returns the resulting load entry.
+DelinquentLoad RunDearStream(std::initializer_list<Addr> data_addrs) {
+  ThreadProfile profile;
+  std::uint64_t index = 0;
+  for (const Addr addr : data_addrs) {
+    perfmon::Sample s = MakeSample(index++, 0x1000);
+    s.dear = cpu::Dear::Record{0x1010, addr, 130, true};
+    profile.AddSample(s);
+  }
+  return profile.loads().begin()->second;
+}
+
+TEST(ThreadProfile, StrideConfirmationIsDirectionIndependent) {
+  // Ascending stream around stride 256, wobbling by 8 — inside the
+  // max(|stride|/8, 64) tolerance.
+  const DelinquentLoad up = RunDearStream({0x9000, 0x9100, 0x9208, 0x9300});
+  EXPECT_EQ(up.stride, 256);
+  EXPECT_EQ(up.stride_confirmations, 3u);
+  // The mirror-image descending stream must confirm identically.
+  const DelinquentLoad down = RunDearStream({0x9300, 0x9200, 0x90f8, 0x9000});
+  EXPECT_EQ(down.stride, -256);
+  EXPECT_EQ(down.stride_confirmations, 3u);
+}
+
+TEST(ThreadProfile, StrideToleranceFloorIsSymmetricNearSmallStrides) {
+  // |stride| = 8 puts the tolerance at the floor (64). A wobble of 56 in
+  // magnitude must confirm for both directions.
+  const DelinquentLoad up = RunDearStream({0x9000, 0x9008, 0x9048});
+  EXPECT_EQ(up.stride, 8);
+  EXPECT_EQ(up.stride_confirmations, 2u);
+  const DelinquentLoad down = RunDearStream({0x9048, 0x9040, 0x9000});
+  EXPECT_EQ(down.stride, -8);
+  EXPECT_EQ(down.stride_confirmations, 2u);
+}
+
+TEST(ThreadProfile, StrideSignFlipRestartsConfirmation) {
+  // Two confirmed ascending deltas, then the stream turns around: the
+  // direction check must reset the candidate, not confirm by magnitude.
+  const DelinquentLoad load = RunDearStream({0x9000, 0x9100, 0x9200, 0x9100});
+  EXPECT_EQ(load.stride, -256);
+  EXPECT_EQ(load.stride_confirmations, 1u);
+}
+
 TEST(ThreadProfile, LoopDiscoveryFromBackwardBranches) {
   ThreadProfile profile;
   perfmon::Sample s = MakeSample(0, 0x1000);

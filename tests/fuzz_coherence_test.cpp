@@ -131,6 +131,46 @@ void RunProtocolSweep(FuzzCase (*make)(std::uint64_t),
   }
 }
 
+// Scalar-evolution soundness: every static affine / loop-invariant address
+// claim of every solved loop is cross-checked against the address streams
+// the cores actually perform. One contradicted delta anywhere fails the
+// sweep — static analysis is only useful as a prior if it never lies.
+void RunScevSweep(FuzzCase (*make)(std::uint64_t), std::uint64_t seed_base) {
+  std::uint64_t replay_seed = 0;
+  const bool replay = SeedFromEnv(&replay_seed);
+  const int cases = replay ? 1 : CasesFromEnv();
+  ScevSoundnessResult total;
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t seed =
+        replay ? replay_seed : seed_base + static_cast<std::uint64_t>(i);
+    const ScevSoundnessResult r =
+        CheckScevSoundness(make(seed), SerialEngine());
+    ASSERT_EQ(r.contradictions, 0u)
+        << r.first_contradiction
+        << "; replay with COBRA_FUZZ_SEED=" << seed;
+    total.loops_solved += r.loops_solved;
+    total.claims += r.claims;
+    total.deltas_checked += r.deltas_checked;
+  }
+  // The sweep must have exercised real claims, or it proves nothing.
+  EXPECT_GT(total.loops_solved, 0u);
+  EXPECT_GT(total.deltas_checked, 0u);
+  std::printf(
+      "[ COBRA    ] scev soundness: %llu loops solved, %llu claims, "
+      "%llu deltas checked, 0 contradictions\n",
+      static_cast<unsigned long long>(total.loops_solved),
+      static_cast<unsigned long long>(total.claims),
+      static_cast<unsigned long long>(total.deltas_checked));
+}
+
+TEST(ScevSoundness, SmpStaticClaimsMatchObservedStreams) {
+  RunScevSweep(&SmpFuzzCase, 3000);
+}
+
+TEST(ScevSoundness, NumaStaticClaimsMatchObservedStreams) {
+  RunScevSweep(&NumaFuzzCase, 4000);
+}
+
 TEST(CoherenceFuzz, SmpAllProtocolsConformAndAgreeOnMemory) {
   RunProtocolSweep(&SmpFuzzCase, 7000);
 }

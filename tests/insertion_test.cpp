@@ -117,7 +117,8 @@ struct InsertionRun {
   bool verified = false;
 };
 
-InsertionRun RunNoprefetchDaxpy(bool with_cobra) {
+InsertionRun RunNoprefetchDaxpy(bool with_cobra,
+                                const CobraConfig* override_config = nullptr) {
   kgen::Program prog;
   const kgen::LoopInfo daxpy =
       EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy::None());
@@ -136,6 +137,7 @@ InsertionRun RunNoprefetchDaxpy(bool with_cobra) {
   if (with_cobra) {
     CobraConfig config;
     config.strategy = OptKind::kInsertPrefetch;
+    if (override_config != nullptr) config = *override_config;
     cobra = std::make_unique<CobraRuntime>(&machine, config);
     cobra->AttachAll(1);
   }
@@ -180,6 +182,44 @@ TEST(InsertionEndToEnd, RecoversPrefetchWinOnMemoryBoundLoop) {
   // stalls of the unprefetched binary.
   EXPECT_LT(static_cast<double>(optimized.cycles),
             static_cast<double>(baseline.cycles) * 0.93);
+}
+
+TEST(InsertionEndToEnd, StaticPriorsCutTimeToFirstDeploy) {
+  // Eager deployment with tiny wake windows makes stride *confirmation*
+  // the qualification bottleneck: without priors a load needs
+  // stride_confirmations repeats, with priors one on-lattice delta.
+  CobraConfig config;
+  config.strategy = OptKind::kInsertPrefetch;
+  config.measured_epochs = false;
+  config.batch_size = 1;  // wake every sample: finest deploy granularity
+  config.batches_per_evaluation = 1;
+  config.min_loop_hits = 1;  // hotness must not mask the confirmation wait
+  // A period commensurate with the loop body parks every wake on the same
+  // mid-bundle pc and the quiesce check starves; a coprime period rotates
+  // the wake phase through the loop instead.
+  config.sampling_period_insts = 1999;
+  // Deep confirmation requirement: the dynamic-only run must watch the
+  // stream repeat for several windows before it trusts the stride.
+  config.stride_confirmations = 8;
+  const InsertionRun profiled = RunNoprefetchDaxpy(true, &config);
+  config.static_priors = true;
+  const InsertionRun primed = RunNoprefetchDaxpy(true, &config);
+
+  ASSERT_TRUE(profiled.verified);
+  ASSERT_TRUE(primed.verified);
+  EXPECT_GT(primed.stats.deployments, 0u);
+  EXPECT_GT(primed.stats.scev_loops_solved, 0u);
+  EXPECT_GT(primed.stats.prior_hits, 0u);
+  // DAXPY's streams are clean affine chrecs: the profile never
+  // contradicts the static solution, and nothing is invariant.
+  EXPECT_EQ(primed.stats.prior_mismatches, 0u);
+  EXPECT_EQ(primed.stats.invariant_suppressed, 0u);
+  // The prior removes the wait for repeated confirmations: the first
+  // trace must go live strictly earlier.
+  ASSERT_GT(profiled.stats.first_deploy_cycles, 0u);
+  ASSERT_GT(primed.stats.first_deploy_cycles, 0u);
+  EXPECT_LT(primed.stats.first_deploy_cycles,
+            profiled.stats.first_deploy_cycles);
 }
 
 TEST(InsertionEndToEnd, LeavesPrefetchedBinariesAlone) {

@@ -121,6 +121,22 @@ TEST(PaperTrends, InsertionCutsDemandL3Misses) {
   EXPECT_GT(Derived("adore_insertion", "speedup_inserted_vs_bare"), 1.0);
 }
 
+// Extension: profile-confirmed static chrecs let the controller deploy
+// after one on-lattice confirmation instead of stride_confirmations of
+// them — the first trace goes live strictly earlier, and DAXPY's clean
+// affine streams never contradict the static solution.
+TEST(PaperTrends, StaticPriorsCutTimeToFirstDeploy) {
+  EXPECT_GT(Derived("static_priors", "prior_hits"), 0.0);
+  EXPECT_EQ(
+      Experiment("static_priors").At("rows").elements()[1]
+          .At("prior_mismatches").AsInt(),
+      0);
+  EXPECT_GT(Derived("static_priors", "first_deploy_off"), 0.0);
+  EXPECT_GT(Derived("static_priors", "first_deploy_on"), 0.0);
+  EXPECT_LT(Derived("static_priors", "first_deploy_on"),
+            Derived("static_priors", "first_deploy_off"));
+}
+
 // Figure 7a: COBRA deploys `.excl` hints adaptively (measured epochs revert
 // them where they hurt), so its invalidation traffic — ownership upgrades
 // plus read-for-ownership HITM transfers — stays far below the always-on

@@ -1,0 +1,363 @@
+// Scalar-evolution and memory-dependence unit tests: chrec solving over
+// hand-built single-block loops (post-increment, add-chains, rotation,
+// predication) and the pairwise alias verdicts built on top.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/memdep.h"
+#include "analysis/scev.h"
+#include "isa/image.h"
+#include "isa/instruction.h"
+#include "kgen/emitters.h"
+#include "kgen/program.h"
+
+namespace cobra::analysis {
+namespace {
+
+using isa::Addr;
+
+// Appends a one-bundle loop body followed by a break bundle and returns
+// the analysis of the loop closed by the bundle's last slot.
+LoopScev AnalyzeSingleBundleLoop(isa::BinaryImage& image,
+                                 const isa::Instruction& s0,
+                                 const isa::Instruction& s1,
+                                 const isa::Instruction& s2) {
+  const Addr head = image.AppendBundle(s0, s1, s2);
+  image.AppendBundle(isa::Break(), isa::Nop(), isa::Nop());
+  const std::vector<LoopScev> loops = AnalyzeLoops(image, {head});
+  EXPECT_EQ(loops.size(), 1u);
+  if (loops.empty()) return LoopScev{};
+  EXPECT_EQ(loops[0].head, head);
+  return loops[0];
+}
+
+// --- Chrec solving -----------------------------------------------------------
+
+TEST(Scev, PostIncrementLoadIsAffine) {
+  isa::BinaryImage image;
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::LdPostInc(8, 9, 4, 128), isa::Nop(), isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  ASSERT_EQ(scev.accesses.size(), 1u);
+  const MemAccess& load = scev.accesses[0];
+  EXPECT_EQ(load.cls, AddrClass::kAffine);
+  EXPECT_EQ(load.base_entry_gr, 4);
+  EXPECT_EQ(load.base_offset, 0);
+  EXPECT_EQ(load.stride, 128);
+  EXPECT_EQ(load.post_inc_imm, 128);
+}
+
+TEST(Scev, NegativeStrideIsAffine) {
+  isa::BinaryImage image;
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::LdPostInc(8, 9, 4, -64), isa::Nop(), isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kAffine);
+  EXPECT_EQ(scev.accesses[0].stride, -64);
+}
+
+TEST(Scev, UntouchedBaseIsInvariant) {
+  isa::BinaryImage image;
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::Ld(8, 9, 4), isa::Nop(), isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kInvariant);
+  EXPECT_EQ(scev.accesses[0].base_entry_gr, 4);
+  EXPECT_EQ(scev.accesses[0].stride, 0);
+}
+
+TEST(Scev, PointerChasingIsUnknown) {
+  isa::BinaryImage image;
+  // r4 = mem[r4]: the next address is loaded data, not an affine chain.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::Ld(8, 4, 4), isa::Nop(), isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kUnknown);
+}
+
+TEST(Scev, AddChainFoldsIntoStride) {
+  isa::BinaryImage image;
+  // Two increments of the same base: the load sees entry+0 with the full
+  // per-iteration step of 16; the store sees entry+8 with the same step.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::LdPostInc(8, 9, 4, 8), isa::StPostInc(8, 4, 7, 8),
+      isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  ASSERT_EQ(scev.accesses.size(), 2u);
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kAffine);
+  EXPECT_EQ(scev.accesses[0].base_offset, 0);
+  EXPECT_EQ(scev.accesses[0].stride, 16);
+  EXPECT_EQ(scev.accesses[1].cls, AddrClass::kAffine);
+  EXPECT_EQ(scev.accesses[1].base_offset, 8);
+  EXPECT_EQ(scev.accesses[1].stride, 16);
+}
+
+TEST(Scev, ExplicitAddImmAdvancesBase) {
+  isa::BinaryImage image;
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::Ld(8, 9, 4), isa::AddImm(4, 4, 32), isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kAffine);
+  EXPECT_EQ(scev.accesses[0].stride, 32);
+}
+
+TEST(Scev, ShladdComputedAddressFromInductionBase) {
+  isa::BinaryImage image;
+  // r9 = (8 << 3) + r4 = r4 + 64 each iteration; r4 advances by 8.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::ShlAdd(9, 8, 3, 4), isa::LdPostInc(8, 10, 4, 8),
+      isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  // The shladd dest is bottom (r8 is symbolic entry, not constant), so
+  // only the post-inc load classifies.
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kAffine);
+  EXPECT_EQ(scev.accesses[0].stride, 8);
+}
+
+TEST(Scev, RotatingChrecAcrossCtopBackEdge) {
+  isa::BinaryImage image;
+  // add r32 = r33 + 8 then load [r32]: after the rotating back edge the
+  // value written to r32 is *named* r33, so entry(r33) recurs onto itself
+  // with step 8 and the load's address entry(r33)+8 is affine.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::AddImm(32, 33, 8), isa::Ld(8, 9, 32), isa::BrCtop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  const MemAccess& load = scev.accesses[0];
+  EXPECT_EQ(load.cls, AddrClass::kAffine);
+  EXPECT_EQ(load.base_entry_gr, 33);
+  EXPECT_EQ(load.base_offset, 8);
+  EXPECT_EQ(load.stride, 8);
+}
+
+TEST(Scev, RotatingPostIncBaseDoesNotRecur) {
+  isa::BinaryImage image;
+  // ld r9 = [r32], 8 under br.ctop: the incremented value is renamed to
+  // r33, while next iteration's r32 rotates in from r127 — the entry
+  // symbol does not recur, so no claim.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::LdPostInc(8, 9, 32, 8), isa::Nop(), isa::BrCtop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kUnknown);
+}
+
+// --- Predication -------------------------------------------------------------
+
+TEST(Scev, PredicatedPostIncUnderUnwrittenStaticPredicate) {
+  isa::BinaryImage image;
+  // (p5) ld r9 = [r4], 8 with nothing writing p5: p5 is constant over the
+  // run, so the executed subsequence is affine.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::Pred(5, isa::LdPostInc(8, 9, 4, 8)), isa::Nop(),
+      isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kAffine);
+  EXPECT_EQ(scev.accesses[0].stride, 8);
+}
+
+TEST(Scev, InLoopPredicateWriterBlocksClaim) {
+  isa::BinaryImage image;
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::CmpImm(isa::CmpRel::kLt, 5, 0, 14, 100),
+      isa::Pred(5, isa::LdPostInc(8, 9, 4, 8)), isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kUnknown);
+}
+
+TEST(Scev, PredicatedIncrementUnpredicatedAccessIsUnknown) {
+  isa::BinaryImage image;
+  // The base advances only on p5 iterations but the load executes on all
+  // of them: consecutive executed deltas are not a constant stride.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::Pred(5, isa::AddImm(4, 4, 8)), isa::Ld(8, 9, 4),
+      isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kUnknown);
+}
+
+TEST(Scev, FirstStagePredicateUnderCtopIsAccepted) {
+  isa::BinaryImage image;
+  // (p16) ld r9 = [r4], 8 in a ctop loop: p16's executed-iteration set is
+  // one contiguous window, so the claim survives.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::Pred(16, isa::LdPostInc(8, 9, 4, 8)), isa::Nop(),
+      isa::BrCtop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kAffine);
+  EXPECT_EQ(scev.accesses[0].stride, 8);
+}
+
+TEST(Scev, LaterStagePredicateIsRejected) {
+  isa::BinaryImage image;
+  // p17's pattern depends on the preheader's rotating-predicate init bits,
+  // which a loop-local analysis cannot see.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::Pred(17, isa::LdPostInc(8, 9, 4, 8)), isa::Nop(),
+      isa::BrCtop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kUnknown);
+}
+
+TEST(Scev, StagePredicateWithoutRotatingBranchIsStatic) {
+  isa::BinaryImage image;
+  // Under br.cloop nothing rotates and nothing writes p16: it is just an
+  // ordinary constant predicate.
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::Pred(16, isa::LdPostInc(8, 9, 4, 8)), isa::Nop(),
+      isa::BrCloop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kAffine);
+}
+
+TEST(Scev, MovToPrRotInBodyBlocksStagePredicate) {
+  isa::BinaryImage image;
+  const LoopScev scev = AnalyzeSingleBundleLoop(
+      image, isa::MovToPrRot(1), isa::Pred(16, isa::LdPostInc(8, 9, 4, 8)),
+      isa::BrCtop(0));
+  ASSERT_TRUE(scev.solved) << scev.reason;
+  EXPECT_EQ(scev.accesses[0].cls, AddrClass::kUnknown);
+}
+
+// --- Loop shapes -------------------------------------------------------------
+
+TEST(Scev, MultiBlockBodyIsUnsolved) {
+  isa::BinaryImage image;
+  const Addr head = image.AppendBundle(isa::Nop(), isa::Nop(),
+                                       isa::BrCond(5, 1));
+  image.AppendBundle(isa::LdPostInc(8, 9, 4, 8), isa::Nop(), isa::Nop());
+  image.AppendBundle(isa::Nop(), isa::Nop(), isa::BrCloop(-2));
+  image.AppendBundle(isa::Break(), isa::Nop(), isa::Nop());
+  const std::vector<LoopScev> loops = AnalyzeLoops(image, {head});
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_FALSE(loops[0].solved);
+  EXPECT_EQ(loops[0].reason, "multi-block loop body");
+  EXPECT_TRUE(loops[0].accesses.empty());
+}
+
+TEST(Scev, DirectEntryRejectsNonLoopRegion) {
+  isa::BinaryImage image;
+  const Addr b0 = image.AppendBundle(isa::Nop(), isa::Nop(), isa::Nop());
+  image.AppendBundle(isa::Break(), isa::Nop(), isa::Nop());
+  const LoopScev scev = AnalyzeLoop(image, b0, isa::MakePc(b0, 2));
+  EXPECT_FALSE(scev.solved);
+  EXPECT_FALSE(scev.reason.empty());
+}
+
+TEST(Scev, SolvesEmittedKernelLoops) {
+  // Every kgen kernel loop must analyze without crashing, and the daxpy
+  // SWP kernel must not produce a contradicted claim shape (claims are
+  // checked dynamically by the fuzz harness; here we only require
+  // well-formed results).
+  kgen::Program prog;
+  kgen::EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  for (const kgen::LoopInfo& info : prog.loops()) {
+    const LoopScev scev =
+        AnalyzeLoop(prog.image(), info.head, info.back_branch_pc);
+    if (!scev.solved) continue;
+    for (const MemAccess& access : scev.accesses) {
+      if (access.cls == AddrClass::kAffine) {
+        EXPECT_NE(access.stride, 0);
+      }
+    }
+  }
+}
+
+// --- Prefetch distance -------------------------------------------------------
+
+TEST(Scev, PrefetchDistanceMirrorsInsertion) {
+  MemAccess access;
+  access.cls = AddrClass::kAffine;
+  access.stride = 128;
+  EXPECT_EQ(access.PrefetchDistance(1024), 1024);
+  access.stride = 96;
+  EXPECT_EQ(access.PrefetchDistance(1024), 960);  // 10 iterations ahead
+  access.stride = 4096;
+  EXPECT_EQ(access.PrefetchDistance(1024), 4096);  // at least one stride
+  access.stride = -64;
+  EXPECT_EQ(access.PrefetchDistance(1024), -1024);
+  access.cls = AddrClass::kInvariant;
+  access.stride = 0;
+  EXPECT_EQ(access.PrefetchDistance(1024), 0);
+}
+
+// --- Memory dependence -------------------------------------------------------
+
+MemAccess Affine(int base, std::int64_t off, std::int64_t stride, int size,
+                 bool is_store) {
+  MemAccess a;
+  a.cls = stride == 0 ? AddrClass::kInvariant : AddrClass::kAffine;
+  a.base_entry_gr = base;
+  a.base_offset = off;
+  a.stride = stride;
+  a.size = size;
+  a.is_store = is_store;
+  return a;
+}
+
+TEST(Memdep, EqualStrideDisjointLanesNoAlias) {
+  const MemAccess a = Affine(4, 0, 128, 8, false);
+  const MemAccess b = Affine(4, 64, 128, 8, true);
+  EXPECT_EQ(ClassifyAlias(a, 0, b), AliasVerdict::kNoAlias);
+}
+
+TEST(Memdep, EqualStrideSameLaneMustOverlap) {
+  const MemAccess a = Affine(4, 0, 128, 8, false);
+  const MemAccess b = Affine(4, 1024, 128, 8, true);
+  // Same residue class: iteration pairs eight apart collide.
+  EXPECT_EQ(ClassifyAlias(a, 0, b), AliasVerdict::kMustOverlap);
+}
+
+TEST(Memdep, PrefetchDisplacementShiftsTheLane) {
+  const MemAccess a = Affine(4, 0, 128, 8, false);
+  const MemAccess b = Affine(4, 64, 128, 8, true);
+  EXPECT_EQ(ClassifyAlias(a, 64, b), AliasVerdict::kMustOverlap);
+}
+
+TEST(Memdep, DifferentEntryBasesAreMayAlias) {
+  const MemAccess a = Affine(4, 0, 128, 8, false);
+  const MemAccess b = Affine(5, 0, 128, 8, true);
+  EXPECT_EQ(ClassifyAlias(a, 0, b), AliasVerdict::kMayAlias);
+}
+
+TEST(Memdep, UnknownIsMayAlias) {
+  const MemAccess a = Affine(4, 0, 128, 8, false);
+  MemAccess b;
+  b.cls = AddrClass::kUnknown;
+  EXPECT_EQ(ClassifyAlias(a, 0, b), AliasVerdict::kMayAlias);
+}
+
+TEST(Memdep, InvariantPairByInterval) {
+  const MemAccess a = Affine(4, 0, 0, 8, false);
+  const MemAccess near = Affine(4, 4, 0, 8, true);
+  const MemAccess far = Affine(4, 8, 0, 8, true);
+  EXPECT_EQ(ClassifyAlias(a, 0, near), AliasVerdict::kMustOverlap);
+  EXPECT_EQ(ClassifyAlias(a, 0, far), AliasVerdict::kNoAlias);
+}
+
+TEST(Memdep, DifferingStridesOnlyProveNoAlias) {
+  const MemAccess a = Affine(4, 0, 128, 8, false);
+  const MemAccess hit = Affine(4, 0, 64, 8, true);
+  const MemAccess miss = Affine(4, 32, 64, 8, true);
+  // gcd lattice intersects: cannot prove, cannot fire.
+  EXPECT_EQ(ClassifyAlias(a, 0, hit), AliasVerdict::kMayAlias);
+  // Residue 32 misses both 8-byte footprints under gcd 64.
+  EXPECT_EQ(ClassifyAlias(a, 0, miss), AliasVerdict::kNoAlias);
+}
+
+TEST(Memdep, ProvableStoreCollisionsScansLoopStores) {
+  LoopScev loop;
+  loop.solved = true;
+  MemAccess load = Affine(4, 0, 128, 8, false);
+  load.pc = 0x100;
+  MemAccess store_hit = Affine(4, 1024, 128, 8, true);
+  store_hit.pc = 0x101;
+  MemAccess store_miss = Affine(4, 64, 128, 8, true);
+  store_miss.pc = 0x102;
+  loop.accesses = {load, store_hit, store_miss};
+  const auto hits = ProvableStoreCollisions(loop, load, 0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->pc, 0x101u);
+}
+
+}  // namespace
+}  // namespace cobra::analysis

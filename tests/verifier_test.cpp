@@ -193,10 +193,11 @@ TEST(VerifierNegative, PlantedPairClobbersLiveRegister) {
   ASSERT_GE(id, 0);
   const Addr trace_head = cache.Get(id)->trace_head;
   const Addr add_pc = isa::MakePc(trace_head, 1);
-  // r26 is the load's own cursor — live on every iteration. A correct
-  // insertion would have scavenged a dead register instead.
-  hl.image.Patch(add_pc, isa::AddImm(26, 26, 64));
-  hl.image.Patch(isa::MakePc(trace_head, 2), isa::Lfetch(26));
+  // r27 is the store's base — live on every iteration. A correct insertion
+  // would have scavenged a dead register instead. (The displacement stays a
+  // stride multiple so only the liveness invariant is at issue.)
+  hl.image.Patch(add_pc, isa::AddImm(27, 26, 64));
+  hl.image.Patch(isa::MakePc(trace_head, 2), isa::Lfetch(27));
   ExpectOnly(cache.VerifyDeployment(id),
              analysis::invariant::kPlantedLiveScratch, add_pc);
 }
@@ -238,6 +239,36 @@ TEST(VerifierNegative, PlantedBaseMatchesNoLoad) {
   hl.image.Patch(isa::MakePc(trace_head, 2), isa::Lfetch(8));
   ExpectOnly(cache.VerifyDeployment(id),
              analysis::invariant::kPlantedBaseMismatch, add_pc);
+}
+
+TEST(VerifierNegative, PlantedDisplacementOffTheChrecLattice) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kInsertPrefetch);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr add_pc = isa::MakePc(trace_head, 1);
+  // The load strides by 8; a displacement of 60 is not on its chrec
+  // lattice, so the pair must have been planted from a bogus stride.
+  hl.image.Patch(add_pc, isa::AddImm(8, 26, 60));
+  hl.image.Patch(isa::MakePc(trace_head, 2), isa::Lfetch(8));
+  ExpectOnly(cache.VerifyDeployment(id),
+             analysis::invariant::kPlantedChrecMismatch, add_pc);
+}
+
+TEST(VerifierNegative, PlantedDisplacementAgainstTheStream) {
+  HandLoop hl;
+  TraceCache cache(&hl.image);
+  const int id = cache.Deploy(hl.region, OptKind::kInsertPrefetch);
+  ASSERT_GE(id, 0);
+  const Addr trace_head = cache.Get(id)->trace_head;
+  const Addr add_pc = isa::MakePc(trace_head, 1);
+  // -64 is a stride multiple but points *behind* an ascending stream:
+  // the prefetch can never cover a future iteration.
+  hl.image.Patch(add_pc, isa::AddImm(8, 26, -64));
+  hl.image.Patch(isa::MakePc(trace_head, 2), isa::Lfetch(8));
+  ExpectOnly(cache.VerifyDeployment(id),
+             analysis::invariant::kPlantedChrecMismatch, add_pc);
 }
 
 TEST(VerifierNegative, HintFlipOnNonLfetch) {

@@ -1,11 +1,24 @@
 // cobra_lint: static MIA-64 binary checker over every image this repo can
 // generate — each kgen kernel family and each NPB benchmark, under every
-// compiler prefetch policy. A shipped binary must come back clean; the CI
-// runs this as a gate.
+// compiler prefetch policy, plus (with --fuzz) a seeded corpus of the same
+// generated programs the coherence fuzzer executes. A shipped binary must
+// come back clean; the CI runs this as a gate.
 //
-// Usage: cobra_lint [-v]
-//   -v  print the per-image report even when clean
+// Usage: cobra_lint [-v] [--json=FILE] [--fuzz=N]
+//   -v           print the per-image report even when clean
+//   --json=FILE  write a machine-readable report:
+//                  { "images": [<per-image report, see analysis/lint.h>],
+//                    "images_total": n, "images_clean": n, "findings": n }
+//   --fuzz=N     additionally lint N fuzz-generated programs (the SMP
+//                sweep's seed base, so CI lints the exact binaries the
+//                default coherence fuzz executes)
+//
+// Exit code: the total number of findings across all images (clamped to
+// 125 so it never collides with shell/signal codes), 2 on usage error.
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,6 +27,8 @@
 #include "kgen/emitters.h"
 #include "kgen/program.h"
 #include "npb/common.h"
+#include "support/json.h"
+#include "verify/fuzz.h"
 
 namespace {
 
@@ -59,13 +74,17 @@ void EmitAllKernels(Program& prog, const PrefetchPolicy& pf) {
   EmitEpKernel(prog, "ep", pf);
 }
 
-int Run(bool verbose) {
+int Run(bool verbose, const std::string& json_path, int fuzz_cases) {
   int images = 0;
   int dirty_images = 0;
   std::size_t total_findings = 0;
+  cobra::support::Json image_reports = cobra::support::Json::Array();
 
-  auto lint_one = [&](const std::string& label, const Program& prog) {
-    const LintReport report = LintImage(prog.image(), prog.kernels());
+  auto lint_one = [&](const std::string& label, const Program& prog,
+                      const std::vector<std::pair<std::string,
+                                                  cobra::isa::Addr>>&
+                          kernels) {
+    const LintReport report = LintImage(prog.image(), kernels);
     ++images;
     if (!report.clean) {
       ++dirty_images;
@@ -74,39 +93,77 @@ int Run(bool verbose) {
     if (verbose || !report.clean) {
       std::cout << label << ": " << report.ToString() << "\n";
     }
+    image_reports.Append(cobra::analysis::ReportJson(report, label));
   };
 
   for (const PolicyCase& policy : Policies()) {
     Program prog;
     EmitAllKernels(prog, policy.pf);
-    lint_one(std::string("kgen[") + policy.label + "]", prog);
+    lint_one(std::string("kgen[") + policy.label + "]", prog,
+             prog.kernels());
   }
 
   for (const std::string& name : cobra::npb::SuiteNames()) {
     for (const PolicyCase& policy : Policies()) {
       Program prog;
       cobra::npb::MakeBenchmark(name)->Build(prog, policy.pf);
-      lint_one("npb/" + name + "[" + policy.label + "]", prog);
+      lint_one("npb/" + name + "[" + policy.label + "]", prog,
+               prog.kernels());
     }
+  }
+
+  // Seed base 1000 = the default SMP coherence sweep: the corpus linted
+  // here is bit-identical to the binaries that sweep executes.
+  for (int i = 0; i < fuzz_cases; ++i) {
+    const auto seed = 1000 + static_cast<std::uint64_t>(i);
+    const cobra::verify::FuzzCase c = cobra::verify::SmpFuzzCase(seed);
+    Program prog;
+    const auto kernels = cobra::verify::BuildFuzzProgram(c, prog);
+    lint_one("fuzz/seed" + std::to_string(seed), prog, kernels);
   }
 
   std::cout << "cobra_lint: " << images - dirty_images << "/" << images
             << " images clean, " << total_findings << " findings\n";
-  return dirty_images == 0 ? 0 : 1;
+
+  if (!json_path.empty()) {
+    cobra::support::Json doc = cobra::support::Json::Object();
+    doc.Set("images", std::move(image_reports));
+    doc.Set("images_total", images);
+    doc.Set("images_clean", images - dirty_images);
+    doc.Set("findings", static_cast<std::int64_t>(total_findings));
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cobra_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << doc.Dump() << "\n";
+  }
+
+  return static_cast<int>(std::min<std::size_t>(total_findings, 125));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool verbose = false;
+  std::string json_path;
+  int fuzz_cases = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-v") == 0 ||
-        std::strcmp(argv[i], "--verbose") == 0) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-v") == 0 || std::strcmp(arg, "--verbose") == 0) {
       verbose = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--fuzz=", 7) == 0) {
+      fuzz_cases = std::atoi(arg + 7);
+      if (fuzz_cases <= 0) {
+        std::cerr << "cobra_lint: --fuzz needs a positive case count\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: cobra_lint [-v]\n";
+      std::cerr << "usage: cobra_lint [-v] [--json=FILE] [--fuzz=N]\n";
       return 2;
     }
   }
-  return Run(verbose);
+  return Run(verbose, json_path, fuzz_cases);
 }
