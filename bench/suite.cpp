@@ -758,6 +758,205 @@ Json RunStaticPriors(const SuiteOptions& options) {
   return e;
 }
 
+// --- Cost-model planner ablation (DESIGN.md §9) ----------------------------
+
+struct PlannerRun {
+  Cycle cycles = 0;
+  core::CobraRuntime::Stats stats;
+  core::PlannerStats planner;
+};
+
+// One planner-ablation run: the prefetching DAXPY pathology (coherent
+// misses from prefetch streams crossing chunk boundaries into neighbours'
+// write regions) on `cfg`, under an attached runtime. `segments` is the
+// phase schedule: each entry names the kernel (0 = A, 1 = B) one rep
+// executes; single-kernel workloads pass all-zero schedules. Both planner
+// kinds run the *same* config apart from `kind` itself.
+PlannerRun RunPlannerOnce(core::PlannerKind kind, machine::MachineConfig cfg,
+                          int threads, std::int64_t n,
+                          const std::vector<int>& segments,
+                          core::CobraConfig config,
+                          const machine::EngineConfig& engine) {
+  kgen::Program prog;
+  const kgen::LoopInfo kernel_a =
+      EmitDaxpy(prog, "daxpy_a", kgen::PrefetchPolicy{});
+  const kgen::LoopInfo kernel_b =
+      EmitDaxpy(prog, "daxpy_b", kgen::PrefetchPolicy{});
+  const mem::Addr xa = prog.Alloc(n * 8);
+  const mem::Addr ya = prog.Alloc(n * 8);
+  const mem::Addr xb = prog.Alloc(n * 8);
+  const mem::Addr yb = prog.Alloc(n * 8);
+  machine::Machine machine(cfg, &prog.image());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (const mem::Addr base : {xa, xb}) {
+      machine.memory().WriteDouble(base + 8 * static_cast<mem::Addr>(i), 1.0);
+    }
+    for (const mem::Addr base : {ya, yb}) {
+      machine.memory().WriteDouble(base + 8 * static_cast<mem::Addr>(i), 2.0);
+    }
+  }
+
+  config.planner = kind;  // the one knob the pair differs in
+  core::CobraRuntime cobra(&machine, config);
+  cobra.AttachAll(threads);
+
+  rt::Team team(&machine, threads, engine);
+  const Cycle start = machine.GlobalTime();
+  for (const int segment : segments) {
+    const kgen::LoopInfo& kernel = segment == 0 ? kernel_a : kernel_b;
+    const mem::Addr x = segment == 0 ? xa : xb;
+    const mem::Addr y = segment == 0 ? ya : yb;
+    team.Run(kernel.entry, [&](int tid, cpu::RegisterFile& regs) {
+      const auto chunk = rt::StaticChunk(tid, threads, n);
+      regs.WriteGr(14, x + 8 * static_cast<mem::Addr>(chunk.begin));
+      regs.WriteGr(15, y + 8 * static_cast<mem::Addr>(chunk.begin));
+      regs.WriteGr(16, static_cast<std::uint64_t>(chunk.size()));
+      regs.WriteFr(6, 0.5);
+    });
+  }
+  PlannerRun run;
+  run.cycles = machine.GlobalTime() - start;
+  run.stats = cobra.stats();
+  run.planner = cobra.planner().stats();
+  return run;
+}
+
+Json RunPlanner(const SuiteOptions& options) {
+  Json e = BeginExperiment(
+      "planner", "DESIGN.md §9",
+      "cost-model planner vs per-loop heuristic: coherent SMP DAXPY, a "
+      "NUMA false-sharing case where the heuristic's eager .excl backfires,"
+      " and a phase-shifting schedule that exercises plan hysteresis",
+      "smp4+numa8", 0);
+
+  // The planner trends pin MESI explicitly (like protocol_matrix's rows):
+  // the benefit model's traffic shares are protocol-aware, and the trend
+  // assertions must hold regardless of the ambient COBRA_PROTOCOL loop.
+  struct Workload {
+    const char* name;
+    machine::MachineConfig machine;
+    int threads;
+    std::int64_t n;
+    std::vector<int> segments;
+    core::CobraConfig config;
+  };
+  std::vector<Workload> workloads;
+  {
+    // W1: the quickstart pathology — measured epochs on, the noprefetch
+    // strategy wins, and the kept epoch feeds realized benefit back into
+    // the cost run's estimate ledger.
+    Workload w;
+    w.name = "smp.coherent";
+    w.machine = machine::SmpServerConfig(4);
+    w.machine.mem.protocol = mem::Protocol::kMesi;
+    w.machine.mem.memory_bytes = 1 << 24;
+    w.threads = 4;
+    w.n = 8192;  // 128 KB working set: cache-resident, coherence-bound
+    w.segments.assign(options.quick ? 40 : 64, 0);
+    w.config.strategy = core::OptKind::kNoprefetch;
+    w.config.require_coherent_load_in_loop = false;
+    workloads.push_back(std::move(w));
+  }
+  {
+    // W2: NUMA false sharing under an eagerly deployed .excl heuristic
+    // (measured epochs off — the non-adaptive strawman). Exclusive
+    // prefetch RFO-steals boundary lines across the directory fabric; the
+    // cost model prices that remote traffic and declines the .excl
+    // candidate in favour of noprefetch.
+    Workload w;
+    w.name = "numa.false_sharing";
+    w.machine = machine::AltixConfig(8);
+    w.machine.mem.protocol = mem::Protocol::kMesi;
+    w.machine.mem.memory_bytes = 1 << 24;
+    w.threads = 8;
+    w.n = 8192;  // 8 KB chunks/thread: prefetch streams straddle chunks
+    w.segments.assign(options.quick ? 24 : 40, 0);
+    w.config.strategy = core::OptKind::kPrefetchExcl;
+    w.config.measured_epochs = false;
+    w.config.require_coherent_load_in_loop = false;
+    workloads.push_back(std::move(w));
+  }
+  {
+    // W3: phase-shifting schedule over two kernels with budget for one
+    // patch on either side (max_deployments for the heuristic, plan_budget
+    // for the cost planner). Once the second phase's cumulative latency
+    // mass overtakes the first's, the fresh solve flips — and the cooldown
+    // must suppress the revision (rejected_hysteresis > 0) instead of
+    // thrashing the standing plan.
+    Workload w;
+    w.name = "phase.shift";
+    w.machine = machine::SmpServerConfig(4);
+    w.machine.mem.protocol = mem::Protocol::kMesi;
+    w.machine.mem.memory_bytes = 1 << 24;
+    w.threads = 4;
+    w.n = 8192;
+    for (int cycle = 0; cycle < (options.quick ? 3 : 5); ++cycle) {
+      w.segments.insert(w.segments.end(), 4, 0);
+      w.segments.insert(w.segments.end(), 6, 1);
+    }
+    w.config.strategy = core::OptKind::kNoprefetch;
+    w.config.measured_epochs = false;
+    w.config.require_coherent_load_in_loop = false;
+    w.config.max_deployments = 1;
+    w.config.plan_budget = 2.0;  // one daxpy patch costs ~1.6 units
+    w.config.plan_min_profit_delta = 0.0;
+    w.config.plan_cooldown_cycles = ~std::uint64_t{0} >> 1;  // never elapses
+    workloads.push_back(std::move(w));
+  }
+
+  Json rows = Json::Array();
+  Json derived = Json::Object();
+  std::uint64_t phase_rejected_hysteresis = 0;
+  for (const Workload& w : workloads) {
+    if (options.echo) {
+      std::fprintf(stderr, "[cobra_bench]   planner %s\n", w.name);
+    }
+    PlannerRun runs[2];
+    for (const core::PlannerKind kind :
+         {core::PlannerKind::kHeuristic, core::PlannerKind::kCost}) {
+      const int i = kind == core::PlannerKind::kCost ? 1 : 0;
+      runs[i] = RunPlannerOnce(kind, w.machine, w.threads, w.n, w.segments,
+                               w.config, options.engine);
+      const PlannerRun& r = runs[i];
+      Json row = Json::Object();
+      row.Set("workload", w.name);
+      row.Set("planner", core::PlannerKindName(kind));
+      row.Set("cycles", static_cast<std::uint64_t>(r.cycles));
+      row.Set("deployments", r.stats.deployments);
+      row.Set("rollbacks", r.stats.rollbacks);
+      row.Set("lfetches_rewritten", r.stats.lfetches_rewritten);
+      row.Set("planner_candidates", r.planner.candidates_seen);
+      row.Set("planner_accepted", r.planner.accepted);
+      row.Set("planner_rejected_budget", r.planner.rejected_budget);
+      row.Set("planner_rejected_hysteresis", r.planner.rejected_hysteresis);
+      row.Set("planner_plan_revisions", r.planner.plan_revisions);
+      row.Set("planner_estimated_benefit_cycles",
+              static_cast<std::uint64_t>(r.planner.estimated_benefit));
+      row.Set("planner_realized_benefit_cycles",
+              static_cast<std::uint64_t>(r.planner.realized_benefit));
+      rows.Append(std::move(row));
+    }
+    const std::string key =
+        std::string("cost_over_heuristic_") +
+        std::string(w.name).substr(0, std::string(w.name).find('.'));
+    derived.Set(key, static_cast<double>(runs[1].cycles) /
+                         static_cast<double>(runs[0].cycles));
+    if (std::string(w.name) == "smp.coherent") {
+      derived.Set("estimated_benefit_cycles",
+                  static_cast<std::uint64_t>(runs[1].planner.estimated_benefit));
+      derived.Set("realized_benefit_cycles",
+                  static_cast<std::uint64_t>(runs[1].planner.realized_benefit));
+    }
+    if (std::string(w.name) == "phase.shift") {
+      phase_rejected_hysteresis = runs[1].planner.rejected_hysteresis;
+    }
+  }
+  derived.Set("phase_rejected_hysteresis", phase_rejected_hysteresis);
+  e.Set("rows", std::move(rows));
+  e.Set("derived", std::move(derived));
+  return e;
+}
+
 // --- Micro suite: execution-engine behaviour -------------------------------
 
 DaxpyParams MicroDaxpyParams(const SuiteOptions& options) {
@@ -848,7 +1047,7 @@ constexpr ExperimentDef kPaperExperiments[] = {
     {"fig3_daxpy", RunFig3},            {"npb_smp", RunNpbSmp},
     {"npb_numa", RunNpbNuma},           {"protocol_matrix", RunProtocolMatrix},
     {"ablations", RunAblations},        {"adore_insertion", RunInsertion},
-    {"static_priors", RunStaticPriors},
+    {"static_priors", RunStaticPriors}, {"planner", RunPlanner},
 };
 
 constexpr ExperimentDef kMicroExperiments[] = {

@@ -236,6 +236,14 @@ const MemAccess* LoopScev::AccessAt(isa::Addr pc) const {
   return nullptr;
 }
 
+int LoopScev::AffineAccessCount() const {
+  int count = 0;
+  for (const MemAccess& a : accesses) {
+    if (a.cls == AddrClass::kAffine) ++count;
+  }
+  return count;
+}
+
 LoopScev AnalyzeLoop(const Cfg& cfg, const NaturalLoop& loop) {
   if (loop.body.size() != 1 || loop.head_block != loop.latch_block) {
     return Unsolved(loop.head, loop.back_branch_pc, "multi-block loop body");

@@ -98,6 +98,11 @@ struct LoopScev {
   std::vector<MemAccess> accesses;  // program order; empty when unsolved
 
   const MemAccess* AccessAt(isa::Addr pc) const;
+  // Solved accesses classified kAffine — how much of the loop's memory
+  // behaviour the static pass pinned down. The cost-model planner uses it
+  // as a benefit input: insertion estimates on a loop with proven streams
+  // deserve more credit than ones resting on sampled strides alone.
+  int AffineAccessCount() const;
 };
 
 // Solves the loop closed by (head, back_branch_pc) — the same pair the

@@ -16,5 +16,6 @@
 #include "cobra/controller.h"   // IWYU pragma: export
 #include "cobra/monitor.h"      // IWYU pragma: export
 #include "cobra/optimizer.h"    // IWYU pragma: export
+#include "cobra/planner.h"      // IWYU pragma: export
 #include "cobra/profile.h"      // IWYU pragma: export
 #include "cobra/trace_cache.h"  // IWYU pragma: export

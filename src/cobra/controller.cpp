@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/cfg.h"
+#include "mem/protocol.h"
 #include "support/check.h"
 
 namespace cobra::core {
@@ -26,7 +27,10 @@ CobraRuntime::CobraRuntime(machine::Machine* machine, CobraConfig config)
     : machine_(machine),
       config_(config),
       driver_(machine, MakeSamplingConfig(config)),
-      trace_cache_(&machine->image()) {
+      trace_cache_(&machine->image()),
+      planner_(Planner::Options{config.plan_budget,
+                                config.plan_min_profit_delta,
+                                config.plan_cooldown_cycles}) {
   COBRA_CHECK(machine != nullptr);
   monitors_.resize(static_cast<std::size_t>(machine->num_cpus()));
 
@@ -62,6 +66,24 @@ CobraRuntime::CobraRuntime(machine::Machine* machine, CobraConfig config)
                [this] { return stats_.prior_mismatches; });
   metrics_.Add("analysis.scev.invariant_suppressed",
                [this] { return stats_.invariant_suppressed; });
+  // Cost-model planner family (DESIGN.md §9): all zero under the default
+  // heuristic — the planner is only consulted when config.planner == kCost.
+  metrics_.Add("cobra.planner.candidates",
+               [this] { return planner_.stats().candidates_seen; });
+  metrics_.Add("cobra.planner.accepted",
+               [this] { return planner_.stats().accepted; });
+  metrics_.Add("cobra.planner.rejected_budget",
+               [this] { return planner_.stats().rejected_budget; });
+  metrics_.Add("cobra.planner.rejected_hysteresis",
+               [this] { return planner_.stats().rejected_hysteresis; });
+  metrics_.Add("cobra.planner.plan_revisions",
+               [this] { return planner_.stats().plan_revisions; });
+  metrics_.Add("cobra.planner.estimated_benefit_cycles", [this] {
+    return static_cast<std::uint64_t>(planner_.stats().estimated_benefit);
+  });
+  metrics_.Add("cobra.planner.realized_benefit_cycles", [this] {
+    return static_cast<std::uint64_t>(planner_.stats().realized_benefit);
+  });
 }
 
 void CobraRuntime::TraceInstant(std::string name) {
@@ -213,30 +235,20 @@ bool CobraRuntime::LoopQualifiesForInsertion(
     if (std::llabs(load.stride) > 4096) continue;  // not a steady stream
 
     auto needed = static_cast<std::uint32_t>(config_.stride_confirmations);
-    if (scev != nullptr && scev->solved) {
-      if (const analysis::MemAccess* access = scev->AccessAt(load.pc)) {
-        if (access->cls == analysis::AddrClass::kInvariant) {
-          // The address provably never moves: whatever DEAR sampled is
-          // re-reference noise, and a prefetch would be pure overhead.
+    if (scev != nullptr) {
+      switch (ArbitrateStaticPrior(*scev, load.pc, load.stride)) {
+        case PriorVerdict::kNoPrior:
+          break;
+        case PriorVerdict::kInvariant:
           ++stats_.invariant_suppressed;
           continue;
-        }
-        if (access->cls == analysis::AddrClass::kAffine) {
-          // DEAR deltas are sampled, so the dynamic stride is some whole
-          // number of iterations ahead on the stream: accept any nonzero
-          // same-sign multiple of the static stride (the verifier enforces
-          // the same lattice on the planted pair).
-          const bool on_lattice =
-              load.stride % access->stride == 0 &&
-              (load.stride > 0) == (access->stride > 0);
-          if (on_lattice) {
-            needed = 1;  // static agreement: no need to wait for N repeats
-            ++stats_.prior_hits;
-          } else {
-            ++stats_.prior_mismatches;
-            continue;  // contradicted: hold back until the profile agrees
-          }
-        }
+        case PriorVerdict::kConfirmed:
+          needed = 1;  // static agreement: no need to wait for N repeats
+          ++stats_.prior_hits;
+          break;
+        case PriorVerdict::kMismatch:
+          ++stats_.prior_mismatches;
+          continue;  // contradicted: hold back until the profile agrees
       }
     }
     if (load.stride_confirmations < needed) continue;
@@ -246,6 +258,7 @@ bool CobraRuntime::LoopQualifiesForInsertion(
 }
 
 int CobraRuntime::DeployQualifying(const SystemProfile& profile) {
+  if (config_.planner == PlannerKind::kCost) return DeployPlanned(profile);
   const bool inserting =
       config_.strategy == OptKind::kInsertPrefetch && !config_.adaptive;
   // The coherent-ratio trigger gates the coherence optimizations; the
@@ -370,6 +383,237 @@ int CobraRuntime::DeployQualifying(const SystemProfile& profile) {
   return deployed;
 }
 
+std::vector<PlanCandidate> CobraRuntime::GatherPlanCandidates(
+    const SystemProfile& profile,
+    std::map<isa::Addr, PlannedQualification>* qualified) {
+  std::vector<PlanCandidate> out;
+  const bool coherent_triggered =
+      !config_.require_coherent_ratio ||
+      profile.totals.CoherentRatio() >= config_.coherent_ratio_threshold;
+
+  // Protocol-aware traffic shares from the fabric's event mix: how much of
+  // the observed coherence traffic is invalidation rounds (what noprefetch
+  // and excl attack), how much is Dragon-style updates (excl degenerates:
+  // lfetch.excl does not raise an RFO on update-based fabrics), and how
+  // much of all bus traffic crossed the NUMA interconnect (an excl RFO
+  // that steals a remotely-shared line pays the round trip twice).
+  const mem::BusEventCounts& traffic = machine_->fabric().TotalCounts();
+  const std::uint64_t coherent_events = traffic.CoherentEvents();
+  const double inval_share =
+      coherent_events != 0
+          ? static_cast<double>(traffic.bus_upgrades +
+                                traffic.bus_rd_inval_all_hitm) /
+                static_cast<double>(coherent_events)
+          : 0.0;
+  const double update_share =
+      coherent_events != 0
+          ? static_cast<double>(traffic.bus_updates) /
+                static_cast<double>(coherent_events)
+          : 0.0;
+  const double remote_share =
+      traffic.bus_memory != 0
+          ? static_cast<double>(traffic.remote_transactions) /
+                static_cast<double>(traffic.bus_memory)
+          : 0.0;
+  const bool excl_rfo =
+      mem::CoherencePolicy::For(machine_->config().mem.protocol)
+          .excl_prefetch_rfo();
+
+  for (const LoopCandidate& loop : profile.hot_loops) {
+    if (loop.hits < config_.min_loop_hits) break;  // sorted by hits
+    const isa::Addr head = isa::BundleAddr(loop.head);
+    const isa::Addr back = isa::BundleAddr(loop.back_branch_pc);
+    if (history_[head].blacklisted) continue;
+
+    auto in_region = [&](isa::Addr pc) {
+      return pc >= head && pc <= isa::MakePc(back, 2);
+    };
+    // Patch overhead plus trace-cache occupancy: one budget unit per
+    // deployment, plus the region's bundle footprint in the code cache.
+    const double bundles =
+        static_cast<double>((back - head) / isa::kBundleBytes + 1);
+    const double cost_base = 1.0 + bundles / 8.0;
+
+    PlannedQualification q;
+    q.loop = loop;
+    if (coherent_triggered && LoopQualifies(profile, loop, &q.lfetches)) {
+      // DEAR latency mass of the region's delinquent loads, split into
+      // the coherent share the patch targets (per-load attribution when
+      // the two-level filter runs; the bus-level coherent ratio when the
+      // ablation config turned the per-load filter off).
+      double region_mass = 0.0;
+      double coherent_mass = 0.0;
+      for (const DelinquentLoad& load : profile.delinquent_loads) {
+        if (!in_region(load.pc) || load.samples == 0) continue;
+        const double mass = static_cast<double>(load.total_latency);
+        region_mass += mass;
+        coherent_mass += mass * static_cast<double>(load.coherent_samples) /
+                         static_cast<double>(load.samples);
+      }
+      if (!config_.require_coherent_load_in_loop && coherent_mass == 0.0) {
+        coherent_mass = region_mass * profile.totals.CoherentRatio();
+      }
+      // noprefetch: removing the premature lfetches removes the coherent
+      // traffic they manufacture. On an update-based fabric the pathology
+      // is milder (updates refresh remote copies instead of killing them).
+      out.push_back(PlanCandidate{head, loop.back_branch_pc,
+                                  OptKind::kNoprefetch,
+                                  coherent_mass * (1.0 - 0.5 * update_share),
+                                  cost_base});
+      // prefetch.excl: collapses the read + upgrade pair into one RFO —
+      // worth a share of the invalidation traffic — but steals remotely
+      // shared lines, paying the interconnect round trip both ways on a
+      // NUMA fabric. Non-positive estimates never enter a plan.
+      const double excl_benefit =
+          excl_rfo ? coherent_mass * (inval_share - 2.0 * remote_share)
+                   : 0.0;
+      out.push_back(PlanCandidate{head, loop.back_branch_pc,
+                                  OptKind::kPrefetchExcl, excl_benefit,
+                                  cost_base});
+      qualified->emplace(head, std::move(q));
+    } else if (LoopQualifiesForInsertion(profile, loop, &q.inserts)) {
+      // DEAR latency mass of the plain (non-coherent) delinquent loads.
+      double memory_mass = 0.0;
+      for (const DelinquentLoad& load : profile.delinquent_loads) {
+        if (in_region(load.pc) && load.coherent_samples * 2 <= load.samples) {
+          memory_mass += static_cast<double>(load.total_latency);
+        }
+      }
+      // Scalar-evolution facts as benefit inputs: estimates on a loop
+      // whose streams the static pass proved affine (and whose sampled
+      // strides sit on the chrec lattice) deserve more credit than ones
+      // resting on sampled strides alone.
+      double prior_scale = 0.75;
+      if (config_.static_priors) {
+        const analysis::LoopScev& scev = ScevFor(loop);
+        if (scev.solved && scev.AffineAccessCount() > 0) {
+          std::size_t confirmed = 0;
+          for (const InsertionCandidate& cand : q.inserts) {
+            if (ArbitrateStaticPrior(scev, cand.load_pc, cand.stride) ==
+                PriorVerdict::kConfirmed) {
+              ++confirmed;
+            }
+          }
+          prior_scale = 0.5 + 0.5 * static_cast<double>(confirmed) /
+                                  static_cast<double>(q.inserts.size());
+        }
+      }
+      // Planted prefetches occupy bus slots of their own: half a budget
+      // unit per planted stream on top of the patch overhead.
+      const double cost =
+          cost_base + 0.5 * static_cast<double>(q.inserts.size());
+      out.push_back(PlanCandidate{head, loop.back_branch_pc,
+                                  OptKind::kInsertPrefetch,
+                                  memory_mass * prior_scale, cost});
+      qualified->emplace(head, std::move(q));
+    }
+  }
+  return out;
+}
+
+int CobraRuntime::DeployPlanned(const SystemProfile& profile) {
+  std::map<isa::Addr, PlannedQualification> qualified;
+  const std::vector<PlanCandidate> candidates =
+      GatherPlanCandidates(profile, &qualified);
+  const Plan& plan = planner_.Propose(
+      candidates, static_cast<std::uint64_t>(machine_->GlobalTime()));
+
+  // A plan revision may drop a live patch, or re-kind a loop: revert the
+  // stale deployment first (the epoch bookkeeping sees an inactive entry,
+  // exactly as after a measured revert).
+  for (const auto& deployment : trace_cache_.deployments()) {
+    if (!deployment.active) continue;
+    const PlanCandidate* want = plan.Find(deployment.loop.head);
+    if (want != nullptr && want->kind == deployment.opt) continue;
+    trace_cache_.Revert(deployment.id);
+    ++stats_.rollbacks;
+    TraceInstant("revert");
+  }
+
+  std::uint64_t active = 0;
+  for (const auto& deployment : trace_cache_.deployments()) {
+    if (deployment.active) ++active;
+  }
+
+  // Deploy the accepted set in hotness order (the plan carries no
+  // priority of its own; the hottest loops claim the deployment cap and
+  // the quiesce retries first, like the heuristic).
+  int deployed = 0;
+  for (const LoopCandidate& loop : profile.hot_loops) {
+    if (loop.hits < config_.min_loop_hits) break;
+    if (active >= config_.max_deployments) break;
+    const isa::Addr head = isa::BundleAddr(loop.head);
+    const PlanCandidate* pick = plan.Find(head);
+    if (pick == nullptr) continue;
+    const auto it = qualified.find(head);
+    if (it == qualified.end()) continue;
+    if (const auto* existing = trace_cache_.FindByHead(head);
+        existing != nullptr && existing->active) {
+      continue;  // already live under the planned kind
+    }
+    LoopHistory& history = history_[head];
+    if (history.blacklisted) continue;
+
+    // Same quiesce rule as the heuristic path: never patch a head bundle
+    // a thread is currently mid-bundle in.
+    bool quiesced = true;
+    for (int c = 0; c < machine_->num_cpus(); ++c) {
+      const cpu::Core& core = machine_->core(c);
+      if (!core.halted() && isa::BundleAddr(core.pc()) == head &&
+          isa::SlotOf(core.pc()) != 0) {
+        quiesced = false;
+      }
+    }
+    if (!quiesced) continue;
+
+    const OptKind kind = pick->kind;
+    const int id = trace_cache_.Deploy(
+        LoopRegion{head, loop.back_branch_pc}, kind);
+    if (id < 0) continue;
+
+    if (kind == OptKind::kInsertPrefetch) {
+      const auto* deployment = trace_cache_.Get(id);
+      std::vector<InsertionCandidate> remapped = it->second.inserts;
+      for (InsertionCandidate& candidate : remapped) {
+        candidate.load_pc =
+            deployment->trace_head + (candidate.load_pc - head);
+      }
+      const isa::Addr trace_end =
+          deployment->trace_head +
+          (isa::BundleAddr(loop.back_branch_pc) - head);
+      const int inserted =
+          InsertPrefetches(machine_->image(), deployment->trace_head,
+                           trace_end, remapped);
+      if (inserted == 0) {
+        trace_cache_.Revert(id);
+        history.blacklisted = true;
+        continue;
+      }
+      stats_.prefetches_inserted += static_cast<std::uint64_t>(inserted);
+      trace_cache_.CheckDeployment(id);
+    }
+
+    ++stats_.deployments;
+    if (stats_.first_deploy_cycles == 0) {
+      stats_.first_deploy_cycles =
+          static_cast<std::uint64_t>(machine_->GlobalTime());
+    }
+    TraceInstant(std::string("deploy.") + OptKindName(kind));
+    ++active;
+    ++deployed;
+    stats_.lfetches_rewritten += static_cast<std::uint64_t>(
+        trace_cache_.Get(id)->lfetches_rewritten);
+    if (kind == OptKind::kNoprefetch) {
+      history.tried_noprefetch = true;
+    } else if (kind == OptKind::kPrefetchExcl) {
+      history.tried_excl = true;
+    }
+    epoch_deployments_.push_back(id);
+    epoch_heads_.push_back(head);
+  }
+  return deployed;
+}
+
 void CobraRuntime::RevertEpoch() {
   for (const int id : epoch_deployments_) {
     if (const auto* deployment = trace_cache_.Get(id);
@@ -434,8 +678,14 @@ void CobraRuntime::EpochStep(const SystemProfile& profile,
     }
     case EpochState::kMeasureOn: {
       cpi_accum_ += window_cpi;
+      if (config_.planner == PlannerKind::kCost) {
+        epoch_on_insts_ += static_cast<double>(
+            profile.totals.instructions - window_start_.instructions);
+      }
       if (++cpi_windows_ < config_.epoch_windows) return;
       const double cpi_on = cpi_accum_ / cpi_windows_;
+      const double on_insts = epoch_on_insts_;
+      epoch_on_insts_ = 0.0;
       cpi_accum_ = 0.0;
       cpi_windows_ = 0;
       if (cpi_on > cpi_off_ * config_.epoch_slowdown_threshold) {
@@ -444,6 +694,12 @@ void CobraRuntime::EpochStep(const SystemProfile& profile,
         TraceInstant("epoch.reverted");
         epoch_state_ = EpochState::kMeasureOff;  // measure fresh, try again
       } else {
+        // Realized benefit of the kept epoch: the measured CPI drop times
+        // the instructions it was measured over — the figure the
+        // cobra.planner.* family reports against the model's estimates.
+        if (config_.planner == PlannerKind::kCost && cpi_on < cpi_off_) {
+          planner_.AddRealizedBenefit((cpi_off_ - cpi_on) * on_insts);
+        }
         ++stats_.epochs_kept;
         TraceInstant("epoch.kept");
         epoch_deployments_.clear();
@@ -511,8 +767,13 @@ void CobraRuntime::PhaseDetect(const CounterTotals& window) {
   epoch_heads_.clear();
   cpi_accum_ = 0.0;
   cpi_windows_ = 0;
+  epoch_on_insts_ = 0.0;
   epoch_state_ = EpochState::kMeasureOff;
   reference_l3_per_inst_ = l3_per_inst;
+  // The standing plan was built for the phase that just ended: forget it
+  // (and its cooldown) so the planner re-solves from scratch, like the
+  // heuristic forgetting its loop verdicts above.
+  planner_.Reset();
 }
 
 }  // namespace cobra::core

@@ -31,6 +31,7 @@
 #include "cobra/insertion.h"
 #include "cobra/monitor.h"
 #include "cobra/optimizer.h"
+#include "cobra/planner.h"
 #include "cobra/profile.h"
 #include "cobra/trace_cache.h"
 #include "machine/machine.h"
@@ -85,6 +86,17 @@ struct CobraConfig {
   // selected (its DEAR deltas are re-reference noise, not a stream).
   bool static_priors = false;
   int stride_confirmations = 3;  // confirmations required without a prior
+
+  // Strategy selection engine (DESIGN.md §9). The per-loop heuristic is
+  // the bit-identical default; PlannerKind::kCost routes every adaptation
+  // epoch through the global profit/cost planner, which scores each
+  // (loop, OptKind) candidate and solves for the best patch set under
+  // `plan_budget`. COBRA_PLANNER=heuristic|cost overrides the default; an
+  // explicit assignment in code wins over the environment.
+  PlannerKind planner = PlannerFromEnv(PlannerKind::kHeuristic);
+  double plan_budget = 64.0;             // SolvePlan budget, in cost units
+  double plan_min_profit_delta = 256.0;  // cycles a plan revision must win
+  std::uint64_t plan_cooldown_cycles = 100000;  // between plan revisions
 };
 
 class CobraRuntime {
@@ -127,6 +139,8 @@ class CobraRuntime {
 
   const Stats& stats() const { return stats_; }
   const TraceCache& trace_cache() const { return trace_cache_; }
+  // The cost-model planner (all-zero stats under the heuristic default).
+  const Planner& planner() const { return planner_; }
   const SystemProfile& last_profile() const { return last_profile_; }
   const std::vector<std::unique_ptr<MonitoringThread>>& monitors() const {
     return monitors_;
@@ -150,8 +164,27 @@ class CobraRuntime {
   void OptimizationThreadWake();
   // Instant event on the machine's "cobra" trace lane (no-op untraced).
   void TraceInstant(std::string name);
-  // Deploys every currently qualifying hot loop; returns how many.
+  // Deploys every currently qualifying hot loop; returns how many. Under
+  // PlannerKind::kCost, delegates to DeployPlanned.
   int DeployQualifying(const SystemProfile& profile);
+
+  // Cost-planner path (DESIGN.md §9): qualification results cached by the
+  // candidate pre-pass, reused verbatim by the deployment sweep so the
+  // arbitration stats count once per wake, like the heuristic.
+  struct PlannedQualification {
+    LoopCandidate loop;
+    std::vector<isa::Addr> lfetches;          // coherence kinds
+    std::vector<InsertionCandidate> inserts;  // insertion kind
+  };
+  // Scores every qualifying (loop, OptKind) pair with estimated benefit
+  // (DEAR latency mass × protocol-aware traffic shares) and cost (deploy
+  // overhead + trace-cache slots + planted-prefetch bus occupancy).
+  std::vector<PlanCandidate> GatherPlanCandidates(
+      const SystemProfile& profile,
+      std::map<isa::Addr, PlannedQualification>* qualified);
+  // Solves/refreshes the plan, reverts live patches a revision dropped,
+  // deploys the accepted set; returns how many went live this wake.
+  int DeployPlanned(const SystemProfile& profile);
   void EpochStep(const SystemProfile& profile, double window_cpi);
   void PhaseDetect(const CounterTotals& window);
   void RevertEpoch();
@@ -178,11 +211,17 @@ class CobraRuntime {
   SystemProfile last_profile_;
   std::uint64_t batches_since_wake_ = 0;
 
+  Planner planner_;
+
   EpochState epoch_state_ = EpochState::kMeasureOff;
   double cpi_accum_ = 0.0;
   int cpi_windows_ = 0;
   double cpi_off_ = 0.0;            // baseline of the current epoch
   int settle_windows_ = 0;
+  // Instructions retired across the kMeasureOn windows (cost planner
+  // only): the realized-benefit figure credits (cpi_off - cpi_on) cycles
+  // per measured instruction to the plan when an epoch is kept.
+  double epoch_on_insts_ = 0.0;
   std::vector<int> epoch_deployments_;
   std::vector<isa::Addr> epoch_heads_;
 

@@ -165,4 +165,28 @@ int InsertPrefetches(isa::BinaryImage& image, isa::Addr begin_bundle,
   return inserted;
 }
 
+PriorVerdict ArbitrateStaticPrior(const analysis::LoopScev& scev,
+                                  isa::Addr load_pc,
+                                  std::int64_t dynamic_stride) {
+  if (!scev.solved) return PriorVerdict::kNoPrior;
+  const analysis::MemAccess* access = scev.AccessAt(load_pc);
+  if (access == nullptr) return PriorVerdict::kNoPrior;
+  switch (access->cls) {
+    case analysis::AddrClass::kUnknown:
+      return PriorVerdict::kNoPrior;
+    case analysis::AddrClass::kInvariant:
+      // The address provably never moves: whatever DEAR sampled is
+      // re-reference noise, and a prefetch would be pure overhead.
+      return PriorVerdict::kInvariant;
+    case analysis::AddrClass::kAffine: {
+      const bool on_lattice =
+          access->stride != 0 && dynamic_stride % access->stride == 0 &&
+          dynamic_stride != 0 &&
+          (dynamic_stride > 0) == (access->stride > 0);
+      return on_lattice ? PriorVerdict::kConfirmed : PriorVerdict::kMismatch;
+    }
+  }
+  return PriorVerdict::kNoPrior;
+}
+
 }  // namespace cobra::core

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/scev.h"
 #include "isa/image.h"
 
 namespace cobra::core {
@@ -30,6 +31,25 @@ struct InsertionCandidate {
   isa::Addr load_pc = 0;      // pc within the region to be optimized
   std::int64_t stride = 0;    // inferred, nonzero
 };
+
+// Verdict of cross-checking a DEAR-inferred stride against the loop's
+// static scalar-evolution facts (CobraConfig::static_priors).
+enum class PriorVerdict : std::uint8_t {
+  kNoPrior,    // unsolved loop / unclassified access: full confirmations
+  kConfirmed,  // dynamic stride on the static lattice: one confirmation
+  kMismatch,   // contradicted stride: hold back until the profile agrees
+  kInvariant,  // provably loop-invariant address: never select
+};
+
+// The static-prior arbitration rule (DESIGN.md §8): DEAR deltas are
+// sampled, so a trustworthy dynamic stride is some whole number of
+// iterations ahead on the static stream — any nonzero same-sign multiple
+// of the chrec stride counts as agreement. The caller decides what each
+// verdict means for the confirmation requirement (the controller maps
+// kConfirmed to a single confirmation, kMismatch/kInvariant to rejection).
+PriorVerdict ArbitrateStaticPrior(const analysis::LoopScev& scev,
+                                  isa::Addr load_pc,
+                                  std::int64_t dynamic_stride);
 
 // Finds a static general register r8..r31 that is provably dead across
 // bundles [begin, end]: non-prefetch liveness (lfetch address reads keep

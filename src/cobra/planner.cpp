@@ -1,0 +1,335 @@
+#include "cobra/planner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+namespace cobra::core {
+
+namespace {
+
+// Guards the density division; candidate costs are clamped up to this.
+constexpr double kMinCost = 1e-9;
+// Strict-improvement threshold for exchange moves and budget slack: keeps
+// the solve stable under floating-point noise (a tie is never "better",
+// so the greedy selection is the canonical representative of its value).
+constexpr double kEps = 1e-9;
+
+int KindRank(OptKind kind) {
+  switch (kind) {
+    case OptKind::kNone: return 0;
+    case OptKind::kNoprefetch: return 1;
+    case OptKind::kPrefetchExcl: return 2;
+    case OptKind::kInsertPrefetch: return 3;
+  }
+  return 4;
+}
+
+// Total order on candidates independent of benefit/cost: the canonical
+// output order, and the final tie-break everywhere else.
+bool CanonicalLess(const PlanCandidate& a, const PlanCandidate& b) {
+  if (a.head != b.head) return a.head < b.head;
+  if (KindRank(a.kind) != KindRank(b.kind)) {
+    return KindRank(a.kind) < KindRank(b.kind);
+  }
+  if (a.back_branch_pc != b.back_branch_pc) {
+    return a.back_branch_pc < b.back_branch_pc;
+  }
+  if (a.benefit != b.benefit) return a.benefit > b.benefit;
+  return a.cost < b.cost;
+}
+
+double Density(const PlanCandidate& c) {
+  return c.benefit / std::max(c.cost, kMinCost);
+}
+
+// Greedy consideration order: densest first; ties by higher benefit, then
+// lower cost, then the canonical order.
+bool GreedyBefore(const PlanCandidate& a, const PlanCandidate& b) {
+  const double da = Density(a);
+  const double db = Density(b);
+  if (da != db) return da > db;
+  if (a.benefit != b.benefit) return a.benefit > b.benefit;
+  if (a.cost != b.cost) return a.cost < b.cost;
+  return CanonicalLess(a, b);
+}
+
+}  // namespace
+
+const char* PlannerKindName(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kHeuristic: return "heuristic";
+    case PlannerKind::kCost: return "cost";
+  }
+  return "?";
+}
+
+bool ParsePlannerKind(const char* text, PlannerKind* out) {
+  if (text == nullptr) return false;
+  char lower[16] = {};
+  const std::size_t n = std::strlen(text);
+  if (n == 0 || n >= sizeof(lower)) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  for (PlannerKind k : {PlannerKind::kHeuristic, PlannerKind::kCost}) {
+    if (std::strcmp(lower, PlannerKindName(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+PlannerKind PlannerFromEnv(PlannerKind fallback) {
+  PlannerKind k = fallback;
+  ParsePlannerKind(std::getenv("COBRA_PLANNER"), &k);
+  return k;
+}
+
+const PlanCandidate* Plan::Find(isa::Addr head) const {
+  for (const PlanCandidate& c : accepted) {
+    if (c.head == head) return &c;
+  }
+  return nullptr;
+}
+
+bool Plan::SameSelection(const Plan& other) const {
+  if (accepted.size() != other.accepted.size()) return false;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    if (accepted[i].head != other.accepted[i].head ||
+        accepted[i].kind != other.accepted[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Plan SolvePlan(std::vector<PlanCandidate> candidates, double budget) {
+  Plan plan;
+
+  // Only positive-benefit candidates compete: a patch the model cannot
+  // credit with a single saved cycle is never worth budget. The canonical
+  // sort makes everything downstream input-order independent.
+  std::vector<PlanCandidate> pool;
+  pool.reserve(candidates.size());
+  for (const PlanCandidate& c : candidates) {
+    if (c.benefit > 0.0) pool.push_back(c);
+  }
+  std::sort(pool.begin(), pool.end(), CanonicalLess);
+
+  const int n = static_cast<int>(pool.size());
+  std::vector<char> take(static_cast<std::size_t>(n), 0);
+  double used = 0.0;
+  double total = 0.0;
+
+  // `skip` lets the feasibility probes pretend up to two selected items
+  // were removed (for the exchange moves).
+  auto head_free = [&](isa::Addr head, int skip_a, int skip_b) {
+    for (int i = 0; i < n; ++i) {
+      if (!take[static_cast<std::size_t>(i)] || i == skip_a || i == skip_b) {
+        continue;
+      }
+      if (pool[static_cast<std::size_t>(i)].head == head) return false;
+    }
+    return true;
+  };
+  auto select = [&](int i) {
+    take[static_cast<std::size_t>(i)] = 1;
+    used += pool[static_cast<std::size_t>(i)].cost;
+    total += pool[static_cast<std::size_t>(i)].benefit;
+  };
+  auto deselect = [&](int i) {
+    take[static_cast<std::size_t>(i)] = 0;
+    used -= pool[static_cast<std::size_t>(i)].cost;
+    total -= pool[static_cast<std::size_t>(i)].benefit;
+  };
+
+  // Greedy by benefit density over the knapsack relaxation.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return GreedyBefore(pool[static_cast<std::size_t>(a)],
+                        pool[static_cast<std::size_t>(b)]);
+  });
+  for (const int i : order) {
+    const PlanCandidate& c = pool[static_cast<std::size_t>(i)];
+    if (!head_free(c.head, -1, -1)) continue;
+    if (used + c.cost <= budget + kEps) select(i);
+  }
+
+  // Exchange improvement: repeatedly apply the best strictly-improving
+  // move from a fixed neighborhood until none exists (bounded passes; each
+  // pass raises the total, so termination is guaranteed anyway). Density
+  // greedy alone mis-ranks small dense items over one large profitable
+  // one and vice versa; the 1-out/2-in and 2-out/1-in moves repair
+  // exactly those traps, which is what makes the solve exhaustively exact
+  // on the small candidate sets the oracle tests enumerate.
+  for (int pass = 0; pass < 64; ++pass) {
+    double best_gain = kEps;
+    int best_out_a = -1, best_out_b = -1, best_in_a = -1, best_in_b = -1;
+    auto consider = [&](double gain, int out_a, int out_b, int in_a,
+                        int in_b) {
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_out_a = out_a;
+        best_out_b = out_b;
+        best_in_a = in_a;
+        best_in_b = in_b;
+      }
+    };
+    auto cand = [&](int i) -> const PlanCandidate& {
+      return pool[static_cast<std::size_t>(i)];
+    };
+    auto taken = [&](int i) {
+      return take[static_cast<std::size_t>(i)] != 0;
+    };
+
+    for (int a = 0; a < n; ++a) {
+      if (taken(a)) continue;
+      // Fill: add `a` outright.
+      if (head_free(cand(a).head, -1, -1) &&
+          used + cand(a).cost <= budget + kEps) {
+        consider(cand(a).benefit, -1, -1, a, -1);
+      }
+      for (int x = 0; x < n; ++x) {
+        if (!taken(x)) continue;
+        // 1-out/1-in: drop x, add a.
+        if (head_free(cand(a).head, x, -1) &&
+            used - cand(x).cost + cand(a).cost <= budget + kEps) {
+          consider(cand(a).benefit - cand(x).benefit, x, -1, a, -1);
+        }
+        // 2-out/1-in: drop x and y, add a.
+        for (int y = x + 1; y < n; ++y) {
+          if (!taken(y)) continue;
+          if (head_free(cand(a).head, x, y) &&
+              used - cand(x).cost - cand(y).cost + cand(a).cost <=
+                  budget + kEps) {
+            consider(cand(a).benefit - cand(x).benefit - cand(y).benefit,
+                     x, y, a, -1);
+          }
+        }
+        // 1-out/2-in: drop x, add a and b.
+        for (int b = a + 1; b < n; ++b) {
+          if (taken(b)) continue;
+          if (cand(a).head == cand(b).head) continue;
+          if (head_free(cand(a).head, x, -1) &&
+              head_free(cand(b).head, x, -1) &&
+              used - cand(x).cost + cand(a).cost + cand(b).cost <=
+                  budget + kEps) {
+            consider(cand(a).benefit + cand(b).benefit - cand(x).benefit,
+                     x, -1, a, b);
+          }
+        }
+      }
+    }
+    if (best_in_a < 0) break;
+    if (best_out_a >= 0) deselect(best_out_a);
+    if (best_out_b >= 0) deselect(best_out_b);
+    select(best_in_a);
+    if (best_in_b >= 0) select(best_in_b);
+  }
+
+  // Classic greedy guard: the single most profitable feasible item beats
+  // a selection of dense slivers when one candidate dominates the budget.
+  int best_single = -1;
+  for (int i = 0; i < n; ++i) {
+    const PlanCandidate& c = pool[static_cast<std::size_t>(i)];
+    if (c.cost > budget + kEps) continue;
+    if (best_single < 0 ||
+        c.benefit > pool[static_cast<std::size_t>(best_single)].benefit) {
+      best_single = i;
+    }
+  }
+  if (best_single >= 0 &&
+      pool[static_cast<std::size_t>(best_single)].benefit > total + kEps) {
+    std::fill(take.begin(), take.end(), 0);
+    used = 0.0;
+    total = 0.0;
+    select(best_single);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    if (take[static_cast<std::size_t>(i)]) {
+      plan.accepted.push_back(pool[static_cast<std::size_t>(i)]);
+    } else {
+      ++plan.rejected_budget;
+    }
+  }
+  plan.total_benefit = total;
+  plan.total_cost = used;
+  return plan;
+}
+
+void Planner::Adopt(Plan next, std::uint64_t now_cycles) {
+  plan_ = std::move(next);
+  has_plan_ = true;
+  last_revision_cycles_ = now_cycles;
+  stats_.accepted += plan_.accepted.size();
+  stats_.rejected_budget += plan_.rejected_budget;
+  stats_.estimated_benefit += plan_.total_benefit;
+}
+
+const Plan& Planner::Propose(const std::vector<PlanCandidate>& candidates,
+                             std::uint64_t now_cycles) {
+  ++stats_.solves;
+  stats_.candidates_seen += candidates.size();
+  Plan next = SolvePlan(candidates, options_.budget);
+
+  if (!has_plan_) {
+    // An empty solve is "still no plan": adopting it would arm the
+    // cooldown and delay the first real plan for no reason.
+    if (next.accepted.empty()) {
+      plan_ = std::move(next);
+      return plan_;
+    }
+    Adopt(std::move(next), now_cycles);
+    return plan_;
+  }
+
+  if (plan_.SameSelection(next)) {
+    // Same patch set, fresh estimates: not a revision.
+    plan_ = std::move(next);
+    return plan_;
+  }
+
+  // Hysteresis gate 1: the cooldown window. Phase noise shifts the
+  // estimates every wake; a standing plan holds its ground until the
+  // window has passed.
+  if (now_cycles - last_revision_cycles_ < options_.cooldown_cycles) {
+    ++stats_.rejected_hysteresis;
+    return plan_;
+  }
+
+  // Hysteresis gate 2: minimum profit delta. Re-score the standing
+  // selection against the *fresh* estimates (a candidate that no longer
+  // qualifies contributes nothing) so the comparison is apples-to-apples.
+  double current_fresh = 0.0;
+  for (const PlanCandidate& kept : plan_.accepted) {
+    for (const PlanCandidate& c : candidates) {
+      if (c.head == kept.head && c.kind == kept.kind) {
+        current_fresh += std::max(c.benefit, 0.0);
+        break;
+      }
+    }
+  }
+  if (next.total_benefit < current_fresh + options_.min_profit_delta) {
+    ++stats_.rejected_hysteresis;
+    return plan_;
+  }
+
+  ++stats_.plan_revisions;
+  Adopt(std::move(next), now_cycles);
+  return plan_;
+}
+
+void Planner::Reset() {
+  plan_ = Plan{};
+  has_plan_ = false;
+  last_revision_cycles_ = 0;
+}
+
+}  // namespace cobra::core

@@ -19,6 +19,14 @@ std::uint64_t Snapshot::Value(std::string_view name) const {
   return 0;
 }
 
+std::uint64_t Snapshot::ValueOr(std::string_view name,
+                                std::uint64_t fallback) const {
+  for (const Metric& m : metrics) {
+    if (m.name == name) return m.value;
+  }
+  return fallback;
+}
+
 std::uint64_t Snapshot::SumPrefix(std::string_view prefix) const {
   std::uint64_t sum = 0;
   for (const Metric& m : metrics) {

@@ -41,6 +41,10 @@ struct Snapshot {
   bool Has(std::string_view name) const;
   // Value of `name`; aborts if the metric is not present.
   std::uint64_t Value(std::string_view name) const;
+  // Value of `name`, or `fallback` when the metric is not present (for
+  // optional families like cobra.planner.* that only exist while the
+  // owning subsystem is attached).
+  std::uint64_t ValueOr(std::string_view name, std::uint64_t fallback) const;
   // Sum of every metric whose name starts with `prefix`.
   std::uint64_t SumPrefix(std::string_view prefix) const;
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/scev.h"
+#include "cobra/controller.h"
 #include "cobra/optimizer.h"
 #include "cobra/trace_cache.h"
 #include "isa/assembler.h"
@@ -450,6 +451,85 @@ std::string RunFuzzCase(const FuzzCase& c,
   SetFailureContext("");
 
   return Fingerprint(m, prog.data_break());
+}
+
+PlannerCrossCheck RunFuzzCaseWithPlanner(const FuzzCase& c,
+                                         const machine::EngineConfig& engine) {
+  struct RunOut {
+    std::string fingerprint;
+    std::uint64_t deployments = 0;
+    std::uint64_t candidates = 0;
+    std::uint64_t verifications = 0;
+  };
+  const auto RunKind = [&](core::PlannerKind kind) -> RunOut {
+    kgen::Program prog;
+    support::Rng rng(c.seed ^ 0x5bf0b5a2d192a3c1ULL);
+    const GeneratedCase g = Generate(prog, rng, c.threads);
+
+    machine::Machine m(c.machine, &prog.image());
+    ApplyFills(m.memory(), g.fills);
+
+    std::ostringstream ctx;
+    ctx << "fuzz planner=" << core::PlannerKindName(kind) << " seed=" << c.seed
+        << " machine=" << c.machine_name << " threads=" << c.threads
+        << " engine=" << FormatEngine(engine)
+        << " -- rerun just this case with COBRA_FUZZ_SEED=" << c.seed;
+    SetFailureContext(ctx.str());
+
+    // Eager, fully explicit runtime config: deploy-on-sight (no measured
+    // epochs) maximizes live-patch activity per seed, and both runs share
+    // every knob except the strategy-selection engine under test. The
+    // planner kind is assigned in code so an ambient COBRA_PLANNER cannot
+    // skew the differential.
+    core::CobraConfig config;
+    config.planner = kind;
+    config.batch_size = 8;
+    config.batches_per_evaluation = 1;
+    config.min_loop_hits = 4;
+    config.require_coherent_ratio = false;
+    config.require_coherent_load_in_loop = false;
+    config.measured_epochs = false;
+    config.static_priors = true;
+    config.plan_cooldown_cycles = 0;     // every wake may revise the plan...
+    config.plan_min_profit_delta = 0.0;  // ...on any strict improvement
+    core::CobraRuntime cobra(&m, config);
+    cobra.AttachAll(c.threads);
+
+    rt::Team team(&m, c.threads, engine);
+    // Two passes: the runtime deploys mid-flight during the first, and the
+    // second executes start to finish through whatever patches went live.
+    for (int rep = 0; rep < 2; ++rep) {
+      team.Run(g.entry, [&g](int tid, cpu::RegisterFile& regs) {
+        for (const GrInit& init : g.grs) {
+          regs.WriteGr(init.reg, init.base +
+                                     static_cast<std::uint64_t>(tid) *
+                                         init.per_tid);
+        }
+        for (const FrInit& init : g.frs) regs.WriteFr(init.reg, init.value);
+      });
+    }
+    cobra.DetachAll();
+    SetFailureContext("");
+
+    RunOut out;
+    out.deployments = cobra.stats().deployments;
+    out.candidates = cobra.planner().stats().candidates_seen;
+    out.verifications = cobra.stats().patch_verifications;
+    out.fingerprint = Fingerprint(m, prog.data_break());
+    return out;
+  };
+
+  const RunOut heuristic = RunKind(core::PlannerKind::kHeuristic);
+  const RunOut cost = RunKind(core::PlannerKind::kCost);
+
+  PlannerCrossCheck result;
+  result.heuristic_fingerprint = heuristic.fingerprint;
+  result.cost_fingerprint = cost.fingerprint;
+  result.heuristic_deployments = heuristic.deployments;
+  result.cost_deployments = cost.deployments;
+  result.cost_candidates = cost.candidates;
+  result.verifier_passes = heuristic.verifications + cost.verifications;
+  return result;
 }
 
 std::string RunFuzzCaseWithDeployments(const FuzzCase& c,

@@ -95,6 +95,27 @@ struct ScevSoundnessResult {
 ScevSoundnessResult CheckScevSoundness(const FuzzCase& c,
                                        const machine::EngineConfig& engine);
 
+// Differential validation of the strategy-selection engines (cobra_fuzz
+// --planner): runs the seeded workload twice under an attached
+// CobraRuntime with an eager deterministic config — once per planner kind
+// (per-loop heuristic / cost-model planner) — and returns both
+// fingerprints plus the patch activity of each run. The planner only
+// chooses *which* semantics-preserving patches go live, so the final
+// memory images (MemoryImageOf) must be bit-identical; the caller asserts
+// that. Every deploy/revert in both runs passes through the patch-safety
+// verifier, which aborts on any violation (a false positive, since the
+// trace cache produced the patches itself).
+struct PlannerCrossCheck {
+  std::string heuristic_fingerprint;
+  std::string cost_fingerprint;
+  std::uint64_t heuristic_deployments = 0;
+  std::uint64_t cost_deployments = 0;
+  std::uint64_t cost_candidates = 0;  // (loop, kind) pairs the planner scored
+  std::uint64_t verifier_passes = 0;  // patch-safety verifier, both runs
+};
+PlannerCrossCheck RunFuzzCaseWithPlanner(const FuzzCase& c,
+                                         const machine::EngineConfig& engine);
+
 // Live-patching variant of RunFuzzCase: runs the seeded workload once over
 // the original binary, then interleaves trace-cache deploy / revert /
 // re-apply cycles (every emitted loop × every optimization kind) with full

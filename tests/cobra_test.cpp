@@ -91,6 +91,57 @@ TEST(ThreadProfile, StrideSignFlipRestartsConfirmation) {
   EXPECT_EQ(load.stride_confirmations, 1u);
 }
 
+TEST(StaticPriorArbitration, MismatchLaterConfirmedDynamically) {
+  // Regression for the stride_confirmations x static_priors interplay: a
+  // dynamic stride that first *contradicts* the static chrec is held back
+  // (kMismatch), but when the profiled stream later locks onto the
+  // lattice, the very next confirmation must arbitrate kConfirmed — the
+  // prior fast path deploys on a single confirmation, even though the
+  // sign flip that preceded it reset the confirmation counter to one.
+  kgen::Program prog;
+  const kgen::LoopInfo daxpy = EmitDaxpy(prog, "daxpy", kgen::PrefetchPolicy{});
+  const analysis::LoopScev scev =
+      analysis::AnalyzeLoop(prog.image(), daxpy.head, daxpy.back_branch_pc);
+  ASSERT_TRUE(scev.solved);
+  const analysis::MemAccess* affine = nullptr;
+  for (const analysis::MemAccess& access : scev.accesses) {
+    if (access.cls == analysis::AddrClass::kAffine) affine = &access;
+  }
+  ASSERT_NE(affine, nullptr);
+  ASSERT_GT(affine->stride, 0);
+
+  // Phase 1: the DEAR stream runs *against* the static direction — the
+  // profile's stride is off the lattice and the load is held back.
+  const std::int64_t s = affine->stride;
+  const Addr base = 0x9000;
+  const DelinquentLoad descending = RunDearStream(
+      {base + 2 * s, base + s, base});  // stride -s, 2 confirmations
+  EXPECT_EQ(descending.stride, -s);
+  EXPECT_EQ(ArbitrateStaticPrior(scev, affine->pc, descending.stride),
+            PriorVerdict::kMismatch);
+
+  // Phase 2: the stream turns around onto the static stride. The sign
+  // flip restarts confirmation at one — below any stride_confirmations
+  // setting above 1 — yet the prior must qualify the load immediately.
+  const DelinquentLoad converged = RunDearStream(
+      {base + 2 * s, base + s, base, base + s});  // tail delta +s
+  EXPECT_EQ(converged.stride, s);
+  EXPECT_EQ(converged.stride_confirmations, 1u);
+  const CobraConfig config;
+  EXPECT_LT(converged.stride_confirmations,
+            static_cast<std::uint64_t>(config.stride_confirmations));
+  EXPECT_EQ(ArbitrateStaticPrior(scev, affine->pc, converged.stride),
+            PriorVerdict::kConfirmed);
+
+  // Off-lattice strides stay held back; an unanalyzed pc carries no prior.
+  EXPECT_EQ(ArbitrateStaticPrior(scev, affine->pc, s + 4),
+            PriorVerdict::kMismatch);
+  EXPECT_EQ(ArbitrateStaticPrior(scev, affine->pc, 0),
+            PriorVerdict::kMismatch);
+  EXPECT_EQ(ArbitrateStaticPrior(scev, /*load_pc=*/0, s),
+            PriorVerdict::kNoPrior);
+}
+
 TEST(ThreadProfile, LoopDiscoveryFromBackwardBranches) {
   ThreadProfile profile;
   perfmon::Sample s = MakeSample(0, 0x1000);

@@ -137,6 +137,30 @@ TEST(PaperTrends, StaticPriorsCutTimeToFirstDeploy) {
             Derived("static_priors", "first_deploy_off"));
 }
 
+// Extension (DESIGN.md §9): the cost-model planner must never lose to the
+// per-loop heuristic — within 1% on every ablation workload — and must win
+// strictly on the NUMA false-sharing case, where it prices the remote RFO
+// traffic of eager `.excl` deployment and declines the candidate the
+// heuristic deploys blindly. The planner workloads pin MESI explicitly,
+// so the trend holds under any ambient COBRA_PROTOCOL.
+TEST(PaperTrends, PlannerNeverLosesToHeuristic) {
+  EXPECT_LE(Derived("planner", "cost_over_heuristic_smp"), 1.01);
+  EXPECT_LE(Derived("planner", "cost_over_heuristic_numa"), 1.01);
+  EXPECT_LE(Derived("planner", "cost_over_heuristic_phase"), 1.01);
+  EXPECT_LT(Derived("planner", "cost_over_heuristic_numa"), 1.0);
+}
+
+// The hysteresis protocol under a phase-shifting schedule: once the second
+// phase's latency mass overtakes the first's, fresh solves flip — and the
+// cooldown suppresses the revision instead of thrashing the plan. The kept
+// measured epoch on the coherent workload feeds the realized-benefit side
+// of the estimate ledger.
+TEST(PaperTrends, PlannerHysteresisHoldsPlanAcrossPhases) {
+  EXPECT_GT(Derived("planner", "phase_rejected_hysteresis"), 0.0);
+  EXPECT_GT(Derived("planner", "estimated_benefit_cycles"), 0.0);
+  EXPECT_GT(Derived("planner", "realized_benefit_cycles"), 0.0);
+}
+
 // Figure 7a: COBRA deploys `.excl` hints adaptively (measured epochs revert
 // them where they hurt), so its invalidation traffic — ownership upgrades
 // plus read-for-ownership HITM transfers — stays far below the always-on

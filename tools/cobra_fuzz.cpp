@@ -20,6 +20,12 @@
 //                  trace cache and run the patch-safety verifier on the
 //                  deploy/revert/re-apply cycle (COBRA_VERIFY=1 does the
 //                  same from the environment)
+//   --planner      strategy-engine differential instead of the engine
+//                  diff: run each case twice under an attached COBRA
+//                  runtime — COBRA_PLANNER=heuristic vs =cost — and check
+//                  the final memory images are bit-identical (the planner
+//                  only picks which semantics-preserving patches go live);
+//                  every deploy passes the patch-safety verifier
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -43,6 +49,7 @@ struct CliOptions {
   bool run_numa = true;
   bool dump = false;
   bool verify = false;
+  bool planner = false;
   std::string engine_spec = "parallel:4";
 };
 
@@ -74,6 +81,8 @@ CliOptions Parse(int argc, char** argv) {
       opt.dump = true;
     } else if (std::strcmp(arg, "--verify") == 0) {
       opt.verify = true;
+    } else if (std::strcmp(arg, "--planner") == 0) {
+      opt.planner = true;
     } else if (std::strncmp(arg, "--engine=", 9) == 0) {
       opt.engine_spec = arg + 9;
     } else {
@@ -104,6 +113,29 @@ int RunShape(FuzzCase (*make)(std::uint64_t), std::uint64_t seed_base,
     const std::uint64_t seed =
         opt.have_seed ? opt.seed : seed_base + static_cast<std::uint64_t>(i);
     const FuzzCase c = make(seed);
+    if (opt.planner) {
+      const cobra::verify::PlannerCrossCheck xc =
+          cobra::verify::RunFuzzCaseWithPlanner(c, engine);
+      *verifier_passes += static_cast<int>(xc.verifier_passes);
+      if (cobra::verify::MemoryImageOf(xc.heuristic_fingerprint) !=
+          cobra::verify::MemoryImageOf(xc.cost_fingerprint)) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "MISMATCH machine=%s seed=%" PRIu64
+                     ": heuristic and cost-planner memory images differ\n"
+                     "--- heuristic ---\n%s--- cost ---\n%s",
+                     c.machine_name.c_str(), seed,
+                     xc.heuristic_fingerprint.c_str(),
+                     xc.cost_fingerprint.c_str());
+      } else {
+        std::printf("ok machine=%s seed=%" PRIu64 " planner deploys=%" PRIu64
+                    "/%" PRIu64 " candidates=%" PRIu64 "\n",
+                    c.machine_name.c_str(), seed, xc.heuristic_deployments,
+                    xc.cost_deployments, xc.cost_candidates);
+        if (opt.dump) std::fputs(xc.cost_fingerprint.c_str(), stdout);
+      }
+      continue;
+    }
     if (opt.verify) {
       *verifier_passes += cobra::verify::VerifyFuzzDeployments(c);
     }
@@ -142,7 +174,7 @@ int main(int argc, char** argv) {
     mismatches += RunShape(&cobra::verify::NumaFuzzCase, 2000, opt, engine,
                            &verifier_passes);
   }
-  if (opt.verify) {
+  if (opt.verify || opt.planner) {
     std::printf("cobra_fuzz: patch verifier ran %d passes\n", verifier_passes);
   }
   if (mismatches != 0) {
