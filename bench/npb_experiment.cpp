@@ -1,9 +1,101 @@
 #include "npb_experiment.h"
 
+#include <memory>
+
 #include "npb/common.h"
 #include "support/check.h"
 
 namespace cobra::bench {
+namespace {
+
+// One fully wired benchmark instance: program, machine, optional COBRA
+// runtime, team. Built once per pass (the profiling pass and the sampled
+// pass must not share simulated state).
+struct NpbInstance {
+  kgen::Program prog;
+  std::unique_ptr<npb::NpbBenchmark> bench;
+  std::unique_ptr<machine::Machine> machine;
+  std::unique_ptr<core::CobraRuntime> cobra;
+  std::unique_ptr<rt::Team> team;
+};
+
+std::unique_ptr<NpbInstance> BuildInstance(
+    const std::string& benchmark, const machine::MachineConfig& machine_config,
+    int threads, NpbMode mode, const NpbOptions& options, bool attach_cobra) {
+  auto inst = std::make_unique<NpbInstance>();
+  inst->bench = npb::MakeBenchmark(benchmark);
+  // All modes run the same aggressively-prefetching binary; COBRA adapts it
+  // at runtime (that is the point of the paper). The blind-noprefetch and
+  // always-excl ablations compile the strawman binaries instead.
+  COBRA_CHECK(!(options.static_noprefetch_binary && options.static_excl_binary));
+  kgen::PrefetchPolicy policy;
+  if (options.static_noprefetch_binary) policy = kgen::PrefetchPolicy::None();
+  if (options.static_excl_binary) policy = kgen::PrefetchPolicy::Excl();
+  inst->bench->Build(inst->prog, policy);
+
+  machine::MachineConfig cfg = machine_config;
+  cfg.mem.memory_bytes = 1 << 25;
+  inst->machine = std::make_unique<machine::Machine>(cfg, &inst->prog.image());
+  inst->bench->Init(*inst->machine, threads);
+
+  if (mode != NpbMode::kBaseline && attach_cobra) {
+    core::CobraConfig config;
+    // Finer sampling than the defaults: class-S loop bodies are tiny, and
+    // at 8 threads a parallel region can retire fewer instructions per
+    // thread than the default period, starving the loop-cost attribution.
+    config.sampling_period_insts = 1000;
+    config.strategy = mode == NpbMode::kCobraNoprefetch
+                          ? core::OptKind::kNoprefetch
+                          : core::OptKind::kPrefetchExcl;
+    if (options.tweak_config) options.tweak_config(config);
+    inst->cobra = std::make_unique<core::CobraRuntime>(inst->machine.get(),
+                                                       config);
+    inst->cobra->AttachAll(threads);
+  }
+
+  inst->team =
+      std::make_unique<rt::Team>(inst->machine.get(), threads, options.engine);
+  return inst;
+}
+
+// The cumulative traffic counters RunNpbExperiment reports, as one probe
+// vector (sampled runs extrapolate these per phase; full runs read them
+// once at the end). Order matches FillCounters below.
+std::vector<std::uint64_t> ReadCounters(machine::Machine& machine) {
+  std::vector<std::uint64_t> c(11, 0);
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    const auto& stats = machine.stack(cpu).stats();
+    c[0] += machine.stack(cpu).L3Misses();
+    c[1] += stats.snoop_invalidations;
+    c[2] += stats.prefetch_bus_requests;
+  }
+  const auto& bus = machine.fabric().TotalCounts();
+  c[3] = bus.bus_memory;
+  c[4] = bus.CoherentEvents();
+  c[5] = bus.bus_upgrades;
+  c[6] = bus.bus_rd_inval_all_hitm;
+  c[7] = bus.bus_updates;
+  c[8] = bus.c2c_transfers;
+  c[9] = bus.bus_writebacks;
+  c[10] = bus.remote_transactions;
+  return c;
+}
+
+void FillCounters(const std::vector<std::uint64_t>& c, NpbRunResult* result) {
+  result->l3_misses = c[0];
+  result->snoop_invalidations = c[1];
+  result->prefetch_bus_requests = c[2];
+  result->bus_memory = c[3];
+  result->coherent_events = c[4];
+  result->bus_upgrades = c[5];
+  result->bus_rd_inval_all_hitm = c[6];
+  result->bus_updates = c[7];
+  result->c2c_transfers = c[8];
+  result->bus_writebacks = c[9];
+  result->remote_transactions = c[10];
+}
+
+}  // namespace
 
 const char* NpbModeName(NpbMode mode) {
   switch (mode) {
@@ -18,57 +110,44 @@ NpbRunResult RunNpbExperiment(const std::string& benchmark,
                               const machine::MachineConfig& machine_config,
                               int threads, NpbMode mode,
                               const NpbOptions& options) {
-  auto bench = npb::MakeBenchmark(benchmark);
-  kgen::Program prog;
-  // All modes run the same aggressively-prefetching binary; COBRA adapts it
-  // at runtime (that is the point of the paper). The blind-noprefetch and
-  // always-excl ablations compile the strawman binaries instead.
-  COBRA_CHECK(!(options.static_noprefetch_binary && options.static_excl_binary));
-  kgen::PrefetchPolicy policy;
-  if (options.static_noprefetch_binary) policy = kgen::PrefetchPolicy::None();
-  if (options.static_excl_binary) policy = kgen::PrefetchPolicy::Excl();
-  bench->Build(prog, policy);
-
-  machine::MachineConfig cfg = machine_config;
-  cfg.mem.memory_bytes = 1 << 25;
-  machine::Machine machine(cfg, &prog.image());
-  bench->Init(machine, threads);
-
-  std::unique_ptr<core::CobraRuntime> cobra;
-  if (mode != NpbMode::kBaseline) {
-    core::CobraConfig config;
-    // Finer sampling than the defaults: class-S loop bodies are tiny, and
-    // at 8 threads a parallel region can retire fewer instructions per
-    // thread than the default period, starving the loop-cost attribution.
-    config.sampling_period_insts = 1000;
-    config.strategy = mode == NpbMode::kCobraNoprefetch
-                          ? core::OptKind::kNoprefetch
-                          : core::OptKind::kPrefetchExcl;
-    if (options.tweak_config) options.tweak_config(config);
-    cobra = std::make_unique<core::CobraRuntime>(&machine, config);
-    cobra->AttachAll(threads);
-  }
-
-  rt::Team team(&machine, threads, options.engine);
   NpbRunResult result;
-  result.cycles = bench->Run(team);
-  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
-    const auto& stats = machine.stack(cpu).stats();
-    result.l3_misses += machine.stack(cpu).L3Misses();
-    result.snoop_invalidations += stats.snoop_invalidations;
-    result.prefetch_bus_requests += stats.prefetch_bus_requests;
+
+  perfmon::PhaseProfile profile;
+  if (options.sample.enabled()) {
+    // Pass 1: fast-forward BBV profiling. COBRA is left detached — the
+    // functional pass has no DEAR latencies for it to act on, and the
+    // profile only needs the block-level execution shape.
+    auto scout = BuildInstance(benchmark, machine_config, threads, mode,
+                               options, /*attach_cobra=*/false);
+    perfmon::PhaseProfiler profiler(scout->machine.get(), options.sample);
+    scout->bench->Run(*scout->team);
+    profile = profiler.Finish();
   }
-  const auto& bus = machine.fabric().TotalCounts();
-  result.bus_memory = bus.bus_memory;
-  result.coherent_events = bus.CoherentEvents();
-  result.bus_upgrades = bus.bus_upgrades;
-  result.bus_rd_inval_all_hitm = bus.bus_rd_inval_all_hitm;
-  result.bus_updates = bus.bus_updates;
-  result.c2c_transfers = bus.c2c_transfers;
-  result.bus_writebacks = bus.bus_writebacks;
-  result.remote_transactions = bus.remote_transactions;
-  result.verified = bench->Verify(machine);
-  if (cobra) result.cobra = cobra->stats();
+
+  auto inst = BuildInstance(benchmark, machine_config, threads, mode, options,
+                            /*attach_cobra=*/true);
+  machine::Machine& machine = *inst->machine;
+
+  if (options.sample.enabled()) {
+    perfmon::SampledRun sampler(
+        &machine, std::move(profile),
+        [&machine] { return ReadCounters(machine); });
+    inst->bench->Run(*inst->team);
+    result.sampled = true;
+    result.sample = sampler.Finish();
+    result.cycles = result.sample.projected_cycles;
+    FillCounters(result.sample.projected, &result);
+    result.verified = inst->bench->Verify(machine);
+    if (inst->cobra) result.cobra = inst->cobra->stats();
+    // Taken while the sampler is alive so the sample.* family is included.
+    result.snapshot = machine.registry().Take();
+    return result;
+  }
+
+  result.cycles = inst->bench->Run(*inst->team);
+  FillCounters(ReadCounters(machine), &result);
+  result.verified = inst->bench->Verify(machine);
+  if (inst->cobra) result.cobra = inst->cobra->stats();
   result.snapshot = machine.registry().Take();
   return result;
 }

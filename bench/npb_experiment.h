@@ -15,6 +15,7 @@
 #include "machine/engine.h"
 #include "machine/machine.h"
 #include "obs/registry.h"
+#include "perfmon/sample.h"
 #include "support/simtypes.h"
 
 namespace cobra::bench {
@@ -47,6 +48,12 @@ struct NpbRunResult {
   // Full observability-registry snapshot at the end of the run (every
   // cpuN.*, mem.*, bus.*, engine.*, perfmon.*, cobra.* metric).
   obs::Snapshot snapshot;
+  // Sampled-mode bookkeeping (NpbOptions::sample enabled): phase counts,
+  // checkpoint round-trips, detailed-instruction fraction. When sampled,
+  // `cycles` and the traffic counters above are the SimPoint-style
+  // projections, not direct measurements.
+  bool sampled = false;
+  perfmon::SampleOutcome sample;
 };
 
 // Extra knobs for ablation studies (all defaults reproduce the paper runs).
@@ -62,6 +69,11 @@ struct NpbOptions {
   // Host execution engine (results are bit-identical across engines);
   // honours COBRA_ENGINE, e.g. "parallel:4" or "serial@512".
   machine::EngineConfig engine = machine::EngineConfigFromEnv();
+  // Sampled simulation (perfmon/sample.h): when enabled, the benchmark runs
+  // twice — a fast-forward BBV profiling pass, then a sampled pass that
+  // warms each representative interval from a checkpoint round-trip and
+  // simulates only those in detail. Result counters are projections.
+  perfmon::SampleConfig sample;
 };
 
 NpbRunResult RunNpbExperiment(const std::string& benchmark,

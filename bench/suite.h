@@ -42,15 +42,28 @@ struct SuiteOptions {
   // Host execution engine for every simulated run (results are
   // bit-identical across engines); honours COBRA_ENGINE.
   machine::EngineConfig engine = machine::EngineConfigFromEnv();
+  // Sampled simulation (cobra_bench --sample): the NPB matrices run the
+  // two-pass BBV/checkpoint pipeline (perfmon/sample.h) and report
+  // projected counters instead of direct measurements. Honours
+  // COBRA_SAMPLE="<interval>[:<phases>]" for the schedule; same schema.
+  bool sample = false;
 };
 
 // Canonical spec string for an engine config ("serial", "parallel:4@2048");
 // inverse of machine::ParseEngineSpec, recorded in the report header.
 std::string EngineSpecString(const machine::EngineConfig& config);
 
-// Experiment names in run order (for --list and the --only filter).
+// Experiment names in run order (for the --only filter).
 std::vector<std::string> PaperExperimentNames();
 std::vector<std::string> MicroExperimentNames();
+
+// Names plus one-line descriptions, in run order (cobra_bench --list).
+struct ExperimentInfo {
+  std::string name;
+  std::string description;
+};
+std::vector<ExperimentInfo> PaperExperimentList();
+std::vector<ExperimentInfo> MicroExperimentList();
 
 // Runs the paper-conformance suite / the engine microbenchmarks and
 // returns the full report document described above.

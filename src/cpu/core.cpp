@@ -371,6 +371,9 @@ bool Core::NextStepNeedsFabric() const {
 }
 
 bool Core::PlanMemNeedsFabric(const ExecPlan& plan, Addr addr) const {
+  // Fast-forward mode never touches the cache stack or fabric: every
+  // memory op is committed functionally inside a core-private segment.
+  if (fast_forward_) return false;
   if (plan.cls & isa::kPlanLfetch) {
     if (addr >= memory_->size()) return false;  // non-faulting: dropped
     // Prefetch routing compares in-flight fill deadlines against the
@@ -457,9 +460,11 @@ void Core::RunSegmentTjit(Cycle q_end) {
       const ExecPlan& plan = image_->PlanAt(pc_);
       if ((plan.cls & isa::kPlanMem) && regs_.ReadPr(plan.qp)) {
         const Addr addr = regs_.ReadGr(plan.r2);
-        if (checker_ != nullptr || mem_observer_) {
+        if (checker_ != nullptr || mem_observer_ || fast_forward_) {
           // The checker and the memory observer interpose on every access
-          // in a fixed order; keep the reference probe-then-access path.
+          // in a fixed order, and fast-forward skips the cache model that
+          // TryMemoryOpPlan is fused with; keep the reference
+          // probe-then-access path.
           if (PlanMemNeedsFabric(plan, addr)) return;
           ChargeIssue();
           DoMemoryOpPlan(plan, addr);
@@ -595,7 +600,7 @@ bool Core::ExecSuperblockLoop(tjit::Superblock* sb, std::uint32_t idx,
           RetireTail();
         } else {
           const Addr addr = regs_.ReadGr(s.plan.r2);
-          if (checker_ != nullptr || mem_observer_) {
+          if (checker_ != nullptr || mem_observer_ || fast_forward_) {
             if (PlanMemNeedsFabric(s.plan, addr)) {
               if (s.next_idx != tjit::kNoStep) {
                 // The engine commits this step via Step(); resume after it.
@@ -729,6 +734,10 @@ bool Core::TryMemoryOpPlan(const ExecPlan& plan, Addr addr, bool slot0) {
 
 void Core::TakeBranch(Addr target, bool loop_branch) {
   btb_.RecordTaken(pc_, target);
+  // Every taken branch (any execution path) funnels through here, so the
+  // BBV profiler sees the complete block-entry stream without forcing the
+  // interpreter path.
+  if (bbv_ != nullptr) bbv_->OnTakenBranch(id_, target, retired_);
   // Itanium's counted-loop branches (br.ctop/br.cloop/br.wtop) are
   // perfectly predicted and take no bubble; other taken branches pay one.
   if (!loop_branch) ++now_;
@@ -741,6 +750,38 @@ void Core::DoMemoryOpPlan(const ExecPlan& plan, Addr addr) {
   // is attached (the fused fast path is disabled above): exactly one
   // callback per performed op.
   if (mem_observer_) mem_observer_(pc_, addr);
+
+  if (fast_forward_) {
+    // Functional-only commit: exact architectural effects, no cache stack,
+    // no DEAR, no stall cycles, no checker (the golden-memory oracle
+    // checks settled cache invariants that FF deliberately skips).
+    switch (static_cast<Opcode>(plan.handler)) {
+      case Opcode::kLd:
+        regs_.WriteGr(plan.r1, memory_->Read(addr, plan.size));
+        break;
+      case Opcode::kLdf:
+        regs_.WriteFr(plan.r1, memory_->ReadDouble(addr));
+        break;
+      case Opcode::kSt: {
+        std::uint64_t value = regs_.ReadGr(plan.r3);
+        if (plan.size < 8) value &= (1ULL << (plan.size * 8)) - 1;
+        memory_->Write(addr, plan.size, value);
+        break;
+      }
+      case Opcode::kStf:
+        memory_->WriteDouble(addr, regs_.ReadFr(plan.r3));
+        break;
+      case Opcode::kLfetch:
+        if (addr >= memory_->size()) ++lfetches_dropped_;
+        break;  // non-binding: no architectural effect in bounds
+      default:
+        COBRA_UNREACHABLE("not a memory op");
+    }
+    if (plan.cls & isa::kPlanPostInc) {
+      regs_.WriteGr(plan.r2, addr + static_cast<std::uint64_t>(plan.imm));
+    }
+    return;
+  }
 
   // Software pipelining / compiler scheduling hides a window of load
   // latency; only the remainder stalls the core. DEAR observes the full
@@ -884,6 +925,48 @@ void Core::DoBranchPlan(const ExecPlan& plan) {
     default:
       COBRA_UNREACHABLE("not a branch");
   }
+}
+
+void Core::SaveState(support::StateWriter& w) const {
+  regs_.SaveState(w);
+  hpm_.SaveState(w);
+  btb_.SaveState(w);
+  dear_.SaveState(w);
+  w.U64(pc_);
+  w.Bool(halted_);
+  w.U32(static_cast<std::uint32_t>(bundle_credit_));
+  w.U64(now_);
+  w.U64(retired_);
+  w.U64(lfetches_dropped_);
+  w.U64(sample_period_);
+  w.U64(until_sample_);
+}
+
+bool Core::RestoreState(support::StateReader& r) {
+  if (!regs_.RestoreState(r) || !hpm_.RestoreState(r) ||
+      !btb_.RestoreState(r) || !dear_.RestoreState(r)) {
+    return false;
+  }
+  std::uint32_t credit = 0;
+  r.U64(&pc_);
+  r.Bool(&halted_);
+  r.U32(&credit);
+  r.U64(&now_);
+  r.U64(&retired_);
+  r.U64(&lfetches_dropped_);
+  r.U64(&sample_period_);
+  r.U64(&until_sample_);
+  if (!r.Ok() || credit > static_cast<std::uint32_t>(issue_width_)) {
+    return false;
+  }
+  bundle_credit_ = static_cast<int>(credit);
+  // Host-side superblock resume hints never survive a restore: they point
+  // into the saved process's translation cache. The next tjit segment
+  // simply looks the pc up again.
+  resume_sb_ = nullptr;
+  resume_idx_ = 0;
+  resume_pc_ = 0;
+  return true;
 }
 
 void Core::ExecutePlan(const ExecPlan& plan) {

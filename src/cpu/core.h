@@ -42,6 +42,16 @@ namespace cobra::cpu {
 // dispatches through (friend of Core so handlers touch core state directly).
 struct ExecOps;
 
+// Observes every taken branch with the core's retire count, the raw feed
+// the BBV phase profiler builds per-interval basic-block vectors from
+// (block weight = instructions retired since the previous taken branch).
+class BlockProfiler {
+ public:
+  virtual ~BlockProfiler() = default;
+  virtual void OnTakenBranch(CpuId cpu, isa::Addr target,
+                             std::uint64_t retired) = 0;
+};
+
 class Core final : public HpmSource {
  public:
   Core(CpuId id, isa::BinaryImage* image, mem::MainMemory* memory,
@@ -135,6 +145,32 @@ class Core final : public HpmSource {
   void SetRetireHook(std::uint64_t period_insts,
                      std::function<void(Core&)> hook);
 
+  // --- BBV profiling ---------------------------------------------------------
+  // Attaches the basic-block-vector profiler (nullptr detaches). No fast
+  // path skips it: branches execute through DoBranchPlan/TakeBranch on the
+  // interpreter, fused and superblock paths alike.
+  void SetBlockProfiler(BlockProfiler* profiler) { bbv_ = profiler; }
+
+  // --- Fast-forward mode -----------------------------------------------------
+  // Functional-only execution: architectural effects (registers, memory,
+  // pc, retire counts and hooks) are exact, but loads/stores/lfetches skip
+  // the cache stack and coherence fabric entirely — no hit/miss stats, no
+  // DEAR observations, no stall cycles, no bus occupancy. Time advances by
+  // issue and branch charges only. Switch only at quantum boundaries (via
+  // a round task): mid-segment mode flips would tear the timing model.
+  void SetFastForward(bool on) { fast_forward_ = on; }
+  bool fast_forward() const { return fast_forward_; }
+
+  // --- Checkpointing ---------------------------------------------------------
+  // Architectural + timing state (registers, HPM/BTB/DEAR, pc, clock,
+  // retire/sample counters). Host-side execution hints (superblock resume
+  // state) are dropped: the tjit re-enters traces naturally. The retire
+  // hook closure itself is not serialized — restore into a machine whose
+  // runtime has already re-attached (AttachAll) and the restored
+  // sample_period_/until_sample_ counters resume the saved cadence.
+  void SaveState(support::StateWriter& w) const;
+  bool RestoreState(support::StateReader& r);
+
   // --- HpmSource ---------------------------------------------------------------
   std::uint64_t RawEventValue(HpmEvent event) const override;
 
@@ -201,6 +237,8 @@ class Core final : public HpmSource {
   const mem::CoherenceFabric* fabric_;
   verify::CoherenceChecker* checker_ = nullptr;  // null unless verifying
   MemObserver mem_observer_;  // empty unless a harness is watching
+  BlockProfiler* bbv_ = nullptr;  // null unless phase-profiling
+  bool fast_forward_ = false;
   // Immutable timing parameters hoisted out of MemConfig (const after
   // CacheStack construction) so the per-instruction path avoids the
   // pointer chase.

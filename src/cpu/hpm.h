@@ -16,6 +16,7 @@
 #include "isa/types.h"
 #include "support/check.h"
 #include "support/simtypes.h"
+#include "support/snapshot.h"
 
 namespace cobra::cpu {
 
@@ -64,6 +65,27 @@ class Hpm {
   // Zeroes all counters without changing their event selection.
   void ResetCounters();
 
+  // Selections and baselines only — the raw totals live in the source
+  // (core/cache/fabric counters), which checkpoint separately.
+  void SaveState(support::StateWriter& w) const {
+    for (const Counter& c : counters_) {
+      w.U8(static_cast<std::uint8_t>(c.event));
+      w.U64(c.baseline);
+    }
+  }
+  bool RestoreState(support::StateReader& r) {
+    for (Counter& c : counters_) {
+      std::uint8_t event = 0;
+      r.U8(&event);
+      r.U64(&c.baseline);
+      if (event >= static_cast<std::uint8_t>(HpmEvent::kEventCount)) {
+        return false;
+      }
+      c.event = static_cast<HpmEvent>(event);
+    }
+    return r.Ok();
+  }
+
  private:
   struct Counter {
     HpmEvent event = HpmEvent::kCpuCycles;
@@ -99,6 +121,28 @@ class Btb {
     ring_ = {};
     head_ = 0;
     count_ = 0;
+  }
+
+  void SaveState(support::StateWriter& w) const {
+    for (const Entry& e : ring_) {
+      w.U64(e.source);
+      w.U64(e.target);
+    }
+    w.U32(static_cast<std::uint32_t>(head_));
+    w.U32(static_cast<std::uint32_t>(count_));
+  }
+  bool RestoreState(support::StateReader& r) {
+    for (Entry& e : ring_) {
+      r.U64(&e.source);
+      r.U64(&e.target);
+    }
+    std::uint32_t head = 0, count = 0;
+    r.U32(&head);
+    r.U32(&count);
+    if (!r.Ok() || head >= kEntries || count > kEntries) return false;
+    head_ = static_cast<int>(head);
+    count_ = static_cast<int>(count);
+    return true;
   }
 
  private:
@@ -137,6 +181,24 @@ class Dear {
   void Clear() {
     last_ = Record{};
     qualified_count_ = 0;
+  }
+
+  void SaveState(support::StateWriter& w) const {
+    w.U64(threshold_);
+    w.U64(last_.inst_addr);
+    w.U64(last_.data_addr);
+    w.U64(last_.latency);
+    w.Bool(last_.valid);
+    w.U64(qualified_count_);
+  }
+  bool RestoreState(support::StateReader& r) {
+    r.U64(&threshold_);
+    r.U64(&last_.inst_addr);
+    r.U64(&last_.data_addr);
+    r.U64(&last_.latency);
+    r.Bool(&last_.valid);
+    r.U64(&qualified_count_);
+    return r.Ok();
   }
 
  private:

@@ -15,6 +15,7 @@
 
 #include "isa/types.h"
 #include "support/check.h"
+#include "support/snapshot.h"
 
 namespace cobra::cpu {
 
@@ -88,6 +89,37 @@ class RegisterFile {
 
   // Resets every register, predicate, AR and RRB to the power-on state.
   void Reset();
+
+  // --- Checkpointing ---------------------------------------------------------
+  // Physical-slot order (rotation-independent): the RRBs travel alongside,
+  // so a restored file maps logical names exactly as the saved one did.
+  void SaveState(support::StateWriter& w) const {
+    for (const std::uint64_t v : gr_) w.U64(v);
+    for (const double v : fr_) w.F64(v);
+    for (const bool v : pr_) w.Bool(v);
+    w.U64(lc_);
+    w.U64(ec_);
+    w.U32(static_cast<std::uint32_t>(rrb_gr_));
+    w.U32(static_cast<std::uint32_t>(rrb_fr_));
+    w.U32(static_cast<std::uint32_t>(rrb_pr_));
+  }
+  bool RestoreState(support::StateReader& r) {
+    for (std::uint64_t& v : gr_) r.U64(&v);
+    for (double& v : fr_) r.F64(&v);
+    for (bool& v : pr_) r.Bool(&v);
+    r.U64(&lc_);
+    r.U64(&ec_);
+    std::uint32_t rrb[3] = {};
+    r.U32(&rrb[0]);
+    r.U32(&rrb[1]);
+    r.U32(&rrb[2]);
+    if (!r.Ok()) return false;
+    rrb_gr_ = static_cast<int>(rrb[0]);
+    rrb_fr_ = static_cast<int>(rrb[1]);
+    rrb_pr_ = static_cast<int>(rrb[2]);
+    return rrb_gr_ >= 0 && rrb_gr_ < isa::kNumRotGr && rrb_fr_ >= 0 &&
+           rrb_fr_ < isa::kNumRotFr && rrb_pr_ >= 0 && rrb_pr_ < isa::kNumRotPr;
+  }
 
  private:
   // Rotation maps a logical name to `first + (name - first + rrb) % num`.

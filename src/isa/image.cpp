@@ -89,6 +89,51 @@ void BinaryImage::SetLfetchExcl(Addr pc, bool excl) {
   PatchRaw(pc, slot);
 }
 
+void BinaryImage::SaveState(support::StateWriter& w) const {
+  w.U64(code_base_);
+  w.U64(code_cache_start_);
+  w.U64(static_cast<std::uint64_t>(slots_.size()));
+  for (const EncodedSlot& slot : slots_) {
+    w.U64(slot.head);
+    w.I64(slot.imm);
+  }
+  w.U64(patch_count_);
+  w.U64(plan_generation_);
+}
+
+bool BinaryImage::RestoreState(support::StateReader& r) {
+  std::uint64_t code_base = 0;
+  std::uint64_t cache_start = 0;
+  std::uint64_t num_slots = 0;
+  r.U64(&code_base);
+  r.U64(&cache_start);
+  r.U64(&num_slots);
+  if (!r.Ok() || code_base != code_base_ || num_slots % 3 != 0) return false;
+  std::vector<EncodedSlot> slots(num_slots);
+  for (EncodedSlot& slot : slots) {
+    r.U64(&slot.head);
+    r.I64(&slot.imm);
+  }
+  std::uint64_t patches = 0;
+  std::uint64_t generation = 0;
+  r.U64(&patches);
+  r.U64(&generation);
+  if (!r.Ok()) return false;
+  slots_ = std::move(slots);
+  decoded_.resize(slots_.size());
+  plans_.resize(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    decoded_[i] = Decode(slots_[i]);  // aborts on malformed bits, same as a
+                                      // live PatchRaw of those words would
+    plans_[i] = BuildExecPlan(decoded_[i]);
+  }
+  code_cache_start_ = cache_start;
+  corrupt_slots_.clear();
+  patch_count_ = patches;
+  plan_generation_ = generation;
+  return true;
+}
+
 void BinaryImage::NopOutLfetch(Addr pc) {
   const Instruction inst = Fetch(pc);
   COBRA_CHECK_MSG(inst.op == Opcode::kLfetch, "slot does not hold an lfetch");

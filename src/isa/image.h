@@ -27,6 +27,7 @@
 #include "isa/instruction.h"
 #include "isa/types.h"
 #include "support/check.h"
+#include "support/snapshot.h"
 
 namespace cobra::isa {
 
@@ -112,6 +113,15 @@ class BinaryImage {
   // references across patch points can compare generations to detect
   // invalidation; tests assert that runtime patching bumps it.
   std::uint64_t plan_generation() const { return plan_generation_; }
+
+  // --- Checkpointing --------------------------------------------------------
+  // The blob carries only the raw encoded slots (the honest bit-level
+  // state); restore re-decodes every slot to rebuild the decoded and plan
+  // twins, exactly as PatchRaw would. The saved image may hold MORE bundles
+  // than the restoring one: trace bundles appended to the code cache after
+  // the builder ran are recreated by growing the image.
+  void SaveState(support::StateWriter& w) const;
+  bool RestoreState(support::StateReader& r);
 
   // Test-only fault injection: writes the raw slot WITHOUT re-decoding, so
   // tests can seed corrupt encodings for the lint / patch-safety verifier

@@ -11,8 +11,10 @@
 // on one host thread or many.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "support/simtypes.h"
+#include "support/snapshot.h"
 
 namespace cobra::verify {
 class CoherenceChecker;
@@ -161,6 +164,46 @@ class Machine {
   // core's clock. Memory *contents* and page placement are preserved.
   void ResetTiming();
 
+  // --- Checkpointing ---------------------------------------------------------
+  // Serializes every component that carries simulated state (image, memory,
+  // fabric, per-CPU cache stacks and cores, engine counters) as named
+  // sections. Restoring into a freshly built machine of the same
+  // configuration is fingerprint-identical to never having paused: the
+  // restore happens in place (no reallocation), so pointers the engine and
+  // runtime hold into cores/stacks stay valid. Attach subsystems (COBRA
+  // runtime, perfmon) BEFORE restoring — restore only rewrites state, it
+  // does not recreate hooks. Host-side acceleration state (translation
+  // caches, probe memos, way hints) is simply dropped.
+  //
+  // The StateWriter/StateReader forms compose: external subsystems append
+  // their own sections after the machine's (CobraRuntime::SaveState does).
+  // The blob forms seal/validate a complete snapshot (magic, version,
+  // checksum) and are what cobra_bench and the tests use. RestoreCheckpoint
+  // validates the machine-shape section before mutating anything; a blob
+  // for a different geometry/protocol is rejected with the machine
+  // untouched. (Mid-stream failures after that can leave a partial restore,
+  // but the up-front whole-blob checksum in StateReader::Open makes them
+  // unreachable for blobs produced by SaveCheckpoint on this build.)
+  void SaveCheckpoint(support::StateWriter& w) const;
+  bool RestoreCheckpoint(support::StateReader& r);
+  std::vector<std::uint8_t> SaveCheckpoint() const;
+  bool RestoreCheckpoint(const std::vector<std::uint8_t>& blob,
+                         std::string* error = nullptr);
+
+  // --- Fast-forward (sampled simulation) -------------------------------------
+  // Switches every core between detailed timing simulation and
+  // functional-only fast-forward (see cpu::Core::SetFastForward). Only legal
+  // while cores are quiescent — engines call it from round tasks at quantum
+  // boundaries, or callers flip it between runs.
+  void SetFastForward(bool on);
+  bool fast_forward() const { return fast_forward_; }
+  // Bumped on every effective mode flip. Observers whose measurements span
+  // simulated time (e.g. COBRA's CPI windows) compare generations to detect
+  // that a window crossed a fast-forwarded gap and must be discarded.
+  std::uint64_t fast_forward_generation() const {
+    return fast_forward_generation_;
+  }
+
   // --- Engine integration ----------------------------------------------------
   // True while an ExecutionEngine is driving the cores. Subsystems that
   // deliver callbacks into shared state (e.g. perfmon sample batches, which
@@ -215,6 +258,8 @@ class Machine {
   int trace_pid_ = 0;
 
   std::unique_ptr<ExecutionEngine> default_engine_;  // lazily created
+  bool fast_forward_ = false;
+  std::uint64_t fast_forward_generation_ = 0;
   int engine_depth_ = 0;
   std::vector<std::pair<int, std::function<void()>>> round_tasks_;
   int next_round_task_id_ = 0;

@@ -6,12 +6,14 @@
 // the data has not yet arrived), and prefetch-usefulness bookkeeping.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "mem/coherence.h"
 #include "support/check.h"
 #include "support/simtypes.h"
+#include "support/snapshot.h"
 
 namespace cobra::mem {
 
@@ -118,6 +120,58 @@ class CacheArray {
     for (const Line& line : lines_) {
       if (line.state != Mesi::kI) fn(line);
     }
+  }
+
+  // Geometry is config-derived and must match at restore; the mru_way_
+  // lookup hint is host-only and simply reset (any value is correct).
+  void SaveState(support::StateWriter& w) const {
+    w.U64(static_cast<std::uint64_t>(sets_));
+    w.U32(static_cast<std::uint32_t>(assoc_));
+    for (const Line& line : lines_) {
+      w.U64(line.line_addr);
+      w.U8(static_cast<std::uint8_t>(line.state));
+      w.U64(line.ready_at);
+      w.U64(line.lru);
+      w.Bool(line.prefetched);
+      w.Bool(line.referenced);
+      w.Bool(line.was_dirty_here);
+    }
+    w.U64(lru_clock_);
+    w.U64(stats_.hits);
+    w.U64(stats_.misses);
+    w.U64(stats_.evictions);
+    w.U64(stats_.dirty_evictions);
+    w.U64(stats_.useless_prefetch_evictions);
+  }
+  bool RestoreState(support::StateReader& r) {
+    std::uint64_t sets = 0;
+    std::uint32_t assoc = 0;
+    r.U64(&sets);
+    r.U32(&assoc);
+    if (!r.Ok() || sets != sets_ || assoc != static_cast<std::uint32_t>(assoc_)) {
+      return false;
+    }
+    for (Line& line : lines_) {
+      std::uint8_t state = 0;
+      r.U64(&line.line_addr);
+      r.U8(&state);
+      r.U64(&line.ready_at);
+      r.U64(&line.lru);
+      r.Bool(&line.prefetched);
+      r.Bool(&line.referenced);
+      r.Bool(&line.was_dirty_here);
+      if (state > static_cast<std::uint8_t>(Mesi::kSc)) return false;
+      line.state = static_cast<Mesi>(state);
+    }
+    r.U64(&lru_clock_);
+    r.U64(&stats_.hits);
+    r.U64(&stats_.misses);
+    r.U64(&stats_.evictions);
+    r.U64(&stats_.dirty_evictions);
+    r.U64(&stats_.useless_prefetch_evictions);
+    if (!r.Ok()) return false;
+    std::fill(mru_way_.begin(), mru_way_.end(), 0);
+    return true;
   }
 
  private:

@@ -178,6 +178,13 @@ class CacheStack {
   // Drops all cached state and statistics (between experiments).
   void Reset();
 
+  // Checkpointing: the three tag arrays, demand/coherence statistics and
+  // the store-buffer occupancy. The probe memo is host-only — raising the
+  // fabric guard starts a fresh generation, so stale facts saved before a
+  // restore can never resurface.
+  void SaveState(support::StateWriter& w) const;
+  bool RestoreState(support::StateReader& r);
+
  private:
   Addr CohLine(Addr addr) const { return l2_.LineAddrOf(addr); }
 

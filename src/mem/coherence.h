@@ -9,6 +9,7 @@
 #include "mem/main_memory.h"
 #include "mem/protocol.h"
 #include "support/simtypes.h"
+#include "support/snapshot.h"
 
 namespace cobra::mem {
 
@@ -94,6 +95,29 @@ struct BusEventCounts {
     remote_transactions -= o.remote_transactions;
     return *this;
   }
+
+  void SaveState(support::StateWriter& w) const {
+    w.U64(bus_memory);
+    w.U64(bus_rd_hit);
+    w.U64(bus_rd_hitm);
+    w.U64(bus_rd_inval_all_hitm);
+    w.U64(bus_upgrades);
+    w.U64(bus_writebacks);
+    w.U64(bus_updates);
+    w.U64(c2c_transfers);
+    w.U64(remote_transactions);
+  }
+  bool RestoreState(support::StateReader& r) {
+    r.U64(&bus_memory);
+    r.U64(&bus_rd_hit);
+    r.U64(&bus_rd_hitm);
+    r.U64(&bus_rd_inval_all_hitm);
+    r.U64(&bus_upgrades);
+    r.U64(&bus_writebacks);
+    r.U64(&bus_updates);
+    r.U64(&c2c_transfers);
+    return r.U64(&remote_transactions);
+  }
 };
 
 // Snoop requests delivered *to* a cache stack by the fabric.
@@ -142,6 +166,14 @@ class CoherenceFabric {
   virtual Cycle queue_cycles() const { return 0; }
 
   virtual void ResetCounts() = 0;
+
+  // Checkpointing. Default no-ops cover fabrics with no serializable state
+  // of their own (the verify::CoherenceChecker wrapper delegates instead).
+  virtual void SaveState(support::StateWriter& w) const { (void)w; }
+  virtual bool RestoreState(support::StateReader& r) {
+    (void)r;
+    return true;
+  }
 };
 
 }  // namespace cobra::mem

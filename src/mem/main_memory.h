@@ -11,14 +11,17 @@
 // the directory fabric uses to locate a line's home node.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "mem/config.h"
 #include "support/check.h"
 #include "support/simtypes.h"
+#include "support/snapshot.h"
 
 namespace cobra::mem {
 
@@ -76,6 +79,62 @@ class MainMemory {
   // Pre-places a range of pages on a node (models a thread initializing its
   // partition during the init phase, as Section 3.2 assumes).
   void PlaceRange(Addr begin, Addr end, int node);
+
+  // --- Checkpointing ---------------------------------------------------------
+  // Pages that are still all-zero are skipped: memory starts zeroed, so a
+  // checkpoint of a sparsely-touched data segment stays compact.
+  void SaveState(support::StateWriter& w) const {
+    w.U64(static_cast<std::uint64_t>(size_));
+    w.U64(static_cast<std::uint64_t>(page_bytes_));
+    const std::size_t num_pages = page_home_.size();
+    std::vector<std::uint64_t> nonzero;
+    for (std::size_t page = 0; page < num_pages; ++page) {
+      const std::size_t off = page * page_bytes_;
+      const std::size_t len = std::min(page_bytes_, size_ - off);
+      const std::uint8_t* p = data_.get() + off;
+      bool all_zero = true;
+      for (std::size_t i = 0; i < len; ++i) {
+        if (p[i] != 0) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (!all_zero) nonzero.push_back(page);
+    }
+    w.U64(static_cast<std::uint64_t>(nonzero.size()));
+    for (std::uint64_t page : nonzero) {
+      const std::size_t off = static_cast<std::size_t>(page) * page_bytes_;
+      w.U64(page);
+      w.Bytes(data_.get() + off, std::min(page_bytes_, size_ - off));
+    }
+    for (std::int16_t home : page_home_) w.I64(home);
+  }
+  bool RestoreState(support::StateReader& r) {
+    std::uint64_t size = 0;
+    std::uint64_t page_bytes = 0;
+    r.U64(&size);
+    r.U64(&page_bytes);
+    if (!r.Ok() || size != size_ || page_bytes != page_bytes_) return false;
+    const std::size_t num_pages = page_home_.size();
+    std::uint64_t nonzero = 0;
+    r.U64(&nonzero);
+    if (!r.Ok() || nonzero > num_pages) return false;
+    std::memset(data_.get(), 0, size_);
+    for (std::uint64_t i = 0; i < nonzero; ++i) {
+      std::uint64_t page = 0;
+      r.U64(&page);
+      if (!r.Ok() || page >= num_pages) return false;
+      const std::size_t off = static_cast<std::size_t>(page) * page_bytes_;
+      r.Bytes(data_.get() + off, std::min(page_bytes_, size_ - off));
+    }
+    for (std::int16_t& home : page_home_) {
+      std::int64_t v = 0;
+      r.I64(&v);
+      if (!r.Ok() || v < -1 || v > INT16_MAX) return false;
+      home = static_cast<std::int16_t>(v);
+    }
+    return r.Ok();
+  }
 
  private:
   void CheckRange(Addr addr, std::size_t bytes) const {

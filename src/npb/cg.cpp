@@ -18,9 +18,14 @@ namespace {
 
 class CgBenchmark final : public NpbBenchmark {
  public:
-  CgBenchmark() : NpbBenchmark("cg") {}
+  // scale=1 is the class-S-like default (1408 rows); larger scales multiply
+  // the row count (the beyond-class-S geometry sampled simulation targets)
+  // while keeping the band and iteration count fixed.
+  explicit CgBenchmark(int scale)
+      : NpbBenchmark(scale == 1 ? "cg" : "cg@" + std::to_string(scale)),
+        kRows(1408 * scale) {}
 
-  static constexpr std::int64_t kRows = 1408;
+  const std::int64_t kRows;
   static constexpr std::int64_t kBand = 6;  // 13-diagonal band
   static constexpr int kIterations = 16;
 
@@ -226,8 +231,8 @@ class CgBenchmark final : public NpbBenchmark {
 
 }  // namespace
 
-std::unique_ptr<NpbBenchmark> MakeCg() {
-  return std::make_unique<CgBenchmark>();
+std::unique_ptr<NpbBenchmark> MakeCg(int scale) {
+  return std::make_unique<CgBenchmark>(scale);
 }
 
 }  // namespace cobra::npb

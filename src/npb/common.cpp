@@ -1,6 +1,7 @@
 #include "npb/common.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "support/check.h"
 
@@ -10,8 +11,8 @@ std::unique_ptr<NpbBenchmark> MakeBt();
 std::unique_ptr<NpbBenchmark> MakeSp();
 std::unique_ptr<NpbBenchmark> MakeLu();
 std::unique_ptr<NpbBenchmark> MakeFt();
-std::unique_ptr<NpbBenchmark> MakeMg();
-std::unique_ptr<NpbBenchmark> MakeCg();
+std::unique_ptr<NpbBenchmark> MakeMg(int scale);
+std::unique_ptr<NpbBenchmark> MakeCg(int scale);
 std::unique_ptr<NpbBenchmark> MakeEp();
 std::unique_ptr<NpbBenchmark> MakeIs();
 
@@ -28,10 +29,20 @@ std::unique_ptr<NpbBenchmark> MakeBenchmark(const std::string& name) {
   if (name == "sp") return MakeSp();
   if (name == "lu") return MakeLu();
   if (name == "ft") return MakeFt();
-  if (name == "mg") return MakeMg();
-  if (name == "cg") return MakeCg();
+  if (name == "mg") return MakeMg(1);
+  if (name == "cg") return MakeCg(1);
   if (name == "ep") return MakeEp();
   if (name == "is") return MakeIs();
+  // Scaled geometry: "<bench>@N" multiplies the problem size by N
+  // (beyond-class-S working sets for the sampled-simulation experiments).
+  const std::size_t at = name.find('@');
+  if (at != std::string::npos) {
+    const std::string base = name.substr(0, at);
+    const int scale = std::atoi(name.c_str() + at + 1);
+    COBRA_CHECK_MSG(scale >= 1, "bad NPB scale suffix");
+    if (base == "cg") return MakeCg(scale);
+    if (base == "mg") return MakeMg(scale);
+  }
   COBRA_UNREACHABLE("unknown NPB benchmark name");
 }
 

@@ -10,15 +10,21 @@ namespace {
 
 class MgBenchmark final : public GridBenchmark {
  public:
-  MgBenchmark() : GridBenchmark("mg", /*timesteps=*/16) {}
+  // scale multiplies every grid level (mg@N: beyond-class-S working sets
+  // for the sampled-simulation experiments).
+  explicit MgBenchmark(int scale)
+      : GridBenchmark(scale == 1 ? "mg" : "mg@" + std::to_string(scale),
+                      /*timesteps=*/16),
+        scale_(scale) {}
 
  protected:
   void Declare() override {
-    // Levels 0 (finest) .. 3 (coarsest): interior sizes 4096 .. 512.
+    // Levels 0 (finest) .. 3 (coarsest): interior sizes 4096 .. 512 at
+    // scale 1.
     constexpr int kLevels = 4;
     std::array<std::int64_t, kLevels> n{};
     std::array<int, kLevels> u{}, r{};
-    std::int64_t size = 4096;
+    std::int64_t size = 4096 * scale_;
     for (int level = 0; level < kLevels; ++level) {
       n[static_cast<std::size_t>(level)] = size;
       u[static_cast<std::size_t>(level)] =
@@ -93,12 +99,15 @@ class MgBenchmark final : public GridBenchmark {
     AddPhase(Elementwise("norm_scale", Op::kScale, r[L(0)], -1, -1, r[L(0)],
                          n[L(0)], 0.45, 0.0));
   }
+
+ private:
+  const int scale_;
 };
 
 }  // namespace
 
-std::unique_ptr<NpbBenchmark> MakeMg() {
-  return std::make_unique<MgBenchmark>();
+std::unique_ptr<NpbBenchmark> MakeMg(int scale) {
+  return std::make_unique<MgBenchmark>(scale);
 }
 
 }  // namespace cobra::npb

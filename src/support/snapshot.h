@@ -1,0 +1,119 @@
+// Versioned binary snapshot protocol: the serialization substrate behind
+// Machine::SaveCheckpoint / RestoreCheckpoint.
+//
+// A snapshot blob is
+//
+//   [magic u64][format_version u32]            header, outside the checksum
+//   [payload_size u64][payload_fnv1a u64]
+//   payload:  a sequence of named sections
+//     [name_len u32][name bytes][body_len u64][body bytes] ...
+//
+// Writers append named sections (BeginSection/EndSection) and primitive
+// values inside them; readers consume the same sections *in write order*
+// (EnterSection checks the name, ExitSection checks the cursor landed on
+// the recorded section end). StateReader::Open validates magic, version,
+// size and checksum before a caller reads anything, so a component's
+// RestoreState never sees a corrupt stream — restore either starts from a
+// fully-validated blob or fails up front with a diagnostic, never
+// half-mutates the machine.
+//
+// Everything is little-endian fixed-width; doubles travel bit-cast through
+// u64 so restore is bit-exact. The format carries no host state: a blob
+// written by one engine configuration restores under any other.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cobra::support {
+
+// Bump when the section layout changes incompatibly. Readers reject any
+// other version outright (no migration shims: snapshots are same-build
+// artifacts, the version gate exists to fail loudly instead of strangely).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+class StateWriter {
+ public:
+  StateWriter() = default;
+
+  // --- Sections ------------------------------------------------------------
+  // Sections nest; each BeginSection must be closed by one EndSection.
+  void BeginSection(std::string_view name);
+  void EndSection();
+
+  // --- Primitives ----------------------------------------------------------
+  void U8(std::uint8_t v) { payload_.push_back(v); }
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(std::string_view s);
+  void Bytes(const void* data, std::size_t n);
+
+  // Seals the blob: header + payload size + FNV-1a checksum + payload.
+  // Aborts if a section is still open.
+  std::vector<std::uint8_t> Finish(
+      std::uint32_t version = kSnapshotFormatVersion) const;
+
+ private:
+  std::vector<std::uint8_t> payload_;
+  // Byte offsets (into payload_) of the body_len fields of open sections,
+  // patched with the final body length at EndSection.
+  std::vector<std::size_t> open_sections_;
+};
+
+class StateReader {
+ public:
+  StateReader() = default;
+
+  // Validates the whole blob (magic, version, payload size, checksum) and
+  // positions the cursor at the first section. On failure returns false and
+  // sets error(); the reader stays unusable and the caller must not touch
+  // any machine state.
+  bool Open(const std::uint8_t* data, std::size_t size);
+  bool Open(const std::vector<std::uint8_t>& blob) {
+    return Open(blob.data(), blob.size());
+  }
+
+  // --- Sections ------------------------------------------------------------
+  // Enters the next section, which must be named `name` (sections are read
+  // strictly in write order). Returns false (and sets error()) on a name
+  // mismatch or a malformed header.
+  bool EnterSection(std::string_view name);
+  // Leaves the current section; the cursor must have consumed exactly the
+  // section body (catches reader/writer layout drift immediately).
+  bool ExitSection();
+
+  // --- Primitives ----------------------------------------------------------
+  // All read calls return false once the reader is in a failed state, so
+  // call sites can chain unchecked and test Ok() at a boundary.
+  bool U8(std::uint8_t* v);
+  bool U32(std::uint32_t* v);
+  bool U64(std::uint64_t* v);
+  bool I64(std::int64_t* v);
+  bool F64(double* v);
+  bool Bool(bool* v);
+  bool Str(std::string* s);
+  bool Bytes(void* out, std::size_t n);
+
+  bool Ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  // True when every payload byte has been consumed and all sections closed.
+  bool AtEnd() const { return Ok() && cursor_ == end_ && section_ends_.empty(); }
+
+ private:
+  bool Fail(std::string message);
+  bool Need(std::size_t n);
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t cursor_ = 0;  // next unread payload byte (absolute offset)
+  std::size_t end_ = 0;     // one past the last payload byte
+  std::vector<std::size_t> section_ends_;
+  std::string error_ = "snapshot not opened";
+};
+
+}  // namespace cobra::support

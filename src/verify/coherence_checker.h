@@ -98,6 +98,18 @@ class CoherenceChecker final : public mem::CoherenceFabric {
   }
   void ResetCounts() override { inner_->ResetCounts(); }
 
+  // Checkpointing: the blob carries the real fabric's state; the oracle's
+  // shadow re-snapshots from the (already restored) functional memory, and
+  // the host-side verification counters intentionally start fresh.
+  void SaveState(support::StateWriter& w) const override {
+    inner_->SaveState(w);
+  }
+  bool RestoreState(support::StateReader& r) override {
+    if (!inner_->RestoreState(r)) return false;
+    SyncShadow();
+    return true;
+  }
+
   // --- Golden memory oracle (called by cpu::Core at commit order) -----------
   // `value` is the raw value the core observed/wrote (zero-extended for
   // sub-8-byte accesses, the bit pattern for FP accesses).

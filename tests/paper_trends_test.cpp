@@ -225,6 +225,27 @@ TEST(PaperTrends, NumaPrefersNoprefetchOverExcl) {
             Derived("npb_numa", "speedup_excl_avg"));
 }
 
+TEST(PaperTrends, SampledSimulationTracksFullRuns) {
+  // DESIGN.md §12: the two-pass sampled pipeline must agree with the full
+  // detailed run on the *direction* of COBRA's effect while simulating at
+  // most a third of the instructions in detail (the >= 3x wall-clock
+  // claim). The error bound is loose — the quick suite's scaled-down MG
+  // sits near 3.5% — but a sampling regression (cold representatives,
+  // distorted epochs) overshoots it by an order of magnitude.
+  const Json& e = Experiment("sampled_accuracy");
+  EXPECT_TRUE(e.At("derived").At("directional_ok").AsBool());
+  EXPECT_LE(Derived("sampled_accuracy", "speedup_error"), 0.15);
+  EXPECT_LE(Derived("sampled_accuracy", "detailed_fraction_max"), 1.0 / 3.0);
+  EXPECT_GE(Derived("sampled_accuracy", "wall_reduction_proxy"), 3.0);
+  // Every sampled run warmed its representatives through real checkpoint
+  // round-trips, and both run styles verified functionally.
+  for (const Json& row : e.At("rows").elements()) {
+    EXPECT_GT(row.At("checkpoints").AsInt(), 0) << row.Dump();
+    EXPECT_GT(row.At("checkpoint_bytes").AsInt(), 0) << row.Dump();
+    EXPECT_TRUE(row.At("verified").AsBool()) << row.Dump();
+  }
+}
+
 // --- Report document contract ---------------------------------------------
 
 TEST(BenchReport, RoundTripsThroughParser) {

@@ -26,23 +26,28 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--suite=paper|micro] [--quick] [--json=FILE]\n"
+      "usage: %s [--suite=paper|micro] [--quick] [--sample] [--json=FILE]\n"
       "          [--only=SUBSTRING] [--compare=OLD.json] [--list] [--quiet]\n"
       "\n"
       "  --suite=NAME   paper (default): Table 1, Fig 2/3/5/6/7, ablations,\n"
       "                 insertion; micro: execution-engine studies\n"
       "  --quick        CI-sized matrices (same experiments, same schema)\n"
+      "  --sample       run the NPB matrices in sampled mode: a fast-forward\n"
+      "                 BBV profiling pass, then detailed simulation of only\n"
+      "                 the representative phase intervals (warmed from\n"
+      "                 checkpoints); reported counters are projections\n"
       "  --json=FILE    write the report document to FILE\n"
       "  --only=SUB     run only experiments whose name contains SUB\n"
       "  --compare=OLD  diff this run's report against a previous report,\n"
       "                 metric by metric (exact for simulated counters,\n"
       "                 ignoring host.* perf keys); exit 1 on any drift\n"
-      "  --list         print experiment names and exit\n"
+      "  --list         print experiment names with descriptions and exit\n"
       "  --schema       print the report's schema signature instead of the\n"
       "                 summary (regenerates tests/golden/bench_schema.txt)\n"
       "  --quiet        suppress progress lines on stderr\n"
       "\n"
-      "environment: COBRA_ENGINE=serial|parallel[:N][@Q], COBRA_TRACE=FILE\n",
+      "environment: COBRA_ENGINE=serial|parallel[:N][@Q], COBRA_TRACE=FILE,\n"
+      "             COBRA_SAMPLE=<interval_insts>[:<max_phases>]\n",
       argv0);
   return 2;
 }
@@ -81,6 +86,8 @@ int main(int argc, char** argv) {
     std::string value;
     if (std::strcmp(arg, "--quick") == 0) {
       options.quick = true;
+    } else if (std::strcmp(arg, "--sample") == 0) {
+      options.sample = true;
     } else if (std::strcmp(arg, "--list") == 0) {
       list = true;
     } else if (std::strcmp(arg, "--schema") == 0) {
@@ -103,9 +110,11 @@ int main(int argc, char** argv) {
   if (suite != "paper" && suite != "micro") return Usage(argv[0]);
 
   if (list) {
-    const auto names = suite == "paper" ? bench::PaperExperimentNames()
-                                        : bench::MicroExperimentNames();
-    for (const std::string& name : names) std::printf("%s\n", name.c_str());
+    const auto infos = suite == "paper" ? bench::PaperExperimentList()
+                                        : bench::MicroExperimentList();
+    for (const auto& info : infos) {
+      std::printf("%-20s %s\n", info.name.c_str(), info.description.c_str());
+    }
     return 0;
   }
 
